@@ -1,0 +1,86 @@
+"""Figure 1: YellowFin vs Adam on the CIFAR100-like ResNet, sync + async.
+
+Paper: synchronously YellowFin converges in fewer iterations than tuned
+Adam; under 16-worker asynchrony, closed-loop YellowFin is dramatically
+faster than open-loop YellowFin and beats Adam.
+"""
+
+import numpy as np
+
+from repro.analysis.convergence import smooth_losses
+from repro.optim import Adam
+from repro.tuning import run_workload, speedup_ratio
+from benchmarks.workloads import (cifar100_workload, closed_loop_yellowfin,
+                                  print_series, yellowfin)
+
+WORKERS = 16
+SEEDS = (0,)
+ADAM_LR = 1e-2  # best of the Appendix-I-style grid at this scale
+
+
+def run_all():
+    sync_wl = cifar100_workload(n_steps=400)
+    async_wl = cifar100_workload(n_steps=500)
+
+    sync = {
+        "Adam": run_workload(sync_wl, lambda p: Adam(p, lr=ADAM_LR),
+                             "adam", seeds=SEEDS),
+        "YellowFin": run_workload(sync_wl, lambda p: yellowfin(p),
+                                  "yf", seeds=SEEDS),
+    }
+    asyn = {
+        "Adam": run_workload(async_wl, lambda p: Adam(p, lr=ADAM_LR),
+                             "adam", seeds=SEEDS, async_workers=WORKERS),
+        "YellowFin": run_workload(async_wl, lambda p: yellowfin(p),
+                                  "yf", seeds=SEEDS, async_workers=WORKERS),
+        "Closed-loop YF": run_workload(
+            async_wl,
+            lambda p: closed_loop_yellowfin(p, staleness=WORKERS - 1),
+            "clyf", seeds=SEEDS, async_workers=WORKERS),
+    }
+    return sync, asyn, sync_wl, async_wl
+
+
+def test_fig01_headline(benchmark):
+    sync, asyn, sync_wl, async_wl = benchmark.pedantic(run_all, rounds=1,
+                                                       iterations=1)
+
+    w = sync_wl.smooth_window
+    sync_curves = {k: smooth_losses(v.losses, w) for k, v in sync.items()}
+    async_curves = {k: smooth_losses(v.losses, w) for k, v in asyn.items()}
+
+    ticks = [0, 50, 100, 200, 300, sync_wl.steps - 1]
+    print_series("Figure 1 (left): synchronous training loss", ticks,
+                 sync_curves)
+    ticks = [0, 100, 200, 300, 400, async_wl.steps - 1]
+    print_series("Figure 1 (right): asynchronous training loss", ticks,
+                 async_curves)
+
+    yf_speedup, _ = speedup_ratio(sync["Adam"].losses,
+                                  sync["YellowFin"].losses, smooth_window=w)
+    cl_speedup, _ = speedup_ratio(asyn["Adam"].losses,
+                                  asyn["Closed-loop YF"].losses,
+                                  smooth_window=w)
+    cl_vs_open, _ = speedup_ratio(asyn["YellowFin"].losses,
+                                  asyn["Closed-loop YF"].losses,
+                                  smooth_window=w)
+    print(f"\nsync:  YellowFin vs Adam speedup          {yf_speedup:.2f}x")
+    print(f"async: closed-loop YF vs Adam speedup     {cl_speedup:.2f}x")
+    print(f"async: closed-loop vs open-loop YF        {cl_vs_open:.2f}x")
+
+    # Reproduction checks (shape, not absolute numbers):
+    # every run trains; asynchrony slows everyone down, so the async bar
+    # is looser (staleness-15 on a 500-step budget)
+    for name, c in sync_curves.items():
+        assert c[-1] < 0.5 * c[0], f"sync {name} failed to train"
+    for name, c in async_curves.items():
+        assert c[-1] < 0.75 * c[0], f"async {name} failed to train"
+    # the paper's async headline: both YellowFin variants converge in
+    # fewer iterations than Adam under 16-worker asynchrony
+    assert async_curves["Closed-loop YF"][-1] <= \
+        async_curves["Adam"][-1] * 1.02
+    assert async_curves["YellowFin"][-1] <= async_curves["Adam"][-1] * 1.02
+    # closed-loop YF is not slower than open-loop YF (the paper's 20x gap
+    # appears at 30k+ iterations where open-loop destabilizes; at this
+    # scale the two track each other — see EXPERIMENTS.md)
+    assert cl_vs_open >= 0.9

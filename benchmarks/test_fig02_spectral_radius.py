@@ -1,0 +1,51 @@
+"""Figure 2: spectral radius of the momentum operator vs. learning rate.
+
+Paper: for a scalar quadratic with h = 1, plot rho(A_t) over alpha in
+[0, 3] for mu in {0.0, 0.1, 0.3, 0.5}.  The solid plateau at sqrt(mu) is
+the robust region, and it widens as momentum grows.
+"""
+
+import numpy as np
+
+from repro.analysis.operators import momentum_spectral_radius
+from benchmarks.workloads import print_table
+
+MUS = (0.0, 0.1, 0.3, 0.5)
+H = 1.0
+
+
+def compute_curves():
+    alphas = np.linspace(0.05, 3.0, 60)
+    curves = {mu: np.array([momentum_spectral_radius(a, H, mu)
+                            for a in alphas]) for mu in MUS}
+    return alphas, curves
+
+
+def test_fig02_spectral_radius(benchmark):
+    alphas, curves = benchmark.pedantic(compute_curves, rounds=1,
+                                        iterations=1)
+
+    rows = []
+    for alpha in alphas[::6]:
+        i = int(np.argmin(np.abs(alphas - alpha)))
+        rows.append([f"{alpha:.2f}"] + [f"{curves[mu][i]:.4f}" for mu in MUS])
+    print_table("Figure 2: rho(A) vs learning rate (h=1)",
+                ["alpha"] + [f"mu={mu}" for mu in MUS], rows)
+
+    # quantitative reproduction checks -------------------------------
+    for mu in MUS:
+        lo = (1 - np.sqrt(mu)) ** 2 / H
+        hi = (1 + np.sqrt(mu)) ** 2 / H
+        inside = (alphas >= lo + 1e-9) & (alphas <= hi - 1e-9)
+        # plateau at sqrt(mu) inside the robust region
+        np.testing.assert_allclose(curves[mu][inside], np.sqrt(mu),
+                                   atol=1e-6)
+        # strictly above sqrt(mu) outside
+        outside = ~inside
+        assert (curves[mu][outside] > np.sqrt(mu) - 1e-9).all()
+
+    # the plateau widens with momentum (the paper's key visual message)
+    widths = [(1 + np.sqrt(mu)) ** 2 - (1 - np.sqrt(mu)) ** 2 for mu in MUS]
+    assert widths == sorted(widths)
+    print("\nrobust-region widths:",
+          ", ".join(f"mu={mu}: {w:.3f}" for mu, w in zip(MUS, widths)))

@@ -1,0 +1,74 @@
+"""Figure 11 (Appendix J.4): fine-tuning YellowFin with a lr factor.
+
+Paper: multiplying YellowFin's auto-tuned learning rate by a searched
+constant factor (grid {1/3, 0.5, 1, 2, 3, 10}) further improves validation
+metrics on a Tied LSTM (PTB) and a ResNext (CIFAR10), and the searched
+YellowFin beats searched Adam.
+
+Here: a tied-weight LSTM LM on the PTB stand-in; we search a reduced
+factor grid for YellowFin and a lr grid for Adam, and compare validation
+perplexities.
+"""
+
+import numpy as np
+
+from repro.data import SequenceLoader, make_ptb_like
+from repro.models import TiedLSTMLanguageModel
+from repro.nn import LSTM
+from repro.optim import Adam
+from repro.sim import evaluate_lm, train_sync
+from benchmarks.workloads import print_table, steps, yellowfin
+
+STEPS = steps(350)
+YF_FACTORS = (1.0 / 3, 1.0, 3.0)
+ADAM_LRS = (1e-3, 1e-2, 1e-1)
+
+
+def train_tied(make_opt, seed=0):
+    corpus = make_ptb_like(seed=seed, length=6000, vocab_size=120)
+    train_tokens, valid_tokens = corpus.split(0.9)
+    model = TiedLSTMLanguageModel(vocab_size=corpus.vocab_size, embed_dim=24,
+                                  num_layers=2, seed=seed)
+    loader = SequenceLoader(train_tokens, batch_size=8, seq_len=12)
+    state_box = [None]
+
+    def loss_fn():
+        ids, targets = loader.next_batch()
+        loss, new_state = model.loss(ids, targets, state_box[0])
+        state_box[0] = LSTM.detach_state(new_state)
+        return loss
+
+    opt = make_opt(model.parameters())
+    train_sync(model, opt, loss_fn, steps=STEPS)
+    return evaluate_lm(model, valid_tokens, batch_size=4,
+                       seq_len=12)["perplexity"]
+
+
+def run_all():
+    yf_results = {f: train_tied(lambda p, f=f: yellowfin(p, lr_factor=f))
+                  for f in YF_FACTORS}
+    adam_results = {lr: train_tied(lambda p, lr=lr: Adam(p, lr=lr))
+                    for lr in ADAM_LRS}
+    return yf_results, adam_results
+
+
+def test_fig11_lr_factor(benchmark):
+    yf_results, adam_results = benchmark.pedantic(run_all, rounds=1,
+                                                  iterations=1)
+
+    rows = [[f"YellowFin x{f:g}", f"{p:.2f}"] for f, p in yf_results.items()]
+    rows += [[f"Adam lr={lr:g}", f"{p:.2f}"]
+             for lr, p in adam_results.items()]
+    print_table("Figure 11: Tied-LSTM validation perplexity",
+                ["configuration", "val perplexity"], rows)
+
+    yf_default = yf_results[1.0]
+    yf_best = min(yf_results.values())
+    adam_best = min(adam_results.values())
+    print(f"\nYF default {yf_default:.2f} | YF searched {yf_best:.2f} | "
+          f"Adam searched {adam_best:.2f}")
+
+    # searching the lr factor can only help (it includes the default)
+    assert yf_best <= yf_default + 1e-9
+    # paper: searched YellowFin is competitive with searched Adam
+    assert yf_best < 1.3 * adam_best

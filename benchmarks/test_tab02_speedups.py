@@ -1,0 +1,120 @@
+"""Table 2: speedup of tuned momentum SGD and YellowFin over tuned Adam.
+
+Paper (Section 5.1 protocol): Adam and momentum SGD are tuned on
+logarithmic learning-rate grids (momentum fixed at 0.9 for SGD); YellowFin
+runs with no hand tuning.  Speedup is the ratio of iterations needed to
+reach the lowest smoothed loss achieved by both runs.
+
+Paper numbers:            CIFAR10  CIFAR100  PTB    TS     WSJ
+    momentum SGD          1.71x    1.87x     0.88x  2.49x  1.33x
+    YellowFin             1.93x    1.38x     0.77x  3.28x  2.33x
+
+We reproduce the *shape*: momentum SGD and YellowFin are competitive with
+or faster than tuned Adam on most workloads (YellowFin's slow start is a
+visibly larger fraction of these few-hundred-step runs than of the paper's
+20k-120k-step runs, which depresses its ratios).
+"""
+
+import numpy as np
+
+from repro.optim import Adam, MomentumSGD
+from repro.tuning import grid_search, run_workload, speedup_ratio
+from benchmarks.workloads import (cifar10_workload, cifar100_workload,
+                                  print_table, ptb_workload, ts_workload,
+                                  wsj_workload, yellowfin)
+
+SEEDS = (0,)
+
+IMAGE_ADAM_GRID = [1e-3, 1e-2, 1e-1]
+IMAGE_SGD_GRID = [1e-2, 1e-1, 1.0]
+TEXT_ADAM_GRID = [1e-3, 1e-2, 1e-1]
+TEXT_SGD_GRID = [1e-1, 5e-1, 2.0]
+
+PAPER = {
+    "CIFAR10-like ResNet": (1.71, 1.93),
+    "CIFAR100-like ResNet": (1.87, 1.38),
+    "PTB-like word LSTM": (0.88, 0.77),
+    "TS-like char LSTM": (2.49, 3.28),
+    "WSJ-like parsing LSTM": (1.33, 2.33),
+}
+
+
+def run_one(workload, adam_grid, sgd_grid):
+    from repro.analysis.convergence import smooth_losses
+
+    adam = grid_search(workload, lambda p, lr: Adam(p, lr=lr), adam_grid,
+                       "adam", seeds=SEEDS)
+    sgd = grid_search(workload,
+                      lambda p, lr: MomentumSGD(p, lr=lr, momentum=0.9),
+                      sgd_grid, "mom-sgd", seeds=SEEDS)
+    yf = run_workload(workload, lambda p: yellowfin(p), "yf", seeds=SEEDS)
+
+    w = workload.smooth_window
+    sgd_speedup, _ = speedup_ratio(adam.best_run.losses, sgd.best_run.losses,
+                                   smooth_window=w)
+    yf_speedup, _ = speedup_ratio(adam.best_run.losses, yf.losses,
+                                  smooth_window=w)
+    return {
+        "adam_lr": adam.best_lr,
+        "sgd_lr": sgd.best_lr,
+        "sgd_speedup": sgd_speedup,
+        "yf_speedup": yf_speedup,
+        "first_loss": float(smooth_losses(yf.losses, w)[0]),
+        "yf_final": float(smooth_losses(yf.losses, w)[-1]),
+        "adam_final": float(smooth_losses(adam.best_run.losses, w)[-1]),
+    }
+
+
+def run_all():
+    jobs = [
+        (cifar10_workload(500), IMAGE_ADAM_GRID, IMAGE_SGD_GRID),
+        (cifar100_workload(500), IMAGE_ADAM_GRID, IMAGE_SGD_GRID),
+        (ptb_workload(400), TEXT_ADAM_GRID, TEXT_SGD_GRID),
+        (ts_workload(400), TEXT_ADAM_GRID, TEXT_SGD_GRID),
+        (wsj_workload(400), TEXT_ADAM_GRID, TEXT_SGD_GRID),
+    ]
+    return {wl.name: run_one(wl, a, s) for wl, a, s in jobs}
+
+
+def test_tab02_speedups(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, r in results.items():
+        paper_sgd, paper_yf = PAPER[name]
+        rows.append([
+            name, "1x",
+            f"{r['sgd_speedup']:.2f}x (paper {paper_sgd}x)",
+            f"{r['yf_speedup']:.2f}x (paper {paper_yf}x)",
+            f"{r['yf_final']:.4f} / {r['adam_final']:.4f}",
+            f"adam lr={r['adam_lr']:g}, sgd lr={r['sgd_lr']:g}",
+        ])
+    print_table("Table 2: speedup over tuned Adam",
+                ["workload", "Adam", "momentum SGD", "YellowFin",
+                 "final loss YF/Adam", "tuned configs"], rows)
+
+    sgd_speedups = [r["sgd_speedup"] for r in results.values()]
+    yf_speedups = [r["yf_speedup"] for r in results.values()]
+
+    # Shape checks at this scale (see EXPERIMENTS.md for the honest
+    # deviations: YellowFin's slow start and estimator adaptation occupy a
+    # much larger fraction of few-hundred-step runs than of the paper's
+    # 20k-120k-step runs, which depresses iteration-ratio speedups):
+    # (1) tuned momentum SGD beats tuned Adam on at least one workload,
+    #     substantially (the paper's headline momentum-matters claim)
+    assert max(sgd_speedups) > 1.3
+    # (2) YellowFin improves the loss on every workload with zero hand
+    #     tuning, and trains substantially (>= 50% loss reduction) on a
+    #     majority (PTB is its weakest workload in the paper as well:
+    #     0.77x there, slowest here)
+    for name, r in results.items():
+        assert r["yf_final"] < r["first_loss"], \
+            f"YellowFin failed to improve {name}"
+    substantial = sum(r["yf_final"] < 0.5 * r["first_loss"]
+                      for r in results.values())
+    assert substantial >= 3
+    # (3) YellowFin is never catastrophically slower than tuned Adam
+    assert all(s > 0.2 for s in yf_speedups)
+    # (4) and is competitive (>= 0.6x of a grid-tuned optimizer, with zero
+    #     tuning of its own) on several workloads
+    assert sum(s >= 0.6 for s in yf_speedups) >= 2

@@ -1,0 +1,196 @@
+"""Shared scaled-down workload definitions for the benchmark suite.
+
+These are the five evaluation workloads of the paper's Section 5 (Table 2 /
+Figures 5 and 8) rebuilt at laptop scale (see DESIGN.md for the
+substitution rationale):
+
+=============  =============================  ===========================
+paper          here                           builder
+=============  =============================  ===========================
+CIFAR10        synthetic 10-class images      :func:`cifar10_workload`
+               + basic-block ResNet
+CIFAR100       synthetic 100-class images     :func:`cifar100_workload`
+               + bottleneck ResNet
+PTB            word-level Markov corpus       :func:`ptb_workload`
+               + 2-layer LSTM
+TS             char-level Markov corpus       :func:`ts_workload`
+               + 2-layer LSTM
+WSJ            bracketed-treebank LM          :func:`wsj_workload`
+               + 3-layer LSTM
+=============  =============================  ===========================
+
+Scale adjustments (documented in EXPERIMENTS.md): YellowFin's sliding
+window and EMA beta shrink proportionally with run length (the paper uses
+w=20, beta=0.999 against 20k-120k iterations; we run a few hundred), so
+the slow-start fraction and estimator adaptation time stay comparable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.core import ClosedLoopYellowFin, YellowFin
+from repro.data import (BatchLoader, SequenceLoader, make_cifar10_like,
+                        make_cifar100_like, make_ptb_like, make_ts_like,
+                        make_wsj_like)
+from repro.models import (LSTMLanguageModel, make_resnet_cifar10,
+                          make_resnet_cifar100)
+from repro.nn import LSTM
+from repro.tuning import Workload
+
+# Global scale knob: REPRO_BENCH_SCALE=0.25 quarters all step counts for a
+# fast smoke pass of the whole suite.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+# tuner constants scaled for few-hundred-step runs
+YF_WINDOW = 5
+YF_BETA = 0.99
+
+
+def steps(n: int) -> int:
+    return max(20, int(n * SCALE))
+
+
+def yellowfin(params, **kwargs):
+    """YellowFin with bench-scale smoothing constants."""
+    kwargs.setdefault("window", YF_WINDOW)
+    kwargs.setdefault("beta", YF_BETA)
+    return YellowFin(params, **kwargs)
+
+
+def closed_loop_yellowfin(params, staleness: int, **kwargs):
+    kwargs.setdefault("window", YF_WINDOW)
+    kwargs.setdefault("beta", YF_BETA)
+    return ClosedLoopYellowFin(params, staleness=staleness, **kwargs)
+
+
+# ------------------------------------------------------------------ #
+# image workloads
+# ------------------------------------------------------------------ #
+def _image_builder(make_data, make_model) -> Callable:
+    def build(seed: int):
+        data = make_data(seed=seed, train_size=256, size=8)
+        model = make_model(seed=seed)
+        loader = BatchLoader(data.x_train, data.y_train, batch_size=16,
+                             seed=seed)
+
+        def loss_fn():
+            xb, yb = loader.next_batch()
+            return F.cross_entropy(model(xb), yb)
+
+        return model, loss_fn
+
+    return build
+
+
+def cifar10_workload(n_steps: int = 400) -> Workload:
+    return Workload(
+        name="CIFAR10-like ResNet",
+        build=_image_builder(
+            make_cifar10_like,
+            lambda seed: make_resnet_cifar10(width=3, blocks_per_stage=1,
+                                             seed=seed)),
+        steps=steps(n_steps), smooth_window=30)
+
+
+def cifar100_workload(n_steps: int = 400) -> Workload:
+    return Workload(
+        name="CIFAR100-like ResNet",
+        build=_image_builder(
+            make_cifar100_like,
+            lambda seed: make_resnet_cifar100(width=3, blocks_per_stage=1,
+                                              seed=seed)),
+        steps=steps(n_steps), smooth_window=30)
+
+
+# ------------------------------------------------------------------ #
+# text workloads
+# ------------------------------------------------------------------ #
+def _lm_builder(make_corpus, embed_dim, hidden, layers,
+                batch_size=8, seq_len=12) -> Callable:
+    def build(seed: int):
+        corpus = make_corpus(seed)
+        train_tokens, _ = corpus_tokens(corpus)
+        model = LSTMLanguageModel(vocab_size=corpus_vocab(corpus),
+                                  embed_dim=embed_dim, hidden_size=hidden,
+                                  num_layers=layers, seed=seed)
+        loader = SequenceLoader(train_tokens, batch_size=batch_size,
+                                seq_len=seq_len)
+        state_box = [None]
+
+        def loss_fn():
+            ids, targets = loader.next_batch()
+            model.zero_grad()
+            loss, new_state = model.loss(ids, targets, state_box[0])
+            state_box[0] = LSTM.detach_state(new_state)
+            return loss
+
+        return model, loss_fn
+
+    return build
+
+
+def corpus_tokens(corpus) -> Tuple[np.ndarray, np.ndarray]:
+    return corpus.split(0.9)
+
+
+def corpus_vocab(corpus) -> int:
+    return getattr(corpus, "vocab_size", None) or corpus.transitions.shape[0]
+
+
+def ptb_workload(n_steps: int = 300) -> Workload:
+    return Workload(
+        name="PTB-like word LSTM",
+        build=_lm_builder(lambda seed: make_ptb_like(seed=seed, length=6000,
+                                                     vocab_size=120),
+                          embed_dim=16, hidden=32, layers=2),
+        steps=steps(n_steps), smooth_window=25)
+
+
+def ts_workload(n_steps: int = 300) -> Workload:
+    return Workload(
+        name="TS-like char LSTM",
+        build=_lm_builder(lambda seed: make_ts_like(seed=seed, length=6000),
+                          embed_dim=16, hidden=32, layers=2),
+        steps=steps(n_steps), smooth_window=25)
+
+
+def wsj_workload(n_steps: int = 300) -> Workload:
+    return Workload(
+        name="WSJ-like parsing LSTM",
+        build=_lm_builder(lambda seed: make_wsj_like(seed=seed,
+                                                     num_sentences=900),
+                          embed_dim=16, hidden=32, layers=3),
+        steps=steps(n_steps), smooth_window=25)
+
+
+# ------------------------------------------------------------------ #
+# reporting helpers
+# ------------------------------------------------------------------ #
+def print_table(title: str, headers, rows) -> None:
+    """Plain-text table in the paper's style."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def print_series(title: str, checkpoints, series: dict) -> None:
+    """Print named loss curves sampled at checkpoints (a text 'figure')."""
+    headers = ["iteration"] + list(series)
+    rows = []
+    for t in checkpoints:
+        row = [t]
+        for vals in series.values():
+            idx = min(t, len(vals) - 1)
+            row.append(f"{vals[idx]:.4f}")
+        rows.append(row)
+    print_table(title, headers, rows)

@@ -1,0 +1,100 @@
+"""Production niceties: checkpoint/resume and sharded async training.
+
+1. Trains a classifier with YellowFin, checkpoints the optimizer state
+   (including the tuner's estimator state) mid-run, and shows that the
+   resumed run continues bit-for-bit identically.
+2. Runs the same model on a 4-worker parameter-server simulation where
+   each worker owns its own data shard.
+
+Run:
+
+    python examples/checkpoint_and_shard.py
+"""
+
+import numpy as np
+
+from repro import YellowFin, nn
+from repro.autograd import Tensor, functional as F
+from repro.optim import MomentumSGD
+from repro.sim import ParameterServer
+
+
+def make_model(seed=0):
+    return nn.Sequential(nn.Linear(4, 16, seed=seed), nn.ReLU(),
+                         nn.Linear(16, 2, seed=seed + 1))
+
+
+def checkpoint_demo():
+    print("=" * 60)
+    print("1. Checkpoint / resume")
+    print("=" * 60)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 4))
+    y = (x[:, 0] - x[:, 3] > 0).astype(int)
+
+    def train(model, opt, start, stop):
+        for _ in range(start, stop):
+            model.zero_grad()
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        return float(loss.data)
+
+    # reference: 100 uninterrupted steps
+    model_ref = make_model()
+    opt_ref = YellowFin(model_ref.parameters(), window=5, beta=0.99)
+    final_ref = train(model_ref, opt_ref, 0, 100)
+
+    # checkpointed: 50 steps, save, restore into fresh objects, 50 more
+    model_a = make_model()
+    opt_a = YellowFin(model_a.parameters(), window=5, beta=0.99)
+    train(model_a, opt_a, 0, 50)
+    model_state = model_a.state_dict()
+    opt_state = opt_a.state_dict()
+
+    model_b = make_model(seed=99)            # different init, then restored
+    model_b.load_state_dict(model_state)
+    opt_b = YellowFin(model_b.parameters(), window=5, beta=0.99)
+    opt_b.load_state_dict(opt_state)
+    final_resumed = train(model_b, opt_b, 50, 100)
+
+    drift = max(np.abs(pa.data - pb.data).max() for pa, pb in
+                zip(model_ref.parameters(), model_b.parameters()))
+    print(f"  final loss: uninterrupted {final_ref:.6f}, "
+          f"resumed {final_resumed:.6f}")
+    print(f"  max parameter drift after resume: {drift:.2e} "
+          f"(bit-for-bit: {drift == 0.0})")
+
+
+def shard_demo():
+    print("\n" + "=" * 60)
+    print("2. Sharded parameter-server training (4 workers)")
+    print("=" * 60)
+    rng = np.random.default_rng(1)
+    model = make_model()
+    loss_fns = []
+    for w in range(4):
+        x = rng.normal(size=(64, 4))
+        y = (x[:, 0] - x[:, 3] > 0).astype(int)
+        local = np.random.default_rng(100 + w)
+
+        def loss_fn(x=x, y=y, local=local):
+            idx = local.integers(0, len(x), size=16)
+            return F.cross_entropy(model(Tensor(x[idx])), y[idx])
+
+        loss_fns.append(loss_fn)
+
+    opt = MomentumSGD(model.parameters(), lr=0.1, momentum=0.5)
+    server = ParameterServer(model, opt, loss_fns, schedule="round_robin")
+    log = server.run(steps=300)
+    losses = log.series("loss")
+    staleness = log.series("staleness")
+    print(f"  loss {losses[:20].mean():.4f} -> {losses[-20:].mean():.4f} "
+          f"over {len(losses)} applied updates")
+    print(f"  gradient staleness: median {np.median(staleness):.0f} steps "
+          f"(round-robin with 4 workers)")
+
+
+if __name__ == "__main__":
+    checkpoint_demo()
+    shard_demo()

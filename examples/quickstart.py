@@ -1,0 +1,75 @@
+"""Quickstart: YellowFin as a drop-in, tuning-free optimizer.
+
+Trains a small MLP classifier three ways — YellowFin (no hyperparameters),
+hand-tuned momentum SGD, and Adam — and prints the loss trajectories side
+by side.  Run:
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Adam, MomentumSGD, YellowFin, nn
+from repro.autograd import Tensor, functional as F
+
+
+def make_data(seed: int = 0, n: int = 256):
+    """Two-moons-ish binary problem: nonlinear, noisy, learnable."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] ** 2 + x[:, 1]) > 0.5).astype(int)
+    x += 0.1 * rng.normal(size=x.shape)
+    return x, y
+
+
+def make_model(seed: int = 0) -> nn.Module:
+    return nn.Sequential(
+        nn.Linear(2, 32, seed=seed), nn.ReLU(),
+        nn.Linear(32, 32, seed=seed + 1), nn.ReLU(),
+        nn.Linear(32, 2, seed=seed + 2))
+
+
+def train(optimizer_name: str, steps: int = 300):
+    x, y = make_data()
+    model = make_model()
+    if optimizer_name == "yellowfin":
+        opt = YellowFin(model.parameters())           # zero knobs
+    elif optimizer_name == "momentum_sgd":
+        opt = MomentumSGD(model.parameters(), lr=0.1, momentum=0.9)
+    elif optimizer_name == "adam":
+        opt = Adam(model.parameters(), lr=0.01)
+    else:
+        raise ValueError(optimizer_name)
+
+    losses = []
+    for step in range(steps):
+        model.zero_grad()
+        loss = F.cross_entropy(model(Tensor(x)), y)
+        loss.backward()
+        opt.step()
+        losses.append(float(loss.data))
+    return losses, opt
+
+
+def main():
+    steps = 300
+    results = {}
+    for name in ("yellowfin", "momentum_sgd", "adam"):
+        losses, opt = train(name, steps)
+        results[name] = losses
+        extra = ""
+        if isinstance(opt, YellowFin):
+            stats = opt.stats()
+            extra = (f"  [auto-tuned lr={stats['lr']:.4f}, "
+                     f"momentum={stats['momentum']:.4f}]")
+        print(f"{name:>14}: loss {losses[0]:.4f} -> {losses[-1]:.4f}{extra}")
+
+    print("\nloss at checkpoints (iteration: yellowfin / momentum_sgd / adam)")
+    for step in (0, 50, 100, 200, steps - 1):
+        row = " / ".join(f"{results[n][step]:.4f}"
+                         for n in ("yellowfin", "momentum_sgd", "adam"))
+        print(f"  iter {step:>4}: {row}")
+
+
+if __name__ == "__main__":
+    main()

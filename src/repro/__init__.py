@@ -1,0 +1,42 @@
+"""repro: reproduction of "YellowFin and the Art of Momentum Tuning"
+(Zhang & Mitliagkas, MLSYS 2019).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import YellowFin, nn
+>>> from repro.autograd import Tensor, functional as F
+>>> model = nn.Sequential(nn.Linear(4, 16, seed=0), nn.ReLU(),
+...                       nn.Linear(16, 2, seed=1))
+>>> opt = YellowFin(model.parameters())
+>>> x, y = np.random.randn(32, 4), np.random.randint(0, 2, 32)
+>>> for _ in range(10):
+...     model.zero_grad()
+...     loss = F.cross_entropy(model(Tensor(x)), y)
+...     loss.backward()
+...     opt.step()
+
+Package layout
+--------------
+- ``repro.core`` — YellowFin, closed-loop YellowFin, measurement oracles.
+- ``repro.autograd`` / ``repro.nn`` — the NumPy deep-learning substrate.
+- ``repro.optim`` — SGD / momentum SGD / Adam / AdaGrad / RMSProp baselines.
+- ``repro.analysis`` — momentum-operator theory (Lemmas 3/5/6), speedups.
+- ``repro.data`` / ``repro.models`` — the paper's workloads at laptop scale.
+- ``repro.sim`` — synchronous trainer and the 16-worker async simulator.
+- ``repro.tuning`` — grid search and multi-seed experiment harness.
+"""
+
+from repro import analysis, autograd, core, data, models, nn, optim, sim, \
+    tuning, utils
+from repro.core import ClosedLoopYellowFin, YellowFin
+from repro.optim import Adam, AdaGrad, MomentumSGD, RMSProp, SGD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "autograd", "core", "data", "models", "nn", "optim", "sim",
+    "tuning", "utils",
+    "YellowFin", "ClosedLoopYellowFin",
+    "SGD", "MomentumSGD", "Adam", "AdaGrad", "RMSProp",
+]

@@ -1,0 +1,33 @@
+"""Momentum-dynamics analysis: the paper's Section 2 / Appendices A-D.
+
+Spectral radii of the bias and variance operators, the robust region,
+generalized condition numbers, the exact quadratic MSE recursion of
+Lemma 5, and empirical convergence-rate fitting.
+"""
+
+from repro.analysis.operators import (momentum_operator, variance_operator,
+                                      spectral_radius,
+                                      momentum_spectral_radius,
+                                      variance_spectral_radius)
+from repro.analysis.robust_region import (in_robust_region, robust_lr_range,
+                                          optimal_momentum,
+                                          generalized_condition_number,
+                                          tune_noiseless)
+from repro.analysis.quadratic import (NoisyQuadratic, exact_expected_sq_dist,
+                                      surrogate_expected_sq_dist,
+                                      run_momentum_gd)
+from repro.analysis.convergence import (smooth_losses, fit_linear_rate,
+                                        iterations_to_loss, speedup_ratio)
+from repro.analysis.sensitivity import (SensitivityCurve, lr_sensitivity,
+                                        robustness_gain)
+
+__all__ = [
+    "momentum_operator", "variance_operator", "spectral_radius",
+    "momentum_spectral_radius", "variance_spectral_radius",
+    "in_robust_region", "robust_lr_range", "optimal_momentum",
+    "generalized_condition_number", "tune_noiseless",
+    "NoisyQuadratic", "exact_expected_sq_dist", "surrogate_expected_sq_dist",
+    "run_momentum_gd",
+    "smooth_losses", "fit_linear_rate", "iterations_to_loss", "speedup_ratio",
+    "SensitivityCurve", "lr_sensitivity", "robustness_gain",
+]

@@ -1,0 +1,77 @@
+"""Empirical convergence measurement and the paper's speedup metric.
+
+Section 5.1 protocol: smooth training losses with a uniform window, find
+the lowest smoothed loss achieved by *both* algorithms, and report the
+ratio of iterations each needs to reach it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def smooth_losses(losses: Sequence[float], window: int = 1000) -> np.ndarray:
+    """Uniform moving average with a growing head (no leading NaNs)."""
+    losses = np.asarray(losses, dtype=float)
+    if losses.ndim != 1:
+        raise ValueError("losses must be 1-D")
+    if window <= 1 or losses.size == 0:
+        return losses.copy()
+    window = min(window, losses.size)
+    cumsum = np.cumsum(np.concatenate([[0.0], losses]))
+    out = np.empty_like(losses)
+    # growing head: average of everything so far
+    head = min(window, losses.size)
+    idx = np.arange(1, head + 1)
+    out[:head] = cumsum[idx] / idx
+    if losses.size > window:
+        out[window:] = (cumsum[window + 1:] - cumsum[1:-window]) / window
+    return out
+
+
+def fit_linear_rate(distances: Sequence[float], burn_in: int = 0,
+                    floor: float = 1e-14) -> float:
+    """Least-squares fit of ``beta`` in ``dist_t ~ dist_0 * beta^t``.
+
+    Used to verify the sqrt(mu) linear convergence of Fig. 3(b-d); values
+    at or below ``floor`` (numerical zero) are excluded.
+    """
+    d = np.asarray(distances, dtype=float)[burn_in:]
+    t = np.arange(d.size, dtype=float)
+    mask = d > floor
+    if mask.sum() < 2:
+        raise ValueError("not enough positive distances to fit a rate")
+    slope = np.polyfit(t[mask], np.log(d[mask]), 1)[0]
+    return float(np.exp(slope))
+
+
+def iterations_to_loss(losses: Sequence[float], target: float,
+                       smooth_window: int = 0) -> Optional[int]:
+    """First iteration whose (smoothed) loss is at or below ``target``."""
+    series = smooth_losses(losses, smooth_window) if smooth_window > 1 \
+        else np.asarray(losses, dtype=float)
+    hits = np.nonzero(series <= target)[0]
+    return int(hits[0]) if hits.size else None
+
+
+def speedup_ratio(baseline_losses: Sequence[float],
+                  candidate_losses: Sequence[float],
+                  smooth_window: int = 0) -> Tuple[float, float]:
+    """The paper's Table 2 metric.
+
+    Returns ``(speedup, common_loss)``: the lowest smoothed loss achieved
+    by both runs, and ``iters_baseline / iters_candidate`` to first reach
+    it (>1 means the candidate is faster than the baseline).
+    """
+    base = smooth_losses(baseline_losses, smooth_window) \
+        if smooth_window > 1 else np.asarray(baseline_losses, dtype=float)
+    cand = smooth_losses(candidate_losses, smooth_window) \
+        if smooth_window > 1 else np.asarray(candidate_losses, dtype=float)
+    if base.size == 0 or cand.size == 0:
+        raise ValueError("both loss curves must be non-empty")
+    common = max(base.min(), cand.min())
+    iters_base = np.nonzero(base <= common)[0][0] + 1
+    iters_cand = np.nonzero(cand <= common)[0][0] + 1
+    return float(iters_base) / float(iters_cand), float(common)

@@ -1,0 +1,55 @@
+"""Momentum bias/variance operators and their spectral radii.
+
+The momentum update on a scalar quadratic with curvature ``h`` is the
+linear system (paper eq. 4-5)
+
+    [x_{t+1} - x*]   [1 - a h + mu   -mu] [x_t     - x*]
+    [x_t     - x*] = [1               0 ] [x_{t-1} - x*],
+
+whose matrix is :func:`momentum_operator` ``A``.  Lemma 3: inside the
+robust region ``(1-sqrt(mu))^2 <= a h <= (1+sqrt(mu))^2`` the spectral
+radius is exactly ``sqrt(mu)``.  The second-moment dynamics use the 3x3
+operator ``B`` of eq. (12); Lemma 6 gives ``rho(B) = mu`` under the same
+condition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def momentum_operator(lr: float, curvature: float, momentum: float
+                      ) -> np.ndarray:
+    """The 2x2 bias operator ``A`` of eq. (5)."""
+    return np.array([
+        [1.0 - lr * curvature + momentum, -momentum],
+        [1.0, 0.0],
+    ])
+
+
+def variance_operator(lr: float, curvature: float, momentum: float
+                      ) -> np.ndarray:
+    """The 3x3 variance operator ``B`` of eq. (12)."""
+    m = 1.0 - lr * curvature + momentum
+    return np.array([
+        [m * m, momentum * momentum, -2.0 * momentum * m],
+        [1.0, 0.0, 0.0],
+        [m, 0.0, -momentum],
+    ])
+
+
+def spectral_radius(matrix: np.ndarray) -> float:
+    """Magnitude of the largest eigenvalue."""
+    return float(np.max(np.abs(np.linalg.eigvals(matrix))))
+
+
+def momentum_spectral_radius(lr: float, curvature: float, momentum: float
+                             ) -> float:
+    """``rho(A)`` — numerically, for any hyperparameters (Fig. 2)."""
+    return spectral_radius(momentum_operator(lr, curvature, momentum))
+
+
+def variance_spectral_radius(lr: float, curvature: float, momentum: float
+                             ) -> float:
+    """``rho(B)`` — numerically, for any hyperparameters."""
+    return spectral_radius(variance_operator(lr, curvature, momentum))

@@ -1,0 +1,139 @@
+"""The noisy quadratic model (eq. 10) and the Lemma 5 exact MSE recursion.
+
+``f(x) = (h/2) x^2 + C`` seen through minibatch gradients with variance
+``C``.  Lemma 5 gives the exact expected squared distance to the optimum
+after ``t`` steps of momentum SGD:
+
+    E (x_{t+1} - x*)^2 = (e1^T A^t [x1 - x*, x0 - x*]^T)^2
+                         + lr^2 C e1^T (I - B^t)(I - B)^{-1} e1,
+
+with ``A``/``B`` the operators of :mod:`repro.analysis.operators`.  The
+asymptotic surrogate (eq. 13/14) replaces operator powers by spectral
+radii; in the robust region it reduces to
+
+    E ... ~= mu^t (x0 - x*)^2 + (1 - mu^t) lr^2 C / (1 - mu).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.operators import (momentum_operator,
+                                      momentum_spectral_radius,
+                                      variance_operator,
+                                      variance_spectral_radius)
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class NoisyQuadratic:
+    """Scalar quadratic observed through noisy gradients.
+
+    Parameters
+    ----------
+    curvature:
+        ``h`` in eq. (10).
+    noise_var:
+        Gradient variance ``C``.
+    optimum:
+        Location of ``x*`` (eq. 10 centers it at 0).
+    """
+
+    curvature: float = 1.0
+    noise_var: float = 0.0
+    optimum: float = 0.0
+
+    def gradient(self, x: float, rng: Optional[np.random.Generator] = None
+                 ) -> float:
+        """Full gradient plus, if an rng is given, mean-zero noise of
+        variance ``noise_var`` (the SGD minibatch model)."""
+        g = self.curvature * (x - self.optimum)
+        if rng is not None and self.noise_var > 0:
+            g += rng.normal(0.0, np.sqrt(self.noise_var))
+        return float(g)
+
+    def loss(self, x: float) -> float:
+        return 0.5 * self.curvature * (x - self.optimum) ** 2
+
+
+def run_momentum_gd(objective: NoisyQuadratic, x0: float, lr: float,
+                    momentum: float, steps: int,
+                    rng: Optional[np.random.Generator] = None,
+                    seed=None) -> np.ndarray:
+    """Momentum SGD trajectory on a scalar quadratic; returns iterates.
+
+    The first two iterates are both ``x0`` (the paper sets ``x1 = x0``).
+    """
+    if rng is None and seed is not None:
+        rng = new_rng(seed)
+    xs = np.empty(steps + 1)
+    xs[0] = x0
+    x_prev, x = x0, x0
+    for t in range(steps):
+        g = objective.gradient(x, rng)
+        x_next = x - lr * g + momentum * (x - x_prev)
+        x_prev, x = x, x_next
+        xs[t + 1] = x
+    return xs
+
+
+def exact_expected_sq_dist(objective: NoisyQuadratic, x0: float, lr: float,
+                           momentum: float, steps: int) -> np.ndarray:
+    """Lemma 5: exact ``E (x_t - x*)^2`` for ``t = 0 .. steps``.
+
+    Computed by running the bias recursion with operator ``A`` and the
+    variance recursion with operator ``B`` (Lemma 9) — numerically stable
+    for any hyperparameters (no matrix inversion needed).
+    """
+    h, c_var = objective.curvature, objective.noise_var
+    a_op = momentum_operator(lr, h, momentum)
+    b_op = variance_operator(lr, h, momentum)
+
+    out = np.empty(steps + 1)
+    dx0 = x0 - objective.optimum
+    bias_state = np.array([dx0, dx0])     # [x_t - x*, x_{t-1} - x*] means
+    var_state = np.zeros(3)               # [U_t, U_{t-1}, V_t]
+    noise_inject = np.array([lr * lr * c_var, 0.0, 0.0])
+
+    out[0] = dx0 ** 2
+    for t in range(steps):
+        bias_state = a_op @ bias_state
+        var_state = b_op @ var_state + noise_inject
+        out[t + 1] = bias_state[0] ** 2 + var_state[0]
+    return out
+
+
+def surrogate_expected_sq_dist(objective: NoisyQuadratic, x0: float,
+                               lr: float, momentum: float, steps: int,
+                               robust_form: bool = False) -> np.ndarray:
+    """The asymptotic surrogate of eq. (13), or its robust-region form (14).
+
+    With ``robust_form=True``, uses ``rho(A) = sqrt(mu)`` and
+    ``rho(B) = mu`` (valid only inside the robust region); otherwise uses
+    the numerically-computed spectral radii.
+    """
+    h, c_var = objective.curvature, objective.noise_var
+    if robust_form:
+        rho_a = np.sqrt(momentum)
+        rho_b = momentum
+    else:
+        rho_a = momentum_spectral_radius(lr, h, momentum)
+        rho_b = variance_spectral_radius(lr, h, momentum)
+    t = np.arange(steps + 1, dtype=float)
+    dx0 = x0 - objective.optimum
+    bias = rho_a ** (2 * t) * dx0 ** 2
+    if rho_b >= 1.0:
+        variance = np.full_like(t, np.inf)
+        variance[0] = 0.0
+    else:
+        variance = (1.0 - rho_b ** t) * lr * lr * c_var / (1.0 - rho_b)
+    return bias + variance
+
+
+def one_step_surrogate(momentum: float, lr: float, dist_sq: float,
+                       grad_var: float) -> float:
+    """The SingleStep objective value ``mu D^2 + lr^2 C`` (eq. 15)."""
+    return momentum * dist_sq + lr * lr * grad_var

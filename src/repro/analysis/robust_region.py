@@ -1,0 +1,78 @@
+"""The robust region (Lemma 3) and the noiseless tuning rule (eq. 9).
+
+A hyperparameter pair ``(lr, mu)`` is *robust* for curvature ``h`` when
+
+    (1 - sqrt(mu))^2 <= lr * h <= (1 + sqrt(mu))^2,
+
+which pins the spectral radius of the momentum operator at ``sqrt(mu)``
+regardless of ``lr`` and ``h`` — the insight behind YellowFin's design.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+def in_robust_region(lr: float, curvature: float, momentum: float,
+                     tol: float = 1e-12) -> bool:
+    """Test membership of ``(lr, mu)`` in the robust region for ``h``."""
+    if momentum < 0.0:
+        return False
+    s = math.sqrt(momentum)
+    product = lr * curvature
+    return (1.0 - s) ** 2 - tol <= product <= (1.0 + s) ** 2 + tol
+
+
+def robust_lr_range(curvature: float, momentum: float) -> Tuple[float, float]:
+    """Learning-rate interval achieving spectral radius ``sqrt(mu)`` (eq. 7)."""
+    if curvature <= 0:
+        raise ValueError(f"curvature must be positive, got {curvature}")
+    s = math.sqrt(momentum)
+    return ((1.0 - s) ** 2 / curvature, (1.0 + s) ** 2 / curvature)
+
+
+def optimal_momentum(condition_number: float) -> float:
+    """``mu* = ((sqrt(kappa) - 1)/(sqrt(kappa) + 1))^2`` (eq. 2)."""
+    if condition_number < 1.0:
+        raise ValueError(f"condition number must be >= 1, got {condition_number}")
+    s = math.sqrt(condition_number)
+    return ((s - 1.0) / (s + 1.0)) ** 2
+
+
+def generalized_condition_number(curvature_fn: Callable[[np.ndarray], np.ndarray],
+                                 domain: np.ndarray) -> float:
+    """GCN ``nu`` (Definition 4): dynamic range of generalized curvature."""
+    h = np.asarray(curvature_fn(np.asarray(domain)), dtype=float)
+    h = h[np.isfinite(h)]
+    if h.size == 0 or (h <= 0).any():
+        raise ValueError("generalized curvature must be positive on the domain")
+    return float(h.max() / h.min())
+
+
+def tune_noiseless(h_min: float, h_max: float,
+                   margin: float = 0.0) -> Tuple[float, float]:
+    """The noiseless tuning rule (eq. 9): smallest robust ``mu`` and its lr.
+
+    Returns ``(mu, lr)`` with ``mu = mu*(GCN)`` and
+    ``lr = (1 - sqrt(mu))^2 / h_min``, the unique learning rate placing both
+    extremal curvatures inside the robust region when ``mu = mu*``.
+
+    ``margin`` optionally inflates ``mu`` by a relative factor (still
+    satisfying the rule's ``mu >= mu*``).  At exactly ``mu*`` both extremal
+    curvatures sit on the *edges* of the robust region, where the momentum
+    operator is defective and compositions of different-curvature operators
+    can resonate instead of contracting (the paper's own caveat that
+    homogeneous spectral radii do not guarantee the product's norm); a few
+    percent of margin restores the empirical ``sqrt(mu)`` rate.
+    """
+    if h_min <= 0 or h_max < h_min:
+        raise ValueError(f"need 0 < h_min <= h_max, got ({h_min}, {h_max})")
+    if margin < 0:
+        raise ValueError(f"margin must be >= 0, got {margin}")
+    mu = optimal_momentum(h_max / h_min)
+    mu = min(mu * (1.0 + margin), 1.0 - 1e-9)
+    lr = (1.0 - math.sqrt(mu)) ** 2 / h_min
+    return mu, lr

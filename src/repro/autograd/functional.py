@@ -1,0 +1,264 @@
+"""Neural-network operations built on :class:`~repro.autograd.tensor.Tensor`.
+
+Everything is expressed with vectorized NumPy (im2col for convolution), per
+the ml-systems guide: no per-element Python loops on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+# --------------------------------------------------------------------- #
+# activations / softmax family
+# --------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    softmax_data = np.exp(out_data)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return g - softmax_data * g.sum(axis=axis, keepdims=True)
+
+    return Tensor._make(out_data, [(x, grad_fn)])
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` ``(N, C)`` and integer ``targets`` ``(N,)``.
+
+    This is the negative log-probability objective YellowFin's measurement
+    functions assume (Section 3.2: Fisher information approximates the
+    Hessian for such losses).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got shape {logits.shape}")
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(n), targets]
+    if reduction == "mean":
+        return -picked.mean()
+    if reduction == "sum":
+        return -picked.sum()
+    if reduction == "none":
+        return -picked
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+    return x * Tensor(mask)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    mask = x.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    return Tensor._make(x.data * scale, [(x, lambda g: g * scale)])
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))``, computed stably."""
+    out = np.logaddexp(0.0, x.data)
+    sig = 1.0 / (1.0 + np.exp(-x.data))
+    return Tensor._make(out, [(x, lambda g: g * sig)])
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(inner)
+    out = 0.5 * x.data * (1.0 + t)
+    # d/dx [0.5 x (1 + tanh(u(x)))] with u' = c (1 + 3*0.044715 x^2)
+    du = c * (1.0 + 3 * 0.044715 * x.data ** 2)
+    grad_local = 0.5 * (1.0 + t) + 0.5 * x.data * (1.0 - t * t) * du
+    return Tensor._make(out, [(x, lambda g: g * grad_local)])
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing (spatial) dims of an NCHW tensor."""
+    if padding < 0:
+        raise ValueError("padding must be >= 0")
+    if padding == 0:
+        return x
+    p = padding
+    out = np.pad(x.data, ((0, 0), (0, 0), (p, p), (p, p)))
+    return Tensor._make(out, [(x, lambda g: g[:, :, p:-p, p:-p])])
+
+
+def split(x: Tensor, sections: int, axis: int = 0) -> list:
+    """Differentiable ``np.split`` into equal sections."""
+    size = x.shape[axis]
+    if size % sections:
+        raise ValueError(f"axis size {size} not divisible by {sections}")
+    width = size // sections
+    outs = []
+    for i in range(sections):
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(i * width, (i + 1) * width)
+        outs.append(x[tuple(index)])
+    return outs
+
+
+# --------------------------------------------------------------------- #
+# convolution (im2col) and pooling
+# --------------------------------------------------------------------- #
+def _im2col_indices(x_shape: Tuple[int, int, int, int], kh: int, kw: int,
+                    stride: int, pad: int):
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution, NCHW layout.
+
+    Parameters
+    ----------
+    x: ``(N, C_in, H, W)``
+    weight: ``(C_out, C_in, KH, KW)``
+    bias: ``(C_out,)`` or None
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in} vs weight {c_in_w}")
+
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, padding)
+    x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding),
+                               (padding, padding)))
+    cols = x_padded[:, k, i, j]                        # (N, C*KH*KW, OH*OW)
+    w_mat = weight.data.reshape(c_out, -1)             # (C_out, C*KH*KW)
+    out = np.einsum("of,nfl->nol", w_mat, cols)        # (N, C_out, OH*OW)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    padded_shape = x_padded.shape
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, c_out, -1)                    # (N, C_out, L)
+        dcols = np.einsum("of,nol->nfl", w_mat, g_mat)     # (N, F, L)
+        dx_padded = np.zeros(padded_shape, dtype=np.float64)
+        np.add.at(dx_padded, (slice(None), k, i, j), dcols)
+        if padding:
+            return dx_padded[:, :, padding:-padding, padding:-padding]
+        return dx_padded
+
+    def grad_w(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, c_out, -1)
+        dw = np.einsum("nol,nfl->of", g_mat, cols)
+        return dw.reshape(weight.shape)
+
+    parents = [(x, grad_x), (weight, grad_w)]
+    if bias is not None:
+        parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
+    return Tensor._make(out, parents)
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Average pooling with stride == kernel (used for ResNet downsampling)."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    view = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out = view.mean(axis=(3, 5))
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        g_expanded = g[:, :, :, None, :, None] / (kernel * kernel)
+        return np.broadcast_to(
+            g_expanded, (n, c, oh, kernel, ow, kernel)).reshape(n, c, h, w)
+
+    return Tensor._make(out, [(x, grad_fn)])
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dimensions: ``(N, C, H, W) -> (N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def max_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Max pooling with stride == kernel."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    view = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out = view.max(axis=(3, 5))
+    mask = view == out[:, :, :, None, :, None]
+    counts = mask.sum(axis=(3, 5), keepdims=True)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        spread = mask * (g[:, :, :, None, :, None] / counts)
+        return spread.reshape(n, c, h, w)
+
+    return Tensor._make(out, [(x, grad_fn)])
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``weight[indices]`` with scatter-add backward."""
+    indices = np.asarray(indices)
+    out = weight.data[indices]
+    shape = weight.shape
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        dw = np.zeros(shape, dtype=np.float64)
+        np.add.at(dw, indices.reshape(-1),
+                  g.reshape(-1, shape[1]))
+        return dw
+
+    return Tensor._make(out, [(weight, grad_fn)])
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` matching ``torch.nn.functional.linear``."""
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out

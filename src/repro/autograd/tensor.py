@@ -1,0 +1,431 @@
+"""The :class:`Tensor` type: a NumPy array plus a reverse-mode tape.
+
+Design notes
+------------
+Each differentiable operation builds a small closure list mapping parent
+tensors to functions that transform the output gradient into a parent
+gradient contribution.  ``backward`` runs a topological sort of the recorded
+graph and accumulates gradients.  Broadcasting is handled once, in
+:func:`unbroadcast`, so individual ops can assume NumPy semantics.
+
+The engine is intentionally eager and simple (the scikit-learn performance
+guide's advice: vectorized NumPy first, optimize only proven hotspots).  All
+heavy math is delegated to BLAS via ``np.matmul``/``np.einsum``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (evaluation mode)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    arr = np.asarray(value)
+    if arr.dtype.kind in "fc":
+        return arr.astype(dtype, copy=False)
+    if arr.dtype.kind in "iub":
+        return arr  # keep integer tensors (indices, targets) as-is
+    raise TypeError(f"unsupported dtype {arr.dtype}")
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array contents; floats are stored as ``float64`` for gradient-check
+        fidelity (models can still be small enough for this to be fast).
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fns", "_parents", "name")
+    __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward_fns: List[Callable[[np.ndarray], np.ndarray]] = []
+        self._parents: List["Tensor"] = []
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray,
+              parents: Sequence[Tuple["Tensor", Callable[[np.ndarray], np.ndarray]]]
+              ) -> "Tensor":
+        """Create an op output, wiring backward closures for grad parents."""
+        needs = _GRAD_ENABLED and any(p.requires_grad for p, _ in parents)
+        out = Tensor(data, requires_grad=needs)
+        if needs:
+            for parent, fn in parents:
+                if parent.requires_grad:
+                    out._parents.append(parent)
+                    out._backward_fns.append(fn)
+        return out
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Accumulate ``d(self)/d(leaf)`` into every reachable leaf's ``grad``.
+
+        ``grad`` defaults to 1 and must match ``self.shape``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar outputs")
+            grad = np.ones_like(self.data, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen.add(id(node))
+            while stack:
+                cur, it = stack[-1]
+                advanced = False
+                for parent in it:
+                    if id(parent) not in seen:
+                        seen.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    topo.append(cur)
+                    stack.pop()
+
+        visit(self)
+
+        grads = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if not node._parents:  # leaf
+                node.grad = g if node.grad is None else node.grad + g
+                continue
+            for parent, fn in zip(node._parents, node._backward_fns):
+                contribution = fn(g)
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+            # interior nodes with requires_grad keep their grad too if they
+            # are also leaves elsewhere; we only store at true leaves to
+            # bound memory.
+        # store grads for interior tensors explicitly marked as leaves
+        # (handled above: a leaf is a node without parents).
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor._make(
+            self.data + other.data,
+            [(self, lambda g: unbroadcast(g, self.shape)),
+             (other, lambda g: unbroadcast(g, other.shape))])
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, [(self, lambda g: -g)])
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor._make(
+            self.data * other.data,
+            [(self, lambda g: unbroadcast(g * other.data, self.shape)),
+             (other, lambda g: unbroadcast(g * self.data, other.shape))])
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor._make(
+            self.data / other.data,
+            [(self, lambda g: unbroadcast(g / other.data, self.shape)),
+             (other, lambda g: unbroadcast(-g * self.data / other.data ** 2,
+                                           other.shape))])
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        return Tensor._make(
+            self.data ** exponent,
+            [(self, lambda g: g * exponent * self.data ** (exponent - 1))])
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self.data, other.data
+
+        def grad_a(g: np.ndarray) -> np.ndarray:
+            if b.ndim == 1:
+                ga = np.multiply.outer(g, b) if a.ndim > 1 else g * b
+            elif a.ndim == 1:
+                ga = g @ np.swapaxes(b, -1, -2)
+            else:
+                ga = g @ np.swapaxes(b, -1, -2)
+            return unbroadcast(ga.reshape(a.shape) if ga.shape != a.shape and ga.size == a.size else ga, a.shape)
+
+        def grad_b(g: np.ndarray) -> np.ndarray:
+            if a.ndim == 1:
+                gb = np.multiply.outer(a, g) if b.ndim > 1 else a * g
+            elif b.ndim == 1:
+                gb = np.swapaxes(a, -1, -2) @ g
+            else:
+                gb = np.swapaxes(a, -1, -2) @ g
+            return unbroadcast(gb.reshape(b.shape) if gb.shape != b.shape and gb.size == b.size else gb, b.shape)
+
+        return Tensor._make(a @ b, [(self, grad_a), (other, grad_b)])
+
+    def __rmatmul__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__matmul__(self)
+
+    # comparisons produce plain boolean arrays (non-differentiable)
+    def __gt__(self, other):  # pragma: no cover - trivial
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):  # pragma: no cover - trivial
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    # ------------------------------------------------------------------ #
+    # shape ops
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        return Tensor._make(self.data.reshape(shape),
+                            [(self, lambda g: g.reshape(original))])
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t: Optional[Tuple[int, ...]] = tuple(axes) if axes else None
+        if axes_t is None:
+            inverse = None
+        else:
+            inverse = tuple(np.argsort(axes_t))
+        return Tensor._make(
+            self.data.transpose(axes_t),
+            [(self, lambda g: g.transpose(inverse))])
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.shape
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            out = np.zeros(shape, dtype=np.float64)
+            np.add.at(out, index, g)
+            return out
+
+        return Tensor._make(data, [(self, grad_fn)])
+
+    # ------------------------------------------------------------------ #
+    # reductions & elementwise math
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        shape = self.shape
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                return np.broadcast_to(g, shape).copy() if np.ndim(g) else np.full(shape, g)
+            gg = g
+            if not keepdims:
+                gg = np.expand_dims(g, axis)
+            return np.broadcast_to(gg, shape).copy()
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
+                            [(self, grad_fn)])
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        return Tensor._make(out_data, [(self, lambda g: g * out_data)])
+
+    def log(self) -> "Tensor":
+        return Tensor._make(np.log(self.data),
+                            [(self, lambda g: g / self.data)])
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        return Tensor._make(out_data, [(self, lambda g: g * 0.5 / out_data)])
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        return Tensor._make(out_data, [(self, lambda g: g * (1.0 - out_data ** 2))])
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._make(out_data,
+                            [(self, lambda g: g * out_data * (1.0 - out_data))])
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return Tensor._make(np.where(mask, self.data, 0.0),
+                            [(self, lambda g: g * mask)])
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), [(self, lambda g: g * sign)])
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        mask = (self.data >= lo) & (self.data <= hi)
+        return Tensor._make(np.clip(self.data, lo, hi),
+                            [(self, lambda g: g * mask)])
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        expanded = out_data if (keepdims or axis is None) else np.expand_dims(out_data, axis)
+        mask = (self.data == expanded)
+        counts = mask.sum(axis=axis, keepdims=True)
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            gg = g
+            if axis is not None and not keepdims:
+                gg = np.expand_dims(g, axis)
+            return mask * gg / counts
+
+        return Tensor._make(out_data, [(self, grad_fn)])
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.concatenate``."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    parents = []
+    for i, t in enumerate(tensors):
+        lo, hi = offsets[i], offsets[i + 1]
+
+        def grad_fn(g: np.ndarray, lo=lo, hi=hi) -> np.ndarray:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(lo, hi)
+            return g[tuple(slicer)]
+
+        parents.append((t, grad_fn))
+    return Tensor._make(data, parents)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.stack``."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+    parents = []
+    for i, t in enumerate(tensors):
+        def grad_fn(g: np.ndarray, i=i) -> np.ndarray:
+            return np.take(g, i, axis=axis)
+
+        parents.append((t, grad_fn))
+    return Tensor._make(data, parents)

@@ -1,0 +1,35 @@
+"""YellowFin: automatic momentum and learning-rate tuning for momentum SGD.
+
+This package is the paper's primary contribution:
+
+- :mod:`repro.core.ema` — zero-debiased exponential moving averages
+  (Appendix E), including the log-space variant used for the curvature
+  envelope.
+- :mod:`repro.core.measurements` — the gradient-only measurement oracles
+  CurvatureRange / Variance / Distance (Algorithms 2–4).
+- :mod:`repro.core.single_step` — the SingleStep rule (eq. 15) solved in
+  closed form via Cardano's method (Appendix D).
+- :mod:`repro.core.yellowfin` — the :class:`YellowFin` optimizer
+  (Algorithm 1) with slow start and optional adaptive clipping.
+- :mod:`repro.core.clipping` — adaptive gradient clipping at ``sqrt(hmax)``
+  with bounded envelope growth (Section 3.3, Appendix F).
+- :mod:`repro.core.closed_loop` — total-momentum estimation and the
+  negative-feedback controller for asynchronous training (Algorithm 5).
+"""
+
+from repro.core.ema import ZeroDebiasEMA, LogSpaceEMA
+from repro.core.measurements import (CurvatureRange, GradientVariance,
+                                     DistanceToOpt, GradientMeasurements)
+from repro.core.single_step import single_step, SingleStepResult
+from repro.core.yellowfin import YellowFin
+from repro.core.clipping import AdaptiveClipper
+from repro.core.closed_loop import TotalMomentumEstimator, ClosedLoopYellowFin
+
+__all__ = [
+    "ZeroDebiasEMA", "LogSpaceEMA",
+    "CurvatureRange", "GradientVariance", "DistanceToOpt",
+    "GradientMeasurements",
+    "single_step", "SingleStepResult",
+    "YellowFin", "AdaptiveClipper",
+    "TotalMomentumEstimator", "ClosedLoopYellowFin",
+]

@@ -1,0 +1,60 @@
+"""Adaptive gradient clipping (Section 3.3 / Appendix F).
+
+YellowFin already tracks the running maximum of squared gradient norms,
+``hmax``.  The paper posits ``sqrt(hmax)`` as the ideal clipping threshold:
+gradients larger than the recent envelope are treated as exploding and
+rescaled.  To keep a single catastrophic spike from permanently inflating
+the envelope, the raw window maximum entering the EMA is capped at
+``100 * hmax`` (eq. 35) — handled by
+:class:`~repro.core.measurements.CurvatureRange` with
+``limit_envelope_growth=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.optim.grad_clip import global_grad_norm
+
+
+class AdaptiveClipper:
+    """Clip gradient norm at ``sqrt(hmax)`` using the tuner's own envelope.
+
+    The clipper is a passive consumer of the curvature range: it never
+    maintains state of its own, so threshold and tuner always agree.
+    """
+
+    def __init__(self, warmup_steps: int = 1):
+        if warmup_steps < 1:
+            raise ValueError("warmup_steps must be >= 1")
+        self.warmup_steps = warmup_steps
+        self._steps = 0
+        self.last_threshold: Optional[float] = None
+        self.last_norm: Optional[float] = None
+        self.clip_events = 0
+
+    def clip(self, params: Iterable[Tensor], hmax: Optional[float]) -> float:
+        """Rescale gradients in place; returns the pre-clip global norm.
+
+        During warm-up (or before ``hmax`` exists) gradients pass through
+        unchanged, matching the tuner's slow start.
+        """
+        params = list(params)
+        norm = global_grad_norm(params)
+        self._steps += 1
+        self.last_norm = norm
+        if hmax is None or self._steps <= self.warmup_steps:
+            self.last_threshold = None
+            return norm
+        threshold = float(np.sqrt(max(hmax, 0.0)))
+        self.last_threshold = threshold
+        if norm > threshold > 0.0:
+            scale = threshold / norm
+            for p in params:
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+            self.clip_events += 1
+        return norm

@@ -1,0 +1,183 @@
+"""Closed-loop YellowFin for asynchronous training (Section 4, Algorithm 5).
+
+Asynchrony with staleness ``tau`` behaves like extra momentum (Mitliagkas
+et al., 2016).  Closed-loop YellowFin:
+
+1. models the running system as
+   ``E[x_{t+1} - x_t] = mu_T E[x_t - x_{t-1}] - alpha E grad f(x_t)`` (eq. 16);
+2. estimates total momentum each step as the elementwise median
+
+   ``mu_hat_T = median((x_{t-tau} - x_{t-tau-1} + alpha g) / (x_{t-tau-1} - x_{t-tau-2}))``
+
+   where ``g`` is the freshly-delivered gradient evaluated at
+   ``x_{t-tau-1}`` (eq. 37);
+3. closes the loop: ``mu <- mu + gamma (mu_star - mu_hat_T)`` so measured
+   total momentum tracks the SingleStep target ``mu_star``.  The resulting
+   algorithmic momentum may legitimately go negative (Fig. 4, right).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.yellowfin import YellowFin
+
+
+class TotalMomentumEstimator:
+    """Median-of-ratios estimator of total momentum (eq. 37).
+
+    Parameters
+    ----------
+    staleness:
+        Gradient delay ``tau`` of the running system (0 = synchronous).
+    denom_eps:
+        Coordinates whose previous displacement is smaller than this are
+        excluded from the median (their ratio is numerically meaningless).
+    """
+
+    def __init__(self, staleness: int = 0, denom_eps: float = 1e-30):
+        if staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        self.staleness = staleness
+        self.denom_eps = denom_eps
+        # need x_{t-tau}, x_{t-tau-1}, x_{t-tau-2}: keep tau + 3 iterates
+        self._iterates: Deque[np.ndarray] = deque(maxlen=staleness + 3)
+        self._pending: Optional[tuple] = None  # previous step's (grad, lr)
+
+    def record_iterate(self, x_flat: np.ndarray) -> None:
+        """Record the model ``x_t`` right after update ``t`` is applied."""
+        self._iterates.append(np.array(x_flat, dtype=np.float64, copy=True))
+
+    @property
+    def ready(self) -> bool:
+        return len(self._iterates) == self._iterates.maxlen
+
+    def estimate(self, grad_flat: np.ndarray, lr: float) -> Optional[float]:
+        """Total-momentum estimate, or None until enough history exists.
+
+        Call once per step, *before* applying the update, with the gradient
+        being applied this step (evaluated at ``x_{t-tau}`` in a system with
+        delay ``tau``).  Internally the estimator uses the *previous* step's
+        gradient — evaluated at ``x_{t-tau-1}`` — so that the deque indices
+        line up with eq. (37) for every ``tau >= 0``:
+
+            mu_hat = median( (x_{t-tau} - x_{t-tau-1} + lr * g) /
+                             (x_{t-tau-1} - x_{t-tau-2}) ).
+        """
+        previous = self._pending
+        self._pending = (np.array(grad_flat, dtype=np.float64, copy=True),
+                         float(lr))
+        if previous is None or not self.ready:
+            return None
+        g_prev, lr_prev = previous
+        # deque holds [x_{t-tau-2}, x_{t-tau-1}, x_{t-tau}, ..., x_t]
+        x_lag2 = self._iterates[0]
+        x_lag1 = self._iterates[1]
+        x_lag0 = self._iterates[2]
+        numer = x_lag0 - x_lag1 + lr_prev * g_prev
+        denom = x_lag1 - x_lag2
+        mask = np.abs(denom) > self.denom_eps
+        if not mask.any():
+            return None
+        return float(np.median(numer[mask] / denom[mask]))
+
+
+class ClosedLoopYellowFin(YellowFin):
+    """YellowFin plus the negative-feedback momentum controller.
+
+    Parameters
+    ----------
+    gamma:
+        Feedback gain (Algorithm 5 uses 0.01).
+    staleness:
+        System staleness ``tau``; with 0 this still works and the controller
+        simply keeps algorithmic momentum at the target.
+    momentum_bounds:
+        Clamp for algorithmic momentum; asynchrony compensation can push it
+        below zero (paper Fig. 4 shows approximately -0.2).
+    feedback:
+        With ``False`` the controller is disabled: algorithmic momentum
+        tracks the SingleStep target exactly (plain YellowFin) while total
+        momentum is still *measured* — the instrumented open-loop runs of
+        Fig. 4 (left and middle panels).
+    """
+
+    def __init__(self, params: Iterable[Tensor], gamma: float = 0.01,
+                 staleness: int = 0, lr: float = 1e-4, momentum: float = 0.0,
+                 momentum_bounds: tuple = (-0.9, 0.999),
+                 feedback: bool = True, **kwargs):
+        super().__init__(params, lr=lr, momentum=momentum, **kwargs)
+        self.gamma = gamma
+        self.staleness = staleness
+        self.feedback = feedback
+        self.momentum_bounds = momentum_bounds
+        self.estimator = TotalMomentumEstimator(staleness=staleness)
+        self._algorithmic_mu = momentum
+        self.last_total_momentum: Optional[float] = None
+        # seed the iterate history with the initial model
+        self.estimator.record_iterate(self._flat_params())
+
+    def _flat_params(self) -> np.ndarray:
+        return np.concatenate([p.data.reshape(-1) for p in self.params])
+
+    def effective_momentum(self) -> float:
+        if self.prescribed_momentum is not None:
+            return self.prescribed_momentum
+        return self._algorithmic_mu
+
+    def step(self) -> None:
+        if self.clipper is not None:
+            hmax = (self.measurements.curvature.hmax
+                    if self.measurements.curvature._hmax.initialized else None)
+            self.clipper.clip(self.params, hmax)
+        grad_flat = self.flat_gradient()
+        self._tune()  # sets target momentum (self.momentum) and lr
+
+        # measure total momentum of the running system
+        mu_hat = self.estimator.estimate(grad_flat, self.effective_lr())
+        self.last_total_momentum = mu_hat
+        if mu_hat is not None and self.feedback:
+            lo, hi = self.momentum_bounds
+            self._algorithmic_mu = float(np.clip(
+                self._algorithmic_mu + self.gamma * (self.momentum - mu_hat),
+                lo, hi))
+        else:
+            # open-loop (feedback off, or estimator still warming up):
+            # algorithmic momentum is simply the SingleStep target
+            self._algorithmic_mu = self.momentum
+
+        self._apply_momentum_update(self.effective_momentum(),
+                                    self.effective_lr())
+        self.t += 1
+        self.estimator.record_iterate(self._flat_params())
+
+    def _extra_state(self) -> dict:
+        extra = super()._extra_state()
+        extra["algorithmic_mu"] = self._algorithmic_mu
+        extra["iterates"] = [x.copy() for x in self.estimator._iterates]
+        pending = self.estimator._pending
+        extra["pending"] = (None if pending is None
+                            else (pending[0].copy(), pending[1]))
+        return extra
+
+    def _load_extra_state(self, extra: dict) -> None:
+        super()._load_extra_state(extra)
+        self._algorithmic_mu = extra["algorithmic_mu"]
+        self.estimator._iterates.clear()
+        for x in extra["iterates"]:
+            self.estimator._iterates.append(x.copy())
+        pending = extra["pending"]
+        self.estimator._pending = (None if pending is None
+                                   else (pending[0].copy(), pending[1]))
+
+    def stats(self) -> dict:
+        base = super().stats()
+        base["algorithmic_momentum"] = self._algorithmic_mu
+        base["total_momentum"] = (self.last_total_momentum
+                                  if self.last_total_momentum is not None
+                                  else float("nan"))
+        return base

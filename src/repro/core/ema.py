@@ -1,0 +1,91 @@
+"""Zero-debiased exponential moving averages (Appendix E).
+
+YellowFin's measurement oracles all smooth their raw signals with
+exponential averages.  Following Kingma & Ba's zero-debias trick, the
+average at step ``t`` is divided by ``1 - beta^t`` so early estimates track
+the signal level instead of being biased toward the zero initialization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+ArrayOrFloat = Union[float, np.ndarray]
+
+
+class ZeroDebiasEMA:
+    """EMA with zero-debias correction; supports scalars and arrays.
+
+    ``debias=False`` disables the correction (plain EMA initialized at 0),
+    exposed so the Appendix-E design choice can be ablated.
+    """
+
+    def __init__(self, beta: float = 0.999, debias: bool = True):
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.beta = beta
+        self.debias = debias
+        self._raw: Optional[ArrayOrFloat] = None
+        self._t = 0
+
+    def update(self, value: ArrayOrFloat) -> ArrayOrFloat:
+        """Fold in a new observation and return the debiased average."""
+        self._t += 1
+        if self._raw is None:
+            self._raw = (1 - self.beta) * np.asarray(value, dtype=np.float64) \
+                if isinstance(value, np.ndarray) else (1 - self.beta) * float(value)
+        else:
+            self._raw = self.beta * self._raw + (1 - self.beta) * value
+        return self.value
+
+    @property
+    def value(self) -> ArrayOrFloat:
+        """Debiased estimate; raises before the first update."""
+        if self._raw is None:
+            raise RuntimeError("EMA read before any update")
+        if not self.debias:
+            return self._raw
+        return self._raw / (1.0 - self.beta ** self._t)
+
+    @property
+    def initialized(self) -> bool:
+        return self._raw is not None
+
+    @property
+    def steps(self) -> int:
+        return self._t
+
+    def get_state(self) -> dict:
+        """Serializable snapshot for optimizer checkpointing."""
+        raw = self._raw
+        if isinstance(raw, np.ndarray):
+            raw = raw.copy()
+        return {"beta": self.beta, "debias": self.debias, "raw": raw,
+                "t": self._t}
+
+    def set_state(self, state: dict) -> None:
+        self.beta = state["beta"]
+        self.debias = state["debias"]
+        raw = state["raw"]
+        self._raw = raw.copy() if isinstance(raw, np.ndarray) else raw
+        self._t = state["t"]
+
+
+class LogSpaceEMA(ZeroDebiasEMA):
+    """EMA of ``log(value)``, read back through ``exp``.
+
+    Appendix E: curvature estimates can decrease quickly during training, so
+    the extremal curvatures ``hmax``/``hmin`` are smoothed on a logarithmic
+    scale where fast geometric decay looks linear.
+    """
+
+    def update(self, value: ArrayOrFloat) -> ArrayOrFloat:
+        value = np.maximum(np.asarray(value, dtype=np.float64), 1e-300)
+        super().update(np.log(value))
+        return self.value
+
+    @property
+    def value(self) -> ArrayOrFloat:
+        return float(np.exp(super().value))

@@ -1,0 +1,197 @@
+"""Gradient-only measurement oracles (paper Algorithms 2-4).
+
+All three oracles consume only minibatch gradients, relying on the
+negative log-probability assumption under which the Fisher information
+(expected outer product of gradients) approximates the Hessian.
+
+- :class:`CurvatureRange` — extremal curvature estimates ``hmax, hmin``
+  from ``h_t = ||g_t||^2`` over a sliding window (Algorithm 2), smoothed in
+  log space with zero-debias (Appendix E).  Optionally limits the growth of
+  the ``hmax`` envelope (eq. 35) for adaptive clipping robustness.
+- :class:`GradientVariance` — ``C = 1^T (E[g*g] - E[g]^2)`` (Algorithm 3).
+- :class:`DistanceToOpt` — ``D = EMA(||g||) / EMA(h)`` (Algorithm 4), from
+  the quadratic bound ``||∇f(x)|| <= ||H|| ||x - x*||``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.core.ema import LogSpaceEMA, ZeroDebiasEMA
+
+
+class CurvatureRange:
+    """Sliding-window extremal-curvature estimator (Algorithm 2).
+
+    Parameters
+    ----------
+    beta:
+        EMA smoothing (paper default 0.999).
+    window:
+        Sliding-window width ``w`` (paper default 20).
+    limit_envelope_growth:
+        Apply eq. (35): ``hmax <- beta hmax + (1-beta) min(hmax_t, 100 hmax)``,
+        protecting the adaptive clipping threshold from single-step spikes.
+    log_space, zero_debias:
+        Appendix-E design choices, exposed for ablation: smooth the
+        envelopes on a logarithmic scale, and zero-debias the EMAs.
+    """
+
+    def __init__(self, beta: float = 0.999, window: int = 20,
+                 limit_envelope_growth: bool = False,
+                 log_space: bool = True, zero_debias: bool = True):
+        self.beta = beta
+        self.window = window
+        self.limit_envelope_growth = limit_envelope_growth
+        ema_cls = LogSpaceEMA if log_space else ZeroDebiasEMA
+        self._history: Deque[float] = deque(maxlen=window)
+        self._hmax = ema_cls(beta, debias=zero_debias)
+        self._hmin = ema_cls(beta, debias=zero_debias)
+
+    def update(self, grad_sq_norm: float) -> "CurvatureRange":
+        """Fold in ``h_t = ||g_t||^2`` for the current step."""
+        h_t = float(grad_sq_norm)
+        if h_t < 0:
+            raise ValueError(f"squared norm must be non-negative, got {h_t}")
+        self._history.append(max(h_t, 1e-300))
+        hmax_t = max(self._history)
+        hmin_t = min(self._history)
+        if self.limit_envelope_growth and self._hmax.initialized:
+            hmax_t = min(hmax_t, 100.0 * self._hmax.value)
+        self._hmax.update(hmax_t)
+        self._hmin.update(hmin_t)
+        return self
+
+    @property
+    def hmax(self) -> float:
+        return float(self._hmax.value)
+
+    @property
+    def hmin(self) -> float:
+        return float(self._hmin.value)
+
+
+class GradientVariance:
+    """Gradient-variance estimator (Algorithm 3).
+
+    Maintains elementwise EMAs of ``g`` and ``g*g``; the variance is
+    the summed elementwise difference, clipped at zero (EMA noise can make
+    individual coordinates slightly negative).
+    """
+
+    def __init__(self, beta: float = 0.999, zero_debias: bool = True):
+        self._g = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._g2 = ZeroDebiasEMA(beta, debias=zero_debias)
+
+    def update(self, grad: np.ndarray) -> "GradientVariance":
+        grad = np.asarray(grad, dtype=np.float64)
+        self._g.update(grad)
+        self._g2.update(grad * grad)
+        return self
+
+    @property
+    def variance(self) -> float:
+        g = self._g.value
+        g2 = self._g2.value
+        return float(np.maximum(g2 - g * g, 0.0).sum())
+
+
+class DistanceToOpt:
+    """Distance-to-optimum estimator (Algorithm 4)."""
+
+    def __init__(self, beta: float = 0.999, zero_debias: bool = True):
+        self._norm = ZeroDebiasEMA(beta, debias=zero_debias)  # ||g_t||
+        self._h = ZeroDebiasEMA(beta, debias=zero_debias)     # ||g_t||^2
+        self._dist = ZeroDebiasEMA(beta, debias=zero_debias)  # ||g|| / h
+
+    def update(self, grad_norm: float) -> "DistanceToOpt":
+        grad_norm = float(grad_norm)
+        self._norm.update(grad_norm)
+        self._h.update(grad_norm * grad_norm)
+        denom = max(self._h.value, 1e-300)
+        self._dist.update(self._norm.value / denom)
+        return self
+
+    @property
+    def distance(self) -> float:
+        return float(self._dist.value)
+
+
+@dataclass
+class MeasurementSnapshot:
+    """One step's tuner inputs: the quantities consumed by SingleStep."""
+
+    hmax: float
+    hmin: float
+    variance: float
+    distance: float
+    grad_norm: float
+
+
+class GradientMeasurements:
+    """Bundles the three oracles behind a single per-step ``update``.
+
+    This is the "measurement" half of Algorithm 1; :class:`YellowFin`
+    combines it with the SingleStep rule.
+    """
+
+    def __init__(self, beta: float = 0.999, window: int = 20,
+                 limit_envelope_growth: bool = False,
+                 log_space_curvature: bool = True, zero_debias: bool = True):
+        self.curvature = CurvatureRange(
+            beta=beta, window=window,
+            limit_envelope_growth=limit_envelope_growth,
+            log_space=log_space_curvature, zero_debias=zero_debias)
+        self.variance = GradientVariance(beta=beta, zero_debias=zero_debias)
+        self.distance = DistanceToOpt(beta=beta, zero_debias=zero_debias)
+
+    def update(self, grads: List[np.ndarray]) -> MeasurementSnapshot:
+        """Fold in this step's per-parameter gradient list."""
+        flat_sq = 0.0
+        for g in grads:
+            flat_sq += float(np.sum(g * g))
+        grad_norm = float(np.sqrt(flat_sq))
+        self.curvature.update(flat_sq)
+        self.distance.update(grad_norm)
+        # variance operates on the concatenated gradient vector
+        flat = np.concatenate([np.asarray(g, dtype=np.float64).reshape(-1)
+                               for g in grads])
+        self.variance.update(flat)
+        return self.snapshot(grad_norm)
+
+    def snapshot(self, grad_norm: float = float("nan")) -> MeasurementSnapshot:
+        return MeasurementSnapshot(
+            hmax=self.curvature.hmax,
+            hmin=self.curvature.hmin,
+            variance=self.variance.variance,
+            distance=self.distance.distance,
+            grad_norm=grad_norm,
+        )
+
+    def get_state(self) -> dict:
+        """Serializable oracle state for optimizer checkpointing."""
+        return {
+            "curvature_history": list(self.curvature._history),
+            "hmax": self.curvature._hmax.get_state(),
+            "hmin": self.curvature._hmin.get_state(),
+            "var_g": self.variance._g.get_state(),
+            "var_g2": self.variance._g2.get_state(),
+            "dist_norm": self.distance._norm.get_state(),
+            "dist_h": self.distance._h.get_state(),
+            "dist_dist": self.distance._dist.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.curvature._history.clear()
+        self.curvature._history.extend(state["curvature_history"])
+        self.curvature._hmax.set_state(state["hmax"])
+        self.curvature._hmin.set_state(state["hmin"])
+        self.variance._g.set_state(state["var_g"])
+        self.variance._g2.set_state(state["var_g2"])
+        self.distance._norm.set_state(state["dist_norm"])
+        self.distance._h.set_state(state["dist_h"])
+        self.distance._dist.set_state(state["dist_dist"])

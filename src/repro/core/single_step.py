@@ -1,0 +1,107 @@
+"""The SingleStep tuning rule (paper eq. 15) and its closed-form solution.
+
+SingleStep minimizes the one-step-ahead surrogate of expected squared
+distance to the local optimum,
+
+    minimize_{mu, alpha}   mu D^2 + alpha^2 C
+    subject to             mu >= ((sqrt(kappa)-1)/(sqrt(kappa)+1))^2,
+                           alpha = (1 - sqrt(mu))^2 / hmin,
+
+with kappa = hmax/hmin the (generalized) condition-number estimate.
+
+Substituting the alpha constraint with x = sqrt(mu) gives the scalar
+problem  p(x) = x^2 D^2 + (1-x)^4 C / hmin^2  on x in [0, 1).  Setting
+p'(x) = 0 yields the depressed cubic  y^3 + p y + p = 0  with  y = x - 1
+and  p = D^2 hmin^2 / (2C),  solved exactly by Cardano's formula
+(Appendix D: "Vieta's substitution").  Since p(x) is unimodal on [0, 1),
+the optimizer is the cubic root clamped by the robust-region lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class SingleStepResult:
+    """Output of the tuning rule: the hyperparameters for the next step."""
+
+    mu: float
+    lr: float
+    mu_unconstrained: float  # cubic solution before the robust-region clamp
+    mu_robust_floor: float   # ((sqrt(kappa)-1)/(sqrt(kappa)+1))^2
+
+
+def cubic_root(dist: float, variance: float, hmin: float) -> float:
+    """Solve min_x  x^2 D^2 + (1-x)^4 C / hmin^2  for x = sqrt(mu) in [0, 1).
+
+    Returns the unique real root of the stationarity cubic, which Cardano's
+    method provides in closed form.  Degenerate cases: with C -> 0 the
+    objective is x^2 D^2 and the solution is x = 0; with D -> 0 anything
+    with x = 0 (lr = 1/hmin) is optimal.
+    """
+    if variance <= _EPS or dist <= _EPS:
+        return 0.0
+    p = dist * dist * hmin * hmin / (2.0 * variance)
+    # Depressed cubic y^3 + p*y + p = 0, y = x - 1.
+    w3 = (-math.sqrt(p * p + 4.0 / 27.0 * p ** 3) - p) / 2.0
+    w = math.copysign(abs(w3) ** (1.0 / 3.0), w3)
+    y = w - p / (3.0 * w) if abs(w) > _EPS else 0.0
+    x = min(max(y + 1.0, 0.0), 1.0 - _EPS)
+    # Cardano computes x = 1 + y from two large near-cancelling terms, so
+    # extreme p loses precision.  Polish on q(x) = x^3 - 3x^2 + (3+p)x - 1
+    # (the stationarity cubic in x), which is strictly increasing
+    # (q' = 3(x-1)^2 + p > 0) and therefore has exactly one real root.
+    for _ in range(64):
+        q = ((x - 3.0) * x + (3.0 + p)) * x - 1.0
+        dq = 3.0 * (x - 1.0) ** 2 + p
+        step = q / dq
+        x_new = min(max(x - step, 0.0), 1.0 - _EPS)
+        if abs(x_new - x) <= 1e-16 * max(x, 1e-16):
+            x = x_new
+            break
+        x = x_new
+    return x
+
+
+def robust_momentum_floor(hmax: float, hmin: float) -> float:
+    """Smallest momentum giving homogeneous spectral radii (eq. 9 / 15)."""
+    if hmin <= 0.0:
+        raise ValueError(f"hmin must be positive, got {hmin}")
+    if hmax < hmin:
+        raise ValueError(f"need hmax >= hmin, got {hmax} < {hmin}")
+    sqrt_kappa = math.sqrt(hmax / hmin)
+    return ((sqrt_kappa - 1.0) / (sqrt_kappa + 1.0)) ** 2
+
+
+def single_step(variance: float, distance: float, hmax: float, hmin: float
+                ) -> SingleStepResult:
+    """Solve eq. (15): one (mu, lr) pair for the whole model.
+
+    Parameters
+    ----------
+    variance:
+        Gradient-variance estimate ``C``.
+    distance:
+        Distance-to-optimum estimate ``D``.
+    hmax, hmin:
+        Extremal generalized-curvature estimates.
+
+    Returns
+    -------
+    SingleStepResult
+        ``mu`` is ``max(cubic solution^2, robust floor)``; ``lr`` is
+        ``(1 - sqrt(mu))^2 / hmin`` so that (mu, lr) sits exactly on the
+        lower edge of the robust region for the flattest direction.
+    """
+    x = cubic_root(distance, variance, hmin)
+    mu_cubic = x * x
+    mu_floor = robust_momentum_floor(hmax, hmin)
+    mu = max(mu_cubic, mu_floor)
+    lr = (1.0 - math.sqrt(mu)) ** 2 / hmin
+    return SingleStepResult(mu=mu, lr=lr,
+                            mu_unconstrained=mu_cubic,
+                            mu_robust_floor=mu_floor)

@@ -1,0 +1,186 @@
+"""The YellowFin optimizer (paper Algorithm 1).
+
+Per step:
+
+1. (optional) adaptively clip gradients at ``sqrt(hmax)`` (Section 3.3);
+2. update the measurement oracles from the (clipped) gradients;
+3. solve SingleStep for the target momentum and learning rate;
+4. smooth the targets with zero-debiased EMAs and apply the slow-start
+   learning-rate discount ``lr <- min(lr, t * lr / (10 w))`` (Appendix E);
+5. take one Polyak-momentum SGD step.
+
+The class follows the ``torch.optim`` contract (``zero_grad`` / ``step``),
+making it a drop-in replacement for any optimizer, as released by the
+authors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.clipping import AdaptiveClipper
+from repro.core.ema import ZeroDebiasEMA
+from repro.core.measurements import GradientMeasurements
+from repro.core.single_step import SingleStepResult, single_step
+from repro.optim.optimizer import Optimizer
+
+
+class YellowFin(Optimizer):
+    """Automatic tuner for momentum SGD: one global ``(lr, momentum)``.
+
+    Parameters
+    ----------
+    params:
+        Trainable tensors.
+    lr, momentum:
+        Initial values used before the oracles have enough signal
+        (defaults 1.0 / 0.0 per the released implementation).
+    beta:
+        EMA smoothing for all running estimates (paper: 0.999).
+    window:
+        Curvature sliding-window width ``w`` (paper: 20).
+    adaptive_clip:
+        Enable adaptive gradient clipping at ``sqrt(hmax)``.
+    slow_start:
+        Apply the learning-rate discount over the first ``10 w`` steps.
+    lr_factor:
+        Manual multiplier on the auto-tuned learning rate (Appendix J.4,
+        Fig. 11); 1.0 means fully automatic.
+    prescribed_momentum:
+        If set, the SingleStep momentum is still computed (and logged) but
+        the underlying SGD uses this fixed value — the Fig. 9 ablation.
+    zero_debias, log_space_curvature:
+        Appendix-E estimator design choices, exposed so the ablation
+        benches can switch them off individually.
+    nesterov:
+        Apply the tuned (lr, momentum) through Nesterov's update instead
+        of Polyak's (as in the released implementation's option).
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1.0,
+                 momentum: float = 0.0, beta: float = 0.999, window: int = 20,
+                 adaptive_clip: bool = True, slow_start: bool = True,
+                 lr_factor: float = 1.0,
+                 prescribed_momentum: Optional[float] = None,
+                 zero_debias: bool = True, log_space_curvature: bool = True,
+                 nesterov: bool = False):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"initial lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"initial momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self.beta = beta
+        self.window = window
+        self.slow_start = slow_start
+        self.lr_factor = lr_factor
+        self.prescribed_momentum = prescribed_momentum
+        self.nesterov = nesterov
+
+        self.measurements = GradientMeasurements(
+            beta=beta, window=window,
+            limit_envelope_growth=adaptive_clip,
+            log_space_curvature=log_space_curvature,
+            zero_debias=zero_debias)
+        self.clipper: Optional[AdaptiveClipper] = (
+            AdaptiveClipper() if adaptive_clip else None)
+        self._lr_ema = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._mu_ema = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._velocity: List[np.ndarray] = [np.zeros_like(p.data)
+                                            for p in self.params]
+        self.last_result: Optional[SingleStepResult] = None
+
+    # ------------------------------------------------------------------ #
+    # tuner
+    # ------------------------------------------------------------------ #
+    def _tune(self) -> None:
+        """Run measurement + SingleStep + smoothing; set self.lr/momentum."""
+        grads = self.gradients()
+        self.measurements.update(grads)
+        snap = self.measurements.snapshot()
+        result = single_step(variance=snap.variance, distance=snap.distance,
+                             hmax=snap.hmax, hmin=snap.hmin)
+        self.last_result = result
+        self.momentum = float(self._mu_ema.update(result.mu))
+        self.lr = float(self._lr_ema.update(result.lr))
+
+    def effective_lr(self) -> float:
+        """Learning rate actually applied: smoothing, slow start, lr_factor."""
+        lr = self.lr * self.lr_factor
+        if self.slow_start:
+            lr = min(lr, (self.t + 1) * lr / (10.0 * self.window))
+        return lr
+
+    def effective_momentum(self) -> float:
+        """Momentum actually applied (honours ``prescribed_momentum``)."""
+        if self.prescribed_momentum is not None:
+            return self.prescribed_momentum
+        return self.momentum
+
+    # ------------------------------------------------------------------ #
+    # optimizer contract
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        if self.clipper is not None:
+            hmax = (self.measurements.curvature.hmax
+                    if self.measurements.curvature._hmax.initialized else None)
+            self.clipper.clip(self.params, hmax)
+        self._tune()
+        mu = self.effective_momentum()
+        alpha = self.effective_lr()
+        self._apply_momentum_update(mu, alpha)
+        self.t += 1
+
+    def _apply_momentum_update(self, mu: float, alpha: float) -> None:
+        for p, g, v in zip(self.params, self.gradients(), self._velocity):
+            v *= mu
+            v -= alpha * g
+            if self.nesterov:
+                p.data += mu * v - alpha * g
+            else:
+                p.data += v
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def _extra_state(self) -> dict:
+        return {
+            "momentum": self.momentum,
+            "measurements": self.measurements.get_state(),
+            "lr_ema": self._lr_ema.get_state(),
+            "mu_ema": self._mu_ema.get_state(),
+            "velocity": self._copy_buffers(self._velocity),
+            "clipper_steps": (self.clipper._steps
+                              if self.clipper is not None else 0),
+        }
+
+    def _load_extra_state(self, extra: dict) -> None:
+        self.momentum = extra["momentum"]
+        self.measurements.set_state(extra["measurements"])
+        self._lr_ema.set_state(extra["lr_ema"])
+        self._mu_ema.set_state(extra["mu_ema"])
+        self._velocity = self._copy_buffers(extra["velocity"])
+        if self.clipper is not None:
+            self.clipper._steps = extra["clipper_steps"]
+
+    # introspection used by benchmarks / examples
+    def stats(self) -> dict:
+        """Current tuner state for logging (Fig. 4-style momentum traces)."""
+        base = {
+            "lr": self.effective_lr(),
+            "momentum": self.effective_momentum(),
+            "target_momentum": self.momentum,
+        }
+        if self.t == 0:
+            base.update(hmax=math.nan, hmin=math.nan,
+                        variance=math.nan, distance=math.nan)
+        else:
+            snap = self.measurements.snapshot()
+            base.update(hmax=snap.hmax, hmin=snap.hmin,
+                        variance=snap.variance, distance=snap.distance)
+        return base

@@ -1,0 +1,25 @@
+"""Datasets: toy objectives plus synthetic substitutes for the paper's
+real-data workloads (see DESIGN.md section 2 for the substitution table)."""
+
+from repro.data.toy import (TwoQuadratic, piecewise_curvature,
+                            make_figure3_objective, run_momentum_descent)
+from repro.data.synthetic_images import SyntheticImages, make_cifar10_like, \
+    make_cifar100_like
+from repro.data.synthetic_text import (MarkovTextCorpus, make_ts_like,
+                                       make_ptb_like)
+from repro.data.parsing import BracketedTreebank, make_wsj_like
+from repro.data.translation import SyntheticTranslation, make_iwslt_like
+from repro.data.sequence_classification import (SequentialImages,
+                                                make_mnist_like)
+from repro.data.loader import BatchLoader, SequenceLoader
+
+__all__ = [
+    "TwoQuadratic", "piecewise_curvature", "make_figure3_objective",
+    "run_momentum_descent",
+    "SyntheticImages", "make_cifar10_like", "make_cifar100_like",
+    "MarkovTextCorpus", "make_ts_like", "make_ptb_like",
+    "BracketedTreebank", "make_wsj_like",
+    "SyntheticTranslation", "make_iwslt_like",
+    "SequentialImages", "make_mnist_like",
+    "BatchLoader", "SequenceLoader",
+]

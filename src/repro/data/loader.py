@@ -1,0 +1,78 @@
+"""Minibatch iterators for image and sequence data."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+class BatchLoader:
+    """Infinite shuffled minibatch stream over ``(x, y)`` arrays."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, batch_size: int,
+                 seed=None):
+        if len(x) != len(y):
+            raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+        if batch_size <= 0 or batch_size > len(x):
+            raise ValueError(f"bad batch size {batch_size} for {len(x)} samples")
+        self.x, self.y = x, y
+        self.batch_size = batch_size
+        self.rng = new_rng(seed)
+        self._order = self.rng.permutation(len(x))
+        self._cursor = 0
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._cursor + self.batch_size > len(self.x):
+            self._order = self.rng.permutation(len(self.x))
+            self._cursor = 0
+        idx = self._order[self._cursor:self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return self.x[idx], self.y[idx]
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return len(self.x) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.next_batch()
+
+
+class SequenceLoader:
+    """BPTT-style loader: contiguous ``(input, target)`` windows of a token
+    stream, batched by splitting the stream into parallel lanes.
+
+    Matches the standard LM training layout: the stream is reshaped to
+    ``(batch, -1)`` and consecutive calls walk forward ``seq_len`` tokens,
+    so hidden state can be carried across calls.
+    """
+
+    def __init__(self, tokens: np.ndarray, batch_size: int, seq_len: int):
+        tokens = np.asarray(tokens, dtype=np.int64)
+        usable = (len(tokens) - 1) // batch_size * batch_size
+        if usable < batch_size * seq_len:
+            raise ValueError("token stream too short for this configuration")
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.inputs = tokens[:usable].reshape(batch_size, -1)
+        self.targets = tokens[1:usable + 1].reshape(batch_size, -1)
+        self._cursor = 0
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns time-major ``(seq_len, batch)`` input and target ids."""
+        width = self.inputs.shape[1]
+        if self._cursor + self.seq_len > width:
+            self._cursor = 0
+        sl = slice(self._cursor, self._cursor + self.seq_len)
+        self._cursor += self.seq_len
+        return self.inputs[:, sl].T.copy(), self.targets[:, sl].T.copy()
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return self.inputs.shape[1] // self.seq_len
+
+    def reset(self) -> None:
+        self._cursor = 0

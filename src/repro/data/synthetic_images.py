@@ -1,0 +1,92 @@
+"""Synthetic image-classification datasets (CIFAR10/100 stand-ins).
+
+Images are generated from per-class spatial prototypes (smooth random
+fields) plus pixel noise, so that (i) classes are learnable by a small
+convnet, (ii) the task is not linearly separable at high noise, and
+(iii) gradients carry minibatch variance — the statistic YellowFin's
+tuner actually consumes.  See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+def _smooth_field(rng: np.random.Generator, channels: int, size: int,
+                  smoothness: int = 3) -> np.ndarray:
+    """Low-frequency random field: upsampled coarse noise."""
+    coarse = rng.normal(size=(channels, smoothness, smoothness))
+    reps = int(np.ceil(size / smoothness))
+    up = np.repeat(np.repeat(coarse, reps, axis=1), reps, axis=2)
+    return up[:, :size, :size]
+
+
+@dataclass
+class SyntheticImages:
+    """Class-prototype image dataset.
+
+    Parameters
+    ----------
+    num_classes:
+        10 for the CIFAR10 stand-in, 100 for CIFAR100.
+    size:
+        Spatial side length (small, e.g. 8, to keep NumPy training fast).
+    channels:
+        Image channels.
+    train_size, test_size:
+        Sample counts.
+    noise:
+        Pixel-noise standard deviation relative to prototype scale.
+    """
+
+    num_classes: int = 10
+    size: int = 8
+    channels: int = 3
+    train_size: int = 2048
+    test_size: int = 512
+    noise: float = 0.8
+    seed: int = 0
+
+    x_train: np.ndarray = field(init=False, repr=False)
+    y_train: np.ndarray = field(init=False, repr=False)
+    x_test: np.ndarray = field(init=False, repr=False)
+    y_test: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        rng = new_rng(self.seed)
+        prototypes = np.stack([
+            _smooth_field(rng, self.channels, self.size)
+            for _ in range(self.num_classes)])
+        self.x_train, self.y_train = self._sample(rng, prototypes,
+                                                  self.train_size)
+        self.x_test, self.y_test = self._sample(rng, prototypes,
+                                                self.test_size)
+
+    def _sample(self, rng: np.random.Generator, prototypes: np.ndarray,
+                count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, self.num_classes, size=count)
+        images = prototypes[labels] + self.noise * rng.normal(
+            size=(count, self.channels, self.size, self.size))
+        return images.astype(np.float64), labels.astype(np.int64)
+
+    def __len__(self) -> int:
+        return self.train_size
+
+
+def make_cifar10_like(seed: int = 0, train_size: int = 2048,
+                      size: int = 8) -> SyntheticImages:
+    """CIFAR10 substitute: 10 classes."""
+    return SyntheticImages(num_classes=10, size=size,
+                           train_size=train_size, seed=seed)
+
+
+def make_cifar100_like(seed: int = 0, train_size: int = 2048,
+                       size: int = 8) -> SyntheticImages:
+    """CIFAR100 substitute: 100 classes (harder, like the paper's task)."""
+    return SyntheticImages(num_classes=100, size=size,
+                           train_size=train_size, noise=0.6, seed=seed)

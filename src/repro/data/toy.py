@@ -1,0 +1,90 @@
+"""Toy objectives from Section 2 of the paper.
+
+Figure 3(a): a one-dimensional non-convex function stitched together from
+two quadratics with curvatures 1 and 1000, giving a generalized condition
+number (GCN) of 1000.  With the tuning rule of eq. (9), momentum gradient
+descent converges linearly at rate ``sqrt(mu)`` despite the curvature jump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class TwoQuadratic:
+    """Piecewise-quadratic objective with a sharp inner and flat outer region.
+
+    The function is C^1 at the break points ``+-width``:
+
+        f(x) = (h_sharp/2) x^2                          for |x| <= width
+        f(x) = (h_flat/2)(|x| - offset)^2 + base        for |x| >  width
+
+    with ``offset``/``base`` chosen for continuity of ``f`` and ``f'``.
+    The global minimum is at 0; generalized curvature with respect to 0
+    ranges over ``[h_eff_min, h_sharp]`` giving a large GCN.
+    """
+
+    h_sharp: float = 1000.0
+    h_flat: float = 1.0
+    width: float = 1.0
+
+    def __post_init__(self):
+        if self.h_sharp < self.h_flat:
+            raise ValueError("h_sharp must be >= h_flat")
+        # continuity of f' at |x| = width:
+        #   h_sharp * width = h_flat * (width - offset)  =>
+        self.offset = self.width * (1.0 - self.h_sharp / self.h_flat)
+        inner = 0.5 * self.h_sharp * self.width ** 2
+        outer = 0.5 * self.h_flat * (self.width - self.offset) ** 2
+        self.base = inner - outer
+
+    def f(self, x: float) -> float:
+        ax = abs(x)
+        if ax <= self.width:
+            return 0.5 * self.h_sharp * x * x
+        return 0.5 * self.h_flat * (ax - self.offset) ** 2 + self.base
+
+    def grad(self, x: float) -> float:
+        ax = abs(x)
+        if ax <= self.width:
+            return self.h_sharp * x
+        return self.h_flat * (ax - self.offset) * np.sign(x)
+
+    def generalized_curvature(self, x: float) -> float:
+        """``h(x) = f'(x) / (x - x*)`` with ``x* = 0`` (Definition 2)."""
+        if x == 0.0:
+            return self.h_sharp
+        return self.grad(x) / x
+
+    def curvature_range(self, domain: np.ndarray) -> tuple:
+        h = np.array([self.generalized_curvature(float(x))
+                      for x in np.asarray(domain).ravel() if x != 0.0])
+        return float(h.min()), float(h.max())
+
+
+def piecewise_curvature(objective: TwoQuadratic,
+                        xs: np.ndarray) -> np.ndarray:
+    """Vectorized generalized curvature over ``xs``."""
+    return np.array([objective.generalized_curvature(float(x)) for x in xs])
+
+
+def make_figure3_objective() -> TwoQuadratic:
+    """The Figure 3(a) objective: curvatures 1 and 1000, GCN = 1000."""
+    return TwoQuadratic(h_sharp=1000.0, h_flat=1.0, width=1.0)
+
+
+def run_momentum_descent(objective: TwoQuadratic, x0: float, lr: float,
+                         momentum: float, steps: int) -> np.ndarray:
+    """Deterministic momentum GD on the toy objective; returns |x_t - 0|."""
+    x_prev, x = x0, x0
+    dist = np.empty(steps + 1)
+    dist[0] = abs(x0)
+    for t in range(steps):
+        x_next = x - lr * objective.grad(x) + momentum * (x - x_prev)
+        x_prev, x = x, x_next
+        dist[t + 1] = abs(x)
+    return dist

@@ -1,0 +1,15 @@
+"""Models matching the paper's Table 3 architectures at laptop scale."""
+
+from repro.models.mlp import MLP, LogisticRegression
+from repro.models.resnet import ResNet, make_resnet_cifar10,  \
+    make_resnet_cifar100
+from repro.models.lstm_lm import LSTMLanguageModel, TiedLSTMLanguageModel
+from repro.models.lstm_classifier import LSTMClassifier
+from repro.models.seq2seq import Seq2Seq
+
+__all__ = [
+    "MLP", "LogisticRegression",
+    "ResNet", "make_resnet_cifar10", "make_resnet_cifar100",
+    "LSTMLanguageModel", "TiedLSTMLanguageModel", "LSTMClassifier",
+    "Seq2Seq",
+]

@@ -1,0 +1,32 @@
+"""LSTM sequence classifier (the Fig 3(c,d) "LSTM on MNIST" model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import LSTM, Linear, Module
+from repro.utils.rng import new_rng
+
+
+class LSTMClassifier(Module):
+    """Consume a feature sequence, classify from the final hidden state."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_classes: int,
+                 num_layers: int = 1, seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.lstm = LSTM(input_size, hidden_size, num_layers=num_layers,
+                         seed=rng)
+        self.head = Linear(hidden_size, num_classes, seed=rng)
+
+    def forward(self, x) -> Tensor:
+        """``x``: time-major ``(T, N, input_size)`` array or Tensor."""
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        hidden, _ = self.lstm(x)
+        return self.head(hidden[-1])
+
+    def loss(self, x, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(self.forward(x), np.asarray(labels))

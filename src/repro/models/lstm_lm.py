@@ -1,0 +1,81 @@
+"""LSTM language models (PTB / TS / WSJ stand-ins) and the tied variant.
+
+Matches the paper's Table 3 shape (embedding -> stacked LSTM -> softmax)
+at reduced width.  ``TiedLSTMLanguageModel`` shares the embedding with the
+output projection (Press & Wolf), the model used in the Fig. 11
+learning-rate-factor experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import Embedding, Linear, LSTM, Module
+from repro.utils.rng import new_rng
+
+
+class LSTMLanguageModel(Module):
+    """Embedding, stacked LSTM, and a linear vocabulary head.
+
+    ``forward`` takes time-major integer ids ``(T, N)`` and returns logits
+    ``(T*N, vocab)`` ready for cross-entropy against flattened targets.
+    """
+
+    def __init__(self, vocab_size: int, embed_dim: int = 32,
+                 hidden_size: int = 64, num_layers: int = 2, seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.vocab_size = vocab_size
+        self.embed = Embedding(vocab_size, embed_dim, seed=rng)
+        self.lstm = LSTM(embed_dim, hidden_size, num_layers=num_layers,
+                         seed=rng)
+        self.head = Linear(hidden_size, vocab_size, seed=rng)
+
+    def forward(self, ids: np.ndarray,
+                state: Optional[List[Tuple[Tensor, Tensor]]] = None):
+        """Returns ``(logits, new_state)``."""
+        emb = self.embed(ids)                      # (T, N, E)
+        hidden, state = self.lstm(emb, state)      # (T, N, H)
+        t, n, h = hidden.shape
+        logits = self.head(hidden.reshape(t * n, h))
+        return logits, state
+
+    def loss(self, ids: np.ndarray, targets: np.ndarray,
+             state=None) -> Tuple[Tensor, list]:
+        logits, state = self.forward(ids, state)
+        return F.cross_entropy(logits, np.asarray(targets).reshape(-1)), state
+
+
+class TiedLSTMLanguageModel(Module):
+    """LM with input/output weight tying: head weight == embedding matrix."""
+
+    def __init__(self, vocab_size: int, embed_dim: int = 32,
+                 num_layers: int = 2, seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.vocab_size = vocab_size
+        self.embed = Embedding(vocab_size, embed_dim, seed=rng)
+        # hidden size must equal embed_dim for tying
+        self.lstm = LSTM(embed_dim, embed_dim, num_layers=num_layers,
+                         seed=rng)
+
+    def forward(self, ids: np.ndarray, state=None):
+        emb = self.embed(ids)
+        hidden, state = self.lstm(emb, state)
+        t, n, h = hidden.shape
+        logits = hidden.reshape(t * n, h) @ self.embed.weight.T
+        return logits, state
+
+    def loss(self, ids: np.ndarray, targets: np.ndarray,
+             state=None) -> Tuple[Tensor, list]:
+        logits, state = self.forward(ids, state)
+        return F.cross_entropy(logits, np.asarray(targets).reshape(-1)), state
+
+
+def perplexity(mean_nll: float) -> float:
+    """Perplexity from mean token negative log-likelihood (nats)."""
+    return float(np.exp(min(mean_nll, 50.0)))  # cap to avoid inf overflow

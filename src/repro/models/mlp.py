@@ -1,0 +1,39 @@
+"""Simple feed-forward models for fast tests and toy experiments."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.autograd.tensor import Tensor
+from repro.nn import Linear, Module, ReLU, Sequential
+from repro.utils.rng import new_rng
+
+
+class MLP(Module):
+    """Multilayer perceptron with ReLU activations."""
+
+    def __init__(self, sizes: Sequence[int], seed=None):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        rng = new_rng(seed)
+        layers = []
+        for i in range(len(sizes) - 1):
+            layers.append(Linear(sizes[i], sizes[i + 1], seed=rng))
+            if i < len(sizes) - 2:
+                layers.append(ReLU())
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class LogisticRegression(Module):
+    """Linear classifier (convex objective — useful for exact analysis)."""
+
+    def __init__(self, in_features: int, num_classes: int, seed=None):
+        super().__init__()
+        self.linear = Linear(in_features, num_classes, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear(x)

@@ -1,0 +1,130 @@
+"""CIFAR-style ResNets (He et al., 2016), scaled down for NumPy training.
+
+Mirrors the paper's Table 3: the CIFAR10 network uses regular (basic)
+residual units; the CIFAR100 network uses bottleneck units.  Widths and
+depths are reduced so a full benchmark run stays laptop-feasible — the
+optimizer dynamics we reproduce depend on the architecture family, not the
+parameter count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import BatchNorm2d, Conv2d, Linear, Module, ModuleList
+from repro.utils.rng import new_rng
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with identity (or 1x1-projected) shortcut."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int = 1, seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1,
+                            seed=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1, seed=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut = Conv2d(in_ch, out_ch, 1, stride=stride, seed=rng)
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        skip = self.shortcut(x) if self.shortcut is not None else x
+        return (out + skip).relu()
+
+
+class BottleneckBlock(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck unit (the CIFAR100 architecture)."""
+
+    def __init__(self, in_ch: int, mid_ch: int, out_ch: int, stride: int = 1,
+                 seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.conv1 = Conv2d(in_ch, mid_ch, 1, seed=rng)
+        self.bn1 = BatchNorm2d(mid_ch)
+        self.conv2 = Conv2d(mid_ch, mid_ch, 3, stride=stride, padding=1,
+                            seed=rng)
+        self.bn2 = BatchNorm2d(mid_ch)
+        self.conv3 = Conv2d(mid_ch, out_ch, 1, seed=rng)
+        self.bn3 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut = Conv2d(in_ch, out_ch, 1, stride=stride, seed=rng)
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        skip = self.shortcut(x) if self.shortcut is not None else x
+        return (out + skip).relu()
+
+
+class ResNet(Module):
+    """Stem conv + residual stages + global average pool + linear head."""
+
+    def __init__(self, blocks: List[Module], stem_channels: int,
+                 head_channels: int, num_classes: int, in_channels: int = 3,
+                 seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.stem = Conv2d(in_channels, stem_channels, 3, padding=1, seed=rng)
+        self.stem_bn = BatchNorm2d(stem_channels)
+        self.blocks = ModuleList(blocks)
+        self.head = Linear(head_channels, num_classes, seed=rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = self.stem_bn(self.stem(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        out = F.global_avg_pool2d(out)
+        return self.head(out)
+
+
+def make_resnet_cifar10(num_classes: int = 10, width: int = 4,
+                        blocks_per_stage: int = 1, seed=None) -> ResNet:
+    """Basic-block ResNet in the style of the paper's 110-layer CIFAR10 net.
+
+    Three stages with channel widths ``(w, 2w, 4w)``; stage transitions
+    use stride 2.
+    """
+    rng = new_rng(seed)
+    blocks: List[Module] = []
+    channels = [width, 2 * width, 4 * width]
+    in_ch = width
+    for stage, out_ch in enumerate(channels):
+        for b in range(blocks_per_stage):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            blocks.append(BasicBlock(in_ch, out_ch, stride=stride, seed=rng))
+            in_ch = out_ch
+    return ResNet(blocks, stem_channels=width, head_channels=channels[-1],
+                  num_classes=num_classes, seed=rng)
+
+
+def make_resnet_cifar100(num_classes: int = 100, width: int = 4,
+                         blocks_per_stage: int = 1, seed=None) -> ResNet:
+    """Bottleneck ResNet in the style of the paper's 164-layer CIFAR100 net."""
+    rng = new_rng(seed)
+    blocks: List[Module] = []
+    stages = [(width, 4 * width), (2 * width, 8 * width),
+              (4 * width, 16 * width)]
+    in_ch = width
+    for stage, (mid_ch, out_ch) in enumerate(stages):
+        for b in range(blocks_per_stage):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            blocks.append(BottleneckBlock(in_ch, mid_ch, out_ch,
+                                          stride=stride, seed=rng))
+            in_ch = out_ch
+    return ResNet(blocks, stem_channels=width, head_channels=stages[-1][1],
+                  num_classes=num_classes, seed=rng)

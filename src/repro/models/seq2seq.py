@@ -1,0 +1,139 @@
+"""Encoder-decoder sequence model (conv-seq2seq stand-in for Table 1).
+
+The paper's Table 1 workload is Gehring et al.'s convolutional seq2seq on
+IWSLT14 De-En, interesting here purely for its *instability*: without
+gradient clipping the default optimizer (lr 0.25, Nesterov momentum 0.99)
+diverges.  Saturating LSTM decoders self-limit (vanishing gradients cap
+the loss near ``ln(vocab)``), so faithfully reproducing the divergence
+needs an unbounded activation path like the conv seq2seq's own: with
+``decoder_cell="rnn_relu"`` the decoder is a ReLU Elman recurrence — the
+canonical exploding-gradient model (Pascanu et al., 2013) — and ``gain``
+scales its recurrent weight past the edge of stability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor, concatenate, stack
+from repro.nn import Embedding, Linear, LSTM, Module, RNNCell
+from repro.utils.rng import new_rng
+
+
+class Seq2Seq(Module):
+    """LSTM encoder + (LSTM or ReLU-RNN) decoder with summary feeding.
+
+    Parameters
+    ----------
+    vocab_size, embed_dim, hidden_size:
+        Model dimensions.
+    gain:
+        Instability knob (> 1 pushes toward the exploding-gradient regime
+        of Section 3.3).  For the LSTM decoder it multiplies the recurrent
+        weights.  For the ReLU decoder it sets the positive-feedback
+        strength: ``W_hh <- 0.3 * orthogonal + gain * I`` — rotation-heavy
+        ReLU recurrences self-stabilize, so explosion needs an
+        identity-dominant component (gain ~1.3 genuinely overflows the
+        loss under the paper's default optimizer).
+    decoder_cell:
+        ``"lstm"`` (stable) or ``"rnn_relu"`` (unbounded activations, the
+        Table 1 instability stand-in).
+    """
+
+    def __init__(self, vocab_size: int, embed_dim: int = 24,
+                 hidden_size: int = 48, gain: float = 1.0,
+                 decoder_cell: str = "lstm", seed=None):
+        super().__init__()
+        if decoder_cell not in ("lstm", "rnn_relu"):
+            raise ValueError(f"unknown decoder_cell {decoder_cell!r}")
+        rng = new_rng(seed)
+        self.vocab_size = vocab_size
+        self.decoder_cell = decoder_cell
+        self.src_embed = Embedding(vocab_size, embed_dim, seed=rng)
+        self.tgt_embed = Embedding(vocab_size, embed_dim, seed=rng)
+        self.encoder = LSTM(embed_dim, hidden_size, seed=rng)
+        if decoder_cell == "lstm":
+            self.decoder = LSTM(embed_dim + hidden_size, hidden_size,
+                                seed=rng)
+            if gain != 1.0:
+                for cell in self.decoder.cells + self.encoder.cells:
+                    cell.weight_hh.data *= gain
+        else:
+            self.decoder_rnn = RNNCell(embed_dim + hidden_size, hidden_size,
+                                       activation="relu", seed=rng)
+            if gain != 1.0:
+                w = self.decoder_rnn.weight_hh
+                w.data = 0.3 * w.data + gain * np.eye(hidden_size)
+        self.head = Linear(hidden_size, vocab_size, seed=rng)
+
+    # ------------------------------------------------------------- #
+    def _encode(self, src: np.ndarray):
+        src_emb = self.src_embed(src)
+        enc_out, enc_state = self.encoder(src_emb)
+        return enc_out, enc_state           # (T, N, H) outputs, final state
+
+    def _decode(self, tgt_in: np.ndarray, enc_out: Tensor, enc_state):
+        """Aligned feeding: decoder step t sees encoder output t (a
+        fixed-alignment stand-in for the conv seq2seq's attention)."""
+        t, n = tgt_in.shape
+        tgt_emb = self.tgt_embed(tgt_in)
+        if self.decoder_cell == "lstm":
+            steps: List[Tensor] = []
+            for step in range(t):
+                steps.append(concatenate([tgt_emb[step], enc_out[step]],
+                                         axis=1))
+            dec_in = stack(steps, axis=0)
+            dec_out, _ = self.decoder(dec_in, enc_state)
+            return dec_out
+        h = enc_state[0][0]                  # encoder final hidden
+        outs: List[Tensor] = []
+        for step in range(t):
+            inp = concatenate([tgt_emb[step], enc_out[step]], axis=1)
+            h = self.decoder_rnn(inp, h)
+            outs.append(h)
+        return stack(outs, axis=0)
+
+    def forward(self, src: np.ndarray, tgt_in: np.ndarray) -> Tensor:
+        """Teacher-forced logits ``(T*N, vocab)`` (time-major inputs)."""
+        enc_out, enc_state = self._encode(src)
+        dec_out = self._decode(tgt_in, enc_out, enc_state)
+        t, n, h = dec_out.shape
+        return self.head(dec_out.reshape(t * n, h))
+
+    def loss(self, src: np.ndarray, tgt: np.ndarray) -> Tensor:
+        """Next-token loss with teacher forcing (BOS = last target token)."""
+        tgt_in = np.vstack([tgt[-1:, :], tgt[:-1, :]])
+        logits = self.forward(src, tgt_in)
+        return F.cross_entropy(logits, tgt.reshape(-1))
+
+    def greedy_decode(self, src: np.ndarray, length: int) -> np.ndarray:
+        """Greedy teacher-free decoding; returns ``(length, N)`` ids."""
+        with no_grad():
+            enc_out, enc_state = self._encode(src)
+            n = src.shape[1]
+            token = np.zeros(n, dtype=np.int64)
+            outputs = np.empty((length, n), dtype=np.int64)
+            if self.decoder_cell == "lstm":
+                state = enc_state
+            else:
+                h = enc_state[0][0]
+            for step in range(length):
+                emb = self.tgt_embed(token.reshape(1, n))[0]
+                dec_in = concatenate([emb, enc_out[min(step, len(src) - 1)]],
+                                     axis=1)
+                if self.decoder_cell == "lstm":
+                    hh, cc = state[0]
+                    hh, cc = self.decoder.cells[0](dec_in, (hh, cc))
+                    state = [(hh, cc)]
+                    hidden = hh
+                else:
+                    h = self.decoder_rnn(dec_in, h)
+                    hidden = h
+                logits = self.head(hidden)
+                token = np.argmax(logits.data, axis=1)
+                outputs[step] = token
+        return outputs

@@ -1,0 +1,23 @@
+"""Minimal neural-network library over :mod:`repro.autograd`.
+
+Mirrors the slice of ``torch.nn`` the paper's models need: Linear, Conv2d,
+BatchNorm2d, Embedding, LSTM, Sequential and friends.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm2d, LayerNorm
+from repro.nn.embedding import Embedding
+from repro.nn.rnn import LSTMCell, LSTM, RNNCell, GRUCell
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.activation import ReLU, Tanh, Sigmoid
+from repro.nn.dropout import Dropout
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+
+__all__ = [
+    "Module", "Parameter", "Linear", "Conv2d", "BatchNorm2d", "LayerNorm",
+    "Embedding", "LSTMCell", "LSTM", "RNNCell", "GRUCell", "Sequential",
+    "ModuleList",
+    "ReLU", "Tanh", "Sigmoid", "Dropout", "CrossEntropyLoss", "MSELoss",
+]

@@ -1,0 +1,21 @@
+"""Activation modules (thin wrappers over functional ops)."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()

@@ -1,0 +1,55 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order = list(modules)
+        for idx, module in enumerate(modules):
+            setattr(self, f"layer{idx}", module)
+
+    def forward(self, x):
+        for module in self._order:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._order[idx]
+
+
+class ModuleList(Module):
+    """List of submodules with registration (no forward of its own)."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        idx = len(self._items)
+        self._items.append(module)
+        setattr(self, f"item{idx}", module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]

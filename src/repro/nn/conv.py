@@ -1,0 +1,48 @@
+"""2-D convolution layer (NCHW)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.init import kaiming_normal
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class Conv2d(Module):
+    """Convolution with square kernels, used by the CIFAR-style ResNets.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Side of the square kernel.
+    stride, padding:
+        Standard convolution arithmetic.
+    bias:
+        ResNets here follow the paper's architecture and disable conv bias
+        in favor of BatchNorm.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = False,
+                 seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(kaiming_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        c_out, c_in, k, _ = self.weight.shape
+        return (f"Conv2d({c_in}, {c_out}, kernel={k}, stride={self.stride}, "
+                f"pad={self.padding})")

@@ -1,0 +1,29 @@
+"""Dropout module (inverted dropout with internal generator)."""
+
+from __future__ import annotations
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+class Dropout(Module):
+    """Randomly zeroes activations with probability ``p`` during training.
+
+    Evaluation mode is the identity.  The module owns its generator so
+    training runs are reproducible given the seed.
+    """
+
+    def __init__(self, p: float = 0.5, seed=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = new_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

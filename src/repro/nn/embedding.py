@@ -1,0 +1,36 @@
+"""Token embedding table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Used by the LSTM language models (PTB/TS/WSJ stand-ins) and by the
+    Tied-LSTM variant of Fig. 11 where the same matrix also projects the
+    output (Press & Wolf weight tying).
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            rng.normal(0.0, 0.1, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.max(initial=0) >= self.num_embeddings or indices.min(initial=0) < 0:
+            raise IndexError("embedding index out of range")
+        return F.embedding(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

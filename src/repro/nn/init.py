@@ -1,0 +1,48 @@
+"""Weight initializers (Glorot/He/orthogonal) with explicit generators."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform; fan computed as for dense/conv kernels."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-normal initializer, suited to ReLU networks (ResNets)."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: Tuple[int, int], rng: np.random.Generator,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initializer, standard for recurrent weights."""
+    rows, cols = shape
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:
+        fan_out, fan_in = shape[0], shape[1]
+    elif len(shape) == 4:  # conv: (C_out, C_in, KH, KW)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        raise ValueError(f"unsupported shape {shape}")
+    return fan_in, fan_out

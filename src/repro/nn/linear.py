@@ -1,0 +1,41 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    bias:
+        Whether to learn an additive bias.
+    seed:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (f"Linear(in={self.in_features}, out={self.out_features}, "
+                f"bias={self.bias is not None})")

@@ -1,0 +1,29 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class targets.
+
+    The negative log-probability loss family assumed by YellowFin's
+    curvature measurements (Section 3.2).
+    """
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    def forward(self, pred: Tensor, target: np.ndarray) -> Tensor:
+        return F.mse_loss(pred, target)

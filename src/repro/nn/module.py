@@ -1,0 +1,119 @@
+"""Module/Parameter machinery: registration, traversal, train/eval state."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are discovered automatically for ``parameters()``,
+    ``zero_grad()`` and ``state_dict()``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    # -------------------------------------------------------------- #
+    # attribute-based registration
+    # -------------------------------------------------------------- #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+            value.name = value.name or name
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track non-trainable state (e.g. BatchNorm running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def update_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"unknown buffer {name!r}")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -------------------------------------------------------------- #
+    # traversal
+    # -------------------------------------------------------------- #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -------------------------------------------------------------- #
+    # state
+    # -------------------------------------------------------------- #
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name, buf in self._buffers.items():
+            state[f"{prefix}{name}"] = np.array(buf, copy=True)
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{name}."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        for name, param in self._parameters.items():
+            param.data = state[f"{prefix}{name}"].copy()
+        for name in list(self._buffers):
+            self.update_buffer(name, np.array(state[f"{prefix}{name}"], copy=True))
+        for name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{name}.")
+
+    # -------------------------------------------------------------- #
+    # call protocol
+    # -------------------------------------------------------------- #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self._modules)
+        return f"{type(self).__name__}({inner})"

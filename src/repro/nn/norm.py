@@ -1,0 +1,90 @@
+"""Normalization layers: BatchNorm2d (ResNets) and LayerNorm (RNN variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over ``(N, H, W)`` per channel.
+
+    Tracks running statistics for evaluation mode, matching the behaviour of
+    the ResNet layers in the paper's Table 3 architectures.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1):
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.update_buffer(
+                "running_mean",
+                (1 - self.momentum) * self.running_mean + self.momentum * mean)
+            self.update_buffer(
+                "running_var",
+                (1 - self.momentum) * self.running_var + self.momentum * var)
+            x_hat = _normalize_train(x, mean, var, self.eps)
+        else:
+            scale = 1.0 / np.sqrt(self.running_var + self.eps)
+            x_hat = (x - Tensor(self.running_mean.reshape(1, -1, 1, 1))) \
+                * Tensor(scale.reshape(1, -1, 1, 1))
+        w = self.weight.reshape(1, -1, 1, 1)
+        b = self.bias.reshape(1, -1, 1, 1)
+        return x_hat * w + b
+
+
+def _normalize_train(x: Tensor, mean: np.ndarray, var: np.ndarray,
+                     eps: float) -> Tensor:
+    """Training-mode normalization with the full batch-statistics gradient."""
+    n, c, h, w = x.shape
+    m = n * h * w
+    mean_r = mean.reshape(1, c, 1, 1)
+    inv_std = (1.0 / np.sqrt(var + eps)).reshape(1, c, 1, 1)
+    x_hat_data = (x.data - mean_r) * inv_std
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        # Standard batchnorm backward through mean and variance.
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat_data).sum(axis=(0, 2, 3), keepdims=True)
+        return inv_std / m * (m * g - sum_g - x_hat_data * sum_gx)
+
+    return Tensor._make(x_hat_data, [(x, grad_fn)])
+
+
+class LayerNorm(Module):
+    """Layer normalization across the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        d = x.shape[-1]
+        mean = x.data.mean(axis=-1, keepdims=True)
+        var = x.data.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat_data = (x.data - mean) * inv_std
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            sum_g = g.sum(axis=-1, keepdims=True)
+            sum_gx = (g * x_hat_data).sum(axis=-1, keepdims=True)
+            return inv_std / d * (d * g - sum_g - x_hat_data * sum_gx)
+
+        x_hat = Tensor._make(x_hat_data, [(x, grad_fn)])
+        return x_hat * self.weight + self.bias

@@ -1,0 +1,188 @@
+"""LSTM cell and multi-layer LSTM, the workhorse of the paper's RNN tasks."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate matrices.
+
+    Gate layout along the output dimension is ``[input, forget, cell, output]``,
+    mirroring cuDNN/PyTorch. Forget-gate bias starts at 1 (standard practice
+    for stable early training).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            xavier_uniform((4 * hidden_size, input_size), rng))
+        self.weight_hh = Parameter(np.concatenate(
+            [orthogonal((hidden_size, hidden_size), rng) for _ in range(4)],
+            axis=0))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]
+                ) -> Tuple[Tensor, Tensor]:
+        """One step: ``x`` is ``(N, input_size)``; returns ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = F.linear(x, self.weight_ih) + F.linear(h_prev, self.weight_hh) \
+            + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0:hs].sigmoid()
+        f = gates[:, hs:2 * hs].sigmoid()
+        g = gates[:, 2 * hs:3 * hs].tanh()
+        o = gates[:, 3 * hs:4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def zero_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class RNNCell(Module):
+    """Elman recurrence ``h' = act(W_ih x + W_hh h + b)``.
+
+    With ``activation="relu"`` and recurrent spectral norm above 1 this is
+    the canonical exploding-gradient model (Pascanu et al., 2013) — used
+    as the unstable-decoder stand-in for the paper's Table 1 / Figure 6
+    experiments (the conv seq2seq's activations are likewise unbounded).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 activation: str = "tanh", seed=None):
+        super().__init__()
+        if activation not in ("tanh", "relu"):
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = new_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.activation = activation
+        self.weight_ih = Parameter(xavier_uniform((hidden_size, input_size),
+                                                  rng))
+        self.weight_hh = Parameter(orthogonal((hidden_size, hidden_size),
+                                              rng))
+        self.bias = Parameter(np.zeros(hidden_size))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        pre = F.linear(x, self.weight_ih) + F.linear(h_prev, self.weight_hh) \
+            + self.bias
+        return pre.tanh() if self.activation == "tanh" else pre.relu()
+
+    def zero_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class GRUCell(Module):
+    """Gated Recurrent Unit step (Cho et al., 2014).
+
+    Gate layout along the fused output dimension is ``[reset, update,
+    candidate]``.  Included as a lighter recurrent substrate for tests and
+    extensions; the paper's experiments all use LSTMs.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            xavier_uniform((3 * hidden_size, input_size), rng))
+        self.weight_hh = Parameter(np.concatenate(
+            [orthogonal((hidden_size, hidden_size), rng) for _ in range(3)],
+            axis=0))
+        self.bias = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gates_x = F.linear(x, self.weight_ih) + self.bias
+        gates_h = F.linear(h_prev, self.weight_hh)
+        r = (gates_x[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
+        z = (gates_x[:, hs:2 * hs] + gates_h[:, hs:2 * hs]).sigmoid()
+        n = (gates_x[:, 2 * hs:3 * hs] + r * gates_h[:, 2 * hs:3 * hs]).tanh()
+        return (1.0 - z) * n + z * h_prev
+
+    def zero_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class LSTM(Module):
+    """Stack of :class:`LSTMCell` layers unrolled over time.
+
+    Parameters
+    ----------
+    input_size:
+        Feature dimension of inputs at each time step.
+    hidden_size:
+        Hidden units per layer (the paper's Table 3 uses 128–500).
+    num_layers:
+        Stack depth (2 for PTB/TS, 3 for WSJ in the paper).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 seed=None):
+        super().__init__()
+        rng = new_rng(seed)
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cells.append(LSTMCell(in_size, hidden_size, seed=rng))
+        # register cells as submodules
+        for idx, cell in enumerate(cells):
+            setattr(self, f"cell{idx}", cell)
+        self.cells = cells
+
+    def forward(self, x: Tensor,
+                state: Optional[List[Tuple[Tensor, Tensor]]] = None
+                ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Run the full sequence.
+
+        Parameters
+        ----------
+        x: ``(T, N, input_size)`` time-major input.
+        state: optional per-layer ``(h, c)`` initial state.
+
+        Returns
+        -------
+        outputs: ``(T, N, hidden_size)`` top-layer hidden states.
+        state: final per-layer states (detached from graph by the caller if
+            truncated BPTT is desired).
+        """
+        seq_len, batch = x.shape[0], x.shape[1]
+        if state is None:
+            state = [cell.zero_state(batch) for cell in self.cells]
+        outputs: List[Tensor] = []
+        for t in range(seq_len):
+            inp = x[t]
+            new_state: List[Tuple[Tensor, Tensor]] = []
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(inp, state[layer])
+                new_state.append((h, c))
+                inp = h
+            state = new_state
+            outputs.append(inp)
+        from repro.autograd.tensor import stack
+        return stack(outputs, axis=0), state
+
+    @staticmethod
+    def detach_state(state: List[Tuple[Tensor, Tensor]]
+                     ) -> List[Tuple[Tensor, Tensor]]:
+        """Cut the state from the graph for truncated BPTT."""
+        return [(h.detach(), c.detach()) for h, c in state]

@@ -1,0 +1,19 @@
+"""Baseline optimizers the paper compares against, plus utilities.
+
+Includes vanilla SGD, Polyak/Nesterov momentum SGD, Adam, AdaGrad, RMSProp,
+learning-rate schedulers and static gradient clipping.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD, MomentumSGD
+from repro.optim.adam import Adam
+from repro.optim.adagrad import AdaGrad
+from repro.optim.rmsprop import RMSProp
+from repro.optim.lr_scheduler import ExponentialDecay, StepDecay, LRScheduler
+from repro.optim.grad_clip import clip_grad_norm, global_grad_norm
+
+__all__ = [
+    "Optimizer", "SGD", "MomentumSGD", "Adam", "AdaGrad", "RMSProp",
+    "ExponentialDecay", "StepDecay", "LRScheduler",
+    "clip_grad_norm", "global_grad_norm",
+]

@@ -1,0 +1,34 @@
+"""AdaGrad (Duchi et al., 2011) — the NLP-community baseline for parsing."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.optim.optimizer import Optimizer
+
+
+class AdaGrad(Optimizer):
+    """Per-coordinate learning rates from accumulated squared gradients."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01,
+                 eps: float = 1e-10):
+        super().__init__(params)
+        self.lr = lr
+        self.eps = eps
+        self._accum: List[np.ndarray] = [np.zeros_like(p.data)
+                                         for p in self.params]
+
+    def step(self) -> None:
+        for p, g, acc in zip(self.params, self.gradients(), self._accum):
+            acc += g * g
+            p.data -= self.lr * g / (np.sqrt(acc) + self.eps)
+        self.t += 1
+
+    def _extra_state(self) -> dict:
+        return {"accum": self._copy_buffers(self._accum)}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        self._accum = self._copy_buffers(extra["accum"])

@@ -1,0 +1,74 @@
+"""Adam (Kingma & Ba, 2015) — the paper's main adaptive baseline."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction.
+
+    ``beta1`` is the quantity the paper calls "momentum in Adam" when
+    sweeping it under asynchrony (Fig. 10, Appendix J.3); it may be
+    negative there, which this implementation permits.
+
+    ``amsgrad=True`` uses the maximum of past second-moment estimates
+    (Reddi et al., 2018), a common fix for Adam's non-convergence cases.
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+                 amsgrad: bool = False):
+        super().__init__(params)
+        if not -1.0 < beta1 < 1.0:
+            raise ValueError(f"beta1 must be in (-1, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.amsgrad = amsgrad
+        self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        self._vmax: List[np.ndarray] = [np.zeros_like(p.data)
+                                        for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self.t
+        bias2 = 1.0 - b2 ** self.t
+        for p, g, m, v, vmax in zip(self.params, self.gradients(),
+                                    self._m, self._v, self._vmax):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / bias1
+            if self.amsgrad:
+                np.maximum(vmax, v, out=vmax)
+                v_hat = vmax / bias2
+            else:
+                v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _extra_state(self) -> dict:
+        return {"beta1": self.beta1, "beta2": self.beta2, "eps": self.eps,
+                "amsgrad": self.amsgrad,
+                "m": self._copy_buffers(self._m),
+                "v": self._copy_buffers(self._v),
+                "vmax": self._copy_buffers(self._vmax)}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        self.beta1, self.beta2, self.eps = (extra["beta1"], extra["beta2"],
+                                            extra["eps"])
+        self.amsgrad = extra["amsgrad"]
+        self._m = self._copy_buffers(extra["m"])
+        self._v = self._copy_buffers(extra["v"])
+        self._vmax = self._copy_buffers(extra["vmax"])

@@ -1,0 +1,35 @@
+"""Static gradient clipping (the manual baseline YellowFin's adaptive
+clipping is compared against in Table 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def global_grad_norm(params: Iterable[Tensor]) -> float:
+    """L2 norm of all gradients concatenated."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad * p.grad))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging gradient explosions,
+    Fig. 6).
+    """
+    params = list(params)
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return norm

@@ -1,0 +1,50 @@
+"""Learning-rate schedules used by the paper's experiment protocol.
+
+Appendix I: TS decays the learning rate by 0.97 every epoch; WSJ decays by
+0.9 every epoch after epoch 14.
+"""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`epoch_end` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def factor(self) -> float:
+        raise NotImplementedError
+
+    def epoch_end(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.factor()
+
+
+class ExponentialDecay(LRScheduler):
+    """lr ← base_lr · gamma^epoch (TS protocol with gamma=0.97)."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.97):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def factor(self) -> float:
+        return self.gamma ** self.epoch
+
+
+class StepDecay(LRScheduler):
+    """Decay by ``gamma`` each epoch after ``start_epoch`` (WSJ protocol)."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.9,
+                 start_epoch: int = 14):
+        super().__init__(optimizer)
+        self.gamma = gamma
+        self.start_epoch = start_epoch
+
+    def factor(self) -> float:
+        excess = max(0, self.epoch - self.start_epoch)
+        return self.gamma ** excess

@@ -1,0 +1,80 @@
+"""Base optimizer API.
+
+All optimizers operate on a list of :class:`~repro.nn.module.Parameter`
+(or any gradient-carrying :class:`~repro.autograd.tensor.Tensor`), reading
+``p.grad`` and updating ``p.data`` in place — the same contract as
+``torch.optim``, so YellowFin is a drop-in replacement as the paper claims.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Optimizer:
+    """Common functionality: parameter bookkeeping and ``zero_grad``."""
+
+    def __init__(self, params: Iterable[Tensor]):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        for p in self.params:
+            if not p.requires_grad:
+                raise ValueError("all optimized tensors must require grad")
+        self.t = 0  # global step counter
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def gradients(self) -> List[np.ndarray]:
+        """Collect current gradients; missing grads are zeros."""
+        return [p.grad if p.grad is not None else np.zeros_like(p.data)
+                for p in self.params]
+
+    def flat_gradient(self) -> np.ndarray:
+        """All gradients concatenated into one vector."""
+        return np.concatenate([g.reshape(-1) for g in self.gradients()])
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    # hook for schedulers
+    @property
+    def lr(self) -> float:
+        return getattr(self, "_lr", 0.0)
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self._lr = float(value)
+
+    # ------------------------------------------------------------- #
+    # checkpointing
+    # ------------------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (not including parameters).
+
+        Subclasses extend via :meth:`_extra_state`.  Restore with
+        :meth:`load_state_dict` on an optimizer constructed over the same
+        parameter list.
+        """
+        return {"t": self.t, "lr": self.lr, "extra": self._extra_state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.t = int(state["t"])
+        self.lr = float(state["lr"])
+        self._load_extra_state(state["extra"])
+
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        pass
+
+    @staticmethod
+    def _copy_buffers(buffers) -> list:
+        return [np.array(b, copy=True) for b in buffers]

@@ -1,0 +1,37 @@
+"""RMSProp (Tieleman & Hinton, 2012)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.optim.optimizer import Optimizer
+
+
+class RMSProp(Optimizer):
+    """Exponentially-averaged squared gradients for per-coordinate scaling."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 decay: float = 0.9, eps: float = 1e-8):
+        super().__init__(params)
+        self.lr = lr
+        self.decay = decay
+        self.eps = eps
+        self._sq: List[np.ndarray] = [np.zeros_like(p.data)
+                                      for p in self.params]
+
+    def step(self) -> None:
+        d = self.decay
+        for p, g, sq in zip(self.params, self.gradients(), self._sq):
+            sq *= d
+            sq += (1 - d) * g * g
+            p.data -= self.lr * g / (np.sqrt(sq) + self.eps)
+        self.t += 1
+
+    def _extra_state(self) -> dict:
+        return {"sq": self._copy_buffers(self._sq)}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        self._sq = self._copy_buffers(extra["sq"])

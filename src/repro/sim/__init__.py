@@ -1,0 +1,14 @@
+"""Training loops: synchronous trainer and the asynchronous-staleness
+simulator used for the paper's 16-worker experiments."""
+
+from repro.sim.trainer import train_sync, TrainerHooks
+from repro.sim.async_trainer import train_async
+from repro.sim.parameter_server import ParameterServer, WorkerState
+from repro.sim.metrics import (classification_accuracy, evaluate_lm,
+                               evaluate_classifier)
+
+__all__ = [
+    "train_sync", "TrainerHooks", "train_async",
+    "ParameterServer", "WorkerState",
+    "classification_accuracy", "evaluate_lm", "evaluate_classifier",
+]

@@ -1,0 +1,57 @@
+"""Validation metrics: accuracy, perplexity, and generic evaluation loops."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import no_grad
+from repro.nn.module import Module
+
+
+def classification_accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy from raw logits."""
+    preds = np.argmax(np.asarray(logits), axis=-1)
+    return float(np.mean(preds == np.asarray(targets)))
+
+
+def evaluate_classifier(model: Module, x: np.ndarray, y: np.ndarray,
+                        batch_size: int = 128) -> dict:
+    """Accuracy + mean loss over a held-out set."""
+    model.eval()
+    losses, correct, total = [], 0, 0
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            xb = x[start:start + batch_size]
+            yb = y[start:start + batch_size]
+            logits = model(xb)
+            losses.append(float(F.cross_entropy(logits, yb).data) * len(xb))
+            correct += int((np.argmax(logits.data, axis=1) == yb).sum())
+            total += len(xb)
+    model.train()
+    return {"loss": sum(losses) / total, "accuracy": correct / total}
+
+
+def evaluate_lm(model: Module, tokens: np.ndarray, batch_size: int = 8,
+                seq_len: int = 16, max_batches: Optional[int] = None) -> dict:
+    """Mean NLL and perplexity of a language model over a token stream."""
+    from repro.data.loader import SequenceLoader
+    from repro.models.lstm_lm import perplexity
+
+    loader = SequenceLoader(tokens, batch_size=batch_size, seq_len=seq_len)
+    n_batches = loader.batches_per_epoch
+    if max_batches is not None:
+        n_batches = min(n_batches, max_batches)
+    total_nll, count, state = 0.0, 0, None
+    model.eval()
+    with no_grad():
+        for _ in range(n_batches):
+            ids, targets = loader.next_batch()
+            loss, state = model.loss(ids, targets, state)
+            total_nll += float(loss.data) * ids.size
+            count += ids.size
+    model.train()
+    mean_nll = total_nll / max(count, 1)
+    return {"nll": mean_nll, "perplexity": perplexity(mean_nll)}

@@ -1,0 +1,89 @@
+"""Synchronous training loop.
+
+Workloads expose a single ``loss_fn()`` closure that draws the next
+minibatch, runs the forward pass and returns the scalar loss tensor; the
+trainer owns backward, optimizer stepping and logging.  This keeps every
+experiment (image, LM, parsing, seq2seq) on the identical code path the
+optimizers are compared on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.optim.grad_clip import clip_grad_norm
+from repro.optim.optimizer import Optimizer
+from repro.utils.logging import TrainLog
+
+
+@dataclass
+class TrainerHooks:
+    """Optional per-step callbacks and static clipping configuration.
+
+    Attributes
+    ----------
+    grad_clip_norm:
+        If set, apply *manual* static clipping before the optimizer step
+        (the baseline protocol of Table 1; YellowFin's adaptive clipping
+        is internal to the optimizer and needs no hook).
+    on_step:
+        Called as ``on_step(step, log)`` after each optimizer step.
+    stop_on_divergence:
+        Abort when the loss becomes non-finite or exceeds this value
+        (training "diverged to loss overflow", as the paper puts it).
+    """
+
+    grad_clip_norm: Optional[float] = None
+    on_step: Optional[Callable[[int, TrainLog], None]] = None
+    stop_on_divergence: Optional[float] = 1e6
+
+
+def train_sync(model: Module, optimizer: Optimizer,
+               loss_fn: Callable[[], Tensor], steps: int,
+               hooks: Optional[TrainerHooks] = None,
+               log: Optional[TrainLog] = None) -> TrainLog:
+    """Run ``steps`` optimizer steps; returns the training log.
+
+    The log always contains series ``"loss"``; if the optimizer exposes
+    ``stats()`` (YellowFin variants), per-step ``"lr"``/``"momentum"``
+    series are recorded too.  On divergence, the log gains a final
+    ``"diverged"`` record and training stops early.
+    """
+    hooks = hooks or TrainerHooks()
+    log = log if log is not None else TrainLog()
+    for step in range(steps):
+        model.zero_grad()
+        loss = loss_fn()
+        loss.backward()
+        loss_value = float(loss.data)
+        log.append("loss", loss_value, step)
+
+        if not math.isfinite(loss_value) or (
+                hooks.stop_on_divergence is not None
+                and loss_value > hooks.stop_on_divergence):
+            log.append("diverged", 1.0, step)
+            break
+
+        if hooks.grad_clip_norm is not None:
+            norm = clip_grad_norm(optimizer.params, hooks.grad_clip_norm)
+            log.append("grad_norm", norm, step)
+
+        optimizer.step()
+
+        if hasattr(optimizer, "stats"):
+            stats = optimizer.stats()
+            log.append("lr", stats["lr"], step)
+            log.append("momentum", stats["momentum"], step)
+            if "target_momentum" in stats:
+                log.append("target_momentum", stats["target_momentum"], step)
+            if "total_momentum" in stats:
+                log.append("total_momentum", stats["total_momentum"], step)
+                log.append("algorithmic_momentum",
+                           stats["algorithmic_momentum"], step)
+        if hooks.on_step is not None:
+            hooks.on_step(step, log)
+    return log

@@ -1,0 +1,16 @@
+"""Experiment harness: workload definitions, multi-seed runs, and the
+paper's grid-search tuning protocol (Section 5.1 / Appendix I)."""
+
+from repro.tuning.experiment import Workload, RunResult, run_workload, \
+    average_curves
+from repro.tuning.grid_search import grid_search, GridSearchResult
+from repro.tuning.random_search import (random_search, RandomSearchResult,
+                                        log_uniform)
+from repro.analysis.convergence import speedup_ratio
+
+__all__ = [
+    "Workload", "RunResult", "run_workload", "average_curves",
+    "grid_search", "GridSearchResult",
+    "random_search", "RandomSearchResult", "log_uniform",
+    "speedup_ratio",
+]

@@ -1,0 +1,108 @@
+"""Workload definitions and the multi-seed experiment runner.
+
+The paper's protocol (Section 5): every training-loss curve is averaged
+over 3 random seeds; losses are smoothed with a uniform window before any
+comparison; speedups are iteration ratios at the lowest common smoothed
+loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+from repro.sim.async_trainer import train_async
+from repro.sim.trainer import TrainerHooks, train_sync
+from repro.utils.logging import TrainLog
+
+# A builder maps a seed to (model, loss_fn); an optimizer factory maps the
+# model's parameters to a ready optimizer.
+WorkloadBuilder = Callable[[int], Tuple[Module, Callable]]
+OptimizerFactory = Callable[[list], Optimizer]
+
+
+@dataclass
+class Workload:
+    """A named training task the optimizers are compared on.
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``"CIFAR100-like ResNet"``).
+    build:
+        ``seed -> (model, loss_fn)``; the loss_fn draws its own batches.
+    steps:
+        Optimizer steps per run.
+    smooth_window:
+        Uniform smoothing window for loss comparison (the paper uses 1000
+        at full scale; scaled-down runs use proportionally smaller windows).
+    """
+
+    name: str
+    build: WorkloadBuilder
+    steps: int
+    smooth_window: int = 50
+
+
+@dataclass
+class RunResult:
+    """Averaged result of running one optimizer on one workload."""
+
+    workload: str
+    optimizer: str
+    losses: np.ndarray                      # seed-averaged loss curve
+    logs: List[TrainLog] = field(repr=False, default_factory=list)
+    diverged: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        return float(self.losses[-1]) if self.losses.size else float("inf")
+
+    @property
+    def min_loss(self) -> float:
+        return float(self.losses.min()) if self.losses.size else float("inf")
+
+
+def average_curves(curves: Sequence[np.ndarray]) -> np.ndarray:
+    """Average loss curves of possibly different lengths (divergence cuts
+    a run short): truncate to the shortest."""
+    if not curves:
+        return np.empty(0)
+    min_len = min(len(c) for c in curves)
+    if min_len == 0:
+        return np.empty(0)
+    return np.mean([np.asarray(c[:min_len], dtype=float) for c in curves],
+                   axis=0)
+
+
+def run_workload(workload: Workload, opt_factory: OptimizerFactory,
+                 optimizer_name: str, seeds: Sequence[int] = (0, 1, 2),
+                 async_workers: int = 0,
+                 hooks: Optional[TrainerHooks] = None) -> RunResult:
+    """Train ``workload`` once per seed and average the loss curves.
+
+    ``async_workers > 1`` routes through the asynchronous simulator with
+    round-robin staleness ``async_workers - 1``.
+    """
+    curves: List[np.ndarray] = []
+    logs: List[TrainLog] = []
+    diverged = False
+    for seed in seeds:
+        model, loss_fn = workload.build(seed)
+        optimizer = opt_factory(model.parameters())
+        if async_workers > 1:
+            log = train_async(model, optimizer, loss_fn, workload.steps,
+                              workers=async_workers, hooks=hooks)
+        else:
+            log = train_sync(model, optimizer, loss_fn, workload.steps,
+                             hooks=hooks)
+        curves.append(log.series("loss"))
+        logs.append(log)
+        diverged = diverged or ("diverged" in log)
+    return RunResult(workload=workload.name, optimizer=optimizer_name,
+                     losses=average_curves(curves), logs=logs,
+                     diverged=diverged)

@@ -1,0 +1,64 @@
+"""Learning-rate grid search — the paper's hand-tuning protocol.
+
+Section 5.1: "We tune Adam and momentum SGD on learning rate grids with
+prescribed momentum 0.9 for SGD. ... we pick the configuration achieving
+the lowest averaged smoothed loss."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.convergence import smooth_losses
+from repro.optim.optimizer import Optimizer
+from repro.sim.trainer import TrainerHooks
+from repro.tuning.experiment import RunResult, Workload, run_workload
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of tuning one optimizer family on one workload."""
+
+    best_lr: float
+    best_run: RunResult
+    all_runs: Dict[float, RunResult] = field(repr=False, default_factory=dict)
+
+    @property
+    def best_smoothed_min(self) -> float:
+        return self.best_run.min_loss
+
+
+def grid_search(workload: Workload,
+                opt_builder: Callable[[list, float], Optimizer],
+                lr_grid: Sequence[float], optimizer_name: str,
+                seeds: Sequence[int] = (0, 1, 2),
+                async_workers: int = 0,
+                hooks: Optional[TrainerHooks] = None) -> GridSearchResult:
+    """Run every learning rate in the grid; pick the lowest smoothed loss.
+
+    Diverged configurations are retained (with their truncated curves) but
+    can never win unless every configuration diverged.
+    """
+    if not lr_grid:
+        raise ValueError("empty learning-rate grid")
+    runs: Dict[float, RunResult] = {}
+    scores: Dict[float, float] = {}
+    for lr in lr_grid:
+        result = run_workload(
+            workload, lambda params, lr=lr: opt_builder(params, lr),
+            optimizer_name=f"{optimizer_name}(lr={lr:g})", seeds=seeds,
+            async_workers=async_workers, hooks=hooks)
+        runs[lr] = result
+        if result.losses.size == 0:
+            scores[lr] = float("inf")
+        else:
+            smoothed = smooth_losses(result.losses, workload.smooth_window)
+            # diverged runs rank below every completed run
+            penalty = 1e18 if result.diverged else 0.0
+            scores[lr] = float(smoothed.min()) + penalty
+    best_lr = min(scores, key=scores.get)
+    return GridSearchResult(best_lr=best_lr, best_run=runs[best_lr],
+                            all_runs=runs)

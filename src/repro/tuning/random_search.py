@@ -1,0 +1,77 @@
+"""Random hyperparameter search (Bergstra & Bengio, 2012).
+
+The paper cites random search as the black-box alternative YellowFin makes
+unnecessary; we include it so the comparison harness can quantify the cost
+of black-box tuning on the same workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.convergence import smooth_losses
+from repro.optim.optimizer import Optimizer
+from repro.tuning.experiment import RunResult, Workload, run_workload
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class RandomSearchResult:
+    """Outcome of a random-search tuning run."""
+
+    best_config: dict
+    best_run: RunResult
+    all_runs: List[tuple] = field(repr=False, default_factory=list)
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.all_runs)
+
+
+def log_uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    """Sample log-uniformly from ``[low, high]`` (the standard choice for
+    learning rates)."""
+    if not 0 < low <= high:
+        raise ValueError(f"need 0 < low <= high, got ({low}, {high})")
+    return float(math.exp(rng.uniform(math.log(low), math.log(high))))
+
+
+def random_search(workload: Workload,
+                  opt_builder: Callable[[list, dict], Optimizer],
+                  sampler: Callable[[np.random.Generator], dict],
+                  budget: int, optimizer_name: str,
+                  seeds: Sequence[int] = (0,), seed=None,
+                  hooks=None) -> RandomSearchResult:
+    """Sample ``budget`` configurations and keep the best smoothed loss.
+
+    ``sampler`` draws a config dict from the search space;
+    ``opt_builder(params, config)`` instantiates the optimizer.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    rng = new_rng(seed)
+    best_score = math.inf
+    best: Optional[tuple] = None
+    all_runs: List[tuple] = []
+    for trial in range(budget):
+        config = sampler(rng)
+        result = run_workload(
+            workload, lambda p, c=config: opt_builder(p, c),
+            optimizer_name=f"{optimizer_name}#{trial}", seeds=seeds,
+            hooks=hooks)
+        if result.losses.size:
+            smoothed = smooth_losses(result.losses, workload.smooth_window)
+            score = float(smoothed.min()) + (1e18 if result.diverged else 0)
+        else:
+            score = math.inf
+        all_runs.append((config, result))
+        if score < best_score:
+            best_score = score
+            best = (config, result)
+    assert best is not None
+    return RandomSearchResult(best_config=best[0], best_run=best[1],
+                              all_runs=all_runs)

@@ -1,0 +1,10 @@
+"""Shared utilities: RNG management, logging, serialization."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.logging import TrainLog
+from repro.utils.serialization import (load_results, load_train_log,
+                                       save_results, save_train_log)
+
+__all__ = ["RngMixin", "new_rng", "spawn_rngs", "TrainLog",
+           "save_train_log", "load_train_log", "save_results",
+           "load_results"]

@@ -1,0 +1,49 @@
+"""Lightweight in-memory training log.
+
+The benchmark harness consumes these records to regenerate the paper's
+figures (loss curves, momentum traces) and tables (speedup ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class TrainLog:
+    """Append-only record of per-iteration scalars.
+
+    Attributes
+    ----------
+    scalars:
+        Mapping from series name (e.g. ``"loss"``, ``"mu"``, ``"lr"``) to the
+        list of recorded values, one per ``append`` call for that name.
+    steps:
+        Mapping from series name to the iteration index of each record.
+    """
+
+    scalars: Dict[str, List[float]] = field(default_factory=dict)
+    steps: Dict[str, List[int]] = field(default_factory=dict)
+
+    def append(self, name: str, value: float, step: int) -> None:
+        self.scalars.setdefault(name, []).append(float(value))
+        self.steps.setdefault(name, []).append(int(step))
+
+    def series(self, name: str) -> np.ndarray:
+        """Return the recorded values of one series as an array."""
+        return np.asarray(self.scalars.get(name, []), dtype=float)
+
+    def last(self, name: str) -> float:
+        values = self.scalars.get(name)
+        if not values:
+            raise KeyError(f"no records for series {name!r}")
+        return values[-1]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.scalars
+
+    def __len__(self) -> int:
+        return max((len(v) for v in self.scalars.values()), default=0)

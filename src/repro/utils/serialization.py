@@ -1,0 +1,56 @@
+"""JSON persistence for experiment results.
+
+Benchmark runs are expensive on the NumPy substrate; these helpers let the
+harness cache loss curves and tuner traces to disk and reload them for
+plotting or regression comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.utils.logging import TrainLog
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {k: _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    return obj
+
+
+def save_train_log(log: TrainLog, path: PathLike) -> None:
+    """Write a :class:`TrainLog` to JSON."""
+    payload = {"scalars": _to_jsonable(log.scalars),
+               "steps": _to_jsonable(log.steps)}
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_train_log(path: PathLike) -> TrainLog:
+    """Read a :class:`TrainLog` back from JSON."""
+    payload = json.loads(Path(path).read_text())
+    log = TrainLog()
+    log.scalars = {k: [float(x) for x in v]
+                   for k, v in payload["scalars"].items()}
+    log.steps = {k: [int(x) for x in v] for k, v in payload["steps"].items()}
+    return log
+
+
+def save_results(results: dict, path: PathLike) -> None:
+    """Persist an arbitrary results dict (curves, speedups, configs)."""
+    Path(path).write_text(json.dumps(_to_jsonable(results), indent=2))
+
+
+def load_results(path: PathLike) -> dict:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,95 @@
+"""Loss smoothing, rate fitting, and the Table 2 speedup metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convergence import (fit_linear_rate, iterations_to_loss,
+                                        smooth_losses, speedup_ratio)
+
+
+class TestSmoothing:
+    def test_window_one_is_identity(self):
+        x = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(smooth_losses(x, 1), x)
+
+    def test_constant_preserved(self):
+        np.testing.assert_allclose(smooth_losses(np.full(50, 2.5), 10), 2.5)
+
+    def test_matches_manual_average(self):
+        x = np.arange(10, dtype=float)
+        out = smooth_losses(x, 4)
+        # tail: mean of trailing 4 values
+        assert out[9] == pytest.approx(np.mean(x[6:10]))
+        # head grows: out[1] = mean(x[:2])
+        assert out[1] == pytest.approx(0.5)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=100),
+           st.integers(1, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_output_within_data_range(self, values, window):
+        out = smooth_losses(values, window)
+        assert out.min() >= min(values) - 1e-9
+        assert out.max() <= max(values) + 1e-9
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            smooth_losses(np.zeros((2, 2)), 2)
+
+
+class TestRateFit:
+    def test_recovers_exact_rate(self):
+        beta = 0.93
+        dist = 10.0 * beta ** np.arange(100)
+        assert fit_linear_rate(dist) == pytest.approx(beta, abs=1e-9)
+
+    def test_burn_in_skips_transient(self):
+        dist = np.concatenate([np.full(20, 5.0), 5.0 * 0.9 ** np.arange(80)])
+        rate = fit_linear_rate(dist, burn_in=20)
+        assert rate == pytest.approx(0.9, abs=1e-6)
+
+    def test_floor_excludes_zeros(self):
+        dist = np.array([1.0, 0.5, 0.25, 0.0, 0.0])
+        rate = fit_linear_rate(dist)
+        assert rate == pytest.approx(0.5, abs=1e-9)
+
+    def test_raises_on_all_zero(self):
+        with pytest.raises(ValueError):
+            fit_linear_rate(np.zeros(10))
+
+
+class TestIterationsToLoss:
+    def test_first_hit(self):
+        losses = [5.0, 4.0, 3.0, 2.0, 1.0]
+        assert iterations_to_loss(losses, 3.0) == 2
+        assert iterations_to_loss(losses, 0.5) is None
+
+
+class TestSpeedupRatio:
+    def test_twice_as_fast(self):
+        fast = 10.0 * 0.8 ** np.arange(100)
+        slow = 10.0 * 0.8 ** (np.arange(100) / 2)
+        speedup, common = speedup_ratio(slow, fast)
+        assert speedup == pytest.approx(2.0, abs=0.1)
+
+    def test_identical_curves_give_one(self):
+        c = 5.0 * 0.9 ** np.arange(50)
+        speedup, _ = speedup_ratio(c, c)
+        assert speedup == pytest.approx(1.0)
+
+    def test_slower_candidate_below_one(self):
+        fast = 10.0 * 0.8 ** np.arange(100)
+        slow = 10.0 * 0.9 ** np.arange(100)
+        speedup, _ = speedup_ratio(fast, slow)
+        assert speedup < 1.0
+
+    def test_common_loss_is_achievable_by_both(self):
+        a = np.linspace(10, 2, 50)   # reaches 2
+        b = np.linspace(10, 4, 50)   # only reaches 4
+        _, common = speedup_ratio(a, b)
+        assert common == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_ratio([], [1.0])

@@ -1,0 +1,110 @@
+"""Property-based verification of the paper's spectral-radius lemmas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.operators import (momentum_operator,
+                                      momentum_spectral_radius,
+                                      spectral_radius, variance_operator,
+                                      variance_spectral_radius)
+
+momenta = st.floats(0.001, 0.999)
+curvatures = st.floats(1e-3, 1e3)
+
+
+def robust_lr(h, mu, position):
+    """A learning rate inside the robust region for curvature h:
+    position in [0, 1] interpolates between the two edges."""
+    lo = (1 - np.sqrt(mu)) ** 2 / h
+    hi = (1 + np.sqrt(mu)) ** 2 / h
+    return lo + position * (hi - lo)
+
+
+class TestLemma3:
+    @given(momenta, curvatures, st.floats(0.0, 1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_spectral_radius_is_sqrt_mu_in_robust_region(self, mu, h, pos):
+        """Lemma 3: anywhere in the robust region, rho(A) = sqrt(mu)."""
+        lr = robust_lr(h, mu, pos)
+        rho = momentum_spectral_radius(lr, h, mu)
+        # At the region edges A has a defective (repeated) eigenvalue, where
+        # eigensolver accuracy degrades to ~sqrt(machine eps).
+        assert rho == pytest.approx(np.sqrt(mu), rel=1e-5, abs=1e-7)
+
+    @given(momenta, curvatures, st.floats(1.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_radius_exceeds_sqrt_mu_above_region(self, mu, h, factor):
+        """Above the robust region (lr too big), rho(A) > sqrt(mu)."""
+        lr = (1 + np.sqrt(mu)) ** 2 / h * factor
+        assert momentum_spectral_radius(lr, h, mu) > np.sqrt(mu) + 1e-12
+
+    @given(momenta, curvatures, st.floats(0.05, 0.9))
+    @settings(max_examples=100, deadline=None)
+    def test_radius_exceeds_sqrt_mu_below_region(self, mu, h, factor):
+        """Below the robust region (lr too small), rho(A) > sqrt(mu)."""
+        lr = (1 - np.sqrt(mu)) ** 2 / h * factor
+        assert momentum_spectral_radius(lr, h, mu) > np.sqrt(mu) + 1e-12
+
+    def test_zero_momentum_gd_rate(self):
+        """mu = 0 reduces to gradient descent: rho = |1 - lr h|."""
+        for lr, h in [(0.3, 1.0), (0.5, 2.0), (1.5, 1.0)]:
+            assert momentum_spectral_radius(lr, h, 0.0) == pytest.approx(
+                abs(1 - lr * h), abs=1e-9)
+
+    def test_figure2_robust_plateau(self):
+        """Fig. 2: for h = 1, the plateau of constant rho widens with mu."""
+        h = 1.0
+        for mu in (0.1, 0.3, 0.5):
+            lo, hi = (1 - np.sqrt(mu)) ** 2, (1 + np.sqrt(mu)) ** 2
+            lrs = np.linspace(lo, hi, 25)
+            rhos = [momentum_spectral_radius(lr, h, mu) for lr in lrs]
+            np.testing.assert_allclose(rhos, np.sqrt(mu), rtol=1e-5)
+        # wider momentum -> wider plateau
+        width = lambda mu: (1 + np.sqrt(mu)) ** 2 - (1 - np.sqrt(mu)) ** 2
+        assert width(0.5) > width(0.3) > width(0.1)
+
+
+class TestLemma6:
+    @given(momenta, curvatures, st.floats(0.0, 1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_variance_radius_is_mu_in_robust_region(self, mu, h, pos):
+        """Lemma 6: rho(B) = mu under the same robust-region condition."""
+        lr = robust_lr(h, mu, pos)
+        rho = variance_spectral_radius(lr, h, mu)
+        # 3x3 defective eigenvalues at the edges: ~eps^(1/3) accuracy.
+        assert rho == pytest.approx(mu, rel=1e-4, abs=1e-5)
+
+    @given(momenta, curvatures, st.floats(1.2, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_variance_radius_grows_outside(self, mu, h, factor):
+        lr = (1 + np.sqrt(mu)) ** 2 / h * factor
+        assert variance_spectral_radius(lr, h, mu) > mu + 1e-12
+
+
+class TestOperatorStructure:
+    def test_momentum_operator_entries(self):
+        a = momentum_operator(lr=0.1, curvature=2.0, momentum=0.5)
+        np.testing.assert_allclose(a, [[1 - 0.2 + 0.5, -0.5], [1.0, 0.0]])
+
+    def test_variance_operator_entries(self):
+        m = 1 - 0.1 * 2.0 + 0.5
+        b = variance_operator(lr=0.1, curvature=2.0, momentum=0.5)
+        np.testing.assert_allclose(
+            b, [[m * m, 0.25, -2 * 0.5 * m], [1, 0, 0], [m, 0, -0.5]])
+
+    def test_spectral_radius_diagonal(self):
+        assert spectral_radius(np.diag([0.5, -3.0])) == pytest.approx(3.0)
+
+    def test_bias_iteration_matches_explicit_recursion(self):
+        """A^t applied to the state must equal unrolling eq. (1) means."""
+        lr, h, mu = 0.2, 1.5, 0.4
+        a = momentum_operator(lr, h, mu)
+        x_prev = x = 3.0
+        state = np.array([x, x_prev])
+        for _ in range(25):
+            state = a @ state
+            x_next = x - lr * h * x + mu * (x - x_prev)
+            x_prev, x = x, x_next
+            assert state[0] == pytest.approx(x, rel=1e-12)

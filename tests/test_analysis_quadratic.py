@@ -1,0 +1,110 @@
+"""Lemma 5: exact MSE recursion vs. Monte-Carlo momentum SGD, and the
+asymptotic surrogate (eqs. 13/14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.quadratic import (NoisyQuadratic, exact_expected_sq_dist,
+                                      one_step_surrogate, run_momentum_gd,
+                                      surrogate_expected_sq_dist)
+from repro.utils.rng import spawn_rngs
+
+
+class TestDeterministicDynamics:
+    def test_noiseless_exact_matches_trajectory(self):
+        """With C = 0 the exact recursion must reproduce the deterministic
+        momentum-GD trajectory squared, step for step."""
+        obj = NoisyQuadratic(curvature=1.7, noise_var=0.0)
+        lr, mu, x0, steps = 0.4, 0.3, 2.0, 40
+        xs = run_momentum_gd(obj, x0, lr, mu, steps)
+        expected = exact_expected_sq_dist(obj, x0, lr, mu, steps)
+        np.testing.assert_allclose(xs ** 2, expected, atol=1e-12)
+
+    def test_convergence_rate_is_sqrt_mu_in_robust_region(self):
+        """In the robust region, |x_t| decays at sqrt(mu) asymptotically."""
+        mu, h = 0.5, 2.0
+        lr = (1 - np.sqrt(mu)) ** 2 / h * 1.3  # safely inside the region
+        obj = NoisyQuadratic(curvature=h)
+        xs = np.abs(run_momentum_gd(obj, 1.0, lr, mu, 120))
+        # measure decay over the tail
+        rate = (xs[100] / xs[60]) ** (1 / 40)
+        assert rate == pytest.approx(np.sqrt(mu), abs=0.03)
+
+
+class TestLemma5MonteCarlo:
+    @pytest.mark.parametrize("lr,mu", [(0.2, 0.0), (0.15, 0.5), (0.4, 0.3)])
+    def test_exact_matches_monte_carlo(self, lr, mu):
+        """The closed-form E(x_t - x*)^2 must match averaged noisy runs."""
+        obj = NoisyQuadratic(curvature=1.0, noise_var=0.5)
+        x0, steps, n_runs = 1.5, 30, 4000
+        rngs = spawn_rngs(123, n_runs)
+        acc = np.zeros(steps + 1)
+        for rng in rngs:
+            acc += run_momentum_gd(obj, x0, lr, mu, steps, rng=rng) ** 2
+        mc = acc / n_runs
+        exact = exact_expected_sq_dist(obj, x0, lr, mu, steps)
+        np.testing.assert_allclose(mc, exact, rtol=0.12, atol=0.02)
+
+    def test_nonzero_optimum(self):
+        obj = NoisyQuadratic(curvature=2.0, noise_var=0.0, optimum=3.0)
+        xs = run_momentum_gd(obj, 5.0, 0.3, 0.2, 60)
+        assert abs(xs[-1] - 3.0) < 1e-6
+
+
+class TestSurrogate:
+    def test_robust_form_matches_numeric_in_region(self):
+        """Inside the robust region eq. (14) equals eq. (13)."""
+        mu, h = 0.4, 1.0
+        lr = 1.0  # (1-sqrt(mu))^2 <= lr*h = 1 <= (1+sqrt(mu))^2 holds
+        obj = NoisyQuadratic(curvature=h, noise_var=0.3)
+        numeric = surrogate_expected_sq_dist(obj, 1.0, lr, mu, 50)
+        robust = surrogate_expected_sq_dist(obj, 1.0, lr, mu, 50,
+                                            robust_form=True)
+        np.testing.assert_allclose(numeric, robust, rtol=1e-8)
+
+    def test_surrogate_tracks_exact_asymptote(self):
+        """The stationary variance of the surrogate, lr^2 C/(1-mu), must
+        match the exact recursion's limit."""
+        mu, h, c = 0.3, 1.0, 0.2
+        lr = (1 - np.sqrt(mu)) ** 2 / h * 1.5
+        obj = NoisyQuadratic(curvature=h, noise_var=c)
+        exact = exact_expected_sq_dist(obj, 0.0, lr, mu, 4000)
+        surrogate = surrogate_expected_sq_dist(obj, 0.0, lr, mu, 4000)
+        # The surrogate is a scalar stand-in for e1^T (I-B)^{-1} e1 and is
+        # only meant to capture the fixed-point scale (the paper uses it
+        # "to simplify analysis and expose insights"): same magnitude, not
+        # equality.
+        ratio = exact[-1] / surrogate[-1]
+        assert 0.2 < ratio < 5.0
+
+    def test_divergent_variance_flagged(self):
+        """Outside stability (rho(B) >= 1) the surrogate variance is inf."""
+        obj = NoisyQuadratic(curvature=1.0, noise_var=1.0)
+        out = surrogate_expected_sq_dist(obj, 1.0, lr=5.0, momentum=0.9,
+                                         steps=10)
+        assert np.isinf(out[-1])
+
+    @given(st.floats(0.0, 0.99), st.floats(0.01, 2.0),
+           st.floats(0.0, 10.0), st.floats(0.0, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_one_step_surrogate_formula(self, mu, lr, d2, c):
+        assert one_step_surrogate(mu, lr, d2, c) == \
+            pytest.approx(mu * d2 + lr * lr * c)
+
+
+class TestGradientModel:
+    def test_noise_variance_calibrated(self):
+        obj = NoisyQuadratic(curvature=1.0, noise_var=4.0)
+        rng = np.random.default_rng(0)
+        grads = [obj.gradient(0.0, rng) for _ in range(20000)]
+        assert np.var(grads) == pytest.approx(4.0, rel=0.05)
+
+    def test_no_rng_is_deterministic(self):
+        obj = NoisyQuadratic(curvature=2.0, noise_var=4.0)
+        assert obj.gradient(1.5) == pytest.approx(3.0)
+
+    def test_loss(self):
+        obj = NoisyQuadratic(curvature=2.0)
+        assert obj.loss(3.0) == pytest.approx(9.0)

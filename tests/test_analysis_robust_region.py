@@ -1,0 +1,106 @@
+"""Robust region geometry, GCN and the noiseless tuning rule (eq. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.operators import momentum_spectral_radius
+from repro.analysis.robust_region import (generalized_condition_number,
+                                          in_robust_region, optimal_momentum,
+                                          robust_lr_range, tune_noiseless)
+
+
+class TestRobustRegion:
+    def test_membership_edges(self):
+        mu, h = 0.25, 2.0
+        lo, hi = robust_lr_range(h, mu)
+        assert in_robust_region(lo, h, mu)
+        assert in_robust_region(hi, h, mu)
+        assert in_robust_region((lo + hi) / 2, h, mu)
+        assert not in_robust_region(lo * 0.5, h, mu)
+        assert not in_robust_region(hi * 1.5, h, mu)
+
+    def test_negative_momentum_excluded(self):
+        assert not in_robust_region(0.1, 1.0, -0.1)
+
+    def test_range_widens_with_momentum(self):
+        widths = []
+        for mu in (0.0, 0.3, 0.6, 0.9):
+            lo, hi = robust_lr_range(1.0, mu)
+            widths.append(hi - lo)
+        assert widths == sorted(widths)
+        assert widths[0] == 0.0  # mu = 0: a single point lr = 1/h
+
+    def test_curvature_validation(self):
+        with pytest.raises(ValueError):
+            robust_lr_range(0.0, 0.5)
+
+
+class TestOptimalMomentum:
+    def test_kappa_one(self):
+        assert optimal_momentum(1.0) == 0.0
+
+    def test_monotone_in_kappa(self):
+        values = [optimal_momentum(k) for k in (1.0, 10.0, 100.0, 1000.0)]
+        assert values == sorted(values)
+
+    @given(st.floats(1.0, 1e8))
+    @settings(max_examples=100, deadline=None)
+    def test_in_unit_interval(self, kappa):
+        assert 0.0 <= optimal_momentum(kappa) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_momentum(0.5)
+
+
+class TestTuneNoiseless:
+    @given(st.floats(1e-3, 1e3), st.floats(1.0, 1e5))
+    @settings(max_examples=200, deadline=None)
+    def test_rule_covers_both_extremes(self, hmin, ratio):
+        """Property (eq. 9): (mu, lr) from the rule puts BOTH extremal
+        curvatures in the robust region, hence rho = sqrt(mu) for both."""
+        hmax = hmin * ratio
+        mu, lr = tune_noiseless(hmin, hmax)
+        for h in (hmin, hmax):
+            assert in_robust_region(lr, h, mu, tol=1e-9)
+            rho = momentum_spectral_radius(lr, h, mu)
+            assert rho == pytest.approx(np.sqrt(mu), rel=1e-6, abs=1e-9)
+
+    def test_mu_is_minimal(self):
+        """Any smaller momentum must leave some curvature outside."""
+        hmin, hmax = 1.0, 100.0
+        mu, lr = tune_noiseless(hmin, hmax)
+        mu_small = mu * 0.9
+        lo_needed = (1 - np.sqrt(mu_small)) ** 2 / hmin
+        hi_allowed = (1 + np.sqrt(mu_small)) ** 2 / hmax
+        assert lo_needed > hi_allowed  # intervals no longer overlap
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_noiseless(2.0, 1.0)
+        with pytest.raises(ValueError):
+            tune_noiseless(0.0, 1.0)
+
+
+class TestGCN:
+    def test_quadratic_gcn_is_one(self):
+        gcn = generalized_condition_number(
+            lambda x: np.full_like(x, 3.0), np.linspace(-5, 5, 100))
+        assert gcn == pytest.approx(1.0)
+
+    def test_figure3a_objective_gcn(self):
+        from repro.data.toy import make_figure3_objective, piecewise_curvature
+        obj = make_figure3_objective()
+        domain = np.linspace(-20, 20, 2001)
+        domain = domain[domain != 0.0]
+        gcn = generalized_condition_number(
+            lambda xs: piecewise_curvature(obj, xs), domain)
+        # curvature spans [~(20+999)/20, 1000] on this domain
+        assert gcn > 15.0
+
+    def test_rejects_nonpositive_curvature(self):
+        with pytest.raises(ValueError):
+            generalized_condition_number(
+                lambda x: np.zeros_like(x), np.linspace(1, 2, 5))

@@ -1,0 +1,150 @@
+"""Gradient checks for the neural-net functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.autograd.grad_check import check_gradients
+
+
+def t(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax_grad(self):
+        check_gradients(lambda a: F.log_softmax(a), [t((4, 5))])
+
+    def test_log_softmax_rows_normalize(self):
+        out = F.log_softmax(t((3, 6)))
+        np.testing.assert_allclose(np.exp(out.data).sum(axis=1), 1.0)
+
+    def test_log_softmax_stability(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]), requires_grad=True)
+        out = F.log_softmax(x)
+        assert np.isfinite(out.data).all()
+
+    def test_softmax_grad(self):
+        check_gradients(lambda a: F.softmax(a), [t((3, 4))], atol=1e-4)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = t((5, 3))
+        targets = np.array([0, 2, 1, 1, 0])
+        ce = F.cross_entropy(logits, targets)
+        logp = F.log_softmax(logits).data
+        manual = -logp[np.arange(5), targets].mean()
+        np.testing.assert_allclose(float(ce.data), manual)
+
+    def test_cross_entropy_grad(self):
+        targets = np.array([0, 2, 1, 1])
+        check_gradients(lambda a: F.cross_entropy(a, targets), [t((4, 3))])
+
+    def test_cross_entropy_reductions(self):
+        logits = t((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        mean = F.cross_entropy(logits, targets, reduction="mean")
+        total = F.cross_entropy(logits, targets, reduction="sum")
+        none = F.cross_entropy(logits, targets, reduction="none")
+        np.testing.assert_allclose(float(total.data), 4 * float(mean.data))
+        assert none.shape == (4,)
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, targets, reduction="bogus")
+
+    def test_cross_entropy_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(t((2, 3, 4)), np.zeros(2, dtype=int))
+
+    def test_mse_loss(self):
+        check_gradients(lambda a: F.mse_loss(a, np.zeros((3, 2))), [t((3, 2))])
+
+
+class TestConvPool:
+    def test_conv2d_grad(self):
+        x = t((2, 3, 5, 5))
+        w = t((4, 3, 3, 3), 1)
+        b = t((4,), 2)
+        check_gradients(lambda x, w, b: F.conv2d(x, w, b, padding=1),
+                        [x, w, b], atol=1e-4)
+
+    def test_conv2d_stride_grad(self):
+        x = t((1, 2, 6, 6))
+        w = t((3, 2, 3, 3), 1)
+        check_gradients(lambda x, w: F.conv2d(x, w, stride=2, padding=1),
+                        [x, w], atol=1e-4)
+
+    def test_conv2d_output_shape(self):
+        x = t((2, 3, 8, 8))
+        w = t((5, 3, 3, 3), 1)
+        assert F.conv2d(x, w, padding=1).shape == (2, 5, 8, 8)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+
+    def test_conv2d_matches_naive(self):
+        # cross-check im2col against a direct quadruple loop
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((1, 3, 4, 4))
+        for o in range(3):
+            for i in range(4):
+                for j in range(4):
+                    naive[0, o, i, j] = np.sum(
+                        xp[0, :, i:i + 3, j:j + 3] * w[o])
+        np.testing.assert_allclose(out, naive, atol=1e-12)
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            F.conv2d(t((1, 3, 4, 4)), t((2, 4, 3, 3), 1))
+
+    def test_avg_pool_grad(self):
+        check_gradients(lambda x: F.avg_pool2d(x, 2), [t((2, 3, 4, 4))])
+
+    def test_max_pool_grad(self):
+        check_gradients(lambda x: F.max_pool2d(x, 2), [t((2, 2, 4, 4))],
+                        atol=1e-4)
+
+    def test_global_avg_pool(self):
+        x = t((2, 3, 4, 4))
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)))
+
+    def test_pool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            F.avg_pool2d(t((1, 1, 5, 5)), 2)
+
+
+class TestEmbeddingDropoutLinear:
+    def test_embedding_grad_accumulates_repeats(self):
+        w = t((5, 3))
+        idx = np.array([1, 1, 4])
+        out = F.embedding(w, idx)
+        out.sum().backward()
+        expected = np.zeros((5, 3))
+        expected[1] = 2.0
+        expected[4] = 1.0
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_embedding_2d_indices(self):
+        w = t((6, 4))
+        idx = np.array([[0, 1], [2, 3]])
+        assert F.embedding(w, idx).shape == (2, 2, 4)
+
+    def test_dropout_eval_identity(self):
+        x = t((5, 5))
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_preserves_scale(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)), requires_grad=True)
+        out = F.dropout(x, 0.25, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_linear(self):
+        check_gradients(lambda x, w, b: F.linear(x, w, b),
+                        [t((4, 3)), t((5, 3), 1), t((5,), 2)])

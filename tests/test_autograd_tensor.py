@@ -1,0 +1,206 @@
+"""Gradient checks and graph semantics for the core Tensor type."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.grad_check import check_gradients
+from repro.autograd.tensor import concatenate, stack, unbroadcast
+
+
+def t(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(scale * rng.normal(size=shape), requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add(self):
+        check_gradients(lambda a, b: a + b, [t((3, 4)), t((3, 4), 1)])
+
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: a + b, [t((3, 4)), t((4,), 1)])
+
+    def test_add_scalar(self):
+        check_gradients(lambda a: a + 3.0, [t((3, 4))])
+
+    def test_sub(self):
+        check_gradients(lambda a, b: a - b, [t((2, 3)), t((2, 3), 1)])
+
+    def test_rsub(self):
+        check_gradients(lambda a: 1.0 - a, [t((2, 3))])
+
+    def test_mul(self):
+        check_gradients(lambda a, b: a * b, [t((3, 4)), t((3, 4), 1)])
+
+    def test_mul_broadcast_rows(self):
+        check_gradients(lambda a, b: a * b, [t((3, 4)), t((3, 1), 1)])
+
+    def test_div(self):
+        b = t((2, 3), 1)
+        b.data += 3.0 * np.sign(b.data)  # keep away from zero
+        check_gradients(lambda a, b: a / b, [t((2, 3)), b])
+
+    def test_pow(self):
+        a = t((3,))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a ** 3, [a])
+
+    def test_neg(self):
+        check_gradients(lambda a: -a, [t((3,))])
+
+    def test_matmul_2d(self):
+        check_gradients(lambda a, b: a @ b, [t((3, 4)), t((4, 5), 1)])
+
+    def test_matmul_vec(self):
+        check_gradients(lambda a, b: a @ b, [t((3, 4)), t((4,), 1)])
+
+    def test_matmul_vec_mat(self):
+        check_gradients(lambda a, b: a @ b, [t((4,)), t((4, 5), 1)])
+
+    def test_matmul_batched(self):
+        check_gradients(lambda a, b: a @ b, [t((2, 3, 4)), t((2, 4, 5), 1)])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid", "relu"])
+    def test_unary(self, name):
+        a = t((3, 4))
+        a.data += 0.05  # keep relu away from the kink
+        check_gradients(lambda a: getattr(a, name)(), [a])
+
+    def test_log_sqrt(self):
+        a = t((3, 4))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a.log(), [a])
+        check_gradients(lambda a: a.sqrt(), [a])
+
+    def test_abs(self):
+        a = t((4,))
+        a.data += np.sign(a.data) * 0.1
+        check_gradients(lambda a: a.abs(), [a])
+
+    def test_clip(self):
+        a = t((20,))
+        check_gradients(lambda a: a.clip(-0.5, 0.5), [a], atol=1e-4)
+
+
+class TestReductionsAndShape:
+    def test_sum_all(self):
+        check_gradients(lambda a: a.sum(), [t((3, 4))])
+
+    def test_sum_axis(self):
+        check_gradients(lambda a: a.sum(axis=1), [t((3, 4))])
+
+    def test_sum_keepdims(self):
+        check_gradients(lambda a: a.sum(axis=0, keepdims=True), [t((3, 4))])
+
+    def test_mean(self):
+        check_gradients(lambda a: a.mean(), [t((3, 4))])
+        check_gradients(lambda a: a.mean(axis=(0, 1)), [t((3, 4, 2))])
+
+    def test_max(self):
+        a = t((3, 4))
+        check_gradients(lambda a: a.max(axis=1), [a])
+
+    def test_reshape(self):
+        check_gradients(lambda a: a.reshape(6, 2), [t((3, 4))])
+
+    def test_transpose(self):
+        check_gradients(lambda a: a.T, [t((3, 4))])
+        check_gradients(lambda a: a.transpose(2, 0, 1), [t((2, 3, 4))])
+
+    def test_getitem_slice(self):
+        check_gradients(lambda a: a[1:3], [t((5, 4))])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])  # repeated index must accumulate
+        check_gradients(lambda a: a[idx], [t((4, 3))])
+
+    def test_concatenate(self):
+        check_gradients(lambda a, b: concatenate([a, b], axis=1),
+                        [t((2, 3)), t((2, 4), 1)])
+
+    def test_stack(self):
+        check_gradients(lambda a, b: stack([a, b], axis=0),
+                        [t((2, 3)), t((2, 3), 1)])
+
+
+class TestGraphSemantics:
+    def test_grad_accumulates_on_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (a * a + a).sum()   # d/da = 2a + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_backward_twice_accumulates(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_blocks_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_backward_non_scalar_requires_grad_arg(self):
+        a = Tensor([[1.0, 2.0]], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_shape_mismatch(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward(np.ones((3,)))
+
+    def test_backward_without_requires_grad(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_diamond_graph(self):
+        # a -> b, a -> c, (b + c) must visit a exactly once with summed grads
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2
+        c = a * 5
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x * 1.0001
+        x.sum().backward()
+        assert a.grad is not None
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_leading_axis(self):
+        g = np.ones((5, 3, 4))
+        np.testing.assert_allclose(unbroadcast(g, (3, 4)), 5 * np.ones((3, 4)))
+
+    def test_size_one_axis(self):
+        g = np.ones((3, 4))
+        np.testing.assert_allclose(unbroadcast(g, (3, 1)), 4 * np.ones((3, 1)))
+
+    def test_combined(self):
+        g = np.ones((2, 3, 4))
+        np.testing.assert_allclose(unbroadcast(g, (1, 4)),
+                                   6 * np.ones((1, 4)))

@@ -1,0 +1,90 @@
+"""Optimizer checkpoint/resume: a restored run must continue identically."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import ClosedLoopYellowFin, YellowFin
+from repro.optim import Adam, AdaGrad, MomentumSGD, RMSProp, SGD
+
+
+def make_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    p = Tensor(rng.normal(size=5), requires_grad=True)
+    h = np.array([1.0, 2.0, 0.5, 3.0, 1.5])
+    noise = rng.normal(size=(60, 5)) * 0.05
+    return p, h, noise
+
+
+def drive(opt, p, h, noise, start, stop):
+    for t in range(start, stop):
+        p.grad = h * p.data + noise[t]
+        opt.step()
+
+
+FACTORIES = {
+    "sgd": lambda p: SGD([p], lr=0.1),
+    "momentum": lambda p: MomentumSGD([p], lr=0.1, momentum=0.8),
+    "nesterov": lambda p: MomentumSGD([p], lr=0.1, momentum=0.8,
+                                      nesterov=True),
+    "adam": lambda p: Adam([p], lr=0.05),
+    "adagrad": lambda p: AdaGrad([p], lr=0.2),
+    "rmsprop": lambda p: RMSProp([p], lr=0.05),
+    "yellowfin": lambda p: YellowFin([p], beta=0.9, window=3),
+}
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+def test_resume_matches_uninterrupted(name):
+    factory = FACTORIES[name]
+
+    # uninterrupted reference run
+    p_ref, h, noise = make_problem()
+    opt_ref = factory(p_ref)
+    drive(opt_ref, p_ref, h, noise, 0, 60)
+
+    # checkpoint at step 30, restore into a fresh optimizer, continue
+    p_a, h, noise = make_problem()
+    opt_a = factory(p_a)
+    drive(opt_a, p_a, h, noise, 0, 30)
+    state = opt_a.state_dict()
+    params_snapshot = p_a.data.copy()
+
+    p_b = Tensor(params_snapshot.copy(), requires_grad=True)
+    opt_b = FACTORIES[name](p_b)
+    opt_b.load_state_dict(state)
+    drive(opt_b, p_b, h, noise, 30, 60)
+
+    np.testing.assert_allclose(p_b.data, p_ref.data, atol=1e-12,
+                               err_msg=f"{name} resume diverged from "
+                               "uninterrupted run")
+
+
+def test_state_dict_is_deep_copy():
+    p = Tensor(np.ones(3), requires_grad=True)
+    opt = MomentumSGD([p], lr=0.1, momentum=0.9)
+    p.grad = np.ones(3)
+    opt.step()
+    state = opt.state_dict()
+    p.grad = np.ones(3)
+    opt.step()  # mutate internal velocity
+    # snapshot must be unaffected by later steps
+    np.testing.assert_allclose(state["extra"]["velocity"][0],
+                               np.full(3, -0.1))
+
+
+def test_yellowfin_state_roundtrip_preserves_tuning():
+    p, h, noise = make_problem()
+    opt = YellowFin([p], beta=0.9, window=3)
+    drive(opt, p, h, noise, 0, 20)
+    state = opt.state_dict()
+
+    p2 = Tensor(p.data.copy(), requires_grad=True)
+    opt2 = YellowFin([p2], beta=0.9, window=3)
+    opt2.load_state_dict(state)
+    assert opt2.momentum == pytest.approx(opt.momentum)
+    assert opt2.lr == pytest.approx(opt.lr)
+    snap, snap2 = opt.measurements.snapshot(), opt2.measurements.snapshot()
+    assert snap.hmax == pytest.approx(snap2.hmax)
+    assert snap.variance == pytest.approx(snap2.variance)
+    assert snap.distance == pytest.approx(snap2.distance)

@@ -1,0 +1,92 @@
+"""Adaptive gradient clipping behaviour (Section 3.3 / Appendix F)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import YellowFin
+from repro.core.clipping import AdaptiveClipper
+
+
+def param_with_grad(grad):
+    p = Tensor(np.zeros_like(np.asarray(grad, dtype=float)),
+               requires_grad=True)
+    p.grad = np.asarray(grad, dtype=float)
+    return p
+
+
+class TestAdaptiveClipper:
+    def test_passthrough_without_hmax(self):
+        clipper = AdaptiveClipper()
+        p = param_with_grad([30.0, 40.0])
+        norm = clipper.clip([p], hmax=None)
+        assert norm == pytest.approx(50.0)
+        np.testing.assert_allclose(p.grad, [30.0, 40.0])
+
+    def test_clips_above_sqrt_hmax(self):
+        clipper = AdaptiveClipper(warmup_steps=1)
+        p = param_with_grad([1.0])
+        clipper.clip([p], hmax=4.0)  # warmup step
+        p = param_with_grad([30.0, 40.0])
+        clipper.clip([p], hmax=4.0)  # threshold = 2
+        assert np.linalg.norm(p.grad) == pytest.approx(2.0)
+        assert clipper.clip_events == 1
+
+    def test_no_clip_below_threshold(self):
+        clipper = AdaptiveClipper(warmup_steps=1)
+        clipper.clip([param_with_grad([1.0])], hmax=100.0)
+        p = param_with_grad([3.0])
+        clipper.clip([p], hmax=100.0)  # threshold = 10
+        np.testing.assert_allclose(p.grad, [3.0])
+        assert clipper.clip_events == 0
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveClipper(warmup_steps=0)
+
+
+class TestYellowFinIntegration:
+    def test_spike_is_clipped(self):
+        """A single 1000x gradient spike must be rescaled to the recent
+        envelope, so the model moves a bounded amount (Fig. 6 mechanism)."""
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = YellowFin([p], adaptive_clip=True, slow_start=False)
+        for _ in range(30):
+            p.grad = np.array([1.0])
+            opt.step()
+        x_before = p.data.copy()
+        p.grad = np.array([1000.0])
+        opt.step()
+        moved_clipped = abs(p.data[0] - x_before[0])
+
+        p2 = Tensor(np.array([0.0]), requires_grad=True)
+        opt2 = YellowFin([p2], adaptive_clip=False, slow_start=False)
+        for _ in range(30):
+            p2.grad = np.array([1.0])
+            opt2.step()
+        x2_before = p2.data.copy()
+        p2.grad = np.array([1000.0])
+        opt2.step()
+        moved_unclipped = abs(p2.data[0] - x2_before[0])
+
+        assert moved_clipped < moved_unclipped / 10
+
+    def test_envelope_growth_limited_in_tuner(self):
+        """With adaptive_clip=True the tuner's hmax uses eq. (35)."""
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = YellowFin([p], adaptive_clip=True)
+        assert opt.measurements.curvature.limit_envelope_growth
+
+    def test_clipping_neutral_on_stable_run(self):
+        """Fig. 7: on a well-behaved objective, clipping on/off should end
+        at nearly the same place."""
+        def train(adaptive):
+            rng = np.random.default_rng(0)
+            p = Tensor(np.array([5.0, -5.0]), requires_grad=True)
+            opt = YellowFin([p], adaptive_clip=adaptive)
+            for _ in range(200):
+                p.grad = p.data + 0.01 * rng.normal(size=2)
+                opt.step()
+            return np.abs(p.data).max()
+
+        assert train(True) == pytest.approx(train(False), abs=1e-2)

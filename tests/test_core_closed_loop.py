@@ -1,0 +1,137 @@
+"""Total-momentum estimation and the closed-loop controller (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import ClosedLoopYellowFin, TotalMomentumEstimator, YellowFin
+
+
+class TestTotalMomentumEstimator:
+    def test_not_ready_returns_none(self):
+        est = TotalMomentumEstimator(staleness=0)
+        est.record_iterate(np.array([1.0]))
+        assert est.estimate(np.array([0.1]), 0.1) is None
+
+    def test_recovers_momentum_sync_deterministic(self):
+        """On deterministic momentum GD (tau = 0), the estimate must equal
+        the algorithmic momentum exactly once warmed up."""
+        mu, lr, h = 0.7, 0.05, np.array([1.0, 3.0])
+        est = TotalMomentumEstimator(staleness=0)
+        x = np.array([5.0, -4.0])
+        x_prev = x.copy()
+        est.record_iterate(x)
+        estimates = []
+        for _ in range(10):
+            g = h * x
+            mu_hat = est.estimate(g, lr)
+            x_next = x - lr * g + mu * (x - x_prev)
+            x_prev, x = x, x_next
+            est.record_iterate(x)
+            if mu_hat is not None:
+                estimates.append(mu_hat)
+        assert len(estimates) >= 5
+        np.testing.assert_allclose(estimates[2:], mu, atol=1e-9)
+
+    def test_async_staleness_inflates_total_momentum(self):
+        """With delayed gradients, measured total momentum exceeds the
+        algorithmic value (the Mitliagkas et al. phenomenon, Fig. 4)."""
+        from collections import deque
+        mu, lr, tau = 0.3, 0.02, 4
+        h = np.array([1.0, 2.0])
+        rng = np.random.default_rng(0)
+        est = TotalMomentumEstimator(staleness=tau)
+        x = np.array([3.0, -2.0])
+        x_prev = x.copy()
+        est.record_iterate(x)
+        queue = deque()
+        estimates = []
+        for _ in range(300):
+            queue.append(h * x + 0.01 * rng.normal(size=2))
+            if len(queue) <= tau:
+                continue
+            g = queue.popleft()  # gradient evaluated tau steps ago
+            mu_hat = est.estimate(g, lr)
+            x_next = x - lr * g + mu * (x - x_prev)
+            x_prev, x = x, x_next
+            est.record_iterate(x)
+            if mu_hat is not None:
+                estimates.append(mu_hat)
+        assert np.median(estimates[20:]) > mu + 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TotalMomentumEstimator(staleness=-1)
+
+
+class TestClosedLoopYellowFin:
+    def test_sync_tracks_target(self):
+        """With tau = 0 the controller should keep algorithmic momentum near
+        the SingleStep target (nothing to compensate)."""
+        p = Tensor(np.array([5.0, -5.0]), requires_grad=True)
+        opt = ClosedLoopYellowFin([p], staleness=0, gamma=0.3)
+        rng = np.random.default_rng(0)
+        h = np.array([1.0, 10.0])
+        for _ in range(300):
+            p.grad = h * p.data + 0.01 * rng.normal(size=2)
+            opt.step()
+        assert opt.stats()["algorithmic_momentum"] == pytest.approx(
+            opt.momentum, abs=0.1)
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+        opt = ClosedLoopYellowFin([p], staleness=0, beta=0.99)
+        h = np.array([1.0, 4.0])
+        best = np.inf
+        for _ in range(600):
+            p.grad = h * p.data
+            opt.step()
+            best = min(best, float(np.abs(p.data).max()))
+        assert best < 1e-3
+
+    def test_async_lowers_algorithmic_momentum(self):
+        """Under staleness, the controller must push algorithmic momentum
+        BELOW the target to compensate (Fig. 4 right)."""
+        from collections import deque
+        tau = 8
+        h = np.array([1.0, 5.0])
+        rng = np.random.default_rng(1)
+
+        def run(closed_loop):
+            p = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+            if closed_loop:
+                opt = ClosedLoopYellowFin([p], staleness=tau, gamma=0.05,
+                                          beta=0.99)
+            else:
+                opt = YellowFin([p], beta=0.99)
+            queue = deque()
+            for _ in range(800):
+                queue.append(h * p.data + 0.05 * rng.normal(size=2))
+                if len(queue) <= tau:
+                    continue
+                g = queue.popleft()
+                p.grad = g
+                opt.step()
+            return opt
+
+        opt = run(closed_loop=True)
+        stats = opt.stats()
+        assert stats["algorithmic_momentum"] < opt.momentum - 0.01
+
+    def test_stats_contain_controller_fields(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = ClosedLoopYellowFin([p], staleness=0)
+        p.grad = np.array([1.0])
+        opt.step()
+        stats = opt.stats()
+        assert "algorithmic_momentum" in stats
+        assert "total_momentum" in stats
+
+    def test_momentum_bounds_respected(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = ClosedLoopYellowFin([p], staleness=0, gamma=10.0,
+                                  momentum_bounds=(-0.5, 0.9))
+        for _ in range(50):
+            p.grad = p.data.copy()
+            opt.step()
+        assert -0.5 <= opt.stats()["algorithmic_momentum"] <= 0.9

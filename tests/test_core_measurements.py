@@ -1,0 +1,111 @@
+"""Measurement oracles: CurvatureRange, GradientVariance, DistanceToOpt."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measurements import (CurvatureRange, DistanceToOpt,
+                                     GradientMeasurements, GradientVariance)
+
+
+class TestCurvatureRange:
+    def test_constant_signal(self):
+        cr = CurvatureRange(beta=0.9, window=5)
+        for _ in range(50):
+            cr.update(4.0)
+        assert cr.hmax == pytest.approx(4.0, rel=1e-6)
+        assert cr.hmin == pytest.approx(4.0, rel=1e-6)
+
+    def test_window_extremes(self):
+        cr = CurvatureRange(beta=0.0, window=3)  # beta=0: no smoothing
+        for h in [1.0, 9.0, 4.0]:
+            cr.update(h)
+        assert cr.hmax == pytest.approx(9.0)
+        assert cr.hmin == pytest.approx(1.0)
+        # 9.0 falls out of the window after 3 more updates
+        for h in [4.0, 4.0, 4.0]:
+            cr.update(h)
+        assert cr.hmax == pytest.approx(4.0)
+
+    @given(st.lists(st.floats(1e-6, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_hmax_geq_hmin(self, values):
+        """Property: the envelope ordering hmax >= hmin always holds."""
+        cr = CurvatureRange(beta=0.9, window=10)
+        for v in values:
+            cr.update(v)
+        assert cr.hmax >= cr.hmin * (1 - 1e-9)
+
+    def test_envelope_growth_limit(self):
+        """Eq. (35): a catastrophic spike may only grow the envelope 100x."""
+        limited = CurvatureRange(beta=0.0, window=1,
+                                 limit_envelope_growth=True)
+        unlimited = CurvatureRange(beta=0.0, window=1)
+        for cr in (limited, unlimited):
+            cr.update(1.0)
+            cr.update(1e12)
+        assert limited.hmax == pytest.approx(100.0)
+        assert unlimited.hmax == pytest.approx(1e12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CurvatureRange().update(-1.0)
+
+
+class TestGradientVariance:
+    def test_zero_for_constant_gradient(self):
+        gv = GradientVariance(beta=0.9)
+        for _ in range(20):
+            gv.update(np.array([1.0, -2.0]))
+        assert gv.variance == pytest.approx(0.0, abs=1e-12)
+
+    def test_recovers_known_variance(self):
+        rng = np.random.default_rng(0)
+        gv = GradientVariance(beta=0.999)
+        sigma = np.array([0.5, 2.0])
+        for _ in range(20000):
+            gv.update(np.array([1.0, -1.0]) + sigma * rng.normal(size=2))
+        # C = sum of per-coordinate variances = 0.25 + 4.0
+        assert gv.variance == pytest.approx(4.25, rel=0.1)
+
+    def test_never_negative(self):
+        gv = GradientVariance(beta=0.5)
+        gv.update(np.array([1.0]))
+        assert gv.variance >= 0.0
+
+
+class TestDistanceToOpt:
+    def test_quadratic_distance_scale(self):
+        """On f = (h/2) x^2, ||g|| = h|x| and h_est = ||g||^2, so the
+        estimator gives ||g||/h_est = 1/(h|x|)... sanity: constant gradient
+        stream of norm g and curvature proxy g^2 yields D = 1/g."""
+        d = DistanceToOpt(beta=0.9)
+        for _ in range(100):
+            d.update(4.0)
+        assert d.distance == pytest.approx(1.0 / 4.0, rel=1e-6)
+
+    def test_larger_gradients_mean_smaller_estimate(self):
+        d_small = DistanceToOpt()
+        d_large = DistanceToOpt()
+        for _ in range(30):
+            d_small.update(0.1)
+            d_large.update(10.0)
+        assert d_small.distance > d_large.distance
+
+
+class TestGradientMeasurements:
+    def test_snapshot_fields(self):
+        gm = GradientMeasurements(beta=0.9, window=5)
+        snap = gm.update([np.array([3.0, 0.0]), np.array([4.0])])
+        assert snap.grad_norm == pytest.approx(5.0)
+        assert snap.hmax == pytest.approx(25.0, rel=1e-6)
+        assert snap.hmin == pytest.approx(25.0, rel=1e-6)
+
+    def test_multi_param_variance_is_summed(self):
+        rng = np.random.default_rng(0)
+        gm = GradientMeasurements(beta=0.999)
+        for _ in range(5000):
+            gm.update([rng.normal(size=3), rng.normal(size=2)])
+        # 5 unit-variance coordinates
+        assert gm.snapshot().variance == pytest.approx(5.0, rel=0.15)

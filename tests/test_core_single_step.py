@@ -1,0 +1,134 @@
+"""The SingleStep rule: closed-form solution vs. brute force, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.single_step import (cubic_root, robust_momentum_floor,
+                                    single_step)
+
+positive = st.floats(1e-6, 1e6)
+
+
+def brute_force_x(dist, variance, hmin, grid=200001):
+    """Numerically minimize x^2 D^2 + (1-x)^4 C / hmin^2 on [0, 1)."""
+    x = np.linspace(0.0, 1.0 - 1e-9, grid)
+    obj = x ** 2 * dist ** 2 + (1 - x) ** 4 * variance / hmin ** 2
+    return float(x[np.argmin(obj)])
+
+
+class TestCubicRoot:
+    @pytest.mark.parametrize("dist,var,hmin", [
+        (1.0, 1.0, 1.0),
+        (10.0, 0.1, 2.0),
+        (0.01, 100.0, 0.5),
+        (5.0, 5.0, 0.001),
+        (1e3, 1e-3, 10.0),
+    ])
+    def test_matches_brute_force(self, dist, var, hmin):
+        exact = cubic_root(dist, var, hmin)
+        approx = brute_force_x(dist, var, hmin)
+        assert exact == pytest.approx(approx, abs=2e-5)
+
+    @given(positive, positive, positive)
+    @settings(max_examples=100, deadline=None)
+    def test_root_in_unit_interval(self, dist, var, hmin):
+        x = cubic_root(dist, var, hmin)
+        assert 0.0 <= x < 1.0
+
+    @given(positive, positive, positive)
+    @settings(max_examples=100, deadline=None)
+    def test_stationarity(self, dist, var, hmin):
+        """Property: the returned x satisfies p'(x) = 0 (scaled residual)."""
+        x = cubic_root(dist, var, hmin)
+        if x <= 0.0 or x >= 1.0 - 1e-9:
+            return  # boundary solutions from degenerate inputs
+        deriv = 2 * x * dist ** 2 - 4 * (1 - x) ** 3 * var / hmin ** 2
+        scale = 2 * dist ** 2 + 4 * var / hmin ** 2
+        assert abs(deriv) / scale < 1e-6
+
+    def test_degenerate_zero_variance(self):
+        assert cubic_root(1.0, 0.0, 1.0) == 0.0
+
+    def test_degenerate_zero_distance(self):
+        assert cubic_root(0.0, 1.0, 1.0) == 0.0
+
+    def test_noise_dominates_pushes_momentum_up(self):
+        """More gradient noise relative to distance => larger x (= sqrt mu):
+        the tuner leans on momentum instead of learning rate."""
+        low_noise = cubic_root(1.0, 0.01, 1.0)
+        high_noise = cubic_root(1.0, 100.0, 1.0)
+        assert high_noise > low_noise
+
+
+class TestRobustFloor:
+    def test_kappa_one_gives_zero(self):
+        assert robust_momentum_floor(3.0, 3.0) == pytest.approx(0.0)
+
+    def test_matches_paper_formula(self):
+        kappa = 1000.0
+        expected = ((np.sqrt(kappa) - 1) / (np.sqrt(kappa) + 1)) ** 2
+        assert robust_momentum_floor(1000.0, 1.0) == pytest.approx(expected)
+
+    @given(positive, st.floats(1.0, 1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_floor_in_unit_interval(self, hmin, ratio):
+        mu = robust_momentum_floor(hmin * ratio, hmin)
+        assert 0.0 <= mu < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            robust_momentum_floor(1.0, 0.0)
+        with pytest.raises(ValueError):
+            robust_momentum_floor(1.0, 2.0)
+
+
+class TestSingleStep:
+    @given(positive, positive, positive, st.floats(1.0, 1e4))
+    @settings(max_examples=200, deadline=None)
+    def test_output_always_in_robust_region(self, var, dist, hmin, ratio):
+        """Property (paper eq. 15): the returned (mu, lr) must satisfy
+        (1-sqrt(mu))^2 <= lr*h <= (1+sqrt(mu))^2 for ALL h in [hmin, hmax]."""
+        hmax = hmin * ratio
+        result = single_step(var, dist, hmax, hmin)
+        sqrt_mu = np.sqrt(result.mu)
+        assert result.lr * hmin == pytest.approx((1 - sqrt_mu) ** 2, rel=1e-9)
+        assert result.lr * hmax <= (1 + sqrt_mu) ** 2 * (1 + 1e-9)
+
+    @given(positive, positive, positive, st.floats(1.0, 1e4))
+    @settings(max_examples=200, deadline=None)
+    def test_momentum_at_least_robust_floor(self, var, dist, hmin, ratio):
+        hmax = hmin * ratio
+        result = single_step(var, dist, hmax, hmin)
+        assert result.mu >= result.mu_robust_floor - 1e-12
+        assert 0.0 <= result.mu < 1.0
+        assert result.lr > 0.0
+
+    def test_well_conditioned_noiseless_gives_gd(self):
+        """kappa = 1, no noise => mu = 0 and lr = 1/h (exact Newton step
+        scale for a quadratic)."""
+        result = single_step(variance=0.0, distance=1.0, hmax=2.0, hmin=2.0)
+        assert result.mu == pytest.approx(0.0)
+        assert result.lr == pytest.approx(0.5)
+
+    def test_ill_conditioned_forces_momentum(self):
+        result = single_step(variance=0.0, distance=1.0,
+                             hmax=10000.0, hmin=1.0)
+        expected = ((100.0 - 1) / (100.0 + 1)) ** 2
+        assert result.mu == pytest.approx(expected)
+
+    def test_objective_optimality_vs_grid(self):
+        """The closed form must not be beaten by a grid search of the
+        constrained objective."""
+        var, dist, hmin, hmax = 2.0, 3.0, 0.5, 50.0
+        result = single_step(var, dist, hmax, hmin)
+        floor = result.mu_robust_floor
+
+        def objective(mu):
+            lr = (1 - np.sqrt(mu)) ** 2 / hmin
+            return mu * dist ** 2 + lr ** 2 * var
+
+        grid = np.linspace(floor, 1 - 1e-9, 100001)
+        best = objective(grid).min()
+        assert objective(result.mu) <= best + 1e-9

@@ -1,0 +1,165 @@
+"""Dataset generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (BatchLoader, BracketedTreebank, MarkovTextCorpus,
+                        SequenceLoader, SyntheticImages, SyntheticTranslation,
+                        TwoQuadratic, make_cifar100_like, make_figure3_objective)
+from repro.data.parsing import CLOSE, OPEN, bracket_f1
+from repro.data.translation import bleu_like
+
+
+class TestTwoQuadratic:
+    def test_minimum_at_zero(self):
+        obj = make_figure3_objective()
+        assert obj.f(0.0) == 0.0
+        assert obj.grad(0.0) == 0.0
+        for x in (0.5, 2.0, -7.0):
+            assert obj.f(x) > 0.0
+
+    def test_c1_continuity_at_break(self):
+        obj = make_figure3_objective()
+        eps = 1e-9
+        assert obj.f(1.0 - eps) == pytest.approx(obj.f(1.0 + eps), abs=1e-5)
+        assert obj.grad(1.0 - eps) == pytest.approx(obj.grad(1.0 + eps),
+                                                    abs=1e-4)
+
+    def test_curvatures(self):
+        obj = make_figure3_objective()
+        assert obj.generalized_curvature(0.5) == pytest.approx(1000.0)
+        # far out, generalized curvature approaches h_flat = 1
+        assert obj.generalized_curvature(1e6) == pytest.approx(1.0, abs=1e-2)
+
+    def test_symmetry(self):
+        obj = make_figure3_objective()
+        for x in (0.3, 1.5, 9.0):
+            assert obj.f(x) == pytest.approx(obj.f(-x))
+            assert obj.grad(x) == pytest.approx(-obj.grad(-x))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoQuadratic(h_sharp=1.0, h_flat=10.0)
+
+
+class TestSyntheticImages:
+    def test_shapes_and_labels(self):
+        data = SyntheticImages(num_classes=7, size=6, train_size=64,
+                               test_size=16, seed=0)
+        assert data.x_train.shape == (64, 3, 6, 6)
+        assert data.y_train.shape == (64,)
+        assert data.y_train.min() >= 0 and data.y_train.max() < 7
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticImages(train_size=32, test_size=8, seed=5)
+        b = SyntheticImages(train_size=32, test_size=8, seed=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_classes_are_separable_signal(self):
+        """Per-class mean images must differ (prototype structure exists)."""
+        data = make_cifar100_like(train_size=512, seed=0)
+        means = {}
+        for c in np.unique(data.y_train)[:2]:
+            means[c] = data.x_train[data.y_train == c].mean(axis=0)
+        keys = list(means)
+        gap = np.abs(means[keys[0]] - means[keys[1]]).mean()
+        assert gap > 0.1
+
+
+class TestMarkovText:
+    def test_tokens_in_vocab(self):
+        corpus = MarkovTextCorpus(vocab_size=20, length=500, seed=0)
+        assert corpus.tokens.min() >= 0
+        assert corpus.tokens.max() < 20
+
+    def test_entropy_rate_positive_and_below_uniform(self):
+        corpus = MarkovTextCorpus(vocab_size=30, length=500, seed=0)
+        h = corpus.entropy_rate
+        assert 0.0 < h < np.log(30)
+
+    def test_split(self):
+        corpus = MarkovTextCorpus(vocab_size=10, length=100, seed=0)
+        train, valid = corpus.split(0.8)
+        assert len(train) == 80 and len(valid) == 20
+
+
+class TestTreebank:
+    def test_brackets_balanced(self):
+        bank = BracketedTreebank(num_sentences=50, seed=0)
+        depth = 0
+        for tok in bank.tokens:
+            if tok == OPEN:
+                depth += 1
+            elif tok == CLOSE:
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0
+
+    def test_vocab_bound(self):
+        bank = BracketedTreebank(num_terminals=10, num_sentences=20, seed=0)
+        assert bank.tokens.max() < bank.vocab_size
+
+    def test_bracket_f1_perfect(self):
+        t = np.array([OPEN, 5, CLOSE, OPEN, 6, CLOSE])
+        assert bracket_f1(t, t) == pytest.approx(1.0)
+
+    def test_bracket_f1_zero_when_no_structure_predicted(self):
+        targets = np.array([OPEN, 5, CLOSE])
+        preds = np.array([7, 5, 9])
+        assert bracket_f1(preds, targets) == 0.0
+
+
+class TestTranslation:
+    def test_target_is_permuted_source(self):
+        data = SyntheticTranslation(vocab_size=11, seq_len=5, train_size=16,
+                                    test_size=4, seed=0)
+        np.testing.assert_array_equal(data.tgt_train,
+                                      data.permutation[data.src_train])
+
+    def test_bleu_perfect_and_degraded(self):
+        rng = np.random.default_rng(0)
+        ref = rng.integers(0, 10, size=(8, 12))
+        assert bleu_like(ref, ref) == pytest.approx(100.0, abs=1e-3)
+        noise = rng.integers(0, 10, size=(8, 12))
+        assert bleu_like(noise, ref) < 50.0
+
+    def test_bleu_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bleu_like(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestLoaders:
+    def test_batch_loader_cycles(self):
+        x = np.arange(10).reshape(10, 1).astype(float)
+        y = np.arange(10)
+        loader = BatchLoader(x, y, batch_size=4, seed=0)
+        seen = set()
+        for _ in range(10):
+            xb, yb = loader.next_batch()
+            assert xb.shape == (4, 1)
+            seen.update(yb.tolist())
+        assert seen == set(range(10))
+
+    def test_batch_loader_validation(self):
+        with pytest.raises(ValueError):
+            BatchLoader(np.zeros((4, 1)), np.zeros(3), 2)
+        with pytest.raises(ValueError):
+            BatchLoader(np.zeros((4, 1)), np.zeros(4), 8)
+
+    def test_sequence_loader_targets_shifted(self):
+        tokens = np.arange(100)
+        loader = SequenceLoader(tokens, batch_size=2, seq_len=5)
+        ids, targets = loader.next_batch()
+        assert ids.shape == (5, 2)
+        np.testing.assert_array_equal(targets, ids + 1)
+
+    def test_sequence_loader_walks_forward(self):
+        tokens = np.arange(100)
+        loader = SequenceLoader(tokens, batch_size=2, seq_len=5)
+        first, _ = loader.next_batch()
+        second, _ = loader.next_batch()
+        np.testing.assert_array_equal(second, first + 5)
+
+    def test_sequence_loader_too_short(self):
+        with pytest.raises(ValueError):
+            SequenceLoader(np.arange(5), batch_size=2, seq_len=10)

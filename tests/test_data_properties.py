@@ -1,0 +1,90 @@
+"""Property-based invariants of the dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (BracketedTreebank, MarkovTextCorpus,
+                        SyntheticTranslation, TwoQuadratic)
+from repro.data.parsing import CLOSE, OPEN
+
+
+class TestMarkovCorpusProperties:
+    @given(st.integers(5, 40), st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_rows_are_distributions(self, vocab, seed):
+        corpus = MarkovTextCorpus(vocab_size=vocab, length=50, seed=seed)
+        np.testing.assert_allclose(corpus.transitions.sum(axis=1), 1.0,
+                                   atol=1e-12)
+        assert (corpus.transitions >= 0).all()
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_entropy_rate_bounds(self, seed):
+        corpus = MarkovTextCorpus(vocab_size=20, length=50, branching=4,
+                                  seed=seed)
+        assert 0.0 <= corpus.entropy_rate <= np.log(4) + 1e-9
+
+
+class TestTreebankProperties:
+    @given(st.integers(0, 10 ** 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_brackets_always_balanced(self, seed, depth):
+        bank = BracketedTreebank(num_sentences=20, max_depth=depth,
+                                 seed=seed)
+        level = 0
+        for tok in bank.tokens:
+            level += int(tok == OPEN) - int(tok == CLOSE)
+            assert level >= 0
+        assert level == 0
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_depth_bound_respected(self, seed):
+        bank = BracketedTreebank(num_sentences=30, max_depth=3, seed=seed)
+        level, worst = 0, 0
+        for tok in bank.tokens:
+            level += int(tok == OPEN) - int(tok == CLOSE)
+            worst = max(worst, level)
+        assert worst <= 3
+
+
+class TestTranslationProperties:
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_is_bijection(self, seed):
+        data = SyntheticTranslation(vocab_size=17, seq_len=4, train_size=8,
+                                    test_size=4, seed=seed)
+        assert sorted(data.permutation.tolist()) == list(range(17))
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_target_invertible(self, seed):
+        data = SyntheticTranslation(vocab_size=13, seq_len=5, train_size=8,
+                                    test_size=4, seed=seed)
+        inverse = np.argsort(data.permutation)
+        np.testing.assert_array_equal(inverse[data.tgt_train],
+                                      data.src_train)
+
+
+class TestTwoQuadraticProperties:
+    @given(st.floats(1.0, 1e4), st.floats(0.01, 10.0),
+           st.floats(-50.0, 50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_gradient_points_away_from_origin(self, h_sharp, width, x):
+        """f is even with unique minimum at 0: sign(f'(x)) == sign(x)."""
+        obj = TwoQuadratic(h_sharp=h_sharp, h_flat=1.0, width=width)
+        if x == 0.0:
+            assert obj.grad(0.0) == 0.0
+        else:
+            assert np.sign(obj.grad(x)) == np.sign(x)
+
+    @given(st.floats(1.0, 1e4), st.floats(-50.0, 50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_generalized_curvature_in_declared_range(self, h_sharp, x):
+        obj = TwoQuadratic(h_sharp=h_sharp, h_flat=1.0, width=1.0)
+        if x == 0.0:
+            return
+        h = obj.generalized_curvature(x)
+        assert 1.0 - 1e-9 <= h <= h_sharp + 1e-9

@@ -1,0 +1,131 @@
+"""New functional ops, Dropout module, YF Nesterov mode, sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis.sensitivity import lr_sensitivity, robustness_gain
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.autograd.grad_check import check_gradients
+from repro.core import YellowFin
+
+
+def t(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestNewFunctionalOps:
+    def test_leaky_relu_values(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        out = F.leaky_relu(x, 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+    def test_leaky_relu_grad(self):
+        x = t((10,))
+        x.data += np.sign(x.data) * 0.05
+        check_gradients(lambda a: F.leaky_relu(a, 0.2), [x])
+
+    def test_softplus_grad_and_stability(self):
+        check_gradients(lambda a: F.softplus(a), [t((6,))])
+        big = F.softplus(Tensor(np.array([1000.0]), requires_grad=True))
+        assert np.isfinite(big.data).all()
+        np.testing.assert_allclose(big.data, [1000.0], rtol=1e-9)
+
+    def test_gelu_grad(self):
+        check_gradients(lambda a: F.gelu(a), [t((8,))], atol=1e-4)
+
+    def test_gelu_limits(self):
+        out = F.gelu(Tensor(np.array([-20.0, 0.0, 20.0])))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 20.0], atol=1e-6)
+
+    def test_pad2d(self):
+        x = t((2, 3, 4, 4))
+        out = F.pad2d(x, 2)
+        assert out.shape == (2, 3, 8, 8)
+        check_gradients(lambda a: F.pad2d(a, 1), [t((1, 2, 3, 3))])
+        assert F.pad2d(x, 0) is x
+        with pytest.raises(ValueError):
+            F.pad2d(x, -1)
+
+    def test_split(self):
+        x = t((6, 4))
+        parts = F.split(x, 3, axis=0)
+        assert len(parts) == 3 and parts[0].shape == (2, 4)
+        total = sum((p.sum() for p in parts), Tensor(0.0))
+        total.backward()
+        np.testing.assert_allclose(x.grad, np.ones((6, 4)))
+        with pytest.raises(ValueError):
+            F.split(x, 4, axis=0)
+
+
+class TestDropoutModule:
+    def test_eval_identity(self):
+        layer = nn.Dropout(0.5, seed=0)
+        layer.eval()
+        x = t((4, 4))
+        assert layer(x) is x
+
+    def test_train_zeroes_fraction(self):
+        layer = nn.Dropout(0.5, seed=0)
+        x = Tensor(np.ones((100, 100)), requires_grad=True)
+        out = layer(x)
+        zero_frac = float((out.data == 0).mean())
+        assert 0.4 < zero_frac < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_registered_in_sequential(self):
+        net = nn.Sequential(nn.Linear(3, 3, seed=0), nn.Dropout(0.2, seed=1))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+
+
+class TestYellowFinNesterov:
+    def test_nesterov_differs_and_converges(self):
+        h = np.array([1.0, 2.0])
+
+        def run(nesterov):
+            p = Tensor(np.ones(2), requires_grad=True)
+            opt = YellowFin([p], beta=0.99, nesterov=nesterov)
+            best = np.inf
+            for _ in range(400):
+                p.grad = h * p.data
+                opt.step()
+                best = min(best, float(np.abs(p.data).max()))
+            return best, p.data.copy()
+
+        best_nest, x_nest = run(True)
+        best_polyak, x_polyak = run(False)
+        assert best_nest < 1e-2 and best_polyak < 1e-2
+        assert not np.allclose(x_nest, x_polyak)
+
+
+class TestSensitivity:
+    def test_gd_rate_matches_theory(self):
+        """mu = 0 on quadratic: fitted rate equals |1 - lr h|."""
+        curve = lr_sensitivity(curvature=2.0, momentum=0.0,
+                               lrs=[0.1, 0.25, 0.4], steps=100)
+        np.testing.assert_allclose(curve.rates,
+                                   [abs(1 - 0.2), abs(1 - 0.5),
+                                    abs(1 - 0.8)], atol=1e-6)
+
+    def test_divergent_lr_flagged(self):
+        curve = lr_sensitivity(curvature=1.0, momentum=0.0, lrs=[5.0],
+                               steps=50)
+        assert np.isinf(curve.rates[0])
+
+    def test_higher_momentum_widens_working_band(self):
+        """The paper's robustness claim, measured: the band of good
+        learning rates is wider at mu = 0.5 than at mu = 0."""
+        gain = robustness_gain(curvature=1.0, low_momentum=0.0,
+                               high_momentum=0.5, steps=300)
+        assert gain > 0.2  # at least a fifth of a decade wider
+
+    def test_working_band_empty_when_nothing_converges(self):
+        curve = lr_sensitivity(curvature=1.0, momentum=0.0,
+                               lrs=[10.0, 20.0], steps=50)
+        assert curve.working_band == 0.0

@@ -1,0 +1,43 @@
+"""The gradient checker itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients, numerical_grad
+from repro.autograd.tensor import Tensor as T
+
+
+class TestNumericalGrad:
+    def test_matches_analytic_on_square(self):
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        num = numerical_grad(lambda a: (a * a).sum(), [x], 0)
+        np.testing.assert_allclose(num, 2 * x.data, atol=1e-6)
+
+    def test_respects_index(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0]), requires_grad=True)
+        num_b = numerical_grad(lambda a, b: (a * b).sum(), [a, b], 1)
+        np.testing.assert_allclose(num_b, [2.0], atol=1e-6)
+
+
+class TestCheckGradients:
+    def test_passes_correct_op(self):
+        x = Tensor(np.array([0.5, -0.3]), requires_grad=True)
+        check_gradients(lambda a: a.tanh(), [x])
+
+    def test_catches_wrong_backward(self):
+        """An op with a deliberately wrong gradient must fail the check."""
+
+        def buggy_double(x: Tensor) -> Tensor:
+            # forward computes 2x but backward claims d/dx = 3
+            return T._make(2.0 * x.data, [(x, lambda g: 3.0 * g)])
+
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(AssertionError):
+            check_gradients(buggy_double, [x])
+
+    def test_skips_non_grad_inputs(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        const = Tensor(np.array([5.0]))  # no grad required
+        check_gradients(lambda a, c: a * c, [x, const])

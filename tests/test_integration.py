@@ -1,0 +1,113 @@
+"""End-to-end integration: full workloads through the public API."""
+
+import numpy as np
+import pytest
+
+from repro import Adam, ClosedLoopYellowFin, MomentumSGD, YellowFin, nn
+from repro.autograd import Tensor, functional as F
+from repro.core import ClosedLoopYellowFin as CLYF
+from repro.data import (BatchLoader, SequenceLoader, make_cifar10_like,
+                        make_ts_like)
+from repro.models import LSTMLanguageModel, make_resnet_cifar10
+from repro.nn import LSTM
+from repro.sim import evaluate_classifier, train_async, train_sync
+from repro.tuning import Workload, run_workload
+
+
+def image_workload(steps=60):
+    def build(seed):
+        data = make_cifar10_like(seed=seed, train_size=128, size=8)
+        model = make_resnet_cifar10(width=2, blocks_per_stage=1, seed=seed)
+        loader = BatchLoader(data.x_train, data.y_train, batch_size=16,
+                             seed=seed)
+
+        def loss_fn():
+            xb, yb = loader.next_batch()
+            return F.cross_entropy(model(xb), yb)
+
+        return model, loss_fn
+
+    return Workload(name="img", build=build, steps=steps, smooth_window=10)
+
+
+class TestEndToEndImage:
+    def test_yellowfin_trains_resnet_and_improves_accuracy(self):
+        data = make_cifar10_like(seed=0, train_size=128, size=8)
+        model = make_resnet_cifar10(width=2, blocks_per_stage=1, seed=0)
+        loader = BatchLoader(data.x_train, data.y_train, batch_size=16,
+                             seed=0)
+        before = evaluate_classifier(model, data.x_test, data.y_test)
+        opt = YellowFin(model.parameters(), window=5, beta=0.99)
+
+        def loss_fn():
+            xb, yb = loader.next_batch()
+            return F.cross_entropy(model(xb), yb)
+
+        log = train_sync(model, opt, loss_fn, steps=120)
+        after = evaluate_classifier(model, data.x_test, data.y_test)
+        assert log.series("loss")[-1] < log.series("loss")[0]
+        assert after["accuracy"] > before["accuracy"]
+
+    def test_all_optimizers_run_same_workload(self):
+        for factory in (lambda p: YellowFin(p, window=5, beta=0.99),
+                        lambda p: Adam(p, lr=1e-2),
+                        lambda p: MomentumSGD(p, lr=0.1, momentum=0.9)):
+            result = run_workload(image_workload(40), factory, "opt",
+                                  seeds=(0,))
+            assert result.losses[-1] < result.losses[0]
+
+
+class TestEndToEndText:
+    def test_yellowfin_lstm_lm_reduces_perplexity(self):
+        corpus = make_ts_like(seed=0, length=3000)
+        train_tokens, _ = corpus.split(0.9)
+        model = LSTMLanguageModel(vocab_size=corpus.vocab_size, embed_dim=8,
+                                  hidden_size=16, num_layers=1, seed=0)
+        loader = SequenceLoader(train_tokens, batch_size=4, seq_len=8)
+        opt = YellowFin(model.parameters(), window=5, beta=0.99)
+        state = [None]
+
+        def loss_fn():
+            ids, targets = loader.next_batch()
+            loss, new_state = model.loss(ids, targets, state[0])
+            state[0] = LSTM.detach_state(new_state)
+            return loss
+
+        log = train_sync(model, opt, loss_fn, steps=150)
+        losses = log.series("loss")
+        assert losses[-10:].mean() < 0.9 * losses[:10].mean()
+
+
+class TestEndToEndAsync:
+    def test_closed_loop_yellowfin_async_trains(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 6))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = nn.Sequential(nn.Linear(6, 12, seed=0), nn.ReLU(),
+                              nn.Linear(12, 2, seed=1))
+        loader = BatchLoader(x, y, batch_size=16, seed=0)
+        opt = ClosedLoopYellowFin(model.parameters(), staleness=7,
+                                  window=5, beta=0.99)
+
+        def loss_fn():
+            xb, yb = loader.next_batch()
+            return F.cross_entropy(model(Tensor(xb)), yb)
+
+        log = train_async(model, opt, loss_fn, steps=300, workers=8)
+        losses = log.series("loss")
+        assert losses[-20:].mean() < 0.7 * losses[:20].mean()
+        assert "total_momentum" in log
+
+
+class TestSeedStability:
+    def test_multi_seed_curves_are_finite_and_close(self):
+        """The paper reports 0.05%-0.6% normalized std over 3 seeds; at our
+        scale we check the three seed curves end within a modest band."""
+        result = run_workload(image_workload(50),
+                              lambda p: YellowFin(p, window=5, beta=0.99),
+                              "yf", seeds=(0, 1, 2))
+        assert len(result.logs) == 3
+        finals = [log.series("loss")[-1] for log in result.logs]
+        assert np.isfinite(finals).all()
+        mean = np.mean(finals)
+        assert np.std(finals) / mean < 1.0  # same order across seeds

@@ -1,0 +1,139 @@
+"""Model forward shapes and short-horizon trainability."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.models import (LSTMLanguageModel, MLP, ResNet, Seq2Seq,
+                          TiedLSTMLanguageModel, make_resnet_cifar10,
+                          make_resnet_cifar100)
+from repro.models.lstm_lm import perplexity
+from repro.optim import MomentumSGD
+
+
+class TestMLP:
+    def test_shapes(self):
+        model = MLP([4, 8, 3], seed=0)
+        assert model(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+
+class TestResNet:
+    def test_cifar10_forward(self):
+        model = make_resnet_cifar10(width=2, seed=0)
+        out = model(np.zeros((2, 3, 8, 8)))
+        assert out.shape == (2, 10)
+
+    def test_cifar100_forward(self):
+        model = make_resnet_cifar100(width=2, seed=0)
+        out = model(np.zeros((2, 3, 8, 8)))
+        assert out.shape == (2, 100)
+
+    def test_shortcut_projection_used_on_stride(self):
+        model = make_resnet_cifar10(width=2, blocks_per_stage=1, seed=0)
+        strided = [b for b in model.blocks if b.shortcut is not None]
+        assert len(strided) >= 2  # the two stage transitions
+
+    def test_gradients_reach_stem(self):
+        model = make_resnet_cifar10(width=2, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8))
+        loss = F.cross_entropy(model(x), np.array([1, 2]))
+        loss.backward()
+        assert model.stem.weight.grad is not None
+        assert np.abs(model.stem.weight.grad).max() > 0
+
+    def test_trains_briefly(self):
+        rng = np.random.default_rng(0)
+        model = make_resnet_cifar10(num_classes=4, width=2, seed=0)
+        x = rng.normal(size=(16, 3, 8, 8))
+        y = rng.integers(0, 4, 16)
+        x[np.arange(16), 0, 0, 0] += 3.0 * y  # inject learnable signal
+        opt = MomentumSGD(model.parameters(), lr=0.05, momentum=0.9)
+        losses = []
+        for _ in range(15):
+            model.zero_grad()
+            loss = F.cross_entropy(model(x), y)
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]
+
+
+class TestLSTMLM:
+    def test_logits_shape(self):
+        model = LSTMLanguageModel(vocab_size=20, embed_dim=8, hidden_size=12,
+                                  seed=0)
+        ids = np.zeros((6, 3), dtype=int)
+        logits, state = model(ids)
+        assert logits.shape == (18, 20)
+        assert len(state) == 2
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(0)
+        model = LSTMLanguageModel(vocab_size=10, embed_dim=8, hidden_size=16,
+                                  num_layers=1, seed=0)
+        ids = rng.integers(0, 10, size=(8, 4))
+        targets = (ids + 1) % 10  # deterministic successor task
+        opt = MomentumSGD(model.parameters(), lr=0.5, momentum=0.9)
+        losses = []
+        for _ in range(30):
+            model.zero_grad()
+            loss, _ = model.loss(ids, targets)
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_tied_model_shares_weights(self):
+        model = TiedLSTMLanguageModel(vocab_size=15, embed_dim=8, seed=0)
+        names = [n for n, _ in model.named_parameters()]
+        assert not any("head" in n for n in names)
+        logits, _ = model(np.zeros((3, 2), dtype=int))
+        assert logits.shape == (6, 15)
+
+    def test_perplexity(self):
+        assert perplexity(0.0) == pytest.approx(1.0)
+        assert perplexity(np.log(50.0)) == pytest.approx(50.0)
+        assert np.isfinite(perplexity(1000.0))
+
+
+class TestSeq2Seq:
+    def test_forward_shape(self):
+        model = Seq2Seq(vocab_size=12, embed_dim=6, hidden_size=10, seed=0)
+        src = np.zeros((5, 3), dtype=int)
+        tgt = np.zeros((5, 3), dtype=int)
+        logits = model(src, tgt)
+        assert logits.shape == (15, 12)
+
+    def test_loss_finite_and_trains(self):
+        rng = np.random.default_rng(0)
+        model = Seq2Seq(vocab_size=8, embed_dim=6, hidden_size=10, seed=0)
+        src = rng.integers(0, 8, size=(4, 6))
+        tgt = (src + 1) % 8
+        opt = MomentumSGD(model.parameters(), lr=0.5, momentum=0.9)
+        losses = []
+        for _ in range(25):
+            model.zero_grad()
+            loss = model.loss(src, tgt)
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]
+
+    def test_gain_scales_recurrent_weights(self):
+        base = Seq2Seq(vocab_size=8, seed=0)
+        hot = Seq2Seq(vocab_size=8, gain=3.0, seed=0)
+        np.testing.assert_allclose(
+            hot.encoder.cells[0].weight_hh.data,
+            3.0 * base.encoder.cells[0].weight_hh.data)
+
+    def test_greedy_decode_shape(self):
+        model = Seq2Seq(vocab_size=9, embed_dim=6, hidden_size=10, seed=0)
+        src = np.zeros((5, 2), dtype=int)
+        out = model.greedy_decode(src, length=5)
+        assert out.shape == (5, 2)
+        assert out.dtype == np.int64

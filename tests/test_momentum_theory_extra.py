@@ -1,0 +1,90 @@
+"""Deeper property tests of the momentum-operator theory (Lemmas 7/10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.operators import spectral_radius, variance_operator
+from repro.analysis.quadratic import NoisyQuadratic, exact_expected_sq_dist
+from repro.analysis.robust_region import robust_lr_range
+
+
+def multidim_momentum_operator(lr, eigenvalues, momentum):
+    """The 2n x 2n operator of Lemma 7 for a diagonal Hessian."""
+    n = len(eigenvalues)
+    h = np.diag(eigenvalues)
+    eye = np.eye(n)
+    top = np.hstack([eye - lr * h + momentum * eye, -momentum * eye])
+    bottom = np.hstack([eye, np.zeros((n, n))])
+    return np.vstack([top, bottom])
+
+
+class TestLemma7Multidimensional:
+    @given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=5),
+           st.floats(0.05, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_radius_sqrt_mu_when_all_eigenvalues_in_region(self, eigs, mu):
+        """Lemma 7: if (1-sqrt(mu))^2 <= lr*lambda <= (1+sqrt(mu))^2 for
+        every eigenvalue, the full operator has radius sqrt(mu)."""
+        h_min, h_max = min(eigs), max(eigs)
+        lo = (1 - np.sqrt(mu)) ** 2 / h_min
+        hi = (1 + np.sqrt(mu)) ** 2 / h_max
+        if lo > hi:
+            return  # mu below the floor for this spectrum: region empty
+        lr = 0.5 * (lo + hi)
+        op = multidim_momentum_operator(lr, eigs, mu)
+        assert spectral_radius(op) == pytest.approx(np.sqrt(mu), rel=1e-5,
+                                                    abs=1e-7)
+
+    @given(st.floats(0.05, 0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_one_eigenvalue_outside_breaks_homogeneity(self, mu):
+        """If even one eigenvalue violates the condition, the radius
+        exceeds sqrt(mu)."""
+        eigs = [1.0, 1.0]
+        lr = (1 + np.sqrt(mu)) ** 2  # boundary for lambda = 1
+        eigs_bad = [1.0, 3.0]        # lambda = 3 is far outside
+        op = multidim_momentum_operator(lr, eigs_bad, mu)
+        assert spectral_radius(op) > np.sqrt(mu) + 1e-9
+
+
+class TestVarianceFixedPoint:
+    @given(st.floats(0.05, 0.8), st.floats(0.2, 2.0), st.floats(0.01, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_stationary_variance_matches_linear_solve(self, mu, h, c):
+        """The t -> inf limit of the Lemma-5 recursion equals the solution
+        of the linear fixed-point system (I - B) u = [lr^2 C, 0, 0]."""
+        lo, hi = robust_lr_range(h, mu)
+        lr = 0.5 * (lo + hi)
+        b_op = variance_operator(lr, h, mu)
+        rhs = np.array([lr * lr * c, 0.0, 0.0])
+        fixed_point = np.linalg.solve(np.eye(3) - b_op, rhs)
+
+        obj = NoisyQuadratic(curvature=h, noise_var=c)
+        curve = exact_expected_sq_dist(obj, x0=0.0, lr=lr, momentum=mu,
+                                       steps=4000)
+        assert curve[-1] == pytest.approx(fixed_point[0], rel=1e-4)
+
+    def test_variance_grows_with_lr(self):
+        """Stationary variance lr^2 C / ... increases with learning rate —
+        the trade-off SingleStep balances against momentum."""
+        h, c, mu = 1.0, 0.5, 0.25
+        lo, hi = robust_lr_range(h, mu)
+        obj = NoisyQuadratic(curvature=h, noise_var=c)
+        small = exact_expected_sq_dist(obj, 0.0, lo * 1.01, mu, 3000)[-1]
+        large = exact_expected_sq_dist(obj, 0.0, hi * 0.99, mu, 3000)[-1]
+        assert large > small
+
+
+class TestRobustRegionGeometry:
+    @given(st.floats(0.01, 0.99), st.floats(0.01, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_region_edges_are_complex_eigenvalue_boundary(self, mu, h):
+        """Inside the region the two eigenvalues of A are a conjugate pair
+        (|disc| <= 0); outside they are real and split."""
+        lo, hi = robust_lr_range(h, mu)
+        for lr, inside in (((lo + hi) / 2, True), (hi * 1.5, False)):
+            m = 1 - lr * h + mu
+            disc = m * m - 4 * mu
+            assert (disc <= 1e-12) == inside

@@ -1,0 +1,206 @@
+"""Weight decay, random staleness, random search, serialization, ablation
+toggles, and the RNNCell."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.core import YellowFin
+from repro.core.ema import ZeroDebiasEMA
+from repro.core.measurements import CurvatureRange
+from repro.optim import MomentumSGD, SGD
+from repro.sim import train_async
+from repro.tuning import (Workload, log_uniform, random_search,
+                          run_workload)
+from repro.utils import (load_results, load_train_log, save_results,
+                         save_train_log)
+from repro.utils.logging import TrainLog
+
+
+class TestWeightDecay:
+    def test_sgd_decays_toward_zero(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            p.grad = np.zeros(1)  # no data gradient: pure decay
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_momentum_sgd_matches_explicit_l2(self):
+        rng = np.random.default_rng(0)
+        grads = rng.normal(size=(20, 3))
+
+        p1 = Tensor(np.ones(3), requires_grad=True)
+        opt1 = MomentumSGD([p1], lr=0.1, momentum=0.5, weight_decay=0.01)
+        p2 = Tensor(np.ones(3), requires_grad=True)
+        opt2 = MomentumSGD([p2], lr=0.1, momentum=0.5)
+        for g in grads:
+            p1.grad = g.copy()
+            opt1.step()
+            p2.grad = g + 0.01 * p2.data  # explicit L2 gradient
+            opt2.step()
+        np.testing.assert_allclose(p1.data, p2.data, atol=1e-12)
+
+    def test_zero_decay_is_default(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        assert SGD([p], lr=0.1).weight_decay == 0.0
+
+
+class TestRandomStaleness:
+    def _problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(32, 3))
+        y = (x[:, 0] > 0).astype(int)
+        model = nn.Sequential(nn.Linear(3, 8, seed=0), nn.ReLU(),
+                              nn.Linear(8, 2, seed=1))
+        return model, lambda: F.cross_entropy(model(Tensor(x)), y)
+
+    def test_random_model_trains(self):
+        model, loss_fn = self._problem()
+        opt = MomentumSGD(model.parameters(), lr=0.05, momentum=0.3)
+        log = train_async(model, opt, loss_fn, steps=150, workers=4,
+                          staleness_model="random", seed=0)
+        losses = log.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_random_model_is_seeded(self):
+        outs = []
+        for _ in range(2):
+            model, loss_fn = self._problem()
+            opt = SGD(model.parameters(), lr=0.1)
+            log = train_async(model, opt, loss_fn, steps=40, workers=4,
+                              staleness_model="random", seed=7)
+            outs.append(log.series("loss"))
+        np.testing.assert_allclose(outs[0], outs[1])
+
+    def test_unknown_model_rejected(self):
+        model, loss_fn = self._problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            train_async(model, opt, loss_fn, steps=5, workers=2,
+                        staleness_model="bogus")
+
+
+def _toy_workload():
+    def build(seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(24, 3))
+        y = (x[:, 1] > 0).astype(int)
+        model = nn.Sequential(nn.Linear(3, 6, seed=seed), nn.ReLU(),
+                              nn.Linear(6, 2, seed=seed + 1))
+        return model, lambda: F.cross_entropy(model(Tensor(x)), y)
+
+    return Workload(name="toy", build=build, steps=20, smooth_window=5)
+
+
+class TestRandomSearch:
+    def test_finds_working_lr(self):
+        result = random_search(
+            _toy_workload(),
+            lambda p, c: SGD(p, lr=c["lr"]),
+            lambda rng: {"lr": log_uniform(rng, 1e-4, 1.0)},
+            budget=5, optimizer_name="sgd", seed=0)
+        assert result.total_runs == 5
+        assert not result.best_run.diverged
+        assert 1e-4 <= result.best_config["lr"] <= 1.0
+
+    def test_log_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = [log_uniform(rng, 1e-3, 1e-1) for _ in range(200)]
+        assert min(samples) >= 1e-3 and max(samples) <= 1e-1
+        # log-uniform: roughly half the samples below the geometric mean
+        below = np.mean(np.array(samples) < 1e-2)
+        assert 0.3 < below < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_uniform(np.random.default_rng(0), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            random_search(_toy_workload(), lambda p, c: SGD(p, lr=0.1),
+                          lambda rng: {}, budget=0, optimizer_name="x")
+
+
+class TestSerialization:
+    def test_train_log_roundtrip(self, tmp_path):
+        log = TrainLog()
+        for step, v in enumerate([3.0, 2.0, 1.5]):
+            log.append("loss", v, step)
+        log.append("lr", 0.1, 0)
+        path = tmp_path / "log.json"
+        save_train_log(log, path)
+        restored = load_train_log(path)
+        np.testing.assert_allclose(restored.series("loss"),
+                                   log.series("loss"))
+        assert restored.steps["loss"] == [0, 1, 2]
+
+    def test_results_roundtrip_with_arrays(self, tmp_path):
+        path = tmp_path / "res.json"
+        save_results({"curve": np.arange(3.0), "speedup": np.float64(1.5),
+                      "nested": {"n": np.int64(7)}}, path)
+        out = load_results(path)
+        assert out["curve"] == [0.0, 1.0, 2.0]
+        assert out["speedup"] == 1.5
+        assert out["nested"]["n"] == 7
+
+
+class TestAblationToggles:
+    def test_no_debias_ema_biased_low_early(self):
+        plain = ZeroDebiasEMA(beta=0.99, debias=False)
+        debiased = ZeroDebiasEMA(beta=0.99, debias=True)
+        for _ in range(5):
+            plain.update(10.0)
+            debiased.update(10.0)
+        assert plain.value < 0.6 * debiased.value
+        assert debiased.value == pytest.approx(10.0)
+
+    def test_linear_space_curvature_lags_decay(self):
+        log_cr = CurvatureRange(beta=0.99, window=1, log_space=True)
+        lin_cr = CurvatureRange(beta=0.99, window=1, log_space=False)
+        value = 1e8
+        for _ in range(300):
+            value *= 0.95
+            log_cr.update(value)
+            lin_cr.update(value)
+        # the log-space estimate tracks the decayed level far better
+        assert abs(np.log10(log_cr.hmax) - np.log10(value)) < \
+            abs(np.log10(lin_cr.hmax) - np.log10(value))
+
+    def test_yellowfin_accepts_ablation_flags(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = YellowFin([p], zero_debias=False, log_space_curvature=False,
+                        beta=0.9)
+        for _ in range(5):
+            p.grad = p.data.copy()
+            opt.step()  # must run without error
+        assert opt.t == 5
+
+
+class TestRNNCell:
+    def test_shapes_and_activations(self):
+        cell = nn.RNNCell(3, 5, activation="relu", seed=0)
+        h = cell(Tensor(np.random.default_rng(0).normal(size=(2, 3))),
+                 cell.zero_state(2))
+        assert h.shape == (2, 5)
+        assert (h.data >= 0).all()
+
+    def test_tanh_bounded(self):
+        cell = nn.RNNCell(3, 5, activation="tanh", seed=0)
+        h = cell(Tensor(10 * np.ones((1, 3))), cell.zero_state(1))
+        assert (np.abs(h.data) <= 1.0).all()
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            nn.RNNCell(2, 2, activation="sine")
+
+    def test_relu_identity_feedback_explodes(self):
+        """The exploding-gradient construction: identity-dominant W with
+        positive state grows geometrically."""
+        cell = nn.RNNCell(1, 4, activation="relu", seed=0)
+        cell.weight_hh.data = 1.5 * np.eye(4)
+        cell.weight_ih.data = np.zeros((4, 1))
+        cell.bias.data = np.zeros(4)
+        h = Tensor(np.ones((1, 4)))
+        for _ in range(20):
+            h = cell(Tensor(np.zeros((1, 1))), h)
+        assert h.data.max() > 1e3

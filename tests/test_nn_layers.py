@@ -1,0 +1,157 @@
+"""Layer behaviour and gradient checks for the nn library."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients
+
+
+def x(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(4, 7, seed=0)
+        assert layer(x((5, 4))).shape == (5, 7)
+
+    def test_grad(self):
+        layer = nn.Linear(3, 2, seed=0)
+        inp = x((4, 3))
+        check_gradients(lambda a: layer(a), [inp])
+        check_gradients(lambda w: nn.Linear.forward(layer, inp.detach()),
+                        [layer.weight])
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False, seed=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestConv2d:
+    def test_forward_shape(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1, seed=0)
+        assert layer(x((2, 3, 6, 6))).shape == (2, 8, 6, 6)
+
+    def test_stride_halves(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, seed=0)
+        assert layer(x((2, 3, 8, 8))).shape == (2, 8, 4, 4)
+
+    def test_param_grad(self):
+        layer = nn.Conv2d(2, 3, 3, padding=1, seed=0)
+        inp = x((1, 2, 4, 4)).detach()
+        check_gradients(lambda w: nn.Conv2d.forward(layer, inp),
+                        [layer.weight], atol=1e-4)
+
+
+class TestBatchNorm:
+    def test_train_normalizes(self):
+        layer = nn.BatchNorm2d(4)
+        out = layer(x((8, 4, 5, 5)))
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0.0,
+                                   atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1.0,
+                                   atol=1e-3)
+
+    def test_running_stats_track(self):
+        layer = nn.BatchNorm2d(2)
+        inp = x((16, 2, 4, 4))
+        for _ in range(200):
+            layer(inp)
+        np.testing.assert_allclose(layer.running_mean,
+                                   inp.data.mean(axis=(0, 2, 3)), atol=1e-3)
+
+    def test_eval_uses_running_stats(self):
+        layer = nn.BatchNorm2d(2)
+        inp = x((16, 2, 4, 4))
+        for _ in range(100):
+            layer(inp)
+        layer.eval()
+        out_eval = layer(inp)
+        # eval output should roughly match train output after convergence
+        layer.train()
+        out_train = layer(inp)
+        np.testing.assert_allclose(out_eval.data, out_train.data, atol=0.1)
+
+    def test_grad(self):
+        layer = nn.BatchNorm2d(2)
+        check_gradients(lambda a: layer(a), [x((4, 2, 3, 3))], atol=1e-4)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(x((4, 2)))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self):
+        layer = nn.LayerNorm(6)
+        out = layer(x((4, 6)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-10)
+
+    def test_grad(self):
+        layer = nn.LayerNorm(5)
+        check_gradients(lambda a: layer(a), [x((3, 5))], atol=1e-4)
+
+
+class TestEmbedding:
+    def test_shape(self):
+        emb = nn.Embedding(10, 4, seed=0)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_out_of_range(self):
+        emb = nn.Embedding(5, 3, seed=0)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+
+class TestContainers:
+    def test_sequential(self):
+        net = nn.Sequential(nn.Linear(3, 5, seed=0), nn.ReLU(),
+                            nn.Linear(5, 2, seed=1))
+        assert net(x((4, 3))).shape == (4, 2)
+        assert len(net) == 3
+        assert isinstance(net[0], nn.Linear)
+
+    def test_module_list(self):
+        lst = nn.ModuleList([nn.Linear(2, 2, seed=0)])
+        lst.append(nn.Linear(2, 2, seed=1))
+        assert len(lst) == 2
+        assert len(lst[1].parameters()) == 2
+
+
+class TestModuleProtocol:
+    def test_named_parameters_nested(self):
+        net = nn.Sequential(nn.Linear(2, 3, seed=0), nn.Linear(3, 1, seed=1))
+        names = dict(net.named_parameters())
+        assert "layer0.weight" in names and "layer1.bias" in names
+        assert len(names) == 4
+
+    def test_state_dict_roundtrip(self):
+        net = nn.Sequential(nn.Linear(2, 3, seed=0), nn.BatchNorm2d(3))
+        state = net.state_dict()
+        net2 = nn.Sequential(nn.Linear(2, 3, seed=9), nn.BatchNorm2d(3))
+        net2.load_state_dict(state)
+        np.testing.assert_allclose(net2[0].weight.data, net[0].weight.data)
+        np.testing.assert_allclose(net2[1].running_mean, net[1].running_mean)
+
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2, seed=0), nn.BatchNorm2d(2))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(2, 2, seed=0)
+        out = layer(x((3, 2)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = nn.Linear(3, 5, seed=0)
+        assert layer.num_parameters() == 3 * 5 + 5

@@ -1,0 +1,79 @@
+"""LSTM cell/stack behaviour and gradient checks."""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients
+
+
+def x(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestLSTMCell:
+    def test_step_shapes(self):
+        cell = nn.LSTMCell(4, 6, seed=0)
+        h, c = cell(x((3, 4)), cell.zero_state(3))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_forget_bias_initialized(self):
+        cell = nn.LSTMCell(4, 6, seed=0)
+        np.testing.assert_allclose(cell.bias.data[6:12], 1.0)
+
+    def test_gradcheck_input(self):
+        cell = nn.LSTMCell(3, 4, seed=0)
+        state = cell.zero_state(2)
+        check_gradients(lambda a: cell(a, state)[0], [x((2, 3))], atol=1e-4)
+
+    def test_gradcheck_weights(self):
+        cell = nn.LSTMCell(2, 3, seed=0)
+        inp = x((2, 2)).detach()
+        state = cell.zero_state(2)
+        check_gradients(lambda w: cell(inp, state)[0], [cell.weight_hh],
+                        atol=1e-4)
+
+    def test_state_flows(self):
+        cell = nn.LSTMCell(2, 3, seed=0)
+        state = cell.zero_state(1)
+        inp = x((1, 2))
+        h1, c1 = cell(inp, state)
+        h2, c2 = cell(inp, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+
+class TestLSTM:
+    def test_sequence_shapes(self):
+        lstm = nn.LSTM(3, 5, num_layers=2, seed=0)
+        out, state = lstm(x((7, 2, 3)))
+        assert out.shape == (7, 2, 5)
+        assert len(state) == 2
+        assert state[0][0].shape == (2, 5)
+
+    def test_backward_through_time(self):
+        lstm = nn.LSTM(2, 3, seed=0)
+        inp = x((4, 1, 2))
+        out, _ = lstm(inp)
+        out.sum().backward()
+        assert inp.grad is not None
+        assert lstm.cells[0].weight_hh.grad is not None
+
+    def test_gradcheck_short_sequence(self):
+        lstm = nn.LSTM(2, 2, seed=0)
+        check_gradients(lambda a: lstm(a)[0], [x((3, 1, 2))], atol=1e-4)
+
+    def test_detach_state_cuts_graph(self):
+        lstm = nn.LSTM(2, 3, seed=0)
+        _, state = lstm(x((2, 1, 2)))
+        detached = nn.LSTM.detach_state(state)
+        assert all(not h.requires_grad and not c.requires_grad
+                   for h, c in detached)
+
+    def test_state_carrying_changes_output(self):
+        lstm = nn.LSTM(2, 3, seed=0)
+        inp = x((2, 1, 2))
+        out1, state = lstm(inp)
+        out2a, _ = lstm(inp, nn.LSTM.detach_state(state))
+        out2b, _ = lstm(inp)  # fresh zero state
+        assert not np.allclose(out2a.data, out2b.data)

@@ -1,0 +1,204 @@
+"""Baseline optimizers: correctness on analytic problems."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.optim import (SGD, Adam, AdaGrad, ExponentialDecay, MomentumSGD,
+                         RMSProp, StepDecay, clip_grad_norm,
+                         global_grad_norm)
+
+
+def quadratic_params(value=5.0):
+    return Tensor(np.array([value, -value]), requires_grad=True)
+
+
+def quadratic_grad(p, h=1.0):
+    """Gradient of (h/2)||x||^2 loaded straight into p.grad."""
+    p.grad = h * p.data.copy()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=0.5)
+        for _ in range(50):
+            quadratic_grad(p)
+            opt.step()
+        assert np.abs(p.data).max() < 1e-5
+
+    def test_exact_step(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.8])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_grad_enforced(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0])], lr=0.1)
+
+
+class TestMomentumSGD:
+    def test_matches_paper_equation(self):
+        """Velocity form must equal x_{t+1} = x_t - a g + mu (x_t - x_{t-1})."""
+        h, lr, mu = 1.0, 0.3, 0.8
+        p = Tensor(np.array([4.0]), requires_grad=True)
+        opt = MomentumSGD([p], lr=lr, momentum=mu)
+        x_prev = x = 4.0
+        for _ in range(20):
+            quadratic_grad(p, h)
+            opt.step()
+            x_next = x - lr * h * x + mu * (x - x_prev)
+            x_prev, x = x, x_next
+            np.testing.assert_allclose(p.data, [x], atol=1e-12)
+
+    def test_momentum_accelerates_ill_conditioned(self):
+        """On kappa=100 quadratic, tuned momentum beats plain GD."""
+        h = np.array([1.0, 100.0])
+        kappa = 100.0
+        mu = ((np.sqrt(kappa) - 1) / (np.sqrt(kappa) + 1)) ** 2
+        lr_mom = (1 + np.sqrt(mu)) ** 2 / h.max()
+
+        p1 = Tensor(np.ones(2), requires_grad=True)
+        gd = SGD([p1], lr=2.0 / (h.max() + h.min()))
+        p2 = Tensor(np.ones(2), requires_grad=True)
+        mom = MomentumSGD([p2], lr=lr_mom, momentum=mu)
+        for _ in range(80):
+            p1.grad = h * p1.data
+            gd.step()
+            p2.grad = h * p2.data
+            mom.step()
+        assert np.abs(p2.data).max() < np.abs(p1.data).max()
+
+    def test_nesterov_differs_from_polyak(self):
+        p1 = Tensor(np.array([1.0]), requires_grad=True)
+        p2 = Tensor(np.array([1.0]), requires_grad=True)
+        polyak = MomentumSGD([p1], lr=0.1, momentum=0.9)
+        nesterov = MomentumSGD([p2], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            quadratic_grad(p1)
+            polyak.step()
+            quadratic_grad(p2)
+            nesterov.step()
+        assert not np.allclose(p1.data, p2.data)
+
+    def test_set_hyperparams(self):
+        p = quadratic_params()
+        opt = MomentumSGD([p], lr=0.1, momentum=0.5)
+        opt.set_hyperparams(0.2, 0.7)
+        assert opt.lr == 0.2 and opt.momentum == 0.7
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.5)
+        for _ in range(300):
+            quadratic_grad(p)
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_first_step_is_lr_sized(self):
+        """Bias correction => first update has magnitude ~lr regardless of
+        gradient scale."""
+        for scale in (1e-4, 1.0, 1e4):
+            p = Tensor(np.array([1.0]), requires_grad=True)
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale])
+            opt.step()
+            np.testing.assert_allclose(abs(1.0 - p.data[0]), 0.01, rtol=1e-3)
+
+    def test_negative_beta1_allowed(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.1, beta1=-0.2)
+        quadratic_grad(p)
+        opt.step()  # must not raise
+
+    def test_beta_validation(self):
+        p = quadratic_params()
+        with pytest.raises(ValueError):
+            Adam([p], beta1=1.5)
+        with pytest.raises(ValueError):
+            Adam([p], beta2=1.0)
+
+
+class TestAdaGradRMSProp:
+    def test_adagrad_converges(self):
+        p = quadratic_params()
+        opt = AdaGrad([p], lr=1.0)
+        for _ in range(400):
+            quadratic_grad(p)
+            opt.step()
+        assert np.abs(p.data).max() < 0.05
+
+    def test_adagrad_lr_shrinks(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = AdaGrad([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        step1 = abs(1.0 - p.data[0])
+        before = p.data[0]
+        p.grad = np.array([1.0])
+        opt.step()
+        step2 = abs(before - p.data[0])
+        assert step2 < step1
+
+    def test_rmsprop_converges(self):
+        p = quadratic_params()
+        opt = RMSProp([p], lr=0.05)
+        for _ in range(500):
+            quadratic_grad(p)
+            opt.step()
+        assert np.abs(p.data).max() < 0.05
+
+
+class TestSchedulers:
+    def test_exponential_decay(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=1.0)
+        sched = ExponentialDecay(opt, gamma=0.5)
+        sched.epoch_end()
+        assert opt.lr == pytest.approx(0.5)
+        sched.epoch_end()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_step_decay_waits(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=1.0)
+        sched = StepDecay(opt, gamma=0.9, start_epoch=2)
+        sched.epoch_end()
+        sched.epoch_end()
+        assert opt.lr == pytest.approx(1.0)
+        sched.epoch_end()
+        assert opt.lr == pytest.approx(0.9)
+
+
+class TestGradClip:
+    def test_global_norm(self):
+        p1 = Tensor(np.zeros(3), requires_grad=True)
+        p2 = Tensor(np.zeros(4), requires_grad=True)
+        p1.grad = np.array([3.0, 0.0, 0.0])
+        p2.grad = np.array([0.0, 4.0, 0.0, 0.0])
+        assert global_grad_norm([p1, p2]) == pytest.approx(5.0)
+
+    def test_clip_rescales(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([3.0, 4.0])
+        pre = clip_grad_norm([p], 1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], 1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_missing_grads_are_zero(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        assert global_grad_norm([p]) == 0.0

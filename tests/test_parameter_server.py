@@ -1,0 +1,97 @@
+"""Parameter-server simulation: staleness semantics and training."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.optim import MomentumSGD, SGD
+from repro.sim import ParameterServer
+
+
+def make_shards(n_workers, samples_per_shard=32, seed=0):
+    """Independent data shards of the same underlying problem."""
+    rng = np.random.default_rng(seed)
+    model = nn.Sequential(nn.Linear(3, 8, seed=0), nn.ReLU(),
+                          nn.Linear(8, 2, seed=1))
+    loss_fns = []
+    for w in range(n_workers):
+        x = rng.normal(size=(samples_per_shard, 3))
+        y = (x[:, 0] > 0).astype(int)
+        local_rng = np.random.default_rng(seed + 100 + w)
+
+        def loss_fn(x=x, y=y, local_rng=local_rng):
+            idx = local_rng.integers(0, len(x), size=8)
+            return F.cross_entropy(model(Tensor(x[idx])), y[idx])
+
+        loss_fns.append(loss_fn)
+    return model, loss_fns
+
+
+class TestStalenessSemantics:
+    def test_round_robin_staleness_is_workers_minus_one(self):
+        model, loss_fns = make_shards(4)
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ParameterServer(model, opt, loss_fns,
+                                 schedule="round_robin")
+        log = server.run(steps=40)
+        staleness = log.series("staleness")
+        # after warm-up every applied gradient is exactly 3 steps stale
+        np.testing.assert_allclose(staleness[4:], 3.0)
+
+    def test_single_worker_is_fresh(self):
+        model, loss_fns = make_shards(1)
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ParameterServer(model, opt, loss_fns)
+        log = server.run(steps=20)
+        np.testing.assert_allclose(log.series("staleness"), 0.0)
+
+    def test_random_schedule_mixes_workers(self):
+        model, loss_fns = make_shards(4)
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ParameterServer(model, opt, loss_fns, schedule="random",
+                                 seed=0)
+        log = server.run(steps=80)
+        workers_seen = set(log.series("worker").astype(int).tolist())
+        assert workers_seen == {0, 1, 2, 3}
+        # staleness varies under the memoryless schedule
+        assert log.series("staleness")[8:].std() > 0.1
+
+    def test_round_robin_cycles_workers(self):
+        model, loss_fns = make_shards(3)
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ParameterServer(model, opt, loss_fns)
+        log = server.run(steps=9)
+        np.testing.assert_array_equal(
+            log.series("worker").astype(int), [0, 1, 2] * 3)
+
+
+class TestTraining:
+    def test_async_sharded_training_converges(self):
+        model, loss_fns = make_shards(4, samples_per_shard=64)
+        opt = MomentumSGD(model.parameters(), lr=0.05, momentum=0.3)
+        server = ParameterServer(model, opt, loss_fns)
+        log = server.run(steps=300)
+        losses = log.series("loss")
+        assert losses[-30:].mean() < 0.6 * losses[:30].mean()
+
+    def test_divergence_stops(self):
+        model, loss_fns = make_shards(2)
+        opt = SGD(model.parameters(), lr=1e9)
+        server = ParameterServer(model, opt, loss_fns)
+        log = server.run(steps=100)
+        assert "diverged" in log
+        assert server.step_count < 100
+
+    def test_validation(self):
+        model, loss_fns = make_shards(2)
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            ParameterServer(model, opt, [])
+        with pytest.raises(ValueError):
+            ParameterServer(model, opt, loss_fns, schedule="fifo")
+
+    def test_mean_staleness_property(self):
+        model, loss_fns = make_shards(5)
+        opt = SGD(model.parameters(), lr=0.1)
+        assert ParameterServer(model, opt, loss_fns).mean_staleness == 4.0

@@ -1,0 +1,92 @@
+"""Property-based tests of autograd correctness on composite expressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients, numerical_grad
+
+small_floats = st.floats(-3.0, 3.0, allow_nan=False)
+shapes = st.sampled_from([(2,), (3, 2), (2, 2, 2)])
+
+
+def tensor_from(data):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class TestAlgebraicIdentities:
+    @given(st.lists(small_floats, min_size=2, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_backward_is_linear_in_output_grad(self, values):
+        """d(2f)/dx == 2 df/dx for any recorded graph."""
+        x1 = tensor_from(values)
+        (x1.tanh() * x1).sum().backward()
+        g1 = x1.grad.copy()
+
+        x2 = tensor_from(values)
+        ((x2.tanh() * x2) * 2.0).sum().backward()
+        np.testing.assert_allclose(x2.grad, 2.0 * g1, atol=1e-12)
+
+    @given(st.lists(small_floats, min_size=2, max_size=6),
+           st.lists(small_floats, min_size=2, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_rule(self, a_vals, b_vals):
+        """d(f+g)/dx == df/dx + dg/dx on shared input."""
+        n = min(len(a_vals), len(b_vals))
+        x = tensor_from(a_vals[:n])
+        f = (x * x).sum()
+        g = x.sigmoid().sum()
+        (f + g).backward()
+        combined = x.grad.copy()
+
+        x1 = tensor_from(a_vals[:n])
+        (x1 * x1).sum().backward()
+        x2 = tensor_from(a_vals[:n])
+        x2.sigmoid().sum().backward()
+        np.testing.assert_allclose(combined, x1.grad + x2.grad, atol=1e-12)
+
+    @given(shapes, st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_composite_matches_numeric(self, shape, seed):
+        """Random smooth composite expression passes the numeric check."""
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=shape), requires_grad=True)
+        check_gradients(
+            lambda a: ((a * 0.5).tanh() + a.sigmoid() * a).exp().mean(),
+            [x], atol=1e-4, rtol=1e-3)
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_chain_matches_numeric(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        check_gradients(lambda a, b: ((a @ b).tanh() @ a).sum(),
+                        [a, b], atol=1e-4, rtol=1e-3)
+
+
+class TestGraphInvariants:
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_of_multiplies(self, depth):
+        """d/dx of c^depth * x is exactly c^depth for constant c."""
+        x = Tensor([1.5], requires_grad=True)
+        out = x
+        for _ in range(depth):
+            out = out * 0.9
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.9 ** depth], rtol=1e-12)
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_fan_out_accumulation(self, branches):
+        """x used in k branches accumulates k gradient contributions."""
+        x = Tensor([2.0], requires_grad=True)
+        total = Tensor(0.0)
+        for i in range(branches):
+            total = total + x * float(i + 1)
+        total.sum().backward()
+        expected = sum(range(1, branches + 1))
+        np.testing.assert_allclose(x.grad, [expected])

@@ -1,0 +1,111 @@
+"""Sequential-image dataset, LSTM classifier, GRU cell, AMSGrad."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients
+from repro.data import SequentialImages, make_mnist_like
+from repro.models import LSTMClassifier
+from repro.optim import Adam, MomentumSGD
+
+
+class TestSequentialImages:
+    def test_shapes(self):
+        data = SequentialImages(num_classes=4, size=6, train_size=32,
+                                test_size=8, seed=0)
+        assert data.x_train.shape == (32, 6, 6)
+        assert data.y_train.shape == (32,)
+
+    def test_batch_time_major(self):
+        data = make_mnist_like(seed=0, train_size=64)
+        rng = np.random.default_rng(0)
+        x, y = data.batch(rng, 16)
+        assert x.shape == (8, 16, 8)  # (T, N, features)
+        assert y.shape == (16,)
+
+    def test_deterministic(self):
+        a = make_mnist_like(seed=3, train_size=16)
+        b = make_mnist_like(seed=3, train_size=16)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+
+class TestLSTMClassifier:
+    def test_forward_shape(self):
+        model = LSTMClassifier(input_size=8, hidden_size=12, num_classes=5,
+                               seed=0)
+        out = model(np.zeros((4, 3, 8)))
+        assert out.shape == (3, 5)
+
+    def test_trains_on_sequential_images(self):
+        data = make_mnist_like(seed=0, train_size=128)
+        model = LSTMClassifier(input_size=8, hidden_size=16, num_classes=10,
+                               seed=0)
+        rng = np.random.default_rng(0)
+        opt = MomentumSGD(model.parameters(), lr=0.5, momentum=0.9)
+        losses = []
+        for _ in range(60):
+            x, y = data.batch(rng, 16)
+            model.zero_grad()
+            loss = model.loss(x, y)
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert np.mean(losses[-10:]) < 0.7 * np.mean(losses[:10])
+
+
+class TestGRUCell:
+    def test_shapes(self):
+        cell = nn.GRUCell(4, 6, seed=0)
+        h = cell(Tensor(np.zeros((3, 4))), cell.zero_state(3))
+        assert h.shape == (3, 6)
+
+    def test_gradcheck(self):
+        cell = nn.GRUCell(3, 4, seed=0)
+        state = cell.zero_state(2)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda a: cell(a, state), [x], atol=1e-4)
+
+    def test_update_gate_interpolates(self):
+        """With h_prev fixed, the output lies between candidate and h_prev
+        componentwise bounds (|h| <= max(|h_prev|, 1))."""
+        cell = nn.GRUCell(2, 3, seed=0)
+        h_prev = Tensor(0.5 * np.ones((1, 3)))
+        h = cell(Tensor(np.ones((1, 2))), h_prev)
+        assert (np.abs(h.data) <= 1.0).all()
+
+
+class TestAMSGrad:
+    def test_converges(self):
+        p = Tensor(np.array([3.0, -3.0]), requires_grad=True)
+        opt = Adam([p], lr=0.3, amsgrad=True)
+        for _ in range(300):
+            p.grad = p.data.copy()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_vmax_monotone(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1, amsgrad=True)
+        p.grad = np.array([10.0])
+        opt.step()
+        vmax_after_big = opt._vmax[0].copy()
+        p.grad = np.array([0.01])
+        opt.step()
+        assert (opt._vmax[0] >= vmax_after_big * 0.999).all()
+
+    def test_differs_from_plain_adam(self):
+        rng = np.random.default_rng(0)
+        grads = rng.normal(size=(50, 2)) * np.array([10.0, 0.1])
+        p1 = Tensor(np.ones(2), requires_grad=True)
+        p2 = Tensor(np.ones(2), requires_grad=True)
+        plain = Adam([p1], lr=0.1)
+        ams = Adam([p2], lr=0.1, amsgrad=True)
+        for g in grads:
+            p1.grad = g.copy()
+            plain.step()
+            p2.grad = g.copy()
+            ams.step()
+        assert not np.allclose(p1.data, p2.data)

@@ -1,0 +1,128 @@
+"""Trainers: sync loop, async simulator, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro import nn
+from repro.optim import MomentumSGD, SGD
+from repro.sim import (TrainerHooks, classification_accuracy,
+                       evaluate_classifier, train_async, train_sync)
+
+
+def make_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(32, 3))
+    y = (x[:, 0] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(3, 8, seed=0), nn.ReLU(),
+                          nn.Linear(8, 2, seed=1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+class TestTrainSync:
+    def test_records_losses_and_trains(self):
+        model, loss_fn = make_problem()
+        opt = MomentumSGD(model.parameters(), lr=0.1, momentum=0.9)
+        log = train_sync(model, opt, loss_fn, steps=40)
+        losses = log.series("loss")
+        assert len(losses) == 40
+        assert losses[-1] < losses[0]
+
+    def test_divergence_stops_early(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=1e9)  # guaranteed blow-up
+        log = train_sync(model, opt, loss_fn, steps=200)
+        assert "diverged" in log
+        assert len(log.series("loss")) < 200
+
+    def test_static_clip_hook(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        log = train_sync(model, opt, loss_fn, steps=5,
+                         hooks=TrainerHooks(grad_clip_norm=1e-9))
+        assert "grad_norm" in log
+        # with an absurdly small clip the model barely moves
+        assert abs(log.series("loss")[0] - log.series("loss")[-1]) < 1e-3
+
+    def test_on_step_callback(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        calls = []
+        train_sync(model, opt, loss_fn, steps=3,
+                   hooks=TrainerHooks(on_step=lambda s, log: calls.append(s)))
+        assert calls == [0, 1, 2]
+
+    def test_yellowfin_stats_logged(self):
+        from repro.core import YellowFin
+        model, loss_fn = make_problem()
+        opt = YellowFin(model.parameters())
+        log = train_sync(model, opt, loss_fn, steps=5)
+        assert "lr" in log and "momentum" in log
+
+
+class TestTrainAsync:
+    def test_single_worker_equals_sync(self):
+        """workers=1 (staleness 0) must match the sync trainer exactly."""
+        model_a, loss_a = make_problem(seed=3)
+        opt_a = MomentumSGD(model_a.parameters(), lr=0.1, momentum=0.5)
+        log_a = train_sync(model_a, opt_a, loss_a, steps=20)
+
+        model_b, loss_b = make_problem(seed=3)
+        opt_b = MomentumSGD(model_b.parameters(), lr=0.1, momentum=0.5)
+        log_b = train_async(model_b, opt_b, loss_b, steps=20, workers=1)
+
+        np.testing.assert_allclose(log_a.series("loss"),
+                                   log_b.series("loss"), atol=1e-12)
+
+    def test_staleness_delays_updates(self):
+        """With M workers the first M-1 losses are computed on the initial
+        model (no update has landed yet)."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.5)
+        log = train_async(model, opt, loss_fn, steps=12, workers=8)
+        losses = log.series("loss")
+        np.testing.assert_allclose(losses[:7], losses[0])
+
+    def test_async_still_converges(self):
+        model, loss_fn = make_problem()
+        opt = MomentumSGD(model.parameters(), lr=0.05, momentum=0.3)
+        log = train_async(model, opt, loss_fn, steps=150, workers=4)
+        losses = log.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_validation(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            train_async(model, opt, loss_fn, steps=5, workers=0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 0.0]])
+        assert classification_accuracy(logits, np.array([0, 1, 1])) == \
+            pytest.approx(2 / 3)
+
+    def test_evaluate_classifier(self):
+        model, _ = make_problem()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 3))
+        y = (x[:, 0] > 0).astype(int)
+        out = evaluate_classifier(model, x, y, batch_size=8)
+        assert 0.0 <= out["accuracy"] <= 1.0
+        assert out["loss"] > 0.0
+        assert model.training  # restored to train mode
+
+    def test_evaluate_lm(self):
+        from repro.models import LSTMLanguageModel
+        from repro.sim import evaluate_lm
+        model = LSTMLanguageModel(vocab_size=12, embed_dim=6, hidden_size=8,
+                                  num_layers=1, seed=0)
+        tokens = np.random.default_rng(0).integers(0, 12, 400)
+        out = evaluate_lm(model, tokens, batch_size=2, seq_len=8)
+        assert out["perplexity"] >= 1.0
+        assert out["nll"] > 0

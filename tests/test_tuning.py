@@ -1,0 +1,75 @@
+"""Grid search and the multi-seed experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro import nn
+from repro.optim import SGD
+from repro.tuning import Workload, average_curves, grid_search, run_workload
+
+
+def build_problem(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(24, 3))
+    y = (x[:, 1] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(3, 6, seed=seed), nn.ReLU(),
+                          nn.Linear(6, 2, seed=seed + 1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+WORKLOAD = Workload(name="toy", build=build_problem, steps=25,
+                    smooth_window=5)
+
+
+class TestRunWorkload:
+    def test_averages_over_seeds(self):
+        result = run_workload(WORKLOAD, lambda p: SGD(p, lr=0.2), "sgd",
+                              seeds=(0, 1, 2))
+        assert result.losses.shape == (25,)
+        assert result.losses[-1] < result.losses[0]
+        assert len(result.logs) == 3
+
+    def test_async_route(self):
+        result = run_workload(WORKLOAD, lambda p: SGD(p, lr=0.1), "sgd",
+                              seeds=(0,), async_workers=4)
+        assert result.losses.size == 25
+
+    def test_divergence_flag(self):
+        result = run_workload(WORKLOAD, lambda p: SGD(p, lr=1e9), "sgd",
+                              seeds=(0,))
+        assert result.diverged
+
+
+class TestAverageCurves:
+    def test_truncates_to_shortest(self):
+        out = average_curves([np.ones(5), np.zeros(3)])
+        np.testing.assert_allclose(out, [0.5, 0.5, 0.5])
+
+    def test_empty(self):
+        assert average_curves([]).size == 0
+
+
+class TestGridSearch:
+    def test_picks_reasonable_lr(self):
+        """Grid search must prefer a working lr over degenerate ones."""
+        result = grid_search(
+            WORKLOAD, lambda params, lr: SGD(params, lr),
+            lr_grid=[1e-7, 0.3, 1e9], optimizer_name="sgd", seeds=(0, 1))
+        assert result.best_lr == pytest.approx(0.3)
+        assert not result.best_run.diverged
+        assert set(result.all_runs) == {1e-7, 0.3, 1e9}
+
+    def test_diverged_config_never_wins(self):
+        result = grid_search(
+            WORKLOAD, lambda params, lr: SGD(params, lr),
+            lr_grid=[0.05, 1e9], optimizer_name="sgd", seeds=(0,))
+        assert result.best_lr == pytest.approx(0.05)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search(WORKLOAD, lambda p, lr: SGD(p, lr), [], "sgd")

@@ -1,0 +1,64 @@
+"""Utilities: RNG management and the training log."""
+
+import numpy as np
+import pytest
+
+from repro.utils import TrainLog, new_rng, spawn_rngs
+from repro.utils.rng import RngMixin
+
+
+class TestRng:
+    def test_new_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert new_rng(rng) is rng
+
+    def test_new_rng_seeded_reproducible(self):
+        a = new_rng(42).random(5)
+        b = new_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        draws = [rng.random() for rng in rngs]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [rng.random() for rng in spawn_rngs(7, 2)]
+        b = [rng.random() for rng in spawn_rngs(7, 2)]
+        assert a == b
+
+    def test_mixin(self):
+        class Thing(RngMixin):
+            def __init__(self):
+                self._init_rng(3)
+
+        thing = Thing()
+        assert isinstance(thing.rng, np.random.Generator)
+
+
+class TestTrainLog:
+    def test_append_and_series(self):
+        log = TrainLog()
+        log.append("loss", 1.0, 0)
+        log.append("loss", 0.5, 1)
+        np.testing.assert_allclose(log.series("loss"), [1.0, 0.5])
+        assert log.steps["loss"] == [0, 1]
+
+    def test_last(self):
+        log = TrainLog()
+        log.append("x", 3.0, 0)
+        assert log.last("x") == 3.0
+        with pytest.raises(KeyError):
+            log.last("missing")
+
+    def test_contains_and_len(self):
+        log = TrainLog()
+        assert "loss" not in log and len(log) == 0
+        log.append("loss", 1.0, 0)
+        log.append("loss", 2.0, 1)
+        log.append("lr", 0.1, 0)
+        assert "loss" in log and len(log) == 2
+
+    def test_missing_series_empty(self):
+        assert TrainLog().series("nope").size == 0
