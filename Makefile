@@ -1,0 +1,25 @@
+# Developer entry points. Everything assumes the in-tree layout
+# (PYTHONPATH=src); `pip install -e .` works too.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test tier1 doc-coverage bench bench-smoke example
+
+test:  ## fast unit tests only
+	$(PYTEST) tests -q
+
+tier1:  ## the full tier-1 gate: unit tests + benchmark suite
+	$(PYTEST) -x -q
+
+doc-coverage:  ## public-API docstring gate for repro.optim / repro.sim
+	$(PYTEST) tests/test_doc_coverage.py -q
+
+bench:  ## full benchmark suite (writes BENCH_*.json perf records)
+	$(PYTEST) benchmarks -q -s
+
+bench-smoke:  ## fig01 headline workload through the repro.bench harness, <60s
+	REPRO_BENCH_SCALE=0.25 $(PYTEST) \
+	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" -q -s
+
+example:  ## sharded + fused async-training tour
+	PYTHONPATH=src python examples/async_training.py

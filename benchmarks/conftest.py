@@ -1,0 +1,50 @@
+"""Benchmark-suite plumbing: every figure test leaves a perf record.
+
+An autouse fixture times each test in this directory through
+:mod:`repro.bench` and writes ``BENCH_<test>.json`` (into
+``$REPRO_BENCH_DIR`` or the working directory).  Figure scripts that want
+richer records — kernel-level timings, speedup comparisons — call the
+harness directly on top of this; see ``test_fig01_headline.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import BenchReporter
+
+
+def _record_name(node_name: str) -> str:
+    # test_fig01_headline -> fig01_headline
+    base = node_name.split("[", 1)[0]
+    return base[len("test_"):] if base.startswith("test_") else base
+
+
+@pytest.hookimpl(tryfirst=True, hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Expose each phase's outcome on the item so fixtures can see it."""
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, f"rep_{report.when}", report)
+
+
+@pytest.fixture(autouse=True)
+def bench_perf_record(request):
+    """Record wall time of the enclosing benchmark test as BENCH_*.json.
+
+    Failed or errored tests leave no record — a partial wall time would
+    masquerade as a successful measurement in the perf trajectory.
+    """
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+    report = getattr(request.node, "rep_call", None)
+    if report is None or not report.passed:
+        return
+    name = _record_name(request.node.name)
+    reporter = BenchReporter()
+    reporter.record(name, {"wall_s": elapsed},
+                    {"test": request.node.nodeid})
+    reporter.write(name)

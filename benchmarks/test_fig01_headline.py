@@ -3,11 +3,16 @@
 Paper: synchronously YellowFin converges in fewer iterations than tuned
 Adam; under 16-worker asynchrony, closed-loop YellowFin is dramatically
 faster than open-loop YellowFin and beats Adam.
+
+This module also carries the headline *systems* measurement: the fused
+YellowFin update kernel vs the per-tensor reference on the same model,
+recorded by the ``repro.bench`` harness into ``BENCH_fig01.json``.
 """
 
 import numpy as np
 
 from repro.analysis.convergence import smooth_losses
+from repro.bench import compare_benchmark
 from repro.optim import Adam
 from repro.tuning import run_workload, speedup_ratio
 from benchmarks.workloads import (cifar100_workload, closed_loop_yellowfin,
@@ -84,3 +89,41 @@ def test_fig01_headline(benchmark):
     # appears at 30k+ iterations where open-loop destabilizes; at this
     # scale the two track each other — see EXPERIMENTS.md)
     assert cl_vs_open >= 0.9
+
+
+def test_fig01_fused_speedup():
+    """Fused YellowFin kernel ≥2x the per-tensor hot path on the fig01
+    model; timings and ratio land in BENCH_fig01.json."""
+    wl = cifar100_workload()
+    probe, _ = wl.build(seed=0)
+    rng = np.random.default_rng(0)
+    grads = [rng.normal(size=p.shape, scale=1e-3)
+             for p in probe.parameters()]
+
+    def make_stepper(fused):
+        model, _ = wl.build(seed=0)
+        params = model.parameters()
+        opt = yellowfin(params, fused=fused)
+
+        def step():
+            for p, g in zip(params, grads):
+                p.grad = g
+            opt.step()
+
+        return step
+
+    record = compare_benchmark(
+        "fig01",
+        baseline=make_stepper(fused=False),
+        candidate=make_stepper(fused=True),
+        repeats=5, calls=150, warmup=20,
+        params={"workload": wl.name, "optimizer": "YellowFin",
+                "tensors": len(probe.parameters()),
+                "elements": int(probe.num_parameters())})
+
+    per_tensor_us = record.metrics["baseline_per_call_median_s"] * 1e6
+    fused_us = record.metrics["candidate_per_call_median_s"] * 1e6
+    print(f"\nfig01 optimizer step: per-tensor {per_tensor_us:.1f}us, "
+          f"fused {fused_us:.1f}us, speedup "
+          f"{record.metrics['speedup']:.2f}x")
+    assert record.metrics["speedup"] >= 2.0

@@ -7,6 +7,11 @@ training a small classifier, and compares:
 - closed-loop YellowFin: the controller lowers algorithmic momentum until
   measured total momentum matches the target — the Fig. 4 behaviour.
 
+Both runs use the production-shaped runtime: parameters hash-partitioned
+across 4 server shards (``num_shards=4`` — trajectory-neutral by
+construction) and the fused flat-buffer optimizer kernels
+(``fused=True``).
+
 Run:
 
     python examples/async_training.py
@@ -23,6 +28,7 @@ from repro.sim import train_async
 
 WORKERS = 16
 STEPS = 700
+SHARDS = 4
 
 
 def build(seed=0):
@@ -44,7 +50,8 @@ def build(seed=0):
 def run(name, make_opt):
     model, loss_fn = build()
     opt = make_opt(model.parameters())
-    log = train_async(model, opt, loss_fn, steps=STEPS, workers=WORKERS)
+    log = train_async(model, opt, loss_fn, steps=STEPS, workers=WORKERS,
+                      num_shards=SHARDS)
     losses = log.series("loss")
     tail = losses[-50:].mean()
     line = f"{name:>22}: final(avg last 50) loss = {tail:.4f}"
@@ -60,12 +67,13 @@ def run(name, make_opt):
 
 def main():
     print(f"{WORKERS} async workers, round-robin staleness "
-          f"tau={WORKERS - 1}\n")
+          f"tau={WORKERS - 1}, {SHARDS} server shards, fused kernels\n")
     open_line, open_losses = run(
-        "open-loop YellowFin", lambda p: YellowFin(p))
+        "open-loop YellowFin", lambda p: YellowFin(p, fused=True))
     closed_line, closed_losses = run(
         "closed-loop YellowFin",
-        lambda p: ClosedLoopYellowFin(p, staleness=WORKERS - 1, gamma=0.01))
+        lambda p: ClosedLoopYellowFin(p, staleness=WORKERS - 1, gamma=0.01,
+                                      fused=True))
     print(open_line)
     print(closed_line)
 

@@ -23,20 +23,21 @@ Package layout
 - ``repro.optim`` — SGD / momentum SGD / Adam / AdaGrad / RMSProp baselines.
 - ``repro.analysis`` — momentum-operator theory (Lemmas 3/5/6), speedups.
 - ``repro.data`` / ``repro.models`` — the paper's workloads at laptop scale.
-- ``repro.sim`` — synchronous trainer and the 16-worker async simulator.
+- ``repro.sim`` — trainers plus the sharded parameter-server runtime.
 - ``repro.tuning`` — grid search and multi-seed experiment harness.
+- ``repro.bench`` — timers and ``BENCH_*.json`` perf records.
 """
 
-from repro import analysis, autograd, core, data, models, nn, optim, sim, \
-    tuning, utils
+from repro import analysis, autograd, bench, core, data, models, nn, optim, \
+    sim, tuning, utils
 from repro.core import ClosedLoopYellowFin, YellowFin
 from repro.optim import Adam, AdaGrad, MomentumSGD, RMSProp, SGD
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "analysis", "autograd", "core", "data", "models", "nn", "optim", "sim",
-    "tuning", "utils",
+    "analysis", "autograd", "bench", "core", "data", "models", "nn",
+    "optim", "sim", "tuning", "utils",
     "YellowFin", "ClosedLoopYellowFin",
     "SGD", "MomentumSGD", "Adam", "AdaGrad", "RMSProp",
 ]

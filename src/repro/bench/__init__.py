@@ -1,0 +1,26 @@
+"""Unified benchmark harness: timers, JSON perf records, runners.
+
+Every figure script under ``benchmarks/`` reports through this package so
+performance leaves a paper trail: a ``BENCH_<name>.json`` file per
+measurement, carrying the metrics, the knobs, and the environment they
+were taken under.
+
+Typical use::
+
+    from repro.bench import compare_benchmark
+    record = compare_benchmark(
+        "fig01", baseline=per_tensor_step, candidate=fused_step,
+        repeats=5, calls=200, params={"model": "cifar100-resnet"})
+    assert record.metrics["speedup"] >= 2.0
+"""
+
+from repro.bench.timers import WallTimer, TimingStats, time_fn
+from repro.bench.report import (BenchRecord, BenchReporter, environment_info,
+                                load_record)
+from repro.bench.runner import compare_benchmark, run_benchmark
+
+__all__ = [
+    "WallTimer", "TimingStats", "time_fn",
+    "BenchRecord", "BenchReporter", "environment_info", "load_record",
+    "run_benchmark", "compare_benchmark",
+]

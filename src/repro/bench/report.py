@@ -1,0 +1,117 @@
+"""JSON perf records: the ``BENCH_*.json`` files benchmark scripts emit.
+
+Every record captures *what* was measured (metrics), *under which knobs*
+(params), and *on what* (environment), so that future PRs can diff perf
+against the committed trajectory instead of folklore.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# Directory BENCH_*.json files land in unless a reporter says otherwise.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def environment_info() -> dict:
+    """Software/hardware fingerprint attached to every record."""
+    import numpy
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark result destined for ``BENCH_<name>.json``.
+
+    Attributes
+    ----------
+    name : str
+        Record key; the file is named ``BENCH_<name>.json``.
+    metrics : dict
+        Measured quantities (timings in seconds, speedups, counts).
+    params : dict
+        The knobs the measurement was taken under (sizes, step counts,
+        flags).
+    env : dict
+        Interpreter/platform fingerprint (see :func:`environment_info`).
+    unix_time : float
+        Record creation time (seconds since epoch).
+    """
+
+    name: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+    env: Dict[str, str] = field(default_factory=environment_info)
+    unix_time: float = field(default_factory=time.time)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "metrics": self.metrics,
+                "params": self.params, "env": self.env,
+                "unix_time": self.unix_time}
+
+    @property
+    def filename(self) -> str:
+        return f"BENCH_{self.name}.json"
+
+
+class BenchReporter:
+    """Collects :class:`BenchRecord` objects and writes them to disk.
+
+    Parameters
+    ----------
+    out_dir : str, optional
+        Target directory.  Defaults to ``$REPRO_BENCH_DIR`` when set,
+        else the current working directory (the repo root under the
+        standard pytest invocation).
+    """
+
+    def __init__(self, out_dir: Optional[str] = None):
+        self.out_dir = out_dir or os.environ.get(BENCH_DIR_ENV) or os.getcwd()
+        self.records: Dict[str, BenchRecord] = {}
+
+    def record(self, name: str, metrics: Dict[str, float],
+               params: Optional[Dict[str, object]] = None) -> BenchRecord:
+        """Create (or replace) the record for ``name``."""
+        rec = BenchRecord(name=name, metrics=dict(metrics),
+                          params=dict(params or {}))
+        self.records[name] = rec
+        return rec
+
+    def write(self, name: Optional[str] = None) -> list:
+        """Write one record (or all of them) as ``BENCH_<name>.json``.
+
+        Returns
+        -------
+        list of str
+            Paths written.
+        """
+        names = [name] if name is not None else list(self.records)
+        paths = []
+        os.makedirs(self.out_dir, exist_ok=True)
+        for n in names:
+            rec = self.records[n]
+            path = os.path.join(self.out_dir, rec.filename)
+            with open(path, "w") as fh:
+                json.dump(rec.as_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            paths.append(path)
+        return paths
+
+
+def load_record(path: str) -> BenchRecord:
+    """Read a ``BENCH_*.json`` file back into a :class:`BenchRecord`."""
+    with open(path) as fh:
+        raw = json.load(fh)
+    return BenchRecord(name=raw["name"], metrics=raw["metrics"],
+                       params=raw.get("params", {}), env=raw.get("env", {}),
+                       unix_time=raw.get("unix_time", 0.0))

@@ -1,0 +1,89 @@
+"""High-level benchmark runner: time → record → write in one call.
+
+The figure scripts under ``benchmarks/`` call these helpers so that every
+run leaves a ``BENCH_*.json`` perf record behind; ``benchmarks/conftest``
+additionally auto-records the wall time of every figure test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.bench.report import BenchRecord, BenchReporter
+from repro.bench.timers import TimingStats, time_fn
+
+
+def run_benchmark(name: str, fn: Callable[[], object], repeats: int = 5,
+                  calls: int = 1, warmup: int = 1,
+                  params: Optional[Dict[str, object]] = None,
+                  extra_metrics: Optional[Dict[str, float]] = None,
+                  reporter: Optional[BenchReporter] = None,
+                  write: bool = True) -> BenchRecord:
+    """Time ``fn`` and persist the result as ``BENCH_<name>.json``.
+
+    Parameters
+    ----------
+    name : str
+        Record name (file becomes ``BENCH_<name>.json``).
+    fn : callable
+        The operation under test.
+    repeats, calls, warmup : int, optional
+        Passed to :func:`repro.bench.timers.time_fn`.
+    params : dict, optional
+        Knobs to attach to the record.
+    extra_metrics : dict, optional
+        Additional metrics merged into the record (e.g. derived ratios).
+    reporter : BenchReporter, optional
+        Reuse a reporter (and its output directory); a fresh one
+        otherwise.
+    write : bool, optional
+        Skip the disk write when False (the record is still returned).
+
+    Returns
+    -------
+    BenchRecord
+    """
+    stats = time_fn(fn, repeats=repeats, calls=calls, warmup=warmup)
+    reporter = reporter or BenchReporter()
+    metrics = stats.as_dict()
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    record = reporter.record(name, metrics, params)
+    if write:
+        reporter.write(name)
+    return record
+
+
+def compare_benchmark(name: str, baseline: Callable[[], object],
+                      candidate: Callable[[], object], repeats: int = 5,
+                      calls: int = 1, warmup: int = 1,
+                      params: Optional[Dict[str, object]] = None,
+                      reporter: Optional[BenchReporter] = None,
+                      write: bool = True) -> BenchRecord:
+    """Time a baseline/candidate pair and record their speedup.
+
+    The headline use: per-tensor vs fused optimizer kernels.  Metrics
+    include both raw timings (``baseline_*``/``candidate_*``) and
+    ``speedup`` = baseline median / candidate median.
+
+    Returns
+    -------
+    BenchRecord
+        With ``metrics["speedup"]`` > 1 meaning the candidate is faster.
+    """
+    base_stats = time_fn(baseline, repeats=repeats, calls=calls,
+                         warmup=warmup)
+    cand_stats = time_fn(candidate, repeats=repeats, calls=calls,
+                         warmup=warmup)
+    metrics: Dict[str, float] = {}
+    for key, value in base_stats.as_dict().items():
+        metrics[f"baseline_{key}"] = value
+    for key, value in cand_stats.as_dict().items():
+        metrics[f"candidate_{key}"] = value
+    metrics["speedup"] = base_stats.median / cand_stats.median
+    metrics["speedup_best"] = base_stats.best / cand_stats.best
+    reporter = reporter or BenchReporter()
+    record = reporter.record(name, metrics, params)
+    if write:
+        reporter.write(name)
+    return record

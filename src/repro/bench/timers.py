@@ -1,0 +1,126 @@
+"""Wall-clock timing primitives for the benchmark harness.
+
+Everything is ``time.perf_counter``-based and allocation-light so the
+harness itself stays invisible next to the workloads it measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with WallTimer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingStats:
+    """Summary of repeated timings of one operation.
+
+    Attributes
+    ----------
+    samples : list of float
+        Per-repeat wall-clock seconds, in run order.
+    calls_per_sample : int
+        Inner-loop call count each sample covers; ``per_call`` divides by
+        it.
+    """
+
+    samples: List[float] = field(default_factory=list)
+    calls_per_sample: int = 1
+
+    @property
+    def best(self) -> float:
+        """Fastest sample — the least noise-contaminated estimate."""
+        return min(self.samples)
+
+    @property
+    def median(self) -> float:
+        """Median sample: robust to one-off scheduler hiccups."""
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def per_call(self, which: str = "median") -> float:
+        """Seconds per inner call, from the chosen aggregate."""
+        return getattr(self, which) / self.calls_per_sample
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (seconds)."""
+        return {
+            "best_s": self.best,
+            "median_s": self.median,
+            "mean_s": self.mean,
+            "total_s": self.total,
+            "repeats": len(self.samples),
+            "calls_per_sample": self.calls_per_sample,
+            "per_call_median_s": self.per_call("median"),
+            "per_call_best_s": self.per_call("best"),
+        }
+
+
+def time_fn(fn: Callable[[], object], repeats: int = 5, calls: int = 1,
+            warmup: int = 1) -> TimingStats:
+    """Time ``fn`` with warm-up and repeats.
+
+    Parameters
+    ----------
+    fn : callable
+        Operation to measure (no arguments; close over inputs).
+    repeats : int, optional
+        Number of timed samples (statistics are computed over these).
+    calls : int, optional
+        Inner-loop invocations per sample, for sub-microsecond operations
+        that need batching to rise above timer resolution.
+    warmup : int, optional
+        Untimed invocations first (cache/JIT/allocator warm-up).
+
+    Returns
+    -------
+    TimingStats
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if calls < 1:
+        raise ValueError(f"calls must be >= 1, got {calls}")
+    for _ in range(warmup):
+        fn()
+    stats = TimingStats(calls_per_sample=calls)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        stats.samples.append(time.perf_counter() - start)
+    return stats

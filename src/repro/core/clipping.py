@@ -58,3 +58,23 @@ class AdaptiveClipper:
                     p.grad = p.grad * scale
             self.clip_events += 1
         return norm
+
+    def clip_flat(self, flat_grad: np.ndarray,
+                  hmax: Optional[float]) -> float:
+        """Fused-path variant of :meth:`clip` on a packed gradient vector.
+
+        Rescales ``flat_grad`` in place; returns the pre-clip norm.  Same
+        warm-up and threshold semantics as the per-tensor path.
+        """
+        norm = float(np.sqrt(np.dot(flat_grad, flat_grad)))
+        self._steps += 1
+        self.last_norm = norm
+        if hmax is None or self._steps <= self.warmup_steps:
+            self.last_threshold = None
+            return norm
+        threshold = float(np.sqrt(max(hmax, 0.0)))
+        self.last_threshold = threshold
+        if norm > threshold > 0.0:
+            flat_grad *= threshold / norm
+            self.clip_events += 1
+        return norm

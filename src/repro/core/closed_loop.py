@@ -122,6 +122,8 @@ class ClosedLoopYellowFin(YellowFin):
         self.estimator.record_iterate(self._flat_params())
 
     def _flat_params(self) -> np.ndarray:
+        if self.fused:
+            return self._flat.buffer
         return np.concatenate([p.data.reshape(-1) for p in self.params])
 
     def effective_momentum(self) -> float:
@@ -130,12 +132,13 @@ class ClosedLoopYellowFin(YellowFin):
         return self._algorithmic_mu
 
     def step(self) -> None:
-        if self.clipper is not None:
-            hmax = (self.measurements.curvature.hmax
-                    if self.measurements.curvature._hmax.initialized else None)
-            self.clipper.clip(self.params, hmax)
-        grad_flat = self.flat_gradient()
-        self._tune()  # sets target momentum (self.momentum) and lr
+        """One closed-loop step: tune, measure total momentum, update."""
+        if self.fused:
+            self._flat.ensure_packed()
+        fused_grad = self._clip_gradients()  # clipped flat grad, or None
+        grad_flat = (fused_grad if fused_grad is not None
+                     else self.flat_gradient())
+        self._tune(fused_grad)  # sets target momentum (self.momentum) and lr
 
         # measure total momentum of the running system
         mu_hat = self.estimator.estimate(grad_flat, self.effective_lr())
@@ -151,7 +154,7 @@ class ClosedLoopYellowFin(YellowFin):
             self._algorithmic_mu = self.momentum
 
         self._apply_momentum_update(self.effective_momentum(),
-                                    self.effective_lr())
+                                    self.effective_lr(), fused_grad)
         self.t += 1
         self.estimator.record_iterate(self._flat_params())
 

@@ -163,6 +163,21 @@ class GradientMeasurements:
         self.variance.update(flat)
         return self.snapshot(grad_norm)
 
+    def update_flat(self, flat: np.ndarray) -> MeasurementSnapshot:
+        """Fold in this step's gradient as one pre-flattened vector.
+
+        The fused optimizer hot path: identical semantics to
+        :meth:`update` with the concatenated gradient, but skips the
+        per-tensor concatenation entirely.
+        """
+        flat = np.asarray(flat, dtype=np.float64)
+        flat_sq = float(np.dot(flat, flat))
+        grad_norm = float(np.sqrt(flat_sq))
+        self.curvature.update(flat_sq)
+        self.distance.update(grad_norm)
+        self.variance.update(flat)
+        return self.snapshot(grad_norm)
+
     def snapshot(self, grad_norm: float = float("nan")) -> MeasurementSnapshot:
         return MeasurementSnapshot(
             hmax=self.curvature.hmax,

@@ -15,6 +15,12 @@ p'(x) = 0 yields the depressed cubic  y^3 + p y + p = 0  with  y = x - 1
 and  p = D^2 hmin^2 / (2C),  solved exactly by Cardano's formula
 (Appendix D: "Vieta's substitution").  Since p(x) is unimodal on [0, 1),
 the optimizer is the cubic root clamped by the robust-region lower bound.
+
+This module is pure scalar math over the oracle statistics, so it is the
+one stage of the tuner shared verbatim by every execution mode: the
+per-tensor and fused (flat-buffer) YellowFin hot paths and the sharded
+parameter-server runtime all feed it the same
+(variance, distance, hmax, hmin) snapshot.
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ import math
 from dataclasses import dataclass
 
 _EPS = 1e-12
+
+__all__ = ["SingleStepResult", "cubic_root", "robust_momentum_floor",
+           "single_step"]
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,10 @@ class YellowFin(Optimizer):
     nesterov:
         Apply the tuned (lr, momentum) through Nesterov's update instead
         of Polyak's (as in the released implementation's option).
+    fused:
+        Pack parameters into one flat buffer and run the whole hot path
+        (clip → measure → update) on packed vectors: one gradient gather
+        per step instead of three per-tensor traversals.
     """
 
     def __init__(self, params: Iterable[Tensor], lr: float = 1.0,
@@ -67,8 +71,8 @@ class YellowFin(Optimizer):
                  lr_factor: float = 1.0,
                  prescribed_momentum: Optional[float] = None,
                  zero_debias: bool = True, log_space_curvature: bool = True,
-                 nesterov: bool = False):
-        super().__init__(params)
+                 nesterov: bool = False, fused: bool = False):
+        super().__init__(params, fused=fused)
         if lr <= 0:
             raise ValueError(f"initial lr must be positive, got {lr}")
         if not 0.0 <= momentum < 1.0:
@@ -91,17 +95,43 @@ class YellowFin(Optimizer):
             AdaptiveClipper() if adaptive_clip else None)
         self._lr_ema = ZeroDebiasEMA(beta, debias=zero_debias)
         self._mu_ema = ZeroDebiasEMA(beta, debias=zero_debias)
-        self._velocity: List[np.ndarray] = [np.zeros_like(p.data)
-                                            for p in self.params]
+        if self.fused:
+            self._velocity = self._flat.zeros()
+        else:
+            self._velocity: List[np.ndarray] = [np.zeros_like(p.data)
+                                                for p in self.params]
         self.last_result: Optional[SingleStepResult] = None
 
     # ------------------------------------------------------------------ #
     # tuner
     # ------------------------------------------------------------------ #
-    def _tune(self) -> None:
+    def _clip_gradients(self) -> Optional[np.ndarray]:
+        """Adaptive-clip this step's gradients.
+
+        Per-tensor mode clips every ``p.grad`` in place and returns
+        ``None``; fused mode gathers the packed gradient once, clips the
+        vector in place, and returns it for reuse by the tuner and the
+        update kernel.
+        """
+        hmax = None
+        if self.clipper is not None and \
+                self.measurements.curvature._hmax.initialized:
+            hmax = self.measurements.curvature.hmax
+        if self.fused:
+            flat_grad = self._gather_flat_gradient()
+            if self.clipper is not None:
+                self.clipper.clip_flat(flat_grad, hmax)
+            return flat_grad
+        if self.clipper is not None:
+            self.clipper.clip(self.params, hmax)
+        return None
+
+    def _tune(self, flat_grad: Optional[np.ndarray] = None) -> None:
         """Run measurement + SingleStep + smoothing; set self.lr/momentum."""
-        grads = self.gradients()
-        self.measurements.update(grads)
+        if flat_grad is not None:
+            self.measurements.update_flat(flat_grad)
+        else:
+            self.measurements.update(self.gradients())
         snap = self.measurements.snapshot()
         result = single_step(variance=snap.variance, distance=snap.distance,
                              hmax=snap.hmax, hmin=snap.hmin)
@@ -126,17 +156,28 @@ class YellowFin(Optimizer):
     # optimizer contract
     # ------------------------------------------------------------------ #
     def step(self) -> None:
-        if self.clipper is not None:
-            hmax = (self.measurements.curvature.hmax
-                    if self.measurements.curvature._hmax.initialized else None)
-            self.clipper.clip(self.params, hmax)
-        self._tune()
+        """One tuner + momentum-SGD step (Algorithm 1)."""
+        if self.fused:
+            self._flat.ensure_packed()
+        flat_grad = self._clip_gradients()
+        self._tune(flat_grad)
         mu = self.effective_momentum()
         alpha = self.effective_lr()
-        self._apply_momentum_update(mu, alpha)
+        self._apply_momentum_update(mu, alpha, flat_grad)
         self.t += 1
 
-    def _apply_momentum_update(self, mu: float, alpha: float) -> None:
+    def _apply_momentum_update(self, mu: float, alpha: float,
+                               flat_grad: Optional[np.ndarray] = None) -> None:
+        """Momentum-SGD update; fused when ``flat_grad`` is supplied."""
+        if flat_grad is not None:
+            x, v = self._flat.buffer, self._velocity
+            v *= mu
+            v -= alpha * flat_grad
+            if self.nesterov:
+                x += mu * v - alpha * flat_grad
+            else:
+                x += v
+            return
         for p, g, v in zip(self.params, self.gradients(), self._velocity):
             v *= mu
             v -= alpha * g
@@ -154,7 +195,7 @@ class YellowFin(Optimizer):
             "measurements": self.measurements.get_state(),
             "lr_ema": self._lr_ema.get_state(),
             "mu_ema": self._mu_ema.get_state(),
-            "velocity": self._copy_buffers(self._velocity),
+            "velocity": self._state_to_lists(self._velocity),
             "clipper_steps": (self.clipper._steps
                               if self.clipper is not None else 0),
         }
@@ -164,7 +205,7 @@ class YellowFin(Optimizer):
         self.measurements.set_state(extra["measurements"])
         self._lr_ema.set_state(extra["lr_ema"])
         self._mu_ema.set_state(extra["mu_ema"])
-        self._velocity = self._copy_buffers(extra["velocity"])
+        self._velocity = self._state_from_lists(extra["velocity"])
         if self.clipper is not None:
             self.clipper._steps = extra["clipper_steps"]
 

@@ -11,24 +11,46 @@ from repro.optim.optimizer import Optimizer
 
 
 class AdaGrad(Optimizer):
-    """Per-coordinate learning rates from accumulated squared gradients."""
+    """Per-coordinate learning rates from accumulated squared gradients.
+
+    Parameters
+    ----------
+    params : iterable of Tensor
+        Trainable tensors.
+    lr : float, optional
+        Base learning rate, divided per-coordinate by the root of the
+        accumulated squared gradients.
+    eps : float, optional
+        Denominator fuzz factor.
+    fused : bool, optional
+        Keep the accumulator flat and update the whole model in a constant
+        number of ndarray operations.
+    """
 
     def __init__(self, params: Iterable[Tensor], lr: float = 0.01,
-                 eps: float = 1e-10):
-        super().__init__(params)
+                 eps: float = 1e-10, fused: bool = False):
+        super().__init__(params, fused=fused)
         self.lr = lr
         self.eps = eps
-        self._accum: List[np.ndarray] = [np.zeros_like(p.data)
-                                         for p in self.params]
+        if self.fused:
+            self._accum = self._flat.zeros()
+        else:
+            self._accum: List[np.ndarray] = [np.zeros_like(p.data)
+                                             for p in self.params]
 
-    def step(self) -> None:
+    def _per_tensor_step(self) -> None:
         for p, g, acc in zip(self.params, self.gradients(), self._accum):
             acc += g * g
             p.data -= self.lr * g / (np.sqrt(acc) + self.eps)
-        self.t += 1
+
+    def _fused_step(self) -> None:
+        g = self._gather_flat_gradient()
+        acc = self._accum
+        acc += g * g
+        self._flat.buffer -= self.lr * g / (np.sqrt(acc) + self.eps)
 
     def _extra_state(self) -> dict:
-        return {"accum": self._copy_buffers(self._accum)}
+        return {"accum": self._state_to_lists(self._accum)}
 
     def _load_extra_state(self, extra: dict) -> None:
-        self._accum = self._copy_buffers(extra["accum"])
+        self._accum = self._state_from_lists(extra["accum"])

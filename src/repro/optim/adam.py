@@ -13,18 +13,34 @@ from repro.optim.optimizer import Optimizer
 class Adam(Optimizer):
     """Adam with bias correction.
 
-    ``beta1`` is the quantity the paper calls "momentum in Adam" when
-    sweeping it under asynchrony (Fig. 10, Appendix J.3); it may be
-    negative there, which this implementation permits.
-
-    ``amsgrad=True`` uses the maximum of past second-moment estimates
-    (Reddi et al., 2018), a common fix for Adam's non-convergence cases.
+    Parameters
+    ----------
+    params : iterable of Tensor
+        Trainable tensors.
+    lr : float, optional
+        Learning rate.
+    beta1 : float, optional
+        First-moment decay.  This is the quantity the paper calls
+        "momentum in Adam" when sweeping it under asynchrony (Fig. 10,
+        Appendix J.3); it may be negative there, which this implementation
+        permits.
+    beta2 : float, optional
+        Second-moment decay.
+    eps : float, optional
+        Denominator fuzz factor.
+    amsgrad : bool, optional
+        Use the maximum of past second-moment estimates (Reddi et al.,
+        2018), a common fix for Adam's non-convergence cases.
+    fused : bool, optional
+        Keep both moment buffers flat and update the whole model in a
+        constant number of ndarray operations (bit-for-bit identical to
+        the per-tensor loop).
     """
 
     def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
                  beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
-                 amsgrad: bool = False):
-        super().__init__(params)
+                 amsgrad: bool = False, fused: bool = False):
+        super().__init__(params, fused=fused)
         if not -1.0 < beta1 < 1.0:
             raise ValueError(f"beta1 must be in (-1, 1), got {beta1}")
         if not 0.0 <= beta2 < 1.0:
@@ -34,13 +50,28 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.amsgrad = amsgrad
-        self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
-        self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
-        self._vmax: List[np.ndarray] = [np.zeros_like(p.data)
-                                        for p in self.params]
+        if self.fused:
+            self._m = self._flat.zeros()
+            self._v = self._flat.zeros()
+            self._vmax = self._flat.zeros()
+        else:
+            self._m: List[np.ndarray] = [np.zeros_like(p.data)
+                                         for p in self.params]
+            self._v: List[np.ndarray] = [np.zeros_like(p.data)
+                                         for p in self.params]
+            self._vmax: List[np.ndarray] = [np.zeros_like(p.data)
+                                            for p in self.params]
 
     def step(self) -> None:
+        """Apply one bias-corrected Adam update from current gradients."""
         self.t += 1
+        if self.fused:
+            self._flat.ensure_packed()
+            self._fused_step()
+        else:
+            self._per_tensor_step()
+
+    def _per_tensor_step(self) -> None:
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1 ** self.t
         bias2 = 1.0 - b2 ** self.t
@@ -58,17 +89,35 @@ class Adam(Optimizer):
                 v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def _fused_step(self) -> None:
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self.t
+        bias2 = 1.0 - b2 ** self.t
+        g = self._gather_flat_gradient()
+        m, v, vmax = self._m, self._v, self._vmax
+        m *= b1
+        m += (1 - b1) * g
+        v *= b2
+        v += (1 - b2) * g * g
+        m_hat = m / bias1
+        if self.amsgrad:
+            np.maximum(vmax, v, out=vmax)
+            v_hat = vmax / bias2
+        else:
+            v_hat = v / bias2
+        self._flat.buffer -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
     def _extra_state(self) -> dict:
         return {"beta1": self.beta1, "beta2": self.beta2, "eps": self.eps,
                 "amsgrad": self.amsgrad,
-                "m": self._copy_buffers(self._m),
-                "v": self._copy_buffers(self._v),
-                "vmax": self._copy_buffers(self._vmax)}
+                "m": self._state_to_lists(self._m),
+                "v": self._state_to_lists(self._v),
+                "vmax": self._state_to_lists(self._vmax)}
 
     def _load_extra_state(self, extra: dict) -> None:
         self.beta1, self.beta2, self.eps = (extra["beta1"], extra["beta2"],
                                             extra["eps"])
         self.amsgrad = extra["amsgrad"]
-        self._m = self._copy_buffers(extra["m"])
-        self._v = self._copy_buffers(extra["v"])
-        self._vmax = self._copy_buffers(extra["vmax"])
+        self._m = self._state_from_lists(extra["m"])
+        self._v = self._state_from_lists(extra["v"])
+        self._vmax = self._state_from_lists(extra["vmax"])

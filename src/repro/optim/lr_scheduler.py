@@ -10,7 +10,14 @@ from repro.optim.optimizer import Optimizer
 
 
 class LRScheduler:
-    """Base scheduler: call :meth:`epoch_end` once per epoch."""
+    """Base scheduler: call :meth:`epoch_end` once per epoch.
+
+    Parameters
+    ----------
+    optimizer : Optimizer
+        The optimizer whose ``lr`` the schedule rescales; its learning
+        rate at construction time becomes the base rate.
+    """
 
     def __init__(self, optimizer: Optimizer):
         self.optimizer = optimizer
@@ -18,9 +25,11 @@ class LRScheduler:
         self.epoch = 0
 
     def factor(self) -> float:
+        """Multiplier applied to the base learning rate this epoch."""
         raise NotImplementedError
 
     def epoch_end(self) -> None:
+        """Advance one epoch and retarget the optimizer's learning rate."""
         self.epoch += 1
         self.optimizer.lr = self.base_lr * self.factor()
 
@@ -33,6 +42,7 @@ class ExponentialDecay(LRScheduler):
         self.gamma = gamma
 
     def factor(self) -> float:
+        """``gamma ** epoch``."""
         return self.gamma ** self.epoch
 
 
@@ -46,5 +56,6 @@ class StepDecay(LRScheduler):
         self.start_epoch = start_epoch
 
     def factor(self) -> float:
+        """``gamma ** max(0, epoch - start_epoch)``."""
         excess = max(0, self.epoch - self.start_epoch)
         return self.gamma ** excess

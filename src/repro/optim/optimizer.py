@@ -4,6 +4,14 @@ All optimizers operate on a list of :class:`~repro.nn.module.Parameter`
 (or any gradient-carrying :class:`~repro.autograd.tensor.Tensor`), reading
 ``p.grad`` and updating ``p.data`` in place — the same contract as
 ``torch.optim``, so YellowFin is a drop-in replacement as the paper claims.
+
+Every optimizer additionally supports a **fused** execution mode
+(``fused=True``): parameters are packed into one contiguous buffer
+(:class:`~repro.autograd.flat.FlatParams`) and the update rule runs as a
+handful of whole-model ndarray operations instead of a Python loop over
+tensors.  Fused and per-tensor modes produce the same trajectory (bit-for-
+bit for the pure elementwise rules; to float tolerance for rules involving
+global reductions) — the flag trades nothing but speed.
 """
 
 from __future__ import annotations
@@ -12,13 +20,35 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.autograd.flat import FlatParams
 from repro.autograd.tensor import Tensor
 
 
 class Optimizer:
-    """Common functionality: parameter bookkeeping and ``zero_grad``."""
+    """Common functionality: parameter bookkeeping, ``zero_grad``, fusion.
 
-    def __init__(self, params: Iterable[Tensor]):
+    Parameters
+    ----------
+    params : iterable of Tensor
+        Gradient-carrying tensors to optimize.  Must be non-empty and all
+        require grad.
+    fused : bool, optional
+        Pack parameters into one flat buffer and run the update as
+        whole-model vector operations.  Subclasses implement the fused
+        kernel in :meth:`_fused_step`; the per-tensor path remains the
+        reference implementation.
+
+    Attributes
+    ----------
+    params : list of Tensor
+        The optimized tensors, in registration order.
+    t : int
+        Global step counter, incremented by :meth:`step`.
+    fused : bool
+        Whether the fused kernel path is active.
+    """
+
+    def __init__(self, params: Iterable[Tensor], fused: bool = False):
         self.params: List[Tensor] = list(params)
         if not self.params:
             raise ValueError("optimizer got an empty parameter list")
@@ -26,26 +56,76 @@ class Optimizer:
             if not p.requires_grad:
                 raise ValueError("all optimized tensors must require grad")
         self.t = 0  # global step counter
+        self.fused = bool(fused)
+        self._flat: Optional[FlatParams] = None
+        self._flat_grad: Optional[np.ndarray] = None
+        if self.fused:
+            self._flat = FlatParams(self.params)
+            self._flat_grad = self._flat.zeros()
 
     def zero_grad(self) -> None:
+        """Reset the gradient of every optimized tensor to ``None``."""
         for p in self.params:
             p.zero_grad()
 
     def gradients(self) -> List[np.ndarray]:
-        """Collect current gradients; missing grads are zeros."""
+        """Collect current gradients; missing grads are zeros.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            One array per parameter, in parameter order.
+        """
         return [p.grad if p.grad is not None else np.zeros_like(p.data)
                 for p in self.params]
 
     def flat_gradient(self) -> np.ndarray:
-        """All gradients concatenated into one vector."""
+        """All gradients concatenated into one fresh vector.
+
+        Always safe to hold across steps.  The fused hot path uses the
+        internal :meth:`_gather_flat_gradient` (a reused buffer) instead.
+        """
+        if self.fused:
+            return self._gather_flat_gradient().copy()
         return np.concatenate([g.reshape(-1) for g in self.gradients()])
 
+    def _gather_flat_gradient(self) -> np.ndarray:
+        """Gather grads into the persistent flat buffer (fused mode only)."""
+        assert self._flat is not None
+        self._flat.ensure_packed()
+        return self._flat.gather_grads(out=self._flat_grad)
+
     def step(self) -> None:
+        """Apply one update from the current gradients.
+
+        Dispatches to :meth:`_fused_step` when ``fused=True`` and the
+        subclass provides a fused kernel; otherwise runs the per-tensor
+        reference path in :meth:`_per_tensor_step`.  Subclasses may also
+        override :meth:`step` directly (YellowFin does, to interleave its
+        measurement/tuning pipeline).
+        """
+        if self.fused:
+            self._flat.ensure_packed()
+            self._fused_step()
+        else:
+            self._per_tensor_step()
+        self.t += 1
+
+    def _per_tensor_step(self) -> None:
+        """Reference per-tensor update; subclasses must implement."""
         raise NotImplementedError
+
+    def _fused_step(self) -> None:
+        """Fused whole-model update; subclasses must implement to support
+        ``fused=True``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no fused kernel; "
+            "construct it with fused=False")
 
     # hook for schedulers
     @property
     def lr(self) -> float:
+        """Current learning rate (0.0 until a subclass sets it)."""
         return getattr(self, "_lr", 0.0)
 
     @lr.setter
@@ -60,21 +140,46 @@ class Optimizer:
 
         Subclasses extend via :meth:`_extra_state`.  Restore with
         :meth:`load_state_dict` on an optimizer constructed over the same
-        parameter list.
+        parameter list.  The format is identical in fused and per-tensor
+        mode, so checkpoints move freely between the two.
         """
         return {"t": self.t, "lr": self.lr, "extra": self._extra_state()}
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
         self.t = int(state["t"])
         self.lr = float(state["lr"])
         self._load_extra_state(state["extra"])
 
     def _extra_state(self) -> dict:
+        """Subclass hook: extra serializable state."""
         return {}
 
     def _load_extra_state(self, extra: dict) -> None:
+        """Subclass hook: restore :meth:`_extra_state` output."""
         pass
 
     @staticmethod
     def _copy_buffers(buffers) -> list:
+        """Deep-copy a list of ndarray state buffers."""
         return [np.array(b, copy=True) for b in buffers]
+
+    # ------------------------------------------------------------- #
+    # fused-state helpers for subclasses
+    # ------------------------------------------------------------- #
+    def _state_to_lists(self, flat_or_list) -> list:
+        """Convert a state buffer to the per-tensor checkpoint format.
+
+        Fused subclasses keep state (velocity, moments) as one flat vector;
+        checkpoints always store the per-tensor list so fused and
+        per-tensor runs can restore each other.
+        """
+        if self.fused:
+            return self._flat.split(flat_or_list)
+        return self._copy_buffers(flat_or_list)
+
+    def _state_from_lists(self, buffers: Sequence[np.ndarray]):
+        """Inverse of :meth:`_state_to_lists` for the active mode."""
+        if self.fused:
+            return self._flat.gather(buffers)
+        return self._copy_buffers(buffers)

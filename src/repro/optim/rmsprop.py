@@ -11,27 +11,52 @@ from repro.optim.optimizer import Optimizer
 
 
 class RMSProp(Optimizer):
-    """Exponentially-averaged squared gradients for per-coordinate scaling."""
+    """Exponentially-averaged squared gradients for per-coordinate scaling.
+
+    Parameters
+    ----------
+    params : iterable of Tensor
+        Trainable tensors.
+    lr : float, optional
+        Learning rate.
+    decay : float, optional
+        Decay rate of the squared-gradient average.
+    eps : float, optional
+        Denominator fuzz factor.
+    fused : bool, optional
+        Keep the squared-gradient average flat and update the whole model
+        in a constant number of ndarray operations.
+    """
 
     def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
-                 decay: float = 0.9, eps: float = 1e-8):
-        super().__init__(params)
+                 decay: float = 0.9, eps: float = 1e-8, fused: bool = False):
+        super().__init__(params, fused=fused)
         self.lr = lr
         self.decay = decay
         self.eps = eps
-        self._sq: List[np.ndarray] = [np.zeros_like(p.data)
-                                      for p in self.params]
+        if self.fused:
+            self._sq = self._flat.zeros()
+        else:
+            self._sq: List[np.ndarray] = [np.zeros_like(p.data)
+                                          for p in self.params]
 
-    def step(self) -> None:
+    def _per_tensor_step(self) -> None:
         d = self.decay
         for p, g, sq in zip(self.params, self.gradients(), self._sq):
             sq *= d
             sq += (1 - d) * g * g
             p.data -= self.lr * g / (np.sqrt(sq) + self.eps)
-        self.t += 1
+
+    def _fused_step(self) -> None:
+        d = self.decay
+        g = self._gather_flat_gradient()
+        sq = self._sq
+        sq *= d
+        sq += (1 - d) * g * g
+        self._flat.buffer -= self.lr * g / (np.sqrt(sq) + self.eps)
 
     def _extra_state(self) -> dict:
-        return {"sq": self._copy_buffers(self._sq)}
+        return {"sq": self._state_to_lists(self._sq)}
 
     def _load_extra_state(self, extra: dict) -> None:
-        self._sq = self._copy_buffers(extra["sq"])
+        self._sq = self._state_from_lists(extra["sq"])

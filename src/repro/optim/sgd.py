@@ -5,6 +5,9 @@ Implements the exact Polyak update of the paper's eq. (1):
     x_{t+1} = x_t - α ∇f(x_t) + µ (x_t - x_{t-1})
 
 as well as Nesterov's variant used by the conv-seq2seq baseline (Table 1).
+Both optimizers provide fused whole-model kernels (``fused=True``): the
+update runs on the packed parameter buffer in a constant number of ndarray
+operations, bit-for-bit identical to the per-tensor loop.
 """
 
 from __future__ import annotations
@@ -18,21 +21,39 @@ from repro.optim.optimizer import Optimizer
 
 
 class SGD(Optimizer):
-    """Vanilla SGD (the paper's "Vanilla SGD" baseline for WSJ parsing)."""
+    """Vanilla SGD (the paper's "Vanilla SGD" baseline for WSJ parsing).
+
+    Parameters
+    ----------
+    params : iterable of Tensor
+        Trainable tensors.
+    lr : float
+        Learning rate α.
+    weight_decay : float, optional
+        L2 penalty added to each gradient as ``g + weight_decay * x``.
+    fused : bool, optional
+        Run the update as one whole-model vector operation.
+    """
 
     def __init__(self, params: Iterable[Tensor], lr: float,
-                 weight_decay: float = 0.0):
-        super().__init__(params)
+                 weight_decay: float = 0.0, fused: bool = False):
+        super().__init__(params, fused=fused)
         self.lr = lr
         self.weight_decay = weight_decay
 
-    def step(self) -> None:
+    def _per_tensor_step(self) -> None:
         wd = self.weight_decay
         for p, g in zip(self.params, self.gradients()):
             if wd:
                 g = g + wd * p.data
             p.data -= self.lr * g
-        self.t += 1
+
+    def _fused_step(self) -> None:
+        g = self._gather_flat_gradient()
+        x = self._flat.buffer
+        if self.weight_decay:
+            g += self.weight_decay * x
+        x -= self.lr * g
 
 
 class MomentumSGD(Optimizer):
@@ -40,12 +61,19 @@ class MomentumSGD(Optimizer):
 
     Parameters
     ----------
-    lr:
+    params : iterable of Tensor
+        Trainable tensors.
+    lr : float
         Learning rate α.
-    momentum:
+    momentum : float, optional
         Momentum µ (the paper's hand-tuned baseline uses 0.9).
-    nesterov:
+    nesterov : bool, optional
         Use Nesterov's lookahead form.
+    weight_decay : float, optional
+        L2 penalty added to each gradient.
+    fused : bool, optional
+        Keep the velocity as one flat vector and update the whole model
+        in a constant number of ndarray operations.
 
     Notes
     -----
@@ -57,16 +85,19 @@ class MomentumSGD(Optimizer):
 
     def __init__(self, params: Iterable[Tensor], lr: float,
                  momentum: float = 0.9, nesterov: bool = False,
-                 weight_decay: float = 0.0):
-        super().__init__(params)
+                 weight_decay: float = 0.0, fused: bool = False):
+        super().__init__(params, fused=fused)
         self.lr = lr
         self.momentum = momentum
         self.nesterov = nesterov
         self.weight_decay = weight_decay
-        self._velocity: List[np.ndarray] = [np.zeros_like(p.data)
-                                            for p in self.params]
+        if self.fused:
+            self._velocity = self._flat.zeros()
+        else:
+            self._velocity: List[np.ndarray] = [np.zeros_like(p.data)
+                                                for p in self.params]
 
-    def step(self) -> None:
+    def _per_tensor_step(self) -> None:
         mu, alpha, wd = self.momentum, self.lr, self.weight_decay
         for p, g, v in zip(self.params, self.gradients(), self._velocity):
             if wd:
@@ -77,7 +108,20 @@ class MomentumSGD(Optimizer):
                 p.data += mu * v - alpha * g
             else:
                 p.data += v
-        self.t += 1
+
+    def _fused_step(self) -> None:
+        mu, alpha = self.momentum, self.lr
+        g = self._gather_flat_gradient()
+        x = self._flat.buffer
+        v = self._velocity
+        if self.weight_decay:
+            g += self.weight_decay * x
+        v *= mu
+        v -= alpha * g
+        if self.nesterov:
+            x += mu * v - alpha * g
+        else:
+            x += v
 
     def set_hyperparams(self, lr: float, momentum: float) -> None:
         """Used by tuners (YellowFin) to retarget α and µ between steps."""
@@ -86,9 +130,9 @@ class MomentumSGD(Optimizer):
 
     def _extra_state(self) -> dict:
         return {"momentum": self.momentum, "nesterov": self.nesterov,
-                "velocity": self._copy_buffers(self._velocity)}
+                "velocity": self._state_to_lists(self._velocity)}
 
     def _load_extra_state(self, extra: dict) -> None:
         self.momentum = extra["momentum"]
         self.nesterov = extra["nesterov"]
-        self._velocity = self._copy_buffers(extra["velocity"])
+        self._velocity = self._state_from_lists(extra["velocity"])

@@ -1,14 +1,31 @@
-"""Training loops: synchronous trainer and the asynchronous-staleness
-simulator used for the paper's 16-worker experiments."""
+"""Training loops and the simulated distributed runtime.
+
+- :mod:`repro.sim.trainer` — the synchronous loop every optimizer
+  comparison runs on.
+- :mod:`repro.sim.async_trainer` — the paper's Section 5.2 staleness
+  protocol, driven by the sharded server below.
+- :mod:`repro.sim.parameter_server` — worker-centric
+  (:class:`ParameterServer`) and sharded server-centric
+  (:class:`ShardedParameterServer`) parameter-server simulations.
+- :mod:`repro.sim.sharding` — pluggable shard-assignment policies.
+- :mod:`repro.sim.metrics` — held-out evaluation helpers.
+"""
 
 from repro.sim.trainer import train_sync, TrainerHooks
 from repro.sim.async_trainer import train_async
-from repro.sim.parameter_server import ParameterServer, WorkerState
+from repro.sim.parameter_server import (ParameterServer, ParameterShard,
+                                        ShardedParameterServer, WorkerState)
+from repro.sim.sharding import (GreedyBalancedSharding, HashSharding,
+                                RoundRobinSharding, ShardAssignmentPolicy,
+                                make_policy)
 from repro.sim.metrics import (classification_accuracy, evaluate_lm,
                                evaluate_classifier)
 
 __all__ = [
     "train_sync", "TrainerHooks", "train_async",
-    "ParameterServer", "WorkerState",
+    "ParameterServer", "ParameterShard", "ShardedParameterServer",
+    "WorkerState",
+    "ShardAssignmentPolicy", "HashSharding", "RoundRobinSharding",
+    "GreedyBalancedSharding", "make_policy",
     "classification_accuracy", "evaluate_lm", "evaluate_classifier",
 ]

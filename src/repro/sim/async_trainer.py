@@ -9,6 +9,14 @@ That protocol is a deterministic delay queue, which we reproduce exactly:
 - the oldest queued gradient — computed ``tau = workers - 1`` steps ago —
   is popped, loaded into the parameters, and the optimizer steps.
 
+Since PR 1 the queue lives inside
+:class:`~repro.sim.parameter_server.ShardedParameterServer`: parameters
+are partitioned across ``num_shards`` server shards, each with its own
+staleness queue, and the delayed gradient is reassembled from the shard
+slices at application time.  Assembly is exact, so the trajectory is
+bit-for-bit independent of the shard count — ``num_shards`` scales the
+simulated storage/traffic topology without touching the math.
+
 With ``workers=1`` the queue has no delay and the simulator is
 step-for-step identical to :func:`repro.sim.trainer.train_sync` (a
 property the test suite checks).
@@ -16,16 +24,13 @@ property the test suite checks).
 
 from __future__ import annotations
 
-import math
-from collections import deque
-from typing import Callable, Deque, List, Optional
-
-import numpy as np
+from typing import Callable, Optional
 
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
-from repro.optim.grad_clip import clip_grad_norm
 from repro.optim.optimizer import Optimizer
+from repro.sim.parameter_server import ShardedParameterServer
+from repro.sim.sharding import PolicySpec
 from repro.sim.trainer import TrainerHooks
 from repro.utils.logging import TrainLog
 
@@ -35,74 +40,57 @@ def train_async(model: Module, optimizer: Optimizer,
                 hooks: Optional[TrainerHooks] = None,
                 log: Optional[TrainLog] = None,
                 staleness_model: str = "round_robin",
-                seed=None) -> TrainLog:
+                seed=None, num_shards: int = 1,
+                shard_policy: PolicySpec = "hash",
+                drain_final: bool = False) -> TrainLog:
     """Asynchronous training with staleness ``workers - 1``.
 
-    ``staleness_model``:
+    Parameters
+    ----------
+    model, optimizer:
+        The shared model and the optimizer applying delayed updates.
+    loss_fn : callable
+        Draws the next minibatch and returns the loss tensor.
+    steps : int
+        Number of worker read/push iterations.
+    workers : int, optional
+        Simulated worker count; the gradient delay is ``workers - 1``.
+    hooks : TrainerHooks, optional
+        Static clipping / callbacks / divergence threshold.
+    log : TrainLog, optional
+        Log to append to (a fresh one by default).
+    staleness_model : str, optional
+        - ``"round_robin"`` — the paper's Section 5.2 protocol: the
+          gradient is delayed exactly ``workers - 1`` iterations.
+        - ``"random"`` — memoryless completion order (the model of
+          Mitliagkas et al.): each step applies a uniformly random queued
+          gradient, so staleness has mean ``workers - 1`` but is random
+          per step.
+    seed:
+        RNG seed for the ``"random"`` staleness model.
+    num_shards : int, optional
+        Partition the parameters across this many server shards (see
+        :class:`~repro.sim.parameter_server.ShardedParameterServer`).
+        Trajectory-neutral by construction.
+    shard_policy : str or ShardAssignmentPolicy, optional
+        Placement policy for ``num_shards > 1``.
+    drain_final : bool, optional
+        Apply the ``workers - 1`` still-queued gradients after the last
+        step instead of discarding them.
 
-    - ``"round_robin"`` — the paper's Section 5.2 protocol: the gradient is
-      delayed exactly ``workers - 1`` iterations.
-    - ``"random"`` — memoryless completion order (the model of Mitliagkas
-      et al.): each step applies a uniformly random queued gradient, so
-      staleness has mean ``workers - 1`` but is random per step.
-
-    The logged ``"loss"`` series is the loss observed at gradient-compute
-    (read) time, mirroring how asynchronous systems report training loss.
+    Returns
+    -------
+    TrainLog
+        The logged ``"loss"`` series is the loss observed at
+        gradient-compute (read) time, mirroring how asynchronous systems
+        report training loss.
     """
     if workers < 1:
         raise ValueError("need at least one worker")
-    if staleness_model not in ("round_robin", "random"):
-        raise ValueError(f"unknown staleness model {staleness_model!r}")
-    from repro.utils.rng import new_rng
-    rng = new_rng(seed)
-    hooks = hooks or TrainerHooks()
-    log = log if log is not None else TrainLog()
-    staleness = workers - 1
-    queue: Deque[tuple] = deque()
-
-    # Pre-fill: the first `staleness` reads happen against the initial
-    # model before any update lands (workers all start at once).
-    params = optimizer.params
-    for step in range(steps):
-        # active worker reads the current model
-        model.zero_grad()
-        loss = loss_fn()
-        loss.backward()
-        loss_value = float(loss.data)
-        log.append("loss", loss_value, step)
-        if not math.isfinite(loss_value) or (
-                hooks.stop_on_divergence is not None
-                and loss_value > hooks.stop_on_divergence):
-            log.append("diverged", 1.0, step)
-            break
-        queue.append(([None if p.grad is None else p.grad.copy()
-                       for p in params], step))
-
-        if len(queue) <= staleness:
-            continue  # no gradient old enough to apply yet
-
-        if staleness_model == "round_robin":
-            grads, _read_step = queue.popleft()
-        else:
-            idx = int(rng.integers(len(queue)))
-            grads, _read_step = queue[idx]
-            del queue[idx]
-        for p, g in zip(params, grads):
-            p.grad = g
-        if hooks.grad_clip_norm is not None:
-            clip_grad_norm(params, hooks.grad_clip_norm)
-        optimizer.step()
-
-        if hasattr(optimizer, "stats"):
-            stats = optimizer.stats()
-            log.append("lr", stats["lr"], step)
-            log.append("momentum", stats["momentum"], step)
-            if "target_momentum" in stats:
-                log.append("target_momentum", stats["target_momentum"], step)
-            if "total_momentum" in stats:
-                log.append("total_momentum", stats["total_momentum"], step)
-                log.append("algorithmic_momentum",
-                           stats["algorithmic_momentum"], step)
-        if hooks.on_step is not None:
-            hooks.on_step(step, log)
-    return log
+    server = ShardedParameterServer(model, optimizer,
+                                    num_shards=num_shards,
+                                    staleness=workers - 1,
+                                    policy=shard_policy, seed=seed)
+    return server.run(loss_fn, steps, hooks=hooks, log=log,
+                      staleness_model=staleness_model,
+                      drain_final=drain_final)

@@ -1,27 +1,39 @@
-"""Explicit parameter-server simulation with per-worker data shards.
+"""Parameter-server simulations: worker-centric and sharded-server views.
 
-The queue-based :func:`repro.sim.async_trainer.train_async` reproduces the
-paper's round-robin protocol exactly but evaluates every gradient on a
-shared loss closure.  This module models the system one level more
-faithfully: each worker owns a data shard and a read snapshot of the
-model, computes its gradient on its own minibatches, and ships it to a
-central server that applies updates in arrival order.  Staleness emerges
-from the schedule rather than being imposed on a single stream.
+Two complementary models of the paper's asynchronous training system live
+here:
 
-Used by the test suite to cross-validate the simpler simulator: with a
-round-robin schedule and a single shared shard the two coincide.
+- :class:`ParameterServer` — worker-centric: each simulated worker owns a
+  data shard and a read snapshot, ships gradients to a single central
+  server, and staleness emerges from the delivery schedule.
+- :class:`ShardedParameterServer` — server-centric: the *parameters* are
+  hash-partitioned across N shards (the TensorFlow/ps-lite layout), each
+  shard keeps its own staleness queue, and workers interact through
+  batched ``pull``/``push`` calls.  With any shard count the applied
+  update sequence is identical to the single-queue simulator — sharding
+  changes the storage and delivery topology, never the math — which the
+  test suite checks bit-for-bit.
+
+The queue-based :func:`repro.sim.async_trainer.train_async` facade drives
+:class:`ShardedParameterServer` under the hood and reproduces the paper's
+round-robin protocol exactly.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (Callable, Deque, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.optim.grad_clip import clip_grad_norm
 from repro.optim.optimizer import Optimizer
+from repro.sim.sharding import PolicySpec, make_policy
+from repro.sim.trainer import TrainerHooks
 from repro.utils.logging import TrainLog
 from repro.utils.rng import new_rng
 
@@ -32,7 +44,23 @@ WorkerLossFn = Callable[[], "object"]
 
 @dataclass
 class WorkerState:
-    """Bookkeeping for one simulated worker."""
+    """Bookkeeping for one simulated worker.
+
+    Attributes
+    ----------
+    worker_id : int
+        Position in the server's worker table.
+    loss_fn : callable
+        Draws the worker's next local minibatch and returns the loss.
+    read_step : int
+        Server step at which this worker last snapshotted the model.
+    snapshot : dict or None
+        The model state read at ``read_step``.
+    pending_grads : list of ndarray or None
+        Gradient computed at ``read_step``, awaiting delivery.
+    pending_loss : float
+        Loss observed at ``read_step``.
+    """
 
     worker_id: int
     loss_fn: WorkerLossFn
@@ -58,6 +86,8 @@ class ParameterServer:
         ``"round_robin"`` — workers deliver in fixed cyclic order
         (staleness exactly ``workers - 1``); ``"random"`` — a uniformly
         random worker delivers each step (memoryless staleness).
+    seed:
+        RNG seed for the ``"random"`` schedule.
     """
 
     def __init__(self, model: Module, optimizer: Optimizer,
@@ -136,3 +166,449 @@ class ParameterServer:
         """Expected staleness of the configured schedule."""
         m = len(self.workers)
         return float(m - 1)
+
+
+# ===================================================================== #
+# sharded runtime
+# ===================================================================== #
+@dataclass
+class ParameterShard:
+    """One server shard: a subset of parameters plus its staleness queue.
+
+    Attributes
+    ----------
+    shard_id : int
+        Position in the server's shard table.
+    indices : list of int
+        Indices (into the optimizer's parameter list) this shard owns.
+    staleness : int
+        Minimum number of younger pushes that must be queued behind an
+        entry before it may be applied (``tau``).
+    queue : deque
+        Pending ``(logical_step, gradient_slices)`` entries, oldest first.
+    pushes, applied, pulls : int
+        Traffic counters (pushes received, updates applied through this
+        shard, batched reads served).
+    """
+
+    shard_id: int
+    indices: List[int]
+    staleness: int
+    queue: Deque[Tuple[int, List[Optional[np.ndarray]]]] = \
+        field(default_factory=deque, repr=False)
+    pushes: int = 0
+    applied: int = 0
+    pulls: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """Whether this shard owns no parameters (it still exists, but is
+        skipped by readiness checks so it can never stall the server)."""
+        return not self.indices
+
+    @property
+    def ready(self) -> bool:
+        """Whether the oldest queued entry has aged past ``staleness``."""
+        return len(self.queue) > self.staleness
+
+    @property
+    def num_elements(self) -> int:
+        """Total parameter elements owned (set by the server at init)."""
+        return self._num_elements
+
+    _num_elements: int = 0
+
+
+class ShardedParameterServer:
+    """Parameters hash-partitioned across N shards with staleness queues.
+
+    The server-centric view of asynchronous training: workers ``pull`` the
+    model (a batched read over every shard) and ``push`` gradients (a
+    batched write that routes each parameter's slice to its owning
+    shard's queue).  An update is applied once *every* non-empty shard has
+    the corresponding logical step ready — the assembled whole-model
+    gradient then drives one optimizer step, so tuners that need global
+    gradient state (YellowFin, closed-loop YellowFin) work unchanged under
+    any shard count.
+
+    Because assembly is exact, the applied update sequence — and therefore
+    the training trajectory — is bit-for-bit identical for every value of
+    ``num_shards``, at any staleness.  Sharding changes the storage and
+    traffic layout (what a real multi-node server would scale), never the
+    optimization math.  The equivalence is enforced by
+    ``tests/test_sim_sharded_ps.py``.
+
+    Parameters
+    ----------
+    model, optimizer:
+        The shared model and the optimizer applying assembled updates.
+    num_shards : int, optional
+        Number of server shards.  May exceed the number of parameters;
+        surplus shards sit empty and are skipped by readiness checks.
+    staleness : int or sequence of int, optional
+        Gradient delay ``tau``: a queued gradient is applied only once
+        ``staleness`` younger pushes sit behind it.  A sequence gives each
+        shard its own delay; updates then wait for the slowest shard, so
+        the effective system staleness is the maximum.
+    policy : str or ShardAssignmentPolicy, optional
+        Shard-placement policy (``"hash"``, ``"round_robin"``,
+        ``"balanced"``, or a custom object); see :mod:`repro.sim.sharding`.
+    seed:
+        RNG seed for the ``"random"`` staleness model in :meth:`run`.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer,
+                 num_shards: int = 1,
+                 staleness: Union[int, Sequence[int]] = 0,
+                 policy: PolicySpec = "hash", seed=None):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.model = model
+        self.optimizer = optimizer
+        self.num_shards = num_shards
+        self.policy = make_policy(policy)
+        self.rng = new_rng(seed)
+
+        params = optimizer.params
+        names = self._parameter_names(model, params)
+        sizes = [int(p.size) for p in params]
+        per_shard_staleness = self._expand_staleness(staleness, num_shards)
+        self.shard_of = self.policy.assign(names, sizes, num_shards)
+        if len(self.shard_of) != len(params):
+            raise ValueError(
+                f"policy returned {len(self.shard_of)} assignments for "
+                f"{len(params)} parameters")
+        for i, s in enumerate(self.shard_of):
+            if not 0 <= s < num_shards:
+                raise ValueError(
+                    f"policy assigned parameter {i} to shard {s}, outside "
+                    f"[0, {num_shards})")
+        self.shards: List[ParameterShard] = []
+        for k in range(num_shards):
+            indices = [i for i, s in enumerate(self.shard_of) if s == k]
+            shard = ParameterShard(shard_id=k, indices=indices,
+                                   staleness=per_shard_staleness[k])
+            shard._num_elements = sum(sizes[i] for i in indices)
+            self.shards.append(shard)
+        self._active = [s for s in self.shards if not s.empty]
+        if not self._active:  # optimizer guarantees >= 1 parameter
+            raise ValueError("no shard received any parameter")
+        self.steps_pushed = 0
+        self.steps_applied = 0
+
+    # ------------------------------------------------------------- #
+    # construction helpers
+    # ------------------------------------------------------------- #
+    @staticmethod
+    def _parameter_names(model: Module, params: Sequence) -> List[str]:
+        """Stable names for hashing: qualified module path when available,
+        else a positional fallback."""
+        by_id = {}
+        if model is not None:
+            for name, p in model.named_parameters():
+                by_id[id(p)] = name
+        return [by_id.get(id(p), f"param.{i}") for i, p in enumerate(params)]
+
+    @staticmethod
+    def _expand_staleness(staleness, num_shards: int) -> List[int]:
+        if isinstance(staleness, (int, np.integer)):
+            values = [int(staleness)] * num_shards
+        else:
+            values = [int(s) for s in staleness]
+            if len(values) != num_shards:
+                raise ValueError(
+                    f"got {len(values)} staleness values for "
+                    f"{num_shards} shards")
+        for v in values:
+            if v < 0:
+                raise ValueError(f"staleness must be >= 0, got {v}")
+        return values
+
+    # ------------------------------------------------------------- #
+    # batched pull / push
+    # ------------------------------------------------------------- #
+    def pull(self, shard_ids: Optional[Sequence[int]] = None) -> Dict[int, dict]:
+        """Batched read of current parameter values, grouped by shard.
+
+        Parameters
+        ----------
+        shard_ids : sequence of int, optional
+            Restrict the read to these shards (default: all).
+
+        Returns
+        -------
+        dict
+            ``{shard_id: {"version": applied_count,
+            "params": {param_index: copy}}}``.  One call covers the whole
+            model — the batching a real system uses to amortize RPCs.
+        """
+        if shard_ids is None:
+            shard_ids = range(self.num_shards)
+        params = self.optimizer.params
+        out: Dict[int, dict] = {}
+        for k in shard_ids:
+            shard = self.shards[k]
+            shard.pulls += 1
+            out[k] = {"version": shard.applied,
+                      "params": {i: params[i].data.copy()
+                                 for i in shard.indices}}
+        return out
+
+    def push(self, grads: Sequence[Optional[np.ndarray]],
+             step: Optional[int] = None) -> int:
+        """Batched gradient push: route each slice to its owning shard.
+
+        Parameters
+        ----------
+        grads : sequence of ndarray or None
+            One entry per optimizer parameter (``None`` for parameters
+            without a gradient this step).
+        step : int, optional
+            Logical step the gradient was computed at (defaults to the
+            push counter).
+
+        Returns
+        -------
+        int
+            The logical step the push was tagged with.
+        """
+        params = self.optimizer.params
+        if len(grads) != len(params):
+            raise ValueError(
+                f"push got {len(grads)} gradients for {len(params)} "
+                "parameters")
+        if step is None:
+            step = self.steps_pushed
+        # copy at the ingest boundary (like pull does on the way out):
+        # callers may legally reuse their gradient buffers next step, and
+        # queued history must keep the values as pushed
+        slices = [None if g is None else np.array(g, copy=True)
+                  for g in grads]
+        for shard in self._active:
+            shard.queue.append((step, [slices[i] for i in shard.indices]))
+            shard.pushes += 1
+        self.steps_pushed += 1
+        return step
+
+    def push_many(self, batch: Sequence[Tuple[int, Sequence]]) -> None:
+        """Push several ``(step, grads)`` pairs in one batched call."""
+        for step, grads in batch:
+            self.push(grads, step=step)
+
+    # ------------------------------------------------------------- #
+    # update application
+    # ------------------------------------------------------------- #
+    @property
+    def pending(self) -> int:
+        """Number of pushed-but-unapplied logical steps."""
+        return len(self._active[0].queue)
+
+    @property
+    def ready(self) -> bool:
+        """Whether every non-empty shard can legally release an update.
+
+        Empty shards are skipped — a shard with no parameters receives no
+        pushes, and requiring it to be ready would deadlock the server
+        (the "empty shard" edge case).
+        """
+        return all(s.ready for s in self._active)
+
+    @property
+    def effective_staleness(self) -> int:
+        """The system delay an applied update actually experienced: the
+        slowest shard gates assembly, so this is the max over shards."""
+        return max(s.staleness for s in self._active)
+
+    def _pop_assemble(self, pos: int = 0
+                      ) -> Tuple[int, List[Optional[np.ndarray]]]:
+        """Remove entry ``pos`` from every shard queue and reassemble the
+        whole-model gradient."""
+        grads: List[Optional[np.ndarray]] = [None] * len(self.optimizer.params)
+        read_step = None
+        for shard in self._active:
+            step, slices = shard.queue[pos]
+            del shard.queue[pos]
+            shard.applied += 1
+            for i, g in zip(shard.indices, slices):
+                grads[i] = g
+            if read_step is None:
+                read_step = step
+            elif read_step != step:
+                raise RuntimeError(
+                    f"shard queues desynchronized: step {step} vs "
+                    f"{read_step}")
+        return read_step, grads
+
+    def apply_one(self, pos: int = 0, force: bool = False,
+                  grad_transform: Optional[Callable[[], None]] = None
+                  ) -> Optional[int]:
+        """Assemble one queued logical step and run the optimizer on it.
+
+        Parameters
+        ----------
+        pos : int, optional
+            Queue position to release (0 = oldest; the round-robin
+            protocol.  The memoryless model draws a random position).
+        force : bool, optional
+            Apply even if the staleness gate has not opened — used by
+            :meth:`flush` to drain queues at the end of training.
+        grad_transform : callable, optional
+            Invoked after the assembled gradient is loaded into the
+            parameters and before the optimizer steps (e.g. static
+            clipping).
+
+        Returns
+        -------
+        int or None
+            The logical step of the applied gradient, or ``None`` when
+            nothing was eligible.
+        """
+        if self.pending == 0:
+            return None
+        if not force and not self.ready:
+            return None
+        read_step, grads = self._pop_assemble(pos)
+        for p, g in zip(self.optimizer.params, grads):
+            p.grad = g
+        if grad_transform is not None:
+            grad_transform()
+        self.optimizer.step()
+        self.steps_applied += 1
+        return read_step
+
+    def flush(self, grad_transform: Optional[Callable[[], None]] = None
+              ) -> List[int]:
+        """Drain every queued gradient in arrival order, ignoring the
+        staleness gates.
+
+        This is the "final step" edge case: when training stops, ``tau``
+        gradients are still in flight.  A real server either discards them
+        or drains them; draining keeps the last few examples' signal and
+        leaves the queues empty for checkpointing.
+
+        Parameters
+        ----------
+        grad_transform : callable, optional
+            Per-update hook forwarded to :meth:`apply_one`, so drained
+            updates get the same treatment (clipping) as in-loop ones.
+
+        Returns
+        -------
+        list of int
+            Logical steps applied, oldest first.
+        """
+        applied = []
+        while self.pending:
+            applied.append(self.apply_one(force=True,
+                                          grad_transform=grad_transform))
+        return applied
+
+    # ------------------------------------------------------------- #
+    # training loop
+    # ------------------------------------------------------------- #
+    def run(self, loss_fn: Callable[[], "object"], steps: int,
+            hooks: Optional[TrainerHooks] = None,
+            log: Optional[TrainLog] = None,
+            staleness_model: str = "round_robin",
+            drain_final: bool = False) -> TrainLog:
+        """Simulate asynchronous training against the sharded server.
+
+        Per step: the active worker reads the live model, computes a
+        gradient, and pushes it (batched) to the shards; if every shard's
+        staleness gate is open, one queued logical step is assembled and
+        applied.  This is exactly the Section 5.2 protocol of the paper,
+        generalized to N shards.
+
+        Parameters
+        ----------
+        loss_fn : callable
+            Draws the next minibatch and returns the loss tensor.
+        steps : int
+            Number of worker read/push iterations.
+        hooks : TrainerHooks, optional
+            Static clipping / callbacks / divergence threshold.
+        log : TrainLog, optional
+            Log to append to (a fresh one by default).
+        staleness_model : str, optional
+            ``"round_robin"`` — oldest-first delivery (staleness exactly
+            ``tau``); ``"random"`` — a uniformly random queued gradient is
+            delivered (memoryless staleness with the same mean).
+        drain_final : bool, optional
+            After the loop, :meth:`flush` the ``tau`` still-queued
+            gradients (logged under series ``"drained"``).
+
+        Returns
+        -------
+        TrainLog
+            With ``"loss"`` per worker read, optimizer ``stats()`` series
+            per applied update, and ``"diverged"``/``"drained"`` markers.
+        """
+        if staleness_model not in ("round_robin", "random"):
+            raise ValueError(f"unknown staleness model {staleness_model!r}")
+        hooks = hooks or TrainerHooks()
+        log = log if log is not None else TrainLog()
+        params = self.optimizer.params
+        clip = None
+        if hooks.grad_clip_norm is not None:
+            clip = lambda: clip_grad_norm(params, hooks.grad_clip_norm)
+        diverged = False
+        for step in range(steps):
+            # active worker reads the current model
+            self.model.zero_grad()
+            loss = loss_fn()
+            loss.backward()
+            loss_value = float(loss.data)
+            log.append("loss", loss_value, step)
+            if not math.isfinite(loss_value) or (
+                    hooks.stop_on_divergence is not None
+                    and loss_value > hooks.stop_on_divergence):
+                log.append("diverged", 1.0, step)
+                diverged = True
+                break
+            self.push([p.grad for p in params], step)
+
+            if not self.ready:
+                continue  # no gradient old enough to apply yet
+            if staleness_model == "round_robin":
+                pos = 0
+            else:
+                pos = int(self.rng.integers(self.pending))
+            self.apply_one(pos=pos, grad_transform=clip)
+
+            self._log_stats(log, step)
+            if hooks.on_step is not None:
+                hooks.on_step(step, log)
+        if drain_final and not diverged:
+            # never drain past a divergence stop: the queued gradients
+            # belong to a trajectory the run just declared broken
+            for read_step in self.flush(grad_transform=clip):
+                log.append("drained", float(read_step), steps)
+        return log
+
+    def _log_stats(self, log: TrainLog, step: int) -> None:
+        """Record tuner statistics after an applied update (YellowFin)."""
+        optimizer = self.optimizer
+        if not hasattr(optimizer, "stats"):
+            return
+        stats = optimizer.stats()
+        log.append("lr", stats["lr"], step)
+        log.append("momentum", stats["momentum"], step)
+        if "target_momentum" in stats:
+            log.append("target_momentum", stats["target_momentum"], step)
+        if "total_momentum" in stats:
+            log.append("total_momentum", stats["total_momentum"], step)
+            log.append("algorithmic_momentum",
+                       stats["algorithmic_momentum"], step)
+
+    # ------------------------------------------------------------- #
+    # introspection
+    # ------------------------------------------------------------- #
+    def shard_sizes(self) -> List[int]:
+        """Elements owned by each shard (the balance the policy achieved)."""
+        return [s.num_elements for s in self.shards]
+
+    def __repr__(self) -> str:
+        return (f"ShardedParameterServer(shards={self.num_shards}, "
+                f"policy={self.policy.name!r}, "
+                f"staleness={[s.staleness for s in self.shards]}, "
+                f"pending={self.pending if self._active else 0})")

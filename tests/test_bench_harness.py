@@ -1,0 +1,104 @@
+"""The repro.bench harness: timers, records, runners."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (BenchRecord, BenchReporter, WallTimer,
+                         compare_benchmark, load_record, run_benchmark,
+                         time_fn)
+
+
+class TestTimers:
+    def test_wall_timer_measures_something(self):
+        with WallTimer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0.0
+
+    def test_time_fn_counts_calls(self):
+        calls = []
+        stats = time_fn(lambda: calls.append(1), repeats=3, calls=4,
+                        warmup=2)
+        assert len(calls) == 2 + 3 * 4
+        assert len(stats.samples) == 3
+        assert stats.best <= stats.median <= max(stats.samples)
+        assert stats.per_call("median") == stats.median / 4
+
+    def test_time_fn_validation(self):
+        with pytest.raises(ValueError):
+            time_fn(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_fn(lambda: None, calls=0)
+
+    def test_median_even_count(self):
+        stats = time_fn(lambda: None, repeats=4)
+        ordered = sorted(stats.samples)
+        assert stats.median == pytest.approx(
+            0.5 * (ordered[1] + ordered[2]))
+
+
+class TestReporter:
+    def test_record_roundtrip(self, tmp_path):
+        reporter = BenchReporter(out_dir=str(tmp_path))
+        reporter.record("unit", {"wall_s": 1.5}, {"steps": 10})
+        (path,) = reporter.write("unit")
+        assert os.path.basename(path) == "BENCH_unit.json"
+        loaded = load_record(path)
+        assert loaded.name == "unit"
+        assert loaded.metrics["wall_s"] == 1.5
+        assert loaded.params["steps"] == 10
+        assert "numpy" in loaded.env
+
+    def test_env_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        reporter = BenchReporter()
+        assert reporter.out_dir == str(tmp_path)
+
+    def test_write_all(self, tmp_path):
+        reporter = BenchReporter(out_dir=str(tmp_path))
+        reporter.record("a", {"x": 1.0})
+        reporter.record("b", {"x": 2.0})
+        paths = reporter.write()
+        assert len(paths) == 2
+        names = {json.load(open(p))["name"] for p in paths}
+        assert names == {"a", "b"}
+
+
+class TestRunners:
+    def test_run_benchmark_writes_record(self, tmp_path):
+        reporter = BenchReporter(out_dir=str(tmp_path))
+        record = run_benchmark("smoke", lambda: np.dot(np.ones(64),
+                                                       np.ones(64)),
+                               repeats=2, calls=3,
+                               params={"n": 64},
+                               extra_metrics={"flops": 128.0},
+                               reporter=reporter)
+        assert record.metrics["repeats"] == 2
+        assert record.metrics["flops"] == 128.0
+        path = os.path.join(str(tmp_path), "BENCH_smoke.json")
+        assert os.path.exists(path)
+
+    def test_compare_benchmark_speedup_direction(self, tmp_path):
+        reporter = BenchReporter(out_dir=str(tmp_path))
+        slow_n, fast_n = 200_000, 10
+        slow = np.ones(slow_n)
+        fast = np.ones(fast_n)
+        record = compare_benchmark(
+            "ratio", baseline=lambda: np.dot(slow, slow),
+            candidate=lambda: np.dot(fast, fast),
+            repeats=3, calls=5, reporter=reporter)
+        assert record.metrics["speedup"] > 1.0
+        assert "baseline_median_s" in record.metrics
+        assert "candidate_median_s" in record.metrics
+
+    def test_no_write_flag(self, tmp_path):
+        reporter = BenchReporter(out_dir=str(tmp_path))
+        run_benchmark("dry", lambda: None, repeats=1, reporter=reporter,
+                      write=False)
+        assert not os.path.exists(os.path.join(str(tmp_path),
+                                               "BENCH_dry.json"))
+
+    def test_record_filename(self):
+        assert BenchRecord(name="fig01").filename == "BENCH_fig01.json"

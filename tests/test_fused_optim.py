@@ -1,0 +1,177 @@
+"""Fused update kernels: trajectory equivalence and packing semantics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import FlatParams, Tensor, functional as F
+from repro.core import ClosedLoopYellowFin, YellowFin
+from repro.optim import SGD, Adam, AdaGrad, MomentumSGD, RMSProp
+
+
+def make_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(24, 6))
+    y = rng.integers(0, 3, 24)
+    model = nn.Sequential(nn.Linear(6, 16, seed=0), nn.ReLU(),
+                          nn.Linear(16, 3, seed=1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+def run_trajectory(opt_factory, steps=25):
+    model, loss_fn = make_problem()
+    opt = opt_factory(model.parameters())
+    losses = []
+    for _ in range(steps):
+        model.zero_grad()
+        loss = loss_fn()
+        loss.backward()
+        opt.step()
+        losses.append(float(loss.data))
+    flat = np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+    return np.asarray(losses), flat, opt
+
+
+ELEMENTWISE = [
+    ("sgd", lambda f: (lambda p: SGD(p, lr=0.1, weight_decay=1e-3,
+                                     fused=f))),
+    ("momentum", lambda f: (lambda p: MomentumSGD(p, lr=0.1, momentum=0.9,
+                                                  fused=f))),
+    ("nesterov", lambda f: (lambda p: MomentumSGD(p, lr=0.1, momentum=0.9,
+                                                  nesterov=True, fused=f))),
+    ("adam", lambda f: (lambda p: Adam(p, lr=1e-2, amsgrad=True, fused=f))),
+    ("adagrad", lambda f: (lambda p: AdaGrad(p, lr=0.05, fused=f))),
+    ("rmsprop", lambda f: (lambda p: RMSProp(p, lr=1e-2, fused=f))),
+]
+
+GLOBAL_REDUCTION = [
+    ("yellowfin", lambda f: (lambda p: YellowFin(p, window=5, beta=0.9,
+                                                 fused=f))),
+    ("closed_loop", lambda f: (lambda p: ClosedLoopYellowFin(
+        p, staleness=0, window=5, beta=0.9, fused=f))),
+]
+
+
+class TestTrajectoryEquivalence:
+    @pytest.mark.parametrize("name,factory", ELEMENTWISE,
+                             ids=[n for n, _ in ELEMENTWISE])
+    def test_elementwise_rules_bitwise_identical(self, name, factory):
+        """Pure elementwise updates agree bit-for-bit with fusion."""
+        _, x_ref, _ = run_trajectory(factory(False))
+        _, x_fused, _ = run_trajectory(factory(True))
+        np.testing.assert_array_equal(x_ref, x_fused)
+
+    @pytest.mark.parametrize("name,factory", GLOBAL_REDUCTION,
+                             ids=[n for n, _ in GLOBAL_REDUCTION])
+    def test_global_reduction_rules_match_to_float_eps(self, name, factory):
+        """YellowFin's global norms change summation order under fusion;
+        trajectories agree to floating-point tolerance."""
+        l_ref, x_ref, _ = run_trajectory(factory(False))
+        l_fused, x_fused, _ = run_trajectory(factory(True))
+        np.testing.assert_allclose(x_ref, x_fused, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(l_ref, l_fused, rtol=1e-9, atol=1e-12)
+
+
+class TestCheckpointInterop:
+    def test_fused_checkpoint_restores_into_per_tensor(self):
+        """State dicts are mode-agnostic: fused state loads into a
+        per-tensor optimizer and continues identically."""
+        _, _, fused_opt = run_trajectory(
+            lambda p: MomentumSGD(p, lr=0.1, momentum=0.9, fused=True),
+            steps=10)
+        state = fused_opt.state_dict()
+
+        model, loss_fn = make_problem()
+        opt = MomentumSGD(model.parameters(), lr=0.1, momentum=0.9,
+                          fused=False)
+        opt.load_state_dict(state)
+        velocity = state["extra"]["velocity"]
+        assert isinstance(velocity, list)
+        for v_loaded, v_saved in zip(opt._velocity, velocity):
+            np.testing.assert_array_equal(v_loaded, v_saved)
+
+    def test_per_tensor_checkpoint_restores_into_fused(self):
+        _, _, ref_opt = run_trajectory(
+            lambda p: Adam(p, lr=1e-2, fused=False), steps=10)
+        state = ref_opt.state_dict()
+
+        model, loss_fn = make_problem()
+        opt = Adam(model.parameters(), lr=1e-2, fused=True)
+        opt.load_state_dict(state)
+        np.testing.assert_array_equal(opt._m, opt._flat.gather(
+            state["extra"]["m"]))
+
+
+class TestFlatParams:
+    def test_views_alias_buffer_both_ways(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([[3.0], [4.0]], requires_grad=True)
+        flat = FlatParams([a, b])
+        np.testing.assert_array_equal(flat.buffer, [1.0, 2.0, 3.0, 4.0])
+        flat.buffer *= 2.0
+        np.testing.assert_array_equal(a.data, [2.0, 4.0])
+        a.data[0] = -1.0
+        assert flat.buffer[0] == -1.0
+
+    def test_gather_handles_missing_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        flat = FlatParams([a, b])
+        a.grad = np.array([5.0, 6.0])
+        b.grad = None
+        out = flat.gather_grads()
+        np.testing.assert_array_equal(out, [5.0, 6.0, 0.0])
+
+    def test_repack_after_data_rebinding(self):
+        """load_state_dict-style rebinding is detected and healed, keeping
+        the rebound values."""
+        model, _ = make_problem()
+        params = model.parameters()
+        flat = FlatParams(params)
+        assert flat.packed
+        params[0].data = np.full_like(params[0].data, 7.0)
+        assert not flat.packed
+        flat.ensure_packed()
+        assert flat.packed
+        np.testing.assert_array_equal(flat.view(0),
+                                      np.full(params[0].size, 7.0))
+
+    def test_fused_optimizer_survives_load_state_dict(self):
+        """A model checkpoint restore mid-training must not desync the
+        fused buffer from the parameters."""
+        model, loss_fn = make_problem()
+        snapshot = model.state_dict()
+        opt = SGD(model.parameters(), lr=0.1, fused=True)
+        for _ in range(3):
+            model.zero_grad()
+            loss = loss_fn()
+            loss.backward()
+            opt.step()
+        model.load_state_dict(snapshot)  # rebinds every p.data
+        model.zero_grad()
+        loss = loss_fn()
+        loss.backward()
+        opt.step()  # must repack, not clobber the restored values
+        ref = snapshot[next(iter(snapshot))]
+        assert np.isfinite(float(loss.data))
+        for p in model.parameters():
+            assert p.data.base is opt._flat.buffer or \
+                np.shares_memory(p.data, opt._flat.buffer)
+
+    def test_empty_and_integer_rejected(self):
+        with pytest.raises(ValueError):
+            FlatParams([])
+        int_tensor = Tensor(np.array([1, 2, 3]))
+        int_tensor.requires_grad = True
+        with pytest.raises(TypeError):
+            FlatParams([int_tensor])
+
+    def test_fused_flag_validation(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.1, fused=True)
+        assert opt.fused and opt._flat is not None
+        assert opt._flat.size == model.num_parameters()

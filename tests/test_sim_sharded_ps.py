@@ -1,0 +1,337 @@
+"""Sharded parameter-server runtime: equivalence, batching, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.core import ClosedLoopYellowFin
+from repro.optim import MomentumSGD, SGD
+from repro.sim import (GreedyBalancedSharding, HashSharding,
+                       RoundRobinSharding, ShardedParameterServer,
+                       make_policy, train_async, train_sync)
+
+
+def make_problem(seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(32, 3))
+    y = (x[:, 0] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(3, 8, seed=0), nn.ReLU(),
+                          nn.Linear(8, 2, seed=1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+def run_async(num_shards, workers=1, steps=40, policy="hash",
+              staleness_model="round_robin", optimizer="sgd"):
+    model, loss_fn = make_problem()
+    if optimizer == "sgd":
+        opt = MomentumSGD(model.parameters(), lr=0.1, momentum=0.5)
+    else:
+        opt = ClosedLoopYellowFin(model.parameters(), staleness=workers - 1,
+                                  window=5, beta=0.9)
+    log = train_async(model, opt, loss_fn, steps=steps, workers=workers,
+                      num_shards=num_shards, shard_policy=policy,
+                      staleness_model=staleness_model, seed=11)
+    flat = np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+    return log, flat
+
+
+class TestShardEquivalence:
+    """The acceptance property: sharding never changes the trajectory."""
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_tau0_matches_single_shard_bitwise(self, num_shards):
+        """N-shard runs at tau=0 (workers=1) reproduce the 1-shard
+        trajectory bit-for-bit."""
+        log_ref, x_ref = run_async(num_shards=1, workers=1)
+        log_n, x_n = run_async(num_shards=num_shards, workers=1)
+        np.testing.assert_array_equal(x_ref, x_n)
+        np.testing.assert_array_equal(log_ref.series("loss"),
+                                      log_n.series("loss"))
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    @pytest.mark.parametrize("workers", [4, 8])
+    def test_stale_runs_also_bitwise_neutral(self, num_shards, workers):
+        """Sharding is trajectory-neutral at any staleness, not just 0."""
+        _, x_ref = run_async(num_shards=1, workers=workers)
+        _, x_n = run_async(num_shards=num_shards, workers=workers)
+        np.testing.assert_array_equal(x_ref, x_n)
+
+    @pytest.mark.parametrize("policy", ["hash", "round_robin", "balanced"])
+    def test_every_policy_is_trajectory_neutral(self, policy):
+        _, x_ref = run_async(num_shards=1, workers=4)
+        _, x_n = run_async(num_shards=3, workers=4, policy=policy)
+        np.testing.assert_array_equal(x_ref, x_n)
+
+    def test_random_staleness_model_neutral(self):
+        _, x_ref = run_async(num_shards=1, workers=4,
+                             staleness_model="random")
+        _, x_n = run_async(num_shards=4, workers=4,
+                           staleness_model="random")
+        np.testing.assert_array_equal(x_ref, x_n)
+
+    def test_closed_loop_yellowfin_under_sharding(self):
+        """The global tuner sees assembled whole-model gradients, so even
+        the closed-loop controller is shard-count independent."""
+        _, x_ref = run_async(num_shards=1, workers=4, optimizer="clyf")
+        _, x_n = run_async(num_shards=4, workers=4, optimizer="clyf")
+        np.testing.assert_array_equal(x_ref, x_n)
+
+    def test_tau0_matches_sync_trainer(self):
+        model, loss_fn = make_problem()
+        opt = MomentumSGD(model.parameters(), lr=0.1, momentum=0.5)
+        log_sync = train_sync(model, opt, loss_fn, steps=30)
+
+        model2, loss_fn2 = make_problem()
+        opt2 = MomentumSGD(model2.parameters(), lr=0.1, momentum=0.5)
+        server = ShardedParameterServer(model2, opt2, num_shards=4)
+        log_ps = server.run(loss_fn2, steps=30)
+        np.testing.assert_allclose(log_sync.series("loss"),
+                                   log_ps.series("loss"), atol=1e-12)
+
+
+class TestBatchedPushPull:
+    def test_push_routes_slices_to_owning_shards(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=1, policy="round_robin")
+        grads = [np.full(p.shape, float(i))
+                 for i, p in enumerate(opt.params)]
+        server.push(grads)
+        for shard in server.shards:
+            if shard.empty:
+                continue
+            step, slices = shard.queue[0]
+            assert step == 0
+            for i, g in zip(shard.indices, slices):
+                np.testing.assert_array_equal(g, grads[i])
+
+    def test_push_many_batches(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=5)
+        grads = [np.zeros(p.shape) for p in opt.params]
+        server.push_many([(s, grads) for s in range(3)])
+        assert server.pending == 3
+        assert server.steps_pushed == 3
+
+    def test_pull_returns_versions_and_copies(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=1.0)
+        server = ShardedParameterServer(model, opt, num_shards=2)
+        snap = server.pull()
+        assert set(snap) == {0, 1}
+        total = sum(len(v["params"]) for v in snap.values())
+        assert total == len(opt.params)
+        # copies: mutating the pull must not touch the live model
+        for v in snap.values():
+            for i, arr in v["params"].items():
+                arr += 1e9
+        for v in server.pull().values():
+            for i, arr in v["params"].items():
+                assert np.all(np.abs(arr) < 1e8)
+        assert all(v["version"] == 0 for v in snap.values())
+
+    def test_versions_advance_with_updates(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        server = ShardedParameterServer(model, opt, num_shards=2)
+        server.run(loss_fn, steps=5)
+        for v in server.pull().values():
+            assert v["version"] == 5
+
+    def test_push_length_validated(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        server = ShardedParameterServer(model, opt, num_shards=2)
+        with pytest.raises(ValueError):
+            server.push([None])
+
+
+class TestEdgeCases:
+    def test_more_shards_than_parameters(self):
+        """Empty shards must neither crash nor deadlock readiness."""
+        model, loss_fn = make_problem()
+        opt = MomentumSGD(model.parameters(), lr=0.1, momentum=0.5)
+        n_params = len(opt.params)
+        server = ShardedParameterServer(model, opt,
+                                        num_shards=n_params + 5,
+                                        policy="round_robin")
+        empty = [s for s in server.shards if s.empty]
+        assert len(empty) == 5
+        log = server.run(loss_fn, steps=20)
+        assert len(log.series("loss")) == 20
+        assert server.steps_applied == 20
+
+    def test_final_step_queue_drain(self):
+        """At staleness tau, tau gradients are in flight when training
+        ends; flush applies them in order."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=3)
+        server.run(loss_fn, steps=10)
+        assert server.pending == 3
+        applied = server.flush()
+        assert applied == [7, 8, 9]
+        assert server.pending == 0
+        assert server.steps_applied == 10
+
+    def test_drain_final_flag_in_run(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        log = train_async(model, opt, loss_fn, steps=10, workers=4,
+                          drain_final=True)
+        assert "drained" in log
+        assert len(log.series("drained")) == 3
+
+    def test_push_copies_caller_buffers(self):
+        """Queued gradients must not alias caller arrays: reusing a push
+        buffer next step cannot rewrite queued history."""
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=1.0)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=3)
+        grads = [np.ones(p.shape) for p in opt.params]
+        before = [p.data.copy() for p in opt.params]
+        server.push(grads)
+        for g in grads:
+            g *= 1e6  # caller reuses its buffers
+        server.flush()
+        for b, p in zip(before, opt.params):
+            np.testing.assert_allclose(p.data, b - 1.0)
+
+    def test_drain_final_skipped_on_divergence(self):
+        """Queued gradients are discarded, not drained, once the run has
+        declared divergence."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=1e9)
+        log = train_async(model, opt, loss_fn, steps=50, workers=4,
+                          drain_final=True)
+        assert "diverged" in log
+        assert "drained" not in log
+
+    def test_flush_applies_grad_transform(self):
+        """Drained updates get the same clipping in-loop updates do."""
+        from repro.optim import clip_grad_norm
+
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=1.0)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=5)
+        server.push([np.full(p.shape, 1e6) for p in opt.params])
+        before = [p.data.copy() for p in opt.params]
+        server.flush(
+            grad_transform=lambda: clip_grad_norm(opt.params, 1e-9))
+        for b, p in zip(before, opt.params):
+            np.testing.assert_allclose(p.data, b, atol=1e-6)
+
+    def test_drain_final_respects_static_clip_hook(self):
+        """run(drain_final=True) forwards hooks.grad_clip_norm into the
+        drain, so the last tau updates cannot blow up unclipped."""
+        from repro.sim import TrainerHooks
+
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=1.0)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=3)
+        before = [p.data.copy() for p in opt.params]
+        server.run(loss_fn, steps=6,
+                   hooks=TrainerHooks(grad_clip_norm=1e-9),
+                   drain_final=True)
+        assert server.pending == 0
+        for b, p in zip(before, opt.params):
+            np.testing.assert_allclose(p.data, b, atol=1e-6)
+
+    def test_per_shard_staleness(self):
+        """Heterogeneous delays: assembly waits for the slowest shard."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=[1, 3],
+                                        policy="round_robin")
+        assert server.effective_staleness == 3
+        server.run(loss_fn, steps=10)
+        # updates gated by the tau=3 shard: 10 pushes, first 3 not ready
+        assert server.steps_applied == 7
+
+    def test_validation(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            ShardedParameterServer(model, opt, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedParameterServer(model, opt, num_shards=2,
+                                   staleness=[1, 2, 3])
+        with pytest.raises(ValueError):
+            ShardedParameterServer(model, opt, num_shards=2, staleness=-1)
+        with pytest.raises(ValueError):
+            ShardedParameterServer(model, opt, num_shards=2,
+                                   policy="nonsense")
+        server = ShardedParameterServer(model, opt, num_shards=2)
+        with pytest.raises(ValueError):
+            server.run(loss_fn, steps=5, staleness_model="fifo")
+
+
+class TestPolicies:
+    NAMES = [f"layer{i}.weight" for i in range(10)]
+    SIZES = [100, 1, 100, 1, 100, 1, 100, 1, 100, 1]
+
+    def test_hash_is_stable_and_in_range(self):
+        a = HashSharding().assign(self.NAMES, self.SIZES, 4)
+        b = HashSharding().assign(self.NAMES, self.SIZES, 4)
+        assert a == b
+        assert all(0 <= s < 4 for s in a)
+
+    def test_round_robin_cycles(self):
+        assert RoundRobinSharding().assign(self.NAMES, self.SIZES, 3) == \
+            [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_balanced_beats_round_robin_on_skew(self):
+        def imbalance(assignment, num_shards):
+            loads = [0] * num_shards
+            for i, s in enumerate(assignment):
+                loads[s] += self.SIZES[i]
+            return max(loads) - min(loads)
+
+        rr = imbalance(RoundRobinSharding().assign(
+            self.NAMES, self.SIZES, 2), 2)
+        bal = imbalance(GreedyBalancedSharding().assign(
+            self.NAMES, self.SIZES, 2), 2)
+        # round-robin lands every big tensor on one shard (495 apart);
+        # LPT reaches the optimal 300 vs 205 split
+        assert rr == 495
+        assert bal == 95
+
+    def test_make_policy_passthrough_and_custom(self):
+        policy = HashSharding()
+        assert make_policy(policy) is policy
+
+        class Custom:
+            name = "custom"
+
+            def assign(self, names, sizes, num_shards):
+                return [0] * len(names)
+
+        assert make_policy(Custom()).name == "custom"
+        with pytest.raises(TypeError):
+            make_policy(123)
+
+    def test_custom_policy_output_validated(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+
+        class Broken:
+            name = "broken"
+
+            def assign(self, names, sizes, num_shards):
+                return [99] * len(names)
+
+        with pytest.raises(ValueError):
+            ShardedParameterServer(model, opt, num_shards=2, policy=Broken())
