@@ -3,7 +3,8 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test tier1 doc-coverage bench bench-smoke example
+.PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke example \
+	cluster-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -21,5 +22,14 @@ bench-smoke:  ## fig01 headline workload through the repro.bench harness, <60s
 	REPRO_BENCH_SCALE=0.25 $(PYTEST) \
 	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" -q -s
 
+cluster-smoke:  ## cluster runtime, faults, and bit-for-bit checkpoint gate, <60s
+	$(PYTEST) tests/test_cluster_runtime.py tests/test_cluster_faults.py \
+	    tests/test_cluster_checkpoint.py -q
+	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
+	    benchmarks/test_cluster_scenarios.py -q -s
+
 example:  ## sharded + fused async-training tour
 	PYTHONPATH=src python examples/async_training.py
+
+cluster-example:  ## heavy-tail delays + crash + checkpoint/resume tour
+	PYTHONPATH=src python examples/cluster_training.py

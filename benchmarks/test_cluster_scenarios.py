@@ -1,0 +1,166 @@
+"""Cluster scenarios: closed-loop vs fixed momentum across delay models.
+
+The paper's Section 5.2 evaluates asynchrony robustness under one
+protocol — a fixed round-robin delay.  The cluster runtime widens the
+scenario space: uniform jitter, memoryless completion, heavy-tailed
+stragglers, fast/slow machine mixes, and a recorded trace replay.
+
+For each delay model we train the same classifier with (a) hand-fixed
+momentum 0.9 and (b) closed-loop YellowFin, recording final smoothed
+losses and staleness profiles to ``BENCH_cluster_scenarios.json``.
+What this laptop-scale record shows (and asserts): *both* optimizers
+stay stable across every delay model, including heavy tails — no
+divergence anywhere.  On this short-horizon, well-conditioned workload
+the hand-tuned fixed momentum keeps a lower final loss (the auto-tuner
+spends the early steps measuring), so the record tracks the fixed-vs-
+closed-loop gap per scenario rather than declaring a winner; the
+paper's regime — where hand-tuned momentum destabilizes under
+staleness — needs the harder, longer workloads of the figure suite.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.bench import BenchReporter
+from repro.cluster import (ClusterRuntime, ConstantDelay, ExponentialDelay,
+                           HeterogeneousDelay, ParetoDelay,
+                           TraceReplayDelay, UniformDelay)
+from repro.core import ClosedLoopYellowFin
+from repro.data import BatchLoader
+from repro.optim import MomentumSGD
+from repro.sim import staleness_summary
+from benchmarks.workloads import print_table, steps
+
+WORKERS = 4
+TAU = WORKERS - 1
+READS = steps(240)
+SMOOTH = 25
+
+# a short, bursty hand-recorded trace: steady 1.0s with periodic 4x
+# stalls on two of the lanes
+TRACE = {"workers": {
+    "0": [1.0, 1.0, 1.0, 1.0],
+    "1": [1.0, 1.0, 4.0, 1.0],
+    "2": [1.0, 1.0, 1.0, 1.0],
+    "3": [1.0, 4.0, 1.0, 1.0],
+}}
+
+
+# delay-model factories: each run gets a fresh, deterministically
+# seeded model so the scenarios are independent and reproducible
+SCENARIOS = {
+    "constant": lambda: ConstantDelay(1.0),
+    "uniform": lambda: UniformDelay(0.5, 1.5, seed=10),
+    "exponential": lambda: ExponentialDelay(mean=0.7, floor=0.3, seed=11),
+    "pareto": lambda: ParetoDelay(alpha=1.5, scale=0.5, seed=12),
+    "heterogeneous": lambda: HeterogeneousDelay(
+        [ConstantDelay(1.0), ConstantDelay(1.0),
+         ParetoDelay(alpha=1.3, scale=0.8, seed=13),
+         ConstantDelay(1.2)]),
+    "trace": lambda: TraceReplayDelay(TRACE),
+}
+
+
+def build_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(512, 8))
+    w_true = rng.normal(size=8)
+    y = (x @ w_true + 0.3 * rng.normal(size=512) > 0).astype(int)
+    model = nn.Sequential(nn.Linear(8, 24, seed=seed), nn.ReLU(),
+                          nn.Linear(24, 2, seed=seed + 1))
+    loader = BatchLoader(x, y, batch_size=32, seed=seed)
+
+    def loss_fn():
+        xb, yb = loader.next_batch()
+        return F.cross_entropy(model(Tensor(xb)), yb)
+
+    return model, loss_fn
+
+
+def run_scenario(delay_model, make_opt):
+    model, loss_fn = build_problem()
+    opt = make_opt(model.parameters())
+    runtime = ClusterRuntime(model, opt, loss_fn, workers=WORKERS,
+                             delay_model=delay_model, num_shards=2)
+    runtime.run(reads=READS)
+    losses = runtime.log.series("loss")
+    tail = float(losses[-SMOOTH:].mean())
+    head = float(losses[:SMOOTH].mean())
+    return {"final_loss": tail, "initial_loss": head,
+            "staleness": staleness_summary(runtime.log)}
+
+
+OPTIMIZERS = {
+    "fixed_momentum": lambda p: MomentumSGD(p, lr=0.05, momentum=0.9,
+                                            fused=True),
+    "closed_loop": lambda p: ClosedLoopYellowFin(
+        p, staleness=TAU, gamma=0.01, window=5, beta=0.99, fused=True),
+}
+
+
+def test_cluster_scenario_matrix():
+    results = {}
+    for scenario_name, make_delay in SCENARIOS.items():
+        for opt_name, make_opt in OPTIMIZERS.items():
+            results[(scenario_name, opt_name)] = run_scenario(
+                make_delay(), make_opt)
+
+    rows = []
+    metrics = {}
+    for scenario_name in SCENARIOS:
+        fixed = results[(scenario_name, "fixed_momentum")]
+        closed = results[(scenario_name, "closed_loop")]
+        rows.append([
+            scenario_name,
+            f"{fixed['staleness']['mean']:.2f}",
+            f"{fixed['staleness']['max']:.0f}",
+            f"{fixed['final_loss']:.4f}",
+            f"{closed['final_loss']:.4f}",
+        ])
+        metrics[f"{scenario_name}_fixed_final"] = fixed["final_loss"]
+        metrics[f"{scenario_name}_closed_final"] = closed["final_loss"]
+        metrics[f"{scenario_name}_mean_staleness"] = \
+            fixed["staleness"]["mean"]
+    print_table(
+        f"Cluster scenarios: {WORKERS} workers, {READS} reads",
+        ["delay model", "mean tau", "max tau", "fixed mu=0.9", "closed-loop"],
+        rows)
+
+    # every scenario trains: finite losses that actually decreased
+    for (scenario_name, opt_name), r in results.items():
+        assert np.isfinite(r["final_loss"]), (scenario_name, opt_name)
+        assert r["final_loss"] < r["initial_loss"], (scenario_name, opt_name)
+
+    # non-constant models genuinely vary the staleness process
+    for scenario_name in ("uniform", "exponential", "pareto",
+                          "heterogeneous", "trace"):
+        summary = results[(scenario_name, "fixed_momentum")]["staleness"]
+        assert summary["max"] > summary["median"], scenario_name
+
+    # robustness record: worst-case final loss across non-constant
+    # models, for both optimizers (neither may destabilize; the
+    # per-scenario gap is the tracked quantity, not a winner)
+    nonconstant = [s for s in SCENARIOS if s != "constant"]
+    fixed_worst = max(results[(s, "fixed_momentum")]["final_loss"]
+                      for s in nonconstant)
+    closed_worst = max(results[(s, "closed_loop")]["final_loss"]
+                       for s in nonconstant)
+    metrics["fixed_worst_case"] = fixed_worst
+    metrics["closed_loop_worst_case"] = closed_worst
+    metrics["worst_case_ratio"] = fixed_worst / closed_worst
+    print(f"\nworst-case final loss across non-constant models — "
+          f"fixed: {fixed_worst:.4f}, closed-loop: {closed_worst:.4f}")
+    # stability across heavy tails: worst case stays within an order of
+    # magnitude of the easy constant-delay case for both optimizers
+    for opt_name, worst in (("fixed_momentum", fixed_worst),
+                            ("closed_loop", closed_worst)):
+        base = results[("constant", opt_name)]["final_loss"]
+        assert worst < 10 * base + 0.5, (opt_name, worst, base)
+
+    reporter = BenchReporter()
+    reporter.record("cluster_scenarios", metrics,
+                    {"workers": WORKERS, "reads": READS,
+                     "scenarios": sorted(SCENARIOS),
+                     "optimizers": sorted(OPTIMIZERS)})
+    reporter.write("cluster_scenarios")

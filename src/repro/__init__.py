@@ -24,20 +24,22 @@ Package layout
 - ``repro.analysis`` — momentum-operator theory (Lemmas 3/5/6), speedups.
 - ``repro.data`` / ``repro.models`` — the paper's workloads at laptop scale.
 - ``repro.sim`` — trainers plus the sharded parameter-server runtime.
+- ``repro.cluster`` — event-driven cluster simulation: delay models,
+  fault injection, bit-for-bit checkpoint/restore.
 - ``repro.tuning`` — grid search and multi-seed experiment harness.
 - ``repro.bench`` — timers and ``BENCH_*.json`` perf records.
 """
 
-from repro import analysis, autograd, bench, core, data, models, nn, optim, \
-    sim, tuning, utils
+from repro import analysis, autograd, bench, cluster, core, data, models, \
+    nn, optim, sim, tuning, utils
 from repro.core import ClosedLoopYellowFin, YellowFin
 from repro.optim import Adam, AdaGrad, MomentumSGD, RMSProp, SGD
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "analysis", "autograd", "bench", "core", "data", "models", "nn",
-    "optim", "sim", "tuning", "utils",
+    "analysis", "autograd", "bench", "cluster", "core", "data", "models",
+    "nn", "optim", "sim", "tuning", "utils",
     "YellowFin", "ClosedLoopYellowFin",
     "SGD", "MomentumSGD", "Adam", "AdaGrad", "RMSProp",
 ]

@@ -147,6 +147,32 @@ class FlatParams:
         """A zero vector matching the buffer (for flat optimizer state)."""
         return np.zeros(self.size, dtype=self.buffer.dtype)
 
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> np.ndarray:
+        """Copy of the packed parameter vector (for checkpoints).
+
+        Re-packs first if any ``p.data`` was rebound, so the snapshot
+        always reflects the live parameter values.
+        """
+        self.ensure_packed()
+        return self.buffer.copy()
+
+    def restore(self, vec: np.ndarray) -> None:
+        """Load a :meth:`snapshot` back into the packed parameters.
+
+        Writes through the shared buffer, so every aliased tensor sees
+        the restored values without rebinding — fused optimizer state
+        stays coherent across a restore.
+        """
+        vec = np.asarray(vec)
+        if vec.shape != (self.size,):
+            raise ValueError(
+                f"snapshot has shape {vec.shape}, expected ({self.size},)")
+        self.ensure_packed()
+        self.buffer[:] = vec
+
     def __len__(self) -> int:
         return len(self.params)
 

@@ -1,0 +1,39 @@
+"""Event-driven cluster simulation: delays, faults, checkpoint/restore.
+
+The production-shaped layer above :mod:`repro.sim`'s sharded parameter
+server: :class:`ClusterRuntime` schedules N simulated workers through a
+deterministic priority event queue, with pluggable delay models
+(:mod:`~repro.cluster.delays` — constant through heavy-tail Pareto and
+recorded-trace replay), seeded fault injection
+(:mod:`~repro.cluster.faults` — crashes, stragglers, server pauses),
+and bit-for-bit checkpoint/restore
+(:mod:`~repro.cluster.checkpoint`).  With the constant delay model the
+runtime reproduces the paper's Section 5.2 round-robin protocol — and
+therefore :func:`repro.sim.train_async`'s historical trajectories —
+exactly; every other model generalizes the staleness process beyond
+what a single delay knob can express.
+"""
+
+from repro.cluster.events import Event, EventQueue
+from repro.cluster.delays import (ConstantDelay, DelayModel,
+                                  ExponentialDelay, HeterogeneousDelay,
+                                  ParetoDelay, TraceReplayDelay,
+                                  UniformDelay, make_delay_model)
+from repro.cluster.faults import (FaultInjector, ShardPause, Straggler,
+                                  WorkerCrash)
+from repro.cluster.runtime import ClusterRuntime, ClusterWorker
+from repro.cluster.checkpoint import (checkpoint_cluster,
+                                      load_cluster_checkpoint,
+                                      restore_cluster,
+                                      save_cluster_checkpoint)
+
+__all__ = [
+    "Event", "EventQueue",
+    "DelayModel", "ConstantDelay", "UniformDelay", "ExponentialDelay",
+    "ParetoDelay", "HeterogeneousDelay", "TraceReplayDelay",
+    "make_delay_model",
+    "FaultInjector", "WorkerCrash", "Straggler", "ShardPause",
+    "ClusterRuntime", "ClusterWorker",
+    "checkpoint_cluster", "restore_cluster",
+    "save_cluster_checkpoint", "load_cluster_checkpoint",
+]

@@ -1,0 +1,406 @@
+"""Delay models: how long a worker's gradient takes to reach the server.
+
+The paper's Section 5.2 protocol is the degenerate case — every worker
+takes exactly the same time, so gradients arrive round-robin with
+staleness ``workers - 1``.  Real parameter-server deployments see
+nothing so clean: per-machine heterogeneity, bursty stragglers, and
+heavy-tailed network delays all reorder arrivals.  Each model here maps
+``(worker, now) -> compute+transit duration``; the cluster runtime turns
+those durations into arrival events, and staleness *emerges* from the
+resulting schedule.
+
+Catalog
+-------
+- :class:`ConstantDelay` — identical durations; reproduces the paper's
+  round-robin protocol exactly (the ``train_async`` facade uses it).
+- :class:`UniformDelay` — i.i.d. durations in ``[low, high]``.
+- :class:`ExponentialDelay` — memoryless durations (the Mitliagkas
+  et al. completion model).
+- :class:`ParetoDelay` — heavy-tailed durations: rare but enormous
+  stragglers, the regime where fixed momentum is most fragile.
+- :class:`HeterogeneousDelay` — a different sub-model per worker
+  (fast/slow machine mixes).
+- :class:`TraceReplayDelay` — replay durations recorded from a real
+  run (JSON), for scenario regression testing.
+
+All stochastic models own a seeded generator and expose
+``state_dict``/``load_state_dict`` so a checkpointed run resumes with an
+identical future delay stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.utils.rng import (SeedLike, get_rng_state, new_rng,
+                             set_rng_state)
+
+
+class DelayModel:
+    """Interface: sample the duration of one worker dispatch.
+
+    Subclasses implement :meth:`sample`; stateful subclasses override
+    :meth:`state_dict` / :meth:`load_state_dict` so checkpoints capture
+    their RNG position (or trace cursor) exactly.
+    """
+
+    name = "base"
+
+    def sample(self, worker: int, now: float) -> float:
+        """Duration of the dispatch issued by ``worker`` at time ``now``.
+
+        Parameters
+        ----------
+        worker : int
+            Worker id issuing the dispatch.
+        now : float
+            Current simulated time.
+
+        Returns
+        -------
+        float
+            Strictly positive duration until the gradient arrives.
+        """
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Serializable model state (just the identity for stateless
+        models)."""
+        return {"name": self.name}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.
+
+        Always validates the recorded model identity: restoring (say) a
+        Pareto state into a constant model would otherwise silently
+        drop the RNG position and break bit-for-bit resume.
+        """
+        self._check_name(state)
+
+    def _check_name(self, state: dict) -> None:
+        recorded = state.get("name")
+        if recorded is not None and recorded != self.name:
+            raise ValueError(
+                f"checkpoint was written by a {recorded!r} delay model, "
+                f"cannot restore into {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _SeededDelay(DelayModel):
+    """Shared base for stochastic models: owns the seeded generator and
+    the RNG-position checkpoint hooks resumability requires."""
+
+    def __init__(self, seed: SeedLike = None):
+        self.rng = new_rng(seed)
+
+    def state_dict(self) -> dict:
+        """Model identity + RNG position of the duration stream."""
+        return {"name": self.name, "rng": get_rng_state(self.rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the duration stream position."""
+        self._check_name(state)
+        set_rng_state(self.rng, state["rng"])
+
+
+class ConstantDelay(DelayModel):
+    """Every dispatch takes exactly ``delay`` simulated time units.
+
+    With N workers this reproduces the paper's round-robin protocol:
+    arrivals keep read order and every gradient is ``N - 1`` updates
+    stale after warmup.
+
+    Parameters
+    ----------
+    delay : float, optional
+        The fixed duration (default 1.0; the unit is arbitrary).
+    """
+
+    name = "constant"
+
+    def __init__(self, delay: float = 1.0):
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self.delay = float(delay)
+
+    def sample(self, worker: int, now: float) -> float:
+        """Return the fixed duration."""
+        return self.delay
+
+
+class UniformDelay(_SeededDelay):
+    """I.i.d. durations drawn uniformly from ``[low, high]``.
+
+    Parameters
+    ----------
+    low, high : float
+        Duration bounds, ``0 < low <= high``.
+    seed : int or Generator, optional
+        Seed for the private duration stream.
+    """
+
+    name = "uniform"
+
+    def __init__(self, low: float = 0.5, high: float = 1.5,
+                 seed: SeedLike = None):
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low, self.high = float(low), float(high)
+        super().__init__(seed)
+
+    def sample(self, worker: int, now: float) -> float:
+        """One uniform draw from the model's private stream."""
+        return float(self.rng.uniform(self.low, self.high))
+
+
+class ExponentialDelay(_SeededDelay):
+    """Memoryless durations: ``floor + Exp(mean)``.
+
+    The exponential completion model of Mitliagkas et al. (2016) — with
+    many workers, the sequence of queue depths at arrival is the
+    memoryless staleness process.
+
+    Parameters
+    ----------
+    mean : float
+        Mean of the exponential component.
+    floor : float, optional
+        Minimum duration added to every draw (keeps durations positive
+        and models fixed compute cost under random transit).
+    seed : int or Generator, optional
+        Seed for the private duration stream.
+    """
+
+    name = "exponential"
+
+    def __init__(self, mean: float = 1.0, floor: float = 0.0,
+                 seed: SeedLike = None):
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        self.mean, self.floor = float(mean), float(floor)
+        super().__init__(seed)
+
+    def sample(self, worker: int, now: float) -> float:
+        """One shifted-exponential draw."""
+        return self.floor + float(self.rng.exponential(self.mean))
+
+
+class ParetoDelay(_SeededDelay):
+    """Heavy-tailed durations: classical Pareto with minimum ``scale``.
+
+    ``duration = scale * (1 + Pareto(alpha))`` — the survival function
+    decays polynomially, so occasional dispatches take orders of
+    magnitude longer than the median.  ``alpha <= 1`` has infinite mean;
+    the default 1.5 has finite mean but infinite variance, the classic
+    straggler regime.
+
+    Parameters
+    ----------
+    alpha : float, optional
+        Tail index (smaller = heavier tail).
+    scale : float, optional
+        Minimum duration (the Pareto ``x_m``).
+    seed : int or Generator, optional
+        Seed for the private duration stream.
+    """
+
+    name = "pareto"
+
+    def __init__(self, alpha: float = 1.5, scale: float = 0.5,
+                 seed: SeedLike = None):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.alpha, self.scale = float(alpha), float(scale)
+        super().__init__(seed)
+
+    def sample(self, worker: int, now: float) -> float:
+        """One Pareto draw with minimum ``scale``."""
+        return self.scale * (1.0 + float(self.rng.pareto(self.alpha)))
+
+
+class HeterogeneousDelay(DelayModel):
+    """Per-worker sub-models: worker ``w`` draws from ``models[w % len]``.
+
+    Models machine heterogeneity — e.g. half the fleet on fast nodes
+    (small constant), half on slow preemptible ones (Pareto).
+
+    Parameters
+    ----------
+    models : sequence of DelayModel
+        Sub-models, cycled over workers by id.
+    """
+
+    name = "heterogeneous"
+
+    def __init__(self, models: Sequence[DelayModel]):
+        if not models:
+            raise ValueError("need at least one sub-model")
+        self.models: List[DelayModel] = list(models)
+
+    def sample(self, worker: int, now: float) -> float:
+        """Delegate to the worker's sub-model."""
+        return self.models[worker % len(self.models)].sample(worker, now)
+
+    def state_dict(self) -> dict:
+        """Model identity + concatenated sub-model states."""
+        return {"name": self.name,
+                "models": [m.state_dict() for m in self.models]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore every sub-model's state (identities validated)."""
+        self._check_name(state)
+        if len(state["models"]) != len(self.models):
+            raise ValueError(
+                f"checkpoint has {len(state['models'])} sub-models, "
+                f"model has {len(self.models)}")
+        for model, sub in zip(self.models, state["models"]):
+            model.load_state_dict(sub)
+
+
+class TraceReplayDelay(DelayModel):
+    """Replay recorded durations from a JSON trace.
+
+    Trace format (either key):
+
+    - ``{"delays": [d0, d1, ...]}`` — one global duration list, consumed
+      in dispatch order by every worker;
+    - ``{"workers": {"0": [...], "1": [...]}}`` — one list per worker id
+      (ids must be contiguous from 0; workers beyond the recorded ids
+      cycle over the recorded lanes).
+
+    Lists are cycled when exhausted, so short traces drive long runs.
+    The cursor positions are part of :meth:`state_dict`, making replay
+    resumable.
+
+    Parameters
+    ----------
+    trace : dict
+        Parsed trace in one of the two formats above.
+    """
+
+    name = "trace"
+
+    def __init__(self, trace: dict):
+        if "workers" in trace:
+            keys = sorted(trace["workers"], key=int)
+            if [int(k) for k in keys] != list(range(len(keys))):
+                # a gap would silently shift every later lane onto the
+                # wrong worker — fail loudly instead
+                raise ValueError(
+                    f"worker ids must be contiguous from 0, got {keys}; "
+                    "record an explicit lane for every worker")
+            self._per_worker = [
+                [float(d) for d in trace["workers"][k]] for k in keys]
+            if not self._per_worker or any(
+                    not lane for lane in self._per_worker):
+                raise ValueError("every worker lane needs >= 1 duration")
+            self._global: Optional[List[float]] = None
+            self._cursors = [0] * len(self._per_worker)
+        elif "delays" in trace:
+            self._global = [float(d) for d in trace["delays"]]
+            if not self._global:
+                raise ValueError("trace has no durations")
+            self._per_worker = None
+            self._cursors = [0]
+        else:
+            raise ValueError(
+                'trace must contain a "delays" list or a "workers" map')
+        for d in (self._global if self._global is not None
+                  else [x for lane in self._per_worker for x in lane]):
+            if d <= 0:
+                raise ValueError(f"trace durations must be positive, got {d}")
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "TraceReplayDelay":
+        """Load a trace file written by :meth:`record` (or by hand)."""
+        return cls(json.loads(Path(path).read_text()))
+
+    @staticmethod
+    def record(durations: Dict[int, List[float]],
+               path: Union[str, Path]) -> None:
+        """Write per-worker durations as a replayable JSON trace.
+
+        Parameters
+        ----------
+        durations : dict
+            ``{worker_id: [duration, ...]}`` as observed in a real (or
+            simulated) run.
+        path : str or Path
+            Destination trace file.
+        """
+        payload = {"workers": {str(k): [float(d) for d in v]
+                               for k, v in durations.items()}}
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    def sample(self, worker: int, now: float) -> float:
+        """Next recorded duration for this worker (cycling the lane)."""
+        if self._global is not None:
+            lane, idx = self._global, 0
+        else:
+            idx = worker % len(self._per_worker)
+            lane = self._per_worker[idx]
+        value = lane[self._cursors[idx] % len(lane)]
+        self._cursors[idx] += 1
+        return value
+
+    def state_dict(self) -> dict:
+        """Model identity + replay cursor positions."""
+        return {"name": self.name, "cursors": list(self._cursors)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore replay cursor positions."""
+        self._check_name(state)
+        if len(state["cursors"]) != len(self._cursors):
+            raise ValueError("cursor count does not match trace shape")
+        self._cursors = [int(c) for c in state["cursors"]]
+
+
+_DELAY_MODELS = {
+    ConstantDelay.name: ConstantDelay,
+    UniformDelay.name: UniformDelay,
+    ExponentialDelay.name: ExponentialDelay,
+    ParetoDelay.name: ParetoDelay,
+}
+
+DelaySpec = Union[str, DelayModel]
+
+
+def make_delay_model(spec: DelaySpec, seed: SeedLike = None) -> DelayModel:
+    """Resolve a delay-model name or pass through an instance.
+
+    Parameters
+    ----------
+    spec : str or DelayModel
+        One of ``"constant"``, ``"uniform"``, ``"exponential"``,
+        ``"pareto"`` (with default parameters), or any object with a
+        ``sample`` method.
+    seed : int or Generator, optional
+        Seed forwarded to stochastic built-ins resolved by name.
+
+    Returns
+    -------
+    DelayModel
+    """
+    if isinstance(spec, str):
+        try:
+            cls = _DELAY_MODELS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown delay model {spec!r}; "
+                f"choose from {sorted(_DELAY_MODELS)}") from None
+        if cls is ConstantDelay:
+            return cls()
+        return cls(seed=seed)
+    if hasattr(spec, "sample"):
+        return spec
+    raise TypeError(f"cannot interpret {spec!r} as a delay model")

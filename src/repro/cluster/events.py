@@ -1,0 +1,169 @@
+"""Deterministic discrete-event core for the cluster runtime.
+
+A simulated cluster is a priority queue of timestamped events processed
+in ``(time, seq)`` order: ``time`` is the simulated clock and ``seq`` is
+a monotone counter assigned at scheduling time, so simultaneous events
+resolve in scheduling order.  Determinism is the whole point — two runs
+that schedule the same events in the same order replay identically,
+which is what makes trace-driven experiments and bit-for-bit
+checkpoint/restore possible.
+
+Event kinds used by :class:`~repro.cluster.runtime.ClusterRuntime`:
+
+- ``"arrival"`` — a worker's gradient push reaches the parameter server
+  (payload: the gradient slices plus read metadata);
+- ``"crash"`` — a worker fails before its push lands (the gradient in
+  the payload is lost);
+- ``"restart"`` — a crashed worker comes back and resumes reading.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.utils.serialization import copy_array_list
+
+
+@dataclass(order=True)
+class Event:
+    """One timestamped cluster event.
+
+    Attributes
+    ----------
+    time : float
+        Simulated time at which the event fires.
+    seq : int
+        Scheduling-order tiebreaker for simultaneous events.
+    kind : str
+        Event type (``"arrival"``, ``"crash"``, ``"restart"``).
+    worker : int
+        The worker the event concerns.
+    payload : dict
+        Kind-specific data (e.g. gradient slices and read metadata for
+        arrivals).  Not compared when ordering events.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    worker: int = field(compare=False)
+    payload: dict = field(compare=False, default_factory=dict)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with deterministic tie-breaking.
+
+    Events pop in ``(time, seq)`` order.  The queue is fully
+    serializable (:meth:`state_dict` / :meth:`load_state_dict`) so a
+    checkpointed run can resume with its in-flight events — including
+    the gradients they carry — intact.
+    """
+
+    def __init__(self):
+        self._heap: List[Event] = []
+        self._next_seq = 0
+
+    def schedule(self, time: float, kind: str, worker: int,
+                 payload: Optional[dict] = None) -> Event:
+        """Create an event, assign it the next sequence number, enqueue it.
+
+        Parameters
+        ----------
+        time : float
+            Simulated fire time.
+        kind : str
+            Event type tag.
+        worker : int
+            Worker id the event concerns.
+        payload : dict, optional
+            Kind-specific data carried by the event.
+
+        Returns
+        -------
+        Event
+            The scheduled event.
+        """
+        event = Event(time=float(time), seq=self._next_seq, kind=kind,
+                      worker=int(worker), payload=payload or {})
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (``(time, seq)`` order)."""
+        return heapq.heappop(self._heap)
+
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Re-enqueue a popped event at a later time, keeping its seq.
+
+        Used for pause deferrals: preserving the original sequence
+        number keeps the deferred backlog ordered before any event
+        scheduled later — so deferral shifts time but never inverts
+        delivery order.
+        """
+        moved = Event(time=float(time), seq=event.seq, kind=event.kind,
+                      worker=event.worker, payload=event.payload)
+        heapq.heappush(self._heap, moved)
+        return moved
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or ``None`` if empty."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def pending_workers(self) -> Set[int]:
+        """Worker ids with at least one queued event (any kind)."""
+        return {ev.worker for ev in self._heap}
+
+    def count_kind(self, kind: str) -> int:
+        """Number of queued events of one kind."""
+        return sum(1 for ev in self._heap if ev.kind == kind)
+
+    # ------------------------------------------------------------- #
+    # checkpointing
+    # ------------------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Serializable queue state: sorted events + sequence counter."""
+        entries = []
+        for ev in sorted(self._heap):
+            payload: Dict[str, object] = {}
+            for key, value in ev.payload.items():
+                if key == "grads":
+                    payload[key] = copy_array_list(value)
+                else:
+                    payload[key] = value
+            entries.append({"time": ev.time, "seq": ev.seq, "kind": ev.kind,
+                            "worker": ev.worker, "payload": payload})
+        return {"entries": entries, "next_seq": self._next_seq}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore queue contents captured by :meth:`state_dict`."""
+        self._heap = []
+        for entry in state["entries"]:
+            payload = {}
+            for key, value in entry["payload"].items():
+                if key == "grads":
+                    # copy, mirroring state_dict: queued gradients must
+                    # not alias the caller's checkpoint dict
+                    payload[key] = copy_array_list(value)
+                else:
+                    payload[key] = value
+            self._heap.append(Event(time=float(entry["time"]),
+                                    seq=int(entry["seq"]),
+                                    kind=entry["kind"],
+                                    worker=int(entry["worker"]),
+                                    payload=payload))
+        heapq.heapify(self._heap)
+        self._next_seq = int(state["next_seq"])
+
+    def __repr__(self) -> str:
+        head = self.peek()
+        nxt = f"next=({head.time:.3g}, {head.kind})" if head else "empty"
+        return f"EventQueue(len={len(self)}, {nxt})"

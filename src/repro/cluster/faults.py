@@ -1,0 +1,301 @@
+"""Fault injection for the cluster runtime: crashes, stragglers, pauses.
+
+Three failure modes of real parameter-server deployments, all
+reproducible from a seed:
+
+- **Worker crash/restart** — a worker dies mid-computation: its
+  in-flight gradient is lost and it rejoins after a downtime, reading
+  the then-current model (so it resumes with whatever staleness the
+  outage produced).
+- **Straggler windows** — a worker's dispatches slow down by a
+  multiplicative factor for a time window (background load, thermal
+  throttling, preemption pressure).
+- **Shard-server pauses** — the server stops committing updates for a
+  window (shard failover, leader election).  Because updates assemble
+  across *all* shards before the optimizer steps, one paused shard
+  blocks commits globally; arrivals during the pause are deferred, in
+  order, to the pause end.
+
+Faults come from two sources that compose freely: an explicit
+``scheduled`` list of fault specs (deterministic scenario scripting) and
+seeded per-dispatch random draws (rates).  All decisions are made at
+dispatch time in event order, so a given seed yields one reproducible
+fault history — and the injector's :meth:`~FaultInjector.state_dict`
+captures the RNG position plus consumed/active fault records for exact
+checkpoint resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.utils.rng import (SeedLike, get_rng_state, new_rng,
+                             set_rng_state)
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Scripted crash: ``worker`` dies at ``time`` for ``downtime``.
+
+    The crash fires on the first dispatch whose computation spans
+    ``time``; the gradient being computed is lost and the worker
+    restarts ``downtime`` later.
+    """
+
+    worker: int
+    time: float
+    downtime: float = 5.0
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Scripted slowdown: ``worker`` runs ``factor`` times slower during
+    ``[start, start + duration)``.
+
+    The factor applies to dispatches *issued* inside the window.
+    """
+
+    worker: int
+    start: float
+    duration: float
+    factor: float = 10.0
+
+
+@dataclass(frozen=True)
+class ShardPause:
+    """Scripted server pause: no commits during ``[start, start + duration)``.
+
+    ``shard`` is narrative (recorded in the timeline); the commit path
+    assembles across all shards, so any paused shard blocks every
+    update.
+    """
+
+    start: float
+    duration: float
+    shard: int = 0
+
+
+FaultSpec = Union[WorkerCrash, Straggler, ShardPause]
+
+
+class FaultInjector:
+    """Decides, per dispatch, whether and how a fault strikes.
+
+    Parameters
+    ----------
+    crash_prob : float, optional
+        Per-dispatch probability that the worker crashes at the end of
+        this computation (gradient lost).
+    crash_downtime : float, optional
+        Downtime before a randomly-crashed worker restarts.
+    straggler_prob : float, optional
+        Per-dispatch probability that this computation is slowed by
+        ``straggler_factor``.
+    straggler_factor : float, optional
+        Multiplicative slowdown of straggler dispatches.
+    pause_prob : float, optional
+        Per-dispatch probability that a server pause of
+        ``pause_duration`` starts at dispatch time.
+    pause_duration : float, optional
+        Length of randomly-injected server pauses.
+    scheduled : sequence of fault specs, optional
+        Explicit :class:`WorkerCrash` / :class:`Straggler` /
+        :class:`ShardPause` entries for scripted scenarios.
+    seed : int or Generator, optional
+        Seed for the random fault stream.  A fixed seed plus a fixed
+        event schedule yields one reproducible fault history.
+    """
+
+    def __init__(self, crash_prob: float = 0.0, crash_downtime: float = 5.0,
+                 straggler_prob: float = 0.0,
+                 straggler_factor: float = 10.0,
+                 pause_prob: float = 0.0, pause_duration: float = 5.0,
+                 scheduled: Sequence[FaultSpec] = (),
+                 seed: SeedLike = None):
+        for name, p in (("crash_prob", crash_prob),
+                        ("straggler_prob", straggler_prob),
+                        ("pause_prob", pause_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if crash_downtime < 0 or pause_duration < 0:
+            raise ValueError("downtimes/durations must be >= 0")
+        if straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor must be >= 1, got {straggler_factor}")
+        self.crash_prob = float(crash_prob)
+        self.crash_downtime = float(crash_downtime)
+        self.straggler_prob = float(straggler_prob)
+        self.straggler_factor = float(straggler_factor)
+        self.pause_prob = float(pause_prob)
+        self.pause_duration = float(pause_duration)
+        self.scheduled: List[FaultSpec] = list(scheduled)
+        for fault in self.scheduled:
+            if isinstance(fault, (WorkerCrash, Straggler)) \
+                    and fault.worker < 0:
+                raise ValueError(f"fault worker id must be >= 0: {fault}")
+            if isinstance(fault, WorkerCrash) and fault.downtime < 0:
+                raise ValueError(f"crash downtime must be >= 0: {fault}")
+            if isinstance(fault, Straggler) and (fault.duration < 0
+                                                 or fault.factor < 1.0):
+                raise ValueError(
+                    f"straggler needs duration >= 0, factor >= 1: {fault}")
+            if isinstance(fault, ShardPause) and fault.duration < 0:
+                raise ValueError(f"pause duration must be >= 0: {fault}")
+        self.rng = new_rng(seed)
+        self._pending_downtime = self.crash_downtime
+        self._pending_pause_shard = 0
+        self._consumed_crashes: set = set()
+        # dynamic pauses injected by pause_prob: (start, end, shard)
+        self._dynamic_pauses: List[Tuple[float, float, int]] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether this injector can ever produce a fault."""
+        return bool(self.scheduled) or self.crash_prob > 0 or \
+            self.straggler_prob > 0 or self.pause_prob > 0
+
+    def check_workers(self, num_workers: int) -> None:
+        """Reject scheduled faults addressing nonexistent workers.
+
+        Called by the runtime at construction, so a mistyped worker id
+        fails loudly instead of silently never firing.
+        """
+        for fault in self.scheduled:
+            if isinstance(fault, (WorkerCrash, Straggler)) \
+                    and fault.worker >= num_workers:
+                raise ValueError(
+                    f"{fault} addresses worker {fault.worker}, but the "
+                    f"runtime has only {num_workers} workers")
+
+    # ------------------------------------------------------------- #
+    # dispatch-time decisions
+    # ------------------------------------------------------------- #
+    def on_dispatch(self, worker: int, now: float,
+                    delay: float) -> Tuple[float, Optional[float]]:
+        """Apply faults to one dispatch.
+
+        Called by the runtime each time ``worker`` starts computing a
+        gradient at simulated time ``now`` with nominal duration
+        ``delay``.  Random draws happen in a fixed order (straggler,
+        crash, pause), one per fault class whose probability is
+        non-zero, and are consumed even when a scheduled fault takes
+        precedence — so the random stream depends only on the rates and
+        the dispatch sequence, never on the ``scheduled`` list.
+
+        Parameters
+        ----------
+        worker : int
+            Dispatching worker id.
+        now : float
+            Dispatch time.
+        delay : float
+            Nominal duration from the delay model.
+
+        Returns
+        -------
+        (delay, crash_time) : tuple
+            The possibly-slowed duration, and ``None`` for a healthy
+            dispatch or the crash time (gradient lost; restart at
+            ``crash_time + downtime``... the downtime used is the
+            scheduled fault's, or ``crash_downtime`` for random
+            crashes — retrieve it via the second element of
+            :meth:`consume_crash`).
+        """
+        # draws are consumed unconditionally (one per active fault
+        # class) so the stream only depends on rates + dispatch order
+        random_straggler = self.straggler_prob > 0 and \
+            float(self.rng.random()) < self.straggler_prob
+        for fault in self.scheduled:
+            if isinstance(fault, Straggler) and fault.worker == worker \
+                    and fault.start <= now < fault.start + fault.duration:
+                delay = delay * fault.factor
+                break
+        else:
+            if random_straggler:
+                delay = delay * self.straggler_factor
+
+        random_crash = self.crash_prob > 0 and \
+            float(self.rng.random()) < self.crash_prob
+        crash_time: Optional[float] = None
+        self._pending_downtime = self.crash_downtime
+        for idx, fault in enumerate(self.scheduled):
+            if isinstance(fault, WorkerCrash) and fault.worker == worker \
+                    and idx not in self._consumed_crashes \
+                    and fault.time <= now + delay:
+                self._consumed_crashes.add(idx)
+                crash_time = max(now, fault.time)
+                self._pending_downtime = fault.downtime
+                break
+        if crash_time is None and random_crash:
+            crash_time = now + delay
+
+        if self.pause_prob > 0 and \
+                float(self.rng.random()) < self.pause_prob:
+            self._dynamic_pauses.append(
+                (now, now + self.pause_duration, 0))
+
+        return delay, crash_time
+
+    def consume_crash(self) -> float:
+        """Downtime of the crash reported by the last :meth:`on_dispatch`."""
+        return self._pending_downtime
+
+    def pause_until(self, now: float) -> Optional[float]:
+        """End time of the pause covering ``now``, or ``None``.
+
+        The runtime defers arrival events to this time, preserving their
+        relative order.  The shard id of the governing (longest) pause
+        is available from :meth:`consume_pause_shard` afterwards, for
+        the timeline narrative (randomly-injected pauses record shard
+        0).
+        """
+        end, shard = None, 0
+        for fault in self.scheduled:
+            if isinstance(fault, ShardPause) and \
+                    fault.start <= now < fault.start + fault.duration:
+                stop = fault.start + fault.duration
+                if end is None or stop > end:
+                    end, shard = stop, fault.shard
+        # prune expired dynamic pauses (query times are monotone, so an
+        # ended window can never match again)
+        self._dynamic_pauses = [p for p in self._dynamic_pauses
+                                if p[1] > now]
+        for start, stop, dyn_shard in self._dynamic_pauses:
+            if start <= now < stop and (end is None or stop > end):
+                end, shard = stop, dyn_shard
+        self._pending_pause_shard = shard
+        return end
+
+    def consume_pause_shard(self) -> int:
+        """Shard id of the pause reported by the last
+        :meth:`pause_until` call."""
+        return self._pending_pause_shard
+
+    # ------------------------------------------------------------- #
+    # checkpointing
+    # ------------------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """RNG position + consumed scheduled crashes + dynamic pauses."""
+        return {
+            "rng": get_rng_state(self.rng),
+            "consumed_crashes": sorted(self._consumed_crashes),
+            "dynamic_pauses": [list(p) for p in self._dynamic_pauses],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.
+
+        The injector must be constructed with the same configuration
+        (rates and ``scheduled`` list); only dynamic state travels.
+        """
+        set_rng_state(self.rng, state["rng"])
+        self._consumed_crashes = {int(i) for i in state["consumed_crashes"]}
+        self._dynamic_pauses = [
+            (float(s), float(e), int(sh))
+            for s, e, sh in state["dynamic_pauses"]]
+
+    def __repr__(self) -> str:
+        return (f"FaultInjector(crash={self.crash_prob}, "
+                f"straggler={self.straggler_prob}, pause={self.pause_prob}, "
+                f"scheduled={len(self.scheduled)})")

@@ -1,0 +1,502 @@
+"""Event-driven cluster runtime over the sharded parameter server.
+
+:class:`ClusterRuntime` schedules N simulated workers against a
+:class:`~repro.sim.parameter_server.ShardedParameterServer` through a
+deterministic priority event queue.  Each worker loops: read the live
+model, compute a gradient (its loss closure draws the next minibatch),
+and ship it; a pluggable :mod:`~repro.cluster.delays` model decides how
+long the compute+transit takes, so arrival *order* — and therefore
+staleness — emerges from the simulated timing instead of being a fixed
+knob.  A seeded :mod:`~repro.cluster.faults` injector can crash workers,
+slow them down, or pause the server; every decision is drawn in event
+order from checkpointed RNG streams, so any run is reproducible and
+resumable bit-for-bit (:mod:`repro.cluster.checkpoint`).
+
+Two scheduling disciplines cover old and new protocols:
+
+- **Timed delivery** (``queue_staleness=0``, the default): a gradient is
+  committed when it arrives.  With :class:`ConstantDelay` and N workers
+  this reproduces the paper's round-robin protocol — and therefore the
+  historical ``train_async`` trajectories — bit-for-bit, while
+  non-constant models generalize it to heterogeneous, bursty clusters.
+- **Depth-gated delivery** (``queue_staleness=tau > 0``): arrivals queue
+  at the server and commit only once ``tau`` younger pushes sit behind
+  them, with FIFO or uniformly random release (``delivery``) — the
+  legacy queue protocols, kept for the memoryless staleness model.
+
+Budgets are totals from the start of the run, so calling :meth:`run`
+again after a checkpoint restore continues to the same endpoint the
+uninterrupted run would reach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.nn.module import Module
+from repro.optim.grad_clip import clip_grad_norm
+from repro.optim.optimizer import Optimizer
+from repro.sim.parameter_server import ShardedParameterServer
+from repro.sim.sharding import PolicySpec
+from repro.sim.trainer import TrainerHooks
+from repro.cluster.delays import DelaySpec, make_delay_model
+from repro.cluster.events import Event, EventQueue
+from repro.cluster.faults import FaultInjector
+from repro.utils.logging import TrainLog
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class ClusterWorker:
+    """Per-worker bookkeeping and lifetime counters.
+
+    Attributes
+    ----------
+    worker_id : int
+        Position in the runtime's worker table.
+    alive : bool
+        Whether the worker is currently up (crashed workers are down
+        until their restart event fires).
+    reads, applied, crashes, restarts : int
+        Lifetime counters: gradients computed, gradients committed,
+        crash events, restart events.
+    """
+
+    worker_id: int
+    alive: bool = True
+    reads: int = 0
+    applied: int = 0
+    crashes: int = 0
+    restarts: int = 0
+
+
+class ClusterRuntime:
+    """Deterministic event-driven simulation of an async training cluster.
+
+    Parameters
+    ----------
+    model, optimizer:
+        The shared model and the optimizer committing assembled updates.
+    loss_fn : callable
+        Draws the next minibatch and returns the loss tensor (the model
+        holds the values the reading worker sees).  If it exposes
+        ``state_dict``/``load_state_dict`` (e.g. a loader-backed
+        closure object), checkpoints capture the stream position too.
+    workers : int, optional
+        Number of simulated workers.
+    delay_model : str or DelayModel, optional
+        Compute+transit duration model (see :mod:`repro.cluster.delays`).
+    num_shards : int, optional
+        Parameter-server shards (see
+        :class:`~repro.sim.parameter_server.ShardedParameterServer`).
+    shard_policy : str or ShardAssignmentPolicy, optional
+        Placement policy for ``num_shards > 1``.
+    queue_staleness : int, optional
+        Server-side depth gate ``tau``.  0 (default) commits on arrival
+        (timed discipline); ``tau > 0`` reproduces the legacy queue
+        protocols.
+    delivery : str, optional
+        Which gate-eligible queue entry commits: ``"fifo"`` (oldest
+        first) or ``"random"`` (uniform over the queue — the memoryless
+        model; draws from the server's seeded RNG).
+    faults : FaultInjector, optional
+        Fault source (default: no faults).
+    hooks : TrainerHooks, optional
+        Static clipping / callbacks / divergence threshold.
+    log : TrainLog, optional
+        Log to append to (a fresh one by default).
+    seed:
+        Seed for the server RNG (random delivery).
+
+    Attributes
+    ----------
+    clock : float
+        Current simulated time.
+    reads_done : int
+        Gradients computed so far (= loss evaluations logged).
+    discarded : int
+        In-flight gradients dropped by explicit
+        :meth:`discard_in_flight` calls (a non-drained :meth:`run`
+        leaves in-flight gradients in place so the run can resume).
+    timeline : list of dict
+        Event narrative: ``{"t", "kind", "worker"/"shard", ...}`` per
+        scheduling-relevant occurrence, for
+        :func:`repro.sim.metrics.event_timeline_summary`.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer,
+                 loss_fn: Callable[[], "object"], workers: int = 4,
+                 delay_model: DelaySpec = "constant",
+                 num_shards: int = 1, shard_policy: PolicySpec = "hash",
+                 queue_staleness: int = 0, delivery: str = "fifo",
+                 faults: Optional[FaultInjector] = None,
+                 hooks: Optional[TrainerHooks] = None,
+                 log: Optional[TrainLog] = None, seed: SeedLike = None):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if delivery not in ("fifo", "random"):
+            raise ValueError(f"unknown delivery {delivery!r}")
+        if queue_staleness < 0:
+            raise ValueError(
+                f"queue_staleness must be >= 0, got {queue_staleness}")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.delivery = delivery
+        self.faults = faults if faults is not None else FaultInjector()
+        self.hooks = hooks or TrainerHooks()
+        self.log = log if log is not None else TrainLog()
+        self.server = ShardedParameterServer(
+            model, optimizer, num_shards=num_shards,
+            staleness=queue_staleness, policy=shard_policy, seed=seed)
+        # stochastic delay models resolved by name share the server's
+        # seeded generator, so `seed` makes the whole run reproducible;
+        # model instances keep their own streams
+        self.delay_model = make_delay_model(delay_model,
+                                            seed=self.server.rng)
+        self.workers: List[ClusterWorker] = [
+            ClusterWorker(worker_id=i) for i in range(workers)]
+        self.faults.check_workers(workers)
+        self.events = EventQueue()
+        self.clock = 0.0
+        self.reads_done = 0
+        self.discarded = 0
+        self.diverged = False
+        self.timeline: List[dict] = []
+        # read metadata for in-flight/queued gradients, keyed by the
+        # logical read index the server queue entries carry
+        self._inflight: Dict[int, Tuple[int, int]] = {}
+        self._started = False
+        self._clip = None
+        if self.hooks.grad_clip_norm is not None:
+            params = self.optimizer.params
+            norm = self.hooks.grad_clip_norm
+            self._clip = lambda: clip_grad_norm(params, norm)
+
+    # ------------------------------------------------------------- #
+    # worker actions
+    # ------------------------------------------------------------- #
+    @property
+    def updates_done(self) -> int:
+        """Updates committed so far (the server's applied count)."""
+        return self.server.steps_applied
+
+    def _read_and_dispatch(self, worker: ClusterWorker) -> None:
+        """Worker reads the live model, computes a gradient, ships it.
+
+        Logs the observed loss (read-time loss, as async systems report
+        it), runs the divergence check, samples the delay model, lets
+        the fault injector intervene, and schedules the arrival (or
+        crash) event.
+        """
+        step = self.reads_done
+        self.model.zero_grad()
+        loss = self.loss_fn()
+        loss.backward()
+        loss_value = float(loss.data)
+        self.log.append("loss", loss_value, step)
+        worker.reads += 1
+        self.reads_done += 1
+        if not math.isfinite(loss_value) or (
+                self.hooks.stop_on_divergence is not None
+                and loss_value > self.hooks.stop_on_divergence):
+            self.log.append("diverged", 1.0, step)
+            self.diverged = True
+            return
+        # no copy here: zero_grad + backward produce fresh arrays every
+        # read, and push() copies at the ingest boundary on arrival
+        grads = [p.grad for p in self.optimizer.params]
+        self._inflight[step] = (worker.worker_id, self.server.steps_applied)
+
+        delay = self.delay_model.sample(worker.worker_id, self.clock)
+        delay, crash_time = self.faults.on_dispatch(
+            worker.worker_id, self.clock, delay)
+        if crash_time is not None:
+            downtime = self.faults.consume_crash()
+            worker.alive = False
+            del self._inflight[step]
+            self.events.schedule(crash_time, "crash", worker.worker_id,
+                                 {"restart_at": crash_time + downtime,
+                                  "lost_read": step})
+            return
+        self.events.schedule(self.clock + delay, "arrival",
+                             worker.worker_id,
+                             {"grads": grads, "read_step": step})
+
+    def _commit_ready(self, updates: Optional[int]) -> None:
+        """Commit queued gradients while the gate is open and budget lasts."""
+        while self.server.ready and (
+                updates is None or self.server.steps_applied < updates):
+            if self.delivery == "fifo":
+                pos = 0
+            else:
+                pos = int(self.server.rng.integers(self.server.pending))
+            version = self.server.steps_applied
+            applied_step = self.server.apply_one(
+                pos=pos, grad_transform=self._clip)
+            if applied_step is None:  # pragma: no cover — gate said ready
+                break
+            log_step = self.reads_done - 1
+            worker_id, read_version = self._inflight.pop(
+                applied_step, (-1, version))
+            if worker_id >= 0:
+                self.workers[worker_id].applied += 1
+            self.log.append("staleness", version - read_version, log_step)
+            self.log.append("worker", worker_id, log_step)
+            self.log.append("sim_time", self.clock, log_step)
+            self.server._log_stats(self.log, log_step)
+            if self.hooks.on_step is not None:
+                self.hooks.on_step(log_step, self.log)
+
+    # ------------------------------------------------------------- #
+    # event handlers
+    # ------------------------------------------------------------- #
+    def _handle(self, event: Event, reads: int,
+                updates: Optional[int]) -> None:
+        """Dispatch one event to its handler."""
+        if event.kind == "arrival":
+            pause_end = self.faults.pause_until(event.time)
+            if pause_end is not None and pause_end > event.time:
+                # server paused: defer delivery.  The original seq is
+                # kept, so the deferred backlog drains before arrivals
+                # natively timed at the pause end — deferral shifts
+                # time, never delivery order.
+                self.timeline.append({"t": event.time, "kind": "deferred",
+                                      "worker": event.worker,
+                                      "shard": self.faults
+                                      .consume_pause_shard(),
+                                      "until": pause_end})
+                self.events.reschedule(event, pause_end)
+                return
+            self.clock = event.time
+            self.server.push(event.payload["grads"],
+                             step=event.payload["read_step"])
+            self.timeline.append({"t": self.clock, "kind": "arrival",
+                                  "worker": event.worker})
+            self._commit_ready(updates)
+            if not self.diverged and self.reads_done < reads:
+                self._read_and_dispatch(self.workers[event.worker])
+        elif event.kind == "crash":
+            self.clock = event.time
+            worker = self.workers[event.worker]
+            worker.crashes += 1
+            self.timeline.append({"t": self.clock, "kind": "crash",
+                                  "worker": event.worker})
+            self.log.append("crash", float(event.worker), self.reads_done)
+            self.events.schedule(event.payload["restart_at"], "restart",
+                                 event.worker, {})
+        elif event.kind == "restart":
+            self.clock = event.time
+            worker = self.workers[event.worker]
+            worker.alive = True
+            worker.restarts += 1
+            self.timeline.append({"t": self.clock, "kind": "restart",
+                                  "worker": event.worker})
+            self.log.append("restart", float(event.worker), self.reads_done)
+            if not self.diverged and self.reads_done < reads:
+                self._read_and_dispatch(worker)
+        else:  # pragma: no cover — queue only ever holds known kinds
+            raise RuntimeError(f"unknown event kind {event.kind!r}")
+
+    # ------------------------------------------------------------- #
+    # driving loop
+    # ------------------------------------------------------------- #
+    def run(self, reads: int, updates: Optional[int] = None,
+            drain_final: bool = False) -> TrainLog:
+        """Simulate until the read (and update) budgets are met.
+
+        Parameters
+        ----------
+        reads : int
+            Total gradient computations (= logged losses) for the whole
+            run, counted from construction — resuming a restored runtime
+            with the same value continues to the same endpoint.
+        updates : int, optional
+            Total updates to commit.  ``None`` (default) commits
+            whatever arrives before the run ends; a value keeps
+            processing deliveries after the last read until the target
+            is reached (the round-robin facade uses
+            ``max(0, steps - tau)`` to match the legacy protocol).
+        drain_final : bool, optional
+            After the budgets are met, deliver and commit every
+            still-in-flight gradient (ignoring gates) instead of
+            discarding them; logged under series ``"drained"``.
+
+        Returns
+        -------
+        TrainLog
+            The runtime's log: ``"loss"`` per read; ``"staleness"``,
+            ``"worker"``, ``"sim_time"`` and optimizer stats per commit;
+            ``"crash"``/``"restart"`` markers; ``"diverged"`` /
+            ``"drained"`` markers.
+        """
+        if reads < 0:
+            raise ValueError(f"reads must be >= 0, got {reads}")
+        if not self._started:
+            self._started = True
+            for worker in self.workers:
+                if self.diverged or self.reads_done >= reads:
+                    break
+                self._read_and_dispatch(worker)
+        elif not self.diverged and self.reads_done < reads:
+            # resuming: an alive worker with no pending event is idle
+            # (its gradient was discarded/drained after an earlier run)
+            # and would never be rescheduled by the event loop — wake it
+            pending = self.events.pending_workers()
+            for worker in self.workers:
+                if self.diverged or self.reads_done >= reads:
+                    break
+                if worker.alive and worker.worker_id not in pending:
+                    self._read_and_dispatch(worker)
+        while not self.diverged:
+            if self.reads_done >= reads and (
+                    updates is None
+                    or self.server.steps_applied >= updates):
+                break
+            if not self.events:
+                break
+            self._handle(self.events.pop(), reads, updates)
+        if drain_final and not self.diverged:
+            self._drain()
+        return self.log
+
+    def _drain(self) -> None:
+        """Deliver and commit every in-flight gradient, ignoring gates.
+
+        Crash/restart lifecycle events are re-queued, not dropped, so a
+        crashed worker still comes back if the run is later resumed
+        with a larger budget.
+        """
+        kept: List[Event] = []
+        while self.events:
+            event = self.events.pop()
+            if event.kind != "arrival":
+                kept.append(event)
+                continue
+            self.clock = max(self.clock, event.time)
+            self.server.push(event.payload["grads"],
+                             step=event.payload["read_step"])
+        for event in kept:
+            self.events.reschedule(event, event.time)
+        for applied_step in self.server.flush(grad_transform=self._clip):
+            worker_id, _ = self._inflight.pop(applied_step, (-1, 0))
+            if worker_id >= 0:
+                self.workers[worker_id].applied += 1
+            self.log.append("drained", float(applied_step), self.reads_done)
+
+    @property
+    def in_flight(self) -> int:
+        """Gradients computed but not committed: undelivered arrivals
+        plus queued-but-gated server entries."""
+        return self.events.count_kind("arrival") + self.server.pending
+
+    def discard_in_flight(self) -> int:
+        """Drop undelivered arrivals and queued-but-gated entries.
+
+        The end-of-run protocol of the paper: whatever did not commit is
+        gone.  Crash/restart events are kept (they carry no gradients),
+        so a later :meth:`run` call with a larger budget can still
+        resume worker lifecycles.
+
+        Returns
+        -------
+        int
+            Number of gradients dropped (also accumulated on
+            :attr:`discarded`).
+        """
+        dropped = 0
+        kept: List[Event] = []
+        while self.events:
+            event = self.events.pop()
+            if event.kind == "arrival":
+                self._inflight.pop(event.payload["read_step"], None)
+                dropped += 1
+            else:
+                kept.append(event)
+        for event in kept:
+            self.events.reschedule(event, event.time)
+        for step in self.server.drop_queued():
+            self._inflight.pop(step, None)
+            dropped += 1
+        self.discarded += dropped
+        return dropped
+
+    # ------------------------------------------------------------- #
+    # introspection
+    # ------------------------------------------------------------- #
+    def worker_stats(self) -> List[dict]:
+        """Per-worker lifetime counters (reads, commits, crashes)."""
+        return [{"worker": w.worker_id, "alive": w.alive, "reads": w.reads,
+                 "applied": w.applied, "crashes": w.crashes,
+                 "restarts": w.restarts} for w in self.workers]
+
+    # ------------------------------------------------------------- #
+    # checkpointing
+    # ------------------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Complete runtime state for bit-for-bit resume.
+
+        Bundles model parameters (and buffers), optimizer state, server
+        queues, the event queue with its in-flight gradients, delay and
+        fault state (RNG positions included), worker counters, and the
+        training log.  Restore with :meth:`load_state_dict` on a runtime
+        constructed with the same configuration and a fresh
+        model/optimizer of the same architecture.
+        """
+        return {
+            "clock": self.clock,
+            "reads_done": self.reads_done,
+            "discarded": self.discarded,
+            "diverged": self.diverged,
+            "started": self._started,
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "server": self.server.state_dict(),
+            "events": self.events.state_dict(),
+            "delay_model": self.delay_model.state_dict(),
+            "faults": self.faults.state_dict(),
+            "inflight": [(step, wid, ver) for step, (wid, ver)
+                         in sorted(self._inflight.items())],
+            "workers": [{"worker_id": w.worker_id, "alive": w.alive,
+                         "reads": w.reads, "applied": w.applied,
+                         "crashes": w.crashes, "restarts": w.restarts}
+                        for w in self.workers],
+            "timeline": [dict(entry) for entry in self.timeline],
+            "log": self.log.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if len(state["workers"]) != len(self.workers):
+            raise ValueError(
+                f"checkpoint has {len(state['workers'])} workers, "
+                f"runtime has {len(self.workers)}")
+        self.clock = float(state["clock"])
+        self.reads_done = int(state["reads_done"])
+        self.discarded = int(state["discarded"])
+        self.diverged = bool(state["diverged"])
+        self._started = bool(state["started"])
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.server.load_state_dict(state["server"])
+        self.events.load_state_dict(state["events"])
+        self.delay_model.load_state_dict(state["delay_model"])
+        self.faults.load_state_dict(state["faults"])
+        self._inflight = {int(step): (int(wid), int(ver))
+                          for step, wid, ver in state["inflight"]}
+        for worker, ws in zip(self.workers, state["workers"]):
+            worker.alive = bool(ws["alive"])
+            worker.reads = int(ws["reads"])
+            worker.applied = int(ws["applied"])
+            worker.crashes = int(ws["crashes"])
+            worker.restarts = int(ws["restarts"])
+        self.timeline = [dict(entry) for entry in state["timeline"]]
+        self.log.load_state_dict(state["log"])
+
+    def __repr__(self) -> str:
+        return (f"ClusterRuntime(workers={len(self.workers)}, "
+                f"delay={self.delay_model!r}, clock={self.clock:.3g}, "
+                f"reads={self.reads_done}, "
+                f"updates={self.server.steps_applied})")

@@ -6,7 +6,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from repro.utils.rng import new_rng
+from repro.utils.rng import get_rng_state, new_rng, set_rng_state
 
 
 class BatchLoader:
@@ -35,6 +35,23 @@ class BatchLoader:
     @property
     def batches_per_epoch(self) -> int:
         return len(self.x) // self.batch_size
+
+    def state_dict(self) -> dict:
+        """Serializable stream position: RNG state + shuffle + cursor.
+
+        A loader restored via :meth:`load_state_dict` yields exactly the
+        batch sequence the snapshotted one would have — required for
+        bit-for-bit resume of checkpointed training runs.
+        """
+        return {"rng": get_rng_state(self.rng),
+                "order": self._order.copy(),
+                "cursor": self._cursor}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a stream position captured by :meth:`state_dict`."""
+        set_rng_state(self.rng, state["rng"])
+        self._order = np.asarray(state["order"], dtype=np.intp)
+        self._cursor = int(state["cursor"])
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         while True:

@@ -55,8 +55,13 @@ class TwoQuadratic:
         return self.h_flat * (ax - self.offset) * np.sign(x)
 
     def generalized_curvature(self, x: float) -> float:
-        """``h(x) = f'(x) / (x - x*)`` with ``x* = 0`` (Definition 2)."""
-        if x == 0.0:
+        """``h(x) = f'(x) / (x - x*)`` with ``x* = 0`` (Definition 2).
+
+        Inside the sharp region the ratio is ``h_sharp`` identically, so
+        it is returned directly — computing ``grad(x) / x`` there can
+        round outside ``[h_flat, h_sharp]`` for denormal ``x``.
+        """
+        if abs(x) <= self.width:
             return self.h_sharp
         return self.grad(x) / x
 

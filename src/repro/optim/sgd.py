@@ -55,6 +55,14 @@ class SGD(Optimizer):
             g += self.weight_decay * x
         x -= self.lr * g
 
+    def _extra_state(self) -> dict:
+        return {"weight_decay": self.weight_decay}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        # .get: checkpoints written before weight_decay was recorded
+        # have an empty extra dict
+        self.weight_decay = extra.get("weight_decay", self.weight_decay)
+
 
 class MomentumSGD(Optimizer):
     """Polyak (heavy-ball) or Nesterov momentum SGD.
@@ -130,9 +138,11 @@ class MomentumSGD(Optimizer):
 
     def _extra_state(self) -> dict:
         return {"momentum": self.momentum, "nesterov": self.nesterov,
+                "weight_decay": self.weight_decay,
                 "velocity": self._state_to_lists(self._velocity)}
 
     def _load_extra_state(self, extra: dict) -> None:
         self.momentum = extra["momentum"]
         self.nesterov = extra["nesterov"]
+        self.weight_decay = extra.get("weight_decay", self.weight_decay)
         self._velocity = self._state_from_lists(extra["velocity"])

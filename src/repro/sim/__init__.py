@@ -3,12 +3,14 @@
 - :mod:`repro.sim.trainer` — the synchronous loop every optimizer
   comparison runs on.
 - :mod:`repro.sim.async_trainer` — the paper's Section 5.2 staleness
-  protocol, driven by the sharded server below.
+  protocol, a facade over the event-driven cluster runtime
+  (:mod:`repro.cluster`).
 - :mod:`repro.sim.parameter_server` — worker-centric
   (:class:`ParameterServer`) and sharded server-centric
   (:class:`ShardedParameterServer`) parameter-server simulations.
 - :mod:`repro.sim.sharding` — pluggable shard-assignment policies.
-- :mod:`repro.sim.metrics` — held-out evaluation helpers.
+- :mod:`repro.sim.metrics` — held-out evaluation helpers plus
+  cluster observability (staleness histograms, timeline summaries).
 """
 
 from repro.sim.trainer import train_sync, TrainerHooks
@@ -19,7 +21,8 @@ from repro.sim.sharding import (GreedyBalancedSharding, HashSharding,
                                 RoundRobinSharding, ShardAssignmentPolicy,
                                 make_policy)
 from repro.sim.metrics import (classification_accuracy, evaluate_lm,
-                               evaluate_classifier)
+                               evaluate_classifier, event_timeline_summary,
+                               staleness_histogram, staleness_summary)
 
 __all__ = [
     "train_sync", "TrainerHooks", "train_async",
@@ -28,4 +31,5 @@ __all__ = [
     "ShardAssignmentPolicy", "HashSharding", "RoundRobinSharding",
     "GreedyBalancedSharding", "make_policy",
     "classification_accuracy", "evaluate_lm", "evaluate_classifier",
+    "staleness_histogram", "staleness_summary", "event_timeline_summary",
 ]

@@ -2,22 +2,27 @@
 
 The paper runs 16 asynchronous workers "forced to update the model in a
 round-robin fashion, i.e. the gradient is delayed for 15 iterations".
-That protocol is a deterministic delay queue, which we reproduce exactly:
+Since PR 2 this module is a thin facade over the event-driven
+:class:`~repro.cluster.runtime.ClusterRuntime`:
 
-- at step ``t`` the active worker *reads* the current model and computes a
-  gradient (pushed to the queue);
-- the oldest queued gradient — computed ``tau = workers - 1`` steps ago —
-  is popped, loaded into the parameters, and the optimizer steps.
+- ``staleness_model="round_robin"`` schedules ``workers`` simulated
+  workers with a :class:`~repro.cluster.delays.ConstantDelay` model —
+  identical compute times make arrivals keep read order, so each
+  gradient is exactly ``workers - 1`` updates stale after warmup.  This
+  reproduces the historical queue-based trajectories **bit-for-bit**
+  (the test suite enforces it).
+- ``staleness_model="random"`` uses the depth-gated discipline with
+  uniformly random release — the memoryless completion-order model of
+  Mitliagkas et al., unchanged from the queue implementation.
 
-Since PR 1 the queue lives inside
-:class:`~repro.sim.parameter_server.ShardedParameterServer`: parameters
-are partitioned across ``num_shards`` server shards, each with its own
-staleness queue, and the delayed gradient is reassembled from the shard
-slices at application time.  Assembly is exact, so the trajectory is
-bit-for-bit independent of the shard count — ``num_shards`` scales the
-simulated storage/traffic topology without touching the math.
+Parameters are still partitioned across ``num_shards`` server shards
+(:class:`~repro.sim.parameter_server.ShardedParameterServer`), and the
+trajectory remains bit-for-bit independent of the shard count.  For
+heterogeneous, heavy-tailed, trace-replayed, or failure-prone clusters
+— anything beyond this one delay knob — build a
+:class:`~repro.cluster.runtime.ClusterRuntime` directly.
 
-With ``workers=1`` the queue has no delay and the simulator is
+With ``workers=1`` the schedule has no delay and the simulator is
 step-for-step identical to :func:`repro.sim.trainer.train_sync` (a
 property the test suite checks).
 """
@@ -29,7 +34,6 @@ from typing import Callable, Optional
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
-from repro.sim.parameter_server import ShardedParameterServer
 from repro.sim.sharding import PolicySpec
 from repro.sim.trainer import TrainerHooks
 from repro.utils.logging import TrainLog
@@ -61,11 +65,12 @@ def train_async(model: Module, optimizer: Optimizer,
         Log to append to (a fresh one by default).
     staleness_model : str, optional
         - ``"round_robin"`` — the paper's Section 5.2 protocol: the
-          gradient is delayed exactly ``workers - 1`` iterations.
+          gradient is delayed exactly ``workers - 1`` iterations
+          (constant-delay cluster schedule).
         - ``"random"`` — memoryless completion order (the model of
-          Mitliagkas et al.): each step applies a uniformly random queued
-          gradient, so staleness has mean ``workers - 1`` but is random
-          per step.
+          Mitliagkas et al.): each update releases a uniformly random
+          queued gradient, so staleness has mean ``workers - 1`` but is
+          random per step.
     seed:
         RNG seed for the ``"random"`` staleness model.
     num_shards : int, optional
@@ -75,22 +80,41 @@ def train_async(model: Module, optimizer: Optimizer,
     shard_policy : str or ShardAssignmentPolicy, optional
         Placement policy for ``num_shards > 1``.
     drain_final : bool, optional
-        Apply the ``workers - 1`` still-queued gradients after the last
-        step instead of discarding them.
+        Apply the ``workers - 1`` still-in-flight gradients after the
+        last step instead of discarding them.
 
     Returns
     -------
     TrainLog
         The logged ``"loss"`` series is the loss observed at
         gradient-compute (read) time, mirroring how asynchronous systems
-        report training loss.
+        report training loss.  Cluster runs add per-update
+        ``"staleness"``/``"worker"``/``"sim_time"`` series; note the
+        ``"random"`` model is a single-reader queue protocol, so its
+        ``"worker"`` series is identically 0 — per-worker attribution
+        only exists on the ``"round_robin"`` (timed N-worker) path.
     """
+    # imported lazily: repro.cluster sits above repro.sim in the layer
+    # map, so a module-level import here would be circular
+    from repro.cluster import ClusterRuntime, ConstantDelay
+
     if workers < 1:
         raise ValueError("need at least one worker")
-    server = ShardedParameterServer(model, optimizer,
-                                    num_shards=num_shards,
-                                    staleness=workers - 1,
-                                    policy=shard_policy, seed=seed)
-    return server.run(loss_fn, steps, hooks=hooks, log=log,
-                      staleness_model=staleness_model,
-                      drain_final=drain_final)
+    if staleness_model not in ("round_robin", "random"):
+        raise ValueError(f"unknown staleness model {staleness_model!r}")
+    tau = workers - 1
+    if staleness_model == "round_robin":
+        runtime = ClusterRuntime(
+            model, optimizer, loss_fn, workers=workers,
+            delay_model=ConstantDelay(1.0), num_shards=num_shards,
+            shard_policy=shard_policy, hooks=hooks, log=log, seed=seed)
+    else:
+        # memoryless release is a property of the server queue, not of
+        # transit timing: one reader, depth gate tau, random delivery
+        runtime = ClusterRuntime(
+            model, optimizer, loss_fn, workers=1,
+            delay_model=ConstantDelay(1.0), num_shards=num_shards,
+            shard_policy=shard_policy, queue_staleness=tau,
+            delivery="random", hooks=hooks, log=log, seed=seed)
+    return runtime.run(reads=steps, updates=max(0, steps - tau),
+                       drain_final=drain_final)

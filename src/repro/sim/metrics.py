@@ -1,14 +1,22 @@
-"""Validation metrics: accuracy, perplexity, and generic evaluation loops."""
+"""Validation and runtime metrics: accuracy, perplexity, staleness.
+
+Two metric families live here: held-out evaluation loops (accuracy,
+language-model perplexity) and cluster-runtime observability — per-worker
+staleness histograms and event-timeline summaries computed from the
+series the event-driven runtime records (``"staleness"``, ``"worker"``,
+``"sim_time"``) and from its timeline records.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import no_grad
 from repro.nn.module import Module
+from repro.utils.logging import TrainLog
 
 
 def classification_accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
@@ -55,3 +63,86 @@ def evaluate_lm(model: Module, tokens: np.ndarray, batch_size: int = 8,
     model.train()
     mean_nll = total_nll / max(count, 1)
     return {"nll": mean_nll, "perplexity": perplexity(mean_nll)}
+
+
+# --------------------------------------------------------------------- #
+# cluster-runtime observability
+# --------------------------------------------------------------------- #
+def staleness_histogram(log: TrainLog) -> Dict[int, Dict[int, int]]:
+    """Per-worker histogram of committed-update staleness.
+
+    Consumes the aligned ``"staleness"`` and ``"worker"`` series the
+    cluster runtime logs per committed update.
+
+    Parameters
+    ----------
+    log : TrainLog
+        A log produced by a cluster (or ``train_async``) run.
+
+    Returns
+    -------
+    dict
+        ``{worker_id: {staleness: count}}``.  Only in-loop commits are
+        counted (drained end-of-run updates log no staleness); commits
+        whose origin metadata was lost appear under ``-1``.
+    """
+    staleness = log.scalars.get("staleness", [])
+    workers = log.scalars.get("worker", [-1.0] * len(staleness))
+    hist: Dict[int, Dict[int, int]] = {}
+    for s, w in zip(staleness, workers):
+        per_worker = hist.setdefault(int(w), {})
+        key = int(s)
+        per_worker[key] = per_worker.get(key, 0) + 1
+    return hist
+
+
+def staleness_summary(log: TrainLog) -> dict:
+    """Aggregate staleness statistics of a cluster run.
+
+    Returns
+    -------
+    dict
+        ``count`` / ``mean`` / ``median`` / ``p95`` / ``max`` of the
+        per-update staleness series (all NaN except ``count`` when no
+        update committed).
+    """
+    values = log.series("staleness")
+    if values.size == 0:
+        return {"count": 0, "mean": float("nan"), "median": float("nan"),
+                "p95": float("nan"), "max": float("nan")}
+    return {
+        "count": int(values.size),
+        "mean": float(values.mean()),
+        "median": float(np.median(values)),
+        "p95": float(np.percentile(values, 95)),
+        "max": float(values.max()),
+    }
+
+
+def event_timeline_summary(timeline: List[dict]) -> dict:
+    """Summarize a cluster runtime's event timeline.
+
+    Parameters
+    ----------
+    timeline : list of dict
+        ``ClusterRuntime.timeline`` records (``{"t", "kind", ...}``).
+
+    Returns
+    -------
+    dict
+        Total event count, counts per kind, per-worker arrival counts,
+        and the simulated time span ``(t_first, t_last)``.
+    """
+    by_kind: Dict[str, int] = {}
+    arrivals_per_worker: Dict[int, int] = {}
+    for entry in timeline:
+        kind = entry["kind"]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "arrival":
+            worker = int(entry.get("worker", -1))
+            arrivals_per_worker[worker] = \
+                arrivals_per_worker.get(worker, 0) + 1
+    times = [entry["t"] for entry in timeline]
+    span = (min(times), max(times)) if times else (0.0, 0.0)
+    return {"events": len(timeline), "by_kind": by_kind,
+            "arrivals_per_worker": arrivals_per_worker, "span": span}

@@ -35,7 +35,8 @@ from repro.optim.optimizer import Optimizer
 from repro.sim.sharding import PolicySpec, make_policy
 from repro.sim.trainer import TrainerHooks
 from repro.utils.logging import TrainLog
-from repro.utils.rng import new_rng
+from repro.utils.rng import get_rng_state, new_rng, set_rng_state
+from repro.utils.serialization import copy_array_list
 
 # A worker loss closure: given nothing, draws its next local minibatch and
 # returns the loss tensor (the model must already hold the read snapshot).
@@ -382,8 +383,7 @@ class ShardedParameterServer:
         # copy at the ingest boundary (like pull does on the way out):
         # callers may legally reuse their gradient buffers next step, and
         # queued history must keep the values as pushed
-        slices = [None if g is None else np.array(g, copy=True)
-                  for g in grads]
+        slices = copy_array_list(grads)
         for shard in self._active:
             shard.queue.append((step, [slices[i] for i in shard.indices]))
             shard.pushes += 1
@@ -599,6 +599,72 @@ class ShardedParameterServer:
             log.append("total_momentum", stats["total_momentum"], step)
             log.append("algorithmic_momentum",
                        stats["algorithmic_momentum"], step)
+
+    def queued_steps(self) -> List[int]:
+        """Logical steps of the pushed-but-unapplied queue entries,
+        oldest first."""
+        return [step for step, _ in self._active[0].queue]
+
+    def drop_queued(self) -> List[int]:
+        """Clear every shard queue, discarding unapplied gradients.
+
+        The end-of-run protocol when in-flight work is abandoned rather
+        than drained.
+
+        Returns
+        -------
+        list of int
+            Logical steps of the dropped entries, oldest first.
+        """
+        dropped = self.queued_steps()
+        for shard in self.shards:
+            shard.queue.clear()
+        return dropped
+
+    # ------------------------------------------------------------- #
+    # checkpointing
+    # ------------------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Serializable server state: queues, counters, and RNG position.
+
+        Parameters and optimizer state are *not* included — they belong
+        to the model and optimizer checkpoints.  Restore with
+        :meth:`load_state_dict` on a server constructed with the same
+        configuration (shard count, policy, staleness); the placement is
+        re-derived at construction, so only dynamic state travels.
+        """
+        return {
+            "steps_pushed": self.steps_pushed,
+            "steps_applied": self.steps_applied,
+            "rng": get_rng_state(self.rng),
+            "shards": [{
+                "pushes": s.pushes,
+                "applied": s.applied,
+                "pulls": s.pulls,
+                "queue": [(step, copy_array_list(slices))
+                          for step, slices in s.queue],
+            } for s in self.shards],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore dynamic state captured by :meth:`state_dict`."""
+        if len(state["shards"]) != self.num_shards:
+            raise ValueError(
+                f"checkpoint has {len(state['shards'])} shards, server "
+                f"has {self.num_shards}")
+        self.steps_pushed = int(state["steps_pushed"])
+        self.steps_applied = int(state["steps_applied"])
+        set_rng_state(self.rng, state["rng"])
+        for shard, shard_state in zip(self.shards, state["shards"]):
+            shard.pushes = int(shard_state["pushes"])
+            shard.applied = int(shard_state["applied"])
+            shard.pulls = int(shard_state["pulls"])
+            shard.queue.clear()
+            # copy on restore (mirroring push's copy-at-ingest): queued
+            # gradients must never alias the caller's checkpoint dict,
+            # or a later in-place grad mutation corrupts the snapshot
+            for step, slices in shard_state["queue"]:
+                shard.queue.append((int(step), copy_array_list(slices)))
 
     # ------------------------------------------------------------- #
     # introspection

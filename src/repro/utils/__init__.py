@@ -1,10 +1,15 @@
 """Shared utilities: RNG management, logging, serialization."""
 
-from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.rng import (RngMixin, get_rng_state, new_rng, restore_rng,
+                             set_rng_state, spawn_rngs)
 from repro.utils.logging import TrainLog
-from repro.utils.serialization import (load_results, load_train_log,
+from repro.utils.serialization import (decode_state, encode_state,
+                                       load_checkpoint, load_results,
+                                       load_train_log, save_checkpoint,
                                        save_results, save_train_log)
 
-__all__ = ["RngMixin", "new_rng", "spawn_rngs", "TrainLog",
+__all__ = ["RngMixin", "new_rng", "spawn_rngs", "get_rng_state",
+           "set_rng_state", "restore_rng", "TrainLog",
            "save_train_log", "load_train_log", "save_results",
-           "load_results"]
+           "load_results", "encode_state", "decode_state",
+           "save_checkpoint", "load_checkpoint"]

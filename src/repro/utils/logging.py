@@ -47,3 +47,19 @@ class TrainLog:
 
     def __len__(self) -> int:
         return max((len(v) for v in self.scalars.values()), default=0)
+
+    # -------------------------------------------------------------- #
+    # checkpointing
+    # -------------------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Serializable copy of the log: the single wire format used by
+        both file persistence and cluster checkpoints."""
+        return {"scalars": {k: list(v) for k, v in self.scalars.items()},
+                "steps": {k: list(v) for k, v in self.steps.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Replace the log's contents with :meth:`state_dict` output."""
+        self.scalars = {k: [float(x) for x in v]
+                        for k, v in state["scalars"].items()}
+        self.steps = {k: [int(x) for x in v]
+                      for k, v in state["steps"].items()}

@@ -31,14 +31,101 @@ def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
     return [np.random.default_rng(s) for s in root.spawn(n)]
 
 
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """Export a generator's full state as a JSON-serializable dict.
+
+    The returned dict is ``{"bit_generator": name, "state": ...}`` — the
+    ``numpy`` bit-generator state plus the class name needed to rebuild
+    it, encoded with the lossless tag codec of
+    :mod:`repro.utils.serialization` (MT19937/SFC64 states carry
+    ndarrays; PCG64 is plain ints), so it survives a JSON round trip
+    exactly.
+
+    Parameters
+    ----------
+    rng : numpy.random.Generator
+        The generator to snapshot.
+
+    Returns
+    -------
+    dict
+        State dict accepted by :func:`set_rng_state`.
+    """
+    from repro.utils.serialization import encode_state
+    return encode_state(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a generator to a state captured by :func:`get_rng_state`.
+
+    Parameters
+    ----------
+    rng : numpy.random.Generator
+        The generator to overwrite.  Its bit-generator class must match
+        the one recorded in ``state``.
+    state : dict
+        State previously returned by :func:`get_rng_state` (possibly
+        after a JSON round trip).
+    """
+    from repro.utils.serialization import decode_state
+    recorded = state.get("bit_generator")
+    actual = type(rng.bit_generator).__name__
+    if recorded is not None and recorded != actual:
+        raise ValueError(
+            f"cannot restore {recorded} state into a {actual} generator")
+    rng.bit_generator.state = decode_state(state)
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """Build a fresh generator positioned at a captured state.
+
+    Parameters
+    ----------
+    state : dict
+        State previously returned by :func:`get_rng_state`.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A new generator that will produce the same stream the snapshotted
+        one would have from that point on.
+    """
+    name = state.get("bit_generator", "PCG64")
+    bit_gen_cls = getattr(np.random, name, None)
+    if bit_gen_cls is None:
+        raise ValueError(f"unknown bit generator {name!r}")
+    rng = np.random.Generator(bit_gen_cls())
+    set_rng_state(rng, state)
+    return rng
+
+
 class RngMixin:
-    """Mixin giving a class a lazily-constructed private generator."""
+    """Mixin giving a class a lazily-constructed private generator.
+
+    The generator itself is not serializable, so checkpointing code uses
+    :meth:`rng_state` / :meth:`set_rng_state` to round-trip the stream
+    position instead of the object (the lazy-construction contract is
+    preserved: exporting state forces construction, restoring state
+    builds the generator if it does not exist yet).
+    """
 
     def _init_rng(self, seed: SeedLike = None) -> None:
         self._rng: Optional[np.random.Generator] = new_rng(seed)
 
     @property
     def rng(self) -> np.random.Generator:
+        """The private generator (constructed unseeded on first use)."""
         if getattr(self, "_rng", None) is None:
             self._rng = np.random.default_rng()
         return self._rng
+
+    def rng_state(self) -> dict:
+        """Serializable snapshot of the private generator's state."""
+        return get_rng_state(self.rng)
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore the private generator from :meth:`rng_state` output."""
+        if getattr(self, "_rng", None) is None:
+            self._rng = restore_rng(state)
+        else:
+            set_rng_state(self._rng, state)

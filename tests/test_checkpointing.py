@@ -23,41 +23,150 @@ def drive(opt, p, h, noise, start, stop):
 
 
 FACTORIES = {
-    "sgd": lambda p: SGD([p], lr=0.1),
-    "momentum": lambda p: MomentumSGD([p], lr=0.1, momentum=0.8),
-    "nesterov": lambda p: MomentumSGD([p], lr=0.1, momentum=0.8,
-                                      nesterov=True),
-    "adam": lambda p: Adam([p], lr=0.05),
-    "adagrad": lambda p: AdaGrad([p], lr=0.2),
-    "rmsprop": lambda p: RMSProp([p], lr=0.05),
-    "yellowfin": lambda p: YellowFin([p], beta=0.9, window=3),
+    "sgd": lambda p, fused=False: SGD([p], lr=0.1, weight_decay=0.01,
+                                      fused=fused),
+    "momentum": lambda p, fused=False: MomentumSGD([p], lr=0.1,
+                                                   momentum=0.8,
+                                                   fused=fused),
+    "nesterov": lambda p, fused=False: MomentumSGD([p], lr=0.1,
+                                                   momentum=0.8,
+                                                   nesterov=True,
+                                                   fused=fused),
+    "adam": lambda p, fused=False: Adam([p], lr=0.05, fused=fused),
+    "adagrad": lambda p, fused=False: AdaGrad([p], lr=0.2, fused=fused),
+    "rmsprop": lambda p, fused=False: RMSProp([p], lr=0.05, fused=fused),
+    "yellowfin": lambda p, fused=False: YellowFin([p], beta=0.9, window=3,
+                                                  fused=fused),
+    "closed_loop": lambda p, fused=False: ClosedLoopYellowFin(
+        [p], staleness=0, beta=0.9, window=3, fused=fused),
 }
 
 
+@pytest.mark.parametrize("fused", [False, True],
+                         ids=["unfused", "fused"])
 @pytest.mark.parametrize("name", list(FACTORIES))
-def test_resume_matches_uninterrupted(name):
+def test_resume_matches_uninterrupted(name, fused):
     factory = FACTORIES[name]
 
     # uninterrupted reference run
     p_ref, h, noise = make_problem()
-    opt_ref = factory(p_ref)
+    opt_ref = factory(p_ref, fused=fused)
     drive(opt_ref, p_ref, h, noise, 0, 60)
 
     # checkpoint at step 30, restore into a fresh optimizer, continue
     p_a, h, noise = make_problem()
-    opt_a = factory(p_a)
+    opt_a = factory(p_a, fused=fused)
     drive(opt_a, p_a, h, noise, 0, 30)
     state = opt_a.state_dict()
     params_snapshot = p_a.data.copy()
 
     p_b = Tensor(params_snapshot.copy(), requires_grad=True)
-    opt_b = FACTORIES[name](p_b)
+    opt_b = factory(p_b, fused=fused)
     opt_b.load_state_dict(state)
     drive(opt_b, p_b, h, noise, 30, 60)
 
     np.testing.assert_allclose(p_b.data, p_ref.data, atol=1e-12,
                                err_msg=f"{name} resume diverged from "
                                "uninterrupted run")
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+def test_checkpoints_move_between_fused_and_unfused(name):
+    """state_dict always uses the per-tensor format, so a fused run can
+    restore an unfused checkpoint and vice versa."""
+    factory = FACTORIES[name]
+
+    p_ref, h, noise = make_problem()
+    opt_ref = factory(p_ref, fused=False)
+    drive(opt_ref, p_ref, h, noise, 0, 60)
+
+    p_a, h, noise = make_problem()
+    opt_a = factory(p_a, fused=False)
+    drive(opt_a, p_a, h, noise, 0, 30)
+    state = opt_a.state_dict()
+
+    # restore the unfused checkpoint into a fused optimizer
+    p_b = Tensor(p_a.data.copy(), requires_grad=True)
+    opt_b = factory(p_b, fused=True)
+    opt_b.load_state_dict(state)
+    drive(opt_b, p_b, h, noise, 30, 60)
+
+    np.testing.assert_allclose(p_b.data, p_ref.data, atol=1e-9,
+                               err_msg=f"{name} cross-mode restore "
+                               "diverged")
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+def test_state_dict_survives_json_round_trip(name):
+    """Checkpoints pass through the lossless JSON codec unchanged."""
+    import json
+
+    from repro.utils import decode_state, encode_state
+
+    p, h, noise = make_problem()
+    opt = FACTORIES[name](p)
+    drive(opt, p, h, noise, 0, 20)
+    state = opt.state_dict()
+    restored = decode_state(json.loads(json.dumps(encode_state(state))))
+
+    p2 = Tensor(p.data.copy(), requires_grad=True)
+    opt2 = FACTORIES[name](p2)
+    opt2.load_state_dict(restored)
+    drive(opt, p, h, noise, 20, 40)
+    drive(opt2, p2, h, noise, 20, 40)
+    np.testing.assert_array_equal(p.data, p2.data)
+
+
+class TestFlatParamsSnapshot:
+    def make_flat(self):
+        from repro.autograd.flat import FlatParams
+
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([[3.0], [4.0]]), requires_grad=True)
+        return FlatParams([a, b]), a, b
+
+    def test_round_trip_restores_values(self):
+        flat, a, b = self.make_flat()
+        snap = flat.snapshot()
+        flat.buffer *= 10.0
+        assert a.data[0] == 10.0
+        flat.restore(snap)
+        np.testing.assert_array_equal(a.data, [1.0, 2.0])
+        np.testing.assert_array_equal(b.data, [[3.0], [4.0]])
+
+    def test_snapshot_is_a_copy(self):
+        flat, a, _ = self.make_flat()
+        snap = flat.snapshot()
+        flat.buffer += 1.0
+        np.testing.assert_array_equal(snap, [1.0, 2.0, 3.0, 4.0])
+
+    def test_snapshot_and_restore_heal_rebinding(self):
+        """Both sides re-pack first, so values rebound onto p.data (as
+        Module.load_state_dict does) are never lost or clobbered."""
+        flat, a, b = self.make_flat()
+        a.data = np.array([7.0, 8.0])  # rebind breaks the aliasing
+        snap = flat.snapshot()  # must see the rebound values
+        np.testing.assert_array_equal(snap, [7.0, 8.0, 3.0, 4.0])
+
+        b.data = np.array([[9.0], [9.0]])  # rebind again
+        flat.restore(snap)
+        np.testing.assert_array_equal(b.data, [[3.0], [4.0]])
+        assert flat.packed  # aliasing re-established
+
+    def test_restore_validates_shape(self):
+        flat, _, _ = self.make_flat()
+        with pytest.raises(ValueError):
+            flat.restore(np.zeros(3))
+
+
+def test_sgd_loads_legacy_checkpoint_without_weight_decay():
+    """Checkpoints written before weight_decay was recorded have an
+    empty extra dict; loading one must not raise."""
+    p = Tensor(np.ones(3), requires_grad=True)
+    opt = SGD([p], lr=0.1, weight_decay=0.05)
+    opt.load_state_dict({"t": 5, "lr": 0.2, "extra": {}})
+    assert opt.t == 5 and opt.lr == 0.2
+    assert opt.weight_decay == 0.05  # construction value kept
 
 
 def test_state_dict_is_deep_copy():

@@ -1,0 +1,412 @@
+"""Checkpoint/restore: a resumed cluster run is bit-for-bit identical.
+
+The acceptance property of the cluster subsystem: crash the driver at
+update k, restore from the checkpoint written there, continue — the
+trajectory (losses and final parameters) must equal the uninterrupted
+run exactly, for fused and unfused optimizers, under a non-constant
+delay model, with faults active, through a disk JSON round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.cluster import (ClusterRuntime, EventQueue, FaultInjector,
+                           ParetoDelay, UniformDelay, WorkerCrash,
+                           checkpoint_cluster, load_cluster_checkpoint,
+                           restore_cluster, save_cluster_checkpoint)
+from repro.core import ClosedLoopYellowFin
+from repro.data import BatchLoader
+from repro.optim import Adam, MomentumSGD
+from repro.utils import (decode_state, encode_state, get_rng_state,
+                         load_checkpoint, new_rng, restore_rng,
+                         save_checkpoint, set_rng_state)
+
+
+class LoaderWorkload:
+    """Checkpointable loss closure: model + seeded minibatch stream."""
+
+    def __init__(self, model, loader):
+        self.model = model
+        self.loader = loader
+
+    def __call__(self):
+        xb, yb = self.loader.next_batch()
+        return F.cross_entropy(self.model(Tensor(xb)), yb)
+
+    def state_dict(self):
+        return self.loader.state_dict()
+
+    def load_state_dict(self, state):
+        self.loader.load_state_dict(state)
+
+
+def flat(model):
+    return np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+
+
+def build_runtime(optimizer_factory, delay_seed=3, with_faults=True):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 4))
+    y = (x[:, 0] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(4, 8, seed=0), nn.ReLU(),
+                          nn.Linear(8, 2, seed=1))
+    workload = LoaderWorkload(model, BatchLoader(x, y, batch_size=16,
+                                                 seed=5))
+    opt = optimizer_factory(model.parameters())
+    faults = None
+    if with_faults:
+        faults = FaultInjector(
+            crash_prob=0.02,
+            scheduled=[WorkerCrash(worker=1, time=3.0, downtime=2.0)],
+            seed=7)
+    runtime = ClusterRuntime(
+        model, opt, workload, workers=4,
+        delay_model=ParetoDelay(alpha=1.5, scale=0.5, seed=delay_seed),
+        num_shards=2, faults=faults, seed=11)
+    return model, runtime, workload
+
+
+OPTIMIZERS = {
+    "momentum_unfused": lambda p: MomentumSGD(p, lr=0.05, momentum=0.8),
+    "adam_fused": lambda p: Adam(p, lr=0.05, fused=True),
+    "clyf_fused": lambda p: ClosedLoopYellowFin(p, staleness=3, window=5,
+                                                beta=0.9, fused=True),
+    "clyf_unfused": lambda p: ClosedLoopYellowFin(p, staleness=3, window=5,
+                                                  beta=0.9),
+}
+
+
+@pytest.mark.parametrize("name", list(OPTIMIZERS))
+def test_crash_and_restore_is_bitwise_identical(name, tmp_path):
+    """The ISSUE acceptance criterion, through an on-disk checkpoint."""
+    factory = OPTIMIZERS[name]
+
+    model_ref, rt_ref, _ = build_runtime(factory)
+    rt_ref.run(reads=120)
+
+    # phase 1: run to "step k", checkpoint to disk, then drop everything
+    # (the simulated driver crash)
+    _, rt_a, workload_a = build_runtime(factory)
+    rt_a.run(reads=50)
+    path = tmp_path / "ckpt.json"
+    save_cluster_checkpoint(rt_a, path, workload=workload_a)
+    del rt_a, workload_a
+
+    # phase 2: fresh processes rebuild the same configuration and restore
+    model_b, rt_b, workload_b = build_runtime(factory)
+    restore_cluster(rt_b, load_cluster_checkpoint(path),
+                    workload=workload_b)
+    rt_b.run(reads=120)
+
+    assert rt_ref.log.scalars["loss"] == rt_b.log.scalars["loss"]
+    assert rt_ref.log.scalars.get("staleness") == \
+        rt_b.log.scalars.get("staleness")
+    np.testing.assert_array_equal(flat(model_ref), flat(model_b))
+
+
+def test_restore_checks_format_and_worker_count(tmp_path):
+    _, rt, workload = build_runtime(OPTIMIZERS["momentum_unfused"])
+    rt.run(reads=10)
+    state = checkpoint_cluster(rt, workload=workload)
+    with pytest.raises(ValueError):
+        restore_cluster(rt, {**state, "format_version": 99})
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 4))
+    y = (x[:, 0] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(4, 8, seed=0), nn.ReLU(),
+                          nn.Linear(8, 2, seed=1))
+    opt = MomentumSGD(model.parameters(), lr=0.05, momentum=0.8)
+    wrong = ClusterRuntime(model, opt, lambda: None, workers=2)
+    with pytest.raises(ValueError):
+        restore_cluster(wrong, state)
+
+
+def test_checkpoint_includes_workload_stream_position():
+    _, rt, workload = build_runtime(OPTIMIZERS["momentum_unfused"],
+                                    with_faults=False)
+    rt.run(reads=20)
+    state = checkpoint_cluster(rt, workload=workload)
+    assert "workload" in state
+    # advancing the live stream then restoring rewinds it
+    before = workload.loader.next_batch()[0].copy()
+    restore_cluster(rt, state, workload=workload)
+    after = workload.loader.next_batch()[0]
+    np.testing.assert_array_equal(before, after)
+
+
+class TestEventQueueState:
+    def test_round_trip_preserves_order_and_payloads(self):
+        q = EventQueue()
+        q.schedule(2.0, "arrival", 1, {"grads": [np.ones(3), None],
+                                       "read_step": 4})
+        q.schedule(1.0, "restart", 0, {})
+        q.schedule(1.0, "crash", 2, {"restart_at": 5.0, "lost_read": 7})
+        state = decode_state(encode_state(q.state_dict()))
+
+        q2 = EventQueue()
+        q2.load_state_dict(state)
+        assert len(q2) == 3
+        first = q2.pop()
+        assert (first.time, first.kind, first.worker) == (1.0, "restart", 0)
+        second = q2.pop()
+        assert second.kind == "crash"
+        third = q2.pop()
+        np.testing.assert_array_equal(third.payload["grads"][0], np.ones(3))
+        assert third.payload["grads"][1] is None
+        assert third.payload["read_step"] == 4
+        # the seq counter travels too: new events keep sorting after old
+        assert q2._next_seq == 3
+
+
+class TestSerializationCodec:
+    def test_ndarray_round_trip_preserves_dtype_shape_values(self,
+                                                             tmp_path):
+        state = {
+            "f64": np.random.default_rng(0).normal(size=(3, 2)),
+            "f32": np.arange(4, dtype=np.float32).reshape(2, 2),
+            "i64": np.array([1, -2, 3]),
+            "nested": {"t": (1, 2.5, None), "l": [np.zeros(2), "s"]},
+            "empty": np.zeros((0, 3)),
+        }
+        path = tmp_path / "state.json"
+        save_checkpoint(state, path)
+        loaded = load_checkpoint(path)
+        for key in ("f64", "f32", "i64", "empty"):
+            assert loaded[key].dtype == state[key].dtype
+            assert loaded[key].shape == state[key].shape
+            np.testing.assert_array_equal(loaded[key], state[key])
+        assert loaded["nested"]["t"] == (1, 2.5, None)
+        np.testing.assert_array_equal(loaded["nested"]["l"][0], np.zeros(2))
+
+    def test_floats_survive_exactly(self):
+        values = [0.1, 1e-300, math_pi := 3.141592653589793, -0.0]
+        out = decode_state(encode_state({"v": values}))
+        assert out["v"] == values
+        assert math_pi == out["v"][2]
+
+
+class TestRngState:
+    def test_generator_state_round_trip(self):
+        rng = new_rng(42)
+        rng.random(10)
+        state = decode_state(encode_state(get_rng_state(rng)))
+        clone = restore_rng(state)
+        np.testing.assert_array_equal(rng.random(10), clone.random(10))
+
+    def test_set_rng_state_rewinds(self):
+        rng = new_rng(1)
+        state = get_rng_state(rng)
+        first = rng.random(5)
+        set_rng_state(rng, state)
+        np.testing.assert_array_equal(first, rng.random(5))
+
+    def test_non_pcg64_state_survives_codec(self):
+        """MT19937/SFC64 states carry ndarrays; the tag schema must
+        round-trip them through the checkpoint codec."""
+        for bit_gen in (np.random.MT19937(3), np.random.SFC64(3)):
+            rng = np.random.Generator(bit_gen)
+            rng.random(5)
+            state = decode_state(encode_state(get_rng_state(rng)))
+            clone = restore_rng(state)
+            np.testing.assert_array_equal(rng.random(5), clone.random(5))
+
+    def test_bit_generator_mismatch_rejected(self):
+        rng = new_rng(0)
+        state = get_rng_state(rng)
+        state["bit_generator"] = "SFC64"
+        with pytest.raises(ValueError):
+            set_rng_state(new_rng(0), state)
+
+    def test_mixin_state_round_trip(self):
+        from repro.utils import RngMixin
+
+        class Thing(RngMixin):
+            def __init__(self, seed=None):
+                self._init_rng(seed)
+
+        thing = Thing(9)
+        thing.rng.random(3)
+        state = thing.rng_state()
+        expected = thing.rng.random(4)
+
+        fresh = Thing()
+        fresh.__dict__.pop("_rng", None)  # never constructed (lazy path)
+        fresh.set_rng_state(state)
+        np.testing.assert_array_equal(fresh.rng.random(4), expected)
+
+
+class TestBatchLoaderState:
+    def test_stream_position_round_trip(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 2))
+        y = np.arange(20)
+        a = BatchLoader(x, y, batch_size=8, seed=3)
+        a.next_batch()
+        state = decode_state(encode_state(a.state_dict()))
+        expected = [a.next_batch()[1].tolist() for _ in range(6)]
+
+        b = BatchLoader(x, y, batch_size=8, seed=999)  # different seed
+        b.load_state_dict(state)
+        got = [b.next_batch()[1].tolist() for _ in range(6)]
+        assert expected == got
+
+
+def test_two_phase_equals_one_phase_without_serialization():
+    """run(k) ; state_dict ; fresh runtime ; load ; run(total) — the
+    in-memory path, isolating runtime state from codec concerns."""
+    factory = OPTIMIZERS["adam_fused"]
+    model_ref, rt_ref, _ = build_runtime(
+        factory, delay_seed=8, with_faults=False)
+    rt_ref.run(reads=80)
+
+    _, rt_a, wl_a = build_runtime(factory, delay_seed=8, with_faults=False)
+    rt_a.run(reads=37)
+    state = checkpoint_cluster(rt_a, workload=wl_a)
+
+    model_b, rt_b, wl_b = build_runtime(factory, delay_seed=8,
+                                        with_faults=False)
+    restore_cluster(rt_b, state, workload=wl_b)
+    rt_b.run(reads=80)
+    assert rt_ref.log.scalars["loss"] == rt_b.log.scalars["loss"]
+    np.testing.assert_array_equal(flat(model_ref), flat(model_b))
+
+
+def test_depth_gated_checkpoint_round_trips_pending_queues(tmp_path):
+    """In gated mode shard queues are non-empty at the checkpoint; the
+    queue entries (steps + gradient slices) must round-trip exactly."""
+    def build():
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(48, 3))
+        y = (x[:, 2] > 0).astype(int)
+        model = nn.Sequential(nn.Linear(3, 6, seed=5), nn.ReLU(),
+                              nn.Linear(6, 2, seed=6))
+        workload = LoaderWorkload(model, BatchLoader(x, y, batch_size=12,
+                                                     seed=7))
+        opt = MomentumSGD(model.parameters(), lr=0.05, momentum=0.8)
+        runtime = ClusterRuntime(model, opt, workload, workers=1,
+                                 num_shards=2, queue_staleness=4,
+                                 delivery="random", seed=13)
+        return model, runtime, workload
+
+    model_ref, rt_ref, _ = build()
+    rt_ref.run(reads=60, updates=56)
+
+    _, rt_a, wl_a = build()
+    rt_a.run(reads=25, updates=21)
+    assert rt_a.server.pending == 4  # the gate holds 4 queued entries
+    path = tmp_path / "gated.json"
+    save_cluster_checkpoint(rt_a, path, workload=wl_a)
+
+    model_b, rt_b, wl_b = build()
+    restore_cluster(rt_b, load_cluster_checkpoint(path), workload=wl_b)
+    assert rt_b.server.pending == 4
+    rt_b.run(reads=60, updates=56)
+    assert rt_ref.log.scalars["loss"] == rt_b.log.scalars["loss"]
+    np.testing.assert_array_equal(flat(model_ref), flat(model_b))
+
+
+def test_restore_rejects_mismatched_delay_model():
+    """Restoring a stochastic delay state into a different model class
+    must fail loudly, not silently drop the RNG position."""
+    from repro.cluster import ConstantDelay, ParetoDelay, UniformDelay
+
+    state = ParetoDelay(seed=0).state_dict()
+    with pytest.raises(ValueError):
+        UniformDelay(seed=0).load_state_dict(state)
+    with pytest.raises(ValueError):
+        ConstantDelay().load_state_dict(state)
+
+
+def test_diverged_run_checkpoint_is_strict_json(tmp_path):
+    """A diverged run logs nan/inf losses; the checkpoint must still be
+    RFC-compliant JSON (no bare NaN tokens) and round-trip them."""
+    import json
+
+    from repro.optim import SGD
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 3))
+    y = (x[:, 0] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(3, 6, seed=0), nn.ReLU(),
+                          nn.Linear(6, 2, seed=1))
+    loss_fn = lambda: F.cross_entropy(model(Tensor(x)), y)  # noqa: E731
+    runtime = ClusterRuntime(model, SGD(model.parameters(), lr=1e9),
+                             loss_fn, workers=4)
+    runtime.run(reads=100)
+    assert runtime.diverged
+    path = tmp_path / "diverged.json"
+    save_cluster_checkpoint(runtime, path)
+    # strict parse: bare NaN/Infinity tokens would raise here
+    json.loads(path.read_text(), parse_constant=lambda s: (_ for _ in ())
+               .throw(ValueError(f"non-standard token {s}")))
+    restored = load_cluster_checkpoint(path)
+    losses = restored["runtime"]["log"]["scalars"]["loss"]
+    assert losses == runtime.log.scalars["loss"]  # inf/nan values kept
+
+
+def test_codec_rejects_unroundtrippable_dicts():
+    """Non-string keys would be silently coerced by JSON; a user key
+    equal to a tag would misdecode — both must fail fast."""
+    from repro.utils import encode_state
+
+    with pytest.raises(TypeError):
+        encode_state({"hist": {0: 3, 1: 4}})
+    with pytest.raises(ValueError):
+        encode_state({"__ndarray__": [1, 2]})  # malformed tag node
+    with pytest.raises(ValueError):
+        encode_state({"nested": {"__tuple__": [], "extra": 1}})
+    # well-formed tag nodes pass through: encoding is idempotent
+    tree = encode_state({"x": np.arange(3), "t": (1, 2)})
+    assert encode_state(tree) == tree
+
+
+def test_codec_tags_nonfinite_floats():
+    from repro.utils import decode_state, encode_state
+
+    state = {"scalar_nan": float("nan"), "scalar_inf": float("inf"),
+             "arr": np.array([1.0, np.nan, -np.inf, np.inf])}
+    import json
+    encoded = json.loads(json.dumps(encode_state(state), allow_nan=False))
+    out = decode_state(encoded)
+    assert np.isnan(out["scalar_nan"])
+    assert out["scalar_inf"] == float("inf")
+    np.testing.assert_array_equal(np.isnan(out["arr"]),
+                                  [False, True, False, False])
+    assert out["arr"][0] == 1.0
+    assert out["arr"][2] == -np.inf and out["arr"][3] == np.inf
+
+
+def test_uniform_delay_resume_bitwise(tmp_path):
+    """A second non-constant delay family exercises the RNG-state path."""
+    def factory(params):
+        return MomentumSGD(params, lr=0.05, momentum=0.8)
+
+    def build(seed=6):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(48, 3))
+        y = (x[:, 1] > 0).astype(int)
+        model = nn.Sequential(nn.Linear(3, 6, seed=2), nn.ReLU(),
+                              nn.Linear(6, 2, seed=3))
+        workload = LoaderWorkload(model, BatchLoader(x, y, batch_size=12,
+                                                     seed=4))
+        runtime = ClusterRuntime(
+            model, factory(model.parameters()), workload, workers=3,
+            delay_model=UniformDelay(0.5, 2.0, seed=seed))
+        return model, runtime, workload
+
+    model_ref, rt_ref, _ = build()
+    rt_ref.run(reads=60)
+
+    _, rt_a, wl_a = build()
+    rt_a.run(reads=25)
+    path = tmp_path / "u.json"
+    save_cluster_checkpoint(rt_a, path, workload=wl_a)
+
+    model_b, rt_b, wl_b = build()
+    restore_cluster(rt_b, load_cluster_checkpoint(path), workload=wl_b)
+    rt_b.run(reads=60)
+    assert rt_ref.log.scalars["loss"] == rt_b.log.scalars["loss"]
+    np.testing.assert_array_equal(flat(model_ref), flat(model_b))

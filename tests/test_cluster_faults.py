@@ -1,0 +1,206 @@
+"""Fault injection: crashes lose gradients, stragglers add staleness,
+pauses defer commits — all reproducibly from a seed."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.cluster import (ClusterRuntime, ConstantDelay, FaultInjector,
+                           ShardPause, Straggler, WorkerCrash)
+from repro.optim import SGD
+from repro.sim import staleness_summary
+
+
+def make_problem(seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(32, 3))
+    y = (x[:, 0] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(3, 8, seed=0), nn.ReLU(),
+                          nn.Linear(8, 2, seed=1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+def run_with_faults(faults, workers=4, reads=60, delay=None):
+    model, loss_fn = make_problem()
+    opt = SGD(model.parameters(), lr=0.05)
+    runtime = ClusterRuntime(model, opt, loss_fn, workers=workers,
+                             delay_model=delay or ConstantDelay(1.0),
+                             faults=faults)
+    runtime.run(reads=reads)
+    return runtime
+
+
+class TestScheduledFaults:
+    def test_crash_loses_gradient_and_restarts(self):
+        faults = FaultInjector(scheduled=[
+            WorkerCrash(worker=1, time=3.0, downtime=4.0)])
+        runtime = run_with_faults(faults)
+        stats = runtime.worker_stats()
+        assert stats[1]["crashes"] == 1
+        assert stats[1]["restarts"] == 1
+        assert stats[1]["alive"]
+        # the crashed computation never commits: worker 1 commits fewer
+        # updates than its peers
+        assert stats[1]["applied"] < stats[0]["applied"]
+        assert "crash" in runtime.log and "restart" in runtime.log
+
+    def test_crash_without_restart_budget_leaves_worker_down(self):
+        faults = FaultInjector(scheduled=[
+            WorkerCrash(worker=0, time=1.0, downtime=1e9)])
+        runtime = run_with_faults(faults, reads=20)
+        stats = runtime.worker_stats()
+        assert stats[0]["crashes"] == 1
+        assert not stats[0]["alive"]
+        assert runtime.reads_done == 20  # survivors absorb the budget
+
+    def test_straggler_window_slows_worker(self):
+        faults = FaultInjector(scheduled=[
+            Straggler(worker=2, start=0.0, duration=1e9, factor=20.0)])
+        runtime = run_with_faults(faults, reads=80)
+        stats = runtime.worker_stats()
+        others = [stats[i]["applied"] for i in (0, 1, 3)]
+        assert stats[2]["applied"] < min(others)
+        # straggler gradients arrive very stale
+        assert staleness_summary(runtime.log)["max"] > 3
+
+    def test_shard_pause_defers_commits(self):
+        faults = FaultInjector(scheduled=[
+            ShardPause(start=2.5, duration=10.0, shard=0)])
+        runtime = run_with_faults(faults, reads=40)
+        deferred = [e for e in runtime.timeline if e["kind"] == "deferred"]
+        assert deferred, "arrivals inside the pause must be deferred"
+        assert all(e["until"] == pytest.approx(12.5) for e in deferred)
+        # commits resume after the pause and the run still completes
+        assert runtime.reads_done == 40
+        assert runtime.updates_done > 0
+
+    def test_drain_preserves_pending_restart(self):
+        """drain_final must not drop lifecycle events: a worker whose
+        restart is still pending revives when the run is resumed."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        faults = FaultInjector(scheduled=[
+            WorkerCrash(worker=1, time=3.0, downtime=20.0)])
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=4,
+                                 faults=faults)
+        runtime.run(reads=14, drain_final=True)
+        assert not runtime.workers[1].alive
+        assert len(runtime.events) == 1  # the pending restart survives
+        # resume far enough for the simulated clock to pass the restart
+        runtime.run(reads=150)
+        assert runtime.workers[1].alive
+        assert runtime.workers[1].restarts == 1
+        assert runtime.reads_done == 150
+
+    def test_pause_deferral_preserves_delivery_order(self):
+        """A deferred arrival keeps its place: it commits before an
+        arrival natively timed at the pause end."""
+        from repro.cluster import HeterogeneousDelay, ConstantDelay
+
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        faults = FaultInjector(scheduled=[ShardPause(start=0.5,
+                                                     duration=1.5)])
+        runtime = ClusterRuntime(
+            model, opt, loss_fn, workers=2,
+            delay_model=HeterogeneousDelay([ConstantDelay(1.0),
+                                            ConstantDelay(2.0)]),
+            faults=faults)
+        runtime.run(reads=10)
+        workers = runtime.log.series("worker")
+        # worker 0's gradient (real arrival t=1.0, deferred to t=2.0)
+        # commits before worker 1's native t=2.0 arrival
+        assert workers[0] == 0.0 and workers[1] == 1.0
+
+    def test_injector_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(crash_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(straggler_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultInjector(crash_downtime=-1.0)
+        with pytest.raises(ValueError):
+            FaultInjector(scheduled=[WorkerCrash(worker=-1, time=1.0)])
+        with pytest.raises(ValueError):
+            FaultInjector(scheduled=[
+                Straggler(worker=0, start=0.0, duration=1.0, factor=0.5)])
+        with pytest.raises(ValueError):
+            FaultInjector(scheduled=[ShardPause(start=0.0, duration=-1.0)])
+
+    def test_scheduled_worker_id_checked_against_runtime(self):
+        """A fault addressing a nonexistent worker fails loudly at
+        construction instead of silently never firing."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        faults = FaultInjector(scheduled=[WorkerCrash(worker=7,
+                                                      time=10.0)])
+        with pytest.raises(ValueError):
+            ClusterRuntime(model, opt, loss_fn, workers=4, faults=faults)
+
+
+class TestRandomFaults:
+    def test_seeded_faults_are_reproducible(self):
+        def run(seed):
+            faults = FaultInjector(crash_prob=0.05, straggler_prob=0.1,
+                                   straggler_factor=5.0, seed=seed)
+            runtime = run_with_faults(faults, reads=80)
+            crashes = sum(w["crashes"] for w in runtime.worker_stats())
+            return runtime.log.scalars["loss"], crashes
+
+        loss_a, crashes_a = run(7)
+        loss_b, crashes_b = run(7)
+        loss_c, crashes_c = run(8)
+        assert loss_a == loss_b and crashes_a == crashes_b
+        assert loss_a != loss_c or crashes_a != crashes_c
+
+    def test_scheduled_faults_do_not_shift_random_stream(self):
+        """For one fixed dispatch sequence, adding a scheduled fault
+        must not change the random decisions: the draws are consumed
+        even when a scheduled fault takes precedence."""
+        def decisions(scheduled):
+            injector = FaultInjector(crash_prob=0.3, straggler_prob=0.3,
+                                     straggler_factor=2.0,
+                                     scheduled=scheduled, seed=5)
+            out = []
+            for i in range(40):
+                delay, crash = injector.on_dispatch(
+                    worker=i % 4, now=float(i), delay=1.0)
+                out.append((i % 4, delay, crash is not None))
+            return out
+
+        plain = decisions([])
+        windowed = decisions(
+            [Straggler(worker=0, start=0.0, duration=8.0, factor=7.0)])
+        # identical crash decisions everywhere...
+        assert [d[2] for d in plain] == [d[2] for d in windowed]
+        # ...and identical delays except worker 0 inside the window
+        for p, w in zip(plain, windowed):
+            if p[0] == 0 and w[1] == 7.0:
+                continue  # the scheduled window itself
+            assert p[1] == w[1]
+
+    def test_random_crashes_actually_fire(self):
+        faults = FaultInjector(crash_prob=0.2, crash_downtime=1.0, seed=0)
+        runtime = run_with_faults(faults, reads=100)
+        assert sum(w["crashes"] for w in runtime.worker_stats()) > 0
+        assert sum(w["restarts"] for w in runtime.worker_stats()) > 0
+
+    def test_random_pauses_defer_arrivals(self):
+        faults = FaultInjector(pause_prob=0.3, pause_duration=3.0, seed=1)
+        runtime = run_with_faults(faults, reads=60)
+        assert any(e["kind"] == "deferred" for e in runtime.timeline)
+        assert runtime.reads_done == 60
+
+    def test_inactive_injector_is_noop(self):
+        assert not FaultInjector().active
+        assert FaultInjector(crash_prob=0.1).active
+        assert FaultInjector(scheduled=[ShardPause(0.0, 1.0)]).active
+
+        plain = run_with_faults(None)
+        injected = run_with_faults(FaultInjector(seed=123))
+        assert plain.log.scalars["loss"] == injected.log.scalars["loss"]

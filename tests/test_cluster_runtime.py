@@ -1,0 +1,330 @@
+"""Cluster runtime: facade equivalence, delay models, staleness metrics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.cluster import (ClusterRuntime, ConstantDelay, ExponentialDelay,
+                           HeterogeneousDelay, ParetoDelay, TraceReplayDelay,
+                           UniformDelay, make_delay_model)
+from repro.optim import MomentumSGD, SGD
+from repro.sim import (ShardedParameterServer, event_timeline_summary,
+                       staleness_histogram, staleness_summary, train_async,
+                       train_sync)
+
+
+def make_problem(seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(32, 3))
+    y = (x[:, 0] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(3, 8, seed=0), nn.ReLU(),
+                          nn.Linear(8, 2, seed=1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+def flat(model):
+    return np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+
+
+class TestFacadeEquivalence:
+    """train_async over ClusterRuntime == the legacy queue protocol,
+    bit for bit.  The legacy loop (ShardedParameterServer.run) is kept
+    precisely so this property stays checkable."""
+
+    @pytest.mark.parametrize("workers", [1, 4, 8])
+    @pytest.mark.parametrize("num_shards", [1, 3])
+    def test_round_robin_bitwise(self, workers, num_shards):
+        m1, l1 = make_problem()
+        o1 = MomentumSGD(m1.parameters(), lr=0.1, momentum=0.5)
+        server = ShardedParameterServer(m1, o1, num_shards=num_shards,
+                                        staleness=workers - 1, seed=11)
+        log1 = server.run(l1, steps=40)
+
+        m2, l2 = make_problem()
+        o2 = MomentumSGD(m2.parameters(), lr=0.1, momentum=0.5)
+        log2 = train_async(m2, o2, l2, steps=40, workers=workers,
+                           num_shards=num_shards, seed=11)
+        assert log1.scalars["loss"] == log2.scalars["loss"]
+        np.testing.assert_array_equal(flat(m1), flat(m2))
+
+    def test_random_model_bitwise(self):
+        m1, l1 = make_problem()
+        o1 = MomentumSGD(m1.parameters(), lr=0.1, momentum=0.5)
+        server = ShardedParameterServer(m1, o1, num_shards=2, staleness=3,
+                                        seed=11)
+        log1 = server.run(l1, steps=40, staleness_model="random")
+
+        m2, l2 = make_problem()
+        o2 = MomentumSGD(m2.parameters(), lr=0.1, momentum=0.5)
+        log2 = train_async(m2, o2, l2, steps=40, workers=4, num_shards=2,
+                           seed=11, staleness_model="random")
+        assert log1.scalars["loss"] == log2.scalars["loss"]
+        np.testing.assert_array_equal(flat(m1), flat(m2))
+
+    def test_drain_final_bitwise(self):
+        m1, l1 = make_problem()
+        o1 = SGD(m1.parameters(), lr=0.05)
+        server = ShardedParameterServer(m1, o1, num_shards=2, staleness=3,
+                                        seed=11)
+        log1 = server.run(l1, steps=10, drain_final=True)
+
+        m2, l2 = make_problem()
+        o2 = SGD(m2.parameters(), lr=0.05)
+        log2 = train_async(m2, o2, l2, steps=10, workers=4, num_shards=2,
+                           seed=11, drain_final=True)
+        assert log1.scalars["drained"] == log2.scalars["drained"]
+        np.testing.assert_array_equal(flat(m1), flat(m2))
+
+    def test_steps_below_staleness_no_updates(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.5)
+        before = flat(model).copy()
+        log = train_async(model, opt, loss_fn, steps=3, workers=8)
+        assert len(log.series("loss")) == 3
+        np.testing.assert_array_equal(flat(model), before)
+
+    def test_workers_one_equals_sync(self):
+        m1, l1 = make_problem()
+        o1 = MomentumSGD(m1.parameters(), lr=0.1, momentum=0.5)
+        log_sync = train_sync(m1, o1, l1, steps=20)
+
+        m2, l2 = make_problem()
+        o2 = MomentumSGD(m2.parameters(), lr=0.1, momentum=0.5)
+        log_async = train_async(m2, o2, l2, steps=20, workers=1)
+        assert log_sync.scalars["loss"] == log_async.scalars["loss"]
+        np.testing.assert_array_equal(flat(m1), flat(m2))
+
+
+class TestTimedRuntime:
+    def test_constant_delay_staleness_is_tau(self):
+        """After warmup every committed update is exactly tau stale."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=4,
+                                 delay_model=ConstantDelay(1.0))
+        runtime.run(reads=40)
+        staleness = runtime.log.series("staleness")
+        # the first few commits are less stale (cold queue); the steady
+        # state is exactly tau = 3
+        assert set(staleness[6:]) == {3.0}
+
+    def test_nonconstant_delay_spreads_staleness(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=4,
+                                 delay_model=ParetoDelay(alpha=1.2,
+                                                         scale=0.5, seed=0))
+        runtime.run(reads=120)
+        staleness = runtime.log.series("staleness")
+        assert len(set(staleness.tolist())) > 1  # not a single fixed tau
+        assert staleness.max() >= 3
+
+    def test_update_count_and_in_flight(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=4)
+        runtime.run(reads=20)
+        assert runtime.reads_done == 20
+        assert runtime.updates_done + runtime.in_flight == 20
+        dropped = runtime.discard_in_flight()
+        assert dropped == runtime.discarded
+        assert runtime.in_flight == 0
+
+    def test_worker_stats_cover_all_reads(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=3)
+        runtime.run(reads=30)
+        stats = runtime.worker_stats()
+        assert sum(w["reads"] for w in stats) == 30
+        assert all(w["alive"] for w in stats)
+
+    def test_divergence_stops_run(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=1e9)
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=4)
+        log = runtime.run(reads=200)
+        assert "diverged" in log
+        assert runtime.diverged
+        assert len(log.series("loss")) < 200
+
+    def test_resume_run_with_larger_budget_matches_single_run(self):
+        """Budgets are totals: run(20) then run(40) == run(40)."""
+        m1, l1 = make_problem()
+        o1 = SGD(m1.parameters(), lr=0.05)
+        rt1 = ClusterRuntime(m1, o1, l1, workers=4,
+                             delay_model=UniformDelay(0.5, 1.5, seed=2))
+        rt1.run(reads=40)
+
+        m2, l2 = make_problem()
+        o2 = SGD(m2.parameters(), lr=0.05)
+        rt2 = ClusterRuntime(m2, o2, l2, workers=4,
+                             delay_model=UniformDelay(0.5, 1.5, seed=2))
+        rt2.run(reads=20)
+        rt2.run(reads=40)
+        assert rt1.log.scalars["loss"] == rt2.log.scalars["loss"]
+        np.testing.assert_array_equal(flat(m1), flat(m2))
+
+    def test_string_delay_spec_is_seeded(self):
+        """delay_model="pareto" + seed=k must be reproducible: the
+        resolved model draws from the runtime's seeded stream."""
+        def run(seed):
+            model, loss_fn = make_problem()
+            opt = SGD(model.parameters(), lr=0.05)
+            runtime = ClusterRuntime(model, opt, loss_fn, workers=4,
+                                     delay_model="pareto", seed=seed)
+            runtime.run(reads=60)
+            return runtime.log.scalars["loss"]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_resume_after_discard_redispatches_idle_workers(self):
+        """discard_in_flight leaves alive workers with nothing pending;
+        a later run with a larger budget must wake them."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=4)
+        runtime.run(reads=20)
+        runtime.discard_in_flight()
+        runtime.run(reads=40)
+        assert runtime.reads_done == 40
+        assert runtime.updates_done > 0
+
+    def test_validation(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            ClusterRuntime(model, opt, loss_fn, workers=0)
+        with pytest.raises(ValueError):
+            ClusterRuntime(model, opt, loss_fn, delivery="lifo")
+        with pytest.raises(ValueError):
+            ClusterRuntime(model, opt, loss_fn, queue_staleness=-1)
+        runtime = ClusterRuntime(model, opt, loss_fn)
+        with pytest.raises(ValueError):
+            runtime.run(reads=-1)
+
+
+class TestDelayModels:
+    def test_factory_names_and_validation(self):
+        assert isinstance(make_delay_model("constant"), ConstantDelay)
+        assert isinstance(make_delay_model("pareto", seed=0), ParetoDelay)
+        model = ConstantDelay(2.0)
+        assert make_delay_model(model) is model
+        with pytest.raises(ValueError):
+            make_delay_model("gaussian")
+        with pytest.raises(TypeError):
+            make_delay_model(3.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(0.0)
+        with pytest.raises(ValueError):
+            UniformDelay(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ExponentialDelay(mean=-1.0)
+        with pytest.raises(ValueError):
+            ParetoDelay(alpha=0.0)
+        with pytest.raises(ValueError):
+            HeterogeneousDelay([])
+
+    def test_samples_positive_and_seeded(self):
+        for cls in (UniformDelay, ExponentialDelay, ParetoDelay):
+            a = cls(seed=5)
+            b = cls(seed=5)
+            sa = [a.sample(0, 0.0) for _ in range(50)]
+            sb = [b.sample(0, 0.0) for _ in range(50)]
+            assert sa == sb
+            assert all(s > 0 for s in sa)
+
+    def test_heterogeneous_routes_by_worker(self):
+        model = HeterogeneousDelay([ConstantDelay(1.0), ConstantDelay(9.0)])
+        assert model.sample(0, 0.0) == 1.0
+        assert model.sample(1, 0.0) == 9.0
+        assert model.sample(2, 0.0) == 1.0  # cycles
+
+    def test_trace_replay_global_and_per_worker(self):
+        global_trace = TraceReplayDelay({"delays": [1.0, 2.0, 3.0]})
+        assert [global_trace.sample(7, 0.0) for _ in range(4)] == \
+            [1.0, 2.0, 3.0, 1.0]
+        per_worker = TraceReplayDelay(
+            {"workers": {"0": [1.0], "1": [5.0, 6.0]}})
+        assert per_worker.sample(0, 0.0) == 1.0
+        assert per_worker.sample(1, 0.0) == 5.0
+        assert per_worker.sample(1, 0.0) == 6.0
+        assert per_worker.sample(1, 0.0) == 5.0  # lane cycles
+        with pytest.raises(ValueError):
+            TraceReplayDelay({"delays": []})
+        with pytest.raises(ValueError):
+            TraceReplayDelay({"delays": [1.0, -1.0]})
+        with pytest.raises(ValueError):
+            TraceReplayDelay({"nope": []})
+
+    def test_trace_rejects_non_contiguous_worker_ids(self):
+        """A gap in recorded worker ids would silently shift lanes onto
+        the wrong workers, so it must fail loudly."""
+        with pytest.raises(ValueError):
+            TraceReplayDelay({"workers": {"0": [1.0], "2": [2.0]}})
+
+    def test_trace_record_and_load(self, tmp_path):
+        path = tmp_path / "trace.json"
+        TraceReplayDelay.record({0: [1.5, 2.5], 1: [0.5]}, path)
+        model = TraceReplayDelay.from_json(path)
+        assert model.sample(0, 0.0) == 1.5
+        assert model.sample(1, 0.0) == 0.5
+
+    def test_trace_driven_run(self):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        trace = TraceReplayDelay({"workers": {"0": [1.0], "1": [1.0, 4.0]}})
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=2,
+                                 delay_model=trace)
+        runtime.run(reads=30)
+        assert runtime.updates_done > 0
+        # worker 1 is slower on average, so it commits fewer updates
+        stats = runtime.worker_stats()
+        assert stats[0]["applied"] > stats[1]["applied"]
+
+
+class TestClusterMetrics:
+    def run_cluster(self, workers=4, reads=60):
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=workers,
+                                 delay_model=UniformDelay(0.5, 1.5, seed=4))
+        runtime.run(reads=reads)
+        return runtime
+
+    def test_staleness_histogram_by_worker(self):
+        runtime = self.run_cluster()
+        hist = staleness_histogram(runtime.log)
+        assert set(hist) <= set(range(4))
+        total = sum(c for worker in hist.values() for c in worker.values())
+        assert total == len(runtime.log.series("staleness"))
+
+    def test_staleness_summary(self):
+        runtime = self.run_cluster()
+        summary = staleness_summary(runtime.log)
+        assert summary["count"] > 0
+        assert 0 <= summary["mean"] <= summary["max"]
+        assert summary["median"] <= summary["p95"] <= summary["max"]
+
+    def test_staleness_summary_empty_log(self):
+        from repro.utils import TrainLog
+        summary = staleness_summary(TrainLog())
+        assert summary["count"] == 0
+        assert np.isnan(summary["mean"])
+
+    def test_event_timeline_summary(self):
+        runtime = self.run_cluster(reads=30)
+        summary = event_timeline_summary(runtime.timeline)
+        assert summary["events"] > 0
+        assert summary["by_kind"]["arrival"] >= runtime.updates_done
+        assert summary["span"][1] >= summary["span"][0]
+        per_worker = summary["arrivals_per_worker"]
+        assert sum(per_worker.values()) == summary["by_kind"]["arrival"]

@@ -1,15 +1,15 @@
 """Documentation coverage gate for the public optimizer and sim APIs.
 
 Fails whenever a public module, class, function, method, or property in
-``repro.optim`` or ``repro.sim`` lacks a docstring, so API docs cannot
-rot silently as those packages grow.
+``repro.optim``, ``repro.sim``, or ``repro.cluster`` lacks a docstring,
+so API docs cannot rot silently as those packages grow.
 """
 
 import importlib
 import inspect
 import pkgutil
 
-PACKAGES = ("repro.optim", "repro.sim")
+PACKAGES = ("repro.optim", "repro.sim", "repro.cluster")
 
 
 def iter_modules():

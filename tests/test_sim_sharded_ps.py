@@ -335,3 +335,117 @@ class TestPolicies:
 
         with pytest.raises(ValueError):
             ShardedParameterServer(model, opt, num_shards=2, policy=Broken())
+
+    def test_custom_policy_negative_shard_id_rejected(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+
+        class Negative:
+            name = "negative"
+
+            def assign(self, names, sizes, num_shards):
+                return [-1] * len(names)
+
+        with pytest.raises(ValueError):
+            ShardedParameterServer(model, opt, num_shards=2,
+                                   policy=Negative())
+
+    def test_custom_policy_wrong_length_rejected(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.1)
+
+        class Short:
+            name = "short"
+
+            def assign(self, names, sizes, num_shards):
+                return [0]
+
+        with pytest.raises(ValueError):
+            ShardedParameterServer(model, opt, num_shards=2, policy=Short())
+
+
+class TestServerStateDict:
+    def test_pending_queue_round_trip(self):
+        """Queued (step, slices) entries, counters, and RNG position all
+        survive state_dict/load_state_dict on a same-config server."""
+        from repro.utils import decode_state, encode_state
+
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ShardedParameterServer(model, opt, num_shards=2,
+                                        staleness=3, seed=7)
+        server.run(loss_fn, steps=10)
+        assert server.pending == 3
+        state = decode_state(encode_state(server.state_dict()))
+
+        model2, _ = make_problem()
+        opt2 = SGD(model2.parameters(), lr=0.05)
+        server2 = ShardedParameterServer(model2, opt2, num_shards=2,
+                                         staleness=3, seed=99)
+        server2.load_state_dict(state)
+        assert server2.pending == 3
+        assert server2.steps_pushed == server.steps_pushed
+        assert server2.steps_applied == server.steps_applied
+        for a, b in zip(server.shards, server2.shards):
+            assert (a.pushes, a.applied, a.pulls) == \
+                (b.pushes, b.applied, b.pulls)
+            for (step_a, slices_a), (step_b, slices_b) in zip(a.queue,
+                                                              b.queue):
+                assert step_a == step_b
+                for ga, gb in zip(slices_a, slices_b):
+                    np.testing.assert_array_equal(ga, gb)
+                    assert ga.dtype == gb.dtype
+        # restored RNG continues the original stream
+        np.testing.assert_array_equal(server.rng.random(4),
+                                      server2.rng.random(4))
+
+    def test_shard_count_mismatch_rejected(self):
+        model, _ = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        server = ShardedParameterServer(model, opt, num_shards=2)
+        state = server.state_dict()
+        other = ShardedParameterServer(model, opt, num_shards=3)
+        with pytest.raises(ValueError):
+            other.load_state_dict(state)
+
+
+class TestZeroSizeParameters:
+    """A zero-element tensor is legal everywhere: placement, push/pull
+    routing, and update application must all tolerate empty slices."""
+
+    @staticmethod
+    def make_params():
+        from repro.autograd import Tensor
+
+        full = Tensor(np.ones(4), requires_grad=True)
+        empty = Tensor(np.zeros(0), requires_grad=True)
+        return [full, empty]
+
+    def test_server_runs_with_zero_size_parameter(self):
+        params = self.make_params()
+        opt = SGD(params, lr=0.5)
+        server = ShardedParameterServer(None, opt, num_shards=2,
+                                        policy="round_robin")
+        assert server.shard_sizes() == [4, 0]
+        for step in range(3):
+            server.push([np.ones(4), np.zeros(0)], step=step)
+            server.apply_one()
+        assert server.steps_applied == 3
+        np.testing.assert_allclose(params[0].data, np.ones(4) - 1.5)
+        assert params[1].data.size == 0
+
+    def test_balanced_policy_places_zero_size_last(self):
+        names = ["a", "b", "empty"]
+        sizes = [10, 6, 0]
+        assignment = GreedyBalancedSharding().assign(names, sizes, 2)
+        assert len(assignment) == 3
+        assert all(0 <= s < 2 for s in assignment)
+
+    def test_zero_size_with_more_shards_than_params(self):
+        params = self.make_params()
+        opt = SGD(params, lr=0.5)
+        server = ShardedParameterServer(None, opt, num_shards=6,
+                                        policy="round_robin")
+        assert sum(1 for s in server.shards if s.empty) == 4
+        server.push([np.ones(4), np.zeros(0)])
+        assert server.apply_one(force=True) == 0
