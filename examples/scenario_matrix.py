@@ -1,0 +1,103 @@
+"""Tour of repro.xp: declare a matrix, run it in parallel, hit the cache.
+
+The paper's claims are matrix results — optimizer x delay model — so
+this example sweeps exactly that grid on the toy classifier:
+
+1. declare a :class:`repro.xp.Matrix` (base spec + override axes) and
+   save it as the JSON file ``python -m repro.xp`` consumes;
+2. execute the expanded scenarios across a process pool with the
+   content-addressed result cache on;
+3. run the *same* matrix again and watch every scenario come back from
+   the cache with zero recomputation, bit-identical;
+4. diff the two passes with the :class:`~repro.xp.BaselineComparator`
+   machinery that CI uses to gate perf regressions.
+
+Run with ``--smoke`` for a quarter-size pass (CI's matrix-smoke gate).
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.bench import BenchReporter
+from repro.xp import (BaselineComparator, Matrix, ParallelRunner,
+                      ResultCache, ScenarioSpec, save_scenarios)
+
+SMOKE = "--smoke" in sys.argv
+READS = 60 if SMOKE else 240
+
+MATRIX = Matrix(
+    base=ScenarioSpec(name="tour", workload="toy_classifier",
+                      workers=4, num_shards=2, reads=READS, seed=0,
+                      smooth=15),
+    axes={
+        "delay": {
+            "constant": {"delay": {"kind": "constant", "delay": 1.0}},
+            "pareto": {"delay": {"kind": "pareto", "alpha": 1.5,
+                                 "scale": 0.5, "seed": 12}},
+            "trace": {"delay": {"kind": "trace", "trace": {
+                "delays": [1.0, 1.0, 4.0, 1.0]}}},
+        },
+        "optimizer": {
+            "fixed_momentum": {
+                "optimizer": "momentum_sgd",
+                "optimizer_params": {"lr": 0.05, "momentum": 0.9,
+                                     "fused": True}},
+            "closed_loop": {
+                "optimizer": "closed_loop_yellowfin",
+                "optimizer_params": {"staleness": 3, "gamma": 0.01,
+                                     "window": 5, "beta": 0.99,
+                                     "fused": True}},
+        },
+    })
+
+
+def show(title, results, runner):
+    print(f"\n=== {title} ===")
+    width = max(len(r.name) for r in results)
+    for r in results:
+        print(f"  {r.name.ljust(width)}  final_loss={r.metrics['final_loss']:.4f}"
+              f"  staleness_max={r.metrics['staleness_max']:.0f}"
+              f"  {'cached' if r.cached else f'{r.wall_s:.2f}s'}")
+    print(f"  -> {runner.hits} cached, {runner.misses} computed")
+
+
+def main():
+    work = Path(tempfile.mkdtemp(prefix="xp_tour_"))
+    matrix_file = work / "scenario_matrix.json"
+    save_scenarios(MATRIX, matrix_file)
+    print(f"matrix file: {matrix_file}  "
+          f"({len(MATRIX.expand())} scenarios; also consumable via "
+          f"'python -m repro.xp run {matrix_file}')")
+
+    cache = ResultCache(work / "cache")
+    runner = ParallelRunner(processes=4, cache=cache)
+    first = runner.run(MATRIX.expand())
+    show("first pass (cold cache, 4 processes)", first, runner)
+
+    second = runner.run(MATRIX.expand())
+    show("second pass (warm cache)", second, runner)
+    assert runner.misses == 0, "warm pass recomputed something"
+    assert [a.identity() for a in first] == \
+        [b.identity() for b in second], "cache changed a record"
+    print("  cache round trip is bit-identical")
+
+    # the CI perf gate in one breath: record both passes as BENCH
+    # files and diff them (identical runs always pass)
+    base_dir, fresh_dir = work / "baseline", work / "fresh"
+    for directory, results in ((base_dir, first), (fresh_dir, second)):
+        directory.mkdir()
+        reporter = BenchReporter(out_dir=str(directory))
+        reporter.record("tour", {r.name.split("tour/")[1] + "_final":
+                                 r.metrics["final_loss"]
+                                 for r in results},
+                        {"reads": READS}, seed=0)
+        reporter.write("tour")
+    report = BaselineComparator().compare_dirs(base_dir, fresh_dir)
+    print(f"\nbaseline diff: {report['status']} "
+          f"({report['summary']['compared']} record(s) compared)")
+    assert report["status"] == "pass"
+
+
+if __name__ == "__main__":
+    main()

@@ -18,14 +18,25 @@ from typing import Dict, Optional
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 
+# Scale knob the benchmark suite honors; recorded with every record so
+# baseline diffs can tell a scaled-down smoke run from a full run.
+BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
 def environment_info() -> dict:
-    """Software/hardware fingerprint attached to every record."""
+    """Software/hardware fingerprint attached to every record.
+
+    Besides the interpreter/platform identity this includes the bench
+    scale (``$REPRO_BENCH_SCALE``), so two records taken at different
+    scales can never be silently compared as like-for-like.
+    """
     import numpy
     return {
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "bench_scale": float(os.environ.get(BENCH_SCALE_ENV, "1.0")),
     }
 
 
@@ -80,10 +91,27 @@ class BenchReporter:
         self.records: Dict[str, BenchRecord] = {}
 
     def record(self, name: str, metrics: Dict[str, float],
-               params: Optional[Dict[str, object]] = None) -> BenchRecord:
-        """Create (or replace) the record for ``name``."""
+               params: Optional[Dict[str, object]] = None,
+               seed: Optional[int] = None) -> BenchRecord:
+        """Create (or replace) the record for ``name``.
+
+        Parameters
+        ----------
+        name : str
+            Record key (file becomes ``BENCH_<name>.json``).
+        metrics : dict
+            Measured quantities.
+        params : dict, optional
+            The knobs the measurement was taken under.
+        seed : int, optional
+            Base seed of the measured run; stamped into the record's
+            environment so baseline diffs can explain drift that is
+            really a seed change.
+        """
         rec = BenchRecord(name=name, metrics=dict(metrics),
                           params=dict(params or {}))
+        if seed is not None:
+            rec.env["seed"] = int(seed)
         self.records[name] = rec
         return rec
 

@@ -1,0 +1,58 @@
+"""Experiment orchestration: scenario matrices, parallel runs, caching.
+
+The paper's headline claims are matrix results — optimizer x delay
+model x worker count x fault profile — and this package owns the sweep
+so individual figure scripts do not have to:
+
+- :mod:`repro.xp.spec` — declarative :class:`ScenarioSpec` /
+  :class:`Matrix` with canonical JSON round-trip and content hashing.
+- :mod:`repro.xp.factories` / :mod:`repro.xp.workloads` — registries
+  mapping spec fragments (names + params) to live optimizers, delay
+  models, fault injectors, and workloads.
+- :mod:`repro.xp.runner` — :func:`run_scenario` (a pure function of
+  the spec) and :class:`ParallelRunner` (process-pool execution with
+  bit-identical-to-serial records).
+- :mod:`repro.xp.cache` — :class:`ResultCache`, a content-addressed
+  store keyed by spec hash, so unchanged scenarios are never recomputed.
+- :mod:`repro.xp.compare` — :class:`BaselineComparator`, the
+  perf-regression gate diffing fresh ``BENCH_*.json`` records against
+  committed baselines with direction-aware tolerances.
+- :mod:`repro.xp.cli` — ``python -m repro.xp`` with ``run`` / ``list``
+  / ``diff`` subcommands.
+
+Typical use::
+
+    from repro.xp import Matrix, ParallelRunner, ResultCache, ScenarioSpec
+
+    base = ScenarioSpec(name="sweep", workers=4, reads=240, seed=0)
+    matrix = Matrix(base, axes={
+        "delay": {"constant": {"delay": {"kind": "constant", "delay": 1.0}},
+                  "pareto": {"delay": {"kind": "pareto", "seed": 12}}},
+        "opt": {"m09": {"optimizer_params": {"lr": 0.05, "momentum": 0.9}}},
+    })
+    runner = ParallelRunner(cache=ResultCache())
+    results = runner.run(matrix.expand())   # all cores; reruns hit cache
+"""
+
+from repro.xp.spec import (Matrix, ScenarioSpec, XP_FORMAT_VERSION,
+                           load_scenarios, save_scenarios)
+from repro.xp.factories import (build_delay_model, build_fault_injector,
+                                build_optimizer, optimizer_names,
+                                register_optimizer)
+from repro.xp.workloads import (build_workload, register_workload,
+                                workload_names)
+from repro.xp.runner import ParallelRunner, ScenarioResult, run_scenario
+from repro.xp.cache import ResultCache
+from repro.xp.compare import (BaselineComparator, DEFAULT_RULES,
+                              MetricRule, write_report)
+
+__all__ = [
+    "ScenarioSpec", "Matrix", "XP_FORMAT_VERSION",
+    "load_scenarios", "save_scenarios",
+    "build_delay_model", "build_fault_injector", "build_optimizer",
+    "optimizer_names", "register_optimizer",
+    "build_workload", "register_workload", "workload_names",
+    "run_scenario", "ParallelRunner", "ScenarioResult",
+    "ResultCache",
+    "BaselineComparator", "MetricRule", "DEFAULT_RULES", "write_report",
+]

@@ -1,0 +1,142 @@
+"""Content-addressed result store for scenario runs.
+
+Every :class:`~repro.xp.spec.ScenarioSpec` hashes its canonical
+serialization; this store files the finished
+:class:`~repro.xp.runner.ScenarioResult` under that hash.  Re-running an
+unchanged scenario — locally or in CI — is a file read, and *any* change
+to the spec (a seed, a delay parameter, the format version) changes the
+hash and misses cleanly.  Entries are self-describing: each file carries
+the full spec next to the result, so a cache directory doubles as a
+queryable experiment log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.utils.serialization import decode_state, encode_state
+from repro.xp.spec import ScenarioSpec
+
+PathLike = Union[str, Path]
+
+# Default cache location override (else ``.xp_cache`` under the CWD).
+CACHE_DIR_ENV = "REPRO_XP_CACHE"
+
+
+class ResultCache:
+    """Filesystem store mapping spec content hashes to result records.
+
+    Parameters
+    ----------
+    root : str or Path, optional
+        Cache directory.  Defaults to ``$REPRO_XP_CACHE`` when set, else
+        ``.xp_cache`` in the current working directory.  Created lazily
+        on first write.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = Path(root or os.environ.get(CACHE_DIR_ENV)
+                         or ".xp_cache")
+
+    def path_for(self, spec: ScenarioSpec,
+                 key: Optional[str] = None) -> Path:
+        """The file a given spec's result lives in (existing or not).
+
+        ``key`` is the spec's precomputed content hash; hashing
+        re-serializes the whole spec, so batch callers compute it once
+        and thread it through.
+        """
+        return self.root / f"{key or spec.content_hash()}.json"
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def get(self, spec: ScenarioSpec, key: Optional[str] = None):
+        """The cached result for ``spec``, or ``None`` on a miss.
+
+        A hit is returned with ``cached=True``.  Entries that fail to
+        parse or whose recorded hash disagrees with the file name are
+        treated as misses (and left for a subsequent ``put`` to
+        overwrite) rather than crashing the sweep.  ``key`` is the
+        spec's precomputed content hash, for batch callers.
+
+        Returns
+        -------
+        ScenarioResult or None
+        """
+        from repro.xp.runner import ScenarioResult
+        key = key or spec.content_hash()
+        path = self.path_for(spec, key=key)
+        if not path.is_file():
+            return None
+        try:
+            payload = decode_state(json.loads(path.read_text()))
+            result = ScenarioResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return None
+        if result.spec_hash != key:
+            return None
+        result.cached = True
+        return result
+
+    def put(self, spec: ScenarioSpec, result,
+            key: Optional[str] = None) -> Path:
+        """File ``result`` under ``spec``'s content hash.
+
+        The write is atomic (temp file + rename) so a crashed run never
+        leaves a truncated entry that would poison later reads.
+        ``key`` is the spec's precomputed content hash, for batch
+        callers.
+
+        Returns
+        -------
+        Path
+            The entry's location.
+        """
+        key = key or spec.content_hash()
+        if result.spec_hash != key:
+            raise ValueError(
+                f"result hash {result.spec_hash[:12]} does not match "
+                f"spec hash {key[:12]} (scenario {spec.name!r})")
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = encode_state({"spec": spec.as_dict(),
+                                "result": result.as_dict()})
+        path = self.path_for(spec, key=key)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True,
+                          allow_nan=False)
+                fh.write("\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    def keys(self) -> List[str]:
+        """Sorted content hashes currently stored."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,348 @@
+"""Perf-regression gating: fresh records vs committed BENCH baselines.
+
+:class:`BaselineComparator` diffs freshly-measured
+``BENCH_*.json`` records (see :mod:`repro.bench.report`) against the
+baselines committed in the repository and produces a machine-readable
+report.  Three ideas keep the gate honest:
+
+- **Direction-aware tolerances.**  Each metric matches a
+  :class:`MetricRule` by ``fnmatch`` pattern; the rule says which
+  direction is a regression (losses down = good, speedups up = good)
+  and how much relative drift is tolerated (20% by default, per the CI
+  contract).  Unmatched metrics are reported but never gate.
+- **Environment awareness.**  Records carry an interpreter/platform
+  fingerprint (and, since this PR, the bench scale).  Timing-derived
+  metrics are only gated when the fingerprints match — a laptop
+  baseline cannot fail CI hardware on wall time — while deterministic
+  metrics (losses, staleness) gate everywhere.
+- **Like-for-like params.**  If the knobs recorded in ``params``
+  disagree (different step counts, worker counts, scale), the record
+  pair is *incomparable* and the report says so, instead of silently
+  comparing unlike runs.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.bench.report import load_record
+
+PathLike = Union[str, Path]
+
+#: Relative drift allowed by default (the CI contract: >20% fails).
+DEFAULT_REL_TOL = 0.2
+
+
+@dataclass(frozen=True)
+class MetricRule:
+    """How one family of metrics is judged.
+
+    Attributes
+    ----------
+    pattern : str
+        ``fnmatch`` pattern tried against the metric name (first
+        matching rule wins).
+    direction : str
+        ``"lower"`` (increase = regression), ``"higher"`` (decrease =
+        regression), ``"two_sided"`` (drift either way = regression),
+        or ``"ignore"`` (report only, never gate).
+    rel_tol : float
+        Relative tolerance before drift counts as a regression.
+    timing : bool
+        Whether the metric derives from wall-clock measurement; timing
+        metrics only gate when baseline and fresh environments match.
+    """
+
+    pattern: str
+    direction: str = "two_sided"
+    rel_tol: float = DEFAULT_REL_TOL
+    timing: bool = False
+
+
+#: First match wins; the catch-all keeps unknown metrics informational.
+#: Speedup ratios are dimensionless (fused vs per-tensor on the *same*
+#: machine), so they gate across environments — with a wider band than
+#: raw timings, since the ratio still shifts somewhat with hardware.
+DEFAULT_RULES = (
+    MetricRule("*speedup*", "higher", 0.35),
+    MetricRule("*wall*", "lower", DEFAULT_REL_TOL, timing=True),
+    MetricRule("*time*", "lower", DEFAULT_REL_TOL, timing=True),
+    MetricRule("*_s", "lower", DEFAULT_REL_TOL, timing=True),
+    MetricRule("*loss*", "lower", DEFAULT_REL_TOL),
+    MetricRule("*final*", "lower", DEFAULT_REL_TOL),
+    MetricRule("*worst_case*", "lower", DEFAULT_REL_TOL),
+    MetricRule("*staleness*", "two_sided", DEFAULT_REL_TOL),
+    MetricRule("diverged", "lower", 0.0),
+    MetricRule("*", "ignore"),
+)
+
+
+class BaselineComparator:
+    """Diff fresh perf records against committed baselines.
+
+    Parameters
+    ----------
+    rules : sequence of MetricRule, optional
+        Ordered rule list (first ``fnmatch`` hit wins); defaults to
+        :data:`DEFAULT_RULES`.
+    rel_tol : float, optional
+        Overrides every rule's tolerance when given (the CLI's
+        ``--tol`` knob).
+    gate_timings : str or bool, optional
+        ``"auto"`` (default) gates timing metrics only when the two
+        records' environment fingerprints match; ``True`` / ``False``
+        force gating on or off.
+    """
+
+    def __init__(self, rules: Optional[Sequence[MetricRule]] = None,
+                 rel_tol: Optional[float] = None,
+                 gate_timings: Union[str, bool] = "auto"):
+        if gate_timings not in ("auto", True, False):
+            raise ValueError(
+                f'gate_timings must be "auto", True, or False, '
+                f"got {gate_timings!r}")
+        self.rules: List[MetricRule] = list(rules or DEFAULT_RULES)
+        if rel_tol is not None:
+            if rel_tol < 0:
+                raise ValueError(f"rel_tol must be >= 0, got {rel_tol}")
+            self.rules = [MetricRule(r.pattern, r.direction, rel_tol,
+                                     r.timing) for r in self.rules]
+        self.gate_timings = gate_timings
+
+    def rule_for(self, metric: str) -> MetricRule:
+        """The first rule whose pattern matches ``metric``."""
+        for rule in self.rules:
+            if fnmatch.fnmatch(metric, rule.pattern):
+                return rule
+        return MetricRule("*", "ignore")
+
+    # ------------------------------------------------------------- #
+    # record-level comparison
+    # ------------------------------------------------------------- #
+    def compare_records(self, baseline: dict, fresh: dict) -> dict:
+        """Compare one baseline/fresh record pair.
+
+        Parameters
+        ----------
+        baseline, fresh : dict
+            ``BENCH_*.json`` payloads (``name`` / ``metrics`` /
+            ``params`` / ``env``).
+
+        Returns
+        -------
+        dict
+            ``{"name", "status", "env_match", "env_drift",
+            "params_drift", "comparisons"}`` where ``status`` is
+            ``"pass"``, ``"fail"``, or ``"incomparable"`` and each
+            comparison entry carries the metric, both values, the
+            relative change, the governing rule, and a per-metric
+            status (``ok`` / ``improved`` / ``regression`` / ``info`` /
+            ``missing`` / ``new``).
+        """
+        name = baseline.get("name") or fresh.get("name") or "?"
+        env_drift = _dict_drift(baseline.get("env", {}),
+                                fresh.get("env", {}))
+        env_match = not env_drift
+        params_drift = _dict_drift(baseline.get("params", {}),
+                                   fresh.get("params", {}))
+        # params present in both but different make the pair unlike
+        # runs; keys on one side only are recorded as drift but do not
+        # block comparison (older records lack newer metadata keys)
+        conflicting = [d for d in params_drift if d["kind"] == "changed"]
+        report = {"name": name, "env_match": env_match,
+                  "env_drift": env_drift, "params_drift": params_drift,
+                  "comparisons": []}
+        if conflicting:
+            report["status"] = "incomparable"
+            report["reason"] = (
+                "params differ: "
+                + ", ".join(f"{d['key']}: {d['baseline']!r} -> "
+                            f"{d['fresh']!r}" for d in conflicting))
+            return report
+
+        timings_gated = (self.gate_timings is True
+                         or (self.gate_timings == "auto" and env_match))
+        base_metrics = baseline.get("metrics", {})
+        fresh_metrics = fresh.get("metrics", {})
+        failed = False
+        for metric in sorted(base_metrics):
+            rule = self.rule_for(metric)
+            gated = rule.direction != "ignore" and (
+                not rule.timing or timings_gated)
+            entry = {"metric": metric, "baseline": base_metrics[metric],
+                     "direction": rule.direction, "rel_tol": rule.rel_tol,
+                     "gated": gated}
+            if metric not in fresh_metrics:
+                entry["status"] = "missing"
+                failed = failed or gated
+            else:
+                value = fresh_metrics[metric]
+                entry["fresh"] = value
+                entry.update(_judge(base_metrics[metric], value, rule,
+                                    gated))
+                failed = failed or entry["status"] == "regression"
+            report["comparisons"].append(entry)
+        for metric in sorted(set(fresh_metrics) - set(base_metrics)):
+            report["comparisons"].append(
+                {"metric": metric, "fresh": fresh_metrics[metric],
+                 "status": "new", "gated": False})
+        report["status"] = "fail" if failed else "pass"
+        return report
+
+    # ------------------------------------------------------------- #
+    # directory-level comparison
+    # ------------------------------------------------------------- #
+    def compare_dirs(self, baseline_dir: PathLike, fresh_dir: PathLike,
+                     names: Optional[Sequence[str]] = None) -> dict:
+        """Compare every paired ``BENCH_*.json`` across two directories.
+
+        Parameters
+        ----------
+        baseline_dir, fresh_dir : str or Path
+            Directories holding the committed and the fresh records.
+        names : sequence of str, optional
+            Restrict to these record names.  Named records missing on
+            either side — or incomparable because their params drifted
+            — fail the gate; without ``names``, only records present on
+            *both* sides are compared and incomparable pairs are
+            reported without failing.
+
+        Returns
+        -------
+        dict
+            ``{"status": "pass"|"fail", "records": [...],
+            "failures": [...], "summary": {...}}`` — directly
+            serializable as the CI artifact.
+        """
+        baseline_dir, fresh_dir = Path(baseline_dir), Path(fresh_dir)
+        base_names = _record_names(baseline_dir)
+        fresh_names = _record_names(fresh_dir)
+        if names is not None:
+            selected = list(names)
+        else:
+            selected = sorted(base_names & fresh_names)
+        records, failures = [], []
+        for name in selected:
+            missing = []
+            if name not in base_names:
+                missing.append(f"no baseline BENCH_{name}.json "
+                               f"in {baseline_dir}")
+            if name not in fresh_names:
+                missing.append(f"no fresh BENCH_{name}.json "
+                               f"in {fresh_dir}")
+            if missing:
+                records.append({"name": name, "status": "fail",
+                                "reason": "; ".join(missing),
+                                "comparisons": []})
+                failures.extend(missing)
+                continue
+            pair = self.compare_records(
+                load_record(str(baseline_dir / f"BENCH_{name}.json"))
+                .as_dict(),
+                load_record(str(fresh_dir / f"BENCH_{name}.json"))
+                .as_dict())
+            records.append(pair)
+            if pair["status"] == "fail":
+                failures.extend(
+                    f"{name}: {c['metric']} "
+                    f"{c.get('baseline')!r} -> {c.get('fresh', 'missing')!r}"
+                    for c in pair["comparisons"]
+                    if c["status"] in ("regression", "missing")
+                    and c.get("gated"))
+            elif pair["status"] == "incomparable" and names is not None:
+                # an explicitly gated record that can no longer be
+                # compared (params drifted without a baseline regen)
+                # must fail loudly, or the gate goes silently green
+                failures.append(f"{name}: incomparable — "
+                                f"{pair.get('reason', 'params differ')}")
+        statuses = [r["status"] for r in records]
+        return {
+            "status": "fail" if failures else "pass",
+            "records": records,
+            "failures": failures,
+            "summary": {
+                "compared": len(records),
+                "passed": statuses.count("pass"),
+                "failed": statuses.count("fail"),
+                "incomparable": statuses.count("incomparable"),
+            },
+        }
+
+
+def write_report(report: dict, path: PathLike) -> None:
+    """Persist a comparison report as indented JSON (the CI artifact)."""
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
+
+
+# ----------------------------------------------------------------- #
+# helpers
+# ----------------------------------------------------------------- #
+def _record_names(directory: Path) -> set:
+    return {p.name[len("BENCH_"):-len(".json")]
+            for p in directory.glob("BENCH_*.json")}
+
+
+def _dict_drift(baseline: dict, fresh: dict) -> List[dict]:
+    """Describe how two metadata dicts differ, key by key."""
+    drift = []
+    for key in sorted(set(baseline) | set(fresh)):
+        if key in baseline and key not in fresh:
+            drift.append({"key": key, "kind": "baseline_only",
+                          "baseline": baseline[key]})
+        elif key not in baseline:
+            drift.append({"key": key, "kind": "fresh_only",
+                          "fresh": fresh[key]})
+        elif baseline[key] != fresh[key]:
+            drift.append({"key": key, "kind": "changed",
+                          "baseline": baseline[key], "fresh": fresh[key]})
+    return drift
+
+
+def _judge(base: float, fresh: float, rule: MetricRule,
+           gated: bool) -> dict:
+    """Classify one metric's drift under its rule."""
+    try:
+        base_f, fresh_f = float(base), float(fresh)
+    except (TypeError, ValueError):
+        status = "ok" if base == fresh else (
+            "regression" if gated else "info")
+        return {"status": status}
+    if math.isnan(base_f) or math.isnan(fresh_f):
+        # NaN compares False against everything, which would slip the
+        # exact catastrophic case (a metric blowing up to nan) through
+        # the tolerance checks below
+        if math.isnan(base_f) and math.isnan(fresh_f):
+            return {"status": "ok" if gated else "info"}
+        return {"status": "regression" if gated else "info"}
+    if base_f == fresh_f:
+        return {"rel_change": 0.0, "status": "ok" if gated else "info"}
+    if base_f == 0.0:
+        # no meaningful relative change; any drift from an exact-zero
+        # baseline (e.g. a "diverged" flag flipping) trips the gate
+        return {"rel_change": float("inf"),
+                "status": "regression" if gated else "info"}
+    rel = (fresh_f - base_f) / abs(base_f)
+    if rule.direction == "lower":
+        worse = rel > rule.rel_tol
+        better = rel < -rule.rel_tol
+    elif rule.direction == "higher":
+        worse = rel < -rule.rel_tol
+        better = rel > rule.rel_tol
+    else:  # two_sided / ignore
+        worse = abs(rel) > rule.rel_tol
+        better = False
+    if not gated:
+        status = "info"
+    elif worse:
+        status = "regression"
+    elif better:
+        status = "improved"
+    else:
+        status = "ok"
+    return {"rel_change": rel, "status": status}

@@ -1,0 +1,196 @@
+"""Builders turning declarative spec fragments into runtime objects.
+
+:class:`~repro.xp.spec.ScenarioSpec` stores delay models, fault plans,
+and optimizers as plain JSON-able dicts/names so specs can be hashed,
+cached, and shipped across process boundaries.  This module owns the
+mapping from those fragments to live objects:
+
+- :func:`build_delay_model` — ``{"kind": "pareto", ...}`` to a
+  :class:`~repro.cluster.delays.DelayModel` instance.
+- :func:`build_fault_injector` — crash/straggler/pause rates plus a
+  scripted fault list to a :class:`~repro.cluster.faults.FaultInjector`.
+- :func:`build_optimizer` / :func:`register_optimizer` — optimizer
+  registry keyed by short names (``"momentum_sgd"``,
+  ``"closed_loop_yellowfin"``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cluster.delays import (ConstantDelay, DelayModel,
+                                  ExponentialDelay, HeterogeneousDelay,
+                                  ParetoDelay, TraceReplayDelay,
+                                  UniformDelay)
+from repro.cluster.faults import (FaultInjector, ShardPause, Straggler,
+                                  WorkerCrash)
+from repro.core import ClosedLoopYellowFin, YellowFin
+from repro.optim import SGD, AdaGrad, Adam, MomentumSGD, Optimizer, RMSProp
+
+# ----------------------------------------------------------------- #
+# delay models
+# ----------------------------------------------------------------- #
+_SIMPLE_DELAYS = {
+    "constant": ConstantDelay,
+    "uniform": UniformDelay,
+    "exponential": ExponentialDelay,
+    "pareto": ParetoDelay,
+}
+
+
+def build_delay_model(config: dict) -> DelayModel:
+    """Instantiate a delay model from its declarative config.
+
+    Parameters
+    ----------
+    config : dict
+        ``{"kind": <name>, **params}``.  Kinds: ``"constant"``,
+        ``"uniform"``, ``"exponential"``, ``"pareto"`` (params forwarded
+        to the class constructor, including ``seed``);
+        ``"heterogeneous"`` with ``"models": [<config>, ...]``;
+        ``"trace"`` with ``"trace": {...}`` (the
+        :class:`~repro.cluster.delays.TraceReplayDelay` payload).
+
+    Returns
+    -------
+    DelayModel
+    """
+    if not isinstance(config, dict) or "kind" not in config:
+        raise ValueError(f'delay config needs a "kind" key: {config!r}')
+    params = {k: v for k, v in config.items() if k != "kind"}
+    kind = config["kind"]
+    if kind in _SIMPLE_DELAYS:
+        return _SIMPLE_DELAYS[kind](**params)
+    if kind == "heterogeneous":
+        models = params.pop("models", None)
+        if not models:
+            raise ValueError(
+                'heterogeneous delay config needs a non-empty "models" list')
+        if params:
+            raise ValueError(
+                f"unknown heterogeneous delay keys: {sorted(params)}")
+        return HeterogeneousDelay([build_delay_model(m) for m in models])
+    if kind == "trace":
+        trace = params.pop("trace", None)
+        if trace is None:
+            raise ValueError('trace delay config needs a "trace" payload')
+        if params:
+            raise ValueError(f"unknown trace delay keys: {sorted(params)}")
+        return TraceReplayDelay(trace)
+    raise ValueError(
+        f"unknown delay kind {kind!r}; choose from "
+        f"{sorted(_SIMPLE_DELAYS) + ['heterogeneous', 'trace']}")
+
+
+# ----------------------------------------------------------------- #
+# fault injectors
+# ----------------------------------------------------------------- #
+_SCHEDULED_FAULTS = {
+    "crash": WorkerCrash,
+    "straggler": Straggler,
+    "pause": ShardPause,
+}
+
+
+def build_fault_injector(config: Optional[dict]) -> Optional[FaultInjector]:
+    """Instantiate a fault injector from its declarative config.
+
+    Parameters
+    ----------
+    config : dict or None
+        Keyword arguments of :class:`~repro.cluster.faults.FaultInjector`
+        (rates, downtimes, ``seed``) plus an optional ``"scheduled"``
+        list of ``{"kind": "crash"|"straggler"|"pause", **params}``
+        entries.  ``None`` or ``{}`` means no injector (the runtime's
+        default no-fault path).
+
+    Returns
+    -------
+    FaultInjector or None
+    """
+    if not config:
+        return None
+    params = dict(config)
+    scheduled = []
+    for entry in params.pop("scheduled", []):
+        if not isinstance(entry, dict) or "kind" not in entry:
+            raise ValueError(
+                f'scheduled fault needs a "kind" key: {entry!r}')
+        kind = entry["kind"]
+        if kind not in _SCHEDULED_FAULTS:
+            raise ValueError(
+                f"unknown scheduled fault kind {kind!r}; choose from "
+                f"{sorted(_SCHEDULED_FAULTS)}")
+        kwargs = {k: v for k, v in entry.items() if k != "kind"}
+        scheduled.append(_SCHEDULED_FAULTS[kind](**kwargs))
+    return FaultInjector(scheduled=scheduled, **params)
+
+
+# ----------------------------------------------------------------- #
+# optimizers
+# ----------------------------------------------------------------- #
+OptimizerFactory = Callable[..., Optimizer]
+
+
+def _sgd(params, lr: float = 0.05, **kwargs) -> SGD:
+    """Vanilla SGD with a default ``lr`` so bare specs are runnable."""
+    return SGD(params, lr=lr, **kwargs)
+
+
+def _momentum_sgd(params, lr: float = 0.05, **kwargs) -> MomentumSGD:
+    """Momentum SGD with a default ``lr`` so bare specs are runnable."""
+    return MomentumSGD(params, lr=lr, **kwargs)
+
+
+_OPTIMIZERS: Dict[str, OptimizerFactory] = {
+    "sgd": _sgd,
+    "momentum_sgd": _momentum_sgd,
+    "adam": Adam,
+    "adagrad": AdaGrad,
+    "rmsprop": RMSProp,
+    "yellowfin": YellowFin,
+    "closed_loop_yellowfin": ClosedLoopYellowFin,
+}
+
+
+def register_optimizer(name: str, factory: OptimizerFactory) -> None:
+    """Add (or replace) an optimizer under ``name``.
+
+    Parameters
+    ----------
+    name : str
+        Registry key used by ``ScenarioSpec.optimizer``.
+    factory : callable
+        ``factory(params, **optimizer_params) -> Optimizer``.
+    """
+    _OPTIMIZERS[str(name)] = factory
+
+
+def optimizer_names() -> list:
+    """Sorted registry keys (for error messages and CLI listings)."""
+    return sorted(_OPTIMIZERS)
+
+
+def build_optimizer(name: str, params, **kwargs) -> Optimizer:
+    """Instantiate the optimizer registered under ``name``.
+
+    Parameters
+    ----------
+    name : str
+        Registry key.
+    params : list of Tensor
+        Model parameters to optimize.
+    **kwargs
+        The spec's ``optimizer_params``.
+
+    Returns
+    -------
+    Optimizer
+    """
+    try:
+        factory = _OPTIMIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; choose from {optimizer_names()} "
+            "or register_optimizer() your own") from None
+    return factory(params, **kwargs)

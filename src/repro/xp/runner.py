@@ -1,0 +1,273 @@
+"""Scenario execution: one spec to one result, serially or in parallel.
+
+:func:`run_scenario` is a *pure function* of its
+:class:`~repro.xp.spec.ScenarioSpec`: every stochastic component is
+seeded from the spec, so the same spec yields bit-identical metrics and
+series no matter where or when it runs.  That purity is what makes the
+rest of the subsystem sound — :class:`ParallelRunner` can farm scenarios
+out to a process pool and still produce records identical to the serial
+path, and the content-addressed :class:`~repro.xp.cache.ResultCache` can
+substitute a stored record for a recomputation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.report import environment_info
+from repro.cluster.runtime import ClusterRuntime
+from repro.sim.metrics import staleness_summary
+from repro.xp.cache import ResultCache
+from repro.xp.factories import (build_delay_model, build_fault_injector,
+                                build_optimizer)
+from repro.xp.spec import ScenarioSpec
+from repro.xp.workloads import build_workload
+
+# Caps the default process-pool size (useful on shared machines); an
+# explicit ``processes=`` argument always wins.
+XP_JOBS_ENV = "REPRO_XP_JOBS"
+
+
+@dataclass
+class ScenarioResult:
+    """The outcome of one scenario run.
+
+    Attributes
+    ----------
+    name : str
+        The spec's scenario name.
+    spec_hash : str
+        Content hash of the spec that produced this result (the cache
+        key, and the identity check on cache reads).
+    metrics : dict
+        Scalar summary metrics (losses, staleness statistics, budgets).
+    series : dict
+        The log series the spec asked to keep, as plain float lists.
+    env : dict
+        Interpreter/platform fingerprint plus the resolved seed.
+    wall_s : float
+        Wall-clock seconds the simulation took (informational — not
+        part of the deterministic identity).
+    cached : bool
+        Whether this record came from the result cache.
+    """
+
+    name: str
+    spec_hash: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    env: Dict[str, object] = field(default_factory=dict)
+    wall_s: float = 0.0
+    cached: bool = False
+
+    def identity(self) -> dict:
+        """The deterministic part of the record.
+
+        Two runs of the same spec must agree on this dict exactly —
+        the parallel-equals-serial and cache-equals-fresh guarantees
+        are stated (and tested) over it.  Environment and wall time are
+        excluded: they describe *where* the run happened, not *what* it
+        computed.
+        """
+        return {"name": self.name, "spec_hash": self.spec_hash,
+                "metrics": dict(self.metrics),
+                "series": {k: list(v) for k, v in self.series.items()}}
+
+    def as_dict(self) -> dict:
+        """Plain-data mirror of the record (JSON-able after the codec)."""
+        return {"name": self.name, "spec_hash": self.spec_hash,
+                "metrics": dict(self.metrics),
+                "series": {k: list(v) for k, v in self.series.items()},
+                "env": dict(self.env), "wall_s": self.wall_s,
+                "cached": self.cached}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        """Rebuild a record from :meth:`as_dict` output."""
+        return cls(name=data["name"], spec_hash=data["spec_hash"],
+                   metrics=dict(data.get("metrics", {})),
+                   series={k: list(v)
+                           for k, v in data.get("series", {}).items()},
+                   env=dict(data.get("env", {})),
+                   wall_s=float(data.get("wall_s", 0.0)),
+                   cached=bool(data.get("cached", False)))
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario spec through the cluster runtime.
+
+    Builds the workload, optimizer, delay model, and fault injector
+    from the spec (all seeded from ``spec.resolved_seed()`` or their
+    own declared seeds), runs the event-driven simulation to the spec's
+    budgets, and summarizes the log.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        The complete experiment description.
+
+    Returns
+    -------
+    ScenarioResult
+        Metrics: ``initial_loss`` / ``final_loss`` (head/tail means
+        over ``spec.smooth`` reads), ``min_loss``, ``reads`` /
+        ``updates`` / ``diverged`` counters, and flattened
+        ``staleness_*`` statistics — plus the requested raw series.
+    """
+    seed = spec.resolved_seed()
+    build = build_workload(spec.workload, **spec.workload_params)
+    model, loss_fn = build(seed)
+    optimizer = build_optimizer(spec.optimizer, model.parameters(),
+                                **spec.optimizer_params)
+    runtime = ClusterRuntime(
+        model, optimizer, loss_fn, workers=spec.workers,
+        delay_model=build_delay_model(spec.delay),
+        num_shards=spec.num_shards, shard_policy=spec.shard_policy,
+        queue_staleness=spec.queue_staleness, delivery=spec.delivery,
+        faults=build_fault_injector(spec.faults), seed=seed)
+    start = time.perf_counter()
+    log = runtime.run(reads=spec.reads, updates=spec.updates)
+    wall = time.perf_counter() - start
+
+    losses = log.series("loss")
+    window = min(spec.smooth, losses.size) or 1
+    metrics: Dict[str, float] = {
+        "initial_loss": float(losses[:window].mean()) if losses.size
+        else float("nan"),
+        "final_loss": float(losses[-window:].mean()) if losses.size
+        else float("nan"),
+        "min_loss": float(losses.min()) if losses.size else float("nan"),
+        "reads": float(runtime.reads_done),
+        "updates": float(runtime.updates_done),
+        "diverged": float(runtime.diverged),
+    }
+    for key, value in staleness_summary(log).items():
+        metrics[f"staleness_{key}"] = float(value)
+    # every requested series is present in the record — absent ones
+    # (e.g. optimizer stats of a run that never committed) come back as
+    # empty lists rather than missing keys, so consumers and cached
+    # records have a stable shape
+    series = {name: (log.series(name).tolist() if name in log else [])
+              for name in spec.record_series}
+    env = environment_info()
+    env["seed"] = seed
+    return ScenarioResult(name=spec.name, spec_hash=spec.content_hash(),
+                          metrics=metrics, series=series, env=env,
+                          wall_s=wall)
+
+
+def _run_payload(payload: dict) -> dict:
+    """Pool worker entry point: spec dict in, result dict out."""
+    return run_scenario(ScenarioSpec.from_dict(payload)).as_dict()
+
+
+class ParallelRunner:
+    """Execute scenario batches across a process pool, cache-aware.
+
+    Parameters
+    ----------
+    processes : int, optional
+        Worker processes.  ``None`` uses ``$REPRO_XP_JOBS`` when set,
+        else ``os.cpu_count()``; 0 or 1 runs serially in-process.  The
+        pool never exceeds the number of uncached scenarios.
+    cache : ResultCache, optional
+        Content-addressed store consulted before running and updated
+        after.  ``None`` disables caching (every scenario recomputes).
+
+    Attributes
+    ----------
+    hits, misses : int
+        Cache statistics of the most recent :meth:`run` call.
+    """
+
+    def __init__(self, processes: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        if processes is not None and processes < 0:
+            raise ValueError(f"processes must be >= 0, got {processes}")
+        self.processes = processes
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def _effective_processes(self, jobs: int) -> int:
+        configured = self.processes
+        if configured is None:
+            raw = os.environ.get(XP_JOBS_ENV, "").strip()
+            if raw:
+                try:
+                    configured = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"${XP_JOBS_ENV} must be an integer, "
+                        f"got {raw!r}") from None
+            configured = configured or os.cpu_count() or 1
+        return max(1, min(configured, jobs))
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+        """Run every spec, reusing cached results where possible.
+
+        Scenario order is preserved; duplicate specs (same content
+        hash) are computed once and share the record.  Uncached
+        scenarios run on the pool (or serially for a single miss /
+        single process); results are written back to the cache before
+        returning.
+
+        Returns
+        -------
+        list of ScenarioResult
+            One record per input spec, in input order; records served
+            from the cache have ``cached=True``.
+        """
+        specs = list(specs)
+        # hash once per spec: hashing re-serializes the whole spec
+        # (trace payloads included), so it must not be O(duplicates)
+        keys = [spec.content_hash() for spec in specs]
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        self.hits = 0
+        self.misses = 0
+
+        todo: List[int] = []          # first index per distinct hash
+        first_idx: Dict[str, int] = {}
+        for idx, (spec, key) in enumerate(zip(specs, keys)):
+            if key in first_idx:
+                continue
+            first_idx[key] = idx
+            if self.cache is not None:
+                cached = self.cache.get(spec, key=key)
+                if cached is not None:
+                    results[idx] = cached
+                    self.hits += 1
+                    continue
+            todo.append(idx)
+        self.misses = len(todo)
+
+        if todo:
+            procs = self._effective_processes(len(todo))
+            if procs <= 1 or len(todo) == 1:
+                fresh = [run_scenario(specs[idx]) for idx in todo]
+            else:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else "spawn")
+                with ctx.Pool(processes=procs) as pool:
+                    payloads = [specs[idx].as_dict() for idx in todo]
+                    fresh = [ScenarioResult.from_dict(d)
+                             for d in pool.map(_run_payload, payloads)]
+            for idx, result in zip(todo, fresh):
+                results[idx] = result
+                if self.cache is not None:
+                    self.cache.put(specs[idx], result, key=keys[idx])
+
+        for idx, key in enumerate(keys):
+            if results[idx] is None:       # duplicate of an earlier spec
+                results[idx] = results[first_idx[key]]
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return (f"ParallelRunner(processes={self.processes}, "
+                f"cache={self.cache!r})")

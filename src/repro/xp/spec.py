@@ -1,0 +1,338 @@
+"""Declarative scenario specifications and cross-product matrices.
+
+The paper's headline claims are *matrix* results — optimizer x delay
+model x worker count x fault profile — and every figure script used to
+hand-roll its own nested loop.  This module gives the sweep a single
+declarative form:
+
+- :class:`ScenarioSpec` names one complete cluster experiment (workload,
+  optimizer, delay model, fault plan, topology, budgets, seed) as plain
+  JSON-able data, with a canonical serialization and a content hash that
+  keys the result cache.
+- :class:`Matrix` holds a base spec plus named axes of overrides and
+  expands their cross product into concrete specs, in a deterministic
+  order with human-readable derived names.
+
+Specs round-trip through JSON via the tagged codec of
+:mod:`repro.utils.serialization`, so anything the codec preserves
+(tuples, ndarrays inside trace payloads) survives ``save`` / ``load``
+exactly — and therefore hashes identically before and after a trip to
+disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.utils.serialization import decode_state, encode_state
+
+PathLike = Union[str, Path]
+
+# Bumped whenever the spec schema or the result-record layout changes in
+# a way that invalidates cached results; part of every content hash.
+XP_FORMAT_VERSION = 1
+
+_DELIVERIES = ("fifo", "random")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass
+class ScenarioSpec:
+    """One complete, reproducible cluster-experiment configuration.
+
+    Every field is plain JSON-able data; the spec is the *whole* input
+    of :func:`repro.xp.runner.run_scenario`, so equal specs produce
+    bit-identical results and the content hash can key a result cache.
+
+    Attributes
+    ----------
+    name : str
+        Human-readable scenario name (matrix expansion derives
+        ``base/label1/label2`` names automatically).
+    workload : str
+        Workload registry key (see :mod:`repro.xp.workloads`) or a
+        ``"module:attribute"`` reference to a workload factory.
+    workload_params : dict
+        Keyword arguments for the workload factory (sizes, batch size).
+    optimizer : str
+        Optimizer registry key (see
+        :func:`repro.xp.runner.register_optimizer`).
+    optimizer_params : dict
+        Keyword arguments for the optimizer factory.
+    delay : dict
+        Declarative delay-model config, ``{"kind": ..., ...}`` (see
+        :func:`build_delay_model`).
+    faults : dict
+        Declarative fault-injector config (see
+        :func:`build_fault_injector`); empty means no faults.
+    workers, num_shards : int
+        Cluster topology.
+    shard_policy : str
+        Shard-placement policy name (see :mod:`repro.sim.sharding`).
+    queue_staleness : int
+        Server-side depth gate ``tau`` (0 = commit on arrival).
+    delivery : str
+        ``"fifo"`` or ``"random"`` queue release.
+    reads : int
+        Gradient-computation budget of the run.
+    updates : int, optional
+        Update budget (``None`` commits whatever arrives in time).
+    seed : int, optional
+        Base seed for the workload builder and the server RNG.  ``None``
+        derives a deterministic per-scenario seed from the content hash,
+        so unnamed sweeps still get stable, distinct streams.
+    record_series : tuple of str
+        Log series to keep (verbatim) in the result record.
+    smooth : int
+        Window for the head/tail loss averages in the result metrics.
+    """
+
+    name: str
+    workload: str = "toy_classifier"
+    workload_params: Dict[str, object] = field(default_factory=dict)
+    optimizer: str = "momentum_sgd"
+    optimizer_params: Dict[str, object] = field(default_factory=dict)
+    delay: Dict[str, object] = field(
+        default_factory=lambda: {"kind": "constant", "delay": 1.0})
+    faults: Dict[str, object] = field(default_factory=dict)
+    workers: int = 4
+    num_shards: int = 1
+    shard_policy: str = "hash"
+    queue_staleness: int = 0
+    delivery: str = "fifo"
+    reads: int = 200
+    updates: Optional[int] = None
+    seed: Optional[int] = None
+    record_series: Tuple[str, ...] = ("loss",)
+    smooth: int = 25
+
+    def __post_init__(self):
+        """Validate field ranges and normalize container types."""
+        _require(bool(self.name), "scenario name must be non-empty")
+        _require(self.workers >= 1,
+                 f"workers must be >= 1, got {self.workers}")
+        _require(self.num_shards >= 1,
+                 f"num_shards must be >= 1, got {self.num_shards}")
+        _require(self.reads >= 0, f"reads must be >= 0, got {self.reads}")
+        _require(self.updates is None or self.updates >= 0,
+                 f"updates must be >= 0, got {self.updates}")
+        _require(self.queue_staleness >= 0,
+                 f"queue_staleness must be >= 0, got {self.queue_staleness}")
+        _require(self.delivery in _DELIVERIES,
+                 f"delivery must be one of {_DELIVERIES}, "
+                 f"got {self.delivery!r}")
+        _require(self.smooth >= 1, f"smooth must be >= 1, got {self.smooth}")
+        _require(isinstance(self.delay, dict) and "kind" in self.delay,
+                 f'delay config needs a "kind" key, got {self.delay!r}')
+        _require(isinstance(self.faults, dict),
+                 f"faults config must be a dict, got {self.faults!r}")
+        self.record_series = tuple(self.record_series)
+
+    # ------------------------------------------------------------- #
+    # serialization + identity
+    # ------------------------------------------------------------- #
+    def as_dict(self) -> dict:
+        """Plain-data mirror of the spec (JSON-able after the codec)."""
+        data = asdict(self)
+        data["record_series"] = list(self.record_series)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`as_dict` output.
+
+        Unknown keys raise so stale cache entries or hand-edited files
+        fail loudly instead of being silently reinterpreted.
+        """
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def canonical_json(self) -> str:
+        """Canonical serialization: codec-encoded, sorted keys, no
+        whitespace — equal specs always produce the same bytes."""
+        payload = {"xp_format": XP_FORMAT_VERSION,
+                   "spec": encode_state(self.as_dict())}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+
+    def content_hash(self) -> str:
+        """SHA-256 of :meth:`canonical_json` — the result-cache key."""
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")).hexdigest()
+
+    def resolved_seed(self) -> int:
+        """The seed the runner actually uses.
+
+        Explicit seeds pass through; ``None`` derives a stable value
+        from the content hash, so the same spec always reseeds
+        identically while distinct scenarios get distinct streams.
+        """
+        if self.seed is not None:
+            return int(self.seed)
+        return int(self.content_hash()[:12], 16) % (2 ** 31)
+
+    def with_overrides(self, overrides: Dict[str, object],
+                       name: Optional[str] = None) -> "ScenarioSpec":
+        """A copy with dotted-path field overrides applied.
+
+        Parameters
+        ----------
+        overrides : dict
+            ``{"field": value}`` or ``{"outer.inner": value}`` entries;
+            dotted paths descend into dict-valued fields
+            (``"optimizer_params.gamma"``).
+        name : str, optional
+            Name of the derived spec (keeps the current one if omitted).
+
+        Returns
+        -------
+        ScenarioSpec
+        """
+        data = decode_state(encode_state(self.as_dict()))  # deep copy
+        for path, value in overrides.items():
+            _set_path(data, path, value)
+        if name is not None:
+            data["name"] = name
+        return ScenarioSpec.from_dict(data)
+
+
+def _set_path(tree: dict, path: str, value: object) -> None:
+    parts = path.split(".")
+    if parts[0] not in ScenarioSpec.__dataclass_fields__:
+        raise ValueError(
+            f"override path {path!r} does not start with a "
+            "ScenarioSpec field")
+    node = tree
+    for part in parts[:-1]:
+        nxt = node.get(part)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            node[part] = nxt
+        node = nxt
+    node[parts[-1]] = value
+
+
+@dataclass
+class Matrix:
+    """A base spec plus named override axes; expansion = cross product.
+
+    Attributes
+    ----------
+    base : ScenarioSpec
+        The configuration every scenario starts from.
+    axes : dict
+        ``{axis_name: {label: {field_path: value, ...}, ...}, ...}``.
+        Axes expand in insertion order; within an axis, labels expand in
+        insertion order; each expanded scenario applies one override
+        set per axis and is named ``base.name/label1/label2/...``.
+    """
+
+    base: ScenarioSpec
+    axes: Dict[str, Dict[str, Dict[str, object]]] = field(
+        default_factory=dict)
+
+    def __post_init__(self):
+        """Validate axis shapes (every axis needs at least one label)."""
+        for axis, labels in self.axes.items():
+            _require(isinstance(labels, dict) and len(labels) > 0,
+                     f"axis {axis!r} needs at least one labelled override")
+            for label, overrides in labels.items():
+                _require(isinstance(overrides, dict),
+                         f"axis {axis!r} label {label!r}: overrides must "
+                         f"be a dict, got {overrides!r}")
+
+    def _combos(self) -> List[Tuple[Tuple[str, Dict[str, object]], ...]]:
+        """One (label, overrides) pair per axis, cross-producted in
+        axis order — the single enumeration :meth:`expand` and
+        :meth:`labels` both consume, so their orders cannot drift."""
+        combos: List[Tuple[Tuple[str, Dict[str, object]], ...]] = [()]
+        for labels in self.axes.values():
+            combos = [prefix + ((label, overrides),)
+                      for prefix in combos
+                      for label, overrides in labels.items()]
+        return combos
+
+    def expand(self) -> List[ScenarioSpec]:
+        """Concrete specs for the full cross product, in axis order."""
+        specs = []
+        for combo in self._combos():
+            merged: Dict[str, object] = {}
+            for _, overrides in combo:
+                merged.update(overrides)
+            suffix = "/".join(label for label, _ in combo)
+            name = f"{self.base.name}/{suffix}" if suffix else self.base.name
+            specs.append(self.base.with_overrides(merged, name=name))
+        return specs
+
+    def labels(self) -> List[Tuple[str, ...]]:
+        """Label tuples in the same order :meth:`expand` emits specs."""
+        return [tuple(label for label, _ in combo)
+                for combo in self._combos()]
+
+    def as_dict(self) -> dict:
+        """Plain-data mirror (``{"base": ..., "axes": ...}``)."""
+        return {"base": self.base.as_dict(), "axes": self.axes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Matrix":
+        """Rebuild a matrix from :meth:`as_dict` output."""
+        return cls(base=ScenarioSpec.from_dict(data["base"]),
+                   axes={str(axis): {str(label): dict(overrides)
+                                     for label, overrides in labels.items()}
+                         for axis, labels in data.get("axes", {}).items()})
+
+
+# ----------------------------------------------------------------- #
+# file round trip
+# ----------------------------------------------------------------- #
+def save_scenarios(obj: Union[Matrix, Sequence[ScenarioSpec]],
+                   path: PathLike) -> None:
+    """Write a matrix or a list of specs as a JSON scenario file.
+
+    The file carries either ``{"base": ..., "axes": ...}`` (a matrix)
+    or ``{"scenarios": [...]}`` (an explicit list), wrapped through the
+    tagged codec so the round trip is lossless.
+    """
+    if isinstance(obj, Matrix):
+        payload = obj.as_dict()
+    else:
+        payload = {"scenarios": [spec.as_dict() for spec in obj]}
+    payload["xp_format"] = XP_FORMAT_VERSION
+    # no sort_keys: axis/label insertion order is meaningful (it fixes
+    # the expansion order), and JSON objects preserve it on reload
+    Path(path).write_text(
+        json.dumps(encode_state(payload), indent=2, allow_nan=False)
+        + "\n")
+
+
+def load_scenarios(path: PathLike) -> List[ScenarioSpec]:
+    """Read a scenario file back as a concrete spec list.
+
+    Matrix files are expanded; explicit lists pass through.  A recorded
+    ``xp_format`` newer than this library's raises, so format drift is
+    an error instead of a misread.
+    """
+    payload = decode_state(json.loads(Path(path).read_text()))
+    recorded = payload.pop("xp_format", XP_FORMAT_VERSION)
+    if recorded > XP_FORMAT_VERSION:
+        raise ValueError(
+            f"scenario file {path} has xp_format {recorded}, this "
+            f"library supports <= {XP_FORMAT_VERSION}")
+    if "scenarios" in payload:
+        return [ScenarioSpec.from_dict(d) for d in payload["scenarios"]]
+    if "base" in payload:
+        return Matrix.from_dict(payload).expand()
+    raise ValueError(
+        f'scenario file {path} has neither "scenarios" nor "base"')

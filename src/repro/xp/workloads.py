@@ -1,0 +1,165 @@
+"""Workload registry: spec names to (model, loss_fn) builders.
+
+A workload factory maps the spec's ``workload_params`` to a *builder*,
+and the builder maps a seed to ``(model, loss_fn)`` — the same contract
+:class:`repro.tuning.Workload` uses, so benchmark workloads port
+directly.  Because scenarios may execute in worker processes, a
+workload is always named, never passed as a closure: either a registry
+key (the built-ins below, or anything added via
+:func:`register_workload` before the runner forks) or a
+``"module:attribute"`` reference importable from any process.
+
+Built-ins
+---------
+- ``"toy_classifier"`` — the 512x8 two-class MLP used by the cluster
+  scenario and ablation suites (fast, well-conditioned).
+- ``"cifar10_resnet"`` / ``"cifar100_resnet"`` — the laptop-scale
+  synthetic-image ResNet workloads of the figure suite.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.data import BatchLoader, make_cifar10_like, make_cifar100_like
+from repro.models import make_resnet_cifar10, make_resnet_cifar100
+from repro.nn.module import Module
+
+# builder: seed -> (model, loss_fn); factory: **workload_params -> builder
+WorkloadBuilder = Callable[[int], Tuple[Module, Callable]]
+WorkloadFactory = Callable[..., WorkloadBuilder]
+
+_WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Add (or replace) a workload factory under ``name``.
+
+    Registration must happen before a :class:`~repro.xp.runner.
+    ParallelRunner` forks its pool (module import time is the safe
+    place); workloads needed under the ``spawn`` start method should be
+    referenced as ``"module:attribute"`` instead.
+    """
+    _WORKLOADS[str(name)] = factory
+
+
+def workload_names() -> list:
+    """Sorted registry keys (for error messages and CLI listings)."""
+    return sorted(_WORKLOADS)
+
+
+def build_workload(name: str, **params) -> WorkloadBuilder:
+    """Resolve ``name`` and apply ``params``, returning the builder.
+
+    Parameters
+    ----------
+    name : str
+        Registry key, or ``"module:attribute"`` naming a factory.
+    **params
+        The spec's ``workload_params``, forwarded to the factory.
+
+    Returns
+    -------
+    callable
+        ``builder(seed) -> (model, loss_fn)``.
+    """
+    if name in _WORKLOADS:
+        return _WORKLOADS[name](**params)
+    if ":" in name:
+        mod_name, _, attr = name.partition(":")
+        try:
+            factory = getattr(importlib.import_module(mod_name), attr)
+        except (ImportError, AttributeError) as exc:
+            raise ValueError(
+                f"cannot resolve workload reference {name!r}: {exc}"
+            ) from exc
+        return factory(**params)
+    raise ValueError(
+        f"unknown workload {name!r}; choose from {workload_names()}, "
+        "register_workload() your own, or use a 'module:attr' reference")
+
+
+# ----------------------------------------------------------------- #
+# built-ins
+# ----------------------------------------------------------------- #
+def toy_classifier(samples: int = 512, features: int = 8,
+                   hidden: int = 24, classes: int = 2,
+                   batch_size: int = 32,
+                   noise: float = 0.3) -> WorkloadBuilder:
+    """Linear-teacher two-class MLP: the scenario suites' fast workload.
+
+    A random linear teacher labels Gaussian inputs (with label noise);
+    the student is a one-hidden-layer ReLU MLP trained with
+    cross-entropy on shuffled minibatches.  Matches the problem the
+    cluster-scenario and closed-loop-ablation benchmarks always used,
+    so refactored records stay comparable.
+    """
+
+    def build(seed: int):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(samples, features))
+        w_true = rng.normal(size=features)
+        y = (x @ w_true + noise * rng.normal(size=samples) > 0).astype(int)
+        model = nn.Sequential(nn.Linear(features, hidden, seed=seed),
+                              nn.ReLU(),
+                              nn.Linear(hidden, classes, seed=seed + 1))
+        loader = BatchLoader(x, y, batch_size=batch_size, seed=seed)
+
+        def loss_fn():
+            xb, yb = loader.next_batch()
+            return F.cross_entropy(model(Tensor(xb)), yb)
+
+        return model, loss_fn
+
+    return build
+
+
+def _image_resnet(make_data, make_model, train_size: int, size: int,
+                  batch_size: int) -> WorkloadBuilder:
+    def build(seed: int):
+        data = make_data(seed=seed, train_size=train_size, size=size)
+        model = make_model(seed=seed)
+        loader = BatchLoader(data.x_train, data.y_train,
+                             batch_size=batch_size, seed=seed)
+
+        def loss_fn():
+            xb, yb = loader.next_batch()
+            return F.cross_entropy(model(xb), yb)
+
+        return model, loss_fn
+
+    return build
+
+
+def cifar10_resnet(train_size: int = 256, size: int = 8,
+                   batch_size: int = 16, width: int = 3,
+                   blocks_per_stage: int = 1) -> WorkloadBuilder:
+    """Synthetic CIFAR10-like images + basic-block ResNet (figure scale)."""
+    return _image_resnet(
+        make_cifar10_like,
+        lambda seed: make_resnet_cifar10(width=width,
+                                         blocks_per_stage=blocks_per_stage,
+                                         seed=seed),
+        train_size=train_size, size=size, batch_size=batch_size)
+
+
+def cifar100_resnet(train_size: int = 256, size: int = 8,
+                    batch_size: int = 16, width: int = 3,
+                    blocks_per_stage: int = 1) -> WorkloadBuilder:
+    """Synthetic CIFAR100-like images + bottleneck ResNet (figure scale)."""
+    return _image_resnet(
+        make_cifar100_like,
+        lambda seed: make_resnet_cifar100(width=width,
+                                          blocks_per_stage=blocks_per_stage,
+                                          seed=seed),
+        train_size=train_size, size=size, batch_size=batch_size)
+
+
+register_workload("toy_classifier", toy_classifier)
+register_workload("cifar10_resnet", cifar10_resnet)
+register_workload("cifar100_resnet", cifar100_resnet)

@@ -1,15 +1,16 @@
 """Documentation coverage gate for the public optimizer and sim APIs.
 
 Fails whenever a public module, class, function, method, or property in
-``repro.optim``, ``repro.sim``, or ``repro.cluster`` lacks a docstring,
-so API docs cannot rot silently as those packages grow.
+``repro.optim``, ``repro.sim``, ``repro.cluster``, or ``repro.xp``
+lacks a docstring, so API docs cannot rot silently as those packages
+grow.
 """
 
 import importlib
 import inspect
 import pkgutil
 
-PACKAGES = ("repro.optim", "repro.sim", "repro.cluster")
+PACKAGES = ("repro.optim", "repro.sim", "repro.cluster", "repro.xp")
 
 
 def iter_modules():

@@ -1,0 +1,109 @@
+"""The ``python -m repro.xp`` CLI: run / list / diff."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchReporter
+from repro.xp import Matrix, ScenarioSpec, save_scenarios
+from repro.xp.cli import main
+
+
+@pytest.fixture()
+def matrix_file(tmp_path):
+    base = ScenarioSpec(name="cli", workload="toy_classifier",
+                        workload_params={"samples": 64, "features": 4,
+                                         "hidden": 8, "batch_size": 16},
+                        optimizer="momentum_sgd",
+                        optimizer_params={"lr": 0.05, "momentum": 0.9},
+                        workers=2, reads=30, seed=0, smooth=5)
+    matrix = Matrix(base, axes={
+        "delay": {
+            "const": {"delay": {"kind": "constant", "delay": 1.0}},
+            "uniform": {"delay": {"kind": "uniform", "low": 0.5,
+                                  "high": 1.5, "seed": 2}},
+        }})
+    path = tmp_path / "matrix.json"
+    save_scenarios(matrix, path)
+    return path
+
+
+class TestList:
+    def test_lists_expanded_scenarios(self, matrix_file, capsys):
+        assert main(["list", str(matrix_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cli/const" in out and "cli/uniform" in out
+        assert "2 scenarios" in out
+
+
+class TestRun:
+    def test_run_writes_results_and_uses_cache(self, matrix_file, tmp_path,
+                                               capsys):
+        cache = tmp_path / "cache"
+        out = tmp_path / "results.json"
+        code = main(["run", str(matrix_file), "--jobs", "2",
+                     "--cache", str(cache), "--out", str(out)])
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "2 scenarios: 0 cached, 2 computed" in first
+        payload = json.loads(out.read_text())
+        assert payload["misses"] == 2
+        assert len(payload["results"]) == 2
+
+        # identical rerun: zero recomputation, identical records
+        code = main(["run", str(matrix_file), "--jobs", "2",
+                     "--cache", str(cache), "--out", str(out)])
+        assert code == 0
+        second = capsys.readouterr().out
+        assert "2 scenarios: 2 cached, 0 computed" in second
+        rerun = json.loads(out.read_text())
+        assert rerun["hits"] == 2
+        for a, b in zip(payload["results"], rerun["results"]):
+            assert a["metrics"] == b["metrics"]
+            assert a["series"] == b["series"]
+            assert a["spec_hash"] == b["spec_hash"]
+
+    def test_no_cache_always_computes(self, matrix_file, tmp_path, capsys):
+        assert main(["run", str(matrix_file), "--jobs", "1",
+                     "--no-cache"]) == 0
+        assert main(["run", str(matrix_file), "--jobs", "1",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached, 2 computed" in out
+
+
+class TestDiff:
+    def write(self, directory, metrics):
+        directory.mkdir(parents=True, exist_ok=True)
+        reporter = BenchReporter(out_dir=str(directory))
+        reporter.record("suite", metrics, {"knob": 1})
+        reporter.write("suite")
+
+    def test_pass_exit_zero_and_report(self, tmp_path, capsys):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, {"final_loss": 1.0})
+        self.write(fresh, {"final_loss": 1.02})
+        report = tmp_path / "report.json"
+        code = main(["diff", "--baseline", str(base), "--fresh",
+                     str(fresh), "--report", str(report)])
+        assert code == 0
+        assert json.loads(report.read_text())["status"] == "pass"
+        assert "1 records: 1 passed" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, {"final_loss": 1.0})
+        self.write(fresh, {"final_loss": 3.0})
+        code = main(["diff", "--baseline", str(base), "--fresh",
+                     str(fresh), "--names", "suite"])
+        assert code == 1
+        assert "REGRESSION final_loss" in capsys.readouterr().out
+
+    def test_tol_override_loosens_gate(self, tmp_path):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, {"final_loss": 1.0})
+        self.write(fresh, {"final_loss": 1.4})
+        assert main(["diff", "--baseline", str(base), "--fresh",
+                     str(fresh)]) == 1
+        assert main(["diff", "--baseline", str(base), "--fresh",
+                     str(fresh), "--tol", "0.5"]) == 0

@@ -1,0 +1,255 @@
+"""BaselineComparator: direction-aware gating, env/params awareness."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchReporter
+from repro.xp import BaselineComparator, MetricRule, write_report
+
+ENV = {"python": "3.11.7", "numpy": "2.0.0", "platform": "linux",
+       "machine": "x86_64", "bench_scale": 1.0}
+
+
+def record(metrics, params=None, env=None, name="rec"):
+    return {"name": name, "metrics": dict(metrics),
+            "params": dict(params or {}), "env": dict(env or ENV),
+            "unix_time": 0.0}
+
+
+class TestDirections:
+    def test_loss_increase_beyond_tol_fails(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}), record({"final_loss": 1.3}))
+        assert report["status"] == "fail"
+        (comp,) = report["comparisons"]
+        assert comp["status"] == "regression"
+        assert comp["rel_change"] == pytest.approx(0.3)
+
+    def test_loss_within_tol_passes(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}), record({"final_loss": 1.15}))
+        assert report["status"] == "pass"
+
+    def test_loss_improvement_is_not_a_failure(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}), record({"final_loss": 0.5}))
+        assert report["status"] == "pass"
+        assert report["comparisons"][0]["status"] == "improved"
+
+    def test_speedup_drop_fails(self):
+        report = BaselineComparator().compare_records(
+            record({"speedup": 2.6}), record({"speedup": 1.2}))
+        assert report["status"] == "fail"
+
+    def test_speedup_gain_passes(self):
+        report = BaselineComparator().compare_records(
+            record({"speedup": 2.6}), record({"speedup": 3.5}))
+        assert report["status"] == "pass"
+
+    def test_speedup_gates_across_environments(self):
+        # dimensionless ratio: a fused-kernel regression must fail the
+        # gate even when baseline and fresh ran on different machines
+        other_env = dict(ENV, machine="arm64")
+        report = BaselineComparator().compare_records(
+            record({"speedup": 2.6}),
+            record({"speedup": 1.0}, env=other_env))
+        assert report["status"] == "fail"
+
+    def test_nan_fresh_metric_fails_gate(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}),
+            record({"final_loss": float("nan")}))
+        assert report["status"] == "fail"
+        assert report["comparisons"][0]["status"] == "regression"
+
+    def test_nan_on_both_sides_passes(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": float("nan")}),
+            record({"final_loss": float("nan")}))
+        assert report["status"] == "pass"
+
+    def test_unmatched_metric_is_informational(self):
+        report = BaselineComparator().compare_records(
+            record({"some_count": 10.0}), record({"some_count": 400.0}))
+        assert report["status"] == "pass"
+        assert report["comparisons"][0]["status"] == "info"
+
+    def test_diverged_flip_fails(self):
+        report = BaselineComparator().compare_records(
+            record({"diverged": 0.0}), record({"diverged": 1.0}))
+        assert report["status"] == "fail"
+
+    def test_missing_gated_metric_fails(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}), record({}))
+        assert report["status"] == "fail"
+        assert report["comparisons"][0]["status"] == "missing"
+
+    def test_new_metric_reported_not_gated(self):
+        report = BaselineComparator().compare_records(
+            record({}), record({"final_loss": 9.0}))
+        assert report["status"] == "pass"
+        assert report["comparisons"][0]["status"] == "new"
+
+
+class TestTolerances:
+    def test_rel_tol_override(self):
+        loose = BaselineComparator(rel_tol=0.5)
+        report = loose.compare_records(
+            record({"final_loss": 1.0}), record({"final_loss": 1.4}))
+        assert report["status"] == "pass"
+
+    def test_custom_rules(self):
+        comparator = BaselineComparator(rules=[
+            MetricRule("wobble", "two_sided", 0.01),
+            MetricRule("*", "ignore")])
+        report = comparator.compare_records(
+            record({"wobble": 1.0, "other": 1.0}),
+            record({"wobble": 1.05, "other": 99.0}))
+        assert report["status"] == "fail"
+        by_name = {c["metric"]: c for c in report["comparisons"]}
+        assert by_name["wobble"]["status"] == "regression"
+        assert by_name["other"]["status"] == "info"
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineComparator(rel_tol=-0.1)
+
+    def test_bad_gate_timings_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineComparator(gate_timings="sometimes")
+
+
+class TestEnvironmentAwareness:
+    def test_timing_regression_gates_on_matching_env(self):
+        report = BaselineComparator().compare_records(
+            record({"wall_s": 1.0}), record({"wall_s": 2.0}))
+        assert report["status"] == "fail"
+
+    def test_timing_regression_ignored_on_env_mismatch(self):
+        other_env = dict(ENV, machine="arm64")
+        report = BaselineComparator().compare_records(
+            record({"wall_s": 1.0}), record({"wall_s": 2.0}, env=other_env))
+        assert report["status"] == "pass"
+        assert report["comparisons"][0]["status"] == "info"
+        assert report["env_match"] is False
+        assert any(d["key"] == "machine" for d in report["env_drift"])
+
+    def test_deterministic_metric_gates_despite_env_mismatch(self):
+        other_env = dict(ENV, machine="arm64")
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}),
+            record({"final_loss": 2.0}, env=other_env))
+        assert report["status"] == "fail"
+
+    def test_forced_timing_gate(self):
+        other_env = dict(ENV, machine="arm64")
+        report = BaselineComparator(gate_timings=True).compare_records(
+            record({"wall_s": 1.0}), record({"wall_s": 2.0}, env=other_env))
+        assert report["status"] == "fail"
+
+    def test_missing_env_key_counts_as_drift(self):
+        # pre-metadata baselines lack bench_scale: timing gate stays off
+        old_env = {k: v for k, v in ENV.items() if k != "bench_scale"}
+        report = BaselineComparator().compare_records(
+            record({"wall_s": 1.0}, env=old_env),
+            record({"wall_s": 5.0}))
+        assert report["status"] == "pass"
+
+
+class TestParamsAwareness:
+    def test_changed_params_make_pair_incomparable(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}, params={"reads": 240}),
+            record({"final_loss": 9.0}, params={"reads": 60}))
+        assert report["status"] == "incomparable"
+        assert "reads" in report["reason"]
+        assert report["comparisons"] == []
+
+    def test_added_param_is_drift_not_blocker(self):
+        report = BaselineComparator().compare_records(
+            record({"final_loss": 1.0}, params={}),
+            record({"final_loss": 1.0}, params={"seed": 0}))
+        assert report["status"] == "pass"
+        assert report["params_drift"][0]["kind"] == "fresh_only"
+
+
+class TestCompareDirs:
+    def write(self, directory, name, metrics, scale="1.0", params=None):
+        directory.mkdir(parents=True, exist_ok=True)
+        import os
+        old = os.environ.get("REPRO_BENCH_SCALE")
+        os.environ["REPRO_BENCH_SCALE"] = scale
+        try:
+            reporter = BenchReporter(out_dir=str(directory))
+            reporter.record(name, metrics, params or {"knob": 1})
+            reporter.write(name)
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_BENCH_SCALE", None)
+            else:
+                os.environ["REPRO_BENCH_SCALE"] = old
+
+    def test_pass_and_report_round_trip(self, tmp_path):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, "suite", {"final_loss": 1.0})
+        self.write(fresh, "suite", {"final_loss": 1.05})
+        report = BaselineComparator().compare_dirs(base, fresh)
+        assert report["status"] == "pass"
+        assert report["summary"]["compared"] == 1
+        out = tmp_path / "report.json"
+        write_report(report, out)
+        assert json.loads(out.read_text())["status"] == "pass"
+
+    def test_regression_fails_with_named_failure(self, tmp_path):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, "suite", {"final_loss": 1.0})
+        self.write(fresh, "suite", {"final_loss": 2.0})
+        report = BaselineComparator().compare_dirs(base, fresh)
+        assert report["status"] == "fail"
+        assert any("final_loss" in f for f in report["failures"])
+
+    def test_named_record_missing_on_fresh_side_fails(self, tmp_path):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, "suite", {"final_loss": 1.0})
+        fresh.mkdir()
+        report = BaselineComparator().compare_dirs(base, fresh,
+                                                   names=["suite"])
+        assert report["status"] == "fail"
+
+    def test_named_incomparable_record_fails_gate(self, tmp_path):
+        # params drifted without a baseline regen: an explicitly gated
+        # record must fail rather than leave the gate silently green
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, "suite", {"final_loss": 1.0},
+                   params={"reads": 240})
+        self.write(fresh, "suite", {"final_loss": 1.0},
+                   params={"reads": 60})
+        report = BaselineComparator().compare_dirs(base, fresh,
+                                                   names=["suite"])
+        assert report["status"] == "fail"
+        assert any("incomparable" in f for f in report["failures"])
+        # ... but unnamed intersection mode only reports it
+        report = BaselineComparator().compare_dirs(base, fresh)
+        assert report["status"] == "pass"
+        assert report["records"][0]["status"] == "incomparable"
+
+    def test_unnamed_compare_uses_intersection(self, tmp_path):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, "only_base", {"final_loss": 1.0})
+        self.write(base, "both", {"final_loss": 1.0})
+        self.write(fresh, "both", {"final_loss": 1.0})
+        self.write(fresh, "only_fresh", {"final_loss": 1.0})
+        report = BaselineComparator().compare_dirs(base, fresh)
+        assert report["summary"]["compared"] == 1
+        assert report["records"][0]["name"] == "both"
+
+    def test_scale_mismatch_is_visible_as_env_drift(self, tmp_path):
+        base, fresh = tmp_path / "base", tmp_path / "fresh"
+        self.write(base, "suite", {"wall_s": 1.0}, scale="1.0")
+        self.write(fresh, "suite", {"wall_s": 9.0}, scale="0.25")
+        report = BaselineComparator().compare_dirs(base, fresh)
+        (rec,) = report["records"]
+        assert rec["env_match"] is False
+        assert any(d["key"] == "bench_scale" for d in rec["env_drift"])

@@ -1,0 +1,168 @@
+"""Runner determinism, parallel-equals-serial, and the result cache."""
+
+import pytest
+
+from repro.xp import (Matrix, ParallelRunner, ResultCache, ScenarioSpec,
+                      run_scenario)
+from repro.xp import runner as runner_mod
+
+
+def small_matrix(reads=40):
+    base = ScenarioSpec(name="m", workload="toy_classifier",
+                        workload_params={"samples": 64, "features": 4,
+                                         "hidden": 8, "batch_size": 16},
+                        optimizer="momentum_sgd",
+                        optimizer_params={"lr": 0.05, "momentum": 0.9},
+                        workers=4, num_shards=2, reads=reads, seed=0,
+                        smooth=10)
+    return Matrix(base, axes={
+        "delay": {
+            "const": {"delay": {"kind": "constant", "delay": 1.0}},
+            "uniform": {"delay": {"kind": "uniform", "low": 0.5,
+                                  "high": 1.5, "seed": 3}},
+        },
+        "opt": {
+            "sgd": {},
+            "adam": {"optimizer": "adam",
+                     "optimizer_params": {"lr": 0.01}},
+        }})
+
+
+class TestRunScenario:
+    def test_pure_function_of_spec(self):
+        s = small_matrix().expand()[0]
+        a, b = run_scenario(s), run_scenario(s)
+        assert a.identity() == b.identity()
+        assert a.metrics["final_loss"] == b.metrics["final_loss"]
+
+    def test_metrics_shape(self):
+        s = small_matrix().expand()[0]
+        result = run_scenario(s)
+        for key in ("initial_loss", "final_loss", "min_loss", "reads",
+                    "updates", "diverged", "staleness_mean",
+                    "staleness_max"):
+            assert key in result.metrics, key
+        assert result.metrics["reads"] == 40
+        assert result.metrics["diverged"] == 0.0
+        assert result.series["loss"], "requested series missing"
+        assert result.spec_hash == s.content_hash()
+        assert result.env["seed"] == s.resolved_seed()
+
+    def test_faulty_scenario_runs_and_counts(self):
+        s = ScenarioSpec(
+            name="faulty", reads=60, seed=1, workers=4,
+            workload_params={"samples": 64, "features": 4, "hidden": 8},
+            optimizer_params={"lr": 0.05},
+            optimizer="momentum_sgd",
+            faults={"scheduled": [{"kind": "crash", "worker": 0,
+                                   "time": 5.0, "downtime": 3.0}]},
+            record_series=("loss", "crash"))
+        result = run_scenario(s)
+        assert result.series["crash"], "scheduled crash never fired"
+        assert result.metrics["diverged"] == 0.0
+
+    def test_derived_seed_used_when_unset(self):
+        s = ScenarioSpec(name="noseed", reads=30,
+                         workload_params={"samples": 64, "features": 4,
+                                          "hidden": 8})
+        a, b = run_scenario(s), run_scenario(s)
+        assert a.identity() == b.identity()
+        assert a.env["seed"] == s.resolved_seed()
+
+
+class TestParallelEqualsSerial:
+    def test_four_processes_bit_identical_to_serial(self):
+        specs = small_matrix().expand()
+        serial = ParallelRunner(processes=1).run(specs)
+        parallel = ParallelRunner(processes=4).run(specs)
+        assert [r.identity() for r in serial] == \
+            [r.identity() for r in parallel]
+
+    def test_order_preserved(self):
+        specs = small_matrix().expand()
+        results = ParallelRunner(processes=4).run(specs)
+        assert [r.name for r in results] == [s.name for s in specs]
+
+    def test_duplicate_specs_computed_once(self, monkeypatch):
+        specs = small_matrix().expand()
+        doubled = specs + specs
+        calls = []
+        real = runner_mod.run_scenario
+
+        def counting(spec):
+            calls.append(spec.name)
+            return real(spec)
+
+        monkeypatch.setattr(runner_mod, "run_scenario", counting)
+        results = ParallelRunner(processes=1).run(doubled)
+        assert len(calls) == len(specs)
+        assert [r.identity() for r in results[:len(specs)]] == \
+            [r.identity() for r in results[len(specs):]]
+
+
+class TestResultCache:
+    def test_rerun_hits_cache_with_zero_recomputation(self, tmp_path,
+                                                      monkeypatch):
+        specs = small_matrix().expand()
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(processes=2, cache=cache)
+        first = runner.run(specs)
+        assert (runner.hits, runner.misses) == (0, len(specs))
+        assert len(cache) == len(specs)
+
+        # second pass must not execute a single scenario
+        def forbidden(spec):
+            raise AssertionError(
+                f"cache miss recomputed {spec.name!r}")
+
+        monkeypatch.setattr(runner_mod, "run_scenario", forbidden)
+        rerun_runner = ParallelRunner(processes=1, cache=cache)
+        second = rerun_runner.run(specs)
+        assert (rerun_runner.hits, rerun_runner.misses) == (len(specs), 0)
+        assert all(r.cached for r in second)
+        assert [r.identity() for r in first] == \
+            [r.identity() for r in second]
+
+    def test_changed_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = small_matrix().expand()
+        ParallelRunner(processes=1, cache=cache).run(specs)
+        changed = small_matrix(reads=41).expand()
+        runner = ParallelRunner(processes=1, cache=cache)
+        runner.run(changed)
+        assert runner.misses == len(changed)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_matrix().expand()[0]
+        result = run_scenario(spec)
+        cache.put(spec, result)
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_put_rejects_mismatched_result(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = small_matrix().expand()
+        result = run_scenario(specs[0])
+        with pytest.raises(ValueError, match="does not match"):
+            cache.put(specs[1], result)
+
+    def test_clear_and_keys(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_matrix().expand()[0]
+        cache.put(spec, run_scenario(spec))
+        assert cache.keys() == [spec.content_hash()]
+        assert spec in cache
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestValidationAndRepr:
+    def test_negative_processes_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(processes=-1)
+
+    def test_reprs_do_not_crash(self, tmp_path):
+        assert "ParallelRunner" in repr(
+            ParallelRunner(cache=ResultCache(tmp_path)))
+        assert "ResultCache" in repr(ResultCache(tmp_path))

@@ -1,0 +1,198 @@
+"""ScenarioSpec / Matrix: hashing, round trips, expansion, validation."""
+
+import json
+
+import pytest
+
+from repro.xp import (Matrix, ScenarioSpec, load_scenarios, save_scenarios,
+                      build_delay_model, build_fault_injector)
+from repro.cluster import (ConstantDelay, HeterogeneousDelay, ParetoDelay,
+                           TraceReplayDelay, UniformDelay)
+
+
+def spec(**overrides):
+    fields = dict(name="s", reads=40, seed=0)
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestSpecIdentity:
+    def test_hash_is_stable_across_instances(self):
+        assert spec().content_hash() == spec().content_hash()
+
+    def test_hash_changes_with_any_field(self):
+        base = spec().content_hash()
+        assert spec(reads=41).content_hash() != base
+        assert spec(seed=1).content_hash() != base
+        assert spec(optimizer_params={"lr": 0.1}).content_hash() != base
+        assert spec(delay={"kind": "pareto"}).content_hash() != base
+
+    def test_hash_ignores_dict_key_order(self):
+        a = spec(optimizer_params={"lr": 0.1, "momentum": 0.9})
+        b = spec(optimizer_params={"momentum": 0.9, "lr": 0.1})
+        assert a.content_hash() == b.content_hash()
+
+    def test_record_series_list_vs_tuple_hash_equal(self):
+        a = spec(record_series=("loss", "staleness"))
+        b = spec(record_series=["loss", "staleness"])
+        assert a.content_hash() == b.content_hash()
+
+    def test_dict_round_trip_preserves_hash(self):
+        s = spec(delay={"kind": "uniform", "low": 0.5, "high": 1.5,
+                        "seed": 3},
+                 faults={"crash_prob": 0.01, "seed": 7})
+        clone = ScenarioSpec.from_dict(s.as_dict())
+        assert clone == s
+        assert clone.content_hash() == s.content_hash()
+
+    def test_json_round_trip_preserves_hash(self, tmp_path):
+        s = spec(delay={"kind": "trace",
+                        "trace": {"delays": [1.0, 2.0, 0.5]}})
+        path = tmp_path / "specs.json"
+        save_scenarios([s], path)
+        loaded, = load_scenarios(path)
+        assert loaded == s
+        assert loaded.content_hash() == s.content_hash()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec"):
+            ScenarioSpec.from_dict({"name": "s", "typo_field": 1})
+
+    def test_newer_format_version_rejected(self, tmp_path):
+        path = tmp_path / "specs.json"
+        save_scenarios([spec()], path)
+        payload = json.loads(path.read_text())
+        payload["xp_format"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="xp_format 99"):
+            load_scenarios(path)
+
+
+class TestSeeding:
+    def test_explicit_seed_passes_through(self):
+        assert spec(seed=123).resolved_seed() == 123
+
+    def test_derived_seed_is_deterministic(self):
+        a = spec(seed=None)
+        b = spec(seed=None)
+        assert a.resolved_seed() == b.resolved_seed()
+
+    def test_derived_seeds_differ_across_scenarios(self):
+        a = ScenarioSpec(name="a", reads=40)
+        b = ScenarioSpec(name="b", reads=40)
+        assert a.resolved_seed() != b.resolved_seed()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"workers": 0}, {"num_shards": 0}, {"reads": -1},
+        {"updates": -1}, {"queue_staleness": -1}, {"smooth": 0},
+        {"delivery": "lifo"}, {"delay": {"no_kind": 1}},
+        {"name": ""},
+    ])
+    def test_bad_fields_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            spec(**overrides)
+
+
+class TestMatrix:
+    def make(self):
+        return Matrix(
+            base=spec(),
+            axes={
+                "delay": {
+                    "const": {"delay": {"kind": "constant", "delay": 1.0}},
+                    "pareto": {"delay": {"kind": "pareto", "seed": 5}},
+                },
+                "gamma": {
+                    "g01": {"optimizer_params.gamma": 0.01},
+                    "g10": {"optimizer_params.gamma": 0.1},
+                },
+            })
+
+    def test_expansion_is_full_cross_product(self):
+        specs = self.make().expand()
+        assert [s.name for s in specs] == [
+            "s/const/g01", "s/const/g10", "s/pareto/g01", "s/pareto/g10"]
+        assert len({s.content_hash() for s in specs}) == 4
+
+    def test_labels_align_with_expansion(self):
+        matrix = self.make()
+        labels = matrix.labels()
+        assert labels[0] == ("const", "g01")
+        assert len(labels) == len(matrix.expand())
+
+    def test_dotted_override_reaches_nested_param(self):
+        specs = self.make().expand()
+        assert specs[0].optimizer_params["gamma"] == 0.01
+        assert specs[1].optimizer_params["gamma"] == 0.1
+
+    def test_base_is_not_mutated_by_expansion(self):
+        matrix = self.make()
+        matrix.expand()
+        assert matrix.base.optimizer_params == {}
+        assert matrix.base.delay == {"kind": "constant", "delay": 1.0}
+
+    def test_override_must_start_with_spec_field(self):
+        matrix = Matrix(base=spec(),
+                        axes={"a": {"x": {"not_a_field.y": 1}}})
+        with pytest.raises(ValueError, match="not_a_field"):
+            matrix.expand()
+
+    def test_matrix_file_round_trip(self, tmp_path):
+        matrix = self.make()
+        path = tmp_path / "matrix.json"
+        save_scenarios(matrix, path)
+        loaded = load_scenarios(path)
+        assert [s.content_hash() for s in loaded] == \
+            [s.content_hash() for s in matrix.expand()]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Matrix(base=spec(), axes={"a": {}})
+
+
+class TestFactories:
+    def test_delay_kinds_build(self):
+        assert isinstance(
+            build_delay_model({"kind": "constant", "delay": 2.0}),
+            ConstantDelay)
+        assert isinstance(
+            build_delay_model({"kind": "uniform", "low": 0.5, "high": 1.0,
+                               "seed": 1}), UniformDelay)
+        assert isinstance(
+            build_delay_model({"kind": "pareto", "seed": 2}), ParetoDelay)
+        het = build_delay_model(
+            {"kind": "heterogeneous",
+             "models": [{"kind": "constant", "delay": 1.0},
+                        {"kind": "pareto", "seed": 3}]})
+        assert isinstance(het, HeterogeneousDelay)
+        assert isinstance(het.models[1], ParetoDelay)
+        trace = build_delay_model(
+            {"kind": "trace", "trace": {"delays": [1.0, 2.0]}})
+        assert isinstance(trace, TraceReplayDelay)
+
+    def test_unknown_delay_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown delay kind"):
+            build_delay_model({"kind": "warp"})
+
+    def test_fault_config_builds_scheduled_list(self):
+        injector = build_fault_injector({
+            "crash_prob": 0.01, "seed": 4,
+            "scheduled": [
+                {"kind": "crash", "worker": 0, "time": 3.0,
+                 "downtime": 2.0},
+                {"kind": "straggler", "worker": 1, "start": 1.0,
+                 "duration": 4.0, "factor": 5.0},
+                {"kind": "pause", "start": 2.0, "duration": 1.0},
+            ]})
+        assert injector.crash_prob == 0.01
+        assert len(injector.scheduled) == 3
+
+    def test_empty_fault_config_is_none(self):
+        assert build_fault_injector({}) is None
+        assert build_fault_injector(None) is None
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduled fault"):
+            build_fault_injector({"scheduled": [{"kind": "meteor"}]})

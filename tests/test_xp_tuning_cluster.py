@@ -1,0 +1,139 @@
+"""repro.tuning driving ClusterRuntime scenarios through repro.xp.
+
+Satellite coverage for the tuning package on the cluster path: the
+paper's grid-search protocol selecting a learning rate over
+:class:`~repro.cluster.runtime.ClusterRuntime` runs, and random-search
+samples mapped onto a scenario sweep executed (and cached) by the
+:class:`~repro.xp.runner.ParallelRunner`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.optim import MomentumSGD
+from repro.tuning import Workload, grid_search, log_uniform, random_search
+from repro.utils.rng import new_rng
+from repro.xp import ParallelRunner, ResultCache, ScenarioSpec
+from repro.xp import runner as runner_mod
+
+
+def build_problem(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(64, 4))
+    y = (x[:, 0] + 0.5 * x[:, 2] > 0).astype(int)
+    model = nn.Sequential(nn.Linear(4, 8, seed=seed), nn.ReLU(),
+                          nn.Linear(8, 2, seed=seed + 1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+WORKLOAD = Workload(name="toy", build=build_problem, steps=30,
+                    smooth_window=5)
+
+
+def lr_spec(lr, reads=40):
+    """One cluster scenario per candidate learning rate."""
+    return ScenarioSpec(
+        name=f"tune/lr={lr:.6g}", workload="toy_classifier",
+        workload_params={"samples": 64, "features": 4, "hidden": 8,
+                         "batch_size": 16},
+        optimizer="momentum_sgd",
+        optimizer_params={"lr": float(lr), "momentum": 0.9},
+        workers=4, num_shards=2, reads=reads, seed=0, smooth=10)
+
+
+class TestGridSearchOnClusterPath:
+    def test_grid_search_async_workers_end_to_end(self):
+        # async_workers routes run_workload through the ClusterRuntime
+        # facade: the paper's tuning protocol on the cluster runtime
+        result = grid_search(
+            WORKLOAD,
+            lambda params, lr: MomentumSGD(params, lr=lr, momentum=0.9),
+            lr_grid=(1e-3, 0.05, 10.0), optimizer_name="msgd",
+            seeds=(0,), async_workers=4)
+        assert result.best_lr == 0.05
+        assert result.best_run.losses.size == WORKLOAD.steps
+        # the absurd lr must not win even if it survived
+        assert result.all_runs[10.0].min_loss >= result.best_smoothed_min
+
+    def test_grid_search_via_xp_runner_picks_stable_lr(self, tmp_path):
+        grid = (1e-3, 0.05, 10.0)
+        specs = [lr_spec(lr) for lr in grid]
+        runner = ParallelRunner(processes=2,
+                                cache=ResultCache(tmp_path / "cache"))
+        results = runner.run(specs)
+        scores = {lr: r.metrics["final_loss"] +
+                  (1e18 if r.metrics["diverged"] else 0.0)
+                  for lr, r in zip(grid, results)}
+        assert min(scores, key=scores.get) == 0.05
+
+    def test_rerun_of_tuning_sweep_hits_cache(self, tmp_path, monkeypatch):
+        grid = (1e-3, 0.05)
+        cache = ResultCache(tmp_path / "cache")
+        first = ParallelRunner(processes=1, cache=cache)
+        before = first.run([lr_spec(lr) for lr in grid])
+
+        monkeypatch.setattr(
+            runner_mod, "run_scenario",
+            lambda spec: (_ for _ in ()).throw(
+                AssertionError(f"recomputed {spec.name}")))
+        second = ParallelRunner(processes=1, cache=cache)
+        after = second.run([lr_spec(lr) for lr in grid])
+        assert (second.hits, second.misses) == (len(grid), 0)
+        assert [r.identity() for r in before] == \
+            [r.identity() for r in after]
+
+
+class TestRandomSearchOnClusterPath:
+    def test_random_search_end_to_end(self):
+        result = random_search(
+            WORKLOAD,
+            lambda params, cfg: MomentumSGD(params, lr=cfg["lr"],
+                                            momentum=0.9),
+            sampler=lambda rng: {"lr": log_uniform(rng, 1e-3, 1e-1)},
+            budget=4, optimizer_name="msgd", seeds=(0,), seed=7)
+        assert result.best_run.losses.size == WORKLOAD.steps
+        assert np.isfinite(result.best_run.min_loss)
+
+    def test_sampled_sweep_is_deterministic_through_runner(self):
+        # deterministic sampling -> deterministic specs -> deterministic
+        # records, independent of pool size
+        lrs_a = [log_uniform(new_rng(11), 1e-3, 1e-1),
+                 log_uniform(new_rng(12), 1e-3, 1e-1)]
+        lrs_b = [log_uniform(new_rng(11), 1e-3, 1e-1),
+                 log_uniform(new_rng(12), 1e-3, 1e-1)]
+        assert lrs_a == lrs_b
+        specs_a = [lr_spec(lr, reads=30) for lr in lrs_a]
+        specs_b = [lr_spec(lr, reads=30) for lr in lrs_b]
+        assert [s.content_hash() for s in specs_a] == \
+            [s.content_hash() for s in specs_b]
+        res_serial = ParallelRunner(processes=1).run(specs_a)
+        res_pool = ParallelRunner(processes=2).run(specs_b)
+        assert [r.identity() for r in res_serial] == \
+            [r.identity() for r in res_pool]
+
+    def test_distinct_scenarios_get_distinct_derived_seeds(self):
+        a = ScenarioSpec(name="tune/a", reads=20)
+        b = ScenarioSpec(name="tune/b", reads=20)
+        assert a.resolved_seed() != b.resolved_seed()
+        ra, rb = runner_mod.run_scenario(a), runner_mod.run_scenario(b)
+        assert ra.env["seed"] != rb.env["seed"]
+
+
+@pytest.mark.parametrize("workers,shards", [(1, 1), (4, 2)])
+def test_topology_sweep_trains_everywhere(workers, shards):
+    spec = ScenarioSpec(
+        name=f"topo/{workers}x{shards}", workload="toy_classifier",
+        workload_params={"samples": 64, "features": 4, "hidden": 8,
+                         "batch_size": 16},
+        optimizer="momentum_sgd",
+        optimizer_params={"lr": 0.05, "momentum": 0.9},
+        workers=workers, num_shards=shards, reads=40, seed=0, smooth=10)
+    result = runner_mod.run_scenario(spec)
+    assert result.metrics["diverged"] == 0.0
+    assert result.metrics["final_loss"] < result.metrics["initial_loss"]
