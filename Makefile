@@ -4,7 +4,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
-	matrix-smoke perf-gate example cluster-example matrix-example
+	matrix-smoke vec-smoke perf-gate example cluster-example \
+	matrix-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -39,14 +40,24 @@ matrix-smoke:  ## repro.xp orchestration gate: specs, runner, cache, CLI, <60s
 	    --jobs 2 --cache $$cache || status=$$?; \
 	rm -rf $$cache; exit $$status
 
+vec-smoke:  ## batched replicate engine: differential + property suites, 8-replicate speedup gate, <60s
+	$(PYTEST) tests/test_vec_equivalence.py \
+	    tests/test_property_serialization.py -q
+	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
+	    benchmarks/test_vec_replicates.py -q -s
+
 perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
 	@fresh=$$(mktemp -d); status=0; \
 	REPRO_BENCH_DIR=$$fresh $(PYTEST) benchmarks/test_cluster_scenarios.py \
 	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" \
+	    benchmarks/test_vec_replicates.py \
 	    -q -s && \
 	PYTHONPATH=src python -m repro.xp diff --baseline . --fresh $$fresh \
-	    --names cluster_scenarios,fig01 --report perf_report.json \
+	    --names cluster_scenarios,fig01,vec_replicates \
+	    --report perf_report.json \
 	    || status=$$?; \
+	cp $$fresh/BENCH_vec_replicates.json replicate_statistics.json \
+	    2>/dev/null || true; \
 	rm -rf $$fresh; exit $$status
 
 example:  ## sharded + fused async-training tour

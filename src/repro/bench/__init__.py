@@ -16,11 +16,11 @@ Typical use::
 
 from repro.bench.timers import WallTimer, TimingStats, time_fn
 from repro.bench.report import (BenchRecord, BenchReporter, environment_info,
-                                load_record)
+                                load_record, replicate_statistics)
 from repro.bench.runner import compare_benchmark, run_benchmark
 
 __all__ = [
     "WallTimer", "TimingStats", "time_fn",
     "BenchRecord", "BenchReporter", "environment_info", "load_record",
-    "run_benchmark", "compare_benchmark",
+    "replicate_statistics", "run_benchmark", "compare_benchmark",
 ]

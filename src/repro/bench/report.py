@@ -8,11 +8,12 @@ against the committed trajectory instead of folklore.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 # Directory BENCH_*.json files land in unless a reporter says otherwise.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -38,6 +39,49 @@ def environment_info() -> dict:
         "machine": platform.machine(),
         "bench_scale": float(os.environ.get(BENCH_SCALE_ENV, "1.0")),
     }
+
+
+def replicate_statistics(replicate_metrics: Sequence[Dict[str, float]]
+                         ) -> Dict[str, float]:
+    """Aggregate per-replicate metric dicts into mean/std/CI fields.
+
+    For every metric ``m`` present in the replicate dicts the output
+    carries ``m`` (the sample mean — the value baseline gates judge),
+    ``m_std`` (sample standard deviation, ``ddof=1``), and ``m_ci95``
+    (the 95% normal-approximation confidence half-width,
+    ``1.96 · std / sqrt(R)``), plus a ``replicates`` count.  With a
+    single replicate the std/CI fields are omitted (no spread to
+    estimate) and the means are the values themselves.
+
+    Parameters
+    ----------
+    replicate_metrics : sequence of dict
+        One scalar-metric dict per replicate (all with the same keys).
+
+    Returns
+    -------
+    dict
+        The aggregated metric dict, ready for a BENCH record or a
+        replicated :class:`~repro.xp.runner.ScenarioResult`.
+    """
+    if not replicate_metrics:
+        raise ValueError("need at least one replicate metric dict")
+    n = len(replicate_metrics)
+    out: Dict[str, float] = {}
+    for key in replicate_metrics[0]:
+        values = [float(m[key]) for m in replicate_metrics]
+        mean = sum(values) / n
+        out[key] = mean
+        if n > 1:
+            if any(math.isnan(v) for v in values):
+                std = float("nan")
+            else:
+                var = sum((v - mean) ** 2 for v in values) / (n - 1)
+                std = math.sqrt(var)
+            out[f"{key}_std"] = std
+            out[f"{key}_ci95"] = 1.96 * std / math.sqrt(n)
+    out["replicates"] = float(n)
+    return out
 
 
 @dataclass
@@ -114,6 +158,31 @@ class BenchReporter:
             rec.env["seed"] = int(seed)
         self.records[name] = rec
         return rec
+
+    def record_replicates(self, name: str,
+                          replicate_metrics: Sequence[Dict[str, float]],
+                          params: Optional[Dict[str, object]] = None,
+                          seed: Optional[int] = None) -> BenchRecord:
+        """Create the record for ``name`` from per-replicate metrics.
+
+        Aggregates with :func:`replicate_statistics`, so the record
+        carries ``m`` / ``m_std`` / ``m_ci95`` per metric plus the
+        replicate count — the statistical BENCH-record shape the
+        CI-aware baseline gate understands.
+
+        Parameters
+        ----------
+        name : str
+            Record key (file becomes ``BENCH_<name>.json``).
+        replicate_metrics : sequence of dict
+            One scalar-metric dict per replicate.
+        params : dict, optional
+            The knobs the measurement was taken under.
+        seed : int, optional
+            Base seed of the measured run.
+        """
+        return self.record(name, replicate_statistics(replicate_metrics),
+                           params=params, seed=seed)
 
     def write(self, name: Optional[str] = None) -> list:
         """Write one record (or all of them) as ``BENCH_<name>.json``.

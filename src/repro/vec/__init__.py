@@ -1,0 +1,57 @@
+"""Batched multi-replicate execution engine.
+
+The statistical claims of the paper — tuned-momentum robustness,
+closed-loop gains under asynchrony — live across seeds and delay
+realizations, so every headline number wants replicates with error
+bars.  This package makes the replicate axis cheap: ``R`` replicates of
+a scenario are stacked into one extra leading axis of the flat
+parameter buffer (:class:`~repro.autograd.flat.BatchedFlatParams`) and
+stepped together by batched fused optimizer kernels, under a single
+lockstep event loop.
+
+Layout
+------
+- :mod:`repro.vec.engine` — the lockstep
+  :class:`~repro.vec.engine.BatchedClusterEngine` and its
+  applicability predicate :func:`~repro.vec.engine.supports_batched`.
+- :mod:`repro.vec.optim` — batched SGD / momentum / Adam / YellowFin /
+  closed-loop YellowFin kernels with per-replicate tuned
+  hyperparameter vectors.
+- :mod:`repro.vec.measurements` — replicate-vectorized YellowFin
+  measurement oracles and adaptive clipping.
+- :mod:`repro.vec.workloads` — batched workload evaluators (vectorized
+  ``quadratic_bowl``; generic per-replicate adapter for everything
+  else).
+- :mod:`repro.vec.runner` — :func:`~repro.vec.runner.
+  run_replicated_scenario`, the ``replicates > 1`` branch of
+  :func:`repro.xp.runner.run_scenario`, with transparent serial
+  fallback.
+
+Contract
+--------
+Per-replicate records are **bit-identical** to ``R`` serial runs of the
+scalar path (enforced by ``tests/test_vec_equivalence.py``); batching
+buys speed, never different numbers.
+"""
+
+from repro.vec.engine import (BatchedClusterEngine, ReplicateDiverged,
+                              supports_batched)
+from repro.vec.optim import (VecAdam, VecClosedLoopYellowFin,
+                             VecMomentumSGD, VecOptimizer, VecSGD,
+                             VecYellowFin, build_vec_optimizer,
+                             has_vec_optimizer, vec_optimizer_names)
+from repro.vec.runner import run_replicated_scenario
+from repro.vec.workloads import (ModelReplicateAdapter, QuadraticBowlVec,
+                                 build_vec_evaluator, has_vec_workload,
+                                 register_vec_workload,
+                                 vec_workload_names)
+
+__all__ = [
+    "BatchedClusterEngine", "ReplicateDiverged", "supports_batched",
+    "VecOptimizer", "VecSGD", "VecMomentumSGD", "VecAdam",
+    "VecYellowFin", "VecClosedLoopYellowFin", "build_vec_optimizer",
+    "has_vec_optimizer", "vec_optimizer_names",
+    "run_replicated_scenario",
+    "ModelReplicateAdapter", "QuadraticBowlVec", "build_vec_evaluator",
+    "has_vec_workload", "register_vec_workload", "vec_workload_names",
+]

@@ -1,0 +1,330 @@
+"""Lockstep batched execution of replicated cluster scenarios.
+
+One scalar :class:`~repro.cluster.runtime.ClusterRuntime` run interleaves
+three kinds of work: event scheduling (pure bookkeeping), gradient
+computation, and optimizer updates.  For the **lockstep-schedulable**
+scenario class — constant delays, no fault injection — the event
+schedule is a function of the spec alone, independent of gradient
+values and seeds.  ``R`` replicates of such a scenario therefore visit
+the *same* reads and commits in the *same* order, and the whole sweep
+collapses onto a single event loop whose per-event work is batched
+across the replicate axis:
+
+- parameters live in one ``(R, N)`` matrix
+  (:class:`~repro.autograd.flat.BatchedFlatParams` or a vectorized
+  workload's own buffer);
+- gradient computation is batched when the workload has a vectorized
+  evaluator, per-replicate otherwise;
+- the optimizer update is always batched
+  (:mod:`repro.vec.optim`), with per-replicate tuned hyperparameters
+  carried as vectors.
+
+Every replicate keeps its own training log, staleness bookkeeping, and
+(for random delivery) its own server RNG stream, so the per-replicate
+records are **bit-identical** to ``R`` serial scalar runs — the
+engine's defining contract, enforced by ``tests/test_vec_equivalence``.
+
+Scenarios outside the lockstep class — stochastic delay models, fault
+plans, optimizers without a batched kernel — and runs where any
+replicate diverges (which truncates that replicate's scalar schedule)
+are *not* handled here; :func:`supports_batched` reports the former,
+and a mid-run divergence raises :class:`ReplicateDiverged` so the
+caller can fall back to serial scalar execution.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.delays import ConstantDelay
+from repro.cluster.events import EventQueue
+from repro.sim.trainer import TrainerHooks
+from repro.utils.logging import TrainLog
+from repro.utils.rng import new_rng
+from repro.vec.optim import build_vec_optimizer, has_vec_optimizer
+from repro.vec.workloads import build_vec_evaluator
+from repro.xp.spec import ScenarioSpec
+
+# the scalar path runs under default TrainerHooks; sharing its
+# divergence threshold keeps the two paths from ever drifting (None
+# means "non-finite only", which +inf reproduces in the comparisons)
+_DEFAULT_STOP = TrainerHooks().stop_on_divergence
+_DIVERGENCE_THRESHOLD = (float("inf") if _DEFAULT_STOP is None
+                         else _DEFAULT_STOP)
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+class ReplicateDiverged(Exception):
+    """A replicate diverged mid-run, truncating its scalar schedule.
+
+    Divergence stops a scalar run immediately, so a diverged replicate
+    falls out of lockstep with the others; the engine aborts and the
+    caller re-runs the scenario serially (where each replicate may stop
+    at its own point).
+    """
+
+    def __init__(self, replicate: int, read_step: int):
+        super().__init__(
+            f"replicate {replicate} diverged at read {read_step}")
+        self.replicate = replicate
+        self.read_step = read_step
+
+
+def supports_batched(spec: ScenarioSpec) -> bool:
+    """Whether a spec falls in the lockstep-schedulable class.
+
+    Requires a constant delay model (gradient-independent event order),
+    an empty fault plan, and an optimizer with a batched kernel.
+    Anything else runs through the serial fallback of
+    :func:`repro.vec.runner.run_replicated_scenario`.
+    """
+    return (spec.delay.get("kind") == "constant"
+            and not spec.faults
+            and has_vec_optimizer(spec.optimizer))
+
+
+class ReplicateOutcome:
+    """One replicate's share of a batched run.
+
+    Attributes
+    ----------
+    log : TrainLog
+        The replicate's training log, series-compatible with a scalar
+        :class:`~repro.cluster.runtime.ClusterRuntime` run.
+    reads, updates : int
+        The replicate's budget counters at the end of the run.
+    """
+
+    def __init__(self, log: TrainLog, reads: int, updates: int):
+        self.log = log
+        self.reads = reads
+        self.updates = updates
+
+
+class BatchedClusterEngine:
+    """Single event loop driving ``R`` lockstep scenario replicates.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        The scenario (must satisfy :func:`supports_batched`).
+    seeds : sequence of int
+        One derived seed per replicate (see
+        :meth:`ScenarioSpec.replicate_seeds`).
+    """
+
+    def __init__(self, spec: ScenarioSpec, seeds):
+        if not supports_batched(spec):
+            raise ValueError(
+                f"scenario {spec.name!r} is not lockstep-schedulable")
+        self.spec = spec
+        self.seeds = [int(s) for s in seeds]
+        self.replicates = len(self.seeds)
+        self.workload = build_vec_evaluator(
+            spec.workload, self.seeds, **spec.workload_params)
+        self.buffer = self.workload.buffer
+        self.optimizer = build_vec_optimizer(
+            spec.optimizer, self.buffer, self.workload.offsets,
+            **spec.optimizer_params)
+        delay_params = {k: v for k, v in spec.delay.items()
+                        if k != "kind"}
+        self.delay_model = ConstantDelay(**delay_params)
+        # per-replicate server RNGs: only the "random" delivery draws
+        # from them, exactly as the sharded server's seeded RNG does
+        self.rngs = [new_rng(s) for s in self.seeds]
+        self.random_delivery = spec.delivery == "random"
+        self.tau = spec.queue_staleness
+
+        R = self.replicates
+        self.logs = [TrainLog() for _ in range(R)]
+        # direct per-replicate series-list handles: the engine's commit
+        # loop appends to these without going through TrainLog.append
+        self._series = {
+            name: ([log.scalars.setdefault(name, [])
+                    for log in self.logs],
+                   [log.steps.setdefault(name, [])
+                    for log in self.logs])
+            for name in ("loss", "staleness", "worker", "sim_time")}
+        if self.optimizer.has_stats:
+            stats_names = ["lr", "momentum", "target_momentum"]
+            if hasattr(self.optimizer, "estimators"):
+                stats_names += ["total_momentum", "algorithmic_momentum"]
+            self._stats_names = stats_names
+            for name in stats_names:
+                self._series[name] = (
+                    [log.scalars.setdefault(name, [])
+                     for log in self.logs],
+                    [log.steps.setdefault(name, [])
+                     for log in self.logs])
+        else:
+            self._stats_names = []
+        # pending read steps: one shared FIFO queue for fifo delivery,
+        # per-replicate queues for random delivery (random pops
+        # desynchronize the queue *contents*, never their length)
+        self.queue: Deque[int] = deque()
+        self.queues: List[Deque[int]] = [self.queue for _ in range(R)] \
+            if not self.random_delivery else [deque() for _ in range(R)]
+        # read metadata shared across replicates (lockstep): worker id
+        # and the update count observed at read time
+        self._meta: Dict[int, tuple] = {}
+        # per-read gradient matrices, dropped once every replicate
+        # committed that read
+        self._grads: Dict[int, np.ndarray] = {}
+        self._commits_left: Dict[int, int] = {}
+
+        self.events = EventQueue()
+        self.clock = 0.0
+        self.reads_done = 0
+        self.steps_applied = 0
+
+    # ------------------------------------------------------------- #
+    # lockstep protocol
+    # ------------------------------------------------------------- #
+    def _append(self, name: str, values, step: int) -> None:
+        """Append one value per replicate to a cached series."""
+        value_lists, step_lists = self._series[name]
+        for r in range(self.replicates):
+            value_lists[r].append(float(values[r]))
+            step_lists[r].append(step)
+
+    def _read_and_dispatch(self, worker_id: int) -> None:
+        """All replicates read, check divergence, and ship gradients."""
+        step = self.reads_done
+        grads = np.empty_like(self.buffer)
+        losses = self.workload.read(grads)
+        if isinstance(losses, np.ndarray):
+            losses = losses.tolist()
+        loss_values, loss_steps = self._series["loss"]
+        for r, loss_value in enumerate(losses):
+            loss_values[r].append(loss_value)
+            loss_steps[r].append(step)
+        self.reads_done += 1
+        for loss_value in losses:
+            # fast path: a finite, non-divergent loss satisfies the
+            # chained comparison; NaN/±inf/threshold breaches fall
+            # through to the exact scalar-path check (the explicit
+            # +inf test matters when the threshold itself is +inf,
+            # i.e. stop_on_divergence=None means "non-finite only")
+            if not (_NEG_INF < loss_value <= _DIVERGENCE_THRESHOLD) \
+                    or loss_value == _POS_INF:
+                for r, value in enumerate(losses):
+                    if not math.isfinite(value) \
+                            or value > _DIVERGENCE_THRESHOLD:
+                        raise ReplicateDiverged(r, step)
+        self._grads[step] = grads
+        self._meta[step] = (worker_id, self.steps_applied)
+        if self.random_delivery:
+            self._commits_left[step] = self.replicates
+        delay = self.delay_model.sample(worker_id, self.clock)
+        self.events.schedule(self.clock + delay, "arrival", worker_id,
+                             {"read_step": step})
+
+    def _log_commit(self, log_step: int) -> None:
+        """Per-commit optimizer statistics series (YellowFin family)."""
+        stats = self.optimizer.stats_all()
+        for name in self._stats_names:
+            value_lists, step_lists = self._series[name]
+            for r in range(self.replicates):
+                value_lists[r].append(float(stats[r][name]))
+                step_lists[r].append(log_step)
+
+    def _commit_ready(self, updates: Optional[int]) -> None:
+        """Commit queued gradients while the depth gate is open."""
+        pending = len(self.queues[0])
+        R = self.replicates
+        while pending > self.tau and (
+                updates is None or self.steps_applied < updates):
+            version = self.steps_applied
+            log_step = self.reads_done - 1
+            if not self.random_delivery:
+                # fifo: every replicate commits the same read, so the
+                # gradient matrix and bookkeeping are shared wholesale
+                step = self.queue.popleft()
+                commit = self._grads.pop(step)
+                worker_id, read_version = self._meta.pop(step)
+                self.workload.ensure_packed()
+                self.optimizer.step(commit)
+                self.steps_applied += 1
+                pending -= 1
+                staleness = version - read_version
+                for name, value in (("staleness", staleness),
+                                    ("worker", worker_id),
+                                    ("sim_time", self.clock)):
+                    value = float(value)
+                    value_lists, step_lists = self._series[name]
+                    for r in range(R):
+                        value_lists[r].append(value)
+                        step_lists[r].append(log_step)
+            else:
+                steps = []
+                for r in range(R):
+                    pos = int(self.rngs[r].integers(pending))
+                    queue = self.queues[r]
+                    steps.append(queue[pos])
+                    del queue[pos]
+                commit = np.empty_like(self.buffer)
+                for r, s in enumerate(steps):
+                    commit[r] = self._grads[s][r]
+                self.workload.ensure_packed()
+                self.optimizer.step(commit)
+                self.steps_applied += 1
+                pending -= 1
+                meta = [self._meta[s] for s in steps]
+                self._append("staleness",
+                             [version - ver for _, ver in meta], log_step)
+                self._append("worker", [wid for wid, _ in meta], log_step)
+                self._append("sim_time", [self.clock] * R, log_step)
+                for s in steps:
+                    left = self._commits_left[s] = \
+                        self._commits_left[s] - 1
+                    if left == 0:
+                        del self._grads[s]
+                        del self._commits_left[s]
+                        del self._meta[s]
+            if self._stats_names:
+                self._log_commit(log_step)
+
+    # ------------------------------------------------------------- #
+    # driving loop
+    # ------------------------------------------------------------- #
+    def run(self) -> List[ReplicateOutcome]:
+        """Simulate the spec's budgets; one outcome per replicate.
+
+        Raises
+        ------
+        ReplicateDiverged
+            If any replicate's loss goes non-finite or past the
+            divergence threshold (the caller falls back to serial
+            execution).
+        """
+        spec = self.spec
+        reads, updates = spec.reads, spec.updates
+        for worker_id in range(spec.workers):
+            if self.reads_done >= reads:
+                break
+            self._read_and_dispatch(worker_id)
+        while True:
+            if self.reads_done >= reads and (
+                    updates is None or self.steps_applied >= updates):
+                break
+            if not self.events:
+                break
+            event = self.events.pop()
+            self.clock = event.time
+            step = event.payload["read_step"]
+            if self.random_delivery:
+                for queue in self.queues:
+                    queue.append(step)
+            else:
+                self.queue.append(step)
+            self._commit_ready(updates)
+            if self.reads_done < reads:
+                self._read_and_dispatch(event.worker)
+        return [ReplicateOutcome(log=self.logs[r], reads=self.reads_done,
+                                 updates=self.steps_applied)
+                for r in range(self.replicates)]

@@ -1,0 +1,340 @@
+"""Replicate-vectorized YellowFin measurement oracles.
+
+The scalar oracles of :mod:`repro.core.measurements` track one run; the
+classes here track ``R`` independent runs at once, carrying every
+statistic as a length-``R`` vector (or an ``(R, N)`` matrix for the
+elementwise gradient EMAs).  All smoothing is elementwise, so each row
+of a vectorized oracle evolves bit-for-bit like a scalar oracle fed the
+same row — the property the :mod:`repro.vec` differential tests assert.
+Reductions that the scalar path performs with BLAS (``np.dot``) are
+executed per row on contiguous row views, so they call the exact same
+kernel on the exact same memory layout.
+
+Two gradient-reduction modes mirror the scalar optimizer's two hot
+paths:
+
+- ``fused`` — per-replicate ``np.dot(row, row)`` (the flat-buffer path);
+- per-tensor — per-slice ``float(np.sum(g * g))`` accumulated in Python
+  floats, in tensor order (the reference per-tensor path).  The modes
+  differ by floating-point association only, exactly as the scalar
+  optimizers do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ema import ZeroDebiasEMA
+
+
+def row_sq_norms(grads: np.ndarray, offsets: Sequence[int],
+                 fused: bool) -> np.ndarray:
+    """Per-replicate squared gradient norms, in scalar-path op order.
+
+    Parameters
+    ----------
+    grads : numpy.ndarray
+        ``(R, N)`` gradient matrix with contiguous rows.
+    offsets : sequence of int
+        Per-tensor column boundaries (``offsets[i]:offsets[i+1]``).
+    fused : bool
+        ``True`` reproduces the fused path (one ``np.dot`` per row);
+        ``False`` reproduces the per-tensor path (Python-float sum of
+        per-slice ``np.sum(g * g)`` terms).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``R`` float64 vector of squared norms.
+    """
+    R = grads.shape[0]
+    out = np.empty(R, dtype=np.float64)
+    if fused:
+        for r in range(R):
+            row = grads[r]
+            out[r] = float(np.dot(row, row))
+    else:
+        for r in range(R):
+            total = 0.0
+            row = grads[r]
+            for i in range(len(offsets) - 1):
+                g = row[offsets[i]:offsets[i + 1]]
+                total += float(np.sum(g * g))
+            out[r] = total
+    return out
+
+
+class VecLogSpaceEMA(ZeroDebiasEMA):
+    """Vector-valued log-space EMA (`LogSpaceEMA` per replicate).
+
+    ``update`` folds in a length-``R`` vector; ``value`` returns the
+    exponentiated debiased average as a vector.  Per element this is
+    exactly the scalar :class:`repro.core.ema.LogSpaceEMA` recurrence.
+    """
+
+    def update(self, value) -> np.ndarray:
+        """Fold in a length-``R`` observation vector."""
+        value = np.maximum(np.asarray(value, dtype=np.float64), 1e-300)
+        super().update(np.log(value))
+        return self.value
+
+    @property
+    def value(self) -> np.ndarray:
+        """Debiased estimate vector (``exp`` of the smoothed logs)."""
+        return np.exp(super().value)
+
+
+class VecCurvatureRange:
+    """Vectorized sliding-window extremal-curvature estimator.
+
+    One :class:`repro.core.measurements.CurvatureRange` per replicate,
+    carried as length-``R`` vectors.  The window history holds one
+    ``(R,)`` vector per step; extremal envelopes use exact elementwise
+    ``max``/``min``, so each row matches the scalar estimator exactly.
+    """
+
+    def __init__(self, replicates: int, beta: float = 0.999,
+                 window: int = 20, limit_envelope_growth: bool = False,
+                 log_space: bool = True, zero_debias: bool = True):
+        self.replicates = replicates
+        self.window = window
+        self.limit_envelope_growth = limit_envelope_growth
+        ema_cls = VecLogSpaceEMA if log_space else ZeroDebiasEMA
+        self._history: Deque[np.ndarray] = deque(maxlen=window)
+        self._hmax = ema_cls(beta, debias=zero_debias)
+        self._hmin = ema_cls(beta, debias=zero_debias)
+
+    def update(self, grad_sq_norms: np.ndarray) -> "VecCurvatureRange":
+        """Fold in this step's per-replicate ``||g||^2`` vector."""
+        h_t = np.maximum(np.asarray(grad_sq_norms, dtype=np.float64),
+                         1e-300)
+        self._history.append(h_t)
+        stacked = np.stack(self._history)
+        hmax_t = stacked.max(axis=0)
+        hmin_t = stacked.min(axis=0)
+        if self.limit_envelope_growth and self._hmax.initialized:
+            hmax_t = np.minimum(hmax_t, 100.0 * self._hmax.value)
+        self._hmax.update(hmax_t)
+        self._hmin.update(hmin_t)
+        return self
+
+    @property
+    def hmax(self) -> np.ndarray:
+        """Per-replicate smoothed maximal curvature."""
+        return np.asarray(self._hmax.value, dtype=np.float64)
+
+    @property
+    def hmin(self) -> np.ndarray:
+        """Per-replicate smoothed minimal curvature."""
+        return np.asarray(self._hmin.value, dtype=np.float64)
+
+
+class VecGradientVariance:
+    """Vectorized gradient-variance estimator (Algorithm 3, per row).
+
+    Maintains ``(R, N)`` elementwise EMAs of ``g`` and ``g * g``; the
+    per-replicate variance is the row-summed clipped difference.
+    """
+
+    def __init__(self, beta: float = 0.999, zero_debias: bool = True):
+        self._g = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._g2 = ZeroDebiasEMA(beta, debias=zero_debias)
+
+    def update(self, grads: np.ndarray) -> "VecGradientVariance":
+        """Fold in this step's ``(R, N)`` gradient matrix."""
+        grads = np.asarray(grads, dtype=np.float64)
+        self._g.update(grads)
+        self._g2.update(grads * grads)
+        return self
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Per-replicate summed elementwise variance (length ``R``)."""
+        g = self._g.value
+        g2 = self._g2.value
+        diff = np.maximum(g2 - g * g, 0.0)
+        # row-wise reduction of the C-contiguous matrix uses the same
+        # pairwise summation per row as the scalar estimator's
+        # whole-array sum, so each entry is bit-identical
+        return diff.sum(axis=1)
+
+
+class VecDistanceToOpt:
+    """Vectorized distance-to-optimum estimator (Algorithm 4)."""
+
+    def __init__(self, beta: float = 0.999, zero_debias: bool = True):
+        self._norm = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._h = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._dist = ZeroDebiasEMA(beta, debias=zero_debias)
+
+    def update(self, grad_norms: np.ndarray) -> "VecDistanceToOpt":
+        """Fold in this step's per-replicate ``||g||`` vector."""
+        grad_norms = np.asarray(grad_norms, dtype=np.float64)
+        self._norm.update(grad_norms)
+        self._h.update(grad_norms * grad_norms)
+        denom = np.maximum(self._h.value, 1e-300)
+        self._dist.update(self._norm.value / denom)
+        return self
+
+    @property
+    def distance(self) -> np.ndarray:
+        """Per-replicate smoothed distance estimate (length ``R``)."""
+        return np.asarray(self._dist.value, dtype=np.float64)
+
+
+@dataclass
+class VecMeasurementSnapshot:
+    """One step's tuner inputs as per-replicate vectors."""
+
+    hmax: np.ndarray
+    hmin: np.ndarray
+    variance: np.ndarray
+    distance: np.ndarray
+    grad_norm: np.ndarray
+
+
+class VecMeasurements:
+    """Replicate-vectorized bundle of the three YellowFin oracles.
+
+    The batched counterpart of
+    :class:`repro.core.measurements.GradientMeasurements`: one ``update``
+    folds in an ``(R, N)`` gradient matrix and advances every
+    replicate's oracles in a handful of batched elementwise operations,
+    plus per-row reductions that replay the scalar path's exact BLAS
+    calls.
+
+    Parameters
+    ----------
+    replicates : int
+        Number of replicate rows ``R``.
+    offsets : sequence of int
+        Per-tensor column boundaries of the gradient matrix (used by
+        the per-tensor reduction mode).
+    fused : bool
+        Reduction mode: fused flat-buffer semantics or per-tensor
+        reference semantics (see :func:`row_sq_norms`).
+    beta, window, limit_envelope_growth, log_space_curvature, \
+zero_debias :
+        Forwarded to the underlying oracles, as in the scalar bundle.
+    """
+
+    def __init__(self, replicates: int, offsets: Sequence[int],
+                 fused: bool = True, beta: float = 0.999,
+                 window: int = 20, limit_envelope_growth: bool = False,
+                 log_space_curvature: bool = True,
+                 zero_debias: bool = True):
+        self.replicates = replicates
+        self.offsets = list(offsets)
+        self.fused = fused
+        self.curvature = VecCurvatureRange(
+            replicates, beta=beta, window=window,
+            limit_envelope_growth=limit_envelope_growth,
+            log_space=log_space_curvature, zero_debias=zero_debias)
+        self.variance = VecGradientVariance(beta=beta,
+                                            zero_debias=zero_debias)
+        self.distance = VecDistanceToOpt(beta=beta,
+                                         zero_debias=zero_debias)
+
+    def update(self, grads: np.ndarray) -> VecMeasurementSnapshot:
+        """Fold in this step's ``(R, N)`` gradients; return a snapshot."""
+        if self.fused:
+            # the scalar fused path (update_flat) casts to float64
+            # before its norm reduction; the per-tensor path reduces at
+            # the native dtype — mirror both exactly
+            grads64 = np.asarray(grads, dtype=np.float64)
+            flat_sq = row_sq_norms(grads64, self.offsets, True)
+        else:
+            grads64 = grads
+            flat_sq = row_sq_norms(grads, self.offsets, False)
+        grad_norm = np.sqrt(flat_sq)
+        self.curvature.update(flat_sq)
+        self.distance.update(grad_norm)
+        self.variance.update(grads64)
+        return self.snapshot(grad_norm)
+
+    def snapshot(self, grad_norm: Optional[np.ndarray] = None
+                 ) -> VecMeasurementSnapshot:
+        """Current per-replicate oracle estimates."""
+        if grad_norm is None:
+            grad_norm = np.full(self.replicates, np.nan)
+        return VecMeasurementSnapshot(
+            hmax=self.curvature.hmax, hmin=self.curvature.hmin,
+            variance=self.variance.variance,
+            distance=self.distance.distance, grad_norm=grad_norm)
+
+
+class VecAdaptiveClipper:
+    """Replicate-vectorized adaptive gradient clipping.
+
+    Mirrors :class:`repro.core.clipping.AdaptiveClipper` per row:
+    row norms are taken with the scalar path's own reduction (fused
+    ``np.dot`` or per-tensor sums), and rows exceeding their replicate's
+    ``sqrt(hmax)`` threshold are rescaled in place by the same scalar
+    factor the scalar clipper would apply.
+    """
+
+    def __init__(self, replicates: int, offsets: Sequence[int],
+                 fused: bool = True, warmup_steps: int = 1):
+        if warmup_steps < 1:
+            raise ValueError("warmup_steps must be >= 1")
+        self.replicates = replicates
+        self.offsets = list(offsets)
+        self.fused = fused
+        self.warmup_steps = warmup_steps
+        self._steps = 0
+        self.clip_events = 0
+        self.last_norms: Optional[np.ndarray] = None
+
+    def clip(self, grads: np.ndarray,
+             hmax: Optional[np.ndarray]) -> np.ndarray:
+        """Rescale each row in place; returns the pre-clip row norms."""
+        norms = np.sqrt(row_sq_norms(grads, self.offsets, self.fused))
+        self._steps += 1
+        self.last_norms = norms
+        if hmax is None or self._steps <= self.warmup_steps:
+            return norms
+        thresholds = np.sqrt(np.maximum(np.asarray(hmax, np.float64),
+                                        0.0))
+        for r in range(self.replicates):
+            norm = float(norms[r])
+            threshold = float(thresholds[r])
+            if norm > threshold > 0.0:
+                grads[r] *= threshold / norm
+                self.clip_events += 1
+        return norms
+
+
+def vec_single_step(variance: np.ndarray, distance: np.ndarray,
+                    hmax: np.ndarray, hmin: np.ndarray
+                    ) -> "VecSingleStepResult":
+    """SingleStep (eq. 15) applied independently per replicate.
+
+    The tuning rule is a handful of scalar operations, so it simply
+    loops the exact scalar :func:`repro.core.single_step.single_step`
+    over the replicate axis — bit-identical by construction — and
+    assembles the outputs into vectors.
+    """
+    from repro.core.single_step import single_step
+
+    R = len(variance)
+    mu = np.empty(R)
+    lr = np.empty(R)
+    for r in range(R):
+        result = single_step(variance=float(variance[r]),
+                             distance=float(distance[r]),
+                             hmax=float(hmax[r]), hmin=float(hmin[r]))
+        mu[r] = result.mu
+        lr[r] = result.lr
+    return VecSingleStepResult(mu=mu, lr=lr)
+
+
+@dataclass
+class VecSingleStepResult:
+    """Per-replicate SingleStep outputs (``mu`` and ``lr`` vectors)."""
+
+    mu: np.ndarray
+    lr: np.ndarray

@@ -1,0 +1,491 @@
+"""Batched fused optimizer kernels over the replicate axis.
+
+Each class here steps ``R`` independent optimization runs at once on an
+``(R, N)`` parameter matrix (rows = replicates, columns = the packed
+flat-parameter axis of :class:`~repro.autograd.flat.BatchedFlatParams`).
+All elementwise state (velocities, Adam moments, gradient EMAs) is
+carried as ``(R, N)`` matrices and advanced in single NumPy operations;
+per-replicate tuned hyperparameters (YellowFin's learning rate and
+momentum) are length-``R`` vectors broadcast down the rows.
+
+Bit-identity contract
+---------------------
+Row ``r`` of a batched kernel evolves bit-for-bit like the corresponding
+scalar optimizer from :mod:`repro.optim` / :mod:`repro.core` fed the
+same gradients:
+
+- elementwise updates are IEEE-identical under broadcasting;
+- reductions (norms, dots, medians) run per row on contiguous row
+  views, replaying the scalar path's exact kernel on the same layout;
+- the ``fused`` hyperparameter selects between the scalar fused and
+  per-tensor reduction semantics, exactly as it does for the scalar
+  classes.
+
+The differential suite (``tests/test_vec_equivalence.py``) enforces the
+contract for every kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.closed_loop import TotalMomentumEstimator
+from repro.vec.measurements import (VecAdaptiveClipper, VecMeasurements,
+                                    vec_single_step)
+
+
+class VecOptimizer:
+    """Base class: an optimizer stepping ``R`` replicates in lockstep.
+
+    Parameters
+    ----------
+    buffer : numpy.ndarray
+        The shared ``(R, N)`` parameter matrix, updated in place.
+    offsets : sequence of int
+        Per-tensor column boundaries (used by per-tensor reduction
+        semantics); ``[0, N]`` for a single-tensor workload.
+
+    Attributes
+    ----------
+    t : int
+        Shared step counter (replicates commit in lockstep).
+    """
+
+    has_stats = False
+
+    def __init__(self, buffer: np.ndarray, offsets: Sequence[int]):
+        if buffer.ndim != 2:
+            raise ValueError(
+                f"buffer must be (replicates, size), got {buffer.shape}")
+        self.buffer = buffer
+        self.offsets = list(offsets)
+        self.replicates = int(buffer.shape[0])
+        self.size = int(buffer.shape[1])
+        self.t = 0
+
+    def step(self, grads: np.ndarray) -> None:
+        """Apply one lockstep update from the ``(R, N)`` gradients.
+
+        ``grads`` may be modified in place (weight decay, clipping) —
+        callers must treat it as consumed, mirroring the scalar fused
+        kernels' reuse of their gather scratch.
+        """
+        self._kernel(grads)
+        self.t += 1
+
+    def _kernel(self, grads: np.ndarray) -> None:
+        """Subclass hook: the actual batched update."""
+        raise NotImplementedError
+
+    def stats_for(self, r: int) -> dict:
+        """Per-replicate tuner statistics (YellowFin family only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} records no tuner statistics")
+
+
+class VecSGD(VecOptimizer):
+    """Batched vanilla SGD (mirrors :class:`repro.optim.SGD`)."""
+
+    def __init__(self, buffer: np.ndarray, offsets: Sequence[int],
+                 lr: float = 0.05, weight_decay: float = 0.0,
+                 fused: bool = False):
+        super().__init__(buffer, offsets)
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.fused = bool(fused)  # fused and per-tensor SGD are identical
+
+    def _kernel(self, grads: np.ndarray) -> None:
+        if self.weight_decay:
+            grads += self.weight_decay * self.buffer
+        self.buffer -= self.lr * grads
+
+
+class VecMomentumSGD(VecOptimizer):
+    """Batched Polyak/Nesterov momentum SGD
+    (mirrors :class:`repro.optim.MomentumSGD`)."""
+
+    def __init__(self, buffer: np.ndarray, offsets: Sequence[int],
+                 lr: float = 0.05, momentum: float = 0.9,
+                 nesterov: bool = False, weight_decay: float = 0.0,
+                 fused: bool = False):
+        super().__init__(buffer, offsets)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.weight_decay = float(weight_decay)
+        self.fused = bool(fused)
+        self._velocity = np.zeros_like(buffer)
+
+    def _kernel(self, grads: np.ndarray) -> None:
+        mu, alpha = self.momentum, self.lr
+        x, v = self.buffer, self._velocity
+        if self.weight_decay:
+            grads += self.weight_decay * x
+        v *= mu
+        v -= alpha * grads
+        if self.nesterov:
+            x += mu * v - alpha * grads
+        else:
+            x += v
+
+
+class VecAdam(VecOptimizer):
+    """Batched Adam with bias correction
+    (mirrors :class:`repro.optim.Adam`)."""
+
+    def __init__(self, buffer: np.ndarray, offsets: Sequence[int],
+                 lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 amsgrad: bool = False, fused: bool = False):
+        super().__init__(buffer, offsets)
+        if not -1.0 < beta1 < 1.0:
+            raise ValueError(f"beta1 must be in (-1, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.amsgrad = bool(amsgrad)
+        self.fused = bool(fused)
+        self._m = np.zeros_like(buffer)
+        self._v = np.zeros_like(buffer)
+        self._vmax = np.zeros_like(buffer)
+
+    def step(self, grads: np.ndarray) -> None:
+        """One bias-corrected Adam lockstep (``t`` increments first,
+        as in the scalar class)."""
+        self.t += 1
+        self._kernel(grads)
+
+    def _kernel(self, grads: np.ndarray) -> None:
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self.t
+        bias2 = 1.0 - b2 ** self.t
+        m, v, vmax = self._m, self._v, self._vmax
+        m *= b1
+        m += (1 - b1) * grads
+        v *= b2
+        v += (1 - b2) * grads * grads
+        m_hat = m / bias1
+        if self.amsgrad:
+            np.maximum(vmax, v, out=vmax)
+            v_hat = vmax / bias2
+        else:
+            v_hat = v / bias2
+        self.buffer -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class VecYellowFin(VecOptimizer):
+    """Batched YellowFin: per-replicate tuned ``(lr, mu)`` vectors.
+
+    The measurement oracles, EMAs, and momentum update all run batched;
+    the SingleStep rule (a handful of scalar operations) loops per
+    replicate through the exact scalar solver.  Mirrors
+    :class:`repro.core.yellowfin.YellowFin` row by row, in both fused
+    and per-tensor reduction modes.
+    """
+
+    has_stats = True
+
+    def __init__(self, buffer: np.ndarray, offsets: Sequence[int],
+                 lr: float = 1.0, momentum: float = 0.0,
+                 beta: float = 0.999, window: int = 20,
+                 adaptive_clip: bool = True, slow_start: bool = True,
+                 lr_factor: float = 1.0,
+                 prescribed_momentum: Optional[float] = None,
+                 zero_debias: bool = True,
+                 log_space_curvature: bool = True,
+                 nesterov: bool = False, fused: bool = False):
+        super().__init__(buffer, offsets)
+        if lr <= 0:
+            raise ValueError(f"initial lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(
+                f"initial momentum must be in [0, 1), got {momentum}")
+        from repro.core.ema import ZeroDebiasEMA
+
+        self.lr = np.full(self.replicates, float(lr))
+        self.momentum = np.full(self.replicates, float(momentum))
+        self.window = window
+        self.slow_start = slow_start
+        self.lr_factor = lr_factor
+        self.prescribed_momentum = prescribed_momentum
+        self.nesterov = nesterov
+        self.fused = bool(fused)
+        self.measurements = VecMeasurements(
+            self.replicates, offsets, fused=self.fused, beta=beta,
+            window=window, limit_envelope_growth=adaptive_clip,
+            log_space_curvature=log_space_curvature,
+            zero_debias=zero_debias)
+        self.clipper: Optional[VecAdaptiveClipper] = (
+            VecAdaptiveClipper(self.replicates, offsets, fused=self.fused)
+            if adaptive_clip else None)
+        self._lr_ema = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._mu_ema = ZeroDebiasEMA(beta, debias=zero_debias)
+        self._velocity = np.zeros_like(buffer)
+
+    # ------------------------------------------------------------- #
+    # tuner
+    # ------------------------------------------------------------- #
+    def _clip_gradients(self, grads: np.ndarray) -> None:
+        """Adaptive-clip every replicate row in place."""
+        hmax = None
+        if self.clipper is not None and \
+                self.measurements.curvature._hmax.initialized:
+            hmax = self.measurements.curvature.hmax
+        if self.clipper is not None:
+            self.clipper.clip(grads, hmax)
+
+    def _tune(self, grads: np.ndarray) -> None:
+        """Measure + SingleStep + EMA smoothing, all per replicate."""
+        snap = self.measurements.update(grads)
+        result = vec_single_step(variance=snap.variance,
+                                 distance=snap.distance,
+                                 hmax=snap.hmax, hmin=snap.hmin)
+        self.momentum = np.asarray(self._mu_ema.update(result.mu),
+                                   dtype=np.float64)
+        self.lr = np.asarray(self._lr_ema.update(result.lr),
+                             dtype=np.float64)
+
+    def effective_lr(self) -> np.ndarray:
+        """Per-replicate applied learning rates (slow start included)."""
+        lr = self.lr * self.lr_factor
+        if self.slow_start:
+            lr = np.minimum(lr, (self.t + 1) * lr / (10.0 * self.window))
+        return lr
+
+    def effective_momentum(self) -> np.ndarray:
+        """Per-replicate applied momenta (honours the prescribed one)."""
+        if self.prescribed_momentum is not None:
+            return np.full(self.replicates,
+                           float(self.prescribed_momentum))
+        return self.momentum
+
+    # ------------------------------------------------------------- #
+    # update
+    # ------------------------------------------------------------- #
+    def step(self, grads: np.ndarray) -> None:
+        """One batched tuner + momentum-SGD lockstep (Algorithm 1)."""
+        self._clip_gradients(grads)
+        self._tune(grads)
+        self._apply_momentum_update(self.effective_momentum(),
+                                    self.effective_lr(), grads)
+        self.t += 1
+
+    def _apply_momentum_update(self, mu: np.ndarray, alpha: np.ndarray,
+                               grads: np.ndarray) -> None:
+        """Momentum update with per-replicate ``(mu, alpha)`` columns."""
+        mu_col = mu[:, None]
+        alpha_col = alpha[:, None]
+        x, v = self.buffer, self._velocity
+        v *= mu_col
+        v -= alpha_col * grads
+        if self.nesterov:
+            x += mu_col * v - alpha_col * grads
+        else:
+            x += v
+
+    # ------------------------------------------------------------- #
+    # introspection
+    # ------------------------------------------------------------- #
+    def stats_all(self) -> List[dict]:
+        """Every replicate's tuner statistics, computed in one batch.
+
+        One snapshot and one hyperparameter evaluation serve all ``R``
+        dicts (the per-replicate ``stats_for`` would recompute the
+        vectorized snapshot per call — O(R²·N) per commit).
+        """
+        eff_lr = self.effective_lr()
+        eff_mu = self.effective_momentum()
+        target = self.momentum
+        if self.t == 0:
+            nan = float("nan")
+            return [{"lr": float(eff_lr[r]), "momentum": float(eff_mu[r]),
+                     "target_momentum": float(target[r]),
+                     "hmax": nan, "hmin": nan, "variance": nan,
+                     "distance": nan}
+                    for r in range(self.replicates)]
+        snap = self.measurements.snapshot()
+        return [{"lr": float(eff_lr[r]), "momentum": float(eff_mu[r]),
+                 "target_momentum": float(target[r]),
+                 "hmax": float(snap.hmax[r]), "hmin": float(snap.hmin[r]),
+                 "variance": float(snap.variance[r]),
+                 "distance": float(snap.distance[r])}
+                for r in range(self.replicates)]
+
+    def stats_for(self, r: int) -> dict:
+        """Replicate ``r``'s tuner statistics (scalar ``stats()``
+        mirror)."""
+        return self.stats_all()[r]
+
+
+class VecClosedLoopYellowFin(VecYellowFin):
+    """Batched closed-loop YellowFin (Algorithm 5, per replicate).
+
+    Every replicate owns a scalar
+    :class:`~repro.core.closed_loop.TotalMomentumEstimator` fed its own
+    row (the estimator is deque bookkeeping plus one masked median per
+    step); the feedback controller and momentum update run on
+    per-replicate vectors.  Mirrors
+    :class:`repro.core.closed_loop.ClosedLoopYellowFin` row by row.
+    """
+
+    def __init__(self, buffer: np.ndarray, offsets: Sequence[int],
+                 gamma: float = 0.01, staleness: int = 0,
+                 lr: float = 1e-4, momentum: float = 0.0,
+                 momentum_bounds: tuple = (-0.9, 0.999),
+                 feedback: bool = True, **kwargs):
+        super().__init__(buffer, offsets, lr=lr, momentum=momentum,
+                         **kwargs)
+        self.gamma = gamma
+        self.staleness = staleness
+        self.feedback = feedback
+        self.momentum_bounds = momentum_bounds
+        self.estimators: List[TotalMomentumEstimator] = [
+            TotalMomentumEstimator(staleness=staleness)
+            for _ in range(self.replicates)]
+        self._algorithmic_mu = np.full(self.replicates, float(momentum))
+        self.last_total_momentum: List[Optional[float]] = \
+            [None] * self.replicates
+        for r, estimator in enumerate(self.estimators):
+            estimator.record_iterate(self.buffer[r])
+
+    def effective_momentum(self) -> np.ndarray:
+        """Per-replicate algorithmic momenta (controller output)."""
+        if self.prescribed_momentum is not None:
+            return np.full(self.replicates,
+                           float(self.prescribed_momentum))
+        return self._algorithmic_mu
+
+    def step(self, grads: np.ndarray) -> None:
+        """One closed-loop lockstep: tune, measure total momentum per
+        replicate, close the feedback loop, update."""
+        self._clip_gradients(grads)
+        self._tune(grads)
+        eff_lr = self.effective_lr()
+        lo, hi = self.momentum_bounds
+        for r, estimator in enumerate(self.estimators):
+            mu_hat = estimator.estimate(grads[r], float(eff_lr[r]))
+            self.last_total_momentum[r] = mu_hat
+            if mu_hat is not None and self.feedback:
+                self._algorithmic_mu[r] = float(np.clip(
+                    float(self._algorithmic_mu[r])
+                    + self.gamma * (float(self.momentum[r]) - mu_hat),
+                    lo, hi))
+            else:
+                self._algorithmic_mu[r] = float(self.momentum[r])
+        self._apply_momentum_update(self.effective_momentum(),
+                                    self.effective_lr(), grads)
+        self.t += 1
+        for r, estimator in enumerate(self.estimators):
+            estimator.record_iterate(self.buffer[r])
+
+    def stats_all(self) -> List[dict]:
+        """Every replicate's tuner + controller statistics."""
+        stats = super().stats_all()
+        for r, base in enumerate(stats):
+            base["algorithmic_momentum"] = float(self._algorithmic_mu[r])
+            mu_hat = self.last_total_momentum[r]
+            base["total_momentum"] = (mu_hat if mu_hat is not None
+                                      else float("nan"))
+        return stats
+
+
+# ----------------------------------------------------------------- #
+# registry
+# ----------------------------------------------------------------- #
+VecOptimizerFactory = Callable[..., VecOptimizer]
+
+
+def _vec_sgd(buffer, offsets, lr: float = 0.05, **kwargs) -> VecSGD:
+    """VecSGD with the scalar registry's default ``lr``."""
+    return VecSGD(buffer, offsets, lr=lr, **kwargs)
+
+
+def _vec_momentum_sgd(buffer, offsets, lr: float = 0.05,
+                      **kwargs) -> VecMomentumSGD:
+    """VecMomentumSGD with the scalar registry's default ``lr``."""
+    return VecMomentumSGD(buffer, offsets, lr=lr, **kwargs)
+
+
+_VEC_OPTIMIZERS: Dict[str, VecOptimizerFactory] = {
+    "sgd": _vec_sgd,
+    "momentum_sgd": _vec_momentum_sgd,
+    "adam": VecAdam,
+    "yellowfin": VecYellowFin,
+    "closed_loop_yellowfin": VecClosedLoopYellowFin,
+}
+
+
+def _paired_scalar_factories() -> dict:
+    """The scalar factories each batched kernel is the twin of.
+
+    A batched kernel is only valid while the scalar registry still
+    maps its name to this exact built-in — if a user replaces (say)
+    ``"momentum_sgd"`` via :func:`repro.xp.factories.
+    register_optimizer`, the batched twin no longer mirrors what the
+    serial path would run, and the engine must fall back.
+    """
+    from repro.core import ClosedLoopYellowFin, YellowFin
+    from repro.optim import Adam
+    from repro.xp import factories
+
+    return {
+        "sgd": factories._sgd,
+        "momentum_sgd": factories._momentum_sgd,
+        "adam": Adam,
+        "yellowfin": YellowFin,
+        "closed_loop_yellowfin": ClosedLoopYellowFin,
+    }
+
+
+def vec_optimizer_names() -> list:
+    """Sorted names with a batched kernel (subset of the scalar
+    registry; everything else falls back to per-replicate scalar
+    runs)."""
+    return sorted(_VEC_OPTIMIZERS)
+
+
+def has_vec_optimizer(name: str) -> bool:
+    """Whether ``name`` has a batched kernel mirroring the *current*
+    scalar registry entry.
+
+    False when the name is unknown — or when the scalar registry entry
+    was replaced by a custom factory, since the batched kernel would
+    then silently compute something other than ``R`` serial runs of
+    the replacement.
+    """
+    if name not in _VEC_OPTIMIZERS:
+        return False
+    from repro.xp import factories
+
+    return factories._OPTIMIZERS.get(name) is \
+        _paired_scalar_factories().get(name)
+
+
+def build_vec_optimizer(name: str, buffer: np.ndarray,
+                        offsets: Sequence[int], **kwargs) -> VecOptimizer:
+    """Instantiate the batched kernel registered under ``name``.
+
+    Parameters
+    ----------
+    name : str
+        Scalar optimizer registry key (``"momentum_sgd"``, ...).
+    buffer : numpy.ndarray
+        The ``(R, N)`` parameter matrix to update in place.
+    offsets : sequence of int
+        Per-tensor column boundaries.
+    **kwargs
+        The spec's ``optimizer_params`` (same names as the scalar
+        factory's).
+    """
+    try:
+        factory = _VEC_OPTIMIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"no batched kernel for optimizer {name!r}; available: "
+            f"{vec_optimizer_names()}") from None
+    return factory(buffer, offsets, **kwargs)

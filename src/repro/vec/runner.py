@@ -1,0 +1,99 @@
+"""Replicated-scenario execution: batched fast path, serial fallback.
+
+:func:`run_replicated_scenario` is the ``replicates > 1`` branch of
+:func:`repro.xp.runner.run_scenario`.  It produces one
+:class:`~repro.xp.runner.ScenarioResult` whose per-replicate metrics
+are bit-identical to ``R`` serial runs of the scalar path over the
+spec's derived replicate seeds — regardless of which execution strategy
+actually ran:
+
+- **batched** — the scenario is lockstep-schedulable
+  (:func:`repro.vec.engine.supports_batched`): one
+  :class:`~repro.vec.engine.BatchedClusterEngine` steps all replicates
+  together, an order of magnitude cheaper than serial for vectorized
+  workloads;
+- **serial** — anything else (stochastic delays, faults, exotic
+  optimizers), or a batched run aborted by a replicate divergence:
+  each replicate runs the ordinary scalar path.
+
+Aggregation is shared with the BENCH reporters
+(:func:`repro.bench.report.replicate_statistics`): the result's
+``metrics`` carry per-metric means plus ``*_std`` / ``*_ci95`` spread
+fields, its ``series`` are replicate 0's, and the raw per-replicate
+metrics ride along in ``replicate_metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.bench.report import environment_info, replicate_statistics
+from repro.vec.engine import (BatchedClusterEngine, ReplicateDiverged,
+                              supports_batched)
+from repro.xp.spec import ScenarioSpec
+
+
+def run_replicated_scenario(spec: ScenarioSpec):
+    """Run all replicates of a spec and aggregate one result record.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        A scenario with ``replicates > 1``.
+
+    Returns
+    -------
+    ScenarioResult
+        Aggregated record: mean/std/CI metrics, replicate 0's series,
+        and the per-replicate metric dicts.  ``env`` records the
+        execution strategy under ``"vec_engine"``.
+    """
+    from repro.xp.runner import ScenarioResult, summarize_log
+
+    if spec.replicates < 2:
+        raise ValueError(
+            "run_replicated_scenario needs replicates > 1; "
+            "run_scenario handles the scalar case")
+    start = time.perf_counter()
+    outcomes = None
+    strategy = "serial"
+    if supports_batched(spec):
+        try:
+            engine = BatchedClusterEngine(spec, spec.replicate_seeds())
+            outcomes = engine.run()
+            strategy = "batched"
+        except ReplicateDiverged:
+            # a diverged replicate leaves lockstep; rerun serially so
+            # each replicate stops exactly where its scalar run would
+            outcomes = None
+
+    per_metrics: List[Dict[str, float]] = []
+    series: Dict[str, List[float]] = {}
+    if outcomes is not None:
+        for r, outcome in enumerate(outcomes):
+            metrics, rep_series = summarize_log(
+                spec, outcome.log, outcome.reads, outcome.updates,
+                diverged=False)
+            per_metrics.append(metrics)
+            if r == 0:
+                series = rep_series
+    else:
+        from repro.xp.runner import run_scenario
+
+        for r in range(spec.replicates):
+            result = run_scenario(spec.replicate_spec(r))
+            per_metrics.append(result.metrics)
+            if r == 0:
+                series = result.series
+    wall = time.perf_counter() - start
+
+    env = environment_info()
+    # replicate 0's seed, which is what actually ran (resolved_seed()
+    # would hash the spec WITH its replicate count and match no run)
+    env["seed"] = spec.replicate_seeds()[0]
+    env["vec_engine"] = strategy
+    return ScenarioResult(
+        name=spec.name, spec_hash=spec.content_hash(),
+        metrics=replicate_statistics(per_metrics), series=series,
+        replicate_metrics=per_metrics, env=env, wall_s=wall)

@@ -68,7 +68,20 @@ class MetricRule:
 #: Speedup ratios are dimensionless (fused vs per-tensor on the *same*
 #: machine), so they gate across environments — with a wider band than
 #: raw timings, since the ratio still shifts somewhat with hardware.
+#: Replicate-statistics companion fields (``*_std`` / ``*_ci95`` and
+#: the ``replicates`` count) describe the *spread* of their base
+#: metric, not a quantity with a good/bad direction — they are
+#: reported, never gated, and instead widen the base metric's
+#: tolerance (see :meth:`BaselineComparator.compare_records`).
 DEFAULT_RULES = (
+    MetricRule("*_std", "ignore"),
+    MetricRule("*_ci95", "ignore"),
+    MetricRule("replicates", "ignore"),
+    # the replicate-axis ratio is overhead-dominated and swings more
+    # across hardware than kernel speedups; 45% keeps the committed
+    # ~9x baseline's floor (~5.1x) aligned with the benchmark's own
+    # hard >=5x assertion instead of failing healthy slower runners
+    MetricRule("speedup_8x", "higher", 0.45),
     MetricRule("*speedup*", "higher", 0.35),
     MetricRule("*wall*", "lower", DEFAULT_REL_TOL, timing=True),
     MetricRule("*time*", "lower", DEFAULT_REL_TOL, timing=True),
@@ -172,6 +185,23 @@ class BaselineComparator:
         failed = False
         for metric in sorted(base_metrics):
             rule = self.rule_for(metric)
+            # CI-aware gating: a replicated metric's statistical
+            # uncertainty (the larger of the two records' 95% CI
+            # half-widths, relative to the baseline value) widens the
+            # tolerance — drift inside the replicate noise floor never
+            # trips the gate
+            ci = max(_ci_halfwidth(base_metrics, metric),
+                     _ci_halfwidth(fresh_metrics, metric))
+            if ci > 0.0:
+                base_value = base_metrics[metric]
+                try:
+                    scale = abs(float(base_value))
+                except (TypeError, ValueError):
+                    scale = 0.0
+                if scale > 0.0 and math.isfinite(scale):
+                    rule = MetricRule(rule.pattern, rule.direction,
+                                      rule.rel_tol + ci / scale,
+                                      rule.timing)
             gated = rule.direction != "ignore" and (
                 not rule.timing or timings_gated)
             entry = {"metric": metric, "baseline": base_metrics[metric],
@@ -286,6 +316,22 @@ def write_report(report: dict, path: PathLike) -> None:
 def _record_names(directory: Path) -> set:
     return {p.name[len("BENCH_"):-len(".json")]
             for p in directory.glob("BENCH_*.json")}
+
+
+def _ci_halfwidth(metrics: dict, metric: str) -> float:
+    """A record's 95% CI half-width for ``metric`` (0.0 when absent).
+
+    Spread fields themselves (``*_std`` / ``*_ci95``) report no CI of
+    their own — widening them would be circular.
+    """
+    if metric.endswith(("_std", "_ci95")):
+        return 0.0
+    value = metrics.get(f"{metric}_ci95", 0.0)
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return 0.0
+    return value if math.isfinite(value) and value > 0.0 else 0.0
 
 
 def _dict_drift(baseline: dict, fresh: dict) -> List[dict]:

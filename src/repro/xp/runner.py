@@ -45,8 +45,16 @@ class ScenarioResult:
         key, and the identity check on cache reads).
     metrics : dict
         Scalar summary metrics (losses, staleness statistics, budgets).
+        For replicated scenarios these are per-metric means plus
+        ``*_std`` / ``*_ci95`` spread fields and a ``replicates``
+        count (see :func:`repro.bench.report.replicate_statistics`).
     series : dict
         The log series the spec asked to keep, as plain float lists.
+        For replicated scenarios: replicate 0's series.
+    replicate_metrics : list of dict
+        Per-replicate scalar metrics, in replicate order (empty for
+        single-replicate runs).  Each entry is bit-identical to the
+        metrics of the corresponding serial scalar run.
     env : dict
         Interpreter/platform fingerprint plus the resolved seed.
     wall_s : float
@@ -60,6 +68,7 @@ class ScenarioResult:
     spec_hash: str
     metrics: Dict[str, float] = field(default_factory=dict)
     series: Dict[str, List[float]] = field(default_factory=dict)
+    replicate_metrics: List[Dict[str, float]] = field(default_factory=list)
     env: Dict[str, object] = field(default_factory=dict)
     wall_s: float = 0.0
     cached: bool = False
@@ -71,17 +80,24 @@ class ScenarioResult:
         the parallel-equals-serial and cache-equals-fresh guarantees
         are stated (and tested) over it.  Environment and wall time are
         excluded: they describe *where* the run happened, not *what* it
-        computed.
+        computed.  Per-replicate metrics join only when present, so
+        single-replicate identities keep their historical shape.
         """
-        return {"name": self.name, "spec_hash": self.spec_hash,
-                "metrics": dict(self.metrics),
-                "series": {k: list(v) for k, v in self.series.items()}}
+        out = {"name": self.name, "spec_hash": self.spec_hash,
+               "metrics": dict(self.metrics),
+               "series": {k: list(v) for k, v in self.series.items()}}
+        if self.replicate_metrics:
+            out["replicate_metrics"] = [dict(m)
+                                        for m in self.replicate_metrics]
+        return out
 
     def as_dict(self) -> dict:
         """Plain-data mirror of the record (JSON-able after the codec)."""
         return {"name": self.name, "spec_hash": self.spec_hash,
                 "metrics": dict(self.metrics),
                 "series": {k: list(v) for k, v in self.series.items()},
+                "replicate_metrics": [dict(m)
+                                      for m in self.replicate_metrics],
                 "env": dict(self.env), "wall_s": self.wall_s,
                 "cached": self.cached}
 
@@ -92,9 +108,59 @@ class ScenarioResult:
                    metrics=dict(data.get("metrics", {})),
                    series={k: list(v)
                            for k, v in data.get("series", {}).items()},
+                   replicate_metrics=[dict(m) for m in
+                                      data.get("replicate_metrics", [])],
                    env=dict(data.get("env", {})),
                    wall_s=float(data.get("wall_s", 0.0)),
                    cached=bool(data.get("cached", False)))
+
+
+def summarize_log(spec: ScenarioSpec, log, reads_done: int,
+                  updates_done: int, diverged: bool):
+    """Summarize one run's log into the record's metrics and series.
+
+    The single summarization path shared by the scalar runtime and the
+    batched replicate engine, so their records cannot drift in shape or
+    arithmetic.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        The scenario that produced the log (supplies ``smooth`` and
+        ``record_series``).
+    log : TrainLog
+        The run's training log.
+    reads_done, updates_done : int
+        Final budget counters.
+    diverged : bool
+        Whether the run stopped on divergence.
+
+    Returns
+    -------
+    (metrics, series) : tuple of dict
+        Scalar metrics and the requested raw series.
+    """
+    losses = log.series("loss")
+    window = min(spec.smooth, losses.size) or 1
+    metrics: Dict[str, float] = {
+        "initial_loss": float(losses[:window].mean()) if losses.size
+        else float("nan"),
+        "final_loss": float(losses[-window:].mean()) if losses.size
+        else float("nan"),
+        "min_loss": float(losses.min()) if losses.size else float("nan"),
+        "reads": float(reads_done),
+        "updates": float(updates_done),
+        "diverged": float(diverged),
+    }
+    for key, value in staleness_summary(log).items():
+        metrics[f"staleness_{key}"] = float(value)
+    # every requested series is present in the record — absent ones
+    # (e.g. optimizer stats of a run that never committed) come back as
+    # empty lists rather than missing keys, so consumers and cached
+    # records have a stable shape
+    series = {name: (log.series(name).tolist() if name in log else [])
+              for name in spec.record_series}
+    return metrics, series
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
@@ -103,7 +169,10 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     Builds the workload, optimizer, delay model, and fault injector
     from the spec (all seeded from ``spec.resolved_seed()`` or their
     own declared seeds), runs the event-driven simulation to the spec's
-    budgets, and summarizes the log.
+    budgets, and summarizes the log.  Specs with ``replicates > 1``
+    run through the batched replicate engine of :mod:`repro.vec`
+    (falling back to serial per-replicate execution where the engine
+    does not apply) and return aggregated mean/std/CI metrics.
 
     Parameters
     ----------
@@ -118,6 +187,9 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         ``updates`` / ``diverged`` counters, and flattened
         ``staleness_*`` statistics — plus the requested raw series.
     """
+    if spec.replicates > 1:
+        from repro.vec.runner import run_replicated_scenario
+        return run_replicated_scenario(spec)
     seed = spec.resolved_seed()
     build = build_workload(spec.workload, **spec.workload_params)
     model, loss_fn = build(seed)
@@ -133,26 +205,9 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     log = runtime.run(reads=spec.reads, updates=spec.updates)
     wall = time.perf_counter() - start
 
-    losses = log.series("loss")
-    window = min(spec.smooth, losses.size) or 1
-    metrics: Dict[str, float] = {
-        "initial_loss": float(losses[:window].mean()) if losses.size
-        else float("nan"),
-        "final_loss": float(losses[-window:].mean()) if losses.size
-        else float("nan"),
-        "min_loss": float(losses.min()) if losses.size else float("nan"),
-        "reads": float(runtime.reads_done),
-        "updates": float(runtime.updates_done),
-        "diverged": float(runtime.diverged),
-    }
-    for key, value in staleness_summary(log).items():
-        metrics[f"staleness_{key}"] = float(value)
-    # every requested series is present in the record — absent ones
-    # (e.g. optimizer stats of a run that never committed) come back as
-    # empty lists rather than missing keys, so consumers and cached
-    # records have a stable shape
-    series = {name: (log.series(name).tolist() if name in log else [])
-              for name in spec.record_series}
+    metrics, series = summarize_log(spec, log, runtime.reads_done,
+                                    runtime.updates_done,
+                                    runtime.diverged)
     env = environment_info()
     env["seed"] = seed
     return ScenarioResult(name=spec.name, spec_hash=spec.content_hash(),

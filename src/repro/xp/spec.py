@@ -93,6 +93,16 @@ class ScenarioSpec:
         Log series to keep (verbatim) in the result record.
     smooth : int
         Window for the head/tail loss averages in the result metrics.
+    replicates : int
+        Independent seed-replicates of the scenario to run (default 1).
+        Replicate 0 uses the scenario's own resolved seed; further
+        replicates use seeds derived from the replicate-independent
+        content hash, so growing ``replicates`` extends a sweep without
+        changing earlier replicates.  ``replicates > 1`` aggregates
+        mean/std/CI metrics into the result (see
+        :mod:`repro.vec.runner`) and is part of the content hash;
+        ``replicates == 1`` is canonicalized away so existing spec
+        hashes, caches, and derived seeds are unchanged.
     """
 
     name: str
@@ -113,10 +123,13 @@ class ScenarioSpec:
     seed: Optional[int] = None
     record_series: Tuple[str, ...] = ("loss",)
     smooth: int = 25
+    replicates: int = 1
 
     def __post_init__(self):
         """Validate field ranges and normalize container types."""
         _require(bool(self.name), "scenario name must be non-empty")
+        _require(self.replicates >= 1,
+                 f"replicates must be >= 1, got {self.replicates}")
         _require(self.workers >= 1,
                  f"workers must be >= 1, got {self.workers}")
         _require(self.num_shards >= 1,
@@ -161,9 +174,19 @@ class ScenarioSpec:
 
     def canonical_json(self) -> str:
         """Canonical serialization: codec-encoded, sorted keys, no
-        whitespace — equal specs always produce the same bytes."""
+        whitespace — equal specs always produce the same bytes.
+
+        The default ``replicates == 1`` is canonicalized away, so
+        single-replicate specs hash (and therefore cache, and derive
+        seeds) exactly as they did before the field existed; any other
+        replicate count is part of the hash and misses the cache
+        cleanly.
+        """
+        data = self.as_dict()
+        if data.get("replicates") == 1:
+            del data["replicates"]
         payload = {"xp_format": XP_FORMAT_VERSION,
-                   "spec": encode_state(self.as_dict())}
+                   "spec": encode_state(data)}
         return json.dumps(payload, sort_keys=True, separators=(",", ":"),
                           allow_nan=False)
 
@@ -182,6 +205,41 @@ class ScenarioSpec:
         if self.seed is not None:
             return int(self.seed)
         return int(self.content_hash()[:12], 16) % (2 ** 31)
+
+    def replicate_seeds(self) -> List[int]:
+        """Deterministic per-replicate seeds, one per replicate.
+
+        Replicate 0 is the scenario's own :meth:`resolved_seed`;
+        replicate ``r >= 1`` derives its seed by hashing the
+        replicate-independent content hash (the spec with
+        ``replicates`` canonicalized to 1) together with ``r``.  The
+        derivation ignores the replicate *count*, so raising
+        ``replicates`` from 8 to 16 keeps the first 8 trajectories
+        bit-identical.
+        """
+        base = (self if self.replicates == 1
+                else self.with_overrides({"replicates": 1}))
+        scalar_hash = base.content_hash()
+        seeds = [base.resolved_seed()]
+        for r in range(1, self.replicates):
+            digest = hashlib.sha256(
+                f"{scalar_hash}/replicate/{r}".encode("utf-8")).hexdigest()
+            seeds.append(int(digest[:12], 16) % (2 ** 31))
+        return seeds
+
+    def replicate_spec(self, r: int) -> "ScenarioSpec":
+        """The single-replicate scenario that replicate ``r`` runs.
+
+        Same spec with ``replicates = 1`` and the derived seed made
+        explicit; running it through the scalar path reproduces
+        replicate ``r`` of the batched run bit-for-bit (the
+        differential-suite contract).
+        """
+        if not 0 <= r < self.replicates:
+            raise ValueError(
+                f"replicate index {r} outside [0, {self.replicates})")
+        return self.with_overrides(
+            {"replicates": 1, "seed": self.replicate_seeds()[r]})
 
     def with_overrides(self, overrides: Dict[str, object],
                        name: Optional[str] = None) -> "ScenarioSpec":

@@ -15,6 +15,10 @@ Built-ins
   scenario and ablation suites (fast, well-conditioned).
 - ``"cifar10_resnet"`` / ``"cifar100_resnet"`` — the laptop-scale
   synthetic-image ResNet workloads of the figure suite.
+- ``"quadratic_bowl"`` — the noisy quadratic of the paper's analysis
+  sections, with an analytic gradient oracle.  Its batched twin in
+  :mod:`repro.vec.workloads` evaluates all replicates of a scenario in
+  single NumPy operations, so replicate sweeps run at matrix speed.
 """
 
 from __future__ import annotations
@@ -160,6 +164,73 @@ def cifar100_resnet(train_size: int = 256, size: int = 8,
         train_size=train_size, size=size, batch_size=batch_size)
 
 
+class _AnalyticLoss:
+    """Loss shim for analytic-gradient workloads.
+
+    Duck-types the two attributes the training loops consume —
+    ``.data`` (the scalar loss value) and ``.backward()`` (which
+    installs the precomputed gradient on the parameter) — without
+    building an autograd graph, so scalar and batched evaluations of a
+    closed-form workload share one arithmetic path exactly.
+    """
+
+    def __init__(self, value: float, param, grad: np.ndarray):
+        self.data = np.float64(value)
+        self._param = param
+        self._grad = grad
+
+    def backward(self) -> None:
+        self._param.grad = self._grad
+
+
+class _QuadraticBowlModel(Module):
+    """Single-parameter container for the quadratic-bowl workload."""
+
+    def __init__(self, x0: np.ndarray):
+        super().__init__()
+        from repro.nn.module import Parameter
+        self.x = Parameter(np.asarray(x0, dtype=np.float64))
+
+
+def quadratic_bowl(dim: int = 256, hmin: float = 0.05, hmax: float = 2.0,
+                   noise: float = 0.1,
+                   noise_horizon: int = 512) -> WorkloadBuilder:
+    """Noisy quadratic: ``f(x) = 0.5 xᵀ H x`` with gradient noise.
+
+    ``H`` is a fixed diagonal with a log-uniform spectrum over
+    ``[hmin, hmax]`` (the generalized-curvature range of the paper's
+    robustness analysis); read ``t`` observes the deterministic loss
+    and the stochastic gradient ``H x + noise · ε_t`` with a noise
+    table of ``noise_horizon`` i.i.d. ``N(0, I)`` rows drawn up front
+    from the builder's seeded stream (reads past the horizon reuse it
+    cyclically).  Gradients come from an analytic oracle shared
+    verbatim with the batched evaluator in :mod:`repro.vec.workloads`,
+    which is what makes the replicate engine's records bit-identical
+    to serial runs on this workload.
+    """
+
+    def build(seed: int):
+        rng = np.random.default_rng(seed)
+        h = np.exp(np.linspace(np.log(hmin), np.log(hmax), dim))
+        model = _QuadraticBowlModel(rng.normal(size=dim))
+        table = noise * rng.normal(size=(noise_horizon, dim))
+        counter = [0]
+
+        def loss_fn():
+            t = counter[0] % noise_horizon
+            counter[0] += 1
+            x = model.x.data
+            hx = h * x
+            grad = hx + table[t]
+            value = 0.5 * float(np.sum(hx * x))
+            return _AnalyticLoss(value, model.x, grad)
+
+        return model, loss_fn
+
+    return build
+
+
 register_workload("toy_classifier", toy_classifier)
 register_workload("cifar10_resnet", cifar10_resnet)
 register_workload("cifar100_resnet", cifar100_resnet)
+register_workload("quadratic_bowl", quadratic_bowl)

@@ -1,16 +1,17 @@
 """Documentation coverage gate for the public optimizer and sim APIs.
 
 Fails whenever a public module, class, function, method, or property in
-``repro.optim``, ``repro.sim``, ``repro.cluster``, or ``repro.xp``
-lacks a docstring, so API docs cannot rot silently as those packages
-grow.
+``repro.optim``, ``repro.sim``, ``repro.cluster``, ``repro.xp``, or
+``repro.vec`` lacks a docstring, so API docs cannot rot silently as
+those packages grow.
 """
 
 import importlib
 import inspect
 import pkgutil
 
-PACKAGES = ("repro.optim", "repro.sim", "repro.cluster", "repro.xp")
+PACKAGES = ("repro.optim", "repro.sim", "repro.cluster", "repro.xp",
+            "repro.vec")
 
 
 def iter_modules():

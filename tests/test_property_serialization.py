@@ -1,0 +1,266 @@
+"""Property-based round-trip tests for the state codec and BatchedFlatParams.
+
+Seeded random generation (no external property-testing dependency)
+drives many-shaped inputs through the invariants:
+
+- ``encode_state``/``decode_state`` round-trip arbitrary nested state
+  trees — random shapes, dtypes, non-finite floats, tuples, None — bit
+  for bit, through a strict (``allow_nan=False``) JSON wire.
+- ``BatchedFlatParams.snapshot``/``restore`` round-trip replicate
+  parameter matrices exactly, preserve tensor aliasing, and handle
+  zero-size parameters.
+- ``ShardedParameterServer.state_dict`` survives the codec for random
+  shard counts and queue contents.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autograd.flat import BatchedFlatParams
+from repro.autograd.tensor import Tensor
+from repro.utils.serialization import decode_state, encode_state
+
+TRIALS = 25
+
+
+def random_array(rng):
+    dtype = rng.choice(["float64", "float32", "int64", "int32", "bool"])
+    ndim = int(rng.integers(0, 4))
+    shape = tuple(int(rng.integers(0, 5)) for _ in range(ndim))
+    if dtype == "bool":
+        return rng.integers(0, 2, size=shape).astype(bool)
+    if dtype.startswith("int"):
+        return rng.integers(-1000, 1000, size=shape).astype(dtype)
+    arr = rng.normal(size=shape).astype(dtype)
+    if dtype == "float64" and arr.size and rng.random() < 0.3:
+        flat = arr.reshape(-1)
+        flat[int(rng.integers(flat.size))] = rng.choice(
+            [np.nan, np.inf, -np.inf])
+    return arr
+
+
+def random_leaf(rng):
+    kind = rng.choice(["array", "float", "nonfinite", "int", "str",
+                       "bool", "none"])
+    if kind == "array":
+        return random_array(rng)
+    if kind == "float":
+        return float(rng.normal() * 10 ** int(rng.integers(-8, 9)))
+    if kind == "nonfinite":
+        return float(rng.choice([np.nan, np.inf, -np.inf]))
+    if kind == "int":
+        return int(rng.integers(-2 ** 62, 2 ** 62))
+    if kind == "str":
+        return "".join(rng.choice(list("abc é☃"))
+                       for _ in range(int(rng.integers(0, 8))))
+    if kind == "bool":
+        return bool(rng.integers(0, 2))
+    return None
+
+
+def random_tree(rng, depth=0):
+    if depth >= 3 or rng.random() < 0.4:
+        return random_leaf(rng)
+    kind = rng.choice(["dict", "list", "tuple"])
+    n = int(rng.integers(0, 4))
+    if kind == "dict":
+        return {f"k{i}_{int(rng.integers(100))}": random_tree(rng,
+                                                              depth + 1)
+                for i in range(n)}
+    children = [random_tree(rng, depth + 1) for _ in range(n)]
+    return tuple(children) if kind == "tuple" else children
+
+
+def assert_tree_equal(a, b, path="$"):
+    __tracebackhide__ = True
+    assert type(a) is type(b), (path, type(a), type(b))
+    if isinstance(a, dict):
+        assert set(a) == set(b), path
+        for k in a:
+            assert_tree_equal(a[k], b[k], f"{path}.{k}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_tree_equal(x, y, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype, path
+        assert a.shape == b.shape, path
+        if a.dtype.kind == "f":
+            assert np.array_equal(a, b, equal_nan=True), path
+        else:
+            assert np.array_equal(a, b), path
+    elif isinstance(a, float) and a != a:
+        assert b != b, path
+    else:
+        assert a == b, path
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("trial", range(TRIALS))
+    def test_random_state_trees_round_trip(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        tree = {"root": random_tree(rng), "extra": random_tree(rng)}
+        wire = json.dumps(encode_state(tree), allow_nan=False)
+        assert_tree_equal(decode_state(json.loads(wire)), tree)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_encoding_idempotent(self, trial):
+        rng = np.random.default_rng(2000 + trial)
+        tree = {"root": random_tree(rng)}
+        once = encode_state(tree)
+        assert_tree_equal(decode_state(encode_state(once)),
+                          decode_state(once))
+
+    def test_zero_size_arrays_keep_dtype_and_shape(self):
+        for shape in ((0,), (3, 0), (0, 4, 2)):
+            arr = np.empty(shape, dtype=np.float32)
+            out = decode_state(json.loads(json.dumps(encode_state(arr))))
+            assert out.shape == shape and out.dtype == np.float32
+
+
+def random_param_shapes(rng, allow_zero=True):
+    n = int(rng.integers(1, 6))
+    shapes = []
+    for _ in range(n):
+        ndim = int(rng.integers(0, 3))
+        low = 0 if allow_zero else 1
+        shapes.append(tuple(int(rng.integers(low, 5))
+                            for _ in range(ndim)))
+    return shapes
+
+
+def make_param_lists(rng, shapes, replicates):
+    return [[Tensor(rng.normal(size=shape), requires_grad=True)
+             for shape in shapes] for _ in range(replicates)]
+
+
+class TestBatchedFlatParamsProperties:
+    @pytest.mark.parametrize("trial", range(TRIALS))
+    def test_snapshot_restore_round_trip(self, trial):
+        rng = np.random.default_rng(3000 + trial)
+        shapes = random_param_shapes(rng)
+        replicates = int(rng.integers(1, 5))
+        param_lists = make_param_lists(rng, shapes, replicates)
+        originals = [[p.data.copy() for p in ps] for ps in param_lists]
+        flat = BatchedFlatParams(param_lists)
+        # packing preserves values and installs row views
+        for ps, vals in zip(param_lists, originals):
+            for p, v in zip(ps, vals):
+                assert np.array_equal(p.data, v)
+        before = flat.snapshot()
+        flat.buffer += rng.normal(size=flat.buffer.shape)
+        flat.restore(before)
+        assert np.array_equal(flat.buffer, before)
+        for ps, vals in zip(param_lists, originals):
+            for p, v in zip(ps, vals):
+                # restore writes through the shared buffer: aliased
+                # tensors see the restored values without rebinding
+                assert np.array_equal(p.data, v)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_row_snapshot_restore_is_per_replicate(self, trial):
+        rng = np.random.default_rng(4000 + trial)
+        shapes = random_param_shapes(rng)
+        flat = BatchedFlatParams(make_param_lists(rng, shapes, 3))
+        saved = flat.snapshot_row(1)
+        others = [flat.snapshot_row(0), flat.snapshot_row(2)]
+        flat.buffer[1] += 1.0
+        flat.restore_row(1, saved)
+        assert np.array_equal(flat.row(1), saved)
+        assert np.array_equal(flat.row(0), others[0])
+        assert np.array_equal(flat.row(2), others[1])
+
+    def test_zero_size_parameters_pack_and_round_trip(self):
+        rng = np.random.default_rng(5)
+        shapes = [(2,), (0,), (3, 0), (2, 2)]
+        param_lists = make_param_lists(rng, shapes, 2)
+        flat = BatchedFlatParams(param_lists)
+        assert flat.size == 2 + 0 + 0 + 4
+        snap = flat.snapshot()
+        flat.buffer[:] = 0.0
+        flat.restore(snap)
+        assert np.array_equal(flat.snapshot(), snap)
+        assert param_lists[0][1].data.shape == (0,)
+        assert param_lists[1][2].data.shape == (3, 0)
+
+    def test_gather_grads_zero_fills_missing(self):
+        rng = np.random.default_rng(6)
+        param_lists = make_param_lists(rng, [(2,), (2, 2)], 2)
+        flat = BatchedFlatParams(param_lists)
+        g = rng.normal(size=(2, 2))
+        param_lists[0][1].grad = g
+        out = flat.gather_grads()
+        assert np.array_equal(out[0, 2:], g.reshape(-1))
+        assert np.array_equal(out[0, :2], np.zeros(2))
+        assert np.array_equal(out[1], np.zeros(6))
+
+    def test_repack_after_rebind_keeps_values(self):
+        rng = np.random.default_rng(7)
+        param_lists = make_param_lists(rng, [(3,)], 2)
+        flat = BatchedFlatParams(param_lists)
+        fresh = rng.normal(size=3)
+        param_lists[1][0].data = fresh.copy()  # rebinding breaks aliasing
+        assert not flat.packed
+        flat.ensure_packed()
+        assert np.array_equal(flat.row(1), fresh)
+        assert param_lists[1][0].data.base is flat.buffer
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(8)
+        a = [Tensor(rng.normal(size=(2,)), requires_grad=True)]
+        b = [Tensor(rng.normal(size=(3,)), requires_grad=True)]
+        with pytest.raises(ValueError, match="shapes differ"):
+            BatchedFlatParams([a, b])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedFlatParams([])
+        with pytest.raises(ValueError):
+            BatchedFlatParams([[]])
+
+
+class TestShardedServerStateProperty:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_server_state_survives_codec_any_shard_count(self, trial):
+        from repro import nn
+        from repro.optim import MomentumSGD
+        from repro.sim.parameter_server import ShardedParameterServer
+
+        rng = np.random.default_rng(6000 + trial)
+        hidden = int(rng.integers(2, 7))
+        model = nn.Sequential(nn.Linear(3, hidden, seed=trial), nn.ReLU(),
+                              nn.Linear(hidden, 2, seed=trial + 1))
+        optimizer = MomentumSGD(model.parameters(), lr=0.05)
+        num_shards = int(rng.integers(1, 8))
+        server = ShardedParameterServer(model, optimizer,
+                                        num_shards=num_shards,
+                                        staleness=int(rng.integers(0, 3)),
+                                        seed=trial)
+        for step in range(int(rng.integers(1, 5))):
+            grads = [rng.normal(size=p.data.shape)
+                     for p in optimizer.params]
+            server.push(grads, step=step)
+        state = server.state_dict()
+        wire = json.dumps(encode_state(state), allow_nan=False)
+        restored_state = decode_state(json.loads(wire))
+
+        clone_model = nn.Sequential(nn.Linear(3, hidden, seed=trial),
+                                    nn.ReLU(),
+                                    nn.Linear(hidden, 2, seed=trial + 1))
+        clone_opt = MomentumSGD(clone_model.parameters(), lr=0.05)
+        clone = ShardedParameterServer(clone_model, clone_opt,
+                                       num_shards=num_shards,
+                                       staleness=server.shards[0]
+                                       .staleness, seed=trial)
+        clone.load_state_dict(restored_state)
+        assert clone.steps_pushed == server.steps_pushed
+        assert clone.pending == server.pending
+        for shard, shard_clone in zip(server.shards, clone.shards):
+            assert len(shard.queue) == len(shard_clone.queue)
+            for (s1, g1), (s2, g2) in zip(shard.queue,
+                                          shard_clone.queue):
+                assert s1 == s2
+                for a, b in zip(g1, g2):
+                    assert np.array_equal(a, b)

@@ -121,6 +121,68 @@ class TestTolerances:
             BaselineComparator(gate_timings="sometimes")
 
 
+class TestReplicateStatisticsAwareness:
+    """CI-aware gating over statistical (replicated) BENCH records."""
+
+    def test_spread_fields_reported_not_gated(self):
+        base = {"final_loss": 1.0, "final_loss_std": 0.2,
+                "final_loss_ci95": 0.14, "replicates": 8.0}
+        fresh = {"final_loss": 1.05, "final_loss_std": 0.9,
+                 "final_loss_ci95": 0.62, "replicates": 8.0}
+        report = BaselineComparator().compare_records(record(base),
+                                                      record(fresh))
+        assert report["status"] == "pass"
+        by_metric = {c["metric"]: c for c in report["comparisons"]}
+        assert not by_metric["final_loss_std"]["gated"]
+        assert not by_metric["final_loss_ci95"]["gated"]
+        assert not by_metric["replicates"]["gated"]
+
+    def test_ci_widens_the_mean_tolerance(self):
+        # +30% drift would fail the plain 20% gate, but the baseline's
+        # CI half-width (0.15 on a mean of 1.0) widens it to 35%
+        base = {"final_loss": 1.0, "final_loss_ci95": 0.15}
+        fresh = {"final_loss": 1.3, "final_loss_ci95": 0.02}
+        report = BaselineComparator().compare_records(record(base),
+                                                      record(fresh))
+        assert report["status"] == "pass"
+        comp = {c["metric"]: c for c in report["comparisons"]}
+        assert comp["final_loss"]["rel_tol"] == pytest.approx(0.35)
+
+    def test_fresh_ci_also_widens(self):
+        base = {"final_loss": 1.0}
+        fresh = {"final_loss": 1.3, "final_loss_ci95": 0.2}
+        report = BaselineComparator().compare_records(record(base),
+                                                      record(fresh))
+        assert report["status"] == "pass"
+
+    def test_drift_beyond_mean_plus_ci_still_fails(self):
+        base = {"final_loss": 1.0, "final_loss_ci95": 0.05}
+        fresh = {"final_loss": 1.4, "final_loss_ci95": 0.05}
+        report = BaselineComparator().compare_records(record(base),
+                                                      record(fresh))
+        assert report["status"] == "fail"
+
+    def test_nonfinite_or_zero_baselines_do_not_widen(self):
+        base = {"diverged": 0.0, "diverged_ci95": 5.0}
+        fresh = {"diverged": 1.0, "diverged_ci95": 5.0}
+        report = BaselineComparator().compare_records(record(base),
+                                                      record(fresh))
+        assert report["status"] == "fail"
+
+    def test_reporter_replicate_records_pass_their_own_noise(self):
+        reporter = BenchReporter()
+        rec = reporter.record_replicates(
+            "stat", [{"final_loss": 0.9}, {"final_loss": 1.1},
+                     {"final_loss": 1.0}], params={"reads": 10})
+        assert rec.metrics["final_loss"] == pytest.approx(1.0)
+        assert rec.metrics["replicates"] == 3.0
+        assert "final_loss_std" in rec.metrics
+        report = BaselineComparator().compare_records(
+            record(rec.metrics, params={"reads": 10}),
+            record(rec.metrics, params={"reads": 10}))
+        assert report["status"] == "pass"
+
+
 class TestEnvironmentAwareness:
     def test_timing_regression_gates_on_matching_env(self):
         report = BaselineComparator().compare_records(

@@ -132,6 +132,40 @@ class TestResultCache:
         runner.run(changed)
         assert runner.misses == len(changed)
 
+    def test_replicate_count_is_part_of_the_cache_key(self, tmp_path):
+        # regression: a cached single-replicate record must never be
+        # served for a replicated run of the same scenario (or between
+        # different replicate counts) — the replicate count is part of
+        # the content hash
+        cache = ResultCache(tmp_path / "cache")
+        base = small_matrix().expand()[0]
+        replicated = base.with_overrides({"replicates": 2})
+        more = base.with_overrides({"replicates": 3})
+        assert len({base.content_hash(), replicated.content_hash(),
+                    more.content_hash()}) == 3
+
+        runner = ParallelRunner(processes=1, cache=cache)
+        runner.run([base])
+        assert (runner.hits, runner.misses) == (0, 1)
+        runner = ParallelRunner(processes=1, cache=cache)
+        runner.run([replicated])
+        assert (runner.hits, runner.misses) == (0, 1), \
+            "replicated spec was served the scalar record"
+        # each variant hits its own entry on rerun
+        runner = ParallelRunner(processes=1, cache=cache)
+        results = runner.run([base, replicated])
+        assert (runner.hits, runner.misses) == (2, 0)
+        assert results[0].replicate_metrics == []
+        assert len(results[1].replicate_metrics) == 2
+
+    def test_replicates_one_hashes_like_the_legacy_spec(self):
+        # replicates=1 is canonicalized away, so pre-existing caches,
+        # derived seeds, and committed records stay valid
+        spec = small_matrix().expand()[0]
+        assert "replicates" not in spec.canonical_json()
+        explicit = spec.with_overrides({"replicates": 1})
+        assert explicit.content_hash() == spec.content_hash()
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         spec = small_matrix().expand()[0]
