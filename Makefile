@@ -4,8 +4,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
-	matrix-smoke vec-smoke perf-gate example cluster-example \
-	matrix-example
+	matrix-smoke vec-smoke api-smoke perf-gate example \
+	cluster-example matrix-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -32,13 +32,20 @@ cluster-smoke:  ## cluster runtime, faults, and bit-for-bit checkpoint gate, <60
 matrix-smoke:  ## repro.xp orchestration gate: specs, runner, cache, CLI, <60s
 	$(PYTEST) tests/test_xp_spec.py tests/test_xp_runner_cache.py \
 	    tests/test_xp_cli.py tests/test_xp_compare.py -q
-	PYTHONPATH=src python -m repro.xp list examples/scenario_matrix.json
+	PYTHONPATH=src python -m repro list examples/scenario_matrix.json
 	@cache=$$(mktemp -d); status=0; \
-	PYTHONPATH=src python -m repro.xp run examples/scenario_matrix.json \
+	PYTHONPATH=src python -m repro run examples/scenario_matrix.json \
 	    --jobs 2 --cache $$cache && \
-	PYTHONPATH=src python -m repro.xp run examples/scenario_matrix.json \
+	PYTHONPATH=src python -m repro run examples/scenario_matrix.json \
 	    --jobs 2 --cache $$cache || status=$$?; \
 	rm -rf $$cache; exit $$status
+
+api-smoke:  ## unified-API gate: one spec through all four backends, records diffed, <60s
+	$(PYTEST) tests/test_run_backends.py tests/test_run_api.py \
+	    tests/test_registry.py tests/test_api_surface.py \
+	    tests/test_deprecation_shims.py tests/test_repro_cli.py -q
+	PYTHONPATH=src python -m repro bench examples/api_smoke.json \
+	    --backends serial,cluster,parallel,vec --check
 
 vec-smoke:  ## batched replicate engine: differential + property suites, 8-replicate speedup gate, <60s
 	$(PYTEST) tests/test_vec_equivalence.py \
@@ -52,7 +59,7 @@ perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
 	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" \
 	    benchmarks/test_vec_replicates.py \
 	    -q -s && \
-	PYTHONPATH=src python -m repro.xp diff --baseline . --fresh $$fresh \
+	PYTHONPATH=src python -m repro diff --baseline . --fresh $$fresh \
 	    --names cluster_scenarios,fig01,vec_replicates \
 	    --report perf_report.json \
 	    || status=$$?; \

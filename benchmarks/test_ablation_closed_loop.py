@@ -7,14 +7,15 @@ up, too large a gain oscillates; the paper's choice sits in the stable
 band.
 
 The sweep is a one-axis :class:`repro.xp.Matrix` over
-``optimizer_params.gamma``, executed by a
-:class:`~repro.xp.ParallelRunner`; the momentum traces needed by the
+``optimizer_params.gamma``, executed by the unified
+:func:`repro.run.run` API; momentum traces needed by the
 assertions ride along in each scenario record's requested series.
 """
 
 import numpy as np
 
-from repro.xp import Matrix, ParallelRunner, ScenarioSpec
+from repro.run import run
+from repro.xp import Matrix, ScenarioSpec
 from benchmarks.workloads import print_table, steps
 
 WORKERS = 16
@@ -50,8 +51,7 @@ def summarize(result):
 def run_all():
     # no cache (always measure); pool defaults to all cores, capped
     # by REPRO_XP_JOBS
-    runner = ParallelRunner()
-    records = runner.run(MATRIX.expand())
+    records = run(MATRIX.expand(), backend="parallel").results
     return {g: summarize(r) for g, r in zip(GAMMAS, records)}
 
 

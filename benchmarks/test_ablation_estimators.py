@@ -8,14 +8,15 @@ CIFAR10-like ResNet workload and reports the damage.
 
 The variants are a one-axis :class:`repro.xp.Matrix` over
 ``optimizer_params`` on the single-worker cluster path (one worker with
-a constant delay is the synchronous loop), executed in parallel by a
-:class:`~repro.xp.ParallelRunner`.
+a constant delay is the synchronous loop), executed in parallel by
+the unified :func:`repro.run.run` API.
 """
 
 import numpy as np
 
 from repro.analysis.convergence import smooth_losses
-from repro.xp import Matrix, ParallelRunner, ScenarioSpec
+from repro.run import run
+from repro.xp import Matrix, ScenarioSpec
 from benchmarks.workloads import (FULL_SCALE, YF_BETA, YF_WINDOW,
                                   print_table, steps)
 
@@ -48,8 +49,7 @@ MATRIX = Matrix(
 def run_all():
     # no cache (always measure); pool defaults to all cores, capped
     # by REPRO_XP_JOBS
-    runner = ParallelRunner()
-    records = runner.run(MATRIX.expand())
+    records = run(MATRIX.expand(), backend="parallel").results
     return dict(zip(VARIANTS, records))
 
 

@@ -7,7 +7,7 @@ stragglers, fast/slow machine mixes, and a recorded trace replay.
 
 Since PR 3 the sweep itself is declarative: a :class:`repro.xp.Matrix`
 expands delay model x optimizer into :class:`~repro.xp.ScenarioSpec`
-configurations and a :class:`~repro.xp.ParallelRunner` executes them
+configurations and the unified :func:`repro.run.run` API executes them
 across all cores (scenario results are a pure function of the spec, so
 the parallel records are bit-identical to a serial run).
 
@@ -27,7 +27,8 @@ staleness — needs the harder, longer workloads of the figure suite.
 import numpy as np
 
 from repro.bench import BenchReporter
-from repro.xp import Matrix, ParallelRunner, ScenarioSpec
+from repro.run import run
+from repro.xp import Matrix, ScenarioSpec
 from benchmarks.workloads import print_table, steps
 
 WORKERS = 4
@@ -90,9 +91,9 @@ def test_cluster_scenario_matrix():
     specs = MATRIX.expand()
     # no cache (always measure); pool defaults to all cores, capped
     # by REPRO_XP_JOBS
-    runner = ParallelRunner()
+    outcome = run(specs, backend="parallel")
     results = {labels: result for labels, result
-               in zip(MATRIX.labels(), runner.run(specs))}
+               in zip(MATRIX.labels(), outcome.results)}
 
     rows = []
     metrics = {}

@@ -14,7 +14,8 @@ import numpy as np
 from repro import nn
 from repro.autograd import Tensor, functional as F
 from repro.data import BatchLoader
-from repro.sim import train_async, train_sync
+from repro.run import run_round_robin
+from repro.sim import train_sync
 from benchmarks.workloads import (FULL_SCALE,
                                   closed_loop_yellowfin, print_table, steps,
                                   YF_BETA, YF_WINDOW)
@@ -52,7 +53,8 @@ def run_case(name, asynchronous, feedback):
     opt = closed_loop_yellowfin(model.parameters(), staleness=staleness,
                                 feedback=feedback)
     if asynchronous:
-        log = train_async(model, opt, loss_fn, steps=STEPS, workers=WORKERS)
+        log = run_round_robin(model, opt, loss_fn, steps=STEPS,
+                              workers=WORKERS)
     else:
         log = train_sync(model, opt, loss_fn, steps=STEPS)
     total = log.series("total_momentum")

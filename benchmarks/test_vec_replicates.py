@@ -21,7 +21,8 @@ import time
 import numpy as np
 
 from repro.bench import BenchReporter, replicate_statistics
-from repro.xp import ScenarioSpec, run_scenario
+from repro.run import run
+from repro.xp import ScenarioSpec
 from benchmarks.workloads import FULL_SCALE, print_table, steps
 
 REPLICATES = 8
@@ -59,18 +60,18 @@ def test_vec_replicate_speedup_and_error_bars():
     spec = speed_spec(reads)
 
     # warm both paths (imports, allocator) before timing
-    run_scenario(spec.replicate_spec(0))
-    run_scenario(spec)
+    run(spec.replicate_spec(0), backend="serial")
+    run(spec, backend="vec")
 
     repeats = 3
     serial_walls, batched_walls = [], []
     for _ in range(repeats):
         t0 = time.perf_counter()
-        serial = [run_scenario(spec.replicate_spec(r))
+        serial = [run(spec.replicate_spec(r), backend="serial").result
                   for r in range(REPLICATES)]
         serial_walls.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
-        batched = run_scenario(spec)
+        batched = run(spec, backend="vec").result
         batched_walls.append(time.perf_counter() - t0)
     serial_wall = min(serial_walls)
     batched_wall = min(batched_walls)
@@ -99,8 +100,8 @@ def test_vec_replicate_speedup_and_error_bars():
     # momentum adaptivity with error bars (Fig. 9 claim, statistical)
     adaptivity_reads = steps(400)
     arms = {"adaptive": None, "mu=0.0": 0.0, "mu=0.9": 0.9}
-    arm_results = {label: run_scenario(adaptivity_spec(mu,
-                                                       adaptivity_reads))
+    arm_results = {label: run(adaptivity_spec(mu, adaptivity_reads),
+                              backend="vec").result
                    for label, mu in arms.items()}
     rows = []
     for label, result in arm_results.items():

@@ -23,7 +23,7 @@ from repro import nn
 from repro.autograd import Tensor, functional as F
 from repro.core import ClosedLoopYellowFin, YellowFin
 from repro.data import BatchLoader
-from repro.sim import train_async
+from repro.run import run_round_robin
 
 
 WORKERS = 16
@@ -50,8 +50,9 @@ def build(seed=0):
 def run(name, make_opt):
     model, loss_fn = build()
     opt = make_opt(model.parameters())
-    log = train_async(model, opt, loss_fn, steps=STEPS, workers=WORKERS,
-                      num_shards=SHARDS)
+    # the paper's round-robin protocol through the unified API
+    log = run_round_robin(model, opt, loss_fn, steps=STEPS,
+                          workers=WORKERS, num_shards=SHARDS)
     losses = log.series("loss")
     tail = losses[-50:].mean()
     line = f"{name:>22}: final(avg last 50) loss = {tail:.4f}"

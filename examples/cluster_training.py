@@ -24,9 +24,10 @@ import numpy as np
 
 from repro import nn
 from repro.autograd import Tensor, functional as F
-from repro.cluster import (ClusterRuntime, FaultInjector, ParetoDelay,
+from repro.cluster import (FaultInjector, ParetoDelay,
                            WorkerCrash, load_cluster_checkpoint,
                            restore_cluster, save_cluster_checkpoint)
+from repro.run import build_cluster
 from repro.core import ClosedLoopYellowFin
 from repro.data import BatchLoader
 from repro.sim import staleness_histogram, staleness_summary
@@ -67,7 +68,7 @@ def build():
                               gamma=0.01, window=5, beta=0.99, fused=True)
     faults = FaultInjector(
         scheduled=[WorkerCrash(worker=3, time=60.0, downtime=30.0)])
-    runtime = ClusterRuntime(
+    runtime = build_cluster(
         model, opt, workload, workers=WORKERS,
         delay_model=ParetoDelay(alpha=1.5, scale=0.5, seed=7),
         num_shards=4, faults=faults)

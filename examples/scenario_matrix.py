@@ -20,8 +20,9 @@ import tempfile
 from pathlib import Path
 
 from repro.bench import BenchReporter
-from repro.xp import (BaselineComparator, Matrix, ParallelRunner,
-                      ResultCache, ScenarioSpec, save_scenarios)
+from repro.run import run
+from repro.xp import (BaselineComparator, Matrix, ResultCache,
+                      ScenarioSpec, save_scenarios)
 
 SMOKE = "--smoke" in sys.argv
 READS = 60 if SMOKE else 240
@@ -52,14 +53,16 @@ MATRIX = Matrix(
     })
 
 
-def show(title, results, runner):
+def show(title, outcome):
     print(f"\n=== {title} ===")
+    results = outcome.results
     width = max(len(r.name) for r in results)
     for r in results:
         print(f"  {r.name.ljust(width)}  final_loss={r.metrics['final_loss']:.4f}"
               f"  staleness_max={r.metrics['staleness_max']:.0f}"
               f"  {'cached' if r.cached else f'{r.wall_s:.2f}s'}")
-    print(f"  -> {runner.hits} cached, {runner.misses} computed")
+    print(f"  -> {outcome.hits} cached, {outcome.misses} computed "
+          f"(backend: {outcome.backend})")
 
 
 def main():
@@ -68,16 +71,16 @@ def main():
     save_scenarios(MATRIX, matrix_file)
     print(f"matrix file: {matrix_file}  "
           f"({len(MATRIX.expand())} scenarios; also consumable via "
-          f"'python -m repro.xp run {matrix_file}')")
+          f"'python -m repro run {matrix_file}')")
 
     cache = ResultCache(work / "cache")
-    runner = ParallelRunner(processes=4, cache=cache)
-    first = runner.run(MATRIX.expand())
-    show("first pass (cold cache, 4 processes)", first, runner)
+    cold = run(MATRIX, backend="parallel", jobs=4, cache=cache)
+    show("first pass (cold cache, 4 processes)", cold)
 
-    second = runner.run(MATRIX.expand())
-    show("second pass (warm cache)", second, runner)
-    assert runner.misses == 0, "warm pass recomputed something"
+    warm = run(MATRIX, cache=cache)   # backend auto-selected
+    show("second pass (warm cache)", warm)
+    assert warm.misses == 0, "warm pass recomputed something"
+    first, second = cold.results, warm.results
     assert [a.identity() for a in first] == \
         [b.identity() for b in second], "cache changed a record"
     print("  cache round trip is bit-identical")

@@ -10,4 +10,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.22", "scipy>=1.8"],
+    entry_points={
+        "console_scripts": ["repro=repro.cli:console_main"],
+    },
 )

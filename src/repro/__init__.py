@@ -18,6 +18,11 @@ Quickstart
 
 Package layout
 --------------
+- ``repro.run`` — the unified execution API: ``run(spec,
+  backend="auto")`` over serial / cluster / parallel / vec backends.
+- ``repro.registry`` — the typed component registry behind every
+  pluggable family (optimizers, workloads, delay/fault models,
+  sharding policies, aggregators, backends).
 - ``repro.core`` — YellowFin, closed-loop YellowFin, measurement oracles.
 - ``repro.autograd`` / ``repro.nn`` — the NumPy deep-learning substrate.
 - ``repro.optim`` — SGD / momentum SGD / Adam / AdaGrad / RMSProp baselines.
@@ -26,20 +31,28 @@ Package layout
 - ``repro.sim`` — trainers plus the sharded parameter-server runtime.
 - ``repro.cluster`` — event-driven cluster simulation: delay models,
   fault injection, bit-for-bit checkpoint/restore.
+- ``repro.xp`` — declarative scenario specs/matrices, process pools,
+  the content-addressed result cache, baseline gating.
+- ``repro.vec`` — batched multi-replicate execution engine.
 - ``repro.tuning`` — grid search and multi-seed experiment harness.
 - ``repro.bench`` — timers and ``BENCH_*.json`` perf records.
+
+Command line: ``python -m repro run|list|diff|bench`` (installed as the
+``repro`` console script).
 """
 
 from repro import analysis, autograd, bench, cluster, core, data, models, \
-    nn, optim, sim, tuning, utils
+    nn, optim, registry, sim, tuning, utils
+from repro import run, xp, vec  # noqa: E402 — after the substrate
 from repro.core import ClosedLoopYellowFin, YellowFin
 from repro.optim import Adam, AdaGrad, MomentumSGD, RMSProp, SGD
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis", "autograd", "bench", "cluster", "core", "data", "models",
-    "nn", "optim", "sim", "tuning", "utils",
+    "nn", "optim", "registry", "run", "sim", "tuning", "utils",
+    "vec", "xp",
     "YellowFin", "ClosedLoopYellowFin",
     "SGD", "MomentumSGD", "Adam", "AdaGrad", "RMSProp",
 ]

@@ -1,0 +1,254 @@
+"""``python -m repro`` — the top-level command-line interface.
+
+Four subcommands over the unified execution API:
+
+- ``run <scenarios.json>`` — expand and execute a scenario file
+  through :func:`repro.run.run` (backend auto-selected or pinned with
+  ``--backend``), with the content-addressed result cache on by
+  default; prints a summary table and optionally writes the full
+  result records.
+- ``list <scenarios.json>`` — show the expanded scenarios and their
+  content hashes without running anything.
+- ``diff --baseline <dir> --fresh <dir>`` — gate fresh ``BENCH_*.json``
+  records against committed baselines via
+  :class:`~repro.xp.compare.BaselineComparator`; exits non-zero on
+  regression (the CI perf gate).
+- ``bench <scenarios.json> --backends a,b,c`` — run the same scenarios
+  through several backends, report per-backend wall time, and (with
+  ``--check``) verify the deterministic records are bit-identical
+  across backends — the ``make api-smoke`` gate.
+
+The same entry point is installed as the ``repro`` console script;
+``python -m repro.xp`` remains as a deprecated alias for the first
+three subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.utils.serialization import encode_state
+from repro.xp.cache import ResultCache
+from repro.xp.compare import BaselineComparator, write_report
+from repro.xp.spec import load_scenarios
+
+
+def build_parser(prog: str = "python -m repro") -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for the ``repro.xp`` alias).
+
+    Parameters
+    ----------
+    prog : str
+        Program name shown in usage/help text.
+    """
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Unified scenario execution, perf-baseline gating, "
+                    "and cross-backend verification")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="expand and execute a scenario file")
+    run.add_argument("scenarios", help="matrix or scenario-list JSON file")
+    run.add_argument("--backend", default="auto",
+                     help="execution backend: auto (default), serial, "
+                          "cluster, parallel, vec, or any registered "
+                          "name")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (default: all cores)")
+    run.add_argument("--cache", default=None, metavar="DIR",
+                     help="result-cache directory (default: "
+                          "$REPRO_XP_CACHE or .xp_cache)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute everything, touch no cache")
+    run.add_argument("--out", default=None, metavar="FILE",
+                     help="write full result records as JSON")
+
+    lst = sub.add_parser(
+        "list", help="show expanded scenarios without running")
+    lst.add_argument("scenarios", help="matrix or scenario-list JSON file")
+
+    diff = sub.add_parser(
+        "diff", help="gate fresh BENCH_*.json records against baselines")
+    diff.add_argument("--baseline", required=True, metavar="DIR",
+                      help="directory with committed baseline records")
+    diff.add_argument("--fresh", required=True, metavar="DIR",
+                      help="directory with freshly measured records")
+    diff.add_argument("--names", default=None,
+                      help="comma-separated record names to gate "
+                           "(default: every name present on both sides)")
+    diff.add_argument("--tol", type=float, default=None,
+                      help="override the relative tolerance of every "
+                           "rule (default 0.2)")
+    diff.add_argument("--gate-timings", choices=("auto", "on", "off"),
+                      default="auto",
+                      help="gate wall-clock metrics: auto = only when "
+                           "environments match (default)")
+    diff.add_argument("--report", default=None, metavar="FILE",
+                      help="write the machine-readable report JSON")
+
+    bench = sub.add_parser(
+        "bench", help="run scenarios through several backends and "
+                      "compare wall time (and, with --check, records)")
+    bench.add_argument("scenarios",
+                       help="matrix or scenario-list JSON file")
+    bench.add_argument("--backends", default="serial,parallel,vec",
+                       help="comma-separated backend names "
+                            "(default: serial,parallel,vec)")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for fan-out backends")
+    bench.add_argument("--check", action="store_true",
+                       help="fail unless every backend produced "
+                            "bit-identical deterministic records")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="write the per-backend timing/identity "
+                            "report as JSON")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.run import run
+
+    specs = load_scenarios(args.scenarios)
+    cache = None if args.no_cache else ResultCache(args.cache)
+    outcome = run(specs, backend=args.backend, jobs=args.jobs,
+                  cache=cache)
+    results = outcome.results
+    width = max((len(r.name) for r in results), default=4)
+    print(f"{'scenario'.ljust(width)}  {'hash':12}  {'final_loss':>10}  "
+          f"{'wall_s':>8}  cached")
+    for result in results:
+        final = result.metrics.get("final_loss", float("nan"))
+        print(f"{result.name.ljust(width)}  {result.spec_hash[:12]}  "
+              f"{final:10.4f}  {result.wall_s:8.3f}  "
+              f"{'yes' if result.cached else 'no'}")
+    print(f"\n{len(results)} scenarios: {outcome.hits} cached, "
+          f"{outcome.misses} computed"
+          + (f" (cache: {cache.root})" if cache is not None else ""))
+    print(f"backend: {outcome.backend} ({outcome.reason})")
+    if args.out:
+        payload = outcome.as_dict()
+        with open(args.out, "w") as fh:
+            json.dump(encode_state(payload), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    specs = load_scenarios(args.scenarios)
+    width = max((len(s.name) for s in specs), default=4)
+    for spec in specs:
+        print(f"{spec.name.ljust(width)}  {spec.content_hash()[:12]}  "
+              f"{spec.optimizer} x {spec.delay.get('kind')} "
+              f"({spec.workers} workers, {spec.reads} reads, "
+              f"seed {spec.resolved_seed()})")
+    print(f"\n{len(specs)} scenarios")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    gate = {"auto": "auto", "on": True, "off": False}[args.gate_timings]
+    comparator = BaselineComparator(rel_tol=args.tol, gate_timings=gate)
+    names = ([n.strip() for n in args.names.split(",") if n.strip()]
+             if args.names else None)
+    report = comparator.compare_dirs(args.baseline, args.fresh,
+                                     names=names)
+    for record in report["records"]:
+        print(f"{record['name']}: {record['status']}"
+              + (f" ({record['reason']})" if "reason" in record else ""))
+        for comp in record.get("comparisons", []):
+            if comp["status"] in ("regression", "missing") \
+                    and comp.get("gated"):
+                print(f"  REGRESSION {comp['metric']}: "
+                      f"{comp.get('baseline')!r} -> "
+                      f"{comp.get('fresh', '<missing>')!r}")
+    summary = report["summary"]
+    print(f"\n{summary['compared']} records: {summary['passed']} passed, "
+          f"{summary['failed']} failed, "
+          f"{summary['incomparable']} incomparable")
+    if args.report:
+        write_report(report, args.report)
+        print(f"wrote {args.report}")
+    return 0 if report["status"] == "pass" else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.run import run
+
+    specs = load_scenarios(args.scenarios)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if not backends:
+        raise ValueError("--backends needs at least one backend name")
+    outcomes = {}
+    for name in backends:
+        outcome = run(specs, backend=name, jobs=args.jobs, cache=None)
+        outcomes[name] = outcome
+        print(f"{name:10}  {outcome.wall_s:8.3f}s  "
+              f"{len(outcome.results)} scenarios")
+    reference = backends[0]
+    identical = all(
+        outcomes[name].identities() == outcomes[reference].identities()
+        for name in backends[1:])
+    if len(backends) > 1:
+        print(f"\nrecords bit-identical across "
+              f"{{{', '.join(backends)}}}: "
+              f"{'yes' if identical else 'NO'}")
+    if args.out:
+        payload = {
+            "scenarios": [s.name for s in specs],
+            "identical": identical,
+            "backends": {name: {"wall_s": outcome.wall_s,
+                                "identities": outcome.identities()}
+                         for name, outcome in outcomes.items()},
+        }
+        with open(args.out, "w") as fh:
+            json.dump(encode_state(payload), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check and not identical:
+        for name in backends[1:]:
+            if outcomes[name].identities() != \
+                    outcomes[reference].identities():
+                print(f"MISMATCH: {name} records differ from "
+                      f"{reference}", file=sys.stderr)
+        return 1
+    return 0
+
+
+COMMANDS = {"run": _cmd_run, "list": _cmd_list, "diff": _cmd_diff,
+            "bench": _cmd_bench}
+
+
+def main(argv: Optional[List[str]] = None,
+         prog: str = "python -m repro") -> int:
+    """CLI entry point; returns the process exit code.
+
+    Parameters
+    ----------
+    argv : list of str, optional
+        Arguments (defaults to ``sys.argv[1:]``).
+    prog : str
+        Program name for usage text (the ``repro.xp`` alias overrides
+        it).
+    """
+    args = build_parser(prog).parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except (OSError, ValueError) as exc:
+        # bad paths and malformed scenario files fail with a message,
+        # not a traceback (exit code 2 = usage error, 1 = regression)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def console_main() -> None:  # pragma: no cover — exercised via CLI
+    """Console-script entry point (``repro`` on ``$PATH``)."""
+    sys.exit(main(prog="repro"))
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via __main__
+    sys.exit(main())

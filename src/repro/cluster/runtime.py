@@ -134,6 +134,15 @@ class ClusterRuntime:
                  faults: Optional[FaultInjector] = None,
                  hooks: Optional[TrainerHooks] = None,
                  log: Optional[TrainLog] = None, seed: SeedLike = None):
+        from repro.utils.deprecation import (entered_internally,
+                                             warn_deprecated)
+
+        if not entered_internally():
+            # the engine itself is not deprecated — ad-hoc construction
+            # is; repro.run builds runtimes inside internal_calls()
+            warn_deprecated(
+                "direct ClusterRuntime construction",
+                "repro.run.run(spec) / repro.run.build_cluster(...)")
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         if delivery not in ("fifo", "random"):

@@ -1,0 +1,52 @@
+"""Unified execution API: one ``run()`` over interchangeable backends.
+
+Before PR 5 the reproduction had four ways to execute the same
+experiment — the legacy serial trainer facade
+(:func:`repro.sim.train_async`), direct
+:class:`~repro.cluster.runtime.ClusterRuntime` construction, the
+multiprocessing :class:`~repro.xp.runner.ParallelRunner`, and the
+batched :class:`~repro.vec.engine.BatchedClusterEngine` — each with its
+own construction idioms and result shapes.  This package is the single
+public surface over all of them:
+
+- :func:`run` — ``run(spec | matrix | specs | path, backend="auto")``
+  returning a :class:`RunResult`; handles validation, duplicate
+  collapsing, and the content-addressed result cache uniformly.
+- :class:`ExecutionBackend` / :class:`BackendCapabilities` — the
+  protocol new backends implement, registered by name in the central
+  typed registry (kind ``"backend"``) next to optimizers, workloads,
+  delay and fault models.
+- :func:`select_backend` — the capability-based auto-selection policy
+  (lockstep + replicates → ``vec``; matrix + workers → ``parallel``;
+  cluster-class features → ``cluster``; else ``serial``).
+- :func:`run_cluster` / :func:`build_cluster` /
+  :func:`run_round_robin` — the object-level entry points behind the
+  deprecated ``train_async`` facade and direct engine construction
+  (``run_round_robin`` is the single home of the paper's Section 5.2
+  protocol derivation).
+
+Every backend preserves the bit-identical-records contract: the same
+spec produces the same deterministic identity (name, spec hash,
+metrics, series) no matter which backend executes it — enforced by the
+cross-backend equivalence suite and ``make api-smoke``.
+"""
+
+from repro.run.api import run, select_backend
+from repro.run.backends import (BackendCapabilities, ClusterBackend,
+                                ExecutionBackend, ParallelBackend,
+                                SerialBackend, VecBackend,
+                                backend_names, build_cluster,
+                                execute_scalar, execute_spec,
+                                register_backend, run_cluster,
+                                run_round_robin)
+from repro.run.result import RunOptions, RunResult
+
+__all__ = [
+    "run", "select_backend",
+    "RunResult", "RunOptions",
+    "ExecutionBackend", "BackendCapabilities",
+    "SerialBackend", "ClusterBackend", "ParallelBackend", "VecBackend",
+    "register_backend", "backend_names",
+    "build_cluster", "run_cluster", "run_round_robin",
+    "execute_scalar", "execute_spec",
+]

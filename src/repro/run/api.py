@@ -1,0 +1,238 @@
+"""`repro.run.run` — one entry point over every execution backend.
+
+The public face of the unified execution API::
+
+    from repro.run import run
+
+    outcome = run(spec)                         # auto-selected backend
+    outcome = run(matrix, backend="parallel",   # pinned backend
+                  jobs=8, cache=ResultCache())
+    outcome.result.metrics["final_loss"]
+
+``run`` accepts a single :class:`~repro.xp.spec.ScenarioSpec`, a
+:class:`~repro.xp.spec.Matrix`, a sequence of specs, or a path to a
+scenario JSON file.  The API layer owns everything that used to be
+scattered across entry points: component validation against the typed
+registry, duplicate-spec collapsing, the content-addressed result
+cache, and capability-based backend auto-selection.  Backends receive
+only deduplicated, uncached, validated specs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.registry import registry
+from repro.xp.cache import ResultCache
+from repro.xp.runner import XP_JOBS_ENV, ScenarioResult
+from repro.xp.spec import Matrix, ScenarioSpec, load_scenarios
+
+from repro.run.result import RunOptions, RunResult, _Stopwatch
+
+Runnable = Union[ScenarioSpec, Matrix, Sequence[ScenarioSpec], str, Path]
+
+
+def _normalize(scenarios: Runnable) -> List[ScenarioSpec]:
+    """Expand any accepted input form into a concrete spec list."""
+    if isinstance(scenarios, ScenarioSpec):
+        return [scenarios]
+    if isinstance(scenarios, Matrix):
+        return scenarios.expand()
+    if isinstance(scenarios, (str, Path)):
+        return load_scenarios(scenarios)
+    specs = list(scenarios)
+    bad = [s for s in specs if not isinstance(s, ScenarioSpec)]
+    if bad:
+        raise TypeError(
+            f"expected ScenarioSpec items, got {type(bad[0]).__name__}")
+    return specs
+
+
+def _effective_jobs(jobs: Optional[int]) -> int:
+    """The process budget auto-selection reasons about.
+
+    Mirrors :class:`~repro.xp.runner.ParallelRunner`'s resolution:
+    explicit argument, else ``$REPRO_XP_JOBS``, else the CPU count.
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(XP_JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(
+                f"${XP_JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def select_backend(specs: Sequence[ScenarioSpec],
+                   jobs: Optional[int] = None) -> Tuple[str, str]:
+    """Pick the execution backend for a batch of specs.
+
+    Capability-based policy over the registered backends (most
+    specific opportunity first):
+
+    1. ``vec`` when every spec is lockstep-schedulable and at least one
+       carries ``replicates > 1`` — replicate batching is the biggest
+       single win the system has.
+    2. ``parallel`` when there are several scenarios and more than one
+       worker process is available — scenario fan-out.
+    3. ``cluster`` when any spec needs cluster-class machinery
+       (stochastic delays, fault plans, staleness gates, random
+       delivery) — the general engine is the right tool, not a
+       fallback.
+    4. ``serial`` otherwise.
+
+    A backend is only chosen if it is registered *and* declares the
+    matching capability, so replacing a built-in with a degraded
+    third-party backend degrades selection rather than breaking it.
+
+    Parameters
+    ----------
+    specs : sequence of ScenarioSpec
+        The batch about to run.
+    jobs : int, optional
+        Worker-process budget (resolved like ``ParallelRunner``).
+
+    Returns
+    -------
+    (name, reason) : tuple of str
+        The backend's registry key and a human-readable rationale.
+    """
+    if not specs:
+        return "serial", "empty batch"
+    from repro.vec.engine import supports_batched
+
+    def caps(name):
+        if not registry.has("backend", name):
+            return None
+        return registry.build("backend", name).capabilities()
+
+    vec_caps = caps("vec")
+    if (vec_caps is not None and vec_caps.batched_replicates
+            and any(s.replicates > 1 for s in specs)
+            and all(supports_batched(s) for s in specs)):
+        return "vec", ("lockstep-schedulable specs with replicates > 1 "
+                       "batch on the replicate axis")
+    par_caps = caps("parallel")
+    if (par_caps is not None and par_caps.matrix and len(specs) > 1
+            and _effective_jobs(jobs) > 1):
+        return "parallel", (f"{len(specs)} scenarios fan out across "
+                            "worker processes")
+    cluster_caps = caps("cluster")
+
+    def needs_cluster(spec: ScenarioSpec) -> bool:
+        return (spec.delay.get("kind") != "constant"
+                or bool(spec.faults)
+                or spec.queue_staleness > 0
+                or spec.delivery != "fifo")
+
+    if (cluster_caps is not None and cluster_caps.cluster_features
+            and any(needs_cluster(s) for s in specs)):
+        return "cluster", ("stochastic delays / faults / staleness "
+                           "gates need the general event-driven engine")
+    return "serial", "single plain scenario; reference path"
+
+
+def run(scenarios: Runnable, backend: str = "auto", *,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        validate: bool = True) -> RunResult:
+    """Execute scenarios through one unified entry point.
+
+    Parameters
+    ----------
+    scenarios : ScenarioSpec or Matrix or sequence or path
+        What to run: a single spec, a matrix (expanded in axis order),
+        an explicit spec list, or a scenario JSON file path.
+    backend : str
+        ``"auto"`` (capability-based selection, the default) or a
+        registered backend name — ``"serial"``, ``"cluster"``,
+        ``"parallel"``, ``"vec"``, or anything added via
+        :func:`repro.run.register_backend`.
+    jobs : int, optional
+        Worker-process budget for fan-out backends (``None`` defers to
+        ``$REPRO_XP_JOBS`` / CPU count).
+    cache : ResultCache, optional
+        Content-addressed result store consulted before execution and
+        updated after; ``None`` (default) recomputes everything.
+    validate : bool
+        Pre-flight every distinct spec's component names and
+        parameters against the typed registry (clear errors instead
+        of mid-run failures in a worker process).  Disable only for
+        specs referencing components registered after fork.
+
+    Returns
+    -------
+    RunResult
+        Per-scenario records in input order plus backend identity,
+        selection rationale, and cache statistics.
+
+    Notes
+    -----
+    Records are **backend-independent**: the same spec yields the same
+    deterministic identity (name, spec hash, metrics, series) on every
+    backend — the cross-backend equivalence suite enforces it.
+    Duplicate specs (same content hash) are computed once and share
+    the record.
+    """
+    watch = _Stopwatch()
+    specs = _normalize(scenarios)
+    # hash once per spec: hashing re-serializes the whole spec (trace
+    # payloads included), so it must not be O(duplicates)
+    keys = [spec.content_hash() for spec in specs]
+
+    first_idx: Dict[str, int] = {}
+    results: List[Optional[ScenarioResult]] = [None] * len(specs)
+    hits = 0
+    todo: List[int] = []
+    for idx, (spec, key) in enumerate(zip(specs, keys)):
+        if key in first_idx:
+            continue
+        first_idx[key] = idx
+        if cache is not None:
+            cached = cache.get(spec, key=key)
+            if cached is not None:
+                results[idx] = cached
+                hits += 1
+                continue
+        todo.append(idx)
+
+    if validate:
+        for idx in todo:
+            specs[idx].validate_components()
+
+    if backend == "auto":
+        name, reason = select_backend([specs[i] for i in todo] or specs,
+                                      jobs=jobs)
+    else:
+        name, reason = backend, "explicitly requested"
+    impl = registry.build("backend", name)
+    if not hasattr(impl, "execute"):
+        raise ValueError(
+            f"backend {name!r} does not implement ExecutionBackend")
+
+    if todo:
+        fresh = impl.execute([specs[i] for i in todo],
+                             RunOptions(jobs=jobs))
+        if len(fresh) != len(todo):
+            raise RuntimeError(
+                f"backend {name!r} returned {len(fresh)} records for "
+                f"{len(todo)} specs")
+        for idx, record in zip(todo, fresh):
+            results[idx] = record
+            if cache is not None:
+                cache.put(specs[idx], record, key=keys[idx])
+
+    for idx, key in enumerate(keys):
+        if results[idx] is None:      # duplicate of an earlier spec
+            results[idx] = results[first_idx[key]]
+    assert all(r is not None for r in results)
+    return RunResult(backend=name, reason=reason,
+                     results=results,  # type: ignore[arg-type]
+                     hits=hits, misses=len(todo),
+                     wall_s=watch.elapsed())

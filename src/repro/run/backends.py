@@ -1,0 +1,460 @@
+"""Execution backends: one protocol, four interchangeable engines.
+
+An :class:`ExecutionBackend` turns a list of
+:class:`~repro.xp.spec.ScenarioSpec` into
+:class:`~repro.xp.runner.ScenarioResult` records.  Every backend honors
+the same contract — **bit-identical deterministic records** (name,
+spec hash, metrics, series) for the same specs — so the choice between
+them is purely an orchestration/performance decision, made by
+capability-based auto-selection in :func:`repro.run.api.select_backend`
+or pinned explicitly by the caller.
+
+Built-ins (registered in the central typed registry under the
+``"backend"`` kind):
+
+- ``serial`` — the reference: every scenario and every replicate runs
+  strictly sequentially through the scalar event-driven engine.
+- ``cluster`` — the full-featured scalar path: same records, selected
+  when a spec needs cluster-class machinery (stochastic delays, fault
+  plans, staleness gates) that rules out lockstep batching.
+- ``parallel`` — scenario-level fan-out across a process pool
+  (:class:`~repro.xp.runner.ParallelRunner`); records are
+  bit-identical to serial because scenario execution is a pure
+  function of the spec.
+- ``vec`` — replicate-level batching through the lockstep
+  :class:`~repro.vec.engine.BatchedClusterEngine` (transparent serial
+  fallback outside the lockstep class).
+
+The module also owns the *object-level* entry points
+:func:`build_cluster` / :func:`run_cluster`, the blessed replacements
+for direct :class:`~repro.cluster.runtime.ClusterRuntime` construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.bench.report import environment_info
+from repro.cluster.runtime import ClusterRuntime
+from repro.registry import registry
+from repro.utils.deprecation import internal_calls
+from repro.utils.logging import TrainLog
+from repro.xp.factories import (build_delay_model, build_fault_injector,
+                                build_optimizer)
+from repro.xp.runner import (ParallelRunner, ScenarioResult,
+                             summarize_log)
+from repro.xp.spec import ScenarioSpec
+from repro.xp.workloads import build_workload
+
+from repro.run.result import RunOptions
+
+
+# ----------------------------------------------------------------- #
+# scalar execution (the reference semantics every backend reproduces)
+# ----------------------------------------------------------------- #
+def build_cluster(model, optimizer, loss_fn, **kwargs) -> ClusterRuntime:
+    """Construct a :class:`ClusterRuntime` through the unified API.
+
+    The blessed replacement for direct ``ClusterRuntime(...)``
+    construction (which now warns): same arguments, same engine, but
+    routed through :mod:`repro.run` so the construction idiom is one
+    place instead of scattered call sites.  Use this when you need the
+    engine object itself — e.g. for the checkpoint/restore workflow —
+    and :func:`run_cluster` when you only need the training log.
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn:
+        As for :class:`~repro.cluster.runtime.ClusterRuntime`.
+    **kwargs
+        Forwarded verbatim (workers, delay_model, num_shards,
+        shard_policy, queue_staleness, delivery, faults, hooks, log,
+        seed).
+
+    Returns
+    -------
+    ClusterRuntime
+    """
+    with internal_calls():
+        return ClusterRuntime(model, optimizer, loss_fn, **kwargs)
+
+
+def run_cluster(model, optimizer, loss_fn, *, reads: int,
+                updates: Optional[int] = None,
+                drain_final: bool = False, **kwargs) -> TrainLog:
+    """Run one object-level cluster simulation and return its log.
+
+    The unified object-level entry point behind the deprecated
+    :func:`repro.sim.train_async` facade: construct the event-driven
+    engine (via :func:`build_cluster`) and run it to the given
+    budgets.  Spec-level callers should prefer :func:`repro.run.run`.
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn:
+        As for :class:`~repro.cluster.runtime.ClusterRuntime`.
+    reads : int
+        Gradient-computation budget.
+    updates : int, optional
+        Update budget (``None`` commits whatever arrives in time).
+    drain_final : bool
+        Apply still-in-flight gradients after the last read instead of
+        discarding them.
+    **kwargs
+        Engine configuration forwarded to :func:`build_cluster`.
+
+    Returns
+    -------
+    TrainLog
+        The run's training log (loss at read time, plus the cluster
+        series).
+    """
+    runtime = build_cluster(model, optimizer, loss_fn, **kwargs)
+    return runtime.run(reads=reads, updates=updates,
+                       drain_final=drain_final)
+
+
+def run_round_robin(model, optimizer, loss_fn, *, steps: int,
+                    workers: int = 16,
+                    staleness_model: str = "round_robin",
+                    drain_final: bool = False, **kwargs) -> TrainLog:
+    """Run the paper's Section 5.2 asynchronous protocol.
+
+    The one place the protocol's derivation lives: staleness is
+    ``tau = workers - 1``; ``"round_robin"`` schedules ``workers``
+    timed workers under a unit constant delay (arrivals keep read
+    order, so each gradient is exactly ``tau`` updates stale after
+    warmup), ``"random"`` runs the depth-gated memoryless discipline
+    (one reader, gate ``tau``, random delivery); the update budget is
+    ``max(0, steps - tau)``.  The deprecated
+    :func:`repro.sim.train_async` facade and every protocol-level
+    caller (tuning, benchmarks, examples) delegate here, so the
+    mapping cannot drift between call sites.
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn:
+        As for :class:`~repro.cluster.runtime.ClusterRuntime`.
+    steps : int
+        Worker read/push iterations (the gradient budget).
+    workers : int
+        Simulated worker count; the gradient delay is ``workers - 1``.
+    staleness_model : str
+        ``"round_robin"`` (timed N-worker schedule) or ``"random"``
+        (memoryless completion order).
+    drain_final : bool
+        Apply the ``tau`` still-in-flight gradients after the last
+        step instead of discarding them.
+    **kwargs
+        Engine configuration forwarded to :func:`build_cluster`
+        (num_shards, shard_policy, hooks, log, seed).
+
+    Returns
+    -------
+    TrainLog
+        Loss at read time plus the cluster series, exactly as
+        ``train_async`` always returned.
+    """
+    from repro.cluster.delays import ConstantDelay
+
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    if staleness_model not in ("round_robin", "random"):
+        raise ValueError(f"unknown staleness model {staleness_model!r}")
+    tau = workers - 1
+    if staleness_model == "round_robin":
+        topology = dict(workers=workers)
+    else:
+        # memoryless release is a property of the server queue, not of
+        # transit timing: one reader, depth gate tau, random delivery
+        topology = dict(workers=1, queue_staleness=tau,
+                        delivery="random")
+    return run_cluster(model, optimizer, loss_fn, reads=steps,
+                       updates=max(0, steps - tau),
+                       drain_final=drain_final,
+                       delay_model=ConstantDelay(1.0), **topology,
+                       **kwargs)
+
+
+def execute_scalar(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one single-replicate spec through the scalar engine.
+
+    The pure reference semantics of the whole API: build the workload,
+    optimizer, delay model, and fault injector from the spec (all
+    seeded from ``spec.resolved_seed()`` or their own declared seeds),
+    run the event-driven simulation to the spec's budgets, and
+    summarize the log.  Every backend's records are defined as
+    bit-identical to this function's.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        A scenario with ``replicates == 1``.
+
+    Returns
+    -------
+    ScenarioResult
+    """
+    if spec.replicates != 1:
+        raise ValueError(
+            f"execute_scalar needs replicates == 1, got "
+            f"{spec.replicates}; use repro.vec.runner.execute_replicated")
+    seed = spec.resolved_seed()
+    build = build_workload(spec.workload, **spec.workload_params)
+    model, loss_fn = build(seed)
+    optimizer = build_optimizer(spec.optimizer, model.parameters(),
+                                **spec.optimizer_params)
+    runtime = build_cluster(
+        model, optimizer, loss_fn, workers=spec.workers,
+        delay_model=build_delay_model(spec.delay),
+        num_shards=spec.num_shards, shard_policy=spec.shard_policy,
+        queue_staleness=spec.queue_staleness, delivery=spec.delivery,
+        faults=build_fault_injector(spec.faults), seed=seed)
+    start = time.perf_counter()
+    log = runtime.run(reads=spec.reads, updates=spec.updates)
+    wall = time.perf_counter() - start
+
+    metrics, series = summarize_log(spec, log, runtime.reads_done,
+                                    runtime.updates_done,
+                                    runtime.diverged)
+    env = environment_info()
+    env["seed"] = seed
+    return ScenarioResult(name=spec.name, spec_hash=spec.content_hash(),
+                          metrics=metrics, series=series, env=env,
+                          wall_s=wall)
+
+
+def execute_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one spec with default per-spec strategy selection.
+
+    Single-replicate specs run the scalar engine; replicated specs run
+    the replicate engine of :mod:`repro.vec` with its automatic
+    batched/serial choice.  This is the unit of work the ``parallel``
+    backend ships to its pool, and the semantics the deprecated
+    :func:`repro.xp.runner.run_scenario` shim delegates to.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+
+    Returns
+    -------
+    ScenarioResult
+    """
+    if spec.replicates > 1:
+        from repro.vec.runner import execute_replicated
+
+        return execute_replicated(spec, strategy="auto")
+    return execute_scalar(spec)
+
+
+# ----------------------------------------------------------------- #
+# the backend protocol
+# ----------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an execution backend can exploit (not what it can run —
+    every backend runs every spec correctly; capabilities drive
+    *selection*, they are not feature gates).
+
+    Attributes
+    ----------
+    matrix : bool
+        Executes multi-scenario batches faster than one-by-one
+        (process fan-out).
+    batched_replicates : bool
+        Collapses a spec's replicate axis into lockstep batched
+        execution when the spec allows it.
+    cluster_features : bool
+        Positioned for cluster-class machinery — stochastic delay
+        models, fault plans, staleness gates — that rules out
+        lockstep batching.
+    subprocess : bool
+        Executes in worker processes (components must be importable,
+        not closures).
+    """
+
+    matrix: bool = False
+    batched_replicates: bool = False
+    cluster_features: bool = False
+    subprocess: bool = False
+
+
+class ExecutionBackend:
+    """Protocol base class for execution backends.
+
+    A backend is registered in the central typed registry under the
+    ``"backend"`` kind and must provide:
+
+    - :attr:`name` — its registry key;
+    - :meth:`capabilities` — the static :class:`BackendCapabilities`
+      auto-selection consults;
+    - :meth:`execute` — specs in, records out, preserving order, with
+      records bit-identical to :func:`execute_scalar` semantics.
+
+    Subclasses are stateless by convention: ``execute`` may be called
+    repeatedly and concurrently-ish (the API layer constructs a fresh
+    instance per call).
+    """
+
+    #: Registry key of the backend.
+    name: str = "abstract"
+
+    def capabilities(self) -> BackendCapabilities:
+        """The backend's static capability declaration."""
+        raise NotImplementedError
+
+    def execute(self, specs: Sequence[ScenarioSpec],
+                options: RunOptions) -> List[ScenarioResult]:
+        """Execute every spec, in order.
+
+        Parameters
+        ----------
+        specs : sequence of ScenarioSpec
+            Deduplicated, validated scenarios (the API layer handles
+            caching and duplicate collapsing before this call).
+        options : RunOptions
+            Execution knobs (jobs, ...).
+
+        Returns
+        -------
+        list of ScenarioResult
+            One record per spec, same order.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference backend: strictly sequential scalar execution.
+
+    Every scenario — and every replicate of a replicated scenario —
+    runs one at a time through the scalar event-driven engine.  The
+    slowest backend and the ground truth: all other backends' records
+    are defined (and tested) as bit-identical to this one's.
+    """
+
+    name = "serial"
+
+    def capabilities(self) -> BackendCapabilities:
+        """Nothing to exploit: the baseline."""
+        return BackendCapabilities(cluster_features=True)
+
+    def execute(self, specs: Sequence[ScenarioSpec],
+                options: RunOptions) -> List[ScenarioResult]:
+        """Run specs sequentially; replicates forced serial."""
+        from repro.vec.runner import execute_replicated
+
+        out = []
+        for spec in specs:
+            if spec.replicates > 1:
+                out.append(execute_replicated(spec, strategy="serial"))
+            else:
+                out.append(execute_scalar(spec))
+        return out
+
+
+class ClusterBackend(ExecutionBackend):
+    """Full-featured scalar backend for cluster-class scenarios.
+
+    Record-wise identical to ``serial`` (both run the event-driven
+    scalar engine); selected by the auto-policy when a spec's delay
+    model, fault plan, or queue discipline rules out lockstep
+    batching, making the general engine the right tool rather than a
+    fallback.  Unlike the ``serial`` reference, replicated specs keep
+    their per-spec strategy choice — a lockstep-schedulable spec in a
+    mixed batch still gets the batched replicate engine.
+    """
+
+    name = "cluster"
+
+    def capabilities(self) -> BackendCapabilities:
+        """Claims the cluster-class scenario territory."""
+        return BackendCapabilities(cluster_features=True)
+
+    def execute(self, specs: Sequence[ScenarioSpec],
+                options: RunOptions) -> List[ScenarioResult]:
+        """Run specs sequentially with automatic replicate strategy."""
+        return [execute_spec(spec) for spec in specs]
+
+
+class ParallelBackend(ExecutionBackend):
+    """Scenario-level fan-out across a process pool.
+
+    Wraps :class:`~repro.xp.runner.ParallelRunner` (without its cache
+    — caching is the API layer's job since PR 5): uncached scenarios
+    are distributed over ``options.jobs`` worker processes, and
+    because scenario execution is a pure function of the spec, the
+    assembled records are bit-identical to serial execution.
+    """
+
+    name = "parallel"
+
+    def capabilities(self) -> BackendCapabilities:
+        """Exploits multi-scenario batches; runs in subprocesses."""
+        return BackendCapabilities(matrix=True, cluster_features=True,
+                                   subprocess=True)
+
+    def execute(self, specs: Sequence[ScenarioSpec],
+                options: RunOptions) -> List[ScenarioResult]:
+        """Fan specs out over the pool (serial for a single spec)."""
+        runner = ParallelRunner(processes=options.jobs, cache=None)
+        return runner.run(list(specs))
+
+
+class VecBackend(ExecutionBackend):
+    """Replicate-level batching through the lockstep engine.
+
+    Scenarios in the lockstep-schedulable class run all replicates in
+    one batched event loop (:class:`~repro.vec.engine.
+    BatchedClusterEngine`) — including single-replicate specs, which
+    run the engine with ``R = 1`` and keep the scalar record shape.
+    Anything outside the class falls back to serial scalar execution
+    transparently; the executed strategy is recorded in each result's
+    ``env["vec_engine"]``.
+    """
+
+    name = "vec"
+
+    def capabilities(self) -> BackendCapabilities:
+        """Exploits the replicate axis of lockstep-schedulable specs."""
+        return BackendCapabilities(batched_replicates=True)
+
+    def execute(self, specs: Sequence[ScenarioSpec],
+                options: RunOptions) -> List[ScenarioResult]:
+        """Run each spec through the batched engine (or fallback)."""
+        from repro.vec.runner import execute_replicated
+
+        return [execute_replicated(spec, strategy="batched")
+                for spec in specs]
+
+
+# ----------------------------------------------------------------- #
+# registration
+# ----------------------------------------------------------------- #
+def register_backend(name: str,
+                     factory: Callable[[], ExecutionBackend]) -> None:
+    """Register an execution backend under ``name``.
+
+    Parameters
+    ----------
+    name : str
+        Registry key (usable as ``run(..., backend=name)``).
+    factory : callable
+        Zero-argument callable returning an
+        :class:`ExecutionBackend` instance.
+    """
+    registry.register("backend", str(name), factory)
+
+
+def backend_names() -> list:
+    """Sorted registered backend names."""
+    return registry.names("backend")
+
+
+for _cls in (SerialBackend, ClusterBackend, ParallelBackend, VecBackend):
+    registry.register("backend", _cls.name, _cls)

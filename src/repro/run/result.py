@@ -1,0 +1,124 @@
+"""Result and option types of the unified execution API.
+
+:class:`RunResult` is what :func:`repro.run.run` returns regardless of
+which backend executed: the per-scenario
+:class:`~repro.xp.runner.ScenarioResult` records (in input order, with
+the same deterministic-identity contract they have always had), plus
+which backend ran, why it was selected, and the cache statistics of the
+call.  :class:`RunOptions` is the typed bag of execution knobs the API
+layer hands every backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.xp.runner import ScenarioResult
+
+
+@dataclass
+class RunOptions:
+    """Execution knobs forwarded to a backend's ``execute``.
+
+    Attributes
+    ----------
+    jobs : int, optional
+        Worker-process budget for backends that fan out
+        (``parallel``).  ``None`` defers to ``$REPRO_XP_JOBS`` / CPU
+        count; in-process backends ignore it.
+    """
+
+    jobs: Optional[int] = None
+
+
+@dataclass
+class RunResult:
+    """The outcome of one :func:`repro.run.run` call.
+
+    Attributes
+    ----------
+    backend : str
+        Name of the execution backend that ran (``"serial"``,
+        ``"cluster"``, ``"parallel"``, ``"vec"``, or a registered
+        third-party backend).
+    reason : str
+        Why this backend was used — the auto-selection rationale, or
+        ``"explicitly requested"``.
+    results : list of ScenarioResult
+        One record per input scenario, in input order.  Records carry
+        the exact deterministic identity the legacy entry points
+        produced; ``cached=True`` marks cache hits.
+    hits, misses : int
+        Result-cache statistics of this call (both zero when caching
+        was off).
+    wall_s : float
+        Wall-clock seconds of the whole call, orchestration included.
+    """
+
+    backend: str
+    reason: str = ""
+    results: List[ScenarioResult] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def result(self) -> ScenarioResult:
+        """The single record of a one-scenario run.
+
+        Raises
+        ------
+        ValueError
+            When the run held more than one scenario (use
+            :attr:`results`).
+        """
+        if len(self.results) != 1:
+            raise ValueError(
+                f"run produced {len(self.results)} records; use "
+                ".results for multi-scenario runs")
+        return self.results[0]
+
+    def identities(self) -> List[dict]:
+        """Per-record deterministic identities (see
+        :meth:`ScenarioResult.identity`) — the dicts any two backends
+        must agree on exactly."""
+        return [r.identity() for r in self.results]
+
+    def metrics_by_name(self) -> Dict[str, Dict[str, float]]:
+        """``{scenario name: metrics}`` over the run's records.
+
+        Later duplicates of a repeated name win (matrix expansion
+        never repeats names).
+        """
+        return {r.name: dict(r.metrics) for r in self.results}
+
+    def as_dict(self) -> dict:
+        """Plain-data mirror (JSON-able after the codec).
+
+        Keeps the historical CLI payload keys (``results`` / ``hits``
+        / ``misses``) and adds the backend fields, so existing record
+        consumers keep parsing.
+        """
+        return {"backend": self.backend, "reason": self.reason,
+                "results": [r.as_dict() for r in self.results],
+                "hits": self.hits, "misses": self.misses,
+                "wall_s": self.wall_s}
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+class _Stopwatch:
+    """Tiny perf_counter stopwatch for orchestration timing."""
+
+    def __init__(self):
+        self.start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self.start

@@ -19,8 +19,14 @@ Parameters are still partitioned across ``num_shards`` server shards
 (:class:`~repro.sim.parameter_server.ShardedParameterServer`), and the
 trajectory remains bit-for-bit independent of the shard count.  For
 heterogeneous, heavy-tailed, trace-replayed, or failure-prone clusters
-— anything beyond this one delay knob — build a
-:class:`~repro.cluster.runtime.ClusterRuntime` directly.
+— anything beyond this one delay knob — use the unified API:
+:func:`repro.run.run` with a :class:`~repro.xp.spec.ScenarioSpec`, or
+:func:`repro.run.build_cluster` for object-level control.
+
+.. deprecated:: PR 5
+    :func:`train_async` is a thin shim over
+    :func:`repro.run.run_cluster` and emits a
+    :class:`DeprecationWarning`; records stay bit-identical.
 
 With ``workers=1`` the schedule has no delay and the simulator is
 step-for-step identical to :func:`repro.sim.trainer.train_sync` (a
@@ -93,28 +99,20 @@ def train_async(model: Module, optimizer: Optimizer,
         ``"random"`` model is a single-reader queue protocol, so its
         ``"worker"`` series is identically 0 — per-worker attribution
         only exists on the ``"round_robin"`` (timed N-worker) path.
-    """
-    # imported lazily: repro.cluster sits above repro.sim in the layer
-    # map, so a module-level import here would be circular
-    from repro.cluster import ClusterRuntime, ConstantDelay
 
-    if workers < 1:
-        raise ValueError("need at least one worker")
-    if staleness_model not in ("round_robin", "random"):
-        raise ValueError(f"unknown staleness model {staleness_model!r}")
-    tau = workers - 1
-    if staleness_model == "round_robin":
-        runtime = ClusterRuntime(
-            model, optimizer, loss_fn, workers=workers,
-            delay_model=ConstantDelay(1.0), num_shards=num_shards,
-            shard_policy=shard_policy, hooks=hooks, log=log, seed=seed)
-    else:
-        # memoryless release is a property of the server queue, not of
-        # transit timing: one reader, depth gate tau, random delivery
-        runtime = ClusterRuntime(
-            model, optimizer, loss_fn, workers=1,
-            delay_model=ConstantDelay(1.0), num_shards=num_shards,
-            shard_policy=shard_policy, queue_staleness=tau,
-            delivery="random", hooks=hooks, log=log, seed=seed)
-    return runtime.run(reads=steps, updates=max(0, steps - tau),
-                       drain_final=drain_final)
+    .. deprecated:: PR 5
+        A thin shim over :func:`repro.run.run_cluster`; it emits a
+        :class:`DeprecationWarning` and stays bit-identical.
+    """
+    # imported lazily: repro.run sits above repro.sim in the layer
+    # map, so a module-level import here would be circular
+    from repro.run import run_round_robin
+    from repro.utils.deprecation import warn_deprecated
+
+    warn_deprecated("repro.sim.train_async", "repro.run.run_round_robin "
+                    "(or repro.run.run with a ScenarioSpec)")
+    return run_round_robin(
+        model, optimizer, loss_fn, steps=steps, workers=workers,
+        staleness_model=staleness_model, drain_final=drain_final,
+        num_shards=num_shards, shard_policy=shard_policy, hooks=hooks,
+        log=log, seed=seed)

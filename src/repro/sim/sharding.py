@@ -101,17 +101,33 @@ class GreedyBalancedSharding(ShardAssignmentPolicy):
         return shard_of
 
 
-_POLICIES = {
-    HashSharding.name: HashSharding,
-    RoundRobinSharding.name: RoundRobinSharding,
-    GreedyBalancedSharding.name: GreedyBalancedSharding,
-}
+def _register_policies() -> None:
+    """File the built-in policies in the central typed registry."""
+    from repro.registry import registry
+
+    for cls in (HashSharding, RoundRobinSharding,
+                GreedyBalancedSharding):
+        registry.register("sharding", cls.name, cls)
+
+
+_register_policies()
 
 PolicySpec = Union[str, ShardAssignmentPolicy]
 
 
+def sharding_policy_names() -> list:
+    """Sorted registered policy names (error messages, CLI listings)."""
+    from repro.registry import registry
+
+    return registry.names("sharding")
+
+
 def make_policy(spec: PolicySpec) -> ShardAssignmentPolicy:
     """Resolve a policy name or pass through a policy instance.
+
+    Names resolve through the central typed registry
+    (:mod:`repro.registry`, kind ``"sharding"``), so downstream
+    policies registered there are usable from specs by name.
 
     Parameters
     ----------
@@ -119,13 +135,14 @@ def make_policy(spec: PolicySpec) -> ShardAssignmentPolicy:
         One of ``"hash"``, ``"round_robin"``, ``"balanced"``, or an object
         implementing :meth:`ShardAssignmentPolicy.assign`.
     """
+    from repro.registry import registry
+
     if isinstance(spec, str):
-        try:
-            return _POLICIES[spec]()
-        except KeyError:
+        if not registry.has("sharding", spec):
             raise ValueError(
                 f"unknown shard policy {spec!r}; "
-                f"choose from {sorted(_POLICIES)}") from None
+                f"choose from {sharding_policy_names()}")
+        return registry.build("sharding", spec)
     if hasattr(spec, "assign"):
         return spec
     raise TypeError(f"cannot interpret {spec!r} as a shard policy")

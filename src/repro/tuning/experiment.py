@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
-from repro.sim.async_trainer import train_async
 from repro.sim.trainer import TrainerHooks, train_sync
 from repro.utils.logging import TrainLog
 
@@ -85,9 +84,13 @@ def run_workload(workload: Workload, opt_factory: OptimizerFactory,
                  hooks: Optional[TrainerHooks] = None) -> RunResult:
     """Train ``workload`` once per seed and average the loss curves.
 
-    ``async_workers > 1`` routes through the asynchronous simulator with
-    round-robin staleness ``async_workers - 1``.
+    ``async_workers > 1`` routes through the unified execution API
+    (:func:`repro.run.run_round_robin`) with the paper's round-robin
+    protocol: constant delays and staleness ``async_workers - 1``.
     """
+    # imported lazily: repro.run sits above repro.tuning in the layer map
+    from repro.run import run_round_robin
+
     curves: List[np.ndarray] = []
     logs: List[TrainLog] = []
     diverged = False
@@ -95,8 +98,9 @@ def run_workload(workload: Workload, opt_factory: OptimizerFactory,
         model, loss_fn = workload.build(seed)
         optimizer = opt_factory(model.parameters())
         if async_workers > 1:
-            log = train_async(model, optimizer, loss_fn, workload.steps,
-                              workers=async_workers, hooks=hooks)
+            log = run_round_robin(model, optimizer, loss_fn,
+                                  steps=workload.steps,
+                                  workers=async_workers, hooks=hooks)
         else:
             log = train_sync(model, optimizer, loss_fn, workload.steps,
                              hooks=hooks)

@@ -1,0 +1,64 @@
+"""Deprecation plumbing shared by the legacy entry-point shims.
+
+PR 5 consolidated execution behind :mod:`repro.run`; the old entry
+points (``train_async``, ``run_scenario``, direct engine construction)
+survive as thin shims that warn and delegate.  This module holds the
+two pieces they share:
+
+- :func:`warn_deprecated` — one consistently formatted
+  ``DeprecationWarning`` (category + stacklevel handled here, so every
+  shim points at the *caller's* line);
+- :func:`internal_calls` / :func:`entered_internally` — a re-entrant
+  guard the new API uses around engine construction, so the engines can
+  warn on *direct* user construction without warning when
+  :mod:`repro.run` itself builds them.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+
+_STATE = threading.local()
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a legacy entry point.
+
+    Parameters
+    ----------
+    old : str
+        The legacy surface being used (e.g. ``"repro.sim.train_async"``).
+    new : str
+        The replacement to migrate to (e.g. ``"repro.run.run_cluster"``).
+    stacklevel : int
+        Frames between this call and the user's code; the default of 3
+        suits ``user -> shim -> warn_deprecated``.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        "(the legacy surface delegates and stays bit-identical)",
+        DeprecationWarning, stacklevel=stacklevel)
+
+
+@contextmanager
+def internal_calls():
+    """Mark the enclosed block as internal new-API machinery.
+
+    Engine constructors consult :func:`entered_internally` and only
+    warn when a user constructs them directly — never when
+    :mod:`repro.run` (or another shim that already warned) builds them
+    inside this context.  Re-entrant and thread-local.
+    """
+    depth = getattr(_STATE, "depth", 0)
+    _STATE.depth = depth + 1
+    try:
+        yield
+    finally:
+        _STATE.depth = depth
+
+
+def entered_internally() -> bool:
+    """Whether the current call stack is inside :func:`internal_calls`."""
+    return getattr(_STATE, "depth", 0) > 0

@@ -119,6 +119,15 @@ class BatchedClusterEngine:
     """
 
     def __init__(self, spec: ScenarioSpec, seeds):
+        from repro.utils.deprecation import (entered_internally,
+                                             warn_deprecated)
+
+        if not entered_internally():
+            # ad-hoc construction is deprecated, the engine is not;
+            # the vec backend builds engines inside internal_calls()
+            warn_deprecated(
+                "direct BatchedClusterEngine construction",
+                'repro.run.run(spec, backend="vec")')
         if not supports_batched(spec):
             raise ValueError(
                 f"scenario {spec.name!r} is not lockstep-schedulable")

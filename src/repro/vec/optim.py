@@ -411,42 +411,38 @@ def _vec_momentum_sgd(buffer, offsets, lr: float = 0.05,
     return VecMomentumSGD(buffer, offsets, lr=lr, **kwargs)
 
 
-_VEC_OPTIMIZERS: Dict[str, VecOptimizerFactory] = {
-    "sgd": _vec_sgd,
-    "momentum_sgd": _vec_momentum_sgd,
-    "adam": VecAdam,
-    "yellowfin": VecYellowFin,
-    "closed_loop_yellowfin": VecClosedLoopYellowFin,
-}
+def register_vec_optimizer(name: str,
+                           factory: VecOptimizerFactory) -> None:
+    """Register a batched kernel as the twin of a scalar optimizer.
 
-
-def _paired_scalar_factories() -> dict:
-    """The scalar factories each batched kernel is the twin of.
-
-    A batched kernel is only valid while the scalar registry still
-    maps its name to this exact built-in — if a user replaces (say)
-    ``"momentum_sgd"`` via :func:`repro.xp.factories.
-    register_optimizer`, the batched twin no longer mirrors what the
-    serial path would run, and the engine must fall back.
+    Stored in the central typed registry under the ``"vec_optimizer"``
+    kind.  The scalar registry must already know the name; the current
+    scalar factory is captured as registration metadata, pinning the
+    batched kernel to one exact scalar implementation.  If a user
+    later replaces the scalar entry (say ``"momentum_sgd"``) via
+    :func:`repro.xp.factories.register_optimizer`, the batched twin no
+    longer mirrors what the serial path would run and the engine falls
+    back to per-replicate scalar execution.
     """
-    from repro.core import ClosedLoopYellowFin, YellowFin
-    from repro.optim import Adam
-    from repro.xp import factories
+    from repro.registry import registry
 
-    return {
-        "sgd": factories._sgd,
-        "momentum_sgd": factories._momentum_sgd,
-        "adam": Adam,
-        "yellowfin": YellowFin,
-        "closed_loop_yellowfin": ClosedLoopYellowFin,
-    }
+    if not registry.has("optimizer", str(name)):
+        raise ValueError(
+            f"cannot register batched kernel {name!r}: no scalar "
+            "optimizer of that name (register_optimizer it first)")
+    scalar = registry.get("optimizer", str(name)).factory
+    registry.register("vec_optimizer", str(name), factory,
+                      skip_positional=2,
+                      extra={"scalar_factory": scalar})
 
 
 def vec_optimizer_names() -> list:
     """Sorted names with a batched kernel (subset of the scalar
     registry; everything else falls back to per-replicate scalar
     runs)."""
-    return sorted(_VEC_OPTIMIZERS)
+    from repro.registry import registry
+
+    return registry.names("vec_optimizer")
 
 
 def has_vec_optimizer(name: str) -> bool:
@@ -458,12 +454,14 @@ def has_vec_optimizer(name: str) -> bool:
     then silently compute something other than ``R`` serial runs of
     the replacement.
     """
-    if name not in _VEC_OPTIMIZERS:
-        return False
-    from repro.xp import factories
+    from repro.registry import registry
 
-    return factories._OPTIMIZERS.get(name) is \
-        _paired_scalar_factories().get(name)
+    if not registry.has("vec_optimizer", name):
+        return False
+    paired = registry.get("vec_optimizer", name).extra.get(
+        "scalar_factory")
+    return (registry.has("optimizer", name)
+            and registry.get("optimizer", name).factory is paired)
 
 
 def build_vec_optimizer(name: str, buffer: np.ndarray,
@@ -482,10 +480,30 @@ def build_vec_optimizer(name: str, buffer: np.ndarray,
         The spec's ``optimizer_params`` (same names as the scalar
         factory's).
     """
-    try:
-        factory = _VEC_OPTIMIZERS[name]
-    except KeyError:
+    from repro.registry import registry
+
+    if not registry.has("vec_optimizer", name):
         raise ValueError(
             f"no batched kernel for optimizer {name!r}; available: "
-            f"{vec_optimizer_names()}") from None
-    return factory(buffer, offsets, **kwargs)
+            f"{vec_optimizer_names()}")
+    return registry.build("vec_optimizer", name, buffer, offsets,
+                          **kwargs)
+
+
+# registration happens via repro.xp.factories' scalar entries, so the
+# import below must come after the scalar registry is populated; the
+# central registry's provider table guarantees that ordering
+def _register_builtin_vec_optimizers() -> None:
+    """Register the built-in batched kernels against their scalar twins."""
+    import repro.xp.factories  # noqa: F401 — populates the scalar kinds
+
+    for name, factory in (("sgd", _vec_sgd),
+                          ("momentum_sgd", _vec_momentum_sgd),
+                          ("adam", VecAdam),
+                          ("yellowfin", VecYellowFin),
+                          ("closed_loop_yellowfin",
+                           VecClosedLoopYellowFin)):
+        register_vec_optimizer(name, factory)
+
+
+_register_builtin_vec_optimizers()

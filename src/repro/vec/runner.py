@@ -1,7 +1,7 @@
 """Replicated-scenario execution: batched fast path, serial fallback.
 
-:func:`run_replicated_scenario` is the ``replicates > 1`` branch of
-:func:`repro.xp.runner.run_scenario`.  It produces one
+:func:`execute_replicated` is the replicate-axis engine room of the
+unified :mod:`repro.run` API.  It produces one
 :class:`~repro.xp.runner.ScenarioResult` whose per-replicate metrics
 are bit-identical to ``R`` serial runs of the scalar path over the
 spec's derived replicate seeds — regardless of which execution strategy
@@ -16,11 +16,21 @@ actually ran:
   optimizers), or a batched run aborted by a replicate divergence:
   each replicate runs the ordinary scalar path.
 
-Aggregation is shared with the BENCH reporters
-(:func:`repro.bench.report.replicate_statistics`): the result's
+The ``strategy`` parameter lets callers pin a path: the ``vec``
+execution backend forces ``"batched"`` (including for single-replicate
+specs, where the batched engine runs with ``R = 1`` and the result
+keeps the scalar record shape), while the ``serial`` reference backend
+forces ``"serial"``.
+
+Aggregation is shared with the BENCH reporters through the
+``"aggregator"`` registry kind (default ``"replicate_stats"``,
+:func:`repro.bench.report.replicate_statistics`): the result's
 ``metrics`` carry per-metric means plus ``*_std`` / ``*_ci95`` spread
 fields, its ``series`` are replicate 0's, and the raw per-replicate
 metrics ride along in ``replicate_metrics``.
+
+:func:`run_replicated_scenario` remains as the pre-PR-5 name for the
+``replicates > 1`` auto-strategy path.
 """
 
 from __future__ import annotations
@@ -28,41 +38,62 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
-from repro.bench.report import environment_info, replicate_statistics
+from repro.bench.report import environment_info
+from repro.registry import registry
+from repro.utils.deprecation import internal_calls
 from repro.vec.engine import (BatchedClusterEngine, ReplicateDiverged,
                               supports_batched)
 from repro.xp.spec import ScenarioSpec
 
+_STRATEGIES = ("auto", "batched", "serial")
 
-def run_replicated_scenario(spec: ScenarioSpec):
-    """Run all replicates of a spec and aggregate one result record.
+
+def execute_replicated(spec: ScenarioSpec, strategy: str = "auto",
+                       aggregator: str = "replicate_stats"):
+    """Run every replicate of a spec and assemble one result record.
 
     Parameters
     ----------
     spec : ScenarioSpec
-        A scenario with ``replicates > 1``.
+        The scenario; any ``replicates >= 1`` is accepted.
+    strategy : str
+        ``"auto"`` uses the batched engine when the spec is
+        lockstep-schedulable and serial scalar runs otherwise;
+        ``"batched"`` prefers the engine even for ``replicates == 1``
+        (still falling back to serial when the spec is outside the
+        lockstep class or a replicate diverges mid-run);
+        ``"serial"`` forces per-replicate scalar execution.
+    aggregator : str
+        Registry key (kind ``"aggregator"``) of the metric aggregation
+        applied when ``replicates > 1``.
 
     Returns
     -------
     ScenarioResult
-        Aggregated record: mean/std/CI metrics, replicate 0's series,
-        and the per-replicate metric dicts.  ``env`` records the
-        execution strategy under ``"vec_engine"``.
+        For ``replicates > 1``: aggregated mean/std/CI metrics,
+        replicate 0's series, and the per-replicate metric dicts.  For
+        a single replicate the record keeps the scalar shape (plain
+        metrics, no ``replicate_metrics``) so batched and scalar
+        single-replicate runs are interchangeable bit-for-bit.
+        ``env`` records the executed strategy under ``"vec_engine"``.
     """
     from repro.xp.runner import ScenarioResult, summarize_log
 
-    if spec.replicates < 2:
+    if strategy not in _STRATEGIES:
         raise ValueError(
-            "run_replicated_scenario needs replicates > 1; "
-            "run_scenario handles the scalar case")
+            f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+    want_batched = (strategy == "batched"
+                    or (strategy == "auto" and spec.replicates > 1))
     start = time.perf_counter()
     outcomes = None
-    strategy = "serial"
-    if supports_batched(spec):
+    executed = "serial"
+    if want_batched and supports_batched(spec):
         try:
-            engine = BatchedClusterEngine(spec, spec.replicate_seeds())
-            outcomes = engine.run()
-            strategy = "batched"
+            with internal_calls():
+                engine = BatchedClusterEngine(spec,
+                                              spec.replicate_seeds())
+                outcomes = engine.run()
+            executed = "batched"
         except ReplicateDiverged:
             # a diverged replicate leaves lockstep; rerun serially so
             # each replicate stops exactly where its scalar run would
@@ -79,10 +110,10 @@ def run_replicated_scenario(spec: ScenarioSpec):
             if r == 0:
                 series = rep_series
     else:
-        from repro.xp.runner import run_scenario
+        from repro.run.backends import execute_scalar
 
         for r in range(spec.replicates):
-            result = run_scenario(spec.replicate_spec(r))
+            result = execute_scalar(spec.replicate_spec(r))
             per_metrics.append(result.metrics)
             if r == 0:
                 series = result.series
@@ -92,8 +123,40 @@ def run_replicated_scenario(spec: ScenarioSpec):
     # replicate 0's seed, which is what actually ran (resolved_seed()
     # would hash the spec WITH its replicate count and match no run)
     env["seed"] = spec.replicate_seeds()[0]
-    env["vec_engine"] = strategy
+    env["vec_engine"] = executed
+    if spec.replicates == 1:
+        # scalar record shape: interchangeable with the scalar path
+        return ScenarioResult(
+            name=spec.name, spec_hash=spec.content_hash(),
+            metrics=per_metrics[0], series=series, env=env, wall_s=wall)
+    aggregate = registry.get("aggregator", aggregator).factory()
     return ScenarioResult(
         name=spec.name, spec_hash=spec.content_hash(),
-        metrics=replicate_statistics(per_metrics), series=series,
+        metrics=aggregate(per_metrics), series=series,
         replicate_metrics=per_metrics, env=env, wall_s=wall)
+
+
+def run_replicated_scenario(spec: ScenarioSpec):
+    """Run all replicates of a spec and aggregate one result record.
+
+    The pre-PR-5 name for :func:`execute_replicated` with the
+    ``"auto"`` strategy; kept because it is the documented
+    ``replicates > 1`` branch of the scenario runner.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        A scenario with ``replicates > 1``.
+
+    Returns
+    -------
+    ScenarioResult
+        Aggregated record: mean/std/CI metrics, replicate 0's series,
+        and the per-replicate metric dicts.  ``env`` records the
+        execution strategy under ``"vec_engine"``.
+    """
+    if spec.replicates < 2:
+        raise ValueError(
+            "run_replicated_scenario needs replicates > 1; "
+            "repro.run handles the scalar case")
+    return execute_replicated(spec, strategy="auto")

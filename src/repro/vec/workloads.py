@@ -23,56 +23,53 @@ built-in vectorized workload.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 
 from repro.autograd.flat import BatchedFlatParams
-from repro.xp import workloads as _scalar_workloads
+from repro.registry import registry
 from repro.xp.workloads import build_workload
 
 # builder: seeds -> batched evaluator; factory: **workload_params -> builder
 VecWorkloadBuilder = Callable[[Sequence[int]], "object"]
 VecWorkloadFactory = Callable[..., VecWorkloadBuilder]
 
-# name -> (batched factory, the scalar factory it was registered
-# against).  The pairing pins the batched evaluator to one exact
-# scalar implementation: if the scalar registry entry is later
-# replaced, the batched twin no longer mirrors it and must not be
-# used.
-_VEC_WORKLOADS: Dict[str, tuple] = {}
-
 
 def register_vec_workload(name: str, factory: VecWorkloadFactory) -> None:
     """Register a batched evaluator for the workload named ``name``.
 
-    The scalar registry (:mod:`repro.xp.workloads`) must already know
-    the name: the batched evaluator is an *optimization* of the
-    current scalar builder, and the differential suite holds the two
-    bit-identical.  The pairing is captured at registration time — if
-    the scalar entry is replaced afterwards, the batched evaluator is
-    ignored and scenarios use the per-replicate adapter over the
-    replacement.
+    Stored in the central typed registry under the ``"vec_workload"``
+    kind.  The scalar registry must already know the name: the batched
+    evaluator is an *optimization* of the current scalar builder, and
+    the differential suite holds the two bit-identical.  The pairing is
+    captured at registration time (the scalar factory rides along as
+    registration metadata) — if the scalar entry is replaced
+    afterwards, the batched evaluator is ignored and scenarios use the
+    per-replicate adapter over the replacement.
     """
-    scalar = _scalar_workloads._WORKLOADS.get(str(name))
-    if scalar is None:
+    if not registry.has("workload", str(name)):
         raise ValueError(
             f"cannot register batched workload {name!r}: no scalar "
             "workload of that name (register_workload it first)")
-    _VEC_WORKLOADS[str(name)] = (factory, scalar)
+    scalar = registry.get("workload", str(name)).factory
+    registry.register("vec_workload", str(name), factory,
+                      extra={"scalar_factory": scalar})
 
 
 def has_vec_workload(name: str) -> bool:
     """Whether ``name`` has a batched evaluator still paired with the
     current scalar registry entry."""
-    entry = _VEC_WORKLOADS.get(name)
-    return (entry is not None
-            and _scalar_workloads._WORKLOADS.get(name) is entry[1])
+    if not registry.has("vec_workload", name):
+        return False
+    paired = registry.get("vec_workload", name).extra.get("scalar_factory")
+    return (registry.has("workload", name)
+            and registry.get("workload", name).factory is paired)
 
 
 def vec_workload_names() -> list:
     """Sorted names with fully batched evaluators."""
-    return sorted(_VEC_WORKLOADS)
+    return registry.names("vec_workload")
 
 
 def build_vec_evaluator(name: str, seeds: Sequence[int], **params):
@@ -93,7 +90,7 @@ def build_vec_evaluator(name: str, seeds: Sequence[int], **params):
         The spec's ``workload_params``.
     """
     if has_vec_workload(name):
-        return _VEC_WORKLOADS[name][0](**params)(seeds)
+        return registry.build("vec_workload", name, **params)(seeds)
     return ModelReplicateAdapter(name, seeds, **params)
 
 

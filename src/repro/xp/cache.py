@@ -111,12 +111,19 @@ class ResultCache:
         payload = encode_state({"spec": spec.as_dict(),
                                 "result": result.as_dict()})
         path = self.path_for(spec, key=key)
+        # the temp file is private to this writer (mkstemp), so
+        # concurrent puts of the same key never interleave bytes; the
+        # fsync-then-rename makes the publish atomic AND durable — a
+        # reader sees either no file or one complete entry, never a
+        # torn one, even across a crash mid-write
         fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, indent=2, sort_keys=True,
                           allow_nan=False)
                 fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         finally:
             if os.path.exists(tmp):

@@ -1,159 +1,32 @@
-"""``python -m repro.xp`` — run matrices, list scenarios, diff baselines.
+"""``python -m repro.xp`` — deprecated alias of the top-level CLI.
 
-Three subcommands:
-
-- ``run <scenarios.json>`` — expand and execute a scenario file through
-  :class:`~repro.xp.runner.ParallelRunner`, with the content-addressed
-  result cache on by default; prints a summary table and optionally
-  writes the full result records.
-- ``list <scenarios.json>`` — show the expanded scenarios and their
-  content hashes without running anything.
-- ``diff --baseline <dir> --fresh <dir>`` — gate fresh ``BENCH_*.json``
-  records against committed baselines via
-  :class:`~repro.xp.compare.BaselineComparator`; exits non-zero on
-  regression (the CI perf gate).
+The implementation moved to :mod:`repro.cli` when the CLI was promoted
+to ``python -m repro`` (PR 5); this module keeps the historical entry
+point working.  ``run`` / ``list`` / ``diff`` behave exactly as before
+(``run`` additionally understands ``--backend``); the ``bench``
+subcommand is only advertised on the new entry point but accepted here
+too, since the alias forwards verbatim.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from typing import List, Optional
 
-from repro.utils.serialization import encode_state
-from repro.xp.cache import ResultCache
-from repro.xp.compare import BaselineComparator, write_report
-from repro.xp.runner import ParallelRunner
-from repro.xp.spec import load_scenarios
-
-
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.xp",
-        description="Scenario-matrix orchestration and perf-baseline "
-                    "gating")
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    run = sub.add_parser(
-        "run", help="expand and execute a scenario file")
-    run.add_argument("scenarios", help="matrix or scenario-list JSON file")
-    run.add_argument("--jobs", type=int, default=None,
-                     help="worker processes (default: all cores)")
-    run.add_argument("--cache", default=None, metavar="DIR",
-                     help="result-cache directory (default: "
-                          "$REPRO_XP_CACHE or .xp_cache)")
-    run.add_argument("--no-cache", action="store_true",
-                     help="recompute everything, touch no cache")
-    run.add_argument("--out", default=None, metavar="FILE",
-                     help="write full result records as JSON")
-
-    lst = sub.add_parser(
-        "list", help="show expanded scenarios without running")
-    lst.add_argument("scenarios", help="matrix or scenario-list JSON file")
-
-    diff = sub.add_parser(
-        "diff", help="gate fresh BENCH_*.json records against baselines")
-    diff.add_argument("--baseline", required=True, metavar="DIR",
-                      help="directory with committed baseline records")
-    diff.add_argument("--fresh", required=True, metavar="DIR",
-                      help="directory with freshly measured records")
-    diff.add_argument("--names", default=None,
-                      help="comma-separated record names to gate "
-                           "(default: every name present on both sides)")
-    diff.add_argument("--tol", type=float, default=None,
-                      help="override the relative tolerance of every "
-                           "rule (default 0.2)")
-    diff.add_argument("--gate-timings", choices=("auto", "on", "off"),
-                      default="auto",
-                      help="gate wall-clock metrics: auto = only when "
-                           "environments match (default)")
-    diff.add_argument("--report", default=None, metavar="FILE",
-                      help="write the machine-readable report JSON")
-    return parser
-
-
-def _cmd_run(args) -> int:
-    specs = load_scenarios(args.scenarios)
-    cache = None if args.no_cache else ResultCache(args.cache)
-    runner = ParallelRunner(processes=args.jobs, cache=cache)
-    results = runner.run(specs)
-    width = max((len(r.name) for r in results), default=4)
-    print(f"{'scenario'.ljust(width)}  {'hash':12}  {'final_loss':>10}  "
-          f"{'wall_s':>8}  cached")
-    for result in results:
-        final = result.metrics.get("final_loss", float("nan"))
-        print(f"{result.name.ljust(width)}  {result.spec_hash[:12]}  "
-              f"{final:10.4f}  {result.wall_s:8.3f}  "
-              f"{'yes' if result.cached else 'no'}")
-    print(f"\n{len(results)} scenarios: {runner.hits} cached, "
-          f"{runner.misses} computed"
-          + (f" (cache: {cache.root})" if cache is not None else ""))
-    if args.out:
-        payload = {"results": [r.as_dict() for r in results],
-                   "hits": runner.hits, "misses": runner.misses}
-        with open(args.out, "w") as fh:
-            json.dump(encode_state(payload), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.out}")
-    return 0
-
-
-def _cmd_list(args) -> int:
-    specs = load_scenarios(args.scenarios)
-    width = max((len(s.name) for s in specs), default=4)
-    for spec in specs:
-        print(f"{spec.name.ljust(width)}  {spec.content_hash()[:12]}  "
-              f"{spec.optimizer} x {spec.delay.get('kind')} "
-              f"({spec.workers} workers, {spec.reads} reads, "
-              f"seed {spec.resolved_seed()})")
-    print(f"\n{len(specs)} scenarios")
-    return 0
-
-
-def _cmd_diff(args) -> int:
-    gate = {"auto": "auto", "on": True, "off": False}[args.gate_timings]
-    comparator = BaselineComparator(rel_tol=args.tol, gate_timings=gate)
-    names = ([n.strip() for n in args.names.split(",") if n.strip()]
-             if args.names else None)
-    report = comparator.compare_dirs(args.baseline, args.fresh,
-                                     names=names)
-    for record in report["records"]:
-        print(f"{record['name']}: {record['status']}"
-              + (f" ({record['reason']})" if "reason" in record else ""))
-        for comp in record.get("comparisons", []):
-            if comp["status"] in ("regression", "missing") \
-                    and comp.get("gated"):
-                print(f"  REGRESSION {comp['metric']}: "
-                      f"{comp.get('baseline')!r} -> "
-                      f"{comp.get('fresh', '<missing>')!r}")
-    summary = report["summary"]
-    print(f"\n{summary['compared']} records: {summary['passed']} passed, "
-          f"{summary['failed']} failed, "
-          f"{summary['incomparable']} incomparable")
-    if args.report:
-        write_report(report, args.report)
-        print(f"wrote {args.report}")
-    return 0 if report["status"] == "pass" else 1
+from repro.cli import main as _main
+from repro.utils.deprecation import warn_deprecated
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code.
+    """Forward to :func:`repro.cli.main` with the legacy program name.
 
     Parameters
     ----------
     argv : list of str, optional
         Arguments (defaults to ``sys.argv[1:]``).
     """
-    args = _build_parser().parse_args(argv)
-    commands = {"run": _cmd_run, "list": _cmd_list, "diff": _cmd_diff}
-    try:
-        return commands[args.command](args)
-    except (OSError, ValueError) as exc:
-        # bad paths and malformed scenario files fail with a message,
-        # not a traceback (exit code 2 = usage error, 1 = regression)
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    warn_deprecated("python -m repro.xp", "python -m repro")
+    return _main(argv, prog="python -m repro.xp")
 
 
 if __name__ == "__main__":  # pragma: no cover — exercised via __main__

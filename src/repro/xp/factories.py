@@ -2,21 +2,24 @@
 
 :class:`~repro.xp.spec.ScenarioSpec` stores delay models, fault plans,
 and optimizers as plain JSON-able dicts/names so specs can be hashed,
-cached, and shipped across process boundaries.  This module owns the
-mapping from those fragments to live objects:
+cached, and shipped across process boundaries.  Since PR 5 the actual
+name-to-factory mapping lives in the typed central registry
+(:mod:`repro.registry`) under the ``"optimizer"``, ``"delay"``, and
+``"fault"`` kinds; this module registers the built-ins and keeps the
+spec-fragment entry points:
 
 - :func:`build_delay_model` — ``{"kind": "pareto", ...}`` to a
   :class:`~repro.cluster.delays.DelayModel` instance.
 - :func:`build_fault_injector` — crash/straggler/pause rates plus a
   scripted fault list to a :class:`~repro.cluster.faults.FaultInjector`.
-- :func:`build_optimizer` / :func:`register_optimizer` — optimizer
-  registry keyed by short names (``"momentum_sgd"``,
+- :func:`build_optimizer` / :func:`register_optimizer` — thin aliases
+  over the registry, kept for source compatibility (``"momentum_sgd"``,
   ``"closed_loop_yellowfin"``, ...).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.cluster.delays import (ConstantDelay, DelayModel,
                                   ExponentialDelay, HeterogeneousDelay,
@@ -26,16 +29,41 @@ from repro.cluster.faults import (FaultInjector, ShardPause, Straggler,
                                   WorkerCrash)
 from repro.core import ClosedLoopYellowFin, YellowFin
 from repro.optim import SGD, AdaGrad, Adam, MomentumSGD, Optimizer, RMSProp
+from repro.registry import (ComponentSchema, ParamSpec, registry,
+                            schema_from_callable)
 
 # ----------------------------------------------------------------- #
 # delay models
 # ----------------------------------------------------------------- #
-_SIMPLE_DELAYS = {
-    "constant": ConstantDelay,
-    "uniform": UniformDelay,
-    "exponential": ExponentialDelay,
-    "pareto": ParetoDelay,
-}
+_SIMPLE_DELAY_KINDS = ("constant", "uniform", "exponential", "pareto")
+
+
+def _heterogeneous_delay(models=None) -> HeterogeneousDelay:
+    """Per-worker delay models from a list of nested delay configs."""
+    if not models:
+        raise ValueError(
+            'heterogeneous delay config needs a non-empty "models" list')
+    return HeterogeneousDelay([build_delay_model(m) for m in models])
+
+
+def _trace_delay(trace=None) -> TraceReplayDelay:
+    """Replay recorded per-worker delays from a trace payload."""
+    if trace is None:
+        raise ValueError('trace delay config needs a "trace" payload')
+    return TraceReplayDelay(trace)
+
+
+registry.register("delay", "constant", ConstantDelay)
+registry.register("delay", "uniform", UniformDelay)
+registry.register("delay", "exponential", ExponentialDelay)
+registry.register("delay", "pareto", ParetoDelay)
+registry.register("delay", "heterogeneous", _heterogeneous_delay)
+registry.register("delay", "trace", _trace_delay)
+
+
+def delay_kinds() -> list:
+    """Sorted registered delay kinds (error messages, CLI listings)."""
+    return registry.names("delay")
 
 
 def build_delay_model(config: dict) -> DelayModel:
@@ -49,7 +77,8 @@ def build_delay_model(config: dict) -> DelayModel:
         to the class constructor, including ``seed``);
         ``"heterogeneous"`` with ``"models": [<config>, ...]``;
         ``"trace"`` with ``"trace": {...}`` (the
-        :class:`~repro.cluster.delays.TraceReplayDelay` payload).
+        :class:`~repro.cluster.delays.TraceReplayDelay` payload) — or
+        any kind added via ``repro.registry``.
 
     Returns
     -------
@@ -59,37 +88,27 @@ def build_delay_model(config: dict) -> DelayModel:
         raise ValueError(f'delay config needs a "kind" key: {config!r}')
     params = {k: v for k, v in config.items() if k != "kind"}
     kind = config["kind"]
-    if kind in _SIMPLE_DELAYS:
-        return _SIMPLE_DELAYS[kind](**params)
-    if kind == "heterogeneous":
-        models = params.pop("models", None)
-        if not models:
-            raise ValueError(
-                'heterogeneous delay config needs a non-empty "models" list')
-        if params:
-            raise ValueError(
-                f"unknown heterogeneous delay keys: {sorted(params)}")
-        return HeterogeneousDelay([build_delay_model(m) for m in models])
-    if kind == "trace":
-        trace = params.pop("trace", None)
-        if trace is None:
-            raise ValueError('trace delay config needs a "trace" payload')
-        if params:
-            raise ValueError(f"unknown trace delay keys: {sorted(params)}")
-        return TraceReplayDelay(trace)
-    raise ValueError(
-        f"unknown delay kind {kind!r}; choose from "
-        f"{sorted(_SIMPLE_DELAYS) + ['heterogeneous', 'trace']}")
+    if not registry.has("delay", kind):
+        raise ValueError(
+            f"unknown delay kind {kind!r}; choose from {delay_kinds()}")
+    return registry.build("delay", kind, **params)
 
 
 # ----------------------------------------------------------------- #
 # fault injectors
 # ----------------------------------------------------------------- #
-_SCHEDULED_FAULTS = {
-    "crash": WorkerCrash,
-    "straggler": Straggler,
-    "pause": ShardPause,
-}
+registry.register("fault", "crash", WorkerCrash)
+registry.register("fault", "straggler", Straggler)
+registry.register("fault", "pause", ShardPause)
+
+# the injector itself is registered too, so spec validation can check
+# the top-level fault keys (rates, downtimes, seed) against a schema
+registry.register("fault", "injector", FaultInjector)
+
+
+def fault_kinds() -> list:
+    """Sorted scheduled-fault kinds (``"injector"`` is the envelope)."""
+    return [name for name in registry.names("fault") if name != "injector"]
 
 
 def build_fault_injector(config: Optional[dict]) -> Optional[FaultInjector]:
@@ -117,12 +136,13 @@ def build_fault_injector(config: Optional[dict]) -> Optional[FaultInjector]:
             raise ValueError(
                 f'scheduled fault needs a "kind" key: {entry!r}')
         kind = entry["kind"]
-        if kind not in _SCHEDULED_FAULTS:
+        if kind == "injector" or not registry.has("fault", kind):
             raise ValueError(
                 f"unknown scheduled fault kind {kind!r}; choose from "
-                f"{sorted(_SCHEDULED_FAULTS)}")
+                f"{fault_kinds()}")
         kwargs = {k: v for k, v in entry.items() if k != "kind"}
-        scheduled.append(_SCHEDULED_FAULTS[kind](**kwargs))
+        scheduled.append(registry.build("fault", kind, **kwargs))
+    registry.validate("fault", "injector", params)
     return FaultInjector(scheduled=scheduled, **params)
 
 
@@ -142,15 +162,31 @@ def _momentum_sgd(params, lr: float = 0.05, **kwargs) -> MomentumSGD:
     return MomentumSGD(params, lr=lr, **kwargs)
 
 
-_OPTIMIZERS: Dict[str, OptimizerFactory] = {
-    "sgd": _sgd,
-    "momentum_sgd": _momentum_sgd,
-    "adam": Adam,
-    "adagrad": AdaGrad,
-    "rmsprop": RMSProp,
-    "yellowfin": YellowFin,
-    "closed_loop_yellowfin": ClosedLoopYellowFin,
-}
+for _name, _factory in (("adam", Adam), ("adagrad", AdaGrad),
+                        ("rmsprop", RMSProp), ("yellowfin", YellowFin),
+                        ("closed_loop_yellowfin", ClosedLoopYellowFin)):
+    # the leading positional argument is the model's parameter list,
+    # supplied by the runner — not part of the keyword configuration
+    registry.register("optimizer", _name, _factory, skip_positional=1)
+# the sgd wrappers forward **kwargs to their class, which would make
+# the derived schema open-ended; declare the class's own surface so a
+# typo'd spec key still fails with the declared parameter list.  The
+# wrapper supplies lr's default, so the schema must not require it.
+
+
+def _wrapper_schema(cls) -> ComponentSchema:
+    base = schema_from_callable(cls, skip=1)
+    params = tuple(ParamSpec(p.name, p.annotation, 0.05)
+                   if p.name == "lr" and p.required else p
+                   for p in base.params)
+    return ComponentSchema(params=params, open_ended=False,
+                           positional=base.positional)
+
+
+registry.register("optimizer", "sgd", _sgd,
+                  schema=_wrapper_schema(SGD))
+registry.register("optimizer", "momentum_sgd", _momentum_sgd,
+                  schema=_wrapper_schema(MomentumSGD))
 
 
 def register_optimizer(name: str, factory: OptimizerFactory) -> None:
@@ -163,12 +199,12 @@ def register_optimizer(name: str, factory: OptimizerFactory) -> None:
     factory : callable
         ``factory(params, **optimizer_params) -> Optimizer``.
     """
-    _OPTIMIZERS[str(name)] = factory
+    registry.register("optimizer", str(name), factory, skip_positional=1)
 
 
 def optimizer_names() -> list:
     """Sorted registry keys (for error messages and CLI listings)."""
-    return sorted(_OPTIMIZERS)
+    return registry.names("optimizer")
 
 
 def build_optimizer(name: str, params, **kwargs) -> Optimizer:
@@ -187,10 +223,8 @@ def build_optimizer(name: str, params, **kwargs) -> Optimizer:
     -------
     Optimizer
     """
-    try:
-        factory = _OPTIMIZERS[name]
-    except KeyError:
+    if not registry.has("optimizer", name):
         raise ValueError(
             f"unknown optimizer {name!r}; choose from {optimizer_names()} "
-            "or register_optimizer() your own") from None
-    return factory(params, **kwargs)
+            "or register_optimizer() your own")
+    return registry.build("optimizer", name, params, **kwargs)

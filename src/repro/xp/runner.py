@@ -1,6 +1,6 @@
-"""Scenario execution: one spec to one result, serially or in parallel.
+"""Scenario execution: result records, summarization, process pools.
 
-:func:`run_scenario` is a *pure function* of its
+Scenario execution is a *pure function* of the
 :class:`~repro.xp.spec.ScenarioSpec`: every stochastic component is
 seeded from the spec, so the same spec yields bit-identical metrics and
 series no matter where or when it runs.  That purity is what makes the
@@ -8,24 +8,24 @@ rest of the subsystem sound — :class:`ParallelRunner` can farm scenarios
 out to a process pool and still produce records identical to the serial
 path, and the content-addressed :class:`~repro.xp.cache.ResultCache` can
 substitute a stored record for a recomputation.
+
+Since PR 5 the execution semantics live in :mod:`repro.run`
+(:func:`repro.run.execute_spec` and friends); this module keeps the
+:class:`ScenarioResult` record type, the shared :func:`summarize_log`
+summarization, the :class:`ParallelRunner` pool machinery behind the
+``parallel`` backend, and the deprecated :func:`run_scenario` shim.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.report import environment_info
-from repro.cluster.runtime import ClusterRuntime
 from repro.sim.metrics import staleness_summary
 from repro.xp.cache import ResultCache
-from repro.xp.factories import (build_delay_model, build_fault_injector,
-                                build_optimizer)
 from repro.xp.spec import ScenarioSpec
-from repro.xp.workloads import build_workload
 
 # Caps the default process-pool size (useful on shared machines); an
 # explicit ``processes=`` argument always wins.
@@ -164,15 +164,15 @@ def summarize_log(spec: ScenarioSpec, log, reads_done: int,
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Execute one scenario spec through the cluster runtime.
+    """Execute one scenario spec (deprecated entry point).
 
-    Builds the workload, optimizer, delay model, and fault injector
-    from the spec (all seeded from ``spec.resolved_seed()`` or their
-    own declared seeds), runs the event-driven simulation to the spec's
-    budgets, and summarizes the log.  Specs with ``replicates > 1``
-    run through the batched replicate engine of :mod:`repro.vec`
-    (falling back to serial per-replicate execution where the engine
-    does not apply) and return aggregated mean/std/CI metrics.
+    Since PR 5 this is a thin shim over the unified execution API:
+    it emits a :class:`DeprecationWarning` and delegates to
+    :func:`repro.run.execute_spec`, which runs single-replicate specs
+    through the scalar engine and replicated specs through the
+    batched replicate engine of :mod:`repro.vec` (with transparent
+    serial fallback).  Records are bit-identical to what this function
+    always produced.
 
     Parameters
     ----------
@@ -187,37 +187,18 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         ``updates`` / ``diverged`` counters, and flattened
         ``staleness_*`` statistics — plus the requested raw series.
     """
-    if spec.replicates > 1:
-        from repro.vec.runner import run_replicated_scenario
-        return run_replicated_scenario(spec)
-    seed = spec.resolved_seed()
-    build = build_workload(spec.workload, **spec.workload_params)
-    model, loss_fn = build(seed)
-    optimizer = build_optimizer(spec.optimizer, model.parameters(),
-                                **spec.optimizer_params)
-    runtime = ClusterRuntime(
-        model, optimizer, loss_fn, workers=spec.workers,
-        delay_model=build_delay_model(spec.delay),
-        num_shards=spec.num_shards, shard_policy=spec.shard_policy,
-        queue_staleness=spec.queue_staleness, delivery=spec.delivery,
-        faults=build_fault_injector(spec.faults), seed=seed)
-    start = time.perf_counter()
-    log = runtime.run(reads=spec.reads, updates=spec.updates)
-    wall = time.perf_counter() - start
+    from repro.run.backends import execute_spec
+    from repro.utils.deprecation import warn_deprecated
 
-    metrics, series = summarize_log(spec, log, runtime.reads_done,
-                                    runtime.updates_done,
-                                    runtime.diverged)
-    env = environment_info()
-    env["seed"] = seed
-    return ScenarioResult(name=spec.name, spec_hash=spec.content_hash(),
-                          metrics=metrics, series=series, env=env,
-                          wall_s=wall)
+    warn_deprecated("repro.xp.run_scenario", "repro.run.run")
+    return execute_spec(spec)
 
 
 def _run_payload(payload: dict) -> dict:
     """Pool worker entry point: spec dict in, result dict out."""
-    return run_scenario(ScenarioSpec.from_dict(payload)).as_dict()
+    from repro.run.backends import execute_spec
+
+    return execute_spec(ScenarioSpec.from_dict(payload)).as_dict()
 
 
 class ParallelRunner:
@@ -301,9 +282,11 @@ class ParallelRunner:
         self.misses = len(todo)
 
         if todo:
+            from repro.run.backends import execute_spec
+
             procs = self._effective_processes(len(todo))
             if procs <= 1 or len(todo) == 1:
-                fresh = [run_scenario(specs[idx]) for idx in todo]
+                fresh = [execute_spec(specs[idx]) for idx in todo]
             else:
                 methods = multiprocessing.get_all_start_methods()
                 ctx = multiprocessing.get_context(

@@ -241,6 +241,76 @@ class ScenarioSpec:
         return self.with_overrides(
             {"replicates": 1, "seed": self.replicate_seeds()[r]})
 
+    def validate_components(self) -> "ScenarioSpec":
+        """Pre-flight the spec against the typed component registry.
+
+        Checks that every named component exists — optimizer,
+        workload (registry key or ``module:attr`` reference), delay
+        kind, scheduled fault kinds, shard policy — and that the
+        parameter dicts match the declared config schemas
+        (:mod:`repro.registry`), so a typo'd spec fails with the
+        component's parameter list instead of a mid-run ``TypeError``
+        in a worker process.  Structural field checks happen at
+        construction; this adds the registry-dependent half and is
+        what :func:`repro.run.run` calls before executing.
+
+        Returns
+        -------
+        ScenarioSpec
+            ``self`` (for chaining).
+
+        Raises
+        ------
+        ValueError
+            Naming the offending component and its declared keys.
+        """
+        from repro.registry import registry
+        from repro.xp.factories import (delay_kinds, fault_kinds,
+                                        optimizer_names)
+        from repro.xp.workloads import workload_names
+
+        if not registry.has("optimizer", self.optimizer):
+            raise ValueError(
+                f"scenario {self.name!r}: unknown optimizer "
+                f"{self.optimizer!r}; choose from {optimizer_names()}")
+        registry.validate("optimizer", self.optimizer,
+                          self.optimizer_params)
+        if ":" not in self.workload:
+            if not registry.has("workload", self.workload):
+                raise ValueError(
+                    f"scenario {self.name!r}: unknown workload "
+                    f"{self.workload!r}; choose from {workload_names()} "
+                    "or use a 'module:attr' reference")
+            registry.validate("workload", self.workload,
+                              self.workload_params)
+        kind = self.delay.get("kind")
+        if not registry.has("delay", kind):
+            raise ValueError(
+                f"scenario {self.name!r}: unknown delay kind {kind!r}; "
+                f"choose from {delay_kinds()}")
+        registry.validate("delay", kind,
+                          {k: v for k, v in self.delay.items()
+                           if k != "kind"})
+        if self.faults:
+            params = dict(self.faults)
+            for entry in params.pop("scheduled", []):
+                fk = entry.get("kind") if isinstance(entry, dict) else None
+                if fk == "injector" or not registry.has("fault", fk):
+                    raise ValueError(
+                        f"scenario {self.name!r}: unknown scheduled "
+                        f"fault kind {fk!r}; choose from {fault_kinds()}")
+                registry.validate("fault", fk,
+                                  {k: v for k, v in entry.items()
+                                   if k != "kind"})
+            registry.validate("fault", "injector", params)
+        if isinstance(self.shard_policy, str) \
+                and not registry.has("sharding", self.shard_policy):
+            raise ValueError(
+                f"scenario {self.name!r}: unknown shard policy "
+                f"{self.shard_policy!r}; choose from "
+                f"{registry.names('sharding')}")
+        return self
+
     def with_overrides(self, overrides: Dict[str, object],
                        name: Optional[str] = None) -> "ScenarioSpec":
         """A copy with dotted-path field overrides applied.

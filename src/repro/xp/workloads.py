@@ -24,7 +24,7 @@ Built-ins
 from __future__ import annotations
 
 import importlib
-from typing import Callable, Dict, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
@@ -33,28 +33,29 @@ from repro.autograd import Tensor, functional as F
 from repro.data import BatchLoader, make_cifar10_like, make_cifar100_like
 from repro.models import make_resnet_cifar10, make_resnet_cifar100
 from repro.nn.module import Module
+from repro.registry import registry
 
 # builder: seed -> (model, loss_fn); factory: **workload_params -> builder
 WorkloadBuilder = Callable[[int], Tuple[Module, Callable]]
 WorkloadFactory = Callable[..., WorkloadBuilder]
 
-_WORKLOADS: Dict[str, WorkloadFactory] = {}
-
 
 def register_workload(name: str, factory: WorkloadFactory) -> None:
     """Add (or replace) a workload factory under ``name``.
 
-    Registration must happen before a :class:`~repro.xp.runner.
-    ParallelRunner` forks its pool (module import time is the safe
-    place); workloads needed under the ``spawn`` start method should be
-    referenced as ``"module:attribute"`` instead.
+    Stored in the central typed registry (:mod:`repro.registry`) under
+    the ``"workload"`` kind.  Registration must happen before a
+    :class:`~repro.xp.runner.ParallelRunner` forks its pool (module
+    import time is the safe place); workloads needed under the
+    ``spawn`` start method should be referenced as
+    ``"module:attribute"`` instead.
     """
-    _WORKLOADS[str(name)] = factory
+    registry.register("workload", str(name), factory)
 
 
 def workload_names() -> list:
     """Sorted registry keys (for error messages and CLI listings)."""
-    return sorted(_WORKLOADS)
+    return registry.names("workload")
 
 
 def build_workload(name: str, **params) -> WorkloadBuilder:
@@ -72,8 +73,8 @@ def build_workload(name: str, **params) -> WorkloadBuilder:
     callable
         ``builder(seed) -> (model, loss_fn)``.
     """
-    if name in _WORKLOADS:
-        return _WORKLOADS[name](**params)
+    if registry.has("workload", name):
+        return registry.build("workload", name, **params)
     if ":" in name:
         mod_name, _, attr = name.partition(":")
         try:

@@ -1,0 +1,82 @@
+"""Public-API snapshot: exported symbols locked against a committed file.
+
+The unified execution API makes ``repro``'s public surface a contract:
+downstream code resolves components by name and imports entry points
+from stable locations.  This test renders the exported symbols of the
+public packages into a canonical text form and compares it to the
+committed ``tests/api_surface.txt`` — any accidental export, rename,
+or removal fails tier-1 with a diff instead of shipping silently.
+
+To intentionally change the surface, regenerate the snapshot and
+commit it together with the change::
+
+    PYTHONPATH=src python tests/test_api_surface.py --write
+"""
+
+import importlib
+from pathlib import Path
+
+SNAPSHOT = Path(__file__).resolve().parent / "api_surface.txt"
+
+# the packages whose exports form the public contract; each must
+# define __all__ (the snapshot is meaningless over implicit exports)
+MODULES = (
+    "repro",
+    "repro.registry",
+    "repro.run",
+    "repro.xp",
+    "repro.vec",
+    "repro.cluster",
+    "repro.sim",
+    "repro.optim",
+    "repro.core",
+    "repro.bench",
+    "repro.tuning",
+)
+
+
+def render_surface() -> str:
+    """The current public surface in canonical text form."""
+    lines = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            raise AssertionError(
+                f"{name} defines no __all__; the public surface must "
+                "be explicit to be snapshot-locked")
+        for symbol in sorted(exported):
+            if not hasattr(module, symbol):
+                raise AssertionError(
+                    f"{name}.__all__ lists {symbol!r} but the module "
+                    "does not define it")
+            lines.append(f"{name}.{symbol}")
+    return "\n".join(lines) + "\n"
+
+
+def test_api_surface_matches_committed_snapshot():
+    assert SNAPSHOT.is_file(), (
+        f"missing {SNAPSHOT}; generate it with "
+        "`PYTHONPATH=src python tests/test_api_surface.py --write`")
+    current = render_surface()
+    committed = SNAPSHOT.read_text()
+    if current != committed:
+        cur, com = set(current.splitlines()), set(committed.splitlines())
+        added = sorted(cur - com)
+        removed = sorted(com - cur)
+        raise AssertionError(
+            "public API surface drifted from tests/api_surface.txt\n"
+            f"  added ({len(added)}): {added}\n"
+            f"  removed ({len(removed)}): {removed}\n"
+            "intentional? regenerate with `PYTHONPATH=src python "
+            "tests/test_api_surface.py --write` and commit the diff")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        SNAPSHOT.write_text(render_surface())
+        print(f"wrote {SNAPSHOT}")
+    else:
+        print(render_surface(), end="")

@@ -1,0 +1,144 @@
+"""ResultCache write atomicity under concurrency and crashes.
+
+The ``parallel`` backend lets many processes share one ``.xp_cache``
+directory; entries are published with write-temp-fsync-rename, so a
+reader may see *no* entry or a *complete* entry, never a torn one.
+These tests are the regression net for that property: hammering one
+key from many writer threads while readers poll, crashing a writer
+mid-serialization, and checking that the temp files never leak.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.run import run
+from repro.xp import ResultCache, ScenarioSpec
+from repro.xp.cache import ResultCache as CacheClass
+
+
+def tiny_spec(**overrides):
+    base = dict(name="atomic", workload="quadratic_bowl",
+                workload_params={"dim": 8, "noise_horizon": 16},
+                optimizer="sgd", optimizer_params={"lr": 0.02},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=2, reads=8, seed=4, smooth=3)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestConcurrentWrites:
+    def test_readers_never_observe_a_torn_entry(self, tmp_path):
+        # one spec, one result; 8 writer threads republish the same
+        # key while readers poll.  Once the entry exists on disk,
+        # every read must parse and hash-verify — a torn file would
+        # surface as get() -> None despite the file existing.
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        result = run(spec, backend="serial").result
+        key = spec.content_hash()
+        path = cache.path_for(spec, key=key)
+
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put(spec, result, key=key)
+
+        def reader():
+            while not stop.is_set():
+                if path.is_file() \
+                        and cache.get(spec, key=key) is None:
+                    failures.append("torn read")
+                    return
+
+        threads = ([threading.Thread(target=writer) for _ in range(8)]
+                   + [threading.Thread(target=reader) for _ in range(4)])
+        for t in threads:
+            t.start()
+        # let the contention run briefly, then stop everyone
+        threading.Event().wait(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not failures
+        assert cache.get(spec, key=key) is not None
+
+    def test_distinct_keys_from_parallel_runs_all_complete(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = [tiny_spec(name=f"atomic{i}", seed=i) for i in range(4)]
+        run(specs, backend="parallel", jobs=2, cache=cache)
+        assert len(cache) == 4
+        for spec in specs:
+            entry = cache.get(spec)
+            assert entry is not None
+            assert entry.spec_hash == spec.content_hash()
+
+    def test_no_temp_files_leak(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        result = run(spec, backend="serial").result
+        for _ in range(20):
+            cache.put(spec, result)
+        assert list(cache.root.glob("*.tmp")) == []
+
+
+class TestCrashedWrite:
+    def test_interrupted_put_leaves_no_partial_entry(self, tmp_path,
+                                                     monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        result = run(spec, backend="serial").result
+
+        def exploding_dump(*args, **kwargs):
+            raise RuntimeError("simulated crash mid-serialization")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            cache.put(spec, result)
+        monkeypatch.undo()
+        # no target file, no temp litter: the next put publishes clean
+        assert cache.get(spec) is None
+        assert list(cache.root.glob("*")) == []
+        cache.put(spec, result)
+        assert cache.get(spec) is not None
+
+    def test_crash_cannot_clobber_existing_entry(self, tmp_path,
+                                                 monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        result = run(spec, backend="serial").result
+        cache.put(spec, result)
+
+        def exploding_dump(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(RuntimeError):
+            cache.put(spec, result)
+        monkeypatch.undo()
+        entry = cache.get(spec)
+        assert entry is not None
+        assert entry.identity() == result.identity()
+
+
+class TestHashVerification:
+    def test_wrong_hash_content_is_a_miss_not_a_crash(self, tmp_path):
+        cache = CacheClass(tmp_path / "cache")
+        spec = tiny_spec()
+        result = run(spec, backend="serial").result
+        path = cache.put(spec, result)
+        other = tiny_spec(name="other", seed=99)
+        # file renamed under a foreign key: recorded hash disagrees
+        foreign = cache.path_for(other)
+        foreign.write_text(path.read_text())
+        assert cache.get(other) is None
+
+    def test_garbage_file_is_a_miss_not_a_crash(self, tmp_path):
+        cache = CacheClass(tmp_path / "cache")
+        spec = tiny_spec()
+        cache.root.mkdir(parents=True)
+        cache.path_for(spec).write_text('{"truncated": ')
+        assert cache.get(spec) is None

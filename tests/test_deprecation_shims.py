@@ -1,0 +1,158 @@
+"""Legacy entry points: warn, delegate, stay bit-identical.
+
+The PR 5 consolidation contract for the old surfaces: ``train_async``,
+``run_scenario``, and direct engine construction each emit a
+``DeprecationWarning``, delegate to :mod:`repro.run`, and return
+records bit-identical to the new API — so downstream code keeps
+working unchanged while the warning points it at the replacement.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, functional as F
+from repro.optim import MomentumSGD
+from repro.run import build_cluster, run, run_cluster
+from repro.xp import ScenarioSpec
+
+
+def build_workload(seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(48, 4))
+    w_true = rng.normal(size=4)
+    y = (x @ w_true > 0).astype(int)
+    model = nn.Sequential(nn.Linear(4, 8, seed=seed), nn.ReLU(),
+                          nn.Linear(8, 2, seed=seed + 1))
+
+    def loss_fn():
+        return F.cross_entropy(model(Tensor(x)), y)
+
+    return model, loss_fn
+
+
+def tiny_spec(**overrides):
+    base = dict(name="shim", workload="quadratic_bowl",
+                workload_params={"dim": 12, "noise_horizon": 16},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=2, reads=12, seed=6, smooth=4)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestRunScenarioShim:
+    def test_warns_and_matches_new_api(self):
+        from repro.xp import run_scenario
+
+        spec = tiny_spec()
+        with pytest.warns(DeprecationWarning, match="repro.run"):
+            legacy = run_scenario(spec)
+        fresh = run(spec, backend="serial").result
+        assert legacy.identity() == fresh.identity()
+
+    def test_replicated_spec_also_delegates(self):
+        from repro.xp import run_scenario
+
+        spec = tiny_spec(replicates=3)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_scenario(spec)
+        fresh = run(spec, backend="vec").result
+        assert legacy.identity() == fresh.identity()
+
+
+class TestTrainAsyncShim:
+    @pytest.mark.parametrize("staleness_model", ["round_robin", "random"])
+    def test_warns_and_matches_run_cluster(self, staleness_model):
+        from repro.cluster import ConstantDelay
+        from repro.sim import train_async
+
+        steps, workers = 24, 4
+        model_a, loss_a = build_workload()
+        opt_a = MomentumSGD(model_a.parameters(), lr=0.05)
+        with pytest.warns(DeprecationWarning, match="run_round_robin"):
+            legacy = train_async(model_a, opt_a, loss_a, steps=steps,
+                                 workers=workers, seed=3,
+                                 staleness_model=staleness_model)
+
+        model_b, loss_b = build_workload()
+        opt_b = MomentumSGD(model_b.parameters(), lr=0.05)
+        tau = workers - 1
+        topology = (dict(workers=workers)
+                    if staleness_model == "round_robin"
+                    else dict(workers=1, queue_staleness=tau,
+                              delivery="random"))
+        fresh = run_cluster(model_b, opt_b, loss_b, reads=steps,
+                            updates=max(0, steps - tau),
+                            delay_model=ConstantDelay(1.0), seed=3,
+                            **topology)
+        assert np.array_equal(legacy.series("loss"),
+                              fresh.series("loss"))
+        assert np.array_equal(
+            np.concatenate([p.data.reshape(-1)
+                            for p in model_a.parameters()]),
+            np.concatenate([p.data.reshape(-1)
+                            for p in model_b.parameters()]))
+
+
+class TestDirectEngineConstruction:
+    def test_cluster_runtime_construction_warns(self):
+        from repro.cluster import ClusterRuntime
+
+        model, loss_fn = build_workload()
+        opt = MomentumSGD(model.parameters(), lr=0.05)
+        with pytest.warns(DeprecationWarning,
+                          match="direct ClusterRuntime construction"):
+            ClusterRuntime(model, opt, loss_fn)
+
+    def test_build_cluster_is_warning_free_and_identical(self):
+        from repro.cluster import ClusterRuntime
+
+        model_a, loss_a = build_workload()
+        opt_a = MomentumSGD(model_a.parameters(), lr=0.05)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = ClusterRuntime(model_a, opt_a, loss_a, workers=3,
+                                    seed=1).run(reads=20)
+
+        model_b, loss_b = build_workload()
+        opt_b = MomentumSGD(model_b.parameters(), lr=0.05)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runtime = build_cluster(model_b, opt_b, loss_b, workers=3,
+                                    seed=1)
+        fresh = runtime.run(reads=20)
+        assert np.array_equal(legacy.series("loss"),
+                              fresh.series("loss"))
+
+    def test_batched_engine_construction_warns(self):
+        from repro.vec.engine import BatchedClusterEngine
+
+        spec = tiny_spec(replicates=2)
+        with pytest.warns(DeprecationWarning,
+                          match="direct BatchedClusterEngine"):
+            BatchedClusterEngine(spec, spec.replicate_seeds())
+
+    def test_new_api_paths_are_warning_free(self):
+        # the unified API must never trip its own deprecation guards
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run(tiny_spec(), backend="serial")
+            run(tiny_spec(replicates=2), backend="vec")
+            run([tiny_spec(), tiny_spec(name="b", seed=8)],
+                backend="parallel", jobs=2)
+
+
+class TestCliAlias:
+    def test_xp_cli_warns_and_forwards(self, tmp_path, capsys):
+        from repro.xp import save_scenarios
+        from repro.xp.cli import main
+
+        path = tmp_path / "scenarios.json"
+        save_scenarios([tiny_spec()], path)
+        with pytest.warns(DeprecationWarning, match="python -m repro"):
+            assert main(["list", str(path)]) == 0
+        assert "1 scenarios" in capsys.readouterr().out

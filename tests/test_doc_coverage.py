@@ -1,9 +1,9 @@
 """Documentation coverage gate for the public optimizer and sim APIs.
 
 Fails whenever a public module, class, function, method, or property in
-``repro.optim``, ``repro.sim``, ``repro.cluster``, ``repro.xp``, or
-``repro.vec`` lacks a docstring, so API docs cannot rot silently as
-those packages grow.
+``repro.optim``, ``repro.sim``, ``repro.cluster``, ``repro.xp``,
+``repro.vec``, ``repro.run``, or ``repro.registry`` lacks a docstring,
+so API docs cannot rot silently as those packages grow.
 """
 
 import importlib
@@ -11,14 +11,15 @@ import inspect
 import pkgutil
 
 PACKAGES = ("repro.optim", "repro.sim", "repro.cluster", "repro.xp",
-            "repro.vec")
+            "repro.vec", "repro.run", "repro.registry")
 
 
 def iter_modules():
     for pkg_name in PACKAGES:
         pkg = importlib.import_module(pkg_name)
         yield pkg_name, pkg
-        for info in pkgutil.iter_modules(pkg.__path__):
+        # plain modules (repro.registry) have no submodules to walk
+        for info in pkgutil.iter_modules(getattr(pkg, "__path__", [])):
             if info.name.startswith("_"):
                 continue
             name = f"{pkg_name}.{info.name}"

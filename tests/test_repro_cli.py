@@ -1,0 +1,127 @@
+"""The top-level ``python -m repro`` CLI: run / list / diff / bench."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.registry import registry
+from repro.run import BackendCapabilities, ExecutionBackend, \
+    register_backend
+from repro.xp import Matrix, ScenarioSpec, save_scenarios
+
+
+@pytest.fixture()
+def matrix_file(tmp_path):
+    base = ScenarioSpec(name="cli", workload="quadratic_bowl",
+                        workload_params={"dim": 12, "noise_horizon": 16},
+                        optimizer="momentum_sgd",
+                        optimizer_params={"lr": 0.02, "momentum": 0.5},
+                        delay={"kind": "constant", "delay": 1.0},
+                        workers=2, reads=12, seed=0, smooth=4)
+    matrix = Matrix(base, axes={
+        "lr": {"slow": {"optimizer_params.lr": 0.01},
+               "fast": {"optimizer_params.lr": 0.04}}})
+    path = tmp_path / "matrix.json"
+    save_scenarios(matrix, path)
+    return path
+
+
+class TestRun:
+    def test_run_reports_backend_and_caches(self, matrix_file, tmp_path,
+                                            capsys):
+        cache = tmp_path / "cache"
+        code = main(["run", str(matrix_file), "--cache", str(cache)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios: 0 cached, 2 computed" in out
+        assert "backend:" in out
+
+        assert main(["run", str(matrix_file), "--cache",
+                     str(cache)]) == 0
+        assert "2 cached, 0 computed" in capsys.readouterr().out
+
+    def test_run_with_pinned_backend_writes_payload(self, matrix_file,
+                                                    tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        code = main(["run", str(matrix_file), "--backend", "serial",
+                     "--no-cache", "--out", str(out_file)])
+        assert code == 0
+        assert "backend: serial (explicitly requested)" in \
+            capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        assert payload["backend"] == "serial"
+        assert len(payload["results"]) == 2
+
+    def test_unknown_backend_is_a_usage_error(self, matrix_file, capsys):
+        code = main(["run", str(matrix_file), "--backend", "quantum",
+                     "--no-cache"])
+        assert code == 2
+        assert "choose from" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_check_passes_across_backends(self, matrix_file,
+                                                tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        code = main(["bench", str(matrix_file),
+                     "--backends", "serial,cluster,parallel,vec",
+                     "--check", "--out", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out and "yes" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["identical"] is True
+        assert set(payload["backends"]) == {"serial", "cluster",
+                                            "parallel", "vec"}
+
+    def test_bench_check_fails_on_divergent_backend(self, matrix_file,
+                                                    capsys):
+        class SkewBackend(ExecutionBackend):
+            """Test backend that perturbs one metric."""
+
+            name = "skew"
+
+            def capabilities(self):
+                """No special capabilities."""
+                return BackendCapabilities()
+
+            def execute(self, specs, options):
+                """Serial records with a perturbed final loss."""
+                from repro.run import execute_spec
+
+                out = []
+                for spec in specs:
+                    record = execute_spec(spec)
+                    record.metrics["final_loss"] += 1.0
+                    out.append(record)
+                return out
+
+        register_backend("skew", SkewBackend)
+        try:
+            code = main(["bench", str(matrix_file),
+                         "--backends", "serial,skew", "--check"])
+        finally:
+            registry.unregister("backend", "skew")
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "NO" in captured.out
+        assert "MISMATCH" in captured.err
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, matrix_file):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" \
+            + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list", str(matrix_file)],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0
+        assert "2 scenarios" in proc.stdout

@@ -1,0 +1,248 @@
+"""The unified ``repro.run.run`` entry point and its auto-selection."""
+
+import pytest
+
+from repro.registry import registry
+from repro.run import (BackendCapabilities, ExecutionBackend, RunResult,
+                       backend_names, register_backend, run,
+                       select_backend)
+from repro.xp import Matrix, ResultCache, ScenarioSpec, save_scenarios
+
+
+def tiny_spec(**overrides):
+    base = dict(name="api", workload="quadratic_bowl",
+                workload_params={"dim": 12, "noise_horizon": 16},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=2, reads=12, seed=2, smooth=4)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestInputForms:
+    def test_single_spec(self):
+        outcome = run(tiny_spec(), backend="serial")
+        assert len(outcome) == 1
+        assert outcome.result.name == "api"
+
+    def test_matrix_expands_in_axis_order(self):
+        matrix = Matrix(tiny_spec(), axes={
+            "w": {"two": {"workers": 2}, "three": {"workers": 3}}})
+        outcome = run(matrix, backend="serial")
+        assert [r.name for r in outcome] == ["api/two", "api/three"]
+
+    def test_spec_list(self):
+        specs = [tiny_spec(), tiny_spec(name="api2", seed=3)]
+        outcome = run(specs, backend="serial")
+        assert [r.name for r in outcome] == ["api", "api2"]
+
+    def test_scenario_file_path(self, tmp_path):
+        path = tmp_path / "scenarios.json"
+        save_scenarios([tiny_spec()], path)
+        outcome = run(str(path), backend="serial")
+        assert outcome.result.name == "api"
+
+    def test_rejects_non_spec_items(self):
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            run([tiny_spec(), "nope"], backend="serial")
+
+    def test_result_property_raises_on_multi(self):
+        outcome = run([tiny_spec(), tiny_spec(name="b", seed=4)],
+                      backend="serial")
+        with pytest.raises(ValueError, match="2 records"):
+            outcome.result
+
+
+class TestAutoSelection:
+    def test_replicated_lockstep_selects_vec(self):
+        name, reason = select_backend([tiny_spec(replicates=4)])
+        assert name == "vec"
+        assert "replicate" in reason
+
+    def test_matrix_with_workers_selects_parallel(self):
+        specs = [tiny_spec(), tiny_spec(name="b", seed=9)]
+        name, _ = select_backend(specs, jobs=4)
+        assert name == "parallel"
+
+    def test_single_stochastic_spec_selects_cluster(self):
+        spec = tiny_spec(delay={"kind": "pareto", "seed": 4})
+        assert select_backend([spec])[0] == "cluster"
+
+    def test_faulty_spec_selects_cluster(self):
+        spec = tiny_spec(faults={"crash_prob": 0.01, "seed": 1})
+        assert select_backend([spec])[0] == "cluster"
+
+    def test_plain_single_spec_selects_serial(self):
+        assert select_backend([tiny_spec()])[0] == "serial"
+
+    def test_single_job_budget_disables_parallel(self):
+        specs = [tiny_spec(), tiny_spec(name="b", seed=9)]
+        assert select_backend(specs, jobs=1)[0] == "serial"
+
+    def test_replicated_non_lockstep_does_not_select_vec(self):
+        spec = tiny_spec(replicates=3,
+                         delay={"kind": "pareto", "seed": 4})
+        assert select_backend([spec])[0] == "cluster"
+
+    def test_run_records_the_selection_reason(self):
+        outcome = run(tiny_spec(replicates=2))
+        assert outcome.backend == "vec"
+        assert "replicate" in outcome.reason
+
+
+class TestCaching:
+    def test_cache_round_trip_zero_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = [tiny_spec(), tiny_spec(name="b", seed=5)]
+        cold = run(specs, backend="serial", cache=cache)
+        assert (cold.hits, cold.misses) == (0, 2)
+        warm = run(specs, backend="serial", cache=cache)
+        assert (warm.hits, warm.misses) == (2, 0)
+        assert warm.identities() == cold.identities()
+        assert all(r.cached for r in warm)
+
+    def test_cache_shared_across_backends(self, tmp_path):
+        # records are backend-independent, so a cache written by one
+        # backend must satisfy any other
+        cache = ResultCache(tmp_path / "cache")
+        run(tiny_spec(), backend="vec", cache=cache)
+        warm = run(tiny_spec(), backend="serial", cache=cache)
+        assert (warm.hits, warm.misses) == (1, 0)
+
+    def test_duplicate_specs_share_one_record(self):
+        spec = tiny_spec()
+        outcome = run([spec, spec, spec], backend="serial")
+        assert outcome.misses == 1
+        assert outcome.results[0] is outcome.results[1]
+
+
+class TestValidation:
+    def test_unknown_optimizer_fails_preflight(self):
+        spec = tiny_spec(optimizer="warp_drive")
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            run(spec, backend="serial")
+
+    def test_optimizer_param_typo_fails_preflight(self):
+        spec = tiny_spec(optimizer_params={"lr": 0.02, "momentun": 0.5})
+        with pytest.raises(ValueError, match="unknown config keys"):
+            run(spec, backend="serial")
+
+    def test_unknown_delay_kind_fails_preflight(self):
+        spec = tiny_spec(delay={"kind": "wormhole"})
+        with pytest.raises(ValueError, match="unknown delay kind"):
+            run(spec, backend="serial")
+
+    def test_unknown_shard_policy_fails_preflight(self):
+        spec = tiny_spec(shard_policy="везде")
+        with pytest.raises(ValueError, match="unknown shard policy"):
+            run(spec, backend="serial")
+
+    def test_module_reference_workloads_pass_preflight(self):
+        spec = tiny_spec(workload="benchmarks.workloads:nonexistent")
+        # name validation defers module:attr resolution to execution
+        spec.validate_components()
+
+    def test_validate_false_skips_preflight(self):
+        spec = tiny_spec(optimizer="late_registered",
+                         optimizer_params={"lr": 0.02})
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            run(spec, backend="serial")
+
+        def late(params, lr: float = 0.1):
+            """Late-registered optimizer for the validate=False test."""
+            from repro.optim import SGD
+
+            return SGD(params, lr=lr)
+
+        from repro.xp.factories import register_optimizer
+
+        register_optimizer("late_registered", late)
+        try:
+            # preflight off: components resolved at execution time
+            outcome = run(spec, backend="serial", validate=False)
+            assert outcome.result.name == "api"
+        finally:
+            registry.unregister("optimizer", "late_registered")
+
+    def test_cached_specs_skip_validation(self, tmp_path):
+        # validation only pre-flights what will actually execute;
+        # a cached record satisfies even a spec whose component was
+        # since unregistered
+        cache = ResultCache(tmp_path / "cache")
+        run(tiny_spec(), backend="serial", cache=cache)
+        outcome = run(tiny_spec(), backend="serial", cache=cache)
+        assert outcome.hits == 1
+
+
+class TestBackendRegistration:
+    def test_custom_backend_selectable_by_name(self):
+        class EchoBackend(ExecutionBackend):
+            """Test backend: serial semantics under a custom name."""
+
+            name = "echo"
+
+            def capabilities(self):
+                """No special capabilities."""
+                return BackendCapabilities()
+
+            def execute(self, specs, options):
+                """Delegate to the scalar reference executor."""
+                from repro.run import execute_spec
+
+                return [execute_spec(s) for s in specs]
+
+        register_backend("echo", EchoBackend)
+        try:
+            assert "echo" in backend_names()
+            outcome = run(tiny_spec(), backend="echo")
+            assert outcome.backend == "echo"
+            assert outcome.result.identity() == \
+                run(tiny_spec(), backend="serial").result.identity()
+        finally:
+            registry.unregister("backend", "echo")
+
+    def test_unknown_backend_fails_with_choices(self):
+        with pytest.raises(ValueError, match="choose from"):
+            run(tiny_spec(), backend="quantum")
+
+    def test_backend_returning_wrong_count_is_an_error(self):
+        class BrokenBackend(ExecutionBackend):
+            """Test backend that drops records."""
+
+            name = "broken"
+
+            def capabilities(self):
+                """No special capabilities."""
+                return BackendCapabilities()
+
+            def execute(self, specs, options):
+                """Return too few records."""
+                return []
+
+        register_backend("broken", BrokenBackend)
+        try:
+            with pytest.raises(RuntimeError, match="0 records"):
+                run(tiny_spec(), backend="broken")
+        finally:
+            registry.unregister("backend", "broken")
+
+
+class TestRunResult:
+    def test_as_dict_keeps_legacy_keys(self):
+        outcome = run(tiny_spec(), backend="serial")
+        payload = outcome.as_dict()
+        assert set(payload) >= {"results", "hits", "misses", "backend"}
+        assert payload["results"][0]["name"] == "api"
+
+    def test_metrics_by_name(self):
+        outcome = run([tiny_spec(), tiny_spec(name="b", seed=5)],
+                      backend="serial")
+        table = outcome.metrics_by_name()
+        assert set(table) == {"api", "b"}
+        assert "final_loss" in table["api"]
+
+    def test_empty_batch(self):
+        outcome = run([], backend="serial")
+        assert isinstance(outcome, RunResult)
+        assert outcome.results == []

@@ -1,0 +1,141 @@
+"""Cross-backend equivalence: every backend, same bits.
+
+The defining contract of :mod:`repro.run`: the deterministic identity
+of a scenario's record — name, spec hash, metrics, series — is a
+function of the spec alone, not of the execution backend.  One tiny
+lockstep spec runs through all four built-in backends (``serial``,
+``cluster``, ``parallel``, and ``vec`` with ``replicates=1`` through
+the batched engine) and the identities must agree exactly; matrices
+and replicated/non-lockstep specs get the same treatment on the
+backends where the execution strategy genuinely differs.  Also pins
+the committed ``BENCH_cluster_scenarios.json`` values through the new
+API, so the consolidation provably changed no numbers.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.run import run
+from repro.xp import Matrix, ScenarioSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BACKENDS = ("serial", "cluster", "parallel", "vec")
+
+
+def lockstep_spec(**overrides):
+    base = dict(name="xbackend", workload="quadratic_bowl",
+                workload_params={"dim": 24, "noise_horizon": 32},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=3, reads=30, seed=11, smooth=5)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSingleSpecEquivalence:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        spec = lockstep_spec()
+        return {name: run(spec, backend=name) for name in BACKENDS}
+
+    def test_identities_bit_identical_across_backends(self, outcomes):
+        reference = outcomes["serial"].result.identity()
+        for name in BACKENDS:
+            assert outcomes[name].result.identity() == reference, name
+
+    def test_vec_actually_used_the_batched_engine(self, outcomes):
+        # the equivalence above is only meaningful if the vec backend
+        # really took the single-replicate batched path
+        assert outcomes["vec"].result.env["vec_engine"] == "batched"
+        for name in ("serial", "cluster", "parallel"):
+            assert "vec_engine" not in outcomes[name].result.env
+
+    def test_backend_recorded_on_result(self, outcomes):
+        for name in BACKENDS:
+            assert outcomes[name].backend == name
+            assert outcomes[name].reason == "explicitly requested"
+
+
+class TestMatrixEquivalence:
+    def test_parallel_pool_matches_serial(self):
+        matrix = Matrix(lockstep_spec(), axes={
+            "lr": {"slow": {"optimizer_params.lr": 0.01},
+                   "fast": {"optimizer_params.lr": 0.04}},
+        })
+        serial = run(matrix, backend="serial")
+        # jobs=2 forces a real process pool for the two scenarios
+        parallel = run(matrix, backend="parallel", jobs=2)
+        assert serial.identities() == parallel.identities()
+
+    def test_toy_classifier_workload_equivalent_on_vec(self):
+        # no vectorized evaluator exists for this workload: the vec
+        # backend runs the generic per-replicate adapter and must
+        # still match the scalar engine exactly
+        spec = lockstep_spec(
+            workload="toy_classifier",
+            workload_params={"samples": 64, "features": 4, "hidden": 8,
+                             "batch_size": 16})
+        assert run(spec, backend="vec").result.identity() == \
+            run(spec, backend="serial").result.identity()
+
+
+class TestNonLockstepFallback:
+    def test_stochastic_delay_identical_via_vec_fallback(self):
+        spec = lockstep_spec(
+            delay={"kind": "uniform", "low": 0.5, "high": 1.5,
+                   "seed": 5})
+        vec = run(spec, backend="vec")
+        assert vec.result.env["vec_engine"] == "serial"
+        assert vec.result.identity() == \
+            run(spec, backend="cluster").result.identity()
+
+    def test_faulty_scenario_identical_on_every_backend(self):
+        spec = lockstep_spec(
+            faults={"seed": 9, "scheduled": [
+                {"kind": "crash", "worker": 1, "time": 4.0,
+                 "downtime": 3.0}]})
+        reference = run(spec, backend="serial").result.identity()
+        for name in ("cluster", "parallel", "vec"):
+            assert run(spec, backend=name).result.identity() == \
+                reference, name
+
+
+class TestReplicatedEquivalence:
+    def test_replicated_spec_identical_serial_vs_vec(self):
+        spec = lockstep_spec(replicates=3)
+        serial = run(spec, backend="serial")
+        vec = run(spec, backend="vec")
+        assert serial.result.env["vec_engine"] == "serial"
+        assert vec.result.env["vec_engine"] == "batched"
+        assert serial.result.identity() == vec.result.identity()
+
+    def test_cluster_backend_keeps_batched_replicates(self):
+        # cluster is the general backend, not the forced-serial
+        # reference: a lockstep replicated spec routed to it (e.g. in
+        # a mixed batch) must still get the batched fast path
+        spec = lockstep_spec(replicates=3)
+        cluster = run(spec, backend="cluster")
+        assert cluster.result.env["vec_engine"] == "batched"
+        assert cluster.result.identity() == \
+            run(spec, backend="serial").result.identity()
+
+
+class TestCommittedBaselinesReproduce:
+    def test_bench_cluster_scenarios_unchanged_through_new_api(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_cluster_scenarios.json").read_text())
+        base = dict(
+            name="cluster_scenarios", workload="toy_classifier",
+            workers=4, num_shards=2, reads=240, seed=0, smooth=25,
+            delay={"kind": "constant", "delay": 1.0})
+        fixed = ScenarioSpec(
+            **base, optimizer="momentum_sgd",
+            optimizer_params={"lr": 0.05, "momentum": 0.9,
+                              "fused": True})
+        for backend in BACKENDS:
+            outcome = run(fixed, backend=backend)
+            assert outcome.result.metrics["final_loss"] == \
+                committed["metrics"]["constant_fixed_final"], backend

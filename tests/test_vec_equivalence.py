@@ -161,7 +161,7 @@ class TestFallbackEquivalence:
         # built-in batched twin — the engine falls back so records
         # still equal R serial runs of the replacement
         from repro.optim import MomentumSGD
-        from repro.xp import factories
+        from repro.registry import registry
 
         calls = []
 
@@ -169,8 +169,12 @@ class TestFallbackEquivalence:
             calls.append(1)
             return MomentumSGD(params, lr=lr * 0.5, **kwargs)
 
-        monkeypatch.setitem(factories._OPTIMIZERS, "momentum_sgd",
-                            custom)
+        original = registry.get("optimizer", "momentum_sgd")
+        monkeypatch.setitem(registry._components["optimizer"],
+                            "momentum_sgd",
+                            original)  # restore original on teardown
+        registry.register("optimizer", "momentum_sgd", custom,
+                          skip_positional=1)
         spec = make_spec(replicates=2)
         assert not supports_batched(spec)
         check_batched_equals_serial(spec, expect_strategy="serial")
@@ -178,14 +182,19 @@ class TestFallbackEquivalence:
 
     def test_replaced_scalar_workload_disables_batched_evaluator(self,
                                                                  monkeypatch):
+        from repro.registry import registry
         from repro.vec.workloads import has_vec_workload
         from repro.xp import workloads as xp_workloads
 
         replacement = xp_workloads.toy_classifier
-        monkeypatch.setitem(xp_workloads._WORKLOADS, "quadratic_bowl",
-                            lambda **params: replacement(
-                                samples=32, features=4, hidden=4,
-                                batch_size=8))
+        original = registry.get("workload", "quadratic_bowl")
+        monkeypatch.setitem(registry._components["workload"],
+                            "quadratic_bowl",
+                            original)  # restore original on teardown
+        registry.register("workload", "quadratic_bowl",
+                          lambda **params: replacement(
+                              samples=32, features=4, hidden=4,
+                              batch_size=8))
         assert not has_vec_workload("quadratic_bowl")
         spec = make_spec(replicates=2, workload_params={})
         # still batched (the engine's per-replicate adapter runs the

@@ -84,16 +84,18 @@ class TestParallelEqualsSerial:
         assert [r.name for r in results] == [s.name for s in specs]
 
     def test_duplicate_specs_computed_once(self, monkeypatch):
+        from repro.run import backends as run_backends
+
         specs = small_matrix().expand()
         doubled = specs + specs
         calls = []
-        real = runner_mod.run_scenario
+        real = run_backends.execute_spec
 
         def counting(spec):
             calls.append(spec.name)
             return real(spec)
 
-        monkeypatch.setattr(runner_mod, "run_scenario", counting)
+        monkeypatch.setattr(run_backends, "execute_spec", counting)
         results = ParallelRunner(processes=1).run(doubled)
         assert len(calls) == len(specs)
         assert [r.identity() for r in results[:len(specs)]] == \
