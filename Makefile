@@ -4,7 +4,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
-	matrix-smoke vec-smoke api-smoke perf-gate example \
+	matrix-smoke vec-smoke api-smoke mp-smoke perf-gate example \
 	cluster-example matrix-example
 
 test:  ## fast unit tests only
@@ -40,12 +40,18 @@ matrix-smoke:  ## repro.xp orchestration gate: specs, runner, cache, CLI, <60s
 	    --jobs 2 --cache $$cache || status=$$?; \
 	rm -rf $$cache; exit $$status
 
-api-smoke:  ## unified-API gate: one spec through all four backends, records diffed, <60s
+api-smoke:  ## unified-API gate: one spec through all five backends, records diffed, <60s
 	$(PYTEST) tests/test_run_backends.py tests/test_run_api.py \
 	    tests/test_registry.py tests/test_api_surface.py \
 	    tests/test_deprecation_shims.py tests/test_repro_cli.py -q
 	PYTHONPATH=src python -m repro bench examples/api_smoke.json \
-	    --backends serial,cluster,parallel,vec --check
+	    --backends serial,cluster,parallel,vec,mp --check
+
+mp-smoke:  ## real multi-process backend: transport properties + differential oracle at smoke scale, <60s hard cap
+	PYTHONPATH=src timeout 60 python -m pytest \
+	    tests/test_mp_transport.py -q
+	PYTHONPATH=src timeout 60 python -m pytest \
+	    tests/test_mp_differential.py -k smoke -q
 
 vec-smoke:  ## batched replicate engine: differential + property suites, 8-replicate speedup gate, <60s
 	$(PYTEST) tests/test_vec_equivalence.py \
@@ -58,9 +64,10 @@ perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
 	REPRO_BENCH_DIR=$$fresh $(PYTEST) benchmarks/test_cluster_scenarios.py \
 	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" \
 	    benchmarks/test_vec_replicates.py \
+	    benchmarks/test_mp_throughput.py \
 	    -q -s && \
 	PYTHONPATH=src python -m repro diff --baseline . --fresh $$fresh \
-	    --names cluster_scenarios,fig01,vec_replicates \
+	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput \
 	    --report perf_report.json \
 	    || status=$$?; \
 	cp $$fresh/BENCH_vec_replicates.json replicate_statistics.json \

@@ -55,8 +55,9 @@ def build_parser(prog: str = "python -m repro") -> argparse.ArgumentParser:
     run.add_argument("scenarios", help="matrix or scenario-list JSON file")
     run.add_argument("--backend", default="auto",
                      help="execution backend: auto (default), serial, "
-                          "cluster, parallel, vec, or any registered "
-                          "name")
+                          "cluster, parallel, vec, mp (real worker "
+                          "processes, where supported), or any "
+                          "registered name")
     run.add_argument("--jobs", type=int, default=None,
                      help="worker processes (default: all cores)")
     run.add_argument("--cache", default=None, metavar="DIR",

@@ -192,6 +192,36 @@ class ClusterRuntime:
         """Updates committed so far (the server's applied count)."""
         return self.server.steps_applied
 
+    def _compute_gradient(self, worker: ClusterWorker,
+                          step: int) -> Tuple[float, List]:
+        """Compute read ``step``'s loss and gradient for ``worker``.
+
+        The one place a gradient is actually produced — subclasses
+        (the multi-process runtime) override it to route the identical
+        computation to a real worker process while every scheduling
+        decision stays in this class.
+        """
+        self.model.zero_grad()
+        loss = self.loss_fn()
+        loss.backward()
+        # no copy here: zero_grad + backward produce fresh arrays every
+        # read, and push() copies at the ingest boundary on arrival
+        return float(loss.data), [p.grad for p in self.optimizer.params]
+
+    def _on_worker_crash(self, worker_id: int) -> None:
+        """Hook fired when a worker's crash is decided (no-op here).
+
+        The multi-process runtime overrides it to SIGKILL the real
+        worker process at the moment the simulated crash is scheduled.
+        """
+
+    def _on_worker_restart(self, worker_id: int) -> None:
+        """Hook fired when a crashed worker's restart event lands.
+
+        The multi-process runtime overrides it to respawn a fresh
+        worker process before the worker is dispatched again.
+        """
+
     def _read_and_dispatch(self, worker: ClusterWorker) -> None:
         """Worker reads the live model, computes a gradient, ships it.
 
@@ -201,10 +231,7 @@ class ClusterRuntime:
         crash) event.
         """
         step = self.reads_done
-        self.model.zero_grad()
-        loss = self.loss_fn()
-        loss.backward()
-        loss_value = float(loss.data)
+        loss_value, grads = self._compute_gradient(worker, step)
         self.log.append("loss", loss_value, step)
         worker.reads += 1
         self.reads_done += 1
@@ -214,9 +241,6 @@ class ClusterRuntime:
             self.log.append("diverged", 1.0, step)
             self.diverged = True
             return
-        # no copy here: zero_grad + backward produce fresh arrays every
-        # read, and push() copies at the ingest boundary on arrival
-        grads = [p.grad for p in self.optimizer.params]
         self._inflight[step] = (worker.worker_id, self.server.steps_applied)
 
         delay = self.delay_model.sample(worker.worker_id, self.clock)
@@ -229,6 +253,7 @@ class ClusterRuntime:
             self.events.schedule(crash_time, "crash", worker.worker_id,
                                  {"restart_at": crash_time + downtime,
                                   "lost_read": step})
+            self._on_worker_crash(worker.worker_id)
             return
         self.events.schedule(self.clock + delay, "arrival",
                              worker.worker_id,
@@ -301,6 +326,7 @@ class ClusterRuntime:
             worker = self.workers[event.worker]
             worker.alive = True
             worker.restarts += 1
+            self._on_worker_restart(event.worker)
             self.timeline.append({"t": self.clock, "kind": "restart",
                                   "worker": event.worker})
             self.log.append("restart", float(event.worker), self.reads_done)

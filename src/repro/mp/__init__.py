@@ -1,0 +1,71 @@
+"""Real multi-process parameter server, with the simulator as oracle.
+
+``repro.mp`` turns the deterministic :mod:`repro.cluster` simulation
+into an actual system: worker *processes* compute gradients against
+the sharded parameter server over a shared-memory or socket transport,
+injected faults SIGKILL real PIDs, and the simulator doubles as a
+differential oracle for the whole thing.
+
+Layers (bottom up):
+
+- :mod:`repro.mp.endpoints` — deterministic, collision-retrying port
+  and shared-memory-name allocation (CI-race-proof by construction);
+- :mod:`repro.mp.codec` — binary message framing (JSON header + raw
+  array payloads, bit-exact for every dtype and non-finite floats);
+- :mod:`repro.mp.transport` — socket framing and seqlock-style
+  shared-memory rings behind one blocking/polling interface;
+- :mod:`repro.mp.worker` — the worker child loops and the parent-side
+  process pool (spawn / SIGKILL / respawn);
+- :mod:`repro.mp.runtime` — the sequenced runtime: the simulator's
+  event loop driving real processes, bit-identical trajectories;
+- :mod:`repro.mp.freerun` — genuine free-running asynchrony for
+  statistical comparison and throughput measurement;
+- :mod:`repro.mp.backend` — the ``backend="mp"`` plug into
+  :func:`repro.run.run` (registered only where
+  :func:`mp_available` holds);
+- :mod:`repro.mp.oracle` — the differential harness: bit-identity
+  under sequenced scheduling, CI95 equivalence under real scheduling.
+
+See ``docs/mp_backend.md`` for the transport wire format, the oracle
+contract, and failure semantics.
+"""
+
+from repro.mp.backend import MPBackend, execute_scalar_mp
+from repro.mp.codec import decode_message, encode_message
+from repro.mp.endpoints import (allocate_listener, allocate_shm,
+                                derive_port, derive_shm_name)
+from repro.mp.freerun import free_run
+from repro.mp.oracle import (assert_bit_identical, differential_check,
+                             statistical_check)
+from repro.mp.runtime import MPClusterRuntime, build_mp_runtime
+from repro.mp.transport import (SharedMemoryTransport, SocketTransport,
+                                Transport, TransportClosed,
+                                TransportTimeout)
+from repro.mp.worker import (WorkerPool, WorkerProcess, mp_available,
+                             worker_main)
+
+__all__ = [
+    "MPBackend",
+    "MPClusterRuntime",
+    "SharedMemoryTransport",
+    "SocketTransport",
+    "Transport",
+    "TransportClosed",
+    "TransportTimeout",
+    "WorkerPool",
+    "WorkerProcess",
+    "allocate_listener",
+    "allocate_shm",
+    "assert_bit_identical",
+    "build_mp_runtime",
+    "decode_message",
+    "derive_port",
+    "derive_shm_name",
+    "differential_check",
+    "encode_message",
+    "execute_scalar_mp",
+    "free_run",
+    "mp_available",
+    "statistical_check",
+    "worker_main",
+]

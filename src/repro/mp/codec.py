@@ -1,0 +1,176 @@
+"""Binary message framing for the multi-process transports.
+
+A message is an arbitrary nested tree of dicts / lists / tuples with
+scalar leaves and NumPy arrays — the same value class the checkpoint
+codec of :mod:`repro.utils.serialization` preserves.  The wire format
+keeps array payloads as raw bytes (bit-exact for every dtype,
+non-finite floats included, and cheap for gradient-sized buffers)
+while the structural remainder rides in a JSON header encoded with
+the existing tagged state codec:
+
+``MAGIC | uint32 header length | header JSON | buffer 0 | buffer 1 …``
+
+Arrays are pulled out of the tree in deterministic depth-first order
+and replaced by ``{"__buf__": index, "dtype": ..., "shape": ...,
+"order": ...}`` descriptors; :func:`decode_message` re-slices the raw
+region by the recorded dtype/shape/order and substitutes writable
+copies back into the tree.  Memory order ("C" vs Fortran) is
+preserved, not just values: NumPy reductions traverse memory order,
+so a layout change would shift downstream sums by an ulp and break
+the mp backend's bit-identity oracle.  Everything else (tuples, ``None``, NaN/inf floats, NumPy
+scalars) round-trips through ``encode_state`` / ``decode_state``
+exactly as checkpoints do.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.serialization import decode_state, encode_state
+
+#: Wire-format magic + version prefix of every frame.
+MAGIC = b"RMP1"
+
+_BUF_TAG = "__buf__"
+_LEN = struct.Struct(">I")
+
+
+def _strip_arrays(node, buffers: List[np.ndarray]):
+    """Replace every ndarray in the tree by a buffer descriptor.
+
+    Memory *order* is part of the round-trip contract, not just the
+    values: NumPy reductions (``np.sum``, pairwise summation) traverse
+    arrays in memory order, so shipping an F-ordered gradient as a
+    C-ordered copy would change downstream floating-point results by
+    an ulp — enough to break the mp backend's bit-identity oracle.
+    Fortran-ordered arrays are therefore sent as their raw F-order
+    bytes and rebuilt F-ordered on the other side.
+    """
+    if isinstance(node, np.ndarray):
+        if (node.ndim > 1 and node.flags.f_contiguous
+                and not node.flags.c_contiguous):
+            order = "F"
+            arr = np.ascontiguousarray(node.T)  # C bytes of the
+        else:                                   # transpose = F bytes
+            order = "C"
+            arr = np.ascontiguousarray(node)
+        index = len(buffers)
+        buffers.append(arr)
+        return {_BUF_TAG: index, "dtype": str(node.dtype),
+                "shape": list(node.shape), "order": order}
+    if isinstance(node, dict):
+        for key in node:
+            if key == _BUF_TAG:
+                raise ValueError(
+                    f"message dict key {key!r} collides with the "
+                    "buffer tag")
+        return {key: _strip_arrays(value, buffers)
+                for key, value in node.items()}
+    if isinstance(node, tuple):
+        return tuple(_strip_arrays(value, buffers) for value in node)
+    if isinstance(node, list):
+        return [_strip_arrays(value, buffers) for value in node]
+    return node
+
+
+def _substitute_buffers(node, buffers: List[np.ndarray]):
+    """Inverse of :func:`_strip_arrays` on a decoded header tree."""
+    if isinstance(node, dict):
+        if set(node) == {_BUF_TAG, "dtype", "shape", "order"}:
+            return buffers[node[_BUF_TAG]]
+        return {key: _substitute_buffers(value, buffers)
+                for key, value in node.items()}
+    if isinstance(node, tuple):
+        return tuple(_substitute_buffers(value, buffers)
+                     for value in node)
+    if isinstance(node, list):
+        return [_substitute_buffers(value, buffers) for value in node]
+    return node
+
+
+def encode_message(obj) -> bytes:
+    """Serialize a message tree into one binary frame.
+
+    Parameters
+    ----------
+    obj : object
+        Nested dicts / lists / tuples with scalar or ndarray leaves.
+
+    Returns
+    -------
+    bytes
+        A self-delimiting frame (:data:`MAGIC`, header length, JSON
+        header, concatenated raw array bytes).
+    """
+    buffers: List[np.ndarray] = []
+    stripped = _strip_arrays(obj, buffers)
+    header = json.dumps(encode_state(stripped), separators=(",", ":"),
+                        allow_nan=False).encode("utf-8")
+    parts = [MAGIC, _LEN.pack(len(header)), header]
+    parts.extend(arr.tobytes() for arr in buffers)
+    return b"".join(parts)
+
+
+def decode_message(frame: bytes):
+    """Inverse of :func:`encode_message`.
+
+    Returns
+    -------
+    object
+        The original message tree; array leaves come back as fresh
+        writable ndarrays with the recorded dtype and shape, bit-for-
+        bit equal to what was sent.
+
+    Raises
+    ------
+    ValueError
+        On a malformed frame (bad magic, truncated header or payload).
+    """
+    if frame[:4] != MAGIC:
+        raise ValueError(
+            f"bad frame magic {frame[:4]!r} (expected {MAGIC!r})")
+    (header_len,) = _LEN.unpack_from(frame, 4)
+    header_end = 8 + header_len
+    if len(frame) < header_end:
+        raise ValueError("truncated frame header")
+    stripped = decode_state(
+        json.loads(frame[8:header_end].decode("utf-8")))
+
+    descriptors: List[Tuple[int, str, tuple, str]] = []
+
+    def collect(node):
+        if isinstance(node, dict):
+            if set(node) == {_BUF_TAG, "dtype", "shape", "order"}:
+                descriptors.append((node[_BUF_TAG], node["dtype"],
+                                    tuple(node["shape"]),
+                                    node["order"]))
+                return
+            for value in node.values():
+                collect(value)
+        elif isinstance(node, (list, tuple)):
+            for value in node:
+                collect(value)
+
+    collect(stripped)
+    descriptors.sort()
+    buffers: List[np.ndarray] = []
+    offset = header_end
+    for index, dtype, shape, order in descriptors:
+        if index != len(buffers):
+            raise ValueError(f"buffer index {index} out of order")
+        if order not in ("C", "F"):
+            raise ValueError(f"unknown buffer order {order!r}")
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dt.itemsize
+        if len(frame) < offset + nbytes:
+            raise ValueError("truncated frame payload")
+        flat = np.frombuffer(frame, dtype=dt, count=count, offset=offset)
+        arr = flat.reshape(shape, order=order).copy(order=order)
+        buffers.append(arr)
+        offset += nbytes
+    return _substitute_buffers(stripped, buffers)

@@ -1,0 +1,162 @@
+"""Deterministic, collision-retrying endpoint allocation.
+
+CI matrices and ``pytest-xdist`` runs start many test processes at
+once; anything that binds a fixed port or shared-memory name flakes
+the moment two of them race.  The helpers here derive endpoint names
+*deterministically* from a caller-supplied key (typically a spec
+content hash) together with the current PID, so:
+
+- the same test in the same process always asks for the same endpoint
+  (reproducible, debuggable),
+- concurrent processes ask for *different* endpoints (no cross-process
+  races by construction), and
+- a genuine collision (stale segment, occupied port) bumps an attempt
+  counter and retries on the next derived name instead of failing.
+
+Used by :mod:`repro.mp.transport` for both the socket listener ports
+and the shared-memory segment names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import socket
+from multiprocessing import shared_memory
+from typing import Tuple
+
+#: Inclusive lower bound of the derived port range (above the
+#: ephemeral-adjacent registered range commonly squatted by services).
+PORT_BASE = 30000
+
+#: Size of the derived port range.
+PORT_SPAN = 20000
+
+#: Default number of derivation attempts before giving up.
+MAX_ATTEMPTS = 64
+
+
+def _digest(key: str, pid: int, attempt: int) -> str:
+    return hashlib.sha256(
+        f"{key}:{pid}:{attempt}".encode("utf-8")).hexdigest()
+
+
+def derive_port(key: str, attempt: int = 0,
+                pid: int = None) -> int:
+    """Deterministic localhost port for ``key`` at ``attempt``.
+
+    Parameters
+    ----------
+    key : str
+        Stable identity of the channel (e.g. spec hash + worker id).
+    attempt : int
+        Collision-retry counter; each value maps to a distinct port.
+    pid : int, optional
+        Process id mixed into the derivation (defaults to the calling
+        process's own), so concurrent test processes never derive the
+        same port for the same key.
+
+    Returns
+    -------
+    int
+        A port in ``[PORT_BASE, PORT_BASE + PORT_SPAN)``.
+    """
+    pid = os.getpid() if pid is None else int(pid)
+    return PORT_BASE + int(_digest(key, pid, attempt)[:8], 16) % PORT_SPAN
+
+
+def derive_shm_name(key: str, attempt: int = 0,
+                    pid: int = None) -> str:
+    """Deterministic shared-memory segment name for ``key``.
+
+    Same derivation contract as :func:`derive_port`: stable per
+    (key, pid, attempt), distinct across concurrent processes.  Names
+    stay short — some platforms cap POSIX shm names around 30 chars.
+    """
+    pid = os.getpid() if pid is None else int(pid)
+    return f"repro_{_digest(key, pid, attempt)[:12]}_{attempt}"
+
+
+def allocate_listener(key: str, host: str = "127.0.0.1",
+                      attempts: int = MAX_ATTEMPTS
+                      ) -> Tuple[socket.socket, int]:
+    """Bind a listening TCP socket on a deterministically derived port.
+
+    Walks the attempt sequence of :func:`derive_port` until a bind
+    succeeds, so a port squatted by another process costs one retry
+    instead of a CI flake.
+
+    Returns
+    -------
+    (socket, port) : tuple
+        The listening socket (``listen(1)`` already called) and its
+        port.
+
+    Raises
+    ------
+    OSError
+        When every derived port in ``attempts`` tries is taken.
+    """
+    last_error = None
+    for attempt in range(attempts):
+        port = derive_port(key, attempt)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+            sock.listen(1)
+            return sock, port
+        except OSError as exc:
+            sock.close()
+            last_error = exc
+    raise OSError(
+        f"no free derived port for key {key!r} after {attempts} "
+        f"attempts (last: {last_error})")
+
+
+def allocate_shm(key: str, size: int,
+                 attempts: int = MAX_ATTEMPTS
+                 ) -> shared_memory.SharedMemory:
+    """Create a shared-memory segment under a derived name.
+
+    Walks the attempt sequence of :func:`derive_shm_name` past any
+    already-existing segment (a stale leftover or a concurrent test),
+    mirroring :func:`allocate_listener`'s retry contract.
+
+    Returns
+    -------
+    multiprocessing.shared_memory.SharedMemory
+        A freshly created segment of at least ``size`` bytes; the
+        caller owns ``close()`` + ``unlink()``.
+
+    Raises
+    ------
+    OSError
+        When every derived name in ``attempts`` tries exists.
+    """
+    last_error = None
+    for attempt in range(attempts):
+        name = derive_shm_name(key, attempt)
+        try:
+            return shared_memory.SharedMemory(name=name, create=True,
+                                              size=size)
+        except FileExistsError as exc:
+            last_error = exc
+    raise OSError(
+        f"no free derived shm name for key {key!r} after {attempts} "
+        f"attempts (last: {last_error})")
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    The creating process keeps sole unlink responsibility.  Workers
+    are forked, so they share the parent's ``resource_tracker``
+    process: the attach-side registration lands in the same tracker
+    set the parent's creation already populated (a no-op), and the
+    parent's ``unlink`` clears it exactly once.  Explicitly
+    unregistering here would strip the *parent's* entry from the
+    shared tracker — the inverse of the spawn-world ``SharedMemory``
+    footgun — so the attachment is deliberately left as-is.
+    """
+    return shared_memory.SharedMemory(name=name)

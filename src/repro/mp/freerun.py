@@ -1,0 +1,152 @@
+"""Free-running execution: genuine OS-scheduled asynchrony.
+
+While the sequenced runtime (:mod:`repro.mp.runtime`) replays the
+simulator's deterministic event schedule on real processes, the
+free-running executor lets the processes *race*: each worker pulls the
+current parameters, computes a gradient on its own loss stream, and
+pushes it back; the coordinator services arrivals in true arrival
+order and commits each gradient as it lands.  Staleness, worker mix,
+and loss trajectories therefore emerge from real OS scheduling — the
+nondeterminism the statistical side of the differential oracle
+(:mod:`repro.mp.oracle`) quantifies against the simulator's replicate
+distribution, and the workload the throughput benchmark measures.
+
+Every worker shares the spec's seed — so all of them optimize the
+*same* problem instance (workloads derive their dataset from the seed)
+— and worker ``w`` starts ``w`` positions into the shared iid batch
+stream, so concurrent workers draw staggered minibatch sequences
+rather than identical ones, mirroring how the simulator's one shared
+stream hands each read a fresh draw.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.mp.transport import TransportClosed
+from repro.mp.worker import WorkerPool
+
+_IDLE_SLEEP = 0.0002
+
+
+def free_run(spec, transport: str = "shm",
+             ring_capacity: Optional[int] = None,
+             timeout: float = 120.0) -> dict:
+    """Run one spec's budget under genuine multi-process racing.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        Scenario supplying workload, optimizer, worker count, shard
+        layout, and the ``reads`` budget (one committed update per
+        read; delay models and fault plans are ignored — real
+        scheduling replaces them).
+    transport : str
+        ``"shm"`` (default) or ``"socket"``.
+    ring_capacity : int, optional
+        Shared-memory ring size override.
+    timeout : float
+        Hard wall-clock bound; a wedged worker raises instead of
+        hanging CI.
+
+    Returns
+    -------
+    dict
+        ``final_loss`` (mean of the last ``spec.smooth`` arrived
+        losses), ``mean_loss``, ``mean_staleness``, ``reads``,
+        ``updates``, ``wall_s``, ``reads_per_sec``, and the per-worker
+        commit counts under ``worker_commits``.
+    """
+    from repro.mp.transport import DEFAULT_RING_CAPACITY
+    from repro.utils.deprecation import internal_calls
+    from repro.xp.factories import build_optimizer
+    from repro.xp.workloads import build_workload
+    from repro.sim.parameter_server import ShardedParameterServer
+
+    seed = spec.resolved_seed()
+    model, _ = build_workload(spec.workload, **spec.workload_params)(seed)
+    optimizer = build_optimizer(spec.optimizer, model.parameters(),
+                                **spec.optimizer_params)
+    with internal_calls():
+        server = ShardedParameterServer(
+            model, optimizer, num_shards=spec.num_shards,
+            policy=spec.shard_policy, seed=seed)
+    reads = int(spec.reads)
+    pool = WorkerPool(
+        spec.workers, key=f"free:{spec.content_hash()[:16]}:{seed}",
+        workload=spec.workload, workload_params=spec.workload_params,
+        seed=seed, transport=transport, mode="free",
+        stream_offsets=list(range(spec.workers)),
+        ring_capacity=(DEFAULT_RING_CAPACITY if ring_capacity is None
+                       else ring_capacity))
+    losses, staleness = [], []
+    worker_commits = [0] * spec.workers
+    granted = 0
+    committed = 0
+    read_version = {}
+    stopped = [False] * spec.workers
+    start = time.perf_counter()
+    deadline = start + timeout
+    try:
+        while not all(stopped):
+            if time.perf_counter() > deadline:
+                raise TimeoutError(
+                    f"free run exceeded {timeout:.0f}s "
+                    f"({committed}/{reads} commits)")
+            progress = False
+            for wid, worker in enumerate(pool.workers):
+                if stopped[wid] or worker.transport is None:
+                    continue
+                try:
+                    message = worker.transport.try_recv()
+                except TransportClosed:
+                    raise RuntimeError(
+                        f"worker {wid} died mid free run")
+                if message is None:
+                    continue
+                progress = True
+                cmd = message.get("cmd")
+                if cmd == "error":
+                    raise RuntimeError(
+                        f"worker {wid} failed:\n{message.get('error')}")
+                if cmd == "pull":
+                    if granted < reads:
+                        granted += 1
+                        read_version[wid] = server.steps_applied
+                        worker.transport.send(
+                            {"cmd": "params",
+                             "params": [p.data
+                                        for p in optimizer.params]})
+                    else:
+                        worker.transport.send({"cmd": "stop"})
+                        stopped[wid] = True
+                elif cmd == "push":
+                    losses.append(float(message["loss"]))
+                    server.push(message["grads"], step=committed)
+                    server.apply_one(pos=0)
+                    staleness.append(
+                        server.steps_applied - 1 - read_version[wid])
+                    worker_commits[wid] += 1
+                    committed += 1
+                    worker.transport.send({"cmd": "ok"})
+                else:
+                    raise RuntimeError(
+                        f"worker {wid} sent unexpected {cmd!r}")
+            if not progress:
+                time.sleep(_IDLE_SLEEP)
+    finally:
+        pool.close()
+    wall = time.perf_counter() - start
+    smooth = max(1, min(int(spec.smooth), len(losses)))
+    tail = losses[-smooth:]
+    return {
+        "final_loss": sum(tail) / len(tail),
+        "mean_loss": sum(losses) / max(1, len(losses)),
+        "mean_staleness": (sum(staleness) / max(1, len(staleness))),
+        "reads": committed,
+        "updates": server.steps_applied,
+        "wall_s": wall,
+        "reads_per_sec": committed / wall if wall > 0 else 0.0,
+        "worker_commits": worker_commits,
+    }

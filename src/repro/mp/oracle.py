@@ -1,0 +1,166 @@
+"""Differential oracle: the simulator judges the real system.
+
+Two complementary checks tie the multi-process backend to the
+deterministic simulator, giving every simulation-backed claim in this
+repo a tested bridge to real concurrency:
+
+- **Bit-identity** (:func:`differential_check` /
+  :func:`assert_bit_identical`): under the sequenced runtime the mp
+  backend must reproduce the simulator's record *exactly* — every
+  metric, every series value, bit for bit — for any spec, any fused
+  optimizer, any shard count.  A single differing bit is a transport,
+  codec, or scheduling bug.
+- **Statistical equivalence** (:func:`statistical_check`): under
+  genuine free-running scheduling (:mod:`repro.mp.freerun`) no single
+  trajectory is reproducible, but the *distribution* must match the
+  simulator's replicate distribution.  Both sides run ``R`` seeds; the
+  check passes when the mp mean lies within the combined CI95 bands
+  (simulator band from the existing
+  :func:`repro.bench.report.replicate_statistics` machinery, mp band
+  computed the same way).
+
+Checks return plain-dict verdicts so tests can assert on them and
+failures print the exact divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.mp.backend import execute_scalar_mp
+from repro.mp.freerun import free_run
+from repro.xp.spec import ScenarioSpec
+
+
+def _first_difference(serial_identity: dict, mp_identity: dict
+                      ) -> Optional[str]:
+    """Human-readable description of the first differing field."""
+    for key in ("name", "spec_hash"):
+        if serial_identity[key] != mp_identity[key]:
+            return (f"{key}: {serial_identity[key]!r} != "
+                    f"{mp_identity[key]!r}")
+    s_metrics, m_metrics = (serial_identity["metrics"],
+                            mp_identity["metrics"])
+    for key in sorted(set(s_metrics) | set(m_metrics)):
+        if key not in s_metrics or key not in m_metrics:
+            return f"metric {key!r} present on one side only"
+        if s_metrics[key] != m_metrics[key] and not (
+                _both_nan(s_metrics[key], m_metrics[key])):
+            return (f"metric {key!r}: sim {s_metrics[key]!r} != "
+                    f"mp {m_metrics[key]!r}")
+    s_series, m_series = serial_identity["series"], mp_identity["series"]
+    for key in sorted(set(s_series) | set(m_series)):
+        if key not in s_series or key not in m_series:
+            return f"series {key!r} present on one side only"
+        if len(s_series[key]) != len(m_series[key]):
+            return (f"series {key!r} length: {len(s_series[key])} != "
+                    f"{len(m_series[key])}")
+        for i, (a, b) in enumerate(zip(s_series[key], m_series[key])):
+            if a != b and not _both_nan(a, b):
+                return (f"series {key!r}[{i}]: sim {a!r} != mp {b!r}")
+    return None
+
+
+def _both_nan(a, b) -> bool:
+    try:
+        return math.isnan(a) and math.isnan(b)
+    except TypeError:
+        return False
+
+
+def differential_check(spec: ScenarioSpec,
+                       transport: str = "shm") -> dict:
+    """Run one spec through simulator and mp backend; compare records.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        A single-replicate scenario (sequenced mode is defined over
+        the scalar reference semantics).
+    transport : str
+        ``"shm"`` or ``"socket"``.
+
+    Returns
+    -------
+    dict
+        ``{"match": bool, "difference": str or None,
+        "sim": identity, "mp": identity}``.
+    """
+    from repro.run.backends import execute_scalar
+
+    sim = execute_scalar(spec).identity()
+    mp = execute_scalar_mp(spec, transport=transport).identity()
+    difference = _first_difference(sim, mp)
+    return {"match": difference is None, "difference": difference,
+            "sim": sim, "mp": mp}
+
+
+def assert_bit_identical(spec: ScenarioSpec,
+                         transport: str = "shm") -> None:
+    """Assert the mp backend reproduces the simulator bit-for-bit.
+
+    Raises
+    ------
+    AssertionError
+        Naming the first differing metric or series entry.
+    """
+    verdict = differential_check(spec, transport=transport)
+    assert verdict["match"], (
+        f"mp backend diverged from the simulator on "
+        f"{spec.name!r} ({transport}): {verdict['difference']}")
+
+
+def statistical_check(spec: ScenarioSpec, replicates: int = 8,
+                      transport: str = "shm",
+                      metric: str = "final_loss",
+                      slack: float = 1.0) -> dict:
+    """Compare free-running mp statistics to the simulator's bands.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        Base scenario (its ``replicates`` field is overridden).
+    replicates : int
+        Seeds per side.
+    transport : str
+        ``"shm"`` or ``"socket"``.
+    metric : str
+        Which free-run metric to compare (must also exist in the
+        simulator record, e.g. ``"final_loss"``).
+    slack : float
+        Multiplier on the combined CI band (``1.0`` = plain combined
+        CI95; tests may widen it for very small ``replicates``).
+
+    Returns
+    -------
+    dict
+        ``match`` plus both means, both CI95 half-widths, the absolute
+        difference, and the tolerance actually applied.
+    """
+    from repro.run.backends import execute_spec
+
+    rep_spec = spec.with_overrides({"replicates": int(replicates)})
+    sim_result = execute_spec(rep_spec)
+    sim_mean = sim_result.metrics[metric]
+    sim_ci = sim_result.metrics.get(f"{metric}_ci95", 0.0)
+
+    values = []
+    for r in range(int(replicates)):
+        outcome = free_run(rep_spec.replicate_spec(r),
+                           transport=transport)
+        values.append(float(outcome[metric]))
+    mp_mean = sum(values) / len(values)
+    if len(values) > 1:
+        var = (sum((v - mp_mean) ** 2 for v in values)
+               / (len(values) - 1))
+        mp_ci = 1.96 * math.sqrt(var) / math.sqrt(len(values))
+    else:
+        mp_ci = 0.0
+    tolerance = slack * (sim_ci + mp_ci)
+    difference = abs(sim_mean - mp_mean)
+    return {"match": difference <= tolerance, "metric": metric,
+            "sim_mean": sim_mean, "sim_ci95": sim_ci,
+            "mp_mean": mp_mean, "mp_ci95": mp_ci,
+            "difference": difference, "tolerance": tolerance,
+            "values": values}

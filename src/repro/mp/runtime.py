@@ -1,0 +1,156 @@
+"""Sequenced multi-process runtime: real workers, simulated clock.
+
+:class:`MPClusterRuntime` subclasses the deterministic
+:class:`~repro.cluster.runtime.ClusterRuntime` and overrides exactly
+three hooks:
+
+- ``_compute_gradient`` ships each read to the real worker process
+  playing that cluster worker (parameters out, loss + gradient back
+  over the transport) instead of computing in-process;
+- ``_on_worker_crash`` SIGKILLs the worker's OS process the moment the
+  fault injector decides the crash — a *real* crash, not an event;
+- ``_on_worker_restart`` respawns a fresh process when the restart
+  event lands; the newcomer resynchronizes its loss stream by absolute
+  read position, so it produces exactly the gradients the crashed
+  process would have.
+
+Everything else — event queue, delays, fault draws, sharded server,
+staleness gates, checkpointing — is inherited verbatim.  Because the
+worker processes hold no authoritative state (parameters are shipped
+per read, loss streams are positional), the trajectory is bit-identical
+to the simulator's on the same machine, and ``state_dict`` /
+``load_state_dict`` checkpoints transfer between the two runtimes in
+either direction.
+
+The parent's own ``loss_fn`` is *never called* in this runtime — the
+real workers own the loss stream — so loader-backed closure state on
+the parent side stays at position zero (documented in
+``docs/mp_backend.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cluster.runtime import ClusterRuntime, ClusterWorker
+from repro.mp.worker import WorkerPool
+
+
+class MPClusterRuntime(ClusterRuntime):
+    """The event-driven cluster runtime over real worker processes.
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn:
+        As for :class:`~repro.cluster.runtime.ClusterRuntime`; the
+        parent keeps the authoritative parameters and the optimizer
+        committing updates, while ``loss_fn`` is retained only for
+        interface compatibility (real workers evaluate their own
+        copies of the stream).
+    pool : WorkerPool
+        One real process per simulated worker, in ``"sequenced"``
+        mode; the runtime takes ownership (``close()`` stops it).
+    **kwargs
+        Forwarded to :class:`~repro.cluster.runtime.ClusterRuntime`
+        (workers, delay_model, num_shards, shard_policy,
+        queue_staleness, delivery, faults, hooks, log, seed).
+    """
+
+    def __init__(self, model, optimizer, loss_fn, *, pool: WorkerPool,
+                 **kwargs):
+        super().__init__(model, optimizer, loss_fn, **kwargs)
+        if len(pool.workers) != len(self.workers):
+            raise ValueError(
+                f"pool has {len(pool.workers)} processes for "
+                f"{len(self.workers)} simulated workers")
+        self.pool = pool
+
+    def _compute_gradient(self, worker: ClusterWorker,
+                          step: int) -> Tuple[float, List]:
+        """Route read ``step`` to ``worker``'s real process."""
+        params = [p.data for p in self.optimizer.params]
+        return self.pool.compute(worker.worker_id, step, params)
+
+    def _on_worker_crash(self, worker_id: int) -> None:
+        """Realize the injector's decision: SIGKILL the process."""
+        self.pool.kill(worker_id)
+
+    def _on_worker_restart(self, worker_id: int) -> None:
+        """Bring the worker back as a fresh OS process."""
+        self.pool.respawn(worker_id)
+
+    def close(self) -> None:
+        """Stop every worker process and release transport endpoints."""
+        self.pool.close()
+
+    def __enter__(self) -> "MPClusterRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"MPClusterRuntime(workers={len(self.workers)}, "
+                f"pids={self.pool.pids()}, clock={self.clock:.3g}, "
+                f"reads={self.reads_done}, "
+                f"updates={self.server.steps_applied})")
+
+
+def build_mp_runtime(spec, transport: str = "shm",
+                     ring_capacity: int = None) -> MPClusterRuntime:
+    """Construct a ready-to-run :class:`MPClusterRuntime` from a spec.
+
+    Mirrors the build path of
+    :func:`repro.run.backends.execute_scalar` — same workload,
+    optimizer, delay model, fault injector, and seed derivation — and
+    spawns one real worker process per simulated worker.  The caller
+    owns ``close()`` (or use the runtime as a context manager).
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        A single-replicate scenario.
+    transport : str
+        ``"shm"`` (default) or ``"socket"``.
+    ring_capacity : int, optional
+        Shared-memory ring size override (for large models).
+
+    Returns
+    -------
+    MPClusterRuntime
+    """
+    from repro.mp.transport import DEFAULT_RING_CAPACITY
+    from repro.utils.deprecation import internal_calls
+    from repro.xp.factories import (build_delay_model,
+                                    build_fault_injector, build_optimizer)
+    from repro.xp.workloads import build_workload
+
+    if spec.replicates != 1:
+        raise ValueError(
+            f"build_mp_runtime needs replicates == 1, got "
+            f"{spec.replicates}; use repro.mp.backend.MPBackend")
+    seed = spec.resolved_seed()
+    model, loss_fn = build_workload(
+        spec.workload, **spec.workload_params)(seed)
+    optimizer = build_optimizer(spec.optimizer, model.parameters(),
+                                **spec.optimizer_params)
+    pool = WorkerPool(
+        spec.workers, key=f"{spec.content_hash()[:16]}:{seed}",
+        workload=spec.workload, workload_params=spec.workload_params,
+        seed=seed, transport=transport, mode="sequenced",
+        ring_capacity=(DEFAULT_RING_CAPACITY if ring_capacity is None
+                       else ring_capacity))
+    try:
+        with internal_calls():
+            return MPClusterRuntime(
+                model, optimizer, loss_fn, pool=pool,
+                workers=spec.workers,
+                delay_model=build_delay_model(spec.delay),
+                num_shards=spec.num_shards,
+                shard_policy=spec.shard_policy,
+                queue_staleness=spec.queue_staleness,
+                delivery=spec.delivery,
+                faults=build_fault_injector(spec.faults), seed=seed)
+    except Exception:
+        pool.close()
+        raise

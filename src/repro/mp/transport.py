@@ -1,0 +1,336 @@
+"""Message transports: TCP sockets and shared-memory rings.
+
+Both transports move the binary frames of :mod:`repro.mp.codec`
+between the coordinator and one worker process, behind one tiny
+blocking/polling interface:
+
+- :class:`SocketTransport` — length-prefixed frames over a connected
+  localhost TCP socket; handles frames of any size and is the robust
+  default for large models.
+- :class:`SharedMemoryTransport` — a pair of single-producer /
+  single-consumer byte rings in one ``multiprocessing.shared_memory``
+  segment.  Reads are lock-free-ish in the seqlock style: the writer
+  publishes payload bytes *before* advancing its monotone write
+  counter, the reader only consumes up to the published counter and
+  advances its own read counter afterwards, so neither side ever takes
+  a lock and torn reads are impossible by construction (each byte
+  region is owned by exactly one side between the counter updates).
+
+Every blocking receive takes a timeout and raises
+:class:`TransportTimeout` instead of wedging, so a hung or killed
+worker process fails fast in CI.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.mp.codec import decode_message, encode_message
+from repro.mp.endpoints import attach_shm
+
+_LEN = struct.Struct(">Q")
+
+#: Default blocking-receive timeout (seconds).
+DEFAULT_TIMEOUT = 60.0
+
+#: Default per-direction ring capacity (bytes) of the shm transport.
+DEFAULT_RING_CAPACITY = 1 << 20
+
+_HEADER = 16           # two uint64 counters per ring
+_SPIN_POLLS = 200      # busy polls before backing off to sleeps
+_POLL_SLEEP = 0.0002
+
+
+class TransportTimeout(TimeoutError):
+    """A blocking transport receive ran past its deadline."""
+
+
+class TransportClosed(ConnectionError):
+    """The peer endpoint is gone (socket closed or process dead)."""
+
+
+class Transport:
+    """Interface both transports implement.
+
+    ``send`` ships one message tree; ``recv`` blocks (bounded by
+    ``timeout``) for the next one; ``try_recv`` polls without
+    blocking, returning ``None`` when no complete message is ready —
+    the primitive the free-running coordinator multiplexes over.
+    """
+
+    def send(self, obj) -> None:
+        """Ship one message to the peer."""
+        raise NotImplementedError
+
+    def recv(self, timeout: Optional[float] = DEFAULT_TIMEOUT):
+        """Block until the next message arrives (or timeout)."""
+        raise NotImplementedError
+
+    def try_recv(self):
+        """Return the next message if fully available, else ``None``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the endpoint's resources (idempotent)."""
+        raise NotImplementedError
+
+
+class SocketTransport(Transport):
+    """Length-prefixed codec frames over a connected TCP socket.
+
+    Parameters
+    ----------
+    sock : socket.socket
+        A connected stream socket; the transport takes ownership.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer = bytearray()
+        self._closed = False
+
+    def send(self, obj) -> None:
+        """Ship one message (8-byte length prefix + frame)."""
+        frame = encode_message(obj)
+        try:
+            self._sock.sendall(_LEN.pack(len(frame)) + frame)
+        except OSError as exc:
+            raise TransportClosed(f"peer socket gone: {exc}") from exc
+
+    def _parse(self):
+        if len(self._buffer) < 8:
+            return None
+        (length,) = _LEN.unpack_from(self._buffer, 0)
+        if len(self._buffer) < 8 + length:
+            return None
+        frame = bytes(self._buffer[8:8 + length])
+        del self._buffer[:8 + length]
+        return decode_message(frame)
+
+    def _fill(self, timeout: Optional[float]) -> bool:
+        """Read whatever is available within ``timeout`` seconds."""
+        self._sock.settimeout(timeout)
+        try:
+            chunk = self._sock.recv(1 << 16)
+        except socket.timeout:
+            return False
+        except OSError as exc:
+            raise TransportClosed(f"peer socket gone: {exc}") from exc
+        if not chunk:
+            raise TransportClosed("peer closed the connection")
+        self._buffer.extend(chunk)
+        return True
+
+    def recv(self, timeout: Optional[float] = DEFAULT_TIMEOUT):
+        """Block for the next message, bounded by ``timeout``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            message = self._parse()
+            if message is not None:
+                return message
+            remaining = None if deadline is None \
+                else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise TransportTimeout(
+                    f"no message within {timeout:.1f}s")
+            self._fill(remaining)
+
+    def try_recv(self):
+        """Non-blocking poll: drain the socket, parse if complete."""
+        message = self._parse()
+        if message is not None:
+            return message
+        self._sock.settimeout(0.0)
+        try:
+            while True:
+                chunk = self._sock.recv(1 << 16)
+                if not chunk:
+                    raise TransportClosed("peer closed the connection")
+                self._buffer.extend(chunk)
+        except (BlockingIOError, socket.timeout):
+            pass
+        except OSError as exc:
+            raise TransportClosed(f"peer socket gone: {exc}") from exc
+        return self._parse()
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover — close is best-effort
+                pass
+
+
+class _Ring:
+    """One single-producer/single-consumer byte ring in shared memory.
+
+    The first 16 bytes hold two monotone ``uint64`` counters (total
+    bytes written, total bytes read); the remainder is the data
+    region.  Payload bytes are stored before the write counter
+    advances and consumed before the read counter advances — the
+    seqlock-style publication protocol that makes unlocked
+    cross-process reads safe.
+    """
+
+    def __init__(self, buffer: memoryview, capacity: int):
+        self._counters = np.frombuffer(buffer[:_HEADER], dtype=np.uint64)
+        self._data = np.frombuffer(buffer[_HEADER:_HEADER + capacity],
+                                   dtype=np.uint8)
+        self._capacity = capacity
+
+    @property
+    def _written(self) -> int:
+        return int(self._counters[0])
+
+    @property
+    def _read(self) -> int:
+        return int(self._counters[1])
+
+    def _copy_in(self, payload: bytes, pos: int) -> None:
+        start = pos % self._capacity
+        end = start + len(payload)
+        view = np.frombuffer(payload, dtype=np.uint8)
+        if end <= self._capacity:
+            self._data[start:end] = view
+        else:
+            split = self._capacity - start
+            self._data[start:] = view[:split]
+            self._data[:end - self._capacity] = view[split:]
+
+    def _copy_out(self, pos: int, length: int) -> bytes:
+        start = pos % self._capacity
+        end = start + length
+        if end <= self._capacity:
+            return self._data[start:end].tobytes()
+        split = self._capacity - start
+        return (self._data[start:].tobytes()
+                + self._data[:end - self._capacity].tobytes())
+
+    def write(self, frame: bytes,
+              deadline: Optional[float] = None) -> None:
+        """Append one length-prefixed frame, blocking for ring space."""
+        payload = _LEN.pack(len(frame)) + frame
+        if len(payload) > self._capacity:
+            raise ValueError(
+                f"message of {len(payload)} bytes exceeds the ring "
+                f"capacity {self._capacity}; raise ring_capacity or "
+                "use the socket transport")
+        polls = 0
+        while self._capacity - (self._written - self._read) \
+                < len(payload):
+            polls += 1
+            if deadline is not None and time.monotonic() > deadline:
+                raise TransportTimeout("ring full past deadline")
+            time.sleep(0 if polls < _SPIN_POLLS else _POLL_SLEEP)
+        pos = self._written
+        self._copy_in(payload, pos)
+        # publish: counter store strictly after the payload store
+        self._counters[0] = np.uint64(pos + len(payload))
+
+    def try_read(self) -> Optional[bytes]:
+        """Pop the next frame if fully published, else ``None``."""
+        available = self._written - self._read
+        if available < 8:
+            return None
+        pos = self._read
+        (length,) = _LEN.unpack(self._copy_out(pos, 8))
+        if available < 8 + length:
+            return None
+        frame = self._copy_out(pos + 8, length)
+        # consume: counter store strictly after the payload copy
+        self._counters[1] = np.uint64(pos + 8 + length)
+        return frame
+
+
+def shm_segment_size(ring_capacity: int) -> int:
+    """Total segment bytes for a bidirectional channel."""
+    return 2 * (_HEADER + ring_capacity)
+
+
+class SharedMemoryTransport(Transport):
+    """Bidirectional message channel over one shared-memory segment.
+
+    The segment holds two independent SPSC rings — parent-to-child and
+    child-to-parent — so each direction has exactly one producer and
+    one consumer and no locking is needed.
+
+    Parameters
+    ----------
+    segment : multiprocessing.shared_memory.SharedMemory
+        The backing segment (sized by :func:`shm_segment_size`).
+    role : str
+        ``"parent"`` or ``"child"``; decides which ring is outbound.
+    ring_capacity : int
+        Per-direction data capacity in bytes.
+    owns_segment : bool
+        Whether :meth:`close` should also unlink the segment (true
+        only for the creating side).
+    """
+
+    def __init__(self, segment, role: str,
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 owns_segment: bool = False):
+        if role not in ("parent", "child"):
+            raise ValueError(f"unknown role {role!r}")
+        self._segment = segment
+        self._owns = owns_segment
+        self._closed = False
+        buf = segment.buf
+        slot = _HEADER + ring_capacity
+        ring_a = _Ring(buf[:slot], ring_capacity)
+        ring_b = _Ring(buf[slot:2 * slot], ring_capacity)
+        self._out, self._in = ((ring_a, ring_b) if role == "parent"
+                               else (ring_b, ring_a))
+
+    @classmethod
+    def attach(cls, name: str,
+               ring_capacity: int = DEFAULT_RING_CAPACITY
+               ) -> "SharedMemoryTransport":
+        """Attach the child end to a parent-created segment by name."""
+        return cls(attach_shm(name), role="child",
+                   ring_capacity=ring_capacity)
+
+    def send(self, obj) -> None:
+        """Ship one message through the outbound ring."""
+        self._out.write(encode_message(obj),
+                        deadline=time.monotonic() + DEFAULT_TIMEOUT)
+
+    def recv(self, timeout: Optional[float] = DEFAULT_TIMEOUT):
+        """Block (spin, then sleep-poll) for the next inbound frame."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        polls = 0
+        while True:
+            frame = self._in.try_read()
+            if frame is not None:
+                return decode_message(frame)
+            polls += 1
+            if deadline is not None and time.monotonic() > deadline:
+                raise TransportTimeout(f"no message within {timeout:.1f}s")
+            time.sleep(0 if polls < _SPIN_POLLS else _POLL_SLEEP)
+
+    def try_recv(self):
+        """Non-blocking poll of the inbound ring."""
+        frame = self._in.try_read()
+        return None if frame is None else decode_message(frame)
+
+    def close(self) -> None:
+        """Detach from the segment; the owner also unlinks it."""
+        if self._closed:
+            return
+        self._closed = True
+        # drop numpy views into the buffer before closing the segment
+        self._out = self._in = None
+        try:
+            self._segment.close()
+            if self._owns:
+                self._segment.unlink()
+        except (OSError, BufferError, FileNotFoundError):
+            pass  # pragma: no cover — close is best-effort

@@ -1,0 +1,431 @@
+"""Real worker processes: child loops and the parent-side pool.
+
+A worker process rebuilds the spec's workload from its seed and serves
+gradient computations over a transport channel.  Two child loops:
+
+- **sequenced** (:func:`worker_main` with ``mode="sequenced"``) — the
+  coordinator drives the deterministic event schedule and sends
+  ``{"cmd": "compute", "step": k, "params": [...]}`` requests; the
+  worker *resynchronizes its loss stream by absolute position* (it
+  replays forward-only evaluations from its current position up to
+  ``k``) before loading the received parameters and running the real
+  forward/backward.  Position-based resync is what makes killed and
+  respawned workers self-healing: a fresh process skips straight to
+  the requested read and produces bit-identical gradients.
+- **free** (``mode="free"``) — the worker races the others for real:
+  pull current parameters, compute on its own stream, push the
+  gradient, repeat until the coordinator says stop.  Arrival order is
+  genuine OS scheduling — the nondeterminism the statistical oracle
+  quantifies.
+
+Both loops require *forward-pure* workloads: evaluating the loss
+closure must advance its data stream identically regardless of the
+current parameter values (true for every built-in workload; dropout
+or batch-norm running statistics would break the contract and are out
+of scope — see ``docs/mp_backend.md``).
+
+The parent-side :class:`WorkerProcess` / :class:`WorkerPool` own
+process lifecycle: spawn, graceful stop, hard SIGKILL (real crash
+injection), and respawn with fresh deterministically derived
+endpoints.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import traceback
+from typing import List, Optional, Tuple
+
+from repro.mp.endpoints import allocate_listener, allocate_shm
+from repro.mp.transport import (DEFAULT_RING_CAPACITY, DEFAULT_TIMEOUT,
+                                SharedMemoryTransport, SocketTransport,
+                                Transport, TransportClosed,
+                                shm_segment_size)
+
+#: Transport kinds the pool can set up.
+TRANSPORTS = ("shm", "socket")
+
+#: Seconds a graceful stop waits before escalating to SIGKILL.
+STOP_GRACE = 2.0
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context the pool runs on."""
+    import multiprocessing
+
+    return multiprocessing.get_context("fork")
+
+
+def mp_available() -> bool:
+    """Whether this platform can run the multi-process backend.
+
+    Requires the ``fork`` start method (cheap spawns that inherit the
+    built workload registry) and POSIX shared memory; both hold on
+    Linux/macOS CPython, neither on Windows' spawn-only runtime.
+    """
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover — py>=3.8 always has it
+        return False
+    return True
+
+
+def _connect_child(channel: tuple) -> Transport:
+    """Open the child end of a channel spec produced by the parent."""
+    kind = channel[0]
+    if kind == "socket":
+        import socket as socket_mod
+
+        _, host, port = channel
+        sock = socket_mod.create_connection((host, port),
+                                            timeout=DEFAULT_TIMEOUT)
+        return SocketTransport(sock)
+    if kind == "shm":
+        _, name, capacity = channel
+        return SharedMemoryTransport.attach(name, ring_capacity=capacity)
+    raise ValueError(f"unknown channel kind {kind!r}")
+
+
+def _install_params(model, arrays) -> None:
+    """Load received parameter values into the worker's local model."""
+    params = model.parameters()
+    if len(params) != len(arrays):
+        raise ValueError(
+            f"received {len(arrays)} parameter arrays for a model "
+            f"with {len(params)} parameters")
+    for param, arr in zip(params, arrays):
+        if tuple(param.data.shape) != tuple(arr.shape):
+            raise ValueError(
+                f"parameter shape mismatch: {param.data.shape} vs "
+                f"{arr.shape}")
+        param.data = arr
+
+
+def _compute(model, loss_fn) -> Tuple[float, list]:
+    """One real forward/backward, mirroring the simulator's read."""
+    model.zero_grad()
+    loss = loss_fn()
+    loss.backward()
+    return float(loss.data), [p.grad for p in model.parameters()]
+
+
+def _sequenced_loop(transport: Transport, model, loss_fn) -> None:
+    position = 0
+    while True:
+        message = transport.recv(timeout=None)
+        cmd = message["cmd"]
+        if cmd == "stop":
+            return
+        if cmd != "compute":
+            raise ValueError(f"unexpected command {cmd!r}")
+        step = int(message["step"])
+        if step < position:
+            raise ValueError(
+                f"loss stream cannot rewind: at {position}, "
+                f"asked for {step}")
+        # forward-only replay advances the data stream to `step`
+        while position < step:
+            loss_fn()
+            position += 1
+        _install_params(model, message["params"])
+        loss_value, grads = _compute(model, loss_fn)
+        position += 1
+        transport.send({"cmd": "result", "loss": loss_value,
+                        "grads": grads})
+
+
+def _free_loop(transport: Transport, model, loss_fn,
+               stream_offset: int = 0) -> None:
+    # stagger this worker's position in the shared iid batch stream so
+    # concurrent workers do not all draw the same batch at once
+    for _ in range(stream_offset):
+        loss_fn()
+    while True:
+        transport.send({"cmd": "pull"})
+        message = transport.recv(timeout=None)
+        if message["cmd"] == "stop":
+            return
+        _install_params(model, message["params"])
+        loss_value, grads = _compute(model, loss_fn)
+        transport.send({"cmd": "push", "loss": loss_value,
+                        "grads": grads})
+        ack = transport.recv(timeout=None)
+        if ack["cmd"] == "stop":
+            return
+
+
+def worker_main(channel: tuple, workload: str, workload_params: dict,
+                seed: int, mode: str = "sequenced",
+                stream_offset: int = 0) -> None:
+    """Entry point of a worker process.
+
+    Connects the child end of ``channel``, rebuilds ``(model,
+    loss_fn)`` from the named workload and seed, reports readiness,
+    then serves the requested loop until told to stop.  Any exception
+    is shipped back as an ``{"cmd": "error"}`` message before exit so
+    the coordinator fails with the child's traceback instead of a
+    timeout.  ``stream_offset`` staggers a free-mode worker's starting
+    position in the loss stream (ignored in sequenced mode, where the
+    coordinator's absolute step numbers place the stream exactly).
+    """
+    transport = _connect_child(channel)
+    try:
+        from repro.xp.workloads import build_workload
+
+        model, loss_fn = build_workload(workload, **workload_params)(seed)
+        transport.send({"cmd": "ready"})
+        if mode == "sequenced":
+            _sequenced_loop(transport, model, loss_fn)
+        elif mode == "free":
+            _free_loop(transport, model, loss_fn,
+                       stream_offset=stream_offset)
+        else:
+            raise ValueError(f"unknown worker mode {mode!r}")
+    except TransportClosed:  # parent went away: nothing to report to
+        pass
+    except Exception:
+        try:
+            transport.send({"cmd": "error",
+                            "error": traceback.format_exc()})
+        except Exception:  # pragma: no cover — peer already gone
+            pass
+    finally:
+        transport.close()
+
+
+class WorkerProcess:
+    """Parent-side handle of one real worker process.
+
+    Owns the channel endpoints and the OS process: spawn (fork),
+    request/response compute calls, graceful stop, hard kill (the real
+    crash the fault injector triggers), and respawn under a fresh
+    generation of deterministically derived endpoints.
+
+    Parameters
+    ----------
+    worker_id : int
+        The cluster worker index this process plays.
+    key : str
+        Stable channel-identity prefix (typically the spec hash).
+    workload, workload_params, seed:
+        The workload the child rebuilds.
+    transport : str
+        ``"shm"`` or ``"socket"``.
+    mode : str
+        ``"sequenced"`` or ``"free"`` child loop.
+    ring_capacity : int
+        Per-direction shm ring bytes (ignored for sockets).
+    stream_offset : int
+        Free-mode loss-stream stagger (see :func:`worker_main`).
+    """
+
+    def __init__(self, worker_id: int, key: str, workload: str,
+                 workload_params: dict, seed: int,
+                 transport: str = "shm", mode: str = "sequenced",
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 stream_offset: int = 0):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from "
+                f"{TRANSPORTS}")
+        self.worker_id = int(worker_id)
+        self.key = key
+        self.workload = workload
+        self.workload_params = dict(workload_params)
+        self.seed = int(seed)
+        self.transport_kind = transport
+        self.mode = mode
+        self.stream_offset = int(stream_offset)
+        self.ring_capacity = int(ring_capacity)
+        self.generation = 0
+        self.transport: Optional[Transport] = None
+        self._process = None
+        self.spawn()
+
+    # ------------------------------------------------------------- #
+    # lifecycle
+    # ------------------------------------------------------------- #
+    @property
+    def alive(self) -> bool:
+        """Whether the OS process is currently running."""
+        return self._process is not None and self._process.is_alive()
+
+    def _channel_key(self) -> str:
+        return f"{self.key}/w{self.worker_id}/g{self.generation}"
+
+    def spawn(self) -> None:
+        """Start a fresh child process on fresh endpoints."""
+        if self.alive:
+            raise RuntimeError(
+                f"worker {self.worker_id} already running")
+        ctx = _fork_context()
+        key = self._channel_key()
+        self.generation += 1
+        if self.transport_kind == "socket":
+            listener, port = allocate_listener(key)
+            channel = ("socket", "127.0.0.1", port)
+            self._process = ctx.Process(
+                target=worker_main,
+                args=(channel, self.workload, self.workload_params,
+                      self.seed, self.mode, self.stream_offset),
+                daemon=True)
+            self._process.start()
+            listener.settimeout(DEFAULT_TIMEOUT)
+            try:
+                conn, _ = listener.accept()
+            finally:
+                listener.close()
+            self.transport = SocketTransport(conn)
+        else:
+            segment = allocate_shm(
+                key, shm_segment_size(self.ring_capacity))
+            channel = ("shm", segment.name, self.ring_capacity)
+            self.transport = SharedMemoryTransport(
+                segment, role="parent",
+                ring_capacity=self.ring_capacity, owns_segment=True)
+            self._process = ctx.Process(
+                target=worker_main,
+                args=(channel, self.workload, self.workload_params,
+                      self.seed, self.mode, self.stream_offset),
+                daemon=True)
+            self._process.start()
+        ready = self.transport.recv()
+        if ready.get("cmd") == "error":
+            raise RuntimeError(
+                f"worker {self.worker_id} failed to start:\n"
+                f"{ready.get('error')}")
+        if ready.get("cmd") != "ready":
+            raise RuntimeError(
+                f"worker {self.worker_id} bad handshake: {ready!r}")
+
+    def kill(self) -> None:
+        """SIGKILL the process — a *real* crash, not an event."""
+        if self._process is not None and self._process.is_alive():
+            os.kill(self._process.pid, signal.SIGKILL)
+            self._process.join()
+        self._teardown()
+
+    def respawn(self) -> None:
+        """Restart after a crash (kills any survivor first)."""
+        self.kill()
+        self.spawn()
+
+    def stop(self, grace: float = STOP_GRACE) -> None:
+        """Graceful shutdown; escalates to SIGKILL after ``grace``."""
+        if self.transport is not None and self.alive:
+            try:
+                self.transport.send({"cmd": "stop"})
+            except (TransportClosed, ValueError):
+                pass
+        if self._process is not None:
+            self._process.join(timeout=grace)
+            if self._process.is_alive():
+                os.kill(self._process.pid, signal.SIGKILL)
+                self._process.join()
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+        self._process = None
+
+    # ------------------------------------------------------------- #
+    # sequenced-mode request/response
+    # ------------------------------------------------------------- #
+    def compute(self, step: int, params: list,
+                timeout: float = DEFAULT_TIMEOUT) -> Tuple[float, list]:
+        """Ship read ``step`` to the child; block for its gradient.
+
+        Returns
+        -------
+        (loss_value, grads) : tuple
+            Exactly what the simulator's in-process computation would
+            produce, bit for bit.
+        """
+        if self.transport is None:
+            raise RuntimeError(
+                f"worker {self.worker_id} has no live process")
+        self.transport.send({"cmd": "compute", "step": int(step),
+                             "params": params})
+        reply = self.transport.recv(timeout=timeout)
+        if reply.get("cmd") == "error":
+            raise RuntimeError(
+                f"worker {self.worker_id} failed:\n{reply.get('error')}")
+        return float(reply["loss"]), reply["grads"]
+
+
+class WorkerPool:
+    """One :class:`WorkerProcess` per simulated cluster worker.
+
+    The coordinator-facing surface the multi-process runtime drives:
+    ``compute`` routes a read to the right real process, ``kill`` /
+    ``respawn`` realize fault-injector decisions on actual PIDs, and
+    ``close`` tears every process down.  Usable as a context manager.
+    """
+
+    def __init__(self, workers: int, key: str, workload: str,
+                 workload_params: dict, seed, transport: str = "shm",
+                 mode: str = "sequenced",
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 stream_offsets=None):
+        seeds = (list(seed) if isinstance(seed, (list, tuple))
+                 else [int(seed)] * int(workers))
+        if len(seeds) != workers:
+            raise ValueError(
+                f"{len(seeds)} seeds for {workers} workers")
+        offsets = ([0] * int(workers) if stream_offsets is None
+                   else [int(o) for o in stream_offsets])
+        if len(offsets) != workers:
+            raise ValueError(
+                f"{len(offsets)} stream offsets for {workers} workers")
+        self.workers: List[WorkerProcess] = []
+        try:
+            for worker_id in range(int(workers)):
+                self.workers.append(WorkerProcess(
+                    worker_id, key, workload, workload_params,
+                    seeds[worker_id], transport=transport, mode=mode,
+                    ring_capacity=ring_capacity,
+                    stream_offset=offsets[worker_id]))
+        except Exception:
+            self.close()
+            raise
+
+    def compute(self, worker_id: int, step: int,
+                params: list) -> Tuple[float, list]:
+        """Sequenced-mode gradient computation on worker ``worker_id``."""
+        return self.workers[worker_id].compute(step, params)
+
+    def kill(self, worker_id: int) -> None:
+        """SIGKILL one worker process (real crash injection)."""
+        self.workers[worker_id].kill()
+
+    def respawn(self, worker_id: int) -> None:
+        """Bring a killed worker back as a fresh process."""
+        self.workers[worker_id].respawn()
+
+    def pids(self) -> List[Optional[int]]:
+        """Live PIDs by worker (``None`` for dead workers)."""
+        return [w._process.pid if w.alive else None
+                for w in self.workers]
+
+    def close(self) -> None:
+        """Stop every worker process and release all endpoints."""
+        for worker in self.workers:
+            try:
+                worker.stop()
+            except Exception:  # pragma: no cover — best-effort teardown
+                worker.kill()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -24,6 +24,9 @@ Built-ins (registered in the central typed registry under the
 - ``vec`` — replicate-level batching through the lockstep
   :class:`~repro.vec.engine.BatchedClusterEngine` (transparent serial
   fallback outside the lockstep class).
+- ``mp`` — real worker processes behind an IPC transport
+  (:mod:`repro.mp`); registered only where the platform supports it
+  and never auto-selected — callers opt in with ``backend="mp"``.
 
 The module also owns the *object-level* entry points
 :func:`build_cluster` / :func:`run_cluster`, the blessed replacements
@@ -274,12 +277,18 @@ class BackendCapabilities:
     subprocess : bool
         Executes in worker processes (components must be importable,
         not closures).
+    real_processes : bool
+        Gradients are computed by real OS processes over an IPC
+        transport (the ``mp`` backend).  Strictly opt-in: the
+        auto-selection policy never chooses a backend with this
+        capability, callers pin it explicitly.
     """
 
     matrix: bool = False
     batched_replicates: bool = False
     cluster_features: bool = False
     subprocess: bool = False
+    real_processes: bool = False
 
 
 class ExecutionBackend:
@@ -456,5 +465,21 @@ def backend_names() -> list:
     return registry.names("backend")
 
 
+def _mp_backend() -> ExecutionBackend:
+    """Lazy factory for the real multi-process backend."""
+    from repro.mp.backend import MPBackend
+
+    return MPBackend()
+
+
 for _cls in (SerialBackend, ClusterBackend, ParallelBackend, VecBackend):
     registry.register("backend", _cls.name, _cls)
+
+# the mp backend needs fork + POSIX shared memory; capability-gate the
+# registration so `backend="mp"` fails with a clear unknown-backend
+# error on platforms that cannot run it (imported directly from
+# repro.mp.worker — the package __init__ would import us right back)
+from repro.mp.worker import mp_available  # noqa: E402
+
+if mp_available():
+    registry.register("backend", "mp", _mp_backend)

@@ -27,6 +27,7 @@ MODULES = (
     "repro.xp",
     "repro.vec",
     "repro.cluster",
+    "repro.mp",
     "repro.sim",
     "repro.optim",
     "repro.core",

@@ -1,0 +1,181 @@
+"""Ordering invariants of the deterministic event core.
+
+Direct unit tests for :mod:`repro.cluster.events`, the priority queue
+everything else's determinism rests on:
+
+- events pop in ``(time, seq)`` order, so simultaneous events resolve
+  in scheduling order — the tie-break that makes runs replayable;
+- :meth:`EventQueue.reschedule` keeps the original sequence number, so
+  a deferred event still sorts ahead of anything scheduled after it at
+  the same time (deferral shifts time, never inverts delivery order);
+- ``state_dict`` / ``load_state_dict`` replay stably: a restored queue
+  pops the identical event sequence, keeps the sequence counter, and
+  deep-copies gradient payloads instead of aliasing them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.events import Event, EventQueue
+
+
+def drain(queue):
+    order = []
+    while queue:
+        ev = queue.pop()
+        order.append((ev.time, ev.seq, ev.kind, ev.worker))
+    return order
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, "arrival", 0)
+        q.schedule(1.0, "arrival", 1)
+        q.schedule(2.0, "crash", 2)
+        assert [e[0] for e in drain(q)] == [1.0, 2.0, 3.0]
+
+    def test_simultaneous_events_resolve_in_schedule_order(self):
+        q = EventQueue()
+        for worker in range(5):
+            q.schedule(7.0, "arrival", worker)
+        assert [e[3] for e in drain(q)] == [0, 1, 2, 3, 4]
+
+    def test_seq_is_monotone_across_kinds_and_times(self):
+        q = EventQueue()
+        seqs = [q.schedule(float(t), kind, 0).seq
+                for t, kind in ((5, "arrival"), (1, "crash"),
+                                (3, "restart"))]
+        assert seqs == [0, 1, 2]
+
+    def test_earlier_time_beats_earlier_seq(self):
+        q = EventQueue()
+        q.schedule(9.0, "arrival", 0)   # seq 0
+        q.schedule(2.0, "arrival", 1)   # seq 1
+        assert q.pop().worker == 1
+
+    def test_payload_never_participates_in_ordering(self):
+        # payloads are incomparable dicts: ordering must not touch them
+        q = EventQueue()
+        q.schedule(1.0, "arrival", 0, {"grads": [np.ones(3)]})
+        q.schedule(1.0, "arrival", 1, {"unorderable": object()})
+        assert [e[3] for e in drain(q)] == [0, 1]
+
+
+class TestReschedule:
+    def test_reschedule_keeps_seq(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, "arrival", 0, {"tag": "deferred"})
+        popped = q.pop()
+        moved = q.reschedule(popped, 4.0)
+        assert moved.seq == ev.seq == 0
+        assert moved.time == 4.0
+        assert moved.payload == {"tag": "deferred"}
+
+    def test_deferred_event_sorts_before_later_scheduled_ties(self):
+        q = EventQueue()
+        early = q.schedule(1.0, "arrival", 0)          # seq 0
+        q.schedule(5.0, "arrival", 1)                  # seq 1
+        q.reschedule(q.pop(), 5.0)                     # seq 0 at t=5
+        assert early.seq == 0
+        assert [e[3] for e in drain(q)] == [0, 1]
+
+    def test_reschedule_does_not_advance_the_counter(self):
+        q = EventQueue()
+        q.reschedule(q.schedule(1.0, "arrival", 0), 2.0)
+        assert q.schedule(3.0, "arrival", 1).seq == 1
+
+
+class TestInspection:
+    def test_peek_len_bool(self):
+        q = EventQueue()
+        assert q.peek() is None and len(q) == 0 and not q
+        q.schedule(2.0, "arrival", 0)
+        q.schedule(1.0, "crash", 1)
+        assert q.peek().kind == "crash"
+        assert len(q) == 2 and bool(q)
+        drain(q)
+        assert not q
+
+    def test_pending_workers_and_count_kind(self):
+        q = EventQueue()
+        q.schedule(1.0, "arrival", 0)
+        q.schedule(2.0, "crash", 0)
+        q.schedule(3.0, "restart", 2)
+        assert q.pending_workers() == {0, 2}
+        assert q.count_kind("crash") == 1
+        assert q.count_kind("arrival") == 1
+        assert q.count_kind("pause") == 0
+
+
+class TestStateDictReplay:
+    def populated(self):
+        q = EventQueue()
+        rng = np.random.default_rng(0)
+        for i in range(12):
+            q.schedule(float(rng.uniform(0, 5)), "arrival", i % 3,
+                       {"grads": [rng.normal(size=4)], "step": i})
+        q.schedule(2.5, "crash", 1)
+        q.schedule(2.5, "restart", 1)
+        return q
+
+    def test_restored_queue_replays_identically(self):
+        original = self.populated()
+        state = original.state_dict()
+        restored = EventQueue()
+        restored.load_state_dict(state)
+        a, b = drain(original), drain(restored)
+        assert a == b
+
+    def test_two_restores_from_one_state_are_stable(self):
+        state = self.populated().state_dict()
+        first, second = EventQueue(), EventQueue()
+        first.load_state_dict(state)
+        second.load_state_dict(state)
+        while first:
+            x, y = first.pop(), second.pop()
+            assert (x.time, x.seq, x.kind, x.worker) == \
+                (y.time, y.seq, y.kind, y.worker)
+            for gx, gy in zip(x.payload.get("grads", []),
+                              y.payload.get("grads", [])):
+                assert np.array_equal(gx, gy)
+        assert not second
+
+    def test_seq_counter_survives_restore(self):
+        original = self.populated()
+        n = len(original)
+        restored = EventQueue()
+        restored.load_state_dict(original.state_dict())
+        assert restored.schedule(9.0, "arrival", 0).seq == \
+            original.schedule(9.0, "arrival", 0).seq == n
+
+    def test_gradient_payloads_are_copied_not_aliased(self):
+        q = EventQueue()
+        grad = np.ones(4)
+        q.schedule(1.0, "arrival", 0, {"grads": [grad]})
+        state = q.state_dict()
+        grad[:] = -7.0  # mutate after checkpoint: state must not move
+        assert np.array_equal(state["entries"][0]["payload"]["grads"][0],
+                              np.ones(4))
+        restored = EventQueue()
+        restored.load_state_dict(state)
+        state["entries"][0]["payload"]["grads"][0][:] = 99.0
+        assert np.array_equal(restored.pop().payload["grads"][0],
+                              np.ones(4))
+
+    def test_state_entries_sorted_in_pop_order(self):
+        state = self.populated().state_dict()
+        keys = [(e["time"], e["seq"]) for e in state["entries"]]
+        assert keys == sorted(keys)
+
+
+def test_event_dataclass_orders_by_time_then_seq():
+    a = Event(time=1.0, seq=5, kind="arrival", worker=0)
+    b = Event(time=1.0, seq=6, kind="crash", worker=1)
+    c = Event(time=0.5, seq=9, kind="restart", worker=2)
+    assert sorted([b, a, c]) == [c, a, b]
+
+
+def test_pop_on_empty_queue_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()

@@ -1,0 +1,181 @@
+"""Differential oracle: the simulator judges the real mp backend.
+
+Two regimes, per the oracle contract (:mod:`repro.mp.oracle`):
+
+- **Sequenced scheduling → bit identity.**  With the simulator's event
+  schedule replayed on real worker processes, the record identity
+  (metrics and every series element) must equal the simulator's *bit
+  for bit* — across every fused optimizer, multiple shard counts, both
+  transports, and under real fault injection (SIGKILLed worker
+  processes respawned mid-run).
+- **Free-running scheduling → statistical equivalence.**  With
+  genuine OS-scheduled racing, trajectories are not reproducible; the
+  oracle instead requires the free-running final-loss distribution to
+  match the simulator's replicate distribution within combined 95%
+  confidence bands.
+
+The ``smoke``-named subset (plus the transport property tests) is the
+``make mp-smoke`` gate; the full sweep runs in tier-1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mp import (assert_bit_identical, differential_check,
+                      execute_scalar_mp, free_run, mp_available,
+                      statistical_check)
+from repro.run import run
+from repro.xp import ScenarioSpec
+
+pytestmark = pytest.mark.skipif(
+    not mp_available(), reason="no fork/shared-memory support")
+
+OPTIMIZER_PARAMS = {
+    "sgd": {"lr": 0.05},
+    "momentum_sgd": {"lr": 0.05, "momentum": 0.9, "fused": True},
+    "adam": {"lr": 0.01, "fused": True},
+    "adagrad": {"lr": 0.05, "fused": True},
+    "rmsprop": {"lr": 0.01, "fused": True},
+    "yellowfin": {"beta": 0.9, "window": 5, "fused": True},
+    "closed_loop_yellowfin": {"beta": 0.9, "window": 5, "fused": True},
+}
+
+
+def mp_spec(**overrides):
+    base = dict(
+        name="mp_diff", workload="toy_classifier",
+        workload_params={"samples": 64, "features": 4, "hidden": 8,
+                         "batch_size": 16},
+        optimizer="momentum_sgd",
+        optimizer_params={"lr": 0.05, "momentum": 0.9, "fused": True},
+        delay={"kind": "constant", "delay": 1.0},
+        workers=3, num_shards=2, reads=24, seed=7, smooth=5)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# ----------------------------------------------------------------- #
+# bit identity under sequenced scheduling
+# ----------------------------------------------------------------- #
+class TestBitIdentity:
+    @pytest.mark.parametrize("optimizer", sorted(OPTIMIZER_PARAMS))
+    def test_every_fused_optimizer(self, optimizer):
+        assert_bit_identical(mp_spec(
+            optimizer=optimizer,
+            optimizer_params=OPTIMIZER_PARAMS[optimizer]))
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3])
+    def test_shard_counts(self, num_shards):
+        assert_bit_identical(mp_spec(num_shards=num_shards))
+
+    def test_socket_transport(self):
+        assert_bit_identical(mp_spec(), transport="socket")
+
+    def test_stochastic_delays_and_random_delivery(self):
+        assert_bit_identical(mp_spec(
+            delay={"kind": "pareto", "alpha": 1.5, "scale": 0.5,
+                   "seed": 3},
+            delivery="random", queue_staleness=2))
+
+    def test_quadratic_bowl_workload(self):
+        assert_bit_identical(mp_spec(
+            workload="quadratic_bowl",
+            workload_params={"dim": 16, "noise_horizon": 32}))
+
+    def test_differential_check_reports_first_difference(self):
+        spec = mp_spec()
+        report = differential_check(spec)
+        assert report["match"] is True
+        assert report["difference"] is None
+        assert report["sim"]["metrics"] == report["mp"]["metrics"]
+
+    def test_env_records_transport_but_identity_ignores_it(self):
+        result = execute_scalar_mp(mp_spec(), transport="shm")
+        assert result.env["mp_transport"] == "shm"
+        assert result.env["mp_workers"] == 3
+        assert "mp_transport" not in result.identity().get("env", {})
+
+
+class TestBitIdentityUnderRealFaults:
+    def test_scheduled_crash_kills_and_respawns_real_process(self):
+        # the crash SIGKILLs a real PID; the respawned process must
+        # resynchronize its loss stream and keep the trajectory
+        # bit-identical to the simulated crash
+        assert_bit_identical(mp_spec(
+            reads=30,
+            faults={"seed": 5, "scheduled": [
+                {"kind": "crash", "worker": 1, "time": 4.0,
+                 "downtime": 3.0}]}))
+
+    def test_probabilistic_faults(self):
+        assert_bit_identical(mp_spec(
+            reads=30,
+            faults={"seed": 11, "crash_prob": 0.08,
+                    "crash_downtime": 2.0, "straggler_prob": 0.1,
+                    "straggler_factor": 4.0}))
+
+
+# ----------------------------------------------------------------- #
+# smoke subset: `make mp-smoke` runs -k smoke
+# ----------------------------------------------------------------- #
+class TestSmoke:
+    def test_smoke_bit_identity(self):
+        for optimizer in ("momentum_sgd", "closed_loop_yellowfin"):
+            for num_shards in (1, 2):
+                assert_bit_identical(mp_spec(
+                    optimizer=optimizer,
+                    optimizer_params=OPTIMIZER_PARAMS[optimizer],
+                    num_shards=num_shards))
+
+    def test_smoke_free_running_produces_genuine_schedule(self):
+        out = free_run(mp_spec(
+            optimizer="sgd", optimizer_params={"lr": 0.05},
+            reads=60, smooth=10), timeout=60.0)
+        assert out["reads"] == 60
+        assert out["updates"] == 60
+        assert sum(out["worker_commits"]) == 60
+        assert out["reads_per_sec"] > 0
+        assert np.isfinite(out["final_loss"])
+        assert out["mean_staleness"] >= 0.0
+
+
+# ----------------------------------------------------------------- #
+# statistical equivalence under free running
+# ----------------------------------------------------------------- #
+class TestStatisticalEquivalence:
+    def test_free_running_matches_simulator_ci95(self):
+        spec = ScenarioSpec(
+            name="mp_stat", workload="toy_classifier",
+            workload_params={"samples": 128, "features": 8,
+                             "hidden": 16},
+            optimizer="sgd", optimizer_params={"lr": 0.05},
+            workers=3, reads=300, smooth=50, seed=9)
+        out = statistical_check(spec, replicates=6)
+        assert out["match"] is True, out
+        # the bands themselves must be meaningful, not degenerate
+        assert 0.0 < out["sim_ci95"] < abs(out["sim_mean"])
+        assert 0.0 < out["mp_ci95"] < abs(out["mp_mean"])
+        assert len(out["values"]) == 6
+
+
+# ----------------------------------------------------------------- #
+# backend plumbing: mp as a fifth repro.run backend
+# ----------------------------------------------------------------- #
+class TestMPBackendRegistration:
+    def test_mp_identity_matches_serial_via_run(self):
+        spec = mp_spec()
+        mp_outcome = run(spec, backend="mp")
+        serial = run(spec, backend="serial")
+        assert mp_outcome.backend == "mp"
+        assert mp_outcome.result.identity() == serial.result.identity()
+
+    def test_auto_selection_never_picks_mp(self):
+        outcome = run(mp_spec(), backend="auto")
+        assert outcome.backend != "mp"
+
+    def test_replicated_spec_aggregates_like_serial(self):
+        spec = mp_spec(replicates=3, reads=16)
+        mp_outcome = run(spec, backend="mp")
+        serial = run(spec, backend="serial")
+        assert mp_outcome.result.identity() == serial.result.identity()
+        assert len(mp_outcome.result.replicate_metrics) == 3

@@ -1,0 +1,157 @@
+"""Fault fuzz on the real multi-process runtime: actual kills, same bits.
+
+The multi-process twin of ``tests/test_cluster_fault_fuzz.py``: seeded
+random fault schedules drive :class:`repro.mp.MPClusterRuntime`, where
+a crash SIGKILLs a real worker PID and a restart forks a replacement
+that must resynchronize its loss stream by absolute position.
+Invariants under fuzz:
+
+- the run always terminates with budgets respected and exact read
+  accounting (committed + in-flight + crash-lost reads add up);
+- the trajectory stays bit-identical to the pure simulator's on the
+  same spec — real kills included;
+- a mid-run checkpoint restores into a *fresh* runtime (fresh worker
+  processes at stream position zero) and continues bit-for-bit to the
+  uninterrupted run's final state.
+
+Real processes make each trial pricier than the simulated fuzz, so the
+trial count is smaller; the schedules still mix scheduled and
+probabilistic crash/straggler/pause faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.checkpoint import checkpoint_cluster, restore_cluster
+from repro.mp import build_mp_runtime, mp_available
+from repro.run import run
+from repro.xp import ScenarioSpec
+
+pytestmark = pytest.mark.skipif(
+    not mp_available(), reason="no fork/shared-memory support")
+
+TRIALS = 4
+
+
+def random_faults(rng, workers):
+    """A random fault spec mixing scripted events and rates."""
+    scheduled = []
+    for _ in range(int(rng.integers(0, 3))):
+        kind = str(rng.choice(["crash", "straggler", "pause"]))
+        t = float(rng.uniform(0.0, 15.0))
+        if kind == "crash":
+            scheduled.append({"kind": "crash",
+                              "worker": int(rng.integers(workers)),
+                              "time": t,
+                              "downtime": float(rng.uniform(0.5, 5.0))})
+        elif kind == "straggler":
+            scheduled.append({"kind": "straggler",
+                              "worker": int(rng.integers(workers)),
+                              "start": t,
+                              "duration": float(rng.uniform(0.5, 6.0)),
+                              "factor": float(rng.uniform(2.0, 8.0))})
+        else:
+            scheduled.append({"kind": "pause", "start": t,
+                              "duration": float(rng.uniform(0.5, 4.0)),
+                              "shard": int(rng.integers(2))})
+    return {
+        "crash_prob": float(rng.choice([0.0, 0.04, 0.1])),
+        "crash_downtime": float(rng.uniform(0.5, 3.0)),
+        "straggler_prob": float(rng.choice([0.0, 0.08])),
+        "straggler_factor": float(rng.uniform(2.0, 6.0)),
+        "pause_prob": float(rng.choice([0.0, 0.03])),
+        "pause_duration": float(rng.uniform(0.5, 2.0)),
+        "scheduled": scheduled,
+        "seed": int(rng.integers(2 ** 31)),
+    }
+
+
+def fuzz_spec(trial, rng):
+    workers = int(rng.integers(2, 4))
+    delay = str(rng.choice(["constant", "uniform", "pareto"]))
+    if delay == "uniform":
+        delay_spec = {"kind": "uniform", "low": 0.5, "high": 1.5,
+                      "seed": trial}
+    elif delay == "pareto":
+        delay_spec = {"kind": "pareto", "alpha": 1.5, "scale": 0.5,
+                      "seed": trial}
+    else:
+        delay_spec = {"kind": "constant", "delay": 1.0}
+    return ScenarioSpec(
+        name=f"mp_fuzz_{trial}", workload="toy_classifier",
+        workload_params={"samples": 48, "features": 4, "hidden": 6,
+                         "batch_size": 12},
+        optimizer="momentum_sgd",
+        optimizer_params={"lr": 0.05, "momentum": 0.9,
+                          "fused": bool(rng.integers(0, 2))},
+        delay=delay_spec, workers=workers,
+        num_shards=int(rng.integers(1, 4)),
+        queue_staleness=int(rng.integers(0, 3)),
+        delivery=str(rng.choice(["fifo", "random"])),
+        faults=random_faults(rng, workers),
+        reads=int(rng.integers(18, 32)), seed=trial, smooth=5)
+
+
+def flat_params(runtime):
+    return np.concatenate([p.data.reshape(-1)
+                           for p in runtime.optimizer.params])
+
+
+@pytest.mark.parametrize("trial", range(TRIALS))
+def test_fuzzed_real_faults_terminate_with_exact_accounting(trial):
+    rng = np.random.default_rng(4200 + trial)
+    spec = fuzz_spec(trial, rng)
+    reads = spec.reads
+    with build_mp_runtime(spec) as runtime:
+        log = runtime.run(reads=reads)
+
+        # budgets respected, and the loop genuinely ended
+        assert runtime.reads_done <= reads
+        assert log.series("loss").size == runtime.reads_done
+        # exact read accounting, with real processes behind it: every
+        # read either committed, is in flight, or died with its worker
+        stats = runtime.worker_stats()
+        assert sum(w["reads"] for w in stats) == runtime.reads_done
+        crashes_fired = sum(w["crashes"] for w in stats)
+        crashes_queued = runtime.events.count_kind("crash")
+        assert runtime.reads_done == runtime.updates_done \
+            + runtime.in_flight + crashes_fired + crashes_queued
+        # every worker that is up again has a live OS process; every
+        # worker currently down has none
+        pids = runtime.pool.pids()
+        for worker, pid in zip(runtime.workers, pids):
+            if worker.alive:
+                assert pid is not None
+            else:
+                assert pid is None
+
+    # the realized trajectory equals the simulator's, bit for bit
+    assert run(spec, backend="mp").result.identity() == \
+        run(spec, backend="serial").result.identity()
+
+
+@pytest.mark.parametrize("trial", range(TRIALS))
+def test_fuzzed_mid_run_checkpoint_restores_bit_for_bit(trial):
+    rng = np.random.default_rng(8600 + trial)
+    spec = fuzz_spec(trial, rng)
+    total = spec.reads
+    cut = int(rng.integers(5, total - 5))
+
+    with build_mp_runtime(spec) as reference:
+        ref_log = reference.run(reads=total)
+        ref_params = flat_params(reference)
+        ref_counts = (reference.reads_done, reference.updates_done)
+
+    with build_mp_runtime(spec) as first:
+        first.run(reads=cut)
+        state = checkpoint_cluster(first)
+
+    # fresh runtime, fresh worker processes at loss-stream position
+    # zero: position-based resync must carry the restored run to the
+    # exact same final state
+    with build_mp_runtime(spec) as resumed:
+        restore_cluster(resumed, state)
+        resumed_log = resumed.run(reads=total)
+        assert (resumed.reads_done, resumed.updates_done) == ref_counts
+        assert resumed_log.state_dict() == ref_log.state_dict()
+        assert np.array_equal(flat_params(resumed), ref_params)

@@ -1,0 +1,287 @@
+"""Property tests for the multi-process transport stack.
+
+Three layers, each with seeded-random coverage:
+
+- the **codec** (:mod:`repro.mp.codec`): random message trees with
+  every supported dtype, random shapes (0-d and empty included),
+  non-finite floats, and both memory orders must round-trip bit for
+  bit — *including* the C/Fortran layout, because downstream NumPy
+  reductions traverse memory order and an ulp of drift breaks the mp
+  backend's bit-identity oracle;
+- the **transports** (:mod:`repro.mp.transport`): the same random
+  trees shipped through a real TCP socket pair and through the
+  shared-memory ring pair, with enough traffic to force ring
+  wraparound;
+- the **endpoints** (:mod:`repro.mp.endpoints`): derivations are
+  deterministic per (key, pid, attempt), distinct across processes,
+  and a squatted port / stale segment costs one retry, not a failure.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.mp.codec import decode_message, encode_message
+from repro.mp.endpoints import (allocate_listener, allocate_shm,
+                                derive_port, derive_shm_name)
+from repro.mp.transport import (SharedMemoryTransport, SocketTransport,
+                                TransportTimeout, shm_segment_size)
+
+DTYPES = ("float64", "float32", "float16", "int64", "int32", "int16",
+          "uint8", "bool")
+
+TRIALS = 20
+
+
+def random_array(rng):
+    """One random ndarray: any dtype, any small shape, any layout."""
+    dtype = np.dtype(str(rng.choice(DTYPES)))
+    ndim = int(rng.integers(0, 4))
+    shape = tuple(int(rng.integers(0, 5)) for _ in range(ndim))
+    if dtype.kind == "f":
+        arr = rng.normal(size=shape).astype(dtype)
+        # sprinkle non-finite values: they must survive bit-exactly
+        if arr.size and rng.random() < 0.5:
+            flat = arr.reshape(-1)
+            for value in (np.nan, np.inf, -np.inf):
+                flat[int(rng.integers(flat.size))] = value
+    elif dtype.kind == "b":
+        arr = rng.integers(0, 2, size=shape).astype(dtype)
+    else:
+        info = np.iinfo(dtype)
+        arr = rng.integers(info.min, int(info.max) + 1,
+                           size=shape, dtype=dtype)
+    if arr.ndim > 1 and rng.random() < 0.5:
+        arr = np.asfortranarray(arr)
+    return arr
+
+
+def random_tree(rng, depth=0):
+    """A random message tree of dicts / lists / tuples with array leaves."""
+    roll = rng.random()
+    if depth >= 3 or roll < 0.45:
+        # NumPy scalar leaves are excluded: the tagged state codec
+        # canonicalizes them to Python scalars, as checkpoints do
+        leaves = [None, True, 3, -1.5, float("nan"), "text"]
+        if roll < 0.30:
+            return random_array(rng)
+        return leaves[int(rng.integers(len(leaves)))]
+    children = [random_tree(rng, depth + 1)
+                for _ in range(int(rng.integers(1, 4)))]
+    if roll < 0.65:
+        return {f"k{i}": child for i, child in enumerate(children)}
+    if roll < 0.85:
+        return children
+    return tuple(children)
+
+
+def assert_trees_equal(a, b):
+    """Bit-exact structural equality (NaN == NaN, layouts preserved)."""
+    assert type(a) is type(b), (type(a), type(b))
+    if isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype
+        assert a.shape == b.shape
+        # tobytes() reads in logical (C) order: bit-exact values,
+        # NaN payloads included, independent of memory layout ...
+        assert a.tobytes() == b.tobytes()
+        # ... and the memory layout itself must round-trip too
+        assert a.flags.c_contiguous == b.flags.c_contiguous
+        assert a.flags.f_contiguous == b.flags.f_contiguous
+    elif isinstance(a, dict):
+        assert set(a) == set(b)
+        for key in a:
+            assert_trees_equal(a[key], b[key])
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for left, right in zip(a, b):
+            assert_trees_equal(left, right)
+    elif isinstance(a, float) and np.isnan(a):
+        assert np.isnan(b)
+    else:
+        assert a == b
+
+
+# ----------------------------------------------------------------- #
+# codec round-trips
+# ----------------------------------------------------------------- #
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("trial", range(TRIALS))
+    def test_random_trees_bit_exact(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        tree = {"payload": random_tree(rng), "trial": trial}
+        assert_trees_equal(tree, decode_message(encode_message(tree)))
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_every_dtype_round_trips(self, dtype):
+        data = np.arange(12).astype(dtype).reshape(3, 4)
+        out = decode_message(encode_message({"a": data}))["a"]
+        assert out.dtype == data.dtype
+        assert out.tobytes() == data.tobytes()
+
+    def test_fortran_order_preserved(self):
+        # the load-bearing property: np.sum's pairwise summation
+        # traverses memory order, so a gradient that leaves F-ordered
+        # must arrive F-ordered or downstream sums drift by an ulp
+        arr = np.asfortranarray(
+            np.random.default_rng(3).normal(size=(8, 4)))
+        out = decode_message(encode_message(arr))
+        assert out.flags.f_contiguous and not out.flags.c_contiguous
+        assert np.array_equal(out, arr)
+        assert float(np.sum(out * out)) == float(np.sum(arr * arr))
+
+    def test_non_finite_floats_bit_exact(self):
+        arr = np.array([np.nan, np.inf, -np.inf, -0.0, 5e-324])
+        out = decode_message(encode_message([arr]))[0]
+        assert out.tobytes() == arr.tobytes()
+
+    def test_empty_and_scalar_arrays(self):
+        for arr in (np.array(3.5), np.zeros((0, 4)), np.zeros(0)):
+            out = decode_message(encode_message((arr,)))[0]
+            assert out.shape == arr.shape
+            assert out.tobytes() == arr.tobytes()
+
+    def test_decoded_arrays_are_writable_copies(self):
+        arr = np.ones(4)
+        out = decode_message(encode_message(arr))
+        out[0] = 7.0  # must not raise: fresh writable memory
+        assert arr[0] == 1.0
+
+    def test_malformed_frames_rejected(self):
+        frame = encode_message({"a": np.ones(3)})
+        with pytest.raises(ValueError, match="magic"):
+            decode_message(b"XXXX" + frame[4:])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_message(frame[:-8])
+
+    def test_buffer_tag_key_collision_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            encode_message({"__buf__": 1})
+
+
+# ----------------------------------------------------------------- #
+# transport round-trips (both kinds, in-process endpoint pairs)
+# ----------------------------------------------------------------- #
+def socket_pair(key):
+    listener, port = allocate_listener(key)
+    client = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    server, _ = listener.accept()
+    listener.close()
+    return SocketTransport(server), SocketTransport(client)
+
+
+def shm_pair(key, capacity=1 << 14):
+    segment = allocate_shm(key, shm_segment_size(capacity))
+    parent = SharedMemoryTransport(segment, role="parent",
+                                   ring_capacity=capacity,
+                                   owns_segment=True)
+    child = SharedMemoryTransport.attach(segment.name,
+                                         ring_capacity=capacity)
+    return parent, child
+
+
+@pytest.fixture(params=["socket", "shm"])
+def transport_pair(request):
+    key = f"test_mp_transport/{request.node.name}"
+    if request.param == "socket":
+        a, b = socket_pair(key)
+    else:
+        a, b = shm_pair(key)
+    yield a, b
+    b.close()
+    a.close()
+
+
+class TestTransportRoundTrip:
+    def test_random_trees_both_directions(self, transport_pair):
+        a, b = transport_pair
+        rng = np.random.default_rng(42)
+        for trial in range(10):
+            tree = {"t": trial, "body": random_tree(rng)}
+            a.send(tree)
+            assert_trees_equal(tree, b.recv(timeout=5.0))
+            b.send(tree)
+            assert_trees_equal(tree, a.recv(timeout=5.0))
+
+    def test_queued_messages_keep_fifo_order(self, transport_pair):
+        a, b = transport_pair
+        for i in range(20):
+            a.send({"seq": i})
+        for i in range(20):
+            assert b.recv(timeout=5.0)["seq"] == i
+
+    def test_try_recv_is_non_blocking(self, transport_pair):
+        a, b = transport_pair
+        assert b.try_recv() is None
+        a.send({"x": 1})
+        message = None
+        for _ in range(10000):
+            message = b.try_recv()
+            if message is not None:
+                break
+        assert message == {"x": 1}
+
+    def test_recv_timeout_raises(self, transport_pair):
+        _, b = transport_pair
+        with pytest.raises(TransportTimeout):
+            b.recv(timeout=0.05)
+
+
+def test_shm_ring_wraparound():
+    # cumulative traffic far beyond the ring capacity forces the
+    # copy-in/copy-out wraparound paths on both rings
+    parent, child = shm_pair("test_mp_transport/wrap", capacity=1 << 12)
+    try:
+        payload = np.arange(64, dtype=np.float64)  # ~512B per frame
+        for i in range(64):
+            parent.send({"i": i, "data": payload + i})
+            out = child.recv(timeout=5.0)
+            assert out["i"] == i
+            assert np.array_equal(out["data"], payload + i)
+    finally:
+        child.close()
+        parent.close()
+
+
+# ----------------------------------------------------------------- #
+# endpoint derivation
+# ----------------------------------------------------------------- #
+class TestEndpoints:
+    def test_derivations_deterministic(self):
+        assert derive_port("k", 0, pid=123) == derive_port("k", 0, pid=123)
+        assert derive_shm_name("k", 1, pid=9) == \
+            derive_shm_name("k", 1, pid=9)
+
+    def test_distinct_across_pids_attempts_and_keys(self):
+        ports = {derive_port("k", attempt, pid=pid)
+                 for attempt in range(4) for pid in (1, 2, 3)}
+        assert len(ports) == 12
+        assert derive_port("k1", 0, pid=5) != derive_port("k2", 0, pid=5)
+        names = {derive_shm_name("k", attempt, pid=pid)
+                 for attempt in range(4) for pid in (1, 2)}
+        assert len(names) == 8
+
+    def test_listener_retries_past_occupied_port(self):
+        key = "test_mp_transport/occupied"
+        squatter, port0 = allocate_listener(key)
+        try:
+            assert port0 == derive_port(key, 0)
+            retried, port1 = allocate_listener(key)
+            retried.close()
+            assert port1 == derive_port(key, 1)
+            assert port1 != port0
+        finally:
+            squatter.close()
+
+    def test_shm_retries_past_existing_segment(self):
+        key = "test_mp_transport/stale"
+        stale = allocate_shm(key, 64)
+        try:
+            assert stale.name == derive_shm_name(key, 0)
+            fresh = allocate_shm(key, 64)
+            assert fresh.name == derive_shm_name(key, 1)
+            fresh.close()
+            fresh.unlink()
+        finally:
+            stale.close()
+            stale.unlink()

@@ -163,7 +163,7 @@ class TestGlobalRegistry:
         "vec_optimizer": {"sgd", "momentum_sgd", "adam", "yellowfin",
                           "closed_loop_yellowfin"},
         "vec_workload": {"quadratic_bowl"},
-        "backend": {"serial", "cluster", "parallel", "vec"},
+        "backend": {"serial", "cluster", "parallel", "vec", "mp"},
     }
 
     @pytest.mark.parametrize("kind", sorted(BUILTIN_KINDS))

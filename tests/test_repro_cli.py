@@ -65,7 +65,7 @@ class TestBench:
                                                 tmp_path, capsys):
         out_file = tmp_path / "bench.json"
         code = main(["bench", str(matrix_file),
-                     "--backends", "serial,cluster,parallel,vec",
+                     "--backends", "serial,cluster,parallel,vec,mp",
                      "--check", "--out", str(out_file)])
         assert code == 0
         out = capsys.readouterr().out
@@ -73,7 +73,7 @@ class TestBench:
         payload = json.loads(out_file.read_text())
         assert payload["identical"] is True
         assert set(payload["backends"]) == {"serial", "cluster",
-                                            "parallel", "vec"}
+                                            "parallel", "vec", "mp"}
 
     def test_bench_check_fails_on_divergent_backend(self, matrix_file,
                                                     capsys):

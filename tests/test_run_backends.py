@@ -3,9 +3,10 @@
 The defining contract of :mod:`repro.run`: the deterministic identity
 of a scenario's record — name, spec hash, metrics, series — is a
 function of the spec alone, not of the execution backend.  One tiny
-lockstep spec runs through all four built-in backends (``serial``,
-``cluster``, ``parallel``, and ``vec`` with ``replicates=1`` through
-the batched engine) and the identities must agree exactly; matrices
+lockstep spec runs through all built-in backends (``serial``,
+``cluster``, ``parallel``, ``vec`` with ``replicates=1`` through the
+batched engine, and — where the platform supports it — ``mp`` on real
+worker processes) and the identities must agree exactly; matrices
 and replicated/non-lockstep specs get the same treatment on the
 backends where the execution strategy genuinely differs.  Also pins
 the committed ``BENCH_cluster_scenarios.json`` values through the new
@@ -17,11 +18,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.mp import mp_available
 from repro.run import run
 from repro.xp import Matrix, ScenarioSpec
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BACKENDS = ("serial", "cluster", "parallel", "vec")
+BACKENDS = ("serial", "cluster", "parallel", "vec") + (
+    ("mp",) if mp_available() else ())
 
 
 def lockstep_spec(**overrides):
