@@ -4,8 +4,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
-	matrix-smoke vec-smoke api-smoke mp-smoke perf-gate example \
-	cluster-example matrix-example
+	matrix-smoke vec-smoke api-smoke mp-smoke obs-smoke perf-gate \
+	example cluster-example matrix-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -53,25 +53,32 @@ mp-smoke:  ## real multi-process backend: transport properties + differential or
 	PYTHONPATH=src timeout 60 python -m pytest \
 	    tests/test_mp_differential.py -k smoke -q
 
+obs-smoke:  ## repro.obs gate: tracing on/off bit-identity on every backend + Chrome-trace validator round-trip, <60s
+	$(PYTEST) tests/test_obs_differential.py tests/test_obs_trace.py \
+	    tests/test_obs_tracer.py tests/test_obs_metrics.py \
+	    tests/test_sim_metrics.py -q
+
 vec-smoke:  ## batched replicate engine: differential + property suites, 8-replicate speedup gate, <60s
 	$(PYTEST) tests/test_vec_equivalence.py \
 	    tests/test_property_serialization.py -q
 	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
 	    benchmarks/test_vec_replicates.py -q -s
 
-perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
+perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines; reports land in artifacts/
 	@fresh=$$(mktemp -d); status=0; \
+	mkdir -p artifacts; \
 	REPRO_BENCH_DIR=$$fresh $(PYTEST) benchmarks/test_cluster_scenarios.py \
 	    "benchmarks/test_fig01_headline.py::test_fig01_fused_speedup" \
 	    benchmarks/test_vec_replicates.py \
 	    benchmarks/test_mp_throughput.py \
+	    benchmarks/test_obs_overhead.py \
 	    -q -s && \
 	PYTHONPATH=src python -m repro diff --baseline . --fresh $$fresh \
-	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput \
-	    --report perf_report.json \
+	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput,obs_overhead \
+	    --report artifacts/perf_report.json \
 	    || status=$$?; \
-	cp $$fresh/BENCH_vec_replicates.json replicate_statistics.json \
-	    2>/dev/null || true; \
+	cp $$fresh/BENCH_vec_replicates.json \
+	    artifacts/replicate_statistics.json 2>/dev/null || true; \
 	rm -rf $$fresh; exit $$status
 
 example:  ## sharded + fused async-training tour

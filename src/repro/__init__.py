@@ -34,15 +34,18 @@ Package layout
 - ``repro.xp`` — declarative scenario specs/matrices, process pools,
   the content-addressed result cache, baseline gating.
 - ``repro.vec`` — batched multi-replicate execution engine.
+- ``repro.mp`` — real multi-process parameter server (opt-in backend).
+- ``repro.obs`` — scoped tracing, metrics, and profiling across all
+  backends (``run(..., obs=True)``, ``python -m repro trace``).
 - ``repro.tuning`` — grid search and multi-seed experiment harness.
 - ``repro.bench`` — timers and ``BENCH_*.json`` perf records.
 
-Command line: ``python -m repro run|list|diff|bench`` (installed as the
-``repro`` console script).
+Command line: ``python -m repro run|list|diff|bench|trace`` (installed
+as the ``repro`` console script).
 """
 
 from repro import analysis, autograd, bench, cluster, core, data, models, \
-    nn, optim, registry, sim, tuning, utils
+    nn, obs, optim, registry, sim, tuning, utils
 from repro import run, xp, vec  # noqa: E402 — after the substrate
 from repro.core import ClosedLoopYellowFin, YellowFin
 from repro.optim import Adam, AdaGrad, MomentumSGD, RMSProp, SGD
@@ -51,7 +54,7 @@ __version__ = "1.2.0"
 
 __all__ = [
     "analysis", "autograd", "bench", "cluster", "core", "data", "models",
-    "nn", "optim", "registry", "run", "sim", "tuning", "utils",
+    "nn", "obs", "optim", "registry", "run", "sim", "tuning", "utils",
     "vec", "xp",
     "YellowFin", "ClosedLoopYellowFin",
     "SGD", "MomentumSGD", "Adam", "AdaGrad", "RMSProp",

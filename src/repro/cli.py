@@ -1,6 +1,6 @@
 """``python -m repro`` — the top-level command-line interface.
 
-Four subcommands over the unified execution API:
+Five subcommands over the unified execution API:
 
 - ``run <scenarios.json>`` — expand and execute a scenario file
   through :func:`repro.run.run` (backend auto-selected or pinned with
@@ -17,6 +17,11 @@ Four subcommands over the unified execution API:
   through several backends, report per-backend wall time, and (with
   ``--check``) verify the deterministic records are bit-identical
   across backends — the ``make api-smoke`` gate.
+- ``trace <scenarios.json>`` — execute under a full
+  :mod:`repro.obs` session, export the Chrome ``trace_event`` JSON
+  (Perfetto-loadable, ``--out``) and optionally the raw JSONL
+  (``--jsonl``), and print the ``repro top``-style profiler table
+  plus the metrics snapshot.
 
 The same entry point is installed as the ``repro`` console script;
 ``python -m repro.xp`` remains as a deprecated alias for the first
@@ -107,6 +112,26 @@ def build_parser(prog: str = "python -m repro") -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="FILE",
                        help="write the per-backend timing/identity "
                             "report as JSON")
+
+    trace = sub.add_parser(
+        "trace", help="run scenarios under a full observability "
+                      "session and export the Chrome trace")
+    trace.add_argument("scenarios",
+                       help="matrix or scenario-list JSON file")
+    trace.add_argument("--backend", default="auto",
+                       help="execution backend (default: auto)")
+    trace.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for fan-out backends")
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="Chrome trace_event JSON, loadable in "
+                            "Perfetto / chrome://tracing "
+                            "(default: trace.json)")
+    trace.add_argument("--jsonl", default=None, metavar="FILE",
+                       help="also write the raw span/instant records "
+                            "as JSON Lines")
+    trace.add_argument("--top", type=int, default=10,
+                       help="profiler rows in the hot-spot table "
+                            "(default: 10)")
     return parser
 
 
@@ -220,8 +245,48 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import (MetricsRegistry, ObsSession, Profiler, Tracer,
+                           validate_chrome_trace)
+    from repro.run import run
+
+    specs = load_scenarios(args.scenarios)
+    session = ObsSession(tracer=Tracer(), metrics=MetricsRegistry(),
+                         profiler=Profiler())
+    outcome = run(specs, backend=args.backend, jobs=args.jobs,
+                  cache=None, obs=session)
+    for result in outcome.results:
+        final = result.metrics.get("final_loss", float("nan"))
+        print(f"{result.name}  {result.spec_hash[:12]}  "
+              f"final_loss={final:.4f}  wall={result.wall_s:.3f}s")
+    print(f"backend: {outcome.backend} ({outcome.reason})")
+
+    tracer = session.tracer
+    summary = tracer.summary()
+    cats = ", ".join(f"{cat}:{n}"
+                     for cat, n in sorted(summary["by_category"].items()))
+    print(f"\ntrace: {summary['spans']} spans, "
+          f"{summary['instants']} instants ({cats})")
+    tracer.to_chrome_trace(args.out)
+    validate_chrome_trace(args.out)
+    print(f"wrote {args.out} (Chrome trace_event; open in Perfetto)")
+    if args.jsonl:
+        tracer.to_jsonl(args.jsonl)
+        print(f"wrote {args.jsonl} ({len(tracer)} records)")
+
+    print("\nhot spots:")
+    print(session.profiler.render_top(args.top))
+    snapshot = session.metrics.snapshot()
+    counters = snapshot["counters"]
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    return 0
+
+
 COMMANDS = {"run": _cmd_run, "list": _cmd_list, "diff": _cmd_diff,
-            "bench": _cmd_bench}
+            "bench": _cmd_bench, "trace": _cmd_trace}
 
 
 def main(argv: Optional[List[str]] = None,

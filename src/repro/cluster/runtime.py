@@ -44,6 +44,7 @@ from repro.sim.trainer import TrainerHooks
 from repro.cluster.delays import DelaySpec, make_delay_model
 from repro.cluster.events import Event, EventQueue
 from repro.cluster.faults import FaultInjector
+from repro.obs.session import active as _obs_active
 from repro.utils.logging import TrainLog
 from repro.utils.rng import SeedLike
 
@@ -243,7 +244,15 @@ class ClusterRuntime:
             return
         self._inflight[step] = (worker.worker_id, self.server.steps_applied)
 
-        delay = self.delay_model.sample(worker.worker_id, self.clock)
+        session = _obs_active()
+        if session is not None and session.tracer is not None:
+            with session.tracer.span("delay.sample", "cluster.delay",
+                                     worker=worker.worker_id,
+                                     sim_time=self.clock):
+                delay = self.delay_model.sample(worker.worker_id,
+                                                self.clock)
+        else:
+            delay = self.delay_model.sample(worker.worker_id, self.clock)
         delay, crash_time = self.faults.on_dispatch(
             worker.worker_id, self.clock, delay)
         if crash_time is not None:
@@ -277,10 +286,26 @@ class ClusterRuntime:
                 applied_step, (-1, version))
             if worker_id >= 0:
                 self.workers[worker_id].applied += 1
-            self.log.append("staleness", version - read_version, log_step)
+            staleness = version - read_version
+            self.log.append("staleness", staleness, log_step)
             self.log.append("worker", worker_id, log_step)
             self.log.append("sim_time", self.clock, log_step)
             self.server._log_stats(self.log, log_step)
+            session = _obs_active()
+            if session is not None and session.metrics is not None:
+                session.metrics.histogram("cluster.staleness").observe(
+                    staleness)
+                session.metrics.gauge("cluster.queue_depth").set(
+                    self.server.pending)
+                session.metrics.counter("cluster.commits").inc()
+                # the per-iteration live-metrics seam: one payload per
+                # committed update, in commit order
+                session.metrics.emit(log_step, {
+                    "step": log_step, "staleness": staleness,
+                    "worker": worker_id, "sim_time": self.clock,
+                    "queue_depth": self.server.pending,
+                    "updates": self.server.steps_applied,
+                })
             if self.hooks.on_step is not None:
                 self.hooks.on_step(log_step, self.log)
 
@@ -289,7 +314,37 @@ class ClusterRuntime:
     # ------------------------------------------------------------- #
     def _handle(self, event: Event, reads: int,
                 updates: Optional[int]) -> None:
-        """Dispatch one event to its handler."""
+        """Dispatch one event, wrapped in a tracer span when observed.
+
+        The span (category ``cluster.events``, name ``event:<kind>``)
+        carries the worker id and the event's simulated time, so a
+        trace interleaves deterministic sim-time with the wall-clock
+        cost of handling each event.
+        """
+        session = _obs_active()
+        if session is not None and session.tracer is not None:
+            with session.tracer.span(f"event:{event.kind}",
+                                     "cluster.events",
+                                     worker=event.worker,
+                                     sim_time=event.time):
+                self._dispatch(event, reads, updates)
+        else:
+            self._dispatch(event, reads, updates)
+
+    def _fault_instant(self, name: str, counter: str, worker: int) -> None:
+        """Record a fault occurrence on the active session (if any)."""
+        session = _obs_active()
+        if session is None:
+            return
+        if session.tracer is not None:
+            session.tracer.instant(name, "cluster.faults", worker=worker,
+                                   sim_time=self.clock)
+        if session.metrics is not None:
+            session.metrics.counter(counter).inc()
+
+    def _dispatch(self, event: Event, reads: int,
+                  updates: Optional[int]) -> None:
+        """Route one event to its handler (the un-instrumented core)."""
         if event.kind == "arrival":
             pause_end = self.faults.pause_until(event.time)
             if pause_end is not None and pause_end > event.time:
@@ -302,6 +357,8 @@ class ClusterRuntime:
                                       "shard": self.faults
                                       .consume_pause_shard(),
                                       "until": pause_end})
+                self._fault_instant("fault:deferred", "cluster.deferrals",
+                                    event.worker)
                 self.events.reschedule(event, pause_end)
                 return
             self.clock = event.time
@@ -318,6 +375,8 @@ class ClusterRuntime:
             worker.crashes += 1
             self.timeline.append({"t": self.clock, "kind": "crash",
                                   "worker": event.worker})
+            self._fault_instant("fault:crash", "cluster.crashes",
+                                event.worker)
             self.log.append("crash", float(event.worker), self.reads_done)
             self.events.schedule(event.payload["restart_at"], "restart",
                                  event.worker, {})
@@ -329,6 +388,8 @@ class ClusterRuntime:
             self._on_worker_restart(event.worker)
             self.timeline.append({"t": self.clock, "kind": "restart",
                                   "worker": event.worker})
+            self._fault_instant("fault:restart", "cluster.restarts",
+                                event.worker)
             self.log.append("restart", float(event.worker), self.reads_done)
             if not self.diverged and self.reads_done < reads:
                 self._read_and_dispatch(worker)

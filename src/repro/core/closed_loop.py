@@ -131,7 +131,7 @@ class ClosedLoopYellowFin(YellowFin):
             return self.prescribed_momentum
         return self._algorithmic_mu
 
-    def step(self) -> None:
+    def _raw_step(self) -> None:
         """One closed-loop step: tune, measure total momentum, update."""
         if self.fused:
             self._flat.ensure_packed()

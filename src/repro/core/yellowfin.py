@@ -155,8 +155,13 @@ class YellowFin(Optimizer):
     # ------------------------------------------------------------------ #
     # optimizer contract
     # ------------------------------------------------------------------ #
-    def step(self) -> None:
-        """One tuner + momentum-SGD step (Algorithm 1)."""
+    def _raw_step(self) -> None:
+        """One tuner + momentum-SGD step (Algorithm 1).
+
+        Overrides the base kernel dispatch so the whole
+        measure/tune/update pipeline runs inside the instrumented
+        :meth:`~repro.optim.optimizer.Optimizer.step` wrapper.
+        """
         if self.fused:
             self._flat.ensure_packed()
         flat_grad = self._clip_gradients()

@@ -18,10 +18,10 @@ never picks it — real processes are strictly opt-in via
 
 from __future__ import annotations
 
-import time
 from typing import List, Sequence
 
 from repro.mp.runtime import build_mp_runtime
+from repro.obs.session import StepTimer
 from repro.run.backends import BackendCapabilities, ExecutionBackend
 from repro.run.result import RunOptions
 from repro.xp.runner import ScenarioResult, summarize_log
@@ -56,9 +56,9 @@ def execute_scalar_mp(spec: ScenarioSpec, transport: str = "shm"):
 
     runtime = build_mp_runtime(spec, transport=transport)
     try:
-        start = time.perf_counter()
-        log = runtime.run(reads=spec.reads, updates=spec.updates)
-        wall = time.perf_counter() - start
+        with StepTimer(f"scenario:{spec.name}", cat="mp.backend") as timer:
+            log = runtime.run(reads=spec.reads, updates=spec.updates)
+        wall = timer.elapsed
         metrics, series = summarize_log(spec, log, runtime.reads_done,
                                         runtime.updates_done,
                                         runtime.diverged)
@@ -116,7 +116,8 @@ class MPBackend(ExecutionBackend):
 
         if spec.replicates == 1:
             return execute_scalar_mp(spec, transport=self.transport)
-        start = time.perf_counter()
+        timer = StepTimer(f"replicated:{spec.name}",
+                          cat="mp.backend").start()
         per_metrics, series = [], {}
         for r in range(spec.replicates):
             result = execute_scalar_mp(spec.replicate_spec(r),
@@ -124,7 +125,7 @@ class MPBackend(ExecutionBackend):
             per_metrics.append(result.metrics)
             if r == 0:
                 series = result.series
-        wall = time.perf_counter() - start
+        wall = timer.stop(replicates=spec.replicates)
         env = environment_info()
         env["seed"] = spec.replicate_seeds()[0]
         env["mp_transport"] = self.transport

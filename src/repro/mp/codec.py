@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import json
 import struct
+import time
 from typing import List, Tuple
 
 import numpy as np
 
+from repro.obs.session import active as _obs_active
 from repro.utils.serialization import decode_state, encode_state
 
 #: Wire-format magic + version prefix of every frame.
@@ -106,6 +108,18 @@ def encode_message(obj) -> bytes:
         A self-delimiting frame (:data:`MAGIC`, header length, JSON
         header, concatenated raw array bytes).
     """
+    session = _obs_active()
+    if session is not None and session.profiler is not None:
+        start = time.perf_counter()
+        frame = _encode_message(obj)
+        session.profiler.add("mp.codec.encode",
+                             time.perf_counter() - start)
+        return frame
+    return _encode_message(obj)
+
+
+def _encode_message(obj) -> bytes:
+    """The un-instrumented frame assembly behind :func:`encode_message`."""
     buffers: List[np.ndarray] = []
     stripped = _strip_arrays(obj, buffers)
     header = json.dumps(encode_state(stripped), separators=(",", ":"),
@@ -130,6 +144,18 @@ def decode_message(frame: bytes):
     ValueError
         On a malformed frame (bad magic, truncated header or payload).
     """
+    session = _obs_active()
+    if session is not None and session.profiler is not None:
+        start = time.perf_counter()
+        message = _decode_message(frame)
+        session.profiler.add("mp.codec.decode",
+                             time.perf_counter() - start)
+        return message
+    return _decode_message(frame)
+
+
+def _decode_message(frame: bytes):
+    """The un-instrumented frame parsing behind :func:`decode_message`."""
     if frame[:4] != MAGIC:
         raise ValueError(
             f"bad frame magic {frame[:4]!r} (expected {MAGIC!r})")

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.mp.transport import TransportClosed
 from repro.mp.worker import WorkerPool
+from repro.obs.session import StepTimer
 
 _IDLE_SLEEP = 0.0002
 
@@ -86,11 +87,10 @@ def free_run(spec, transport: str = "shm",
     committed = 0
     read_version = {}
     stopped = [False] * spec.workers
-    start = time.perf_counter()
-    deadline = start + timeout
+    timer = StepTimer(f"free_run:{spec.name}", cat="mp.backend").start()
     try:
         while not all(stopped):
-            if time.perf_counter() > deadline:
+            if timer.elapsed > timeout:
                 raise TimeoutError(
                     f"free run exceeded {timeout:.0f}s "
                     f"({committed}/{reads} commits)")
@@ -137,7 +137,7 @@ def free_run(spec, transport: str = "shm",
                 time.sleep(_IDLE_SLEEP)
     finally:
         pool.close()
-    wall = time.perf_counter() - start
+    wall = timer.stop(workers=spec.workers)
     smooth = max(1, min(int(spec.smooth), len(losses)))
     tail = losses[-smooth:]
     return {

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.mp.codec import decode_message, encode_message
 from repro.mp.endpoints import attach_shm
+from repro.obs.session import active as _obs_active
 
 _LEN = struct.Struct(">Q")
 
@@ -97,11 +98,16 @@ class SocketTransport(Transport):
 
     def send(self, obj) -> None:
         """Ship one message (8-byte length prefix + frame)."""
+        session = _obs_active()
+        start = time.perf_counter() if session is not None else 0.0
         frame = encode_message(obj)
         try:
             self._sock.sendall(_LEN.pack(len(frame)) + frame)
         except OSError as exc:
             raise TransportClosed(f"peer socket gone: {exc}") from exc
+        if session is not None and session.profiler is not None:
+            session.profiler.add("mp.transport.socket.send",
+                                 time.perf_counter() - start)
 
     def _parse(self):
         if len(self._buffer) < 8:
@@ -129,10 +135,15 @@ class SocketTransport(Transport):
 
     def recv(self, timeout: Optional[float] = DEFAULT_TIMEOUT):
         """Block for the next message, bounded by ``timeout``."""
+        session = _obs_active()
+        start = time.perf_counter() if session is not None else 0.0
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             message = self._parse()
             if message is not None:
+                if session is not None and session.profiler is not None:
+                    session.profiler.add("mp.transport.socket.recv",
+                                         time.perf_counter() - start)
                 return message
             remaining = None if deadline is None \
                 else deadline - time.monotonic()
@@ -300,16 +311,32 @@ class SharedMemoryTransport(Transport):
 
     def send(self, obj) -> None:
         """Ship one message through the outbound ring."""
+        session = _obs_active()
+        start = time.perf_counter() if session is not None else 0.0
         self._out.write(encode_message(obj),
                         deadline=time.monotonic() + DEFAULT_TIMEOUT)
+        if session is not None:
+            if session.profiler is not None:
+                session.profiler.add("mp.transport.shm.send",
+                                     time.perf_counter() - start)
+            if session.metrics is not None:
+                # occupancy after the write: bytes published and not
+                # yet consumed by the peer (counters are reads only)
+                session.metrics.gauge("mp.ring_occupancy").set(
+                    self._out._written - self._out._read)
 
     def recv(self, timeout: Optional[float] = DEFAULT_TIMEOUT):
         """Block (spin, then sleep-poll) for the next inbound frame."""
+        session = _obs_active()
+        start = time.perf_counter() if session is not None else 0.0
         deadline = None if timeout is None else time.monotonic() + timeout
         polls = 0
         while True:
             frame = self._in.try_read()
             if frame is not None:
+                if session is not None and session.profiler is not None:
+                    session.profiler.add("mp.transport.shm.recv",
+                                         time.perf_counter() - start)
                 return decode_message(frame)
             polls += 1
             if deadline is not None and time.monotonic() > deadline:

@@ -42,6 +42,24 @@ from repro.mp.transport import (DEFAULT_RING_CAPACITY, DEFAULT_TIMEOUT,
                                 SharedMemoryTransport, SocketTransport,
                                 Transport, TransportClosed,
                                 shm_segment_size)
+from repro.obs.session import active as _obs_active
+
+
+def _obs_lifecycle(kind: str, worker_id: int, generation: int) -> None:
+    """Record a worker lifecycle event on the active obs session.
+
+    Emits an instant (category ``mp.worker``) and bumps the matching
+    ``mp.worker_<kind>s`` counter — spawn after the ready handshake,
+    kill at SIGKILL time, respawn when the fresh process is up.
+    """
+    session = _obs_active()
+    if session is None:
+        return
+    if session.tracer is not None:
+        session.tracer.instant(f"worker.{kind}", "mp.worker",
+                               worker=worker_id, generation=generation)
+    if session.metrics is not None:
+        session.metrics.counter(f"mp.worker_{kind}s").inc()
 
 #: Transport kinds the pool can set up.
 TRANSPORTS = ("shm", "socket")
@@ -304,18 +322,21 @@ class WorkerProcess:
         if ready.get("cmd") != "ready":
             raise RuntimeError(
                 f"worker {self.worker_id} bad handshake: {ready!r}")
+        _obs_lifecycle("spawn", self.worker_id, self.generation)
 
     def kill(self) -> None:
         """SIGKILL the process — a *real* crash, not an event."""
         if self._process is not None and self._process.is_alive():
             os.kill(self._process.pid, signal.SIGKILL)
             self._process.join()
+            _obs_lifecycle("kill", self.worker_id, self.generation)
         self._teardown()
 
     def respawn(self) -> None:
         """Restart after a crash (kills any survivor first)."""
         self.kill()
         self.spawn()
+        _obs_lifecycle("respawn", self.worker_id, self.generation)
 
     def stop(self, grace: float = STOP_GRACE) -> None:
         """Graceful shutdown; escalates to SIGKILL after ``grace``."""

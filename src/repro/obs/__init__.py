@@ -1,0 +1,69 @@
+"""Unified tracing, metrics, and profiling across all five backends.
+
+``repro.obs`` is the observability layer of the stack: one
+explicitly-scoped session (:class:`ObsSession`, usually entered via
+:func:`observe` or ``run(..., obs=True)``) bundles up to three
+components —
+
+- :class:`Tracer` — nested spans and instant events with wall-time
+  and (via ``args``) deterministic sim-time, recorded from the run
+  API, the cluster event loop, the vec engine, and the mp runtime;
+  exportable as JSONL and Chrome ``trace_event`` JSON for Perfetto;
+- :class:`MetricsRegistry` — counters/gauges/histograms (cache
+  hits, queue depth, staleness, respawns) plus the per-iteration
+  subscriber hook that future streaming consumers attach to;
+- :class:`Profiler` — accumulating timing for hot paths (fused
+  optimizer kernels, mp transport and codec), summarised by the
+  ``python -m repro trace`` CLI.
+
+Components are capability-registered under the ``"obs"`` registry
+kind, so ``registry.build("obs", "tracer")`` is the construction path
+and alternative implementations can be swapped in.
+
+Two contracts every instrumentation site honours:
+
+- **zero perturbation** — recording only reads run state and never
+  touches any RNG, so records are bit-identical with observability on
+  or off (``tests/test_obs_differential.py`` proves this for all five
+  backends, including the real-process mp backend);
+- **near-zero disabled cost** — sites are gated on a single
+  :func:`active` check, measured by the committed
+  ``BENCH_obs_overhead.json`` at <2% of the fig01 headline step.
+
+See ``docs/observability.md`` for the tour.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import Profiler
+from repro.obs.session import (ObsSession, StepTimer, active, enabled,
+                               observe)
+from repro.obs.tracer import Tracer, validate_chrome_trace
+from repro.registry import registry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "Profiler",
+    "StepTimer",
+    "Tracer",
+    "active",
+    "enabled",
+    "observe",
+    "validate_chrome_trace",
+]
+
+registry.register(
+    "obs", "tracer", Tracer,
+    description="nested span + instant event recorder with JSONL and "
+                "Chrome trace_event export")
+registry.register(
+    "obs", "metrics", MetricsRegistry,
+    description="counter/gauge/histogram store with a per-iteration "
+                "subscriber hook")
+registry.register(
+    "obs", "profiler", Profiler,
+    description="accumulating hot-path timing profiler (optimizer "
+                "kernels, transport, codec)")

@@ -1,0 +1,191 @@
+"""Counters, gauges, and histograms with a per-iteration subscriber hook.
+
+:class:`MetricsRegistry` is the numeric half of an observability
+session: instrumentation sites get-or-create named instruments
+(:meth:`~MetricsRegistry.counter`, :meth:`~MetricsRegistry.gauge`,
+:meth:`~MetricsRegistry.histogram`) and update them as a run executes
+— cache hits in the run API, queue depth and staleness in the cluster
+event loop, fallback and respawn counts in the vec and mp layers.
+:meth:`~MetricsRegistry.snapshot` renders everything as plain dicts,
+which is what :meth:`repro.obs.session.ObsSession.report` attaches to
+``RunResult.obs``.
+
+The registry also carries the **live-metrics seam**: callables added
+with :meth:`~MetricsRegistry.subscribe` receive every
+:meth:`~MetricsRegistry.emit` call — the cluster runtime emits one
+payload per committed iteration (step, staleness, worker, sim_time,
+queue depth), which is the hook a future ``repro serve`` daemon will
+stream from.  Subscribers run synchronously in the recording process;
+they must not mutate run state.
+
+Like the tracer, instruments only *read* run state and never touch any
+RNG, so attaching metrics cannot perturb the deterministic records
+contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+class Counter:
+    """Monotonically increasing count (cache hits, commits, respawns).
+
+    Attributes
+    ----------
+    value : int or float
+        Current total.
+    """
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter(value={self.value})"
+
+
+class Gauge:
+    """Last-observed value of a fluctuating quantity (queue depth).
+
+    Attributes
+    ----------
+    value : float
+        Most recently set value (``0.0`` before the first set).
+    """
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the tracked quantity."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge(value={self.value})"
+
+
+class Histogram:
+    """Streaming summary of a distribution (staleness, wait times).
+
+    Keeps count/total/min/max rather than raw samples, so observing is
+    O(1) and the memory footprint is independent of run length.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the running summary."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict:
+        """Plain-dict summary: count, total, mean, min, max.
+
+        An empty histogram reports ``mean``/``min``/``max`` of 0.0 so
+        the snapshot stays JSON-serialisable.
+        """
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0}
+        return {"count": self.count, "total": self.total,
+                "mean": self.total / self.count,
+                "min": self.min, "max": self.max}
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count})"
+
+
+class MetricsRegistry:
+    """Named instrument store plus the per-iteration subscriber hook.
+
+    Instruments are created on first use and shared by name, so
+    instrumentation sites in different modules can update the same
+    counter without coordination.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._subscribers: List[Callable[[int, dict], None]] = []
+
+    # ------------------------------------------------------------- #
+    # instruments
+    # ------------------------------------------------------------- #
+    def counter(self, name: str) -> Counter:
+        """Get or create the :class:`Counter` registered under ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the :class:`Gauge` registered under ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge()
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the :class:`Histogram` registered under ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram()
+        return self._histograms[name]
+
+    # ------------------------------------------------------------- #
+    # streaming
+    # ------------------------------------------------------------- #
+    def subscribe(self, callback: Callable[[int, dict], None]) -> None:
+        """Register ``callback(step, payload)`` for every :meth:`emit`.
+
+        This is the live-metrics seam: the cluster runtime emits one
+        payload per committed iteration, and a streaming consumer (the
+        future ``repro serve``) subscribes here.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[int, dict], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def emit(self, step: int, payload: dict) -> None:
+        """Deliver a per-iteration payload to all subscribers."""
+        for callback in self._subscribers:
+            callback(step, payload)
+
+    # ------------------------------------------------------------- #
+    # export
+    # ------------------------------------------------------------- #
+    def snapshot(self) -> dict:
+        """All instruments as plain JSON-serialisable dicts.
+
+        Returns
+        -------
+        dict
+            ``{"counters": {name: value}, "gauges": {name: value},
+            "histograms": {name: summary_dict}}``.
+        """
+        return {
+            "counters": {k: v.value for k, v in sorted(self._counters.items())},
+            "gauges": {k: v.value for k, v in sorted(self._gauges.items())},
+            "histograms": {k: v.summary()
+                           for k, v in sorted(self._histograms.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")

@@ -1,0 +1,109 @@
+"""Opt-in accumulating profiler for hot paths.
+
+:class:`Profiler` aggregates named timing samples — fused optimizer
+kernels, mp transport send/recv waits, codec encode/decode — into
+count/total/min/max accumulators.  Unlike the tracer it keeps no
+per-event records, so it is safe on paths that fire thousands of times
+per run; the trade-off is that it reports aggregates only.
+
+Samples arrive either pre-measured via :meth:`Profiler.add` (the
+pattern the optimizer and transport hot paths use: one
+``perf_counter`` pair guarded by a single ``active()`` check) or via
+the :meth:`Profiler.sample` context manager for colder call sites.
+
+:meth:`Profiler.render_top` formats the aggregate table the
+``python -m repro trace`` CLI prints — the ``repro top``-style view of
+where a run's time went.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+
+class Profiler:
+    """Accumulating timing profiler keyed by sample name."""
+
+    def __init__(self):
+        self._stats: Dict[str, dict] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold one pre-measured duration into the ``name`` bucket.
+
+        Parameters
+        ----------
+        name : str
+            Hot-path label, e.g. ``"optimizer.YellowFin.fused"`` or
+            ``"mp.transport.send"``.
+        seconds : float
+            Measured duration.
+        """
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = {"count": 0, "total": 0.0,
+                    "min": float("inf"), "max": float("-inf")}
+            self._stats[name] = stat
+        stat["count"] += 1
+        stat["total"] += seconds
+        if seconds < stat["min"]:
+            stat["min"] = seconds
+        if seconds > stat["max"]:
+            stat["max"] = seconds
+
+    @contextmanager
+    def sample(self, name: str):
+        """Time the enclosed block and :meth:`add` it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def summary(self) -> dict:
+        """Aggregates per name: count, total, mean, min, max (seconds)."""
+        out = {}
+        for name, stat in sorted(self._stats.items()):
+            out[name] = {
+                "count": stat["count"], "total_s": stat["total"],
+                "mean_s": stat["total"] / stat["count"],
+                "min_s": stat["min"], "max_s": stat["max"],
+            }
+        return out
+
+    def render_top(self, limit: int = 10) -> str:
+        """Format the heaviest sample buckets as an aligned text table.
+
+        Parameters
+        ----------
+        limit : int
+            Maximum number of rows, ordered by total time descending.
+
+        Returns
+        -------
+        str
+            A ``repro top``-style table, or a placeholder line when no
+            samples were recorded.
+        """
+        if not self._stats:
+            return "(no profiler samples recorded)"
+        rows = sorted(self._stats.items(),
+                      key=lambda item: item[1]["total"], reverse=True)
+        width = max(len(name) for name, _ in rows[:limit])
+        width = max(width, len("name"))
+        lines = [f"{'name':<{width}}  {'count':>8}  {'total':>10}  "
+                 f"{'mean':>10}  {'max':>10}"]
+        for name, stat in rows[:limit]:
+            mean = stat["total"] / stat["count"]
+            lines.append(
+                f"{name:<{width}}  {stat['count']:>8d}  "
+                f"{stat['total'] * 1e3:>8.3f}ms  {mean * 1e6:>8.2f}us  "
+                f"{stat['max'] * 1e6:>8.2f}us")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __repr__(self) -> str:
+        return f"Profiler(buckets={len(self._stats)})"

@@ -1,0 +1,284 @@
+"""Span/event tracer with JSONL and Chrome ``trace_event`` export.
+
+:class:`Tracer` records two event shapes into an in-memory list of
+plain dicts:
+
+- **spans** — nested durations opened with :meth:`Tracer.span` (a
+  context manager) or recorded after the fact with
+  :meth:`Tracer.complete`; and
+- **instants** — point-in-time markers (:meth:`Tracer.instant`), e.g.
+  a fault firing or a vec-engine fallback transition.
+
+Every record carries a wall-clock timestamp relative to the tracer's
+construction (``time.perf_counter`` based) plus whatever the caller
+puts in ``args`` — instrumentation sites in the cluster runtime pass
+the deterministic simulated time as ``sim_time``, so a trace answers
+both "when did this happen on the wall clock" and "when in simulated
+time".
+
+Export targets:
+
+- :meth:`Tracer.to_jsonl` — one record per line, the raw form;
+- :meth:`Tracer.chrome_trace` / :meth:`Tracer.to_chrome_trace` — the
+  Chrome ``trace_event`` JSON object format (``{"traceEvents":
+  [...]}``) with ``ph: "X"`` complete events and ``ph: "i"`` instants,
+  loadable in Perfetto / ``chrome://tracing``.
+
+:func:`validate_chrome_trace` structurally checks an exported payload
+— the round-trip gate ``make obs-smoke`` runs on every trace the test
+suite produces.
+
+Recording never touches any RNG and never mutates traced objects, so
+attaching a tracer cannot perturb the deterministic records contract
+(proven by the differential suite in ``tests/test_obs_differential.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Union
+
+#: Event phases the exporter emits and the validator accepts.
+CHROME_PHASES = ("X", "i", "M")
+
+
+class Tracer:
+    """In-memory recorder of nested spans and instant events.
+
+    Parameters
+    ----------
+    pid : int, optional
+        Process id stamped into exported Chrome events; defaults to
+        the current process id.
+
+    Attributes
+    ----------
+    records : list of dict
+        The recorded events, in completion order.  Span records carry
+        ``{"ph": "X", "name", "cat", "ts", "dur", "depth", "args"}``
+        (seconds relative to tracer construction); instants carry
+        ``{"ph": "i", ...}`` without ``dur``.
+    """
+
+    def __init__(self, pid: Optional[int] = None):
+        self.pid = int(os.getpid() if pid is None else pid)
+        self.records: List[dict] = []
+        self._t0 = time.perf_counter()
+        self._depth = 0
+
+    # ------------------------------------------------------------- #
+    # recording
+    # ------------------------------------------------------------- #
+    def _rel(self, stamp: float) -> float:
+        return max(0.0, stamp - self._t0)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "default", **args):
+        """Record a nested duration span around the enclosed block.
+
+        Parameters
+        ----------
+        name : str
+            Span label (e.g. ``"event:arrival"``).
+        cat : str
+            Subsystem category (``"cluster.events"``, ``"optimizer"``,
+            ...); Chrome/Perfetto group and filter by it.
+        **args
+            Extra payload recorded under ``args`` — pass ``sim_time``
+            here to stamp the deterministic simulated clock.
+        """
+        start = time.perf_counter()
+        self._depth += 1
+        try:
+            yield self
+        finally:
+            self._depth -= 1
+            end = time.perf_counter()
+            self.records.append({
+                "ph": "X", "name": str(name), "cat": str(cat),
+                "ts": self._rel(start), "dur": max(0.0, end - start),
+                "depth": self._depth, "args": dict(args),
+            })
+
+    def complete(self, name: str, cat: str, start: float, end: float,
+                 **args) -> None:
+        """Record an already-measured span from absolute stamps.
+
+        Parameters
+        ----------
+        name, cat : str
+            Span label and subsystem category.
+        start, end : float
+            ``time.perf_counter`` stamps taken by the caller (the
+            shared :class:`~repro.obs.session.StepTimer` uses this so
+            timing and tracing read the same clock exactly once).
+        **args
+            Extra payload recorded under ``args``.
+        """
+        self.records.append({
+            "ph": "X", "name": str(name), "cat": str(cat),
+            "ts": self._rel(start), "dur": max(0.0, end - start),
+            "depth": self._depth, "args": dict(args),
+        })
+
+    def instant(self, name: str, cat: str = "default", **args) -> None:
+        """Record a point-in-time marker (fault fired, fallback taken).
+
+        Parameters
+        ----------
+        name, cat : str
+            Event label and subsystem category.
+        **args
+            Extra payload recorded under ``args``.
+        """
+        self.records.append({
+            "ph": "i", "name": str(name), "cat": str(cat),
+            "ts": self._rel(time.perf_counter()),
+            "depth": self._depth, "args": dict(args),
+        })
+
+    # ------------------------------------------------------------- #
+    # introspection
+    # ------------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def categories(self) -> Dict[str, int]:
+        """Recorded event counts per category."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record["cat"]] = counts.get(record["cat"], 0) + 1
+        return counts
+
+    def summary(self) -> dict:
+        """Compact report block: totals and per-category counts."""
+        spans = sum(1 for r in self.records if r["ph"] == "X")
+        return {"events": len(self.records), "spans": spans,
+                "instants": len(self.records) - spans,
+                "by_category": self.categories()}
+
+    # ------------------------------------------------------------- #
+    # export
+    # ------------------------------------------------------------- #
+    def to_jsonl(self, path: Union[str, "os.PathLike"]) -> str:
+        """Write the raw records as JSON Lines; returns the path."""
+        with open(path, "w") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+        return str(path)
+
+    def chrome_trace(self) -> dict:
+        """The records as a Chrome ``trace_event`` JSON object.
+
+        Returns
+        -------
+        dict
+            ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` with
+            timestamps/durations in microseconds, one process-name
+            metadata event, and every span/instant on thread 0 —
+            nesting renders from interval containment, as Perfetto
+            expects for same-thread complete events.
+        """
+        events: List[dict] = [{
+            "ph": "M", "name": "process_name", "pid": self.pid,
+            "tid": 0, "args": {"name": "repro"},
+        }]
+        for record in self.records:
+            event = {
+                "ph": record["ph"], "name": record["name"],
+                "cat": record["cat"], "pid": self.pid, "tid": 0,
+                "ts": round(record["ts"] * 1e6, 3),
+                "args": dict(record["args"]),
+            }
+            if record["ph"] == "X":
+                event["dur"] = round(record["dur"] * 1e6, 3)
+            else:
+                event["s"] = "t"  # thread-scoped instant
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_trace(self, path: Union[str, "os.PathLike"]) -> str:
+        """Write :meth:`chrome_trace` as JSON; returns the path."""
+        payload = self.chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return str(path)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(events={len(self.records)}, "
+                f"categories={sorted(self.categories())})")
+
+
+def validate_chrome_trace(payload: Union[dict, str, "os.PathLike"]) -> dict:
+    """Structurally validate a Chrome ``trace_event`` export.
+
+    The round-trip half of the ``make obs-smoke`` gate: every trace
+    the suite exports must come back through this validator, so a
+    malformed export fails the build instead of failing silently in a
+    viewer.
+
+    Parameters
+    ----------
+    payload : dict or path
+        The trace object, or a path to an exported JSON file.
+
+    Returns
+    -------
+    dict
+        The validated payload (parsed from disk when a path was
+        given).
+
+    Raises
+    ------
+    ValueError
+        When the payload is not the JSON-object trace format, an
+        event is missing required fields, uses an unknown phase, or
+        carries negative timestamps/durations.
+    """
+    if not isinstance(payload, dict):
+        with open(payload) as fh:
+            payload = json.load(fh)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(
+            "not a Chrome trace: expected a JSON object with a "
+            "'traceEvents' key")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: events must be objects")
+        phase = event.get("ph")
+        if phase not in CHROME_PHASES:
+            raise ValueError(
+                f"{where}: unknown phase {phase!r} (expected one of "
+                f"{CHROME_PHASES})")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}: missing or empty 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: {key!r} must be an int")
+        if phase == "M":
+            continue
+        if not isinstance(event.get("cat"), str) or not event["cat"]:
+            raise ValueError(f"{where}: missing or empty 'cat'")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(
+                f"{where}: 'ts' must be a non-negative number, "
+                f"got {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"{where}: complete events need a non-negative "
+                    f"'dur', got {dur!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"{where}: 'args' must be an object")
+    return payload

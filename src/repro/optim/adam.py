@@ -62,8 +62,12 @@ class Adam(Optimizer):
             self._vmax: List[np.ndarray] = [np.zeros_like(p.data)
                                             for p in self.params]
 
-    def step(self) -> None:
-        """Apply one bias-corrected Adam update from current gradients."""
+    def _raw_step(self) -> None:
+        """Apply one bias-corrected Adam update from current gradients.
+
+        Increments ``t`` *before* the kernel (bias correction uses the
+        post-increment step count), unlike the base dispatch.
+        """
         self.t += 1
         if self.fused:
             self._flat.ensure_packed()

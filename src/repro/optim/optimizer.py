@@ -16,12 +16,14 @@ global reductions) — the flag trades nothing but speed.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.autograd.flat import FlatParams
 from repro.autograd.tensor import Tensor
+from repro.obs.session import active as _obs_active
 
 
 class Optimizer:
@@ -98,11 +100,35 @@ class Optimizer:
     def step(self) -> None:
         """Apply one update from the current gradients.
 
+        Delegates the actual update to :meth:`_raw_step` — the kernel
+        dispatch subclasses override (YellowFin does, to interleave its
+        measurement/tuning pipeline).  When a :mod:`repro.obs` session
+        is active, the kernel is additionally timed and recorded as an
+        ``optimizer``-category span and a profiler sample; with no
+        session the only extra cost over calling the kernel directly is
+        one ``active()`` check (gated by ``BENCH_obs_overhead.json``).
+        """
+        session = _obs_active()
+        if session is None:
+            self._raw_step()
+            return
+        start = time.perf_counter()
+        self._raw_step()
+        end = time.perf_counter()
+        name = (f"{type(self).__name__}."
+                f"{'fused' if self.fused else 'per_tensor'}")
+        if session.profiler is not None:
+            session.profiler.add(f"optimizer.{name}", end - start)
+        if session.tracer is not None:
+            session.tracer.complete(name, "optimizer", start, end,
+                                    t=self.t)
+
+    def _raw_step(self) -> None:
+        """The un-instrumented update: kernel dispatch + step count.
+
         Dispatches to :meth:`_fused_step` when ``fused=True`` and the
         subclass provides a fused kernel; otherwise runs the per-tensor
-        reference path in :meth:`_per_tensor_step`.  Subclasses may also
-        override :meth:`step` directly (YellowFin does, to interleave its
-        measurement/tuning pipeline).
+        reference path in :meth:`_per_tensor_step`.
         """
         if self.fused:
             self._flat.ensure_packed()

@@ -24,6 +24,8 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.session import ObsSession
+from repro.obs.session import active as _obs_active
 from repro.registry import registry
 from repro.xp.cache import ResultCache
 from repro.xp.runner import XP_JOBS_ENV, ScenarioResult
@@ -138,10 +140,30 @@ def select_backend(specs: Sequence[ScenarioSpec],
     return "serial", "single plain scenario; reference path"
 
 
+def _resolve_obs(obs) -> Optional[ObsSession]:
+    """Map the ``run(..., obs=...)`` argument to a session or ``None``.
+
+    Accepted forms: ``None`` / ``False`` / ``"disabled"`` (no
+    observability — the default), ``True`` / ``"enabled"`` (a full
+    registry-built session), or an explicit :class:`ObsSession` (use
+    its components, e.g. a metrics-only session with subscribers
+    already attached).
+    """
+    if obs is None or obs is False or obs == "disabled":
+        return None
+    if obs is True or obs == "enabled":
+        return ObsSession.from_registry()
+    if isinstance(obs, ObsSession):
+        return obs
+    raise TypeError(
+        f"obs must be None/False/'disabled', True/'enabled', or an "
+        f"ObsSession, got {type(obs).__name__}")
+
+
 def run(scenarios: Runnable, backend: str = "auto", *,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
-        validate: bool = True) -> RunResult:
+        validate: bool = True, obs=None) -> RunResult:
     """Execute scenarios through one unified entry point.
 
     Parameters
@@ -165,6 +187,17 @@ def run(scenarios: Runnable, backend: str = "auto", *,
         parameters against the typed registry (clear errors instead
         of mid-run failures in a worker process).  Disable only for
         specs referencing components registered after fork.
+    obs : bool or str or ObsSession, optional
+        Observe the call: ``True`` / ``"enabled"`` installs a fresh
+        registry-built :class:`~repro.obs.session.ObsSession` for the
+        duration of the run, an explicit session installs that one,
+        and the default (``None`` / ``False`` / ``"disabled"``) runs
+        unobserved.  The session's report is attached as
+        :attr:`RunResult.obs`.  Observability never changes records:
+        identities are bit-identical with ``obs`` on or off (the
+        differential suite enforces this per backend).  The
+        ``parallel`` backend's worker processes run uninstrumented —
+        only coordinator-side orchestration is recorded there.
 
     Returns
     -------
@@ -180,6 +213,21 @@ def run(scenarios: Runnable, backend: str = "auto", *,
     Duplicate specs (same content hash) are computed once and share
     the record.
     """
+    session = _resolve_obs(obs)
+    if session is None:
+        return _run_specs(scenarios, backend, jobs=jobs, cache=cache,
+                          validate=validate)
+    with session:
+        outcome = _run_specs(scenarios, backend, jobs=jobs, cache=cache,
+                             validate=validate)
+    outcome.obs = session.report()
+    return outcome
+
+
+def _run_specs(scenarios: Runnable, backend: str, *,
+               jobs: Optional[int], cache: Optional[ResultCache],
+               validate: bool) -> RunResult:
+    """The orchestration core of :func:`run` (observed ambiently)."""
     watch = _Stopwatch()
     specs = _normalize(scenarios)
     # hash once per spec: hashing re-serializes the whole spec (trace
@@ -216,9 +264,20 @@ def run(scenarios: Runnable, backend: str = "auto", *,
         raise ValueError(
             f"backend {name!r} does not implement ExecutionBackend")
 
+    session = _obs_active()
+    if session is not None and session.metrics is not None:
+        session.metrics.counter("run.cache_hits").inc(hits)
+        session.metrics.counter("run.cache_misses").inc(len(todo))
+
     if todo:
-        fresh = impl.execute([specs[i] for i in todo],
-                             RunOptions(jobs=jobs))
+        if session is not None and session.tracer is not None:
+            with session.tracer.span("execute", "run.api", backend=name,
+                                     specs=len(todo)):
+                fresh = impl.execute([specs[i] for i in todo],
+                                     RunOptions(jobs=jobs))
+        else:
+            fresh = impl.execute([specs[i] for i in todo],
+                                 RunOptions(jobs=jobs))
         if len(fresh) != len(todo):
             raise RuntimeError(
                 f"backend {name!r} returned {len(fresh)} records for "

@@ -35,12 +35,12 @@ for direct :class:`~repro.cluster.runtime.ClusterRuntime` construction.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.bench.report import environment_info
 from repro.cluster.runtime import ClusterRuntime
+from repro.obs.session import StepTimer
 from repro.registry import registry
 from repro.utils.deprecation import internal_calls
 from repro.utils.logging import TrainLog
@@ -215,9 +215,9 @@ def execute_scalar(spec: ScenarioSpec) -> ScenarioResult:
         num_shards=spec.num_shards, shard_policy=spec.shard_policy,
         queue_staleness=spec.queue_staleness, delivery=spec.delivery,
         faults=build_fault_injector(spec.faults), seed=seed)
-    start = time.perf_counter()
-    log = runtime.run(reads=spec.reads, updates=spec.updates)
-    wall = time.perf_counter() - start
+    with StepTimer(f"scenario:{spec.name}", cat="run.backend") as timer:
+        log = runtime.run(reads=spec.reads, updates=spec.updates)
+    wall = timer.elapsed
 
     metrics, series = summarize_log(spec, log, runtime.reads_done,
                                     runtime.updates_done,

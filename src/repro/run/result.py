@@ -55,6 +55,13 @@ class RunResult:
         was off).
     wall_s : float
         Wall-clock seconds of the whole call, orchestration included.
+    obs : dict, optional
+        The observability report of the call's
+        :class:`~repro.obs.session.ObsSession` (tracer / metrics /
+        profiler summaries) when the run was observed via
+        ``run(..., obs=...)``; ``None`` otherwise.  Excluded from the
+        per-record deterministic identity, like ``env`` and
+        ``wall_s``.
     """
 
     backend: str
@@ -63,6 +70,7 @@ class RunResult:
     hits: int = 0
     misses: int = 0
     wall_s: float = 0.0
+    obs: Optional[dict] = None
 
     @property
     def result(self) -> ScenarioResult:
@@ -101,10 +109,13 @@ class RunResult:
         / ``misses``) and adds the backend fields, so existing record
         consumers keep parsing.
         """
-        return {"backend": self.backend, "reason": self.reason,
-                "results": [r.as_dict() for r in self.results],
-                "hits": self.hits, "misses": self.misses,
-                "wall_s": self.wall_s}
+        out = {"backend": self.backend, "reason": self.reason,
+               "results": [r.as_dict() for r in self.results],
+               "hits": self.hits, "misses": self.misses,
+               "wall_s": self.wall_s}
+        if self.obs is not None:
+            out["obs"] = self.obs
+        return out
 
     def __len__(self) -> int:
         return len(self.results)

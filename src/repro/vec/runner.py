@@ -35,10 +35,10 @@ metrics ride along in ``replicate_metrics``.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List
 
 from repro.bench.report import environment_info
+from repro.obs.session import StepTimer, active as _obs_active
 from repro.registry import registry
 from repro.utils.deprecation import internal_calls
 from repro.vec.engine import (BatchedClusterEngine, ReplicateDiverged,
@@ -84,7 +84,8 @@ def execute_replicated(spec: ScenarioSpec, strategy: str = "auto",
             f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
     want_batched = (strategy == "batched"
                     or (strategy == "auto" and spec.replicates > 1))
-    start = time.perf_counter()
+    timer = StepTimer(f"replicated:{spec.name}", cat="vec.runner").start()
+    session = _obs_active()
     outcomes = None
     executed = "serial"
     if want_batched and supports_batched(spec):
@@ -92,12 +93,32 @@ def execute_replicated(spec: ScenarioSpec, strategy: str = "auto",
             with internal_calls():
                 engine = BatchedClusterEngine(spec,
                                               spec.replicate_seeds())
-                outcomes = engine.run()
+                if session is not None and session.tracer is not None:
+                    with session.tracer.span(
+                            f"batched:{spec.name}", "vec.engine",
+                            replicates=spec.replicates):
+                        outcomes = engine.run()
+                else:
+                    outcomes = engine.run()
             executed = "batched"
         except ReplicateDiverged:
             # a diverged replicate leaves lockstep; rerun serially so
             # each replicate stops exactly where its scalar run would
             outcomes = None
+            if session is not None:
+                if session.tracer is not None:
+                    session.tracer.instant("fallback:diverged",
+                                           "vec.engine", spec=spec.name)
+                if session.metrics is not None:
+                    session.metrics.counter("vec.fallbacks").inc()
+    elif want_batched and session is not None:
+        # wanted the batched engine but the spec is outside the
+        # lockstep class — record the fallback transition
+        if session.tracer is not None:
+            session.tracer.instant("fallback:unsupported", "vec.engine",
+                                   spec=spec.name)
+        if session.metrics is not None:
+            session.metrics.counter("vec.fallbacks").inc()
 
     per_metrics: List[Dict[str, float]] = []
     series: Dict[str, List[float]] = {}
@@ -117,7 +138,7 @@ def execute_replicated(spec: ScenarioSpec, strategy: str = "auto",
             per_metrics.append(result.metrics)
             if r == 0:
                 series = result.series
-    wall = time.perf_counter() - start
+    wall = timer.stop(strategy=executed)
 
     env = environment_info()
     # replicate 0's seed, which is what actually ran (resolved_seed()

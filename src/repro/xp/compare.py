@@ -83,6 +83,10 @@ DEFAULT_RULES = (
     # hard >=5x assertion instead of failing healthy slower runners
     MetricRule("speedup_8x", "higher", 0.45),
     MetricRule("*speedup*", "higher", 0.35),
+    # disabled-observability overhead is a ratio of two sub-microsecond
+    # timings, so it swings hard across machines; the benchmark's own
+    # <2% assertion is the real gate, this only catches blow-ups
+    MetricRule("*overhead*", "lower", 4.0, timing=True),
     MetricRule("*wall*", "lower", DEFAULT_REL_TOL, timing=True),
     MetricRule("*time*", "lower", DEFAULT_REL_TOL, timing=True),
     MetricRule("*_s", "lower", DEFAULT_REL_TOL, timing=True),

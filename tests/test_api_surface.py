@@ -28,6 +28,7 @@ MODULES = (
     "repro.vec",
     "repro.cluster",
     "repro.mp",
+    "repro.obs",
     "repro.sim",
     "repro.optim",
     "repro.core",

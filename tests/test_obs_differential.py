@@ -1,0 +1,95 @@
+"""Zero-perturbation gate: observed runs change no bits, ever.
+
+One fixed spec runs through every backend — ``serial``, ``cluster``,
+``parallel``, ``vec``, and (where the platform supports real worker
+processes) ``mp`` — once unobserved and once under a full
+:mod:`repro.obs` session, and the deterministic identities must agree
+exactly.  Instrumentation only ever reads runtime state; if a hook
+ever touches an RNG or reorders an event, this suite is what catches
+it.  Also pins the session-scoping contract around :func:`run`:
+``obs=True`` attaches a report and leaves nothing active afterwards.
+"""
+
+import pytest
+
+from repro.mp import mp_available
+from repro.obs import ObsSession, Tracer, active
+from repro.run import run
+from repro.xp import ScenarioSpec
+
+BACKENDS = ("serial", "cluster", "parallel", "vec") + (
+    ("mp",) if mp_available() else ())
+
+
+def lockstep_spec(**overrides):
+    base = dict(name="xobs", workload="quadratic_bowl",
+                workload_params={"dim": 24, "noise_horizon": 32},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=3, reads=30, seed=11, smooth=5)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestBitIdentityObservedVsNot:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identities_unchanged_by_observation(self, backend):
+        spec = lockstep_spec()
+        plain = run(spec, backend=backend)
+        observed = run(spec, backend=backend, obs=True)
+        assert observed.identities() == plain.identities(), backend
+        assert plain.obs is None
+        assert observed.obs is not None
+
+    def test_cluster_machinery_unchanged_by_observation(self):
+        # stochastic delays + a scheduled crash drive the delay
+        # sampler, the fault injector, and the staleness accounting —
+        # the three hooks most likely to perturb RNG state
+        spec = lockstep_spec(
+            delay={"kind": "uniform", "low": 0.5, "high": 1.5,
+                   "seed": 5},
+            faults={"seed": 9, "scheduled": [
+                {"kind": "crash", "worker": 1, "time": 4.0,
+                 "downtime": 3.0}]})
+        plain = run(spec, backend="cluster")
+        observed = run(spec, backend="cluster", obs=True)
+        assert observed.identities() == plain.identities()
+
+    def test_replicated_vec_unchanged_by_observation(self):
+        spec = lockstep_spec(replicates=3)
+        plain = run(spec, backend="vec")
+        observed = run(spec, backend="vec", obs=True)
+        assert observed.identities() == plain.identities()
+        assert observed.result.env["vec_engine"] == "batched"
+
+
+class TestSessionPlumbing:
+    def test_report_holds_all_three_components(self):
+        outcome = run(lockstep_spec(), backend="serial", obs=True)
+        assert set(outcome.obs) == {"tracer", "metrics", "profiler"}
+
+    def test_nothing_left_active_after_run(self):
+        run(lockstep_spec(), backend="serial", obs=True)
+        assert active() is None
+
+    def test_explicit_session_is_used_and_populated(self):
+        session = ObsSession(tracer=Tracer())
+        outcome = run(lockstep_spec(), backend="cluster", obs=session)
+        assert len(session.tracer) > 0
+        assert "optimizer" in session.tracer.categories()
+        # partial session: only the provided components report
+        assert set(outcome.obs) == {"tracer"}
+
+    def test_obs_excluded_from_identity_and_rejects_junk(self):
+        outcome = run(lockstep_spec(), backend="serial", obs=True)
+        for identity in outcome.identities():
+            assert "obs" not in identity
+        with pytest.raises(TypeError):
+            run(lockstep_spec(), backend="serial", obs=object())
+
+    def test_disabled_spellings_are_equivalent(self):
+        for spelling in (None, False, "disabled"):
+            outcome = run(lockstep_spec(), backend="serial",
+                          obs=spelling)
+            assert outcome.obs is None

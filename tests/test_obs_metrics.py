@@ -1,0 +1,82 @@
+"""repro.obs.metrics: counters, gauges, histograms, the live seam.
+
+The metrics registry's get-or-create instruments, the subscriber hook
+that streams per-iteration payloads (the seam a future ``repro
+serve`` attaches to), and the sorted plain-data snapshot.
+"""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(-1.0)
+        assert gauge.value == -1.0
+
+    def test_histogram(self):
+        hist = Histogram()
+        for v in (2.0, 4.0, 6.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+        assert summary["mean"] == pytest.approx(4.0)
+
+    def test_empty_histogram_summary_is_all_zero(self):
+        summary = Histogram().summary()
+        assert summary == {"count": 0, "total": 0.0, "min": 0.0,
+                           "max": 0.0, "mean": 0.0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.gauge("b") is metrics.gauge("b")
+        assert metrics.histogram("c") is metrics.histogram("c")
+
+    def test_snapshot_sorted_plain_data(self):
+        metrics = MetricsRegistry()
+        metrics.counter("z").inc(2)
+        metrics.counter("a").inc()
+        metrics.gauge("depth").set(4.0)
+        metrics.histogram("lat").observe(1.5)
+        snap = metrics.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"]["z"] == 2
+        assert snap["gauges"] == {"depth": 4.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_subscribers_receive_emitted_payloads(self):
+        metrics = MetricsRegistry()
+        seen = []
+        metrics.subscribe(lambda step, payload: seen.append((step,
+                                                             payload)))
+        metrics.emit(3, {"staleness": 1.0})
+        metrics.emit(4, {"staleness": 0.0})
+        assert seen == [(3, {"staleness": 1.0}), (4, {"staleness": 0.0})]
+
+    def test_unsubscribe_stops_delivery_and_is_safe_to_repeat(self):
+        metrics = MetricsRegistry()
+        seen = []
+        cb = lambda step, payload: seen.append(step)  # noqa: E731
+        metrics.subscribe(cb)
+        metrics.emit(1, {})
+        metrics.unsubscribe(cb)
+        metrics.unsubscribe(cb)  # already gone: a no-op, not an error
+        metrics.emit(2, {})
+        assert seen == [1]
+
+    def test_emit_without_subscribers_is_free(self):
+        MetricsRegistry().emit(0, {"anything": 1})

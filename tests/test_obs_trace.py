@@ -1,0 +1,87 @@
+"""End-to-end trace export: a faulty cluster run, viewable in Perfetto.
+
+The ISSUE-level acceptance check: a cluster scenario with scheduled
+faults, run under a tracer, must export a Chrome ``trace_event`` JSON
+that (a) passes the structural validator, (b) carries spans from at
+least three subsystems (event loop, optimizer kernel, delay model),
+and (c) marks the fault firings as instant events.  Plus a smoke of
+the ``python -m repro trace`` CLI that produces the same artifact.
+"""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.obs import ObsSession, Tracer, validate_chrome_trace
+from repro.run import run
+from repro.xp import ScenarioSpec
+
+
+def faulty_spec(**overrides):
+    base = dict(name="xtrace", workload="quadratic_bowl",
+                workload_params={"dim": 24, "noise_horizon": 32},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "uniform", "low": 0.5, "high": 1.5,
+                       "seed": 5},
+                workers=3, reads=30, seed=11, smooth=5,
+                faults={"seed": 9, "scheduled": [
+                    {"kind": "crash", "worker": 1, "time": 4.0,
+                     "downtime": 3.0}]})
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestClusterTraceExport:
+    def export(self, tmp_path):
+        session = ObsSession(tracer=Tracer())
+        run(faulty_spec(), backend="cluster", obs=session)
+        path = tmp_path / "trace.json"
+        session.tracer.to_chrome_trace(path)
+        return session.tracer, validate_chrome_trace(path)
+
+    def test_trace_spans_at_least_three_subsystems(self, tmp_path):
+        tracer, payload = self.export(tmp_path)
+        span_cats = {e["cat"] for e in payload["traceEvents"]
+                     if e["ph"] == "X"}
+        assert {"cluster.events", "cluster.delay",
+                "optimizer"} <= span_cats
+        assert "run.backend" in span_cats
+
+    def test_fault_firings_are_instant_events(self, tmp_path):
+        tracer, payload = self.export(tmp_path)
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        names = {e["name"] for e in instants}
+        assert "fault:crash" in names
+        assert "fault:restart" in names
+        for event in instants:
+            assert event["cat"] == "cluster.faults"
+            assert event["s"] == "t"
+
+    def test_event_loop_spans_carry_sim_time(self, tmp_path):
+        tracer, payload = self.export(tmp_path)
+        dispatches = [e for e in payload["traceEvents"]
+                      if e["ph"] == "X" and e["cat"] == "cluster.events"]
+        assert dispatches
+        for event in dispatches:
+            assert "sim_time" in event["args"]
+            assert event["name"].startswith("event:")
+
+
+class TestTraceCli:
+    def test_trace_subcommand_end_to_end(self, tmp_path, capsys):
+        spec_file = tmp_path / "scenarios.json"
+        spec_file.write_text(json.dumps(
+            {"scenarios": [faulty_spec().as_dict()]}))
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        code = cli_main(["trace", str(spec_file), "--backend", "cluster",
+                         "--out", str(out), "--jsonl", str(jsonl),
+                         "--top", "5"])
+        assert code == 0
+        payload = validate_chrome_trace(out)
+        cats = {e.get("cat") for e in payload["traceEvents"]}
+        assert {"cluster.events", "cluster.delay", "optimizer"} <= cats
+        assert jsonl.exists()
+        captured = capsys.readouterr().out
+        assert "hot spots:" in captured
+        assert "cluster.commits" in captured

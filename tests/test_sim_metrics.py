@@ -1,0 +1,99 @@
+"""repro.sim.metrics runtime helpers on edge-case inputs.
+
+``staleness_histogram`` / ``staleness_summary`` /
+``event_timeline_summary`` against empty series, single-worker runs,
+logs without origin metadata, and timelines that include fault
+records — the inputs a freshly constructed or fault-heavy cluster run
+actually produces.
+"""
+
+import math
+
+from repro.sim.metrics import (event_timeline_summary,
+                               staleness_histogram, staleness_summary)
+from repro.utils.logging import TrainLog
+
+
+def make_log(staleness=(), workers=None):
+    log = TrainLog()
+    for step, value in enumerate(staleness):
+        log.append("staleness", value, step)
+        if workers is not None:
+            log.append("worker", workers[step], step)
+    return log
+
+
+class TestStalenessHistogram:
+    def test_empty_log(self):
+        assert staleness_histogram(TrainLog()) == {}
+
+    def test_single_worker_run(self):
+        log = make_log([0, 1, 1, 2], workers=[0, 0, 0, 0])
+        assert staleness_histogram(log) == {0: {0: 1, 1: 2, 2: 1}}
+
+    def test_missing_worker_series_buckets_under_minus_one(self):
+        log = make_log([0, 1])
+        assert staleness_histogram(log) == {-1: {0: 1, 1: 1}}
+
+    def test_multi_worker_counts_stay_separate(self):
+        log = make_log([0, 2, 0], workers=[0, 1, 0])
+        assert staleness_histogram(log) == {0: {0: 2}, 1: {2: 1}}
+
+
+class TestStalenessSummary:
+    def test_empty_log_is_count_zero_with_nan_stats(self):
+        summary = staleness_summary(TrainLog())
+        assert summary["count"] == 0
+        for key in ("mean", "median", "p95", "max"):
+            assert math.isnan(summary[key])
+
+    def test_statistics_over_a_run(self):
+        log = make_log([0, 1, 1, 2])
+        summary = staleness_summary(log)
+        assert summary["count"] == 4
+        assert summary["mean"] == 1.0
+        assert summary["median"] == 1.0
+        assert summary["max"] == 2.0
+
+    def test_single_commit(self):
+        summary = staleness_summary(make_log([3]))
+        assert summary["count"] == 1
+        assert summary["mean"] == summary["median"] == summary["max"] \
+            == 3.0
+        assert summary["p95"] == 3.0
+
+
+class TestEventTimelineSummary:
+    def test_empty_timeline(self):
+        summary = event_timeline_summary([])
+        assert summary == {"events": 0, "by_kind": {},
+                           "arrivals_per_worker": {},
+                           "span": (0.0, 0.0)}
+
+    def test_arrivals_grouped_per_worker(self):
+        timeline = [
+            {"t": 1.0, "kind": "arrival", "worker": 0},
+            {"t": 2.0, "kind": "arrival", "worker": 1},
+            {"t": 3.0, "kind": "arrival", "worker": 0},
+        ]
+        summary = event_timeline_summary(timeline)
+        assert summary["events"] == 3
+        assert summary["by_kind"] == {"arrival": 3}
+        assert summary["arrivals_per_worker"] == {0: 2, 1: 1}
+        assert summary["span"] == (1.0, 3.0)
+
+    def test_fault_records_counted_by_kind_not_as_arrivals(self):
+        timeline = [
+            {"t": 0.5, "kind": "arrival", "worker": 0},
+            {"t": 4.0, "kind": "crash", "worker": 1},
+            {"t": 7.0, "kind": "restart", "worker": 1},
+        ]
+        summary = event_timeline_summary(timeline)
+        assert summary["by_kind"] == {"arrival": 1, "crash": 1,
+                                      "restart": 1}
+        assert summary["arrivals_per_worker"] == {0: 1}
+        assert summary["span"] == (0.5, 7.0)
+
+    def test_arrival_without_worker_metadata(self):
+        summary = event_timeline_summary([{"t": 1.0, "kind": "arrival"}])
+        assert summary["arrivals_per_worker"] == {-1: 1}
