@@ -4,8 +4,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
-	matrix-smoke vec-smoke api-smoke mp-smoke obs-smoke perf-gate \
-	example cluster-example matrix-example
+	matrix-smoke vec-smoke api-smoke mp-smoke obs-smoke serve-smoke \
+	perf-gate example cluster-example matrix-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -58,6 +58,12 @@ obs-smoke:  ## repro.obs gate: tracing on/off bit-identity on every backend + Ch
 	    tests/test_obs_tracer.py tests/test_obs_metrics.py \
 	    tests/test_sim_metrics.py -q
 
+serve-smoke:  ## tuning service gate: daemon up, 2 tenants, batched + cached + quota-rejected, clean shutdown, <60s
+	PYTHONPATH=src timeout 60 python -m pytest \
+	    tests/test_serve_daemon.py tests/test_serve_scheduler.py -q
+	PYTHONPATH=src timeout 60 python -m pytest \
+	    tests/test_serve_differential.py tests/test_serve_concurrency.py -q
+
 vec-smoke:  ## batched replicate engine: differential + property suites, 8-replicate speedup gate, <60s
 	$(PYTEST) tests/test_vec_equivalence.py \
 	    tests/test_property_serialization.py -q
@@ -72,9 +78,10 @@ perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
 	    benchmarks/test_vec_replicates.py \
 	    benchmarks/test_mp_throughput.py \
 	    benchmarks/test_obs_overhead.py \
+	    benchmarks/test_serve_load.py \
 	    -q -s && \
 	PYTHONPATH=src python -m repro diff --baseline . --fresh $$fresh \
-	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput,obs_overhead \
+	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput,obs_overhead,serve \
 	    --report artifacts/perf_report.json \
 	    || status=$$?; \
 	cp $$fresh/BENCH_vec_replicates.json \

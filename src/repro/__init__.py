@@ -37,11 +37,14 @@ Package layout
 - ``repro.mp`` — real multi-process parameter server (opt-in backend).
 - ``repro.obs`` — scoped tracing, metrics, and profiling across all
   backends (``run(..., obs=True)``, ``python -m repro trace``).
+- ``repro.serve`` — the multi-tenant tuning service: HTTP+JSON daemon
+  with a typed client, cross-tenant vec-batching, quotas, and a
+  pre-forked autoscaled worker pool (``python -m repro serve``).
 - ``repro.tuning`` — grid search and multi-seed experiment harness.
 - ``repro.bench`` — timers and ``BENCH_*.json`` perf records.
 
-Command line: ``python -m repro run|list|diff|bench|trace`` (installed
-as the ``repro`` console script).
+Command line: ``python -m repro run|list|diff|bench|trace|serve``
+(installed as the ``repro`` console script).
 """
 
 from repro import analysis, autograd, bench, cluster, core, data, models, \

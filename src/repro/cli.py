@@ -1,6 +1,6 @@
 """``python -m repro`` — the top-level command-line interface.
 
-Five subcommands over the unified execution API:
+Six subcommands over the unified execution API:
 
 - ``run <scenarios.json>`` — expand and execute a scenario file
   through :func:`repro.run.run` (backend auto-selected or pinned with
@@ -22,6 +22,10 @@ Five subcommands over the unified execution API:
   (Perfetto-loadable, ``--out``) and optionally the raw JSONL
   (``--jsonl``), and print the ``repro top``-style profiler table
   plus the metrics snapshot.
+- ``serve`` — run the multi-tenant tuning daemon: ScenarioSpec
+  submissions over localhost HTTP+JSON, fronted by the result cache,
+  vec-batched across tenants, admission-controlled, and autoscaled on
+  a pre-forked warm worker pool (see ``docs/serve.md``).
 
 The same entry point is installed as the ``repro`` console script;
 ``python -m repro.xp`` remains as a deprecated alias for the first
@@ -132,6 +136,40 @@ def build_parser(prog: str = "python -m repro") -> argparse.ArgumentParser:
     trace.add_argument("--top", type=int, default=10,
                        help="profiler rows in the hot-spot table "
                             "(default: 10)")
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant tuning daemon "
+                      "(localhost HTTP+JSON; see docs/serve.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8631,
+                       help="bind port; 0 picks a free one "
+                            "(default: 8631)")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="result-cache directory fronting all "
+                            "execution (default: $REPRO_XP_CACHE or "
+                            ".xp_cache; --no-cache disables)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without a result cache")
+    serve.add_argument("--min-workers", type=int, default=1,
+                       help="autoscaling floor (default: 1)")
+    serve.add_argument("--max-workers", type=int, default=4,
+                       help="autoscaling ceiling; all workers are "
+                            "pre-forked warm at startup (default: 4)")
+    serve.add_argument("--scheduler", default="batching",
+                       help="'serve'-kind scheduler component: "
+                            "batching (default; coalesces lockstep-"
+                            "compatible specs across tenants) or fifo")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="global pending-queue admission cap "
+                            "(default: 256)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="per-tenant in-flight ticket quota "
+                            "(default: 32)")
+    serve.add_argument("--pool-mode", default="auto",
+                       choices=("auto", "fork", "thread"),
+                       help="worker pool mode (default: auto = fork "
+                            "where available)")
     return parser
 
 
@@ -285,8 +323,41 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.xp.cache import CACHE_DIR_ENV
+    import os
+
+    from repro.serve import ServeConfig, ServeDaemon
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (args.cache or os.environ.get(CACHE_DIR_ENV)
+                     or ".xp_cache")
+    config = ServeConfig(
+        host=args.host, port=args.port, cache_dir=cache_dir,
+        min_workers=args.min_workers, max_workers=args.max_workers,
+        pool_mode=args.pool_mode, scheduler=args.scheduler,
+        admission_params={"max_pending": args.max_pending,
+                          "max_inflight_per_tenant": args.max_inflight})
+    daemon = ServeDaemon(config).start()
+    host, port = daemon.address
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(pool: {daemon.pool.mode}, "
+          f"{args.min_workers}-{args.max_workers} workers, "
+          f"scheduler: {args.scheduler}, "
+          f"cache: {cache_dir or 'disabled'})")
+    print("endpoints: POST /v1/submit  GET /v1/result /v1/events "
+          "/v1/status  POST /v1/shutdown")
+    try:
+        daemon.serve_forever()
+    finally:
+        daemon.stop()
+    return 0
+
+
 COMMANDS = {"run": _cmd_run, "list": _cmd_list, "diff": _cmd_diff,
-            "bench": _cmd_bench, "trace": _cmd_trace}
+            "bench": _cmd_bench, "trace": _cmd_trace,
+            "serve": _cmd_serve}
 
 
 def main(argv: Optional[List[str]] = None,

@@ -11,7 +11,7 @@ validation.  This module is the single store behind all of them:
 - the **kind** partitions the namespace (``"optimizer"``,
   ``"workload"``, ``"delay"``, ``"fault"``, ``"sharding"``,
   ``"aggregator"``, ``"vec_optimizer"``, ``"vec_workload"``,
-  ``"backend"``, ``"obs"``);
+  ``"backend"``, ``"obs"``, ``"serve"``);
 - the **schema** declares the factory's configuration surface.  By
   default it is derived from the factory signature
   (:func:`schema_from_callable`), so every registration is typed for
@@ -51,6 +51,7 @@ _PROVIDERS: Dict[str, Tuple[str, ...]] = {
     "vec_workload": ("repro.vec.workloads",),
     "backend": ("repro.run.backends",),
     "obs": ("repro.obs",),
+    "serve": ("repro.serve.policies",),
 }
 
 # Annotation types the schema checker actually enforces; anything more

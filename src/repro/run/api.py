@@ -163,7 +163,8 @@ def _resolve_obs(obs) -> Optional[ObsSession]:
 def run(scenarios: Runnable, backend: str = "auto", *,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
-        validate: bool = True, obs=None) -> RunResult:
+        validate: bool = True, obs=None,
+        on_iteration=None) -> RunResult:
     """Execute scenarios through one unified entry point.
 
     Parameters
@@ -198,6 +199,22 @@ def run(scenarios: Runnable, backend: str = "auto", *,
         differential suite enforces this per backend).  The
         ``parallel`` backend's worker processes run uninstrumented —
         only coordinator-side orchestration is recorded there.
+    on_iteration : callable, optional
+        ``on_iteration(step, payload)`` invoked once per committed
+        optimizer iteration, straight off the
+        :meth:`~repro.obs.metrics.MetricsRegistry.emit` subscriber
+        seam — the same streaming contract a
+        :class:`repro.serve.Client` consumes remotely, so local and
+        served runs share one iteration feed.  The payload carries
+        ``step``, ``staleness``, ``worker``, ``sim_time``,
+        ``queue_depth``, and ``updates``.  Works with or without
+        ``obs=``: when no session was requested, a private
+        metrics-only session carries the subscription and no report
+        is attached.  Only in-process scalar execution (the
+        ``serial`` and ``cluster`` backends) emits per-iteration
+        payloads; ``parallel`` workers and the lockstep vec engine do
+        not.  The callback must only read — mutating run state would
+        void the deterministic records contract.
 
     Returns
     -------
@@ -214,13 +231,33 @@ def run(scenarios: Runnable, backend: str = "auto", *,
     the record.
     """
     session = _resolve_obs(obs)
+    report = session is not None
+    if on_iteration is not None:
+        if not callable(on_iteration):
+            raise TypeError(
+                f"on_iteration must be callable(step, payload), got "
+                f"{type(on_iteration).__name__}")
+        if session is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            session = ObsSession(metrics=MetricsRegistry())
+        elif session.metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            session.metrics = MetricsRegistry()
+        session.metrics.subscribe(on_iteration)
     if session is None:
         return _run_specs(scenarios, backend, jobs=jobs, cache=cache,
                           validate=validate)
-    with session:
-        outcome = _run_specs(scenarios, backend, jobs=jobs, cache=cache,
-                             validate=validate)
-    outcome.obs = session.report()
+    try:
+        with session:
+            outcome = _run_specs(scenarios, backend, jobs=jobs,
+                                 cache=cache, validate=validate)
+    finally:
+        if on_iteration is not None:
+            session.metrics.unsubscribe(on_iteration)
+    if report:
+        outcome.obs = session.report()
     return outcome
 
 

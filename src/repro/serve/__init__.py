@@ -1,0 +1,73 @@
+"""Multi-tenant tuning service: daemon, client API, and load harness.
+
+``repro.serve`` makes the paper's pitch — hands-free momentum tuning
+as a *service* — literal: a long-running daemon (``python -m repro
+serve``) accepts :class:`~repro.xp.spec.ScenarioSpec` traffic over
+localhost HTTP+JSON from many concurrent clients and returns records
+**bit-identical** in deterministic identity to a local
+:func:`repro.run.run` of the same specs.  The layer is a composition
+of seams the stack already had:
+
+- the content-addressed :class:`~repro.xp.cache.ResultCache` fronts
+  every submission, and an in-flight dedup index attaches concurrent
+  duplicates to the one running job — a spec is computed at most once;
+- lockstep-compatible specs from *different tenants* coalesce into a
+  single :class:`~repro.vec.engine.BatchedClusterEngine` run
+  (:mod:`repro.serve.batching`), each member keeping its own identity;
+- per-iteration metrics stream live through the PR 7
+  :class:`~repro.obs.metrics.MetricsRegistry` subscriber seam;
+- admission, scheduling, and autoscaling are registry components
+  under the new ``"serve"`` kind (:mod:`repro.serve.policies`);
+- execution runs on a BLITZSCALE-style pre-forked warm pool
+  (:class:`WorkerPool`) scaled live between min/max workers with no
+  cold starts;
+- :class:`LoadGenerator` drives the whole thing with open-loop
+  Poisson arrivals for the ``BENCH_serve.json`` latency percentiles.
+
+Client quickstart::
+
+    from repro.serve import Client
+    client = Client(("127.0.0.1", 8631), tenant="alice")
+    ticket = client.submit(spec)
+    record = client.result(ticket)      # a ScenarioResult
+
+See ``docs/serve.md`` for the protocol, quota, autoscaling, and
+batching semantics.
+"""
+
+from repro.serve.batching import batchable, execute_group, family_key
+from repro.serve.client import (AdmissionRejected, Client, JobFailed,
+                                ServeError)
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.jobs import Job, ServeState, TenantStats, Ticket
+from repro.serve.loadgen import LoadGenerator, LoadReport, percentile
+from repro.serve.policies import (AdmissionDecision, BatchingScheduler,
+                                  FifoScheduler, QueueDepthAutoscaler,
+                                  QuotaAdmission)
+from repro.serve.pool import WorkerPool, fork_available
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "BatchingScheduler",
+    "Client",
+    "FifoScheduler",
+    "Job",
+    "JobFailed",
+    "LoadGenerator",
+    "LoadReport",
+    "QueueDepthAutoscaler",
+    "QuotaAdmission",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "ServeState",
+    "TenantStats",
+    "Ticket",
+    "WorkerPool",
+    "batchable",
+    "execute_group",
+    "family_key",
+    "fork_available",
+    "percentile",
+]

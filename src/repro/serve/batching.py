@@ -1,0 +1,134 @@
+"""Cross-tenant batch execution: many tenants, one lockstep engine run.
+
+The replicate engine of :mod:`repro.vec` batches the *replicate* axis of
+one spec — ``R`` rows that differ only in their derived seeds.  The
+serving layer generalizes the same machinery across **tenants**: two
+submissions from different clients that are identical except for
+``seed`` (and ``name``) are exactly the shape
+:class:`~repro.vec.engine.BatchedClusterEngine` vectorizes, so the
+scheduler coalesces them into one batched run and each tenant still
+gets a record **bit-identical** to a solo ``run()`` of its own spec.
+
+Two pieces live here:
+
+- :func:`family_key` / :func:`batchable` — the grouping predicate: a
+  spec's *family* is its content hash with ``seed`` and ``name``
+  canonicalized away, so specs land in the same family exactly when
+  they are lockstep-interchangeable rows of one engine run.
+- :func:`execute_group` — run one family's members through a single
+  :class:`~repro.vec.engine.BatchedClusterEngine` (each member's
+  resolved seed is one row) and summarize every row against its own
+  member spec, preserving the per-member deterministic identity.  A
+  mid-run divergence falls back to per-member scalar execution, the
+  same contract :func:`repro.vec.runner.execute_replicated` honors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.report import environment_info
+from repro.obs.session import StepTimer
+from repro.utils.deprecation import internal_calls
+from repro.vec.engine import (BatchedClusterEngine, ReplicateDiverged,
+                              supports_batched)
+from repro.xp.spec import ScenarioSpec
+
+#: Canonical name given to every family representative, so member names
+#: can never leak into the family hash.
+FAMILY_NAME = "@family"
+
+
+def batchable(spec: ScenarioSpec) -> bool:
+    """Whether a spec can join a cross-tenant batched engine run.
+
+    Requires the lockstep-schedulable class
+    (:func:`repro.vec.engine.supports_batched`: constant delay, no
+    faults, a batched optimizer kernel) and ``replicates == 1`` — a
+    replicated spec already batches internally on its own replicate
+    axis and runs as a scalar unit.
+    """
+    return spec.replicates == 1 and supports_batched(spec)
+
+
+def family_key(spec: ScenarioSpec) -> Optional[str]:
+    """The grouping key for cross-tenant batching, or ``None``.
+
+    The key is the spec's content hash after canonicalizing ``seed``
+    (to 0) and ``name`` (to :data:`FAMILY_NAME`): two specs share a
+    family exactly when they differ only in seed and name — the two
+    fields the batched engine carries per row.  Non-batchable specs
+    (see :func:`batchable`) have no family.
+    """
+    if not batchable(spec):
+        return None
+    return spec.with_overrides({"seed": 0},
+                               name=FAMILY_NAME).content_hash()
+
+
+def execute_group(specs: Sequence[ScenarioSpec]) -> List["object"]:
+    """Execute one batch family as a single lockstep engine run.
+
+    Parameters
+    ----------
+    specs : sequence of ScenarioSpec
+        Members of one family (same :func:`family_key`), possibly from
+        different tenants.  Each member's :meth:`resolved_seed` becomes
+        one row of the batched run.
+
+    Returns
+    -------
+    list of ScenarioResult
+        One record per member, in input order, each bit-identical in
+        deterministic identity (name, spec hash, metrics, series) to a
+        solo scalar ``run()`` of that member.  ``env["serve_unit"]``
+        records the batch shape (informational, like ``wall_s``).
+
+    Notes
+    -----
+    A :class:`~repro.vec.engine.ReplicateDiverged` abort (one member's
+    trajectory diverges, truncating its scalar schedule) falls back to
+    per-member scalar execution, so diverging members stop exactly
+    where their solo runs would.
+    """
+    from repro.run.backends import execute_scalar
+    from repro.xp.runner import ScenarioResult, summarize_log
+
+    specs = list(specs)
+    if not specs:
+        return []
+    keys = {family_key(s) for s in specs}
+    if len(keys) != 1 or None in keys:
+        raise ValueError(
+            "execute_group needs members of exactly one batch family; "
+            f"got {len(specs)} specs spanning {len(keys)} families")
+    if len(specs) == 1:
+        record = execute_scalar(specs[0])
+        record.env["serve_unit"] = "scalar"
+        return [record]
+
+    seeds = [s.resolved_seed() for s in specs]
+    family = specs[0]
+    timer = StepTimer(f"batch:{family.name}", cat="serve.batch").start()
+    try:
+        with internal_calls():
+            engine = BatchedClusterEngine(family, seeds)
+            outcomes = engine.run()
+    except ReplicateDiverged:
+        results = [execute_scalar(s) for s in specs]
+        for record in results:
+            record.env["serve_unit"] = f"fallback:{len(specs)}"
+        return results
+    wall = timer.stop(members=len(specs))
+
+    results = []
+    for spec, outcome, seed in zip(specs, outcomes, seeds):
+        metrics, series = summarize_log(spec, outcome.log, outcome.reads,
+                                        outcome.updates, diverged=False)
+        env = environment_info()
+        env["seed"] = seed
+        env["serve_unit"] = f"batched:{len(specs)}"
+        results.append(ScenarioResult(
+            name=spec.name, spec_hash=spec.content_hash(),
+            metrics=metrics, series=series, env=env, wall_s=wall))
+    return results

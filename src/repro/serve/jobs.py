@@ -1,0 +1,327 @@
+"""Server-side bookkeeping: jobs, tickets, tenants, live event history.
+
+The daemon's mutable heart, factored out so scheduling and admission
+can be unit-tested without HTTP or worker processes.  Three entities:
+
+- **Job** — one distinct unit of computation, keyed by the spec's
+  content hash.  Duplicate submissions (same hash) attach to the same
+  job — the in-flight half of the dedup story; the result cache is the
+  at-rest half — so a spec is computed at most once no matter how many
+  tenants ask for it concurrently.
+- **Ticket** — one tenant's claim on a job.  The ticket id is what
+  :meth:`repro.serve.client.Client.submit` returns; results and event
+  streams are addressed by it.
+- **TenantStats** — per-tenant accounting (active tickets, cache
+  hits/misses, rejections) that admission policies and the
+  ``/v1/status`` endpoint read.
+
+Every job keeps an ordered **event history** (``queued`` → ``started``
+→ ``iteration``\\* → ``done``/``error``); streaming consumers hold a
+cursor into it and block on the shared condition, so a late subscriber
+replays the full history instead of missing early iterations.
+
+All mutation happens under :attr:`ServeState.lock`; the state object
+never calls out to policies, pools, or sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.xp.spec import ScenarioSpec
+
+#: Job lifecycle states.
+PENDING, RUNNING, DONE, ERROR = "pending", "running", "done", "error"
+
+
+@dataclass
+class Job:
+    """One distinct computation, shared by every ticket with its hash.
+
+    Attributes
+    ----------
+    id : str
+        Server-assigned job id (``j-<n>``).
+    spec : ScenarioSpec
+        The deduplicated spec to execute.
+    key : str
+        The spec's content hash (the dedup and cache key).
+    family : str or None
+        Cross-tenant batching family (see
+        :func:`repro.serve.batching.family_key`); ``None`` when the
+        spec is not batchable.
+    state : str
+        ``"pending"`` / ``"running"`` / ``"done"`` / ``"error"``.
+    tickets : list of str
+        Ids of every ticket attached to this job.
+    history : list of dict
+        Ordered lifecycle + per-iteration event records (the stream
+        replay buffer).
+    result : dict or None
+        The finished record (``ScenarioResult.as_dict()`` form).
+    error : str or None
+        Failure description when ``state == "error"``.
+    submitted : float
+        ``time.monotonic()`` at creation (drives batch windows).
+    """
+
+    id: str
+    spec: ScenarioSpec
+    key: str
+    family: Optional[str] = None
+    state: str = PENDING
+    tickets: List[str] = field(default_factory=list)
+    history: List[dict] = field(default_factory=list)
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    submitted: float = field(default_factory=time.monotonic)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in (DONE, ERROR)
+
+
+@dataclass
+class Ticket:
+    """One tenant's claim on a job (the client-visible handle).
+
+    Attributes
+    ----------
+    id : str
+        Server-assigned ticket id (``t-<n>``).
+    tenant : str
+        Submitting tenant.
+    name : str
+        Scenario name of the submitted spec.
+    spec_hash : str
+        Content hash of the submitted spec.
+    job_id : str
+        The backing job.
+    cached : bool
+        Whether the submission was answered from the result cache.
+    deduplicated : bool
+        Whether the submission attached to an already-in-flight job.
+    """
+
+    id: str
+    tenant: str
+    name: str
+    spec_hash: str
+    job_id: str
+    cached: bool = False
+    deduplicated: bool = False
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant serving statistics (admission + status reporting).
+
+    Attributes
+    ----------
+    submitted, rejected : int
+        Accepted / admission-rejected spec counts.
+    active : int
+        Tickets whose job has not finished (the in-flight quota gauge).
+    cache_hits, cache_misses : int
+        Result-cache outcomes of this tenant's accepted submissions
+        (a deduplicated in-flight attach counts as a miss — the work
+        is shared, but it was not free at submit time).
+    """
+
+    submitted: int = 0
+    rejected: int = 0
+    active: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict mirror for the ``/v1/status`` payload."""
+        return {"submitted": self.submitted, "rejected": self.rejected,
+                "active": self.active, "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses}
+
+
+class ServeState:
+    """Thread-safe job/ticket/tenant store behind the daemon.
+
+    All reads and writes happen under :attr:`lock`; :attr:`cond` (built
+    on the same lock) is notified whenever a job gains history events
+    or finishes, which is what streaming and long-polling handlers
+    block on.
+    """
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.jobs: Dict[str, Job] = {}
+        self.tickets: Dict[str, Ticket] = {}
+        self.tenants: Dict[str, TenantStats] = {}
+        #: content hash -> job id, for jobs not yet finished (the
+        #: in-flight dedup index; finished jobs are served by the cache)
+        self.inflight: Dict[str, str] = {}
+        #: job ids awaiting dispatch, FIFO
+        self.pending: List[str] = []
+        self._next_job = 0
+        self._next_ticket = 0
+
+    # ------------------------------------------------------------- #
+    # creation (caller holds the lock)
+    # ------------------------------------------------------------- #
+    def tenant(self, name: str) -> TenantStats:
+        """Get-or-create the stats record for ``name``."""
+        if name not in self.tenants:
+            self.tenants[name] = TenantStats()
+        return self.tenants[name]
+
+    def new_job(self, spec: ScenarioSpec, key: str,
+                family: Optional[str]) -> Job:
+        """Create a pending job, index it, and queue it for dispatch."""
+        self._next_job += 1
+        job = Job(id=f"j-{self._next_job:06d}", spec=spec, key=key,
+                  family=family)
+        job.history.append({"event": "queued", "job": job.id})
+        self.jobs[job.id] = job
+        self.inflight[key] = job.id
+        self.pending.append(job.id)
+        return job
+
+    def new_finished_job(self, spec: ScenarioSpec, key: str,
+                         result: dict) -> Job:
+        """Create an already-done job for a result-cache hit.
+
+        The job never enters the pending queue or the in-flight index;
+        it exists so cache-hit tickets share the job/result plumbing
+        with computed ones (one long-poll path, one history shape).
+        """
+        self._next_job += 1
+        job = Job(id=f"j-{self._next_job:06d}", spec=spec, key=key,
+                  state=DONE, result=result)
+        job.history.append({"event": "queued", "job": job.id})
+        job.history.append({"event": "done", "cached": True})
+        self.jobs[job.id] = job
+        return job
+
+    def new_ticket(self, tenant: str, spec: ScenarioSpec, key: str,
+                   job: Job, *, cached: bool = False,
+                   deduplicated: bool = False) -> Ticket:
+        """Create a ticket for ``tenant`` against ``job``."""
+        self._next_ticket += 1
+        ticket = Ticket(id=f"t-{self._next_ticket:06d}", tenant=tenant,
+                        name=spec.name, spec_hash=key, job_id=job.id,
+                        cached=cached, deduplicated=deduplicated)
+        self.tickets[ticket.id] = ticket
+        job.tickets.append(ticket.id)
+        stats = self.tenant(tenant)
+        stats.submitted += 1
+        if not job.finished:
+            stats.active += 1
+        return ticket
+
+    # ------------------------------------------------------------- #
+    # lifecycle transitions (caller holds the lock)
+    # ------------------------------------------------------------- #
+    def take_pending(self, job_ids: List[str]) -> None:
+        """Remove dispatched jobs from the pending queue, mark running."""
+        taken = set(job_ids)
+        self.pending = [j for j in self.pending if j not in taken]
+        for job_id in job_ids:
+            self.jobs[job_id].state = RUNNING
+
+    def append_event(self, job_id: str, event: dict) -> None:
+        """Append one history event to a job and wake all waiters."""
+        job = self.jobs.get(job_id)
+        if job is None or job.finished:
+            return
+        job.history.append(event)
+        self.cond.notify_all()
+
+    def finish(self, job_id: str, *, result: Optional[dict] = None,
+               error: Optional[str] = None) -> Optional[Job]:
+        """Move a job to its terminal state and settle its tickets.
+
+        Returns the job (or ``None`` when the id is unknown or already
+        finished — late double-completion is a no-op).
+        """
+        job = self.jobs.get(job_id)
+        if job is None or job.finished:
+            return None
+        job.state = ERROR if error is not None else DONE
+        job.result = result
+        job.error = error
+        self.inflight.pop(job.key, None)
+        if job_id in self.pending:      # aborted before dispatch
+            self.pending.remove(job_id)
+        job.history.append(
+            {"event": "error", "error": error} if error is not None
+            else {"event": "done", "cached": False})
+        for ticket_id in job.tickets:
+            ticket = self.tickets[ticket_id]
+            self.tenant(ticket.tenant).active -= 1
+        self.cond.notify_all()
+        return job
+
+    # ------------------------------------------------------------- #
+    # blocking reads (take the lock themselves)
+    # ------------------------------------------------------------- #
+    def wait_finished(self, ticket_id: str,
+                      timeout: float) -> Optional[Job]:
+        """Block until a ticket's job finishes (or ``timeout`` lapses).
+
+        Returns the job in its current state — callers re-check
+        :attr:`Job.finished` to distinguish completion from timeout.
+        Unknown tickets raise ``KeyError``.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self.lock:
+            ticket = self.tickets[ticket_id]
+            job = self.jobs[ticket.job_id]
+            while not job.finished:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self.cond.wait(remaining)
+            return job
+
+    def wait_events(self, ticket_id: str, cursor: int,
+                    timeout: float) -> tuple:
+        """Block for history events past ``cursor`` on a ticket's job.
+
+        Returns ``(events, next_cursor, finished)``; an empty event
+        list with ``finished=False`` means the wait timed out.  Unknown
+        tickets raise ``KeyError``.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self.lock:
+            ticket = self.tickets[ticket_id]
+            job = self.jobs[ticket.job_id]
+            while len(job.history) <= cursor and not job.finished:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], cursor, False
+                self.cond.wait(remaining)
+            events = [dict(e) for e in job.history[cursor:]]
+            return events, len(job.history), job.finished
+
+    # ------------------------------------------------------------- #
+    # views
+    # ------------------------------------------------------------- #
+    def pending_jobs(self) -> List[Job]:
+        """The pending queue as job objects, FIFO (caller holds lock)."""
+        return [self.jobs[j] for j in self.pending]
+
+    def active_tenants(self) -> int:
+        """Tenants with at least one unfinished ticket (holds lock)."""
+        return sum(1 for s in self.tenants.values() if s.active > 0)
+
+    def abort_all(self, reason: str) -> int:
+        """Fail every unfinished job (daemon shutdown); returns count."""
+        with self.lock:
+            open_ids = [j.id for j in self.jobs.values()
+                        if not j.finished]
+            for job_id in open_ids:
+                self.finish(job_id, error=reason)
+            return len(open_ids)

@@ -1,0 +1,202 @@
+"""Open-loop load harness for the tuning service.
+
+Measures the daemon the way MLSYSIM argues services should be
+measured: against a **first-principles arrival model**, not anecdotal
+back-to-back requests.  Arrivals are an open-loop Poisson process —
+inter-arrival gaps drawn i.i.d. exponential from a seeded RNG, and a
+request is launched at its scheduled instant *regardless of whether
+earlier requests completed* — so a saturated server sees queueing
+build up exactly as it would under independent tenants, instead of the
+closed-loop self-throttling that hides latency cliffs.
+
+Each request is one tenant's ``submit → result`` round trip through
+the real :class:`~repro.serve.client.Client` HTTP path; the report
+aggregates end-to-end latency percentiles (p50/p95/p99 — the numbers
+``BENCH_serve.json`` records and perf-gate diffs) plus completed
+throughput.  Rejections (quota 429s) and failures are counted, not
+silently dropped.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.xp.spec import ScenarioSpec
+
+from repro.serve.client import (AdmissionRejected, Client, JobFailed,
+                                ServeError)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Returns 0.0 for an empty sample list, so empty load reports stay
+    JSON-clean instead of raising.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))   # ceil without math
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one open-loop run.
+
+    Attributes
+    ----------
+    offered : int
+        Requests the arrival process generated.
+    completed, rejected, errors : int
+        Requests that returned a record / were refused by admission
+        (HTTP 429) / failed any other way.
+    duration_s : float
+        Makespan from the first scheduled arrival to the last
+        completion.
+    throughput_rps : float
+        ``completed / duration_s``.
+    latency_p50_s, latency_p95_s, latency_p99_s : float
+        End-to-end submit→result latency percentiles over completed
+        requests.
+    latency_mean_s : float
+        Mean completed-request latency.
+    """
+
+    offered: int
+    completed: int
+    rejected: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict mirror (the shape the bench reporter records)."""
+        return {"offered": self.offered, "completed": self.completed,
+                "rejected": self.rejected, "errors": self.errors,
+                "duration_s": self.duration_s,
+                "throughput_rps": self.throughput_rps,
+                "latency_p50_s": self.latency_p50_s,
+                "latency_p95_s": self.latency_p95_s,
+                "latency_p99_s": self.latency_p99_s,
+                "latency_mean_s": self.latency_mean_s}
+
+
+class LoadGenerator:
+    """Poisson open-loop driver over the client API.
+
+    Parameters
+    ----------
+    address : tuple of (str, int)
+        The daemon's bound address.
+    spec_factory : callable
+        ``spec_factory(index, tenant) -> ScenarioSpec`` — what each
+        arrival submits.  Vary the seed per index for an all-miss
+        uncached workload; return repeats for a cache-heavy mix.
+    tenants : int
+        Requests round-robin over ``tenant-0 .. tenant-{n-1}``.
+    rate_hz : float
+        Mean arrival rate of the Poisson process.
+    duration_s : float
+        Length of the arrival window (requests in flight at the end
+        still run to completion).
+    seed : int
+        Seed of the arrival-gap RNG, so a load profile is replayable.
+    result_timeout : float
+        Per-request wait bound on ``Client.result``.
+    """
+
+    def __init__(self, address: Tuple[str, int],
+                 spec_factory: Callable[[int, str], ScenarioSpec], *,
+                 tenants: int = 2, rate_hz: float = 20.0,
+                 duration_s: float = 2.0, seed: int = 0,
+                 result_timeout: float = 120.0):
+        if tenants < 1 or rate_hz <= 0 or duration_s <= 0:
+            raise ValueError("need tenants >= 1 and positive "
+                             "rate_hz/duration_s")
+        self.address = (str(address[0]), int(address[1]))
+        self.spec_factory = spec_factory
+        self.tenants = int(tenants)
+        self.rate_hz = float(rate_hz)
+        self.duration_s = float(duration_s)
+        self.seed = int(seed)
+        self.result_timeout = float(result_timeout)
+
+    def arrival_offsets(self) -> List[float]:
+        """The replayable arrival schedule (seconds from run start)."""
+        rng = random.Random(self.seed)
+        offsets, t = [], 0.0
+        while True:
+            t += rng.expovariate(self.rate_hz)
+            if t >= self.duration_s:
+                return offsets
+            offsets.append(t)
+
+    def run(self) -> LoadReport:
+        """Drive the full arrival schedule and aggregate the report.
+
+        Blocks until every launched request settles (completes, is
+        rejected, or errors).
+        """
+        offsets = self.arrival_offsets()
+        lock = threading.Lock()
+        latencies: List[float] = []
+        counts = {"rejected": 0, "errors": 0}
+        done_at = [0.0]
+
+        def one_request(index: int, tenant: str) -> None:
+            client = Client(self.address, tenant=tenant,
+                            timeout=self.result_timeout)
+            began = time.monotonic()
+            try:
+                ticket = client.submit(self.spec_factory(index, tenant))
+                client.result(ticket, timeout=self.result_timeout)
+            except AdmissionRejected:
+                with lock:
+                    counts["rejected"] += 1
+                return
+            except (JobFailed, ServeError):
+                with lock:
+                    counts["errors"] += 1
+                return
+            finished = time.monotonic()
+            with lock:
+                latencies.append(finished - began)
+                done_at[0] = max(done_at[0], finished)
+
+        threads = []
+        start = time.monotonic()
+        for index, offset in enumerate(offsets):
+            lag = start + offset - time.monotonic()
+            if lag > 0:
+                time.sleep(lag)
+            tenant = f"tenant-{index % self.tenants}"
+            thread = threading.Thread(
+                target=one_request, args=(index, tenant),
+                name=f"loadgen-{index}", daemon=True)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=self.result_timeout + 30.0)
+
+        end = max(done_at[0], time.monotonic())
+        duration = max(end - start, 1e-9)
+        completed = len(latencies)
+        mean = sum(latencies) / completed if completed else 0.0
+        return LoadReport(
+            offered=len(offsets), completed=completed,
+            rejected=counts["rejected"], errors=counts["errors"],
+            duration_s=duration,
+            throughput_rps=completed / duration,
+            latency_p50_s=percentile(latencies, 50),
+            latency_p95_s=percentile(latencies, 95),
+            latency_p99_s=percentile(latencies, 99),
+            latency_mean_s=mean)

@@ -1,0 +1,298 @@
+"""Pluggable serving policies: admission, scheduling, autoscaling.
+
+The daemon makes three kinds of decisions per tick, and each is a
+registered component under the new ``"serve"`` registry kind so
+deployments can swap implementations by name (and downstream code can
+register its own via :data:`repro.registry.registry`):
+
+- **admission** (``quota``) — accept or reject a submission *before* a
+  ticket exists, from per-tenant in-flight quotas and a global pending
+  cap.  Rejections are all-or-nothing per submission: a Matrix either
+  fully fits or is refused, so partial grids never dangle.
+- **scheduler** (``fifo``, ``batching``) — turn the pending queue into
+  dispatch units.  The batching scheduler is the cross-tenant twin of
+  :mod:`repro.vec`: pending jobs in one batch family (see
+  :func:`repro.serve.batching.family_key`) coalesce into a single
+  lockstep engine run once ``min_batch`` members are waiting or the
+  oldest has aged past ``batch_window`` seconds.
+- **autoscaler** (``queue_depth``) — choose the active worker count
+  between the pool's min and max from backlog per active worker,
+  scaling up eagerly (workers are pre-forked and warm, so activating
+  one is free — the BLITZSCALE premise) and down lazily after
+  ``idle_ticks`` consecutive underloaded ticks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.registry import registry
+from repro.serve.jobs import Job
+
+
+class AdmissionDecision:
+    """Outcome of an admission check.
+
+    Attributes
+    ----------
+    admitted : bool
+        Whether the submission may proceed.
+    reason : str
+        Human-readable rejection reason (empty when admitted); the
+        daemon returns it verbatim in the HTTP 429 body.
+    """
+
+    __slots__ = ("admitted", "reason")
+
+    def __init__(self, admitted: bool, reason: str = ""):
+        self.admitted = admitted
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        """Truthiness mirrors :attr:`admitted`."""
+        return self.admitted
+
+
+class QuotaAdmission:
+    """Per-tenant in-flight quota plus a global pending-queue cap.
+
+    Parameters
+    ----------
+    max_pending : int
+        Global cap on jobs queued but not yet dispatched; submissions
+        that would push past it are rejected regardless of tenant.
+    max_inflight_per_tenant : int
+        Cap on one tenant's unfinished tickets; cache hits don't
+        count (they finish at submit time), deduplicated attaches do
+        (the tenant is still waiting on the shared job).
+    """
+
+    def __init__(self, max_pending: int = 256,
+                 max_inflight_per_tenant: int = 32):
+        self.max_pending = int(max_pending)
+        self.max_inflight_per_tenant = int(max_inflight_per_tenant)
+
+    def admit(self, *, tenant_active: int, queue_depth: int,
+              new_jobs: int, new_tickets: int) -> AdmissionDecision:
+        """Decide one submission (possibly a multi-spec Matrix).
+
+        Parameters
+        ----------
+        tenant_active : int
+            The tenant's currently unfinished tickets.
+        queue_depth : int
+            Jobs currently pending dispatch.
+        new_jobs : int
+            Jobs this submission would add to the pending queue
+            (specs not answered by cache or in-flight dedup).
+        new_tickets : int
+            Unfinished tickets this submission would add for the
+            tenant (everything not answered by cache).
+
+        Returns
+        -------
+        AdmissionDecision
+            Admitted, or rejected with a quota-naming reason.
+        """
+        if tenant_active + new_tickets > self.max_inflight_per_tenant:
+            return AdmissionDecision(
+                False,
+                f"tenant quota exceeded: {tenant_active} active + "
+                f"{new_tickets} new > {self.max_inflight_per_tenant} "
+                "allowed in flight per tenant")
+        if queue_depth + new_jobs > self.max_pending:
+            return AdmissionDecision(
+                False,
+                f"server saturated: {queue_depth} pending + {new_jobs} "
+                f"new > {self.max_pending} queue capacity")
+        return AdmissionDecision(True)
+
+
+class FifoScheduler:
+    """Strict arrival-order dispatch, one job per unit (no batching).
+
+    The control baseline for the batching benchmark: every pending job
+    becomes its own scalar execution unit as soon as a worker slot is
+    free.
+    """
+
+    def plan(self, pending: Sequence[Job], slots: int,
+             now: float) -> List[List[Job]]:
+        """Dispatch up to ``slots`` single-job units in FIFO order.
+
+        Parameters
+        ----------
+        pending : sequence of Job
+            The pending queue, oldest first.
+        slots : int
+            Free worker slots available this tick.
+        now : float
+            Current ``time.monotonic()`` (unused; part of the
+            scheduler interface).
+
+        Returns
+        -------
+        list of list of Job
+            Dispatch units, each a single-member list.
+        """
+        return [[job] for job in pending[:max(0, slots)]]
+
+
+class BatchingScheduler:
+    """Coalesce lockstep-compatible jobs from any tenants into one unit.
+
+    Pending jobs sharing a batch family (same
+    :func:`repro.serve.batching.family_key`) are dispatched together as
+    one :class:`~repro.vec.engine.BatchedClusterEngine` run.  A family
+    dispatches when it has at least ``min_batch`` waiting members, or
+    unconditionally once its oldest member has waited ``batch_window``
+    seconds — bounded added latency in exchange for batch occupancy.
+    Unbatchable jobs (no family) dispatch FIFO as scalar units.
+
+    Parameters
+    ----------
+    max_batch : int
+        Largest unit size; an oversubscribed family splits into
+        multiple units.
+    min_batch : int
+        Members required to dispatch a family before its window
+        expires.
+    batch_window : float
+        Seconds the scheduler will hold a too-small family open
+        waiting for more members.
+    """
+
+    def __init__(self, max_batch: int = 16, min_batch: int = 2,
+                 batch_window: float = 0.05):
+        if max_batch < 1 or min_batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+        self.max_batch = int(max_batch)
+        self.min_batch = int(min_batch)
+        self.batch_window = float(batch_window)
+
+    def plan(self, pending: Sequence[Job], slots: int,
+             now: float) -> List[List[Job]]:
+        """Form dispatch units from the pending queue.
+
+        Parameters
+        ----------
+        pending : sequence of Job
+            The pending queue, oldest first.
+        slots : int
+            Free worker slots available this tick.
+        now : float
+            Current ``time.monotonic()``, compared against each job's
+            ``submitted`` stamp for window expiry.
+
+        Returns
+        -------
+        list of list of Job
+            At most ``slots`` units; batched units keep their members'
+            arrival order, and a family that is still under
+            ``min_batch`` within its window is held back entirely.
+        """
+        slots = max(0, slots)
+        units: List[List[Job]] = []
+        families: dict = {}
+        order: List[object] = []     # family keys / scalar jobs, FIFO
+        for job in pending:
+            if job.family is None:
+                order.append(job)
+            else:
+                if job.family not in families:
+                    families[job.family] = []
+                    order.append(job.family)
+                families[job.family].append(job)
+        for entry in order:
+            if len(units) >= slots:
+                break
+            if isinstance(entry, Job):
+                units.append([entry])
+                continue
+            members = families[entry]
+            ripe = (len(members) >= self.min_batch
+                    or now - members[0].submitted >= self.batch_window)
+            if not ripe:
+                continue
+            for start in range(0, len(members), self.max_batch):
+                if len(units) >= slots:
+                    break
+                units.append(members[start:start + self.max_batch])
+        return units
+
+
+class QueueDepthAutoscaler:
+    """Scale the active worker count from backlog per active worker.
+
+    Scale-up is immediate (activating a pre-forked warm worker costs
+    nothing); scale-down waits for ``idle_ticks`` consecutive
+    underloaded ticks so a bursty arrival process doesn't flap the
+    pool.
+
+    Parameters
+    ----------
+    backlog_per_worker : int
+        Target pending-jobs-per-active-worker; depth above the target
+        activates more workers, depth that would be satisfied by fewer
+        workers (with hysteresis) deactivates them.
+    idle_ticks : int
+        Consecutive underloaded ticks required before shrinking.
+    """
+
+    def __init__(self, backlog_per_worker: int = 2, idle_ticks: int = 5):
+        if backlog_per_worker < 1:
+            raise ValueError("backlog_per_worker must be >= 1")
+        self.backlog_per_worker = int(backlog_per_worker)
+        self.idle_ticks = int(idle_ticks)
+        self._calm = 0
+
+    def target(self, *, queue_depth: int, busy: int, active: int,
+               min_workers: int, max_workers: int) -> int:
+        """The desired active worker count for this tick.
+
+        Parameters
+        ----------
+        queue_depth : int
+            Jobs pending dispatch.
+        busy : int
+            Workers currently executing a unit.
+        active : int
+            Workers currently eligible for assignment.
+        min_workers, max_workers : int
+            Pool bounds.
+
+        Returns
+        -------
+        int
+            New active count in ``[min_workers, max_workers]``; equal
+            to ``active`` when no change is warranted.
+        """
+        load = queue_depth + busy
+        needed = -(-load // self.backlog_per_worker) if load else 0
+        desired = max(min_workers, min(max_workers, needed))
+        if desired > active:
+            self._calm = 0
+            return desired
+        if desired < active:
+            self._calm += 1
+            if self._calm >= self.idle_ticks:
+                self._calm = 0
+                # shrink one step at a time; never below the busy set
+                return max(desired, busy, min_workers, active - 1)
+            return active
+        self._calm = 0
+        return active
+
+
+registry.register("serve", "quota", QuotaAdmission,
+                  description="per-tenant in-flight quota + global "
+                              "pending cap admission")
+registry.register("serve", "fifo", FifoScheduler,
+                  description="arrival-order scalar dispatch (no "
+                              "cross-tenant batching)")
+registry.register("serve", "batching", BatchingScheduler,
+                  description="coalesce lockstep-compatible jobs "
+                              "across tenants into batched engine runs")
+registry.register("serve", "queue_depth", QueueDepthAutoscaler,
+                  description="scale active workers from backlog per "
+                              "worker with scale-down hysteresis")

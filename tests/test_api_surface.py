@@ -29,6 +29,7 @@ MODULES = (
     "repro.cluster",
     "repro.mp",
     "repro.obs",
+    "repro.serve",
     "repro.sim",
     "repro.optim",
     "repro.core",

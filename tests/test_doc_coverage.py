@@ -2,9 +2,9 @@
 
 Fails whenever a public module, class, function, method, or property in
 ``repro.optim``, ``repro.sim``, ``repro.cluster``, ``repro.xp``,
-``repro.vec``, ``repro.run``, ``repro.mp``, ``repro.obs``, or
-``repro.registry`` lacks a docstring, so API docs cannot rot silently
-as those packages grow.
+``repro.vec``, ``repro.run``, ``repro.mp``, ``repro.obs``,
+``repro.serve``, or ``repro.registry`` lacks a docstring, so API docs
+cannot rot silently as those packages grow.
 """
 
 import importlib
@@ -13,7 +13,7 @@ import pkgutil
 
 PACKAGES = ("repro.optim", "repro.sim", "repro.cluster", "repro.xp",
             "repro.vec", "repro.run", "repro.mp", "repro.obs",
-            "repro.registry")
+            "repro.serve", "repro.registry")
 
 
 def iter_modules():

@@ -1,0 +1,175 @@
+"""Concurrency gate: many clients, one daemon, serial-grade answers.
+
+Drives a running daemon from many concurrent client threads — each a
+separate tenant on its own sockets — with overlapping spec sets, and
+checks the two service invariants under contention:
+
+- every record handed back is bit-identical in deterministic identity
+  to a serial local :func:`repro.run.run` of the same spec;
+- duplicated specs are computed exactly once, whether the duplicate
+  arrived while its twin was pending/running (in-flight dedup) or
+  after it finished (result cache) — and the dedup half holds even
+  with the cache disabled.
+"""
+
+import threading
+
+import pytest
+
+from repro.run import run
+from repro.serve import Client, ServeConfig, ServeDaemon
+from repro.xp.spec import ScenarioSpec
+
+
+def make_spec(seed=0, name="conc", **overrides):
+    base = dict(name=name, workload="quadratic_bowl",
+                workload_params={"dim": 8, "noise_horizon": 8},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=2, reads=20, seed=seed, smooth=4)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def drive(address, jobs, errors):
+    """Worker body: submit-and-await each (tenant, spec), recording
+    ``(tenant, spec, record)`` triples or the raised exception."""
+    results = []
+
+    def one(tenant, spec):
+        try:
+            client = Client(address, tenant=tenant)
+            record = client.result(client.submit(spec), timeout=180)
+            results.append((tenant, spec, record))
+        except Exception as exc:     # noqa: BLE001 - surfaced below
+            errors.append((tenant, spec.name, exc))
+
+    threads = [threading.Thread(target=one, args=job) for job in jobs]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    return results
+
+
+def test_overlapping_clients_match_serial_run(tmp_path):
+    # 8 client threads over 4 distinct specs: every spec is requested
+    # twice, concurrently, by different tenants
+    distinct = [make_spec(seed=s, name=f"conc/{s}") for s in range(4)]
+    serial = {spec.name: run(spec).results[0].identity()
+              for spec in distinct}
+
+    daemon = ServeDaemon(ServeConfig(
+        cache_dir=str(tmp_path / "cache"), min_workers=1,
+        max_workers=4)).start()
+    try:
+        jobs = [(f"tenant-{i}", distinct[i % len(distinct)])
+                for i in range(8)]
+        errors = []
+        results = drive(daemon.address, jobs, errors)
+        assert not errors, errors
+        assert len(results) == 8
+        for _, spec, record in results:
+            assert record.identity() == serial[spec.name]
+        counters = daemon.metrics.snapshot()["counters"]
+        # 4 distinct specs -> exactly 4 computations; the 4 duplicates
+        # were answered by the in-flight index or the cache
+        assert counters["serve.jobs_computed"] == 4
+        deduped = counters.get("serve.deduplicated", 0)
+        cache_hits = counters.get("serve.cache_hits", 0)
+        assert deduped + cache_hits == 4
+    finally:
+        daemon.stop()
+
+
+def test_inflight_dedup_alone_computes_once(tmp_path):
+    # cache disabled: only the in-flight index can absorb duplicates,
+    # so hold dispatch until every duplicate has been submitted
+    daemon = ServeDaemon(ServeConfig(
+        cache_dir=None, min_workers=1, max_workers=2)).start()
+    try:
+        spec = make_spec(seed=11, name="conc/dup")
+        daemon.pause()
+        tickets, lock = [], threading.Lock()
+
+        def submit(tenant):
+            ticket = Client(daemon.address, tenant=tenant).submit(spec)
+            with lock:
+                tickets.append((tenant, ticket))
+
+        threads = [threading.Thread(target=submit, args=(f"t{i}",))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(tickets) == 6
+        job_ids = {ticket.job_id for _, ticket in tickets}
+        assert len(job_ids) == 1
+        assert sum(t.deduplicated for _, t in tickets) == 5
+        daemon.resume()
+
+        identities = set()
+        for tenant, ticket in tickets:
+            record = Client(daemon.address, tenant=tenant).result(
+                ticket, timeout=120)
+            identities.add(repr(record.identity()))
+        assert len(identities) == 1
+        counters = daemon.metrics.snapshot()["counters"]
+        assert counters["serve.jobs_computed"] == 1
+        assert counters["serve.deduplicated"] == 5
+        assert "serve.cache_hits" not in counters
+    finally:
+        daemon.stop()
+
+
+def test_quota_pressure_never_corrupts_results(tmp_path):
+    # a tight per-tenant quota under concurrent fire: some submissions
+    # bounce with 429s, but everything admitted completes correctly
+    daemon = ServeDaemon(ServeConfig(
+        cache_dir=str(tmp_path / "cache"), min_workers=1, max_workers=2,
+        admission_params={"max_pending": 4,
+                          "max_inflight_per_tenant": 2})).start()
+    try:
+        specs = [make_spec(seed=s, name=f"conc/q{s}") for s in range(10)]
+        jobs = [(f"tenant-{i % 2}", spec)
+                for i, spec in enumerate(specs)]
+        errors = []
+        results = drive(daemon.address, jobs, errors)
+        # rejected submissions raise AdmissionRejected in their thread;
+        # everything else must be a correct record
+        assert len(results) + len(errors) == 10
+        assert results, "quota must not starve the service entirely"
+        from repro.serve import AdmissionRejected
+        assert all(isinstance(e[2], AdmissionRejected) for e in errors), \
+            errors
+        for _, spec, record in results:
+            assert record.identity() == run(spec).results[0].identity()
+    finally:
+        daemon.stop()
+
+
+def test_daemon_survives_a_worker_unit_error(tmp_path):
+    # one tenant's bad workload params must fail only that tenant's
+    # job; concurrent well-formed traffic is unaffected
+    daemon = ServeDaemon(ServeConfig(
+        cache_dir=None, min_workers=1, max_workers=2,
+        validate=False)).start()
+    try:
+        from repro.serve import JobFailed
+        good = make_spec(seed=1, name="conc/good")
+        bad = make_spec(seed=2, name="conc/bad",
+                        workload_params={"dim": -4})
+        good_client = Client(daemon.address, tenant="good")
+        bad_client = Client(daemon.address, tenant="bad")
+        tg = good_client.submit(good)
+        tb = bad_client.submit(bad)
+        with pytest.raises(JobFailed):
+            bad_client.result(tb, timeout=120)
+        record = good_client.result(tg, timeout=120)
+        assert record.identity() == run(good).results[0].identity()
+        assert daemon.metrics.snapshot()["counters"][
+            "serve.unit_errors"] == 1
+    finally:
+        daemon.stop()

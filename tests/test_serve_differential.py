@@ -1,0 +1,157 @@
+"""Differential gate: served records are bit-identical to local run().
+
+The serving daemon answers from four paths — fresh scalar execution,
+cross-tenant batched execution, the content-addressed result cache,
+and the in-flight dedup index.  Every one of them must hand back a
+record whose deterministic identity (name, spec hash, metrics, series)
+equals a local :func:`repro.run.run` of the same spec; anything else
+means the service layer perturbed the science.  This suite also proves
+the computed-exactly-once property: duplicate traffic never increments
+``serve.jobs_computed``.
+"""
+
+import pytest
+
+from repro.run import run
+from repro.serve import Client, ServeConfig, ServeDaemon
+from repro.xp.spec import ScenarioSpec
+
+
+def make_spec(seed=0, name="diff", **overrides):
+    base = dict(name=name, workload="quadratic_bowl",
+                workload_params={"dim": 8, "noise_horizon": 8},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=2, reads=25, seed=seed, smooth=4)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def local_identity(spec):
+    """The ground truth: what run() computes for this spec locally."""
+    (record,) = run(spec).results
+    return record.identity()
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = ServeDaemon(ServeConfig(
+        cache_dir=str(tmp_path / "cache"), min_workers=1,
+        max_workers=2)).start()
+    yield d
+    d.stop()
+
+
+class TestServedEqualsLocal:
+    def test_uncached_scalar_path(self, daemon):
+        # the delay model draws from its own declared seed — without
+        # one, stochastic delays are unrepeatable by design, so the
+        # differential contract only covers seeded configurations
+        spec = make_spec(seed=3, name="diff/scalar",
+                         delay={"kind": "uniform", "low": 0.5,
+                                "high": 1.5, "seed": 13})
+        client = Client(daemon.address, tenant="t")
+        record = client.result(client.submit(spec), timeout=120)
+        assert record.env["serve_unit"] == "scalar"
+        assert record.identity() == local_identity(spec)
+
+    def test_cross_tenant_batched_path(self, daemon):
+        specs = [make_spec(seed=s, name=f"diff/b{s}")
+                 for s in (1, 2, 3)]
+        clients = [Client(daemon.address, tenant=f"tenant-{i}")
+                   for i in range(3)]
+        daemon.pause()
+        tickets = [c.submit(s) for c, s in zip(clients, specs)]
+        daemon.resume()
+        records = [c.result(t, timeout=120)
+                   for c, t in zip(clients, tickets)]
+        for record, spec in zip(records, specs):
+            assert record.env["serve_unit"] == "batched:3"
+            assert record.identity() == local_identity(spec)
+
+    def test_cached_path(self, daemon):
+        spec = make_spec(seed=4, name="diff/cached")
+        client = Client(daemon.address, tenant="t")
+        first = client.result(client.submit(spec), timeout=120)
+        ticket = client.submit(spec)
+        assert ticket.cached
+        record = client.result(ticket, timeout=30)
+        assert record.cached and not first.cached
+        assert record.identity() == first.identity() \
+            == local_identity(spec)
+
+    def test_batched_equals_scalar_serving(self, tmp_path):
+        # the same spec served batched and served alone must agree —
+        # the serving layer's unit shape is not allowed to matter
+        spec = make_spec(seed=7, name="diff/shape")
+        sibling = make_spec(seed=8, name="diff/shape-sib")
+        batched = ServeDaemon(ServeConfig(
+            cache_dir=None, min_workers=1, max_workers=1)).start()
+        try:
+            client = Client(batched.address)
+            batched.pause()
+            t1 = client.submit(spec)
+            client.submit(sibling)
+            batched.resume()
+            via_batch = client.result(t1, timeout=120)
+        finally:
+            batched.stop()
+        alone = ServeDaemon(ServeConfig(
+            cache_dir=None, min_workers=1, max_workers=1,
+            scheduler="fifo")).start()
+        try:
+            client = Client(alone.address)
+            via_scalar = client.result(client.submit(spec),
+                                       timeout=120)
+        finally:
+            alone.stop()
+        assert via_batch.env["serve_unit"] == "batched:2"
+        assert via_scalar.env["serve_unit"] == "scalar"
+        assert via_batch.identity() == via_scalar.identity()
+
+
+class TestComputedExactlyOnce:
+    def test_duplicates_in_one_submission_share_a_job(self, daemon):
+        spec = make_spec(seed=5, name="diff/dup")
+        client = Client(daemon.address, tenant="t")
+        daemon.pause()
+        t1, t2 = client.submit([spec, spec])
+        daemon.resume()
+        assert t2.deduplicated and not t1.deduplicated
+        assert t1.job_id == t2.job_id
+        r1 = client.result(t1, timeout=120)
+        r2 = client.result(t2, timeout=120)
+        assert r1.identity() == r2.identity() == local_identity(spec)
+        counters = daemon.metrics.snapshot()["counters"]
+        assert counters["serve.jobs_computed"] == 1
+        assert counters["serve.deduplicated"] == 1
+
+    def test_concurrent_tenants_dedup_against_inflight(self, daemon):
+        spec = make_spec(seed=6, name="diff/race")
+        alice = Client(daemon.address, tenant="alice")
+        bob = Client(daemon.address, tenant="bob")
+        daemon.pause()
+        ta = alice.submit(spec)
+        tb = bob.submit(spec)
+        daemon.resume()
+        assert tb.deduplicated
+        assert ta.job_id == tb.job_id
+        ra = alice.result(ta, timeout=120)
+        rb = bob.result(tb, timeout=120)
+        assert ra.identity() == rb.identity() == local_identity(spec)
+        assert daemon.metrics.snapshot()["counters"][
+            "serve.jobs_computed"] == 1
+
+    def test_cache_hit_never_reaches_the_pool(self, daemon):
+        spec = make_spec(seed=9, name="diff/hot")
+        client = Client(daemon.address, tenant="t")
+        client.result(client.submit(spec), timeout=120)
+        before = daemon.pool.units_dispatched
+        for _ in range(5):
+            ticket = client.submit(spec)
+            assert ticket.cached
+            client.result(ticket, timeout=30)
+        assert daemon.pool.units_dispatched == before
+        assert daemon.metrics.snapshot()["counters"][
+            "serve.jobs_computed"] == 1

@@ -1,0 +1,275 @@
+"""Unit tests for the serve layer's policies and bookkeeping.
+
+Covers the pieces that decide *what runs when* without sockets or
+worker processes: the batch-family grouping predicate, the quota
+admission policy, the fifo and batching schedulers, the queue-depth
+autoscaler, and the thread-safe job/ticket state store.
+"""
+
+import threading
+
+import pytest
+
+from repro.registry import registry
+from repro.serve.batching import FAMILY_NAME, batchable, family_key
+from repro.serve.jobs import ServeState
+from repro.serve.policies import (BatchingScheduler, FifoScheduler,
+                                  QueueDepthAutoscaler, QuotaAdmission)
+from repro.xp.spec import ScenarioSpec
+
+
+def make_spec(seed=0, name="unit", **overrides):
+    base = dict(name=name, workload="quadratic_bowl",
+                workload_params={"dim": 8, "noise_horizon": 8},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.02, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=2, reads=20, seed=seed, smooth=4)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestFamilyKey:
+    def test_seed_and_name_variants_share_a_family(self):
+        a = make_spec(seed=1, name="alice/a")
+        b = make_spec(seed=2, name="bob/b")
+        assert family_key(a) == family_key(b) is not None
+        assert a.content_hash() != b.content_hash()
+
+    def test_differing_workload_params_split_families(self):
+        a = make_spec(seed=1)
+        b = make_spec(seed=1, optimizer_params={"lr": 0.03,
+                                                "momentum": 0.5})
+        assert family_key(a) != family_key(b)
+
+    def test_non_lockstep_specs_have_no_family(self):
+        stochastic = make_spec(delay={"kind": "uniform", "low": 0.5,
+                                      "high": 1.5})
+        assert not batchable(stochastic)
+        assert family_key(stochastic) is None
+
+    def test_replicated_specs_have_no_family(self):
+        assert family_key(make_spec(replicates=4)) is None
+
+    def test_member_name_never_leaks_into_the_family(self):
+        # a member literally named like the canonical representative
+        # must land in the same family as any other member
+        a = make_spec(seed=1, name=FAMILY_NAME)
+        b = make_spec(seed=2, name="other")
+        assert family_key(a) == family_key(b)
+
+
+class TestQuotaAdmission:
+    def test_within_quota_admits(self):
+        policy = QuotaAdmission(max_pending=10,
+                                max_inflight_per_tenant=4)
+        decision = policy.admit(tenant_active=2, queue_depth=5,
+                                new_jobs=2, new_tickets=2)
+        assert decision and decision.reason == ""
+
+    def test_tenant_quota_rejects(self):
+        policy = QuotaAdmission(max_pending=100,
+                                max_inflight_per_tenant=4)
+        decision = policy.admit(tenant_active=3, queue_depth=0,
+                                new_jobs=2, new_tickets=2)
+        assert not decision
+        assert "tenant quota" in decision.reason
+
+    def test_global_saturation_rejects(self):
+        policy = QuotaAdmission(max_pending=8,
+                                max_inflight_per_tenant=100)
+        decision = policy.admit(tenant_active=0, queue_depth=7,
+                                new_jobs=2, new_tickets=2)
+        assert not decision
+        assert "saturated" in decision.reason
+
+    def test_cache_hits_cost_no_quota(self):
+        # a submission fully answered by cache adds no jobs/tickets
+        policy = QuotaAdmission(max_pending=1,
+                                max_inflight_per_tenant=1)
+        assert policy.admit(tenant_active=1, queue_depth=1,
+                            new_jobs=0, new_tickets=0)
+
+
+def pending_jobs(state, specs):
+    with state.lock:
+        jobs = []
+        for spec in specs:
+            key = spec.content_hash()
+            job = state.new_job(spec, key, family_key(spec))
+            state.new_ticket("t", spec, key, job)
+            jobs.append(job)
+    return jobs
+
+
+class TestSchedulers:
+    def test_fifo_respects_slots_and_order(self):
+        state = ServeState()
+        jobs = pending_jobs(state, [make_spec(seed=s, name=f"j{s}")
+                                    for s in range(4)])
+        plan = FifoScheduler().plan(jobs, slots=2, now=0.0)
+        assert [[j.id for j in unit] for unit in plan] == \
+            [[jobs[0].id], [jobs[1].id]]
+
+    def test_batching_coalesces_one_family(self):
+        state = ServeState()
+        jobs = pending_jobs(state, [make_spec(seed=s, name=f"j{s}")
+                                    for s in range(3)])
+        plan = BatchingScheduler(min_batch=2).plan(jobs, slots=4,
+                                                   now=0.0)
+        assert len(plan) == 1
+        assert [j.id for j in plan[0]] == [j.id for j in jobs]
+
+    def test_batching_holds_a_lone_member_inside_the_window(self):
+        state = ServeState()
+        (job,) = pending_jobs(state, [make_spec(seed=1)])
+        scheduler = BatchingScheduler(min_batch=2, batch_window=10.0)
+        assert scheduler.plan([job], slots=4,
+                              now=job.submitted + 1.0) == []
+        # window expired: dispatch even under min_batch
+        plan = scheduler.plan([job], slots=4, now=job.submitted + 11.0)
+        assert [[j.id for j in u] for u in plan] == [[job.id]]
+
+    def test_batching_splits_at_max_batch(self):
+        state = ServeState()
+        jobs = pending_jobs(state, [make_spec(seed=s, name=f"j{s}")
+                                    for s in range(5)])
+        plan = BatchingScheduler(max_batch=2, min_batch=2).plan(
+            jobs, slots=4, now=0.0)
+        assert [len(unit) for unit in plan] == [2, 2, 1]
+
+    def test_unbatchable_jobs_dispatch_fifo_alongside_families(self):
+        state = ServeState()
+        scalar = make_spec(seed=9, name="scalar",
+                           delay={"kind": "uniform", "low": 0.5,
+                                  "high": 1.5})
+        jobs = pending_jobs(state, [scalar, make_spec(seed=1, name="a"),
+                                    make_spec(seed=2, name="b")])
+        plan = BatchingScheduler(min_batch=2).plan(jobs, slots=4,
+                                                   now=0.0)
+        assert [len(unit) for unit in plan] == [1, 2]
+        assert plan[0][0].family is None
+
+    def test_slots_cap_dispatch(self):
+        state = ServeState()
+        jobs = pending_jobs(state, [
+            make_spec(seed=s, name=f"j{s}",
+                      delay={"kind": "uniform", "low": 0.5, "high": 1.5})
+            for s in range(4)])
+        plan = BatchingScheduler().plan(jobs, slots=1, now=0.0)
+        assert len(plan) == 1
+
+
+class TestAutoscaler:
+    def test_scales_up_immediately_with_backlog(self):
+        scaler = QueueDepthAutoscaler(backlog_per_worker=2)
+        assert scaler.target(queue_depth=8, busy=1, active=1,
+                             min_workers=1, max_workers=4) == 4
+
+    def test_scales_down_only_after_hysteresis(self):
+        scaler = QueueDepthAutoscaler(backlog_per_worker=2,
+                                      idle_ticks=3)
+        for _ in range(2):
+            assert scaler.target(queue_depth=0, busy=0, active=4,
+                                 min_workers=1, max_workers=4) == 4
+        # third calm tick: shrink one step
+        assert scaler.target(queue_depth=0, busy=0, active=4,
+                             min_workers=1, max_workers=4) == 3
+
+    def test_never_scales_below_busy_or_min(self):
+        scaler = QueueDepthAutoscaler(backlog_per_worker=2,
+                                      idle_ticks=1)
+        assert scaler.target(queue_depth=0, busy=3, active=4,
+                             min_workers=1, max_workers=4) == 3
+
+    def test_clamps_to_bounds(self):
+        scaler = QueueDepthAutoscaler(backlog_per_worker=1)
+        assert scaler.target(queue_depth=100, busy=0, active=2,
+                             min_workers=2, max_workers=3) == 3
+
+
+class TestServeState:
+    def test_inflight_dedup_index_lifecycle(self):
+        state = ServeState()
+        spec = make_spec(seed=1)
+        key = spec.content_hash()
+        with state.lock:
+            job = state.new_job(spec, key, family_key(spec))
+            t1 = state.new_ticket("alice", spec, key, job)
+            t2 = state.new_ticket("bob", spec, key, job,
+                                  deduplicated=True)
+            assert state.inflight[key] == job.id
+            assert state.tenant("alice").active == 1
+            assert state.tenant("bob").active == 1
+            state.take_pending([job.id])
+            assert state.pending == []
+            state.finish(job.id, result={"name": spec.name})
+            assert key not in state.inflight
+            assert state.tenant("alice").active == 0
+            assert state.tenant("bob").active == 0
+        finished = state.wait_finished(t1.id, timeout=0.0)
+        assert finished.result == {"name": spec.name}
+        assert state.wait_finished(t2.id, timeout=0.0) is finished
+
+    def test_wait_events_replays_full_history(self):
+        state = ServeState()
+        spec = make_spec(seed=2)
+        key = spec.content_hash()
+        with state.lock:
+            job = state.new_job(spec, key, None)
+            ticket = state.new_ticket("t", spec, key, job)
+            state.append_event(job.id, {"event": "started"})
+            state.append_event(job.id, {"event": "iteration", "step": 0})
+            state.finish(job.id, result={})
+        events, cursor, finished = state.wait_events(ticket.id, 0, 0.0)
+        assert [e["event"] for e in events] == \
+            ["queued", "started", "iteration", "done"]
+        assert finished
+        # cursor resumes past what was already seen
+        more, _, _ = state.wait_events(ticket.id, cursor, 0.0)
+        assert more == []
+
+    def test_wait_unblocks_across_threads(self):
+        state = ServeState()
+        spec = make_spec(seed=3)
+        key = spec.content_hash()
+        with state.lock:
+            job = state.new_job(spec, key, None)
+            ticket = state.new_ticket("t", spec, key, job)
+        seen = {}
+
+        def waiter():
+            seen["job"] = state.wait_finished(ticket.id, timeout=10.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with state.lock:
+            state.finish(job.id, result={"ok": True})
+        thread.join(timeout=10.0)
+        assert seen["job"].result == {"ok": True}
+
+    def test_abort_all_fails_open_jobs(self):
+        state = ServeState()
+        spec = make_spec(seed=4)
+        key = spec.content_hash()
+        with state.lock:
+            job = state.new_job(spec, key, None)
+            ticket = state.new_ticket("t", spec, key, job)
+        assert state.abort_all("shutdown") == 1
+        finished = state.wait_finished(ticket.id, timeout=0.0)
+        assert finished.error == "shutdown"
+
+    def test_unknown_ticket_raises(self):
+        state = ServeState()
+        with pytest.raises(KeyError):
+            state.wait_finished("t-999999", timeout=0.0)
+
+
+def test_serve_kind_is_registered():
+    names = registry.names("serve")
+    assert {"quota", "fifo", "batching", "queue_depth"} <= set(names)
+    # registry-built policies validate their configuration surface
+    scheduler = registry.build("serve", "batching", max_batch=4)
+    assert scheduler.max_batch == 4
+    with pytest.raises(ValueError):
+        registry.build("serve", "batching", bogus_knob=1)
