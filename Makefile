@@ -5,7 +5,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
 	matrix-smoke vec-smoke api-smoke mp-smoke obs-smoke serve-smoke \
-	perf-gate example cluster-example matrix-example
+	fleet-smoke perf-gate example cluster-example matrix-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -70,6 +70,11 @@ vec-smoke:  ## batched replicate engine: differential + property suites, 8-repli
 	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
 	    benchmarks/test_vec_replicates.py -q -s
 
+fleet-smoke:  ## worker-axis engine: differential suite + quarter-scale 256-worker speedup gate, <60s
+	$(PYTEST) tests/test_fleet_equivalence.py -q
+	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
+	    benchmarks/test_fleet_scale.py -q -s
+
 perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines; reports land in artifacts/
 	@fresh=$$(mktemp -d); status=0; \
 	mkdir -p artifacts; \
@@ -79,9 +84,10 @@ perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
 	    benchmarks/test_mp_throughput.py \
 	    benchmarks/test_obs_overhead.py \
 	    benchmarks/test_serve_load.py \
+	    benchmarks/test_fleet_scale.py \
 	    -q -s && \
 	PYTHONPATH=src python -m repro diff --baseline . --fresh $$fresh \
-	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput,obs_overhead,serve \
+	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput,obs_overhead,serve,fleet_scale \
 	    --report artifacts/perf_report.json \
 	    || status=$$?; \
 	cp $$fresh/BENCH_vec_replicates.json \

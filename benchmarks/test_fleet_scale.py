@@ -1,0 +1,168 @@
+"""Worker-axis engine: fleet-scale speedup gate and a 1000-worker figure.
+
+Two measurements land in ``BENCH_fleet_scale.json``:
+
+1. **The worker-axis speedup** — the headline systems claim of the
+   ``repro.fleet`` engine: a 256-worker asynchronous scenario through
+   the round-collapsed fleet engine versus the per-event serial
+   ``ClusterRuntime`` loop.  The records are bit-identical (the
+   differential suite in ``tests/test_fleet_equivalence.py`` enforces
+   the whole eligible class; this test re-asserts it on the measured
+   runs), so the ≥5x wall-clock payoff is pure engineering, not a
+   semantics change.
+2. **A 1000-worker heterogeneous fleet** — the figure-class record: a
+   three-class topology (steady racks, a jittery mid tier, heavy-tail
+   spot stragglers) with rack-correlated crash groups, run through the
+   fleet backend with per-class cost/energy accounting attached to the
+   result envelope.  This is the scale regime the paper's staleness
+   analysis targets and the serial loop makes painful to sweep.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import BenchReporter
+from repro.run import run
+from repro.xp import ScenarioSpec
+from benchmarks.workloads import FULL_SCALE, print_table, steps
+
+WORKERS = 256
+SEED = 0
+SPEEDUP_BAR = 5.0
+# quarter-scale smoke runs amortize the engine's fixed per-commit cost
+# over 4x fewer reads; they keep a direction gate, full scale gates 5x
+SMOKE_BAR = 3.0
+
+
+def speed_spec(reads):
+    # lr sized for ~256-step staleness on the default quadratic (the
+    # serial path diverges at the scalar default lr, which would turn
+    # the measurement into a fallback no-op)
+    return ScenarioSpec(
+        name="fleet_scale", workload="quadratic_bowl",
+        optimizer="sgd", optimizer_params={"lr": 0.002},
+        delay={"kind": "constant", "delay": 1.0},
+        workers=WORKERS, reads=reads, seed=SEED,
+        record_series=("loss",))
+
+
+def fig_spec(reads):
+    """1000 workers in three hardware classes with correlated faults."""
+    fleet = {
+        "classes": [
+            {"name": "steady_rack", "count": 640,
+             "delay": {"kind": "constant", "delay": 1.0},
+             "cost_per_hour": 3.2, "power_watts": 400.0},
+            {"name": "jitter_rack", "count": 280,
+             "delay": {"kind": "uniform", "low": 1.2, "high": 2.4,
+                       "seed": 1},
+             "cost_per_hour": 2.0, "power_watts": 300.0},
+            {"name": "spot_tail", "count": 80,
+             "delay": {"kind": "pareto", "alpha": 3.0, "scale": 1.5,
+                       "seed": 2},
+             "cost_per_hour": 0.9, "power_watts": 250.0},
+        ],
+        "fault_groups": [
+            # a rack-sized outage early and a spot reclaim later (the
+            # sim spans ~reads/1000 time units, so both fire even at
+            # quarter-scale smoke budgets)
+            {"class": "jitter_rack", "count": 40, "time": 0.8,
+             "downtime": 0.5},
+            {"class": "spot_tail", "count": 80, "time": 1.6,
+             "downtime": 1.0},
+        ],
+    }
+    return ScenarioSpec(
+        name="fleet_1000_hetero", workload="quadratic_bowl",
+        optimizer="sgd", optimizer_params={"lr": 2e-4},
+        fleet=fleet, reads=reads, seed=SEED,
+        record_series=("loss", "staleness", "sim_time", "crash",
+                       "restart"))
+
+
+def test_fleet_scale_speedup_and_heterogeneous_figure():
+    reads = steps(16000)
+    spec = speed_spec(reads)
+
+    # warm both paths (imports, allocator) before timing
+    run(spec, backend="serial")
+    run(spec, backend="fleet")
+
+    repeats = 3
+    serial_walls, fleet_walls = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        serial = run(spec, backend="serial").result
+        serial_walls.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fleet = run(spec, backend="fleet").result
+        fleet_walls.append(time.perf_counter() - t0)
+    serial_wall = min(serial_walls)
+    fleet_wall = min(fleet_walls)
+    speedup = serial_wall / fleet_wall
+
+    # the whole point: the fleet engine ran, and bit-identically
+    assert fleet.env["fleet_engine"] == "fleet"
+    assert fleet.identity() == serial.identity()
+
+    print_table(
+        f"Fleet engine: {WORKERS} workers, {reads} reads",
+        ["path", "wall (ms)", "reads/ms"],
+        [["serial per-event", f"{serial_wall * 1e3:.1f}",
+          f"{reads / serial_wall / 1e3:.1f}"],
+         ["fleet batched", f"{fleet_wall * 1e3:.1f}",
+          f"{reads / fleet_wall / 1e3:.1f}"]])
+    print(f"\nworker-axis speedup: {speedup:.2f}x "
+          f"(gate: >= {SPEEDUP_BAR:.0f}x at full scale)")
+
+    # 1000-worker heterogeneous figure record (event-mode engine:
+    # seeded stochastic delays + scheduled rack faults stay eligible)
+    fig_reads = steps(8000)
+    figure = run(fig_spec(fig_reads), backend="fleet").result
+    serial_figure = run(fig_spec(fig_reads), backend="serial").result
+    assert figure.identity() == serial_figure.identity()
+    assert figure.env["fleet_engine"] == "fleet"
+    accounting = figure.env["fleet_accounting"]
+    staleness = np.asarray(figure.series["staleness"])
+    crashes = float(len(figure.series.get("crash", [])))
+
+    rows = [[c["name"], str(c["workers"]), f"{c['cost']:.4f}",
+             f"{c['energy_wh']:.2f}"] for c in accounting["classes"]]
+    rows.append(["total", "1000", f"{accounting['total_cost']:.4f}",
+                 f"{accounting['total_energy_wh']:.2f}"])
+    print_table("1000-worker heterogeneous fleet (cost / energy)",
+                ["class", "workers", "cost ($)", "energy (Wh)"], rows)
+    print(f"staleness mean {staleness.mean():.1f}, "
+          f"p99 {np.percentile(staleness, 99):.0f}, "
+          f"max {staleness.max():.0f}; crashes {crashes:.0f}")
+
+    assert figure.metrics["diverged"] == 0.0
+    assert crashes >= 120.0  # both rack groups (40 + 80) fired
+    assert accounting["total_cost"] > 0.0
+
+    metrics = {
+        "speedup_256": speedup,
+        "serial_wall_s": serial_wall,
+        "fleet_wall_s": fleet_wall,
+        "fig1000_final_loss": figure.metrics["final_loss"],
+        "fig1000_staleness_mean": float(staleness.mean()),
+        "fig1000_staleness_p99": float(np.percentile(staleness, 99)),
+        "fig1000_crashes": float(crashes),
+        "fig1000_total_cost": float(accounting["total_cost"]),
+        "fig1000_total_energy_wh": float(
+            accounting["total_energy_wh"]),
+    }
+    reporter = BenchReporter()
+    reporter.record("fleet_scale", metrics,
+                    {"workers": WORKERS, "reads": reads,
+                     "fig_workers": 1000, "fig_reads": fig_reads,
+                     "optimizer": "sgd"}, seed=SEED)
+    reporter.write("fleet_scale")
+
+    # the acceptance gate: batching the worker axis must make
+    # fleet-scale scenarios at least 5x cheaper than per-event serial
+    bar = SPEEDUP_BAR if FULL_SCALE else SMOKE_BAR
+    assert speedup >= bar, (
+        f"worker-axis speedup {speedup:.2f}x below the {bar:.0f}x bar "
+        f"(serial {serial_wall:.3f}s, fleet {fleet_wall:.3f}s)")

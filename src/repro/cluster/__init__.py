@@ -18,7 +18,8 @@ from repro.cluster.events import Event, EventQueue
 from repro.cluster.delays import (ConstantDelay, DelayModel,
                                   ExponentialDelay, HeterogeneousDelay,
                                   ParetoDelay, TraceReplayDelay,
-                                  UniformDelay, make_delay_model)
+                                  UniformDelay, WorkerClassDelay,
+                                  make_delay_model)
 from repro.cluster.faults import (FaultInjector, ShardPause, Straggler,
                                   WorkerCrash)
 from repro.cluster.runtime import ClusterRuntime, ClusterWorker
@@ -31,7 +32,7 @@ __all__ = [
     "Event", "EventQueue",
     "DelayModel", "ConstantDelay", "UniformDelay", "ExponentialDelay",
     "ParetoDelay", "HeterogeneousDelay", "TraceReplayDelay",
-    "make_delay_model",
+    "WorkerClassDelay", "make_delay_model",
     "FaultInjector", "WorkerCrash", "Straggler", "ShardPause",
     "ClusterRuntime", "ClusterWorker",
     "checkpoint_cluster", "restore_cluster",

@@ -20,12 +20,18 @@ Catalog
   stragglers, the regime where fixed momentum is most fragile.
 - :class:`HeterogeneousDelay` — a different sub-model per worker
   (fast/slow machine mixes).
+- :class:`WorkerClassDelay` — contiguous worker-id blocks, one
+  sub-model per block (fleet topologies: racks and machine classes
+  occupy id ranges, they do not interleave modulo-style).
 - :class:`TraceReplayDelay` — replay durations recorded from a real
   run (JSON), for scenario regression testing.
 
 All stochastic models own a seeded generator and expose
 ``state_dict``/``load_state_dict`` so a checkpointed run resumes with an
-identical future delay stream.
+identical future delay stream.  Every model also exposes
+:meth:`DelayModel.sample_many`, a batched form of ``sample`` consuming
+the underlying stream exactly as repeated scalar calls would — the
+fleet engine uses it to price a whole dispatch burst in one NumPy op.
 """
 
 from __future__ import annotations
@@ -66,6 +72,32 @@ class DelayModel:
             Strictly positive duration until the gradient arrives.
         """
         raise NotImplementedError
+
+    def sample_many(self, workers: Sequence[int], now: float) -> np.ndarray:
+        """Durations for a batch of dispatches issued at time ``now``.
+
+        Semantically equivalent to calling :meth:`sample` once per id in
+        ``workers`` order — including the stream position of stateful
+        models, so mixing batched and scalar sampling stays bit-exact.
+        Subclasses override this with a single vectorized draw where the
+        underlying generator fills arrays from the same bitstream as
+        repeated scalar draws (the differential tests enforce the
+        equivalence).
+
+        Parameters
+        ----------
+        workers : sequence of int
+            Worker ids dispatching, in dispatch order.
+        now : float
+            Current simulated time (shared by the whole burst).
+
+        Returns
+        -------
+        numpy.ndarray
+            One duration per worker id, in input order.
+        """
+        return np.array([self.sample(int(w), now) for w in workers],
+                        dtype=float)
 
     def state_dict(self) -> dict:
         """Serializable model state (just the identity for stateless
@@ -133,6 +165,10 @@ class ConstantDelay(DelayModel):
         """Return the fixed duration."""
         return self.delay
 
+    def sample_many(self, workers: Sequence[int], now: float) -> np.ndarray:
+        """The fixed duration, broadcast over the burst."""
+        return np.full(len(workers), self.delay)
+
 
 class UniformDelay(_SeededDelay):
     """I.i.d. durations drawn uniformly from ``[low, high]``.
@@ -157,6 +193,10 @@ class UniformDelay(_SeededDelay):
     def sample(self, worker: int, now: float) -> float:
         """One uniform draw from the model's private stream."""
         return float(self.rng.uniform(self.low, self.high))
+
+    def sample_many(self, workers: Sequence[int], now: float) -> np.ndarray:
+        """One array draw; consumes the stream like repeated scalars."""
+        return self.rng.uniform(self.low, self.high, size=len(workers))
 
 
 class ExponentialDelay(_SeededDelay):
@@ -191,6 +231,11 @@ class ExponentialDelay(_SeededDelay):
     def sample(self, worker: int, now: float) -> float:
         """One shifted-exponential draw."""
         return self.floor + float(self.rng.exponential(self.mean))
+
+    def sample_many(self, workers: Sequence[int], now: float) -> np.ndarray:
+        """One array draw; consumes the stream like repeated scalars."""
+        return self.floor + self.rng.exponential(self.mean,
+                                                 size=len(workers))
 
 
 class ParetoDelay(_SeededDelay):
@@ -227,6 +272,11 @@ class ParetoDelay(_SeededDelay):
         """One Pareto draw with minimum ``scale``."""
         return self.scale * (1.0 + float(self.rng.pareto(self.alpha)))
 
+    def sample_many(self, workers: Sequence[int], now: float) -> np.ndarray:
+        """One array draw; consumes the stream like repeated scalars."""
+        return self.scale * (1.0 + self.rng.pareto(self.alpha,
+                                                   size=len(workers)))
+
 
 class HeterogeneousDelay(DelayModel):
     """Per-worker sub-models: worker ``w`` draws from ``models[w % len]``.
@@ -250,6 +300,89 @@ class HeterogeneousDelay(DelayModel):
     def sample(self, worker: int, now: float) -> float:
         """Delegate to the worker's sub-model."""
         return self.models[worker % len(self.models)].sample(worker, now)
+
+    def state_dict(self) -> dict:
+        """Model identity + concatenated sub-model states."""
+        return {"name": self.name,
+                "models": [m.state_dict() for m in self.models]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore every sub-model's state (identities validated)."""
+        self._check_name(state)
+        if len(state["models"]) != len(self.models):
+            raise ValueError(
+                f"checkpoint has {len(state['models'])} sub-models, "
+                f"model has {len(self.models)}")
+        for model, sub in zip(self.models, state["models"]):
+            model.load_state_dict(sub)
+
+
+class WorkerClassDelay(DelayModel):
+    """Contiguous worker-id blocks, one delay sub-model per block.
+
+    The fleet-topology analogue of :class:`HeterogeneousDelay`: a fleet
+    spec declares *classes* of machines ("64 fast nodes, then 192
+    preemptible stragglers"), and class members occupy contiguous id
+    ranges rather than interleaving modulo-style.  Worker ``w`` draws
+    from the sub-model of the block containing ``w``; ids past the last
+    boundary use the last block (so a topology sized for N workers
+    tolerates a larger runtime without index errors).
+
+    Parameters
+    ----------
+    counts : sequence of int
+        Block sizes, in worker-id order (all positive).
+    models : sequence of DelayModel
+        One sub-model per block.
+    """
+
+    name = "worker_classes"
+
+    def __init__(self, counts: Sequence[int], models: Sequence[DelayModel]):
+        if not models or len(counts) != len(models):
+            raise ValueError(
+                f"need one sub-model per class, got {len(counts)} counts "
+                f"and {len(models)} models")
+        if any(int(c) <= 0 for c in counts):
+            raise ValueError(f"class counts must be positive, got {counts}")
+        self.counts: List[int] = [int(c) for c in counts]
+        self.models: List[DelayModel] = list(models)
+        bounds = np.cumsum(self.counts)
+        self._bounds = bounds  # block b covers ids [bounds[b-1], bounds[b])
+
+    def _block(self, worker: int) -> int:
+        idx = int(np.searchsorted(self._bounds, worker, side="right"))
+        return min(idx, len(self.models) - 1)
+
+    def sample(self, worker: int, now: float) -> float:
+        """Delegate to the sub-model of the block containing ``worker``."""
+        return self.models[self._block(worker)].sample(worker, now)
+
+    def sample_many(self, workers: Sequence[int], now: float) -> np.ndarray:
+        """Batch per block: each sub-model prices its members in one call.
+
+        Requires ``workers`` in ascending id order (the engine's
+        dispatch-burst order) so every block's members form one
+        contiguous slice and its private stream is consumed in the same
+        order as repeated scalar calls.
+        """
+        ids = np.asarray(workers, dtype=int)
+        if ids.size and np.any(np.diff(ids) < 0):
+            # out-of-order bursts fall back to the scalar path — the
+            # per-block batching below would reorder stream consumption
+            return super().sample_many(workers, now)
+        out = np.empty(ids.size, dtype=float)
+        blocks = np.minimum(np.searchsorted(self._bounds, ids, side="right"),
+                            len(self.models) - 1)
+        start = 0
+        while start < ids.size:
+            stop = start
+            while stop < ids.size and blocks[stop] == blocks[start]:
+                stop += 1
+            sub = self.models[blocks[start]]
+            out[start:stop] = sub.sample_many(ids[start:stop], now)
+            start = stop
+        return out
 
     def state_dict(self) -> dict:
         """Model identity + concatenated sub-model states."""
@@ -372,35 +505,52 @@ _DELAY_MODELS = {
     ParetoDelay.name: ParetoDelay,
 }
 
-DelaySpec = Union[str, DelayModel]
+DelaySpec = Union[str, dict, DelayModel]
 
 
 def make_delay_model(spec: DelaySpec, seed: SeedLike = None) -> DelayModel:
-    """Resolve a delay-model name or pass through an instance.
+    """Resolve a delay-model name or config dict, or pass an instance.
 
     Parameters
     ----------
-    spec : str or DelayModel
-        One of ``"constant"``, ``"uniform"``, ``"exponential"``,
-        ``"pareto"`` (with default parameters), or any object with a
+    spec : str or dict or DelayModel
+        A simple model name — ``"constant"``, ``"uniform"``,
+        ``"exponential"``, ``"pareto"`` (default parameters, shared
+        ``seed``) — or a registry config dict such as
+        ``{"kind": "heterogeneous", "models": [...]}`` /
+        ``{"kind": "trace", "trace": {...}}`` (every registered delay
+        kind resolves, parameters included), or any object with a
         ``sample`` method.
     seed : int or Generator, optional
-        Seed forwarded to stochastic built-ins resolved by name.
+        Seed forwarded to stochastic built-ins resolved by simple name.
+        Config dicts carry their own ``seed`` key and ignore this.
 
     Returns
     -------
     DelayModel
     """
+    if isinstance(spec, dict):
+        from repro.xp.factories import build_delay_model
+
+        return build_delay_model(spec)
     if isinstance(spec, str):
+        cls = _DELAY_MODELS.get(spec)
+        if cls is not None:
+            if cls is ConstantDelay:
+                return cls()
+            return cls(seed=seed)
+        # route every other name through the component registry, so
+        # names like "heterogeneous" / "trace" either build (when their
+        # defaults suffice) or fail with that kind's own message
+        from repro.xp.factories import build_delay_model
+
         try:
-            cls = _DELAY_MODELS[spec]
-        except KeyError:
+            return build_delay_model({"kind": spec})
+        except (TypeError, ValueError) as exc:
             raise ValueError(
-                f"unknown delay model {spec!r}; "
-                f"choose from {sorted(_DELAY_MODELS)}") from None
-        if cls is ConstantDelay:
-            return cls()
-        return cls(seed=seed)
+                f"cannot build delay model from the name {spec!r} alone: "
+                f"{exc}; parameterized models take a config dict, e.g. "
+                f"{{'kind': 'heterogeneous', 'models': [...]}}") from None
     if hasattr(spec, "sample"):
         return spec
     raise TypeError(f"cannot interpret {spec!r} as a delay model")

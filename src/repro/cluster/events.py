@@ -64,6 +64,26 @@ class EventQueue:
     def __init__(self):
         self._heap: List[Event] = []
         self._next_seq = 0
+        # incrementally maintained indexes so count_kind() and
+        # pending_workers() stay O(1)-ish at fleet scale (the resume
+        # and fuzz paths query them per event, which was O(n^2))
+        self._kind_counts: Dict[str, int] = {}
+        self._worker_counts: Dict[int, int] = {}
+
+    def _index_add(self, event: Event) -> None:
+        self._kind_counts[event.kind] = \
+            self._kind_counts.get(event.kind, 0) + 1
+        self._worker_counts[event.worker] = \
+            self._worker_counts.get(event.worker, 0) + 1
+
+    def _index_remove(self, event: Event) -> None:
+        kinds, workers = self._kind_counts, self._worker_counts
+        kinds[event.kind] -= 1
+        if not kinds[event.kind]:
+            del kinds[event.kind]
+        workers[event.worker] -= 1
+        if not workers[event.worker]:
+            del workers[event.worker]
 
     def schedule(self, time: float, kind: str, worker: int,
                  payload: Optional[dict] = None) -> Event:
@@ -89,11 +109,14 @@ class EventQueue:
                       worker=int(worker), payload=payload or {})
         self._next_seq += 1
         heapq.heappush(self._heap, event)
+        self._index_add(event)
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest event (``(time, seq)`` order)."""
-        return heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)
+        self._index_remove(event)
+        return event
 
     def reschedule(self, event: Event, time: float) -> Event:
         """Re-enqueue a popped event at a later time, keeping its seq.
@@ -106,6 +129,7 @@ class EventQueue:
         moved = Event(time=float(time), seq=event.seq, kind=event.kind,
                       worker=event.worker, payload=event.payload)
         heapq.heappush(self._heap, moved)
+        self._index_add(moved)
         return moved
 
     def peek(self) -> Optional[Event]:
@@ -120,11 +144,11 @@ class EventQueue:
 
     def pending_workers(self) -> Set[int]:
         """Worker ids with at least one queued event (any kind)."""
-        return {ev.worker for ev in self._heap}
+        return set(self._worker_counts)
 
     def count_kind(self, kind: str) -> int:
         """Number of queued events of one kind."""
-        return sum(1 for ev in self._heap if ev.kind == kind)
+        return self._kind_counts.get(kind, 0)
 
     # ------------------------------------------------------------- #
     # checkpointing
@@ -146,6 +170,8 @@ class EventQueue:
     def load_state_dict(self, state: dict) -> None:
         """Restore queue contents captured by :meth:`state_dict`."""
         self._heap = []
+        self._kind_counts = {}
+        self._worker_counts = {}
         for entry in state["entries"]:
             payload = {}
             for key, value in entry["payload"].items():
@@ -161,6 +187,8 @@ class EventQueue:
                                     worker=int(entry["worker"]),
                                     payload=payload))
         heapq.heapify(self._heap)
+        for ev in self._heap:
+            self._index_add(ev)
         self._next_seq = int(state["next_seq"])
 
     def __repr__(self) -> str:

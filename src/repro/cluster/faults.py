@@ -276,11 +276,20 @@ class FaultInjector:
     # checkpointing
     # ------------------------------------------------------------- #
     def state_dict(self) -> dict:
-        """RNG position + consumed scheduled crashes + dynamic pauses."""
+        """RNG position + consumed scheduled crashes + dynamic pauses.
+
+        The transient hand-off fields (``_pending_downtime`` /
+        ``_pending_pause_shard``) travel too: a checkpoint taken between
+        :meth:`on_dispatch` and :meth:`consume_crash` (batched dispatch
+        widens that window) must not resume a scheduled crash with the
+        default downtime.
+        """
         return {
             "rng": get_rng_state(self.rng),
             "consumed_crashes": sorted(self._consumed_crashes),
             "dynamic_pauses": [list(p) for p in self._dynamic_pauses],
+            "pending_downtime": self._pending_downtime,
+            "pending_pause_shard": self._pending_pause_shard,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -294,6 +303,12 @@ class FaultInjector:
         self._dynamic_pauses = [
             (float(s), float(e), int(sh))
             for s, e, sh in state["dynamic_pauses"]]
+        # .get: checkpoints written before these fields travelled keep
+        # loading (they were only valid outside the hand-off window)
+        self._pending_downtime = float(
+            state.get("pending_downtime", self.crash_downtime))
+        self._pending_pause_shard = int(
+            state.get("pending_pause_shard", 0))
 
     def __repr__(self) -> str:
         return (f"FaultInjector(crash={self.crash_prob}, "

@@ -1,0 +1,56 @@
+"""Worker-axis batched cluster execution at fleet scale.
+
+The paper's cluster results live at the worker axis: hundreds of
+parameter-server clients whose timing — not their number of models —
+creates staleness.  The serial event-driven runtime pays a Python-level
+constant per worker event, which caps practical sweeps near tens of
+workers.  This package batches that constant away for the
+**fleet-eligible** scenario class while the model stays scalar: one
+``(1, N)`` parameter row stepped by the batched kernels of
+:mod:`repro.vec`, with delay sampling, fault draws, and staleness
+bookkeeping vectorized across the worker axis.
+
+Layout
+------
+- :mod:`repro.fleet.engine` — the :class:`~repro.fleet.engine.
+  FleetEngine` (round mode for the constant-delay round-robin
+  protocol, event mode for the general eligible class) and its
+  applicability predicate :func:`~repro.fleet.engine.supports_fleet`.
+- :mod:`repro.fleet.workloads` — deferred snapshot/flush evaluators
+  (vectorized ``quadratic_bowl``; eager single-seed adapter for
+  everything else).
+- :mod:`repro.fleet.topology` — heterogeneous fleet declarations
+  (worker classes, correlated fault groups, cost/energy accounting)
+  and the :func:`~repro.fleet.topology.expand_fleet` spec expansion.
+- :mod:`repro.fleet.runner` — :func:`~repro.fleet.runner.
+  execute_fleet` with transparent serial fallback; the ``fleet``
+  execution backend registers in :mod:`repro.run.backends`.
+
+Contract
+--------
+Records are **bit-identical** to the serial scalar path for every
+eligible spec (enforced by ``tests/test_fleet_equivalence.py``);
+batching buys scale, never different numbers.
+"""
+
+from repro.fleet.engine import (FleetDiverged, FleetEngine,
+                                supports_fleet)
+from repro.fleet.runner import execute_fleet
+from repro.fleet.topology import (FleetClass, FleetTopology,
+                                  build_topology, expand_fleet,
+                                  fleet_accounting)
+from repro.fleet.workloads import (QuadraticBowlFleet,
+                                   build_fleet_evaluator,
+                                   fleet_workload_names,
+                                   has_fleet_workload,
+                                   register_fleet_workload)
+
+__all__ = [
+    "FleetEngine", "FleetDiverged", "supports_fleet",
+    "execute_fleet",
+    "FleetClass", "FleetTopology", "build_topology", "expand_fleet",
+    "fleet_accounting",
+    "QuadraticBowlFleet", "build_fleet_evaluator",
+    "fleet_workload_names", "has_fleet_workload",
+    "register_fleet_workload",
+]

@@ -1,0 +1,600 @@
+"""Worker-axis batched execution of single-model cluster scenarios.
+
+The serial :class:`~repro.cluster.runtime.ClusterRuntime` spends its
+time on per-event Python work: one autograd read, one server push, one
+optimizer step, and a handful of log appends *per simulated worker
+event*.  At fleet scale (hundreds to thousands of workers) that
+per-event constant is the whole cost.  This engine batches it away for
+the **fleet-eligible** scenario class — one replicate, a vec optimizer
+kernel, and deterministic delay/fault configuration — while keeping the
+spec's parameters scalar: there is still exactly one model, stored as a
+``(1, N)`` row and stepped by the batched kernels of
+:mod:`repro.vec.optim`.
+
+Two execution modes cover the class:
+
+- **round mode** — constant delay, no fault injection, ``tau = 0``,
+  FIFO delivery, and a deferred workload evaluator
+  (:mod:`repro.fleet.workloads`).  All workers march in rounds; the
+  engine drops the event heap entirely, defers every loss/gradient
+  evaluation, and flushes one stacked matrix op per round.  This is the
+  paper's round-robin protocol at fleet scale and the source of the
+  engine's order-of-magnitude speedup.
+- **event mode** — everything else in the eligible class (stochastic
+  seeded delays, fault plans, depth gates, random delivery): a real
+  :class:`~repro.cluster.events.EventQueue` mirrors the serial
+  runtime's event handling decision for decision, with per-dispatch
+  delay sampling and fault draws in serial order.
+
+**Contract**: the training log is bit-identical to the serial runtime's
+for every eligible spec (``tests/test_fleet_equivalence.py``).
+Scenarios outside the class are reported by :func:`supports_fleet`; a
+divergence under a deferred evaluator is only discovered at flush time,
+so it raises :class:`FleetDiverged` and the caller re-runs serially
+(where the run stops at the diverged read exactly).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.events import EventQueue
+from repro.cluster.faults import FaultInjector
+from repro.obs.session import active as _obs_active
+from repro.sim.trainer import TrainerHooks
+from repro.utils.logging import TrainLog
+from repro.utils.rng import new_rng
+from repro.vec.optim import build_vec_optimizer, has_vec_optimizer
+from repro.fleet.workloads import build_fleet_evaluator
+from repro.xp.spec import ScenarioSpec
+
+# the scalar path runs under default TrainerHooks; sharing its
+# divergence threshold keeps the two paths from ever drifting (None
+# means "non-finite only", which +inf reproduces in the comparisons)
+_DEFAULT_STOP = TrainerHooks().stop_on_divergence
+_DIVERGENCE_THRESHOLD = (float("inf") if _DEFAULT_STOP is None
+                         else _DEFAULT_STOP)
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+# delay kinds whose stream is reproducible from the config alone:
+# deterministic always, or deterministic given an explicit seed
+_ALWAYS_DETERMINISTIC_DELAYS = ("constant", "trace")
+_SEEDED_DELAYS = ("uniform", "exponential", "pareto")
+
+
+class FleetDiverged(Exception):
+    """The run diverged under a deferred evaluator.
+
+    Deferred evaluation discovers a non-finite/over-threshold loss at
+    flush time, after the engine has already simulated past the read
+    that the serial runtime would have stopped at.  The engine aborts
+    and the caller re-runs the scenario serially, where the stop lands
+    on the exact read.
+    """
+
+    def __init__(self, read_step: int):
+        super().__init__(f"run diverged at read {read_step}")
+        self.read_step = read_step
+
+
+def _deterministic_delay(config: dict) -> bool:
+    """Whether a delay config replays identically when rebuilt."""
+    kind = config.get("kind")
+    if kind in _ALWAYS_DETERMINISTIC_DELAYS:
+        return True
+    if kind in _SEEDED_DELAYS:
+        return config.get("seed") is not None
+    if kind == "heterogeneous":
+        models = config.get("models") or []
+        return bool(models) and all(
+            isinstance(m, dict) and _deterministic_delay(m)
+            for m in models)
+    if kind == "worker_classes":
+        models = config.get("models") or []
+        return bool(models) and all(
+            isinstance(m, dict) and _deterministic_delay(m)
+            for m in models)
+    return False
+
+
+def _deterministic_faults(config: dict) -> bool:
+    """Whether a fault config replays identically when rebuilt.
+
+    Scheduled-only plans are deterministic by construction; any
+    non-zero random rate needs an explicit seed (an unseeded injector
+    draws from entropy even on the serial path, so switching engines
+    must not be what changes the records).
+    """
+    if not config:
+        return True
+    rates = (config.get("crash_prob", 0.0),
+             config.get("straggler_prob", 0.0),
+             config.get("pause_prob", 0.0))
+    if any(float(r) > 0 for r in rates):
+        return config.get("seed") is not None
+    return True
+
+
+def supports_fleet(spec: ScenarioSpec) -> bool:
+    """Whether a spec falls in the fleet-eligible class.
+
+    Requires a single replicate, an optimizer with a batched kernel,
+    and delay/fault configurations that rebuild to identical streams
+    (so the engine's own component instances replay the serial run's
+    draws exactly).  Fleet-topology specs are judged on their expanded
+    form.  Anything else runs through the serial fallback of
+    :func:`repro.fleet.runner.execute_fleet`.
+    """
+    if getattr(spec, "fleet", None):
+        from repro.fleet.topology import expand_fleet
+        spec = expand_fleet(spec)
+    return (spec.replicates == 1
+            and has_vec_optimizer(spec.optimizer)
+            and _deterministic_delay(spec.delay)
+            and _deterministic_faults(spec.faults))
+
+
+class FleetEngine:
+    """Batched event loop driving one model under N simulated workers.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        The scenario (must satisfy :func:`supports_fleet`;
+        fleet-topology specs are expanded on construction).
+
+    Attributes
+    ----------
+    clock : float
+        Final simulated time after :meth:`run` (feeds the topology
+        cost/energy accounting).
+    reads_done, steps_applied : int
+        Budget counters, exactly as the serial runtime reports them.
+    diverged : bool
+        Whether an eager-mode run stopped at a diverged read (deferred
+        divergence raises :class:`FleetDiverged` instead).
+    """
+
+    def __init__(self, spec: ScenarioSpec):
+        from repro.utils.deprecation import (entered_internally,
+                                             warn_deprecated)
+        from repro.xp.factories import (build_delay_model,
+                                        build_fault_injector)
+
+        if not entered_internally():
+            # ad-hoc construction is deprecated, the engine is not;
+            # the fleet backend builds engines inside internal_calls()
+            warn_deprecated(
+                "direct FleetEngine construction",
+                'repro.run.run(spec, backend="fleet")')
+        if getattr(spec, "fleet", None):
+            from repro.fleet.topology import expand_fleet
+            spec = expand_fleet(spec)
+        if not supports_fleet(spec):
+            raise ValueError(
+                f"scenario {spec.name!r} is not fleet-eligible")
+        self.spec = spec
+        self.seed = spec.resolved_seed()
+        # in-flight bound: one read per worker in the current round
+        # plus one unflushed round behind it (deferred evaluators grow
+        # on demand past it anyway)
+        self.workload = build_fleet_evaluator(
+            spec.workload, self.seed,
+            capacity=2 * spec.workers + 2, **spec.workload_params)
+        self.deferred = bool(getattr(self.workload, "deferred", False))
+        self.buffer = self.workload.buffer
+        self.optimizer = build_vec_optimizer(
+            spec.optimizer, self.buffer, self.workload.offsets,
+            **spec.optimizer_params)
+        self.delay_model = build_delay_model(spec.delay)
+        self.faults = build_fault_injector(spec.faults) or FaultInjector()
+        self.faults.check_workers(spec.workers)
+        # mirrors the sharded server's seeded RNG, whose only consumer
+        # is the random-delivery queue draw
+        self.server_rng = new_rng(self.seed)
+        self.random_delivery = spec.delivery == "random"
+        self.tau = spec.queue_staleness
+
+        self.log = TrainLog()
+        # direct series-list handles: the hot loops append to these
+        # without going through TrainLog.append
+        self._series = {
+            name: (self.log.scalars.setdefault(name, []),
+                   self.log.steps.setdefault(name, []))
+            for name in ("loss", "staleness", "worker", "sim_time")}
+        if self.optimizer.has_stats:
+            stats_names = ["lr", "momentum", "target_momentum"]
+            if hasattr(self.optimizer, "estimators"):
+                stats_names += ["total_momentum", "algorithmic_momentum"]
+            self._stats_names = stats_names
+            for name in stats_names:
+                self._series[name] = (
+                    self.log.scalars.setdefault(name, []),
+                    self.log.steps.setdefault(name, []))
+        else:
+            self._stats_names = []
+
+        # pending read steps queued at the (single logical) server: the
+        # serial server pushes every gradient to all of its non-empty
+        # shards, so its depth gate reduces to len(queue) > tau
+        self.queue: Deque[int] = deque()
+        # read metadata: step -> (worker_id, updates observed at read)
+        self._inflight: Dict[int, Tuple[int, int]] = {}
+        # eager mode: step -> (1, N) gradient awaiting commit
+        self._grads: Dict[int, np.ndarray] = {}
+        # deferred mode: step -> snapshot slot; reads not yet flushed
+        # (ordered + membership set); reads lost to a crash, awaiting
+        # their flush-time loss log before the slot is released
+        self._slots: Dict[int, int] = {}
+        self._unlogged: List[int] = []
+        self._unflushed: Set[int] = set()
+        self._lost: List[int] = []
+
+        self.events = EventQueue()
+        self.clock = 0.0
+        self.reads_done = 0
+        self.steps_applied = 0
+        self.diverged = False
+        self._metrics = None
+
+        self.mode = "round" if (
+            self.deferred
+            and spec.delay.get("kind") == "constant"
+            and not self.faults.active
+            and self.tau == 0
+            and not self.random_delivery) else "event"
+
+    # ------------------------------------------------------------- #
+    # deferred evaluation
+    # ------------------------------------------------------------- #
+    def _flush_losses(self) -> None:
+        """Flush the evaluator and log pending losses in read order.
+
+        Raises :class:`FleetDiverged` on the first loss the serial
+        runtime would have stopped at; releases the slots of reads
+        whose gradients were lost to a crash (their losses still log —
+        the serial worker computed the gradient before the fault
+        decision discarded it).
+        """
+        steps = self._unlogged
+        if not steps:
+            return
+        self.workload.flush()
+        values = self.workload.flushed_losses()
+        loss_values, loss_steps = self._series["loss"]
+        loss_values.extend(values.tolist())
+        loss_steps.extend(steps)
+        # vectorized twin of the serial read-time stop condition
+        bad = ~np.isfinite(values) | (values > _DIVERGENCE_THRESHOLD)
+        if bad.any():
+            raise FleetDiverged(steps[int(np.argmax(bad))])
+        steps.clear()
+        self._unflushed.clear()
+        for step in self._lost:
+            self.workload.release(self._slots.pop(step))
+        self._lost.clear()
+
+    # ------------------------------------------------------------- #
+    # worker actions (event mode mirrors the serial runtime 1:1)
+    # ------------------------------------------------------------- #
+    def _read_and_dispatch(self, worker_id: int,
+                           delay: Optional[float] = None) -> None:
+        """One worker reads the model and ships its gradient.
+
+        The serial :meth:`ClusterRuntime._read_and_dispatch` decision
+        for decision: loss logged at read time (eager) or deferred to
+        the next flush, divergence stop (eager only — deferred
+        resolves at flush), delay sample, fault draws, and the arrival
+        or crash event.
+        """
+        step = self.reads_done
+        if self.deferred:
+            slot = self.workload.snapshot()
+            self._slots[step] = slot
+            self._unlogged.append(step)
+            self._unflushed.add(step)
+            self.reads_done += 1
+        else:
+            grads = np.empty_like(self.buffer)
+            loss_value = float(self.workload.read(grads)[0])
+            loss_values, loss_steps = self._series["loss"]
+            loss_values.append(loss_value)
+            loss_steps.append(step)
+            self.reads_done += 1
+            if not (_NEG_INF < loss_value <= _DIVERGENCE_THRESHOLD) \
+                    or loss_value == _POS_INF:
+                if not math.isfinite(loss_value) \
+                        or loss_value > _DIVERGENCE_THRESHOLD:
+                    self.log.append("diverged", 1.0, step)
+                    self.diverged = True
+                    return
+        self._inflight[step] = (worker_id, self.steps_applied)
+
+        if delay is None:
+            delay = float(self.delay_model.sample(worker_id, self.clock))
+        delay, crash_time = self.faults.on_dispatch(
+            worker_id, self.clock, delay)
+        if crash_time is not None:
+            downtime = self.faults.consume_crash()
+            del self._inflight[step]
+            if self.deferred:
+                self._lost.append(step)
+            self.events.schedule(crash_time, "crash", worker_id,
+                                 {"restart_at": crash_time + downtime,
+                                  "lost_read": step})
+            return
+        if not self.deferred:
+            self._grads[step] = grads
+        self.events.schedule(self.clock + delay, "arrival", worker_id,
+                             {"read_step": step})
+
+    def _commit_step(self, step: int) -> None:
+        """Commit one queued gradient (already popped off the queue)."""
+        version = self.steps_applied
+        log_step = self.reads_done - 1
+        if self.deferred:
+            slot = self._slots.pop(step)
+            commit = self.workload.grad_row(slot)
+        else:
+            commit = self._grads.pop(step)
+        self.workload.ensure_packed()
+        self.optimizer.step(commit)
+        if self.deferred:
+            self.workload.release(slot)
+        self.steps_applied += 1
+        worker_id, read_version = self._inflight.pop(
+            step, (-1, version))
+        staleness = version - read_version
+        for name, value in (("staleness", float(staleness)),
+                            ("worker", float(worker_id)),
+                            ("sim_time", float(self.clock))):
+            value_list, step_list = self._series[name]
+            value_list.append(value)
+            step_list.append(log_step)
+        if self._stats_names:
+            stats = self.optimizer.stats_all()[0]
+            for name in self._stats_names:
+                value_list, step_list = self._series[name]
+                value_list.append(float(stats[name]))
+                step_list.append(log_step)
+        if self._metrics is not None:
+            self._emit_commit(log_step, staleness, worker_id)
+
+    def _emit_commit(self, log_step: int, staleness: int,
+                     worker_id: int) -> None:
+        """Mirror the serial runtime's per-commit obs emission."""
+        self._metrics.histogram("cluster.staleness").observe(staleness)
+        self._metrics.gauge("cluster.queue_depth").set(len(self.queue))
+        self._metrics.counter("cluster.commits").inc()
+        self._metrics.emit(log_step, {
+            "step": log_step, "staleness": staleness,
+            "worker": worker_id, "sim_time": self.clock,
+            "queue_depth": len(self.queue),
+            "updates": self.steps_applied,
+        })
+
+    def _commit_ready(self, updates: Optional[int]) -> None:
+        """Commit queued gradients while the gate is open and budget
+        lasts (the serial depth gate reduces to ``len(queue) > tau``)."""
+        queue = self.queue
+        while len(queue) > self.tau and (
+                updates is None or self.steps_applied < updates):
+            if self.random_delivery:
+                pos = int(self.server_rng.integers(len(queue)))
+                step = queue[pos]
+                del queue[pos]
+            else:
+                step = queue.popleft()
+            if self.deferred and step in self._unflushed:
+                self._flush_losses()
+            self._commit_step(step)
+
+    # ------------------------------------------------------------- #
+    # event mode
+    # ------------------------------------------------------------- #
+    def _fault_instant(self, name: str, counter: str,
+                       worker: int) -> None:
+        """Record a fault occurrence on the active session (if any)."""
+        session = _obs_active()
+        if session is None:
+            return
+        if session.tracer is not None:
+            session.tracer.instant(name, "cluster.faults",
+                                   worker=worker, sim_time=self.clock)
+        if session.metrics is not None:
+            session.metrics.counter(counter).inc()
+
+    def _dispatch(self, event, reads: int,
+                  updates: Optional[int]) -> None:
+        """Route one event exactly as the serial runtime does."""
+        if event.kind == "arrival":
+            pause_end = self.faults.pause_until(event.time)
+            if pause_end is not None and pause_end > event.time:
+                # server paused: defer delivery, preserving order
+                self._fault_instant("fault:deferred",
+                                    "cluster.deferrals", event.worker)
+                self.events.reschedule(event, pause_end)
+                return
+            self.clock = event.time
+            self.queue.append(event.payload["read_step"])
+            self._commit_ready(updates)
+            if not self.diverged and self.reads_done < reads:
+                self._read_and_dispatch(event.worker)
+        elif event.kind == "crash":
+            self.clock = event.time
+            self._fault_instant("fault:crash", "cluster.crashes",
+                                event.worker)
+            self.log.append("crash", float(event.worker),
+                            self.reads_done)
+            self.events.schedule(event.payload["restart_at"],
+                                 "restart", event.worker, {})
+        elif event.kind == "restart":
+            self.clock = event.time
+            self._fault_instant("fault:restart", "cluster.restarts",
+                                event.worker)
+            self.log.append("restart", float(event.worker),
+                            self.reads_done)
+            if not self.diverged and self.reads_done < reads:
+                self._read_and_dispatch(event.worker)
+        else:  # pragma: no cover — queue only ever holds known kinds
+            raise RuntimeError(f"unknown event kind {event.kind!r}")
+
+    def _run_events(self, reads: int, updates: Optional[int]) -> None:
+        """The general loop: a real event queue, serial decisions."""
+        # initial dispatch burst: delays batch through sample_many
+        # (stream-equivalent to per-dispatch sampling by the DelayModel
+        # contract; draws past an eager divergence stop are never
+        # consumed again, so pre-sampling cannot change the log)
+        burst = min(self.spec.workers, max(reads - self.reads_done, 0))
+        delays = (self.delay_model.sample_many(range(burst), self.clock)
+                  if burst else ())
+        for worker_id in range(burst):
+            if self.diverged or self.reads_done >= reads:
+                break
+            self._read_and_dispatch(worker_id,
+                                    delay=float(delays[worker_id]))
+        while not self.diverged:
+            if self.reads_done >= reads and (
+                    updates is None or self.steps_applied >= updates):
+                break
+            if not self.events:
+                break
+            self._dispatch(self.events.pop(), reads, updates)
+
+    # ------------------------------------------------------------- #
+    # round mode
+    # ------------------------------------------------------------- #
+    def _run_rounds(self, reads: int, updates: Optional[int]) -> None:
+        """The fast loop for the constant-delay round-robin protocol.
+
+        With one constant delay, no faults, ``tau = 0``, and FIFO
+        delivery, the event heap's pop order is exactly round-robin:
+        every in-flight read arrives one delay later, in worker order,
+        commits immediately (budget permitting), and redispatches.  The
+        heap, per-event payloads, and per-read evaluation all collapse
+        into two lists and one flush per round.
+        """
+        delay = float(self.delay_model.delay)
+        workload = self.workload
+        optimizer = self.optimizer
+        optimizer_step = optimizer.step
+        snapshot = workload.snapshot
+        grad_row = workload.grad_row
+        release = workload.release
+        ensure_packed = workload.ensure_packed
+        slots = self._slots
+        unlogged = self._unlogged
+        unflushed = self._unflushed
+        stal_v, stal_s = self._series["staleness"]
+        work_v, work_s = self._series["worker"]
+        time_v, time_s = self._series["sim_time"]
+        stats_names = self._stats_names
+        # round tuples carry the read version so the commit below skips
+        # the _inflight dict entirely (no crashes can reorder
+        # arrivals); reads_done / steps_applied run as locals through
+        # the hot loop and write back at every round boundary
+        reads_done = self.reads_done
+        steps_applied = self.steps_applied
+        current: List[Tuple[int, int, int]] = []
+        for worker_id in range(self.spec.workers):
+            if reads_done >= reads:
+                break
+            step = reads_done
+            slots[step] = snapshot()
+            unlogged.append(step)
+            unflushed.add(step)
+            reads_done += 1
+            current.append((worker_id, step, steps_applied))
+        self.reads_done = reads_done
+        while current:
+            if reads_done >= reads and (
+                    updates is None or steps_applied >= updates):
+                break
+            # arrivals of this round land one delay later; the serial
+            # clock accumulates the same float sum event by event
+            self.clock = clock = self.clock + delay
+            if unlogged:
+                self._flush_losses()
+            next_round: List[Tuple[int, int, int]] = []
+            stop = False
+            for worker_id, step, read_version in current:
+                if reads_done >= reads and (
+                        updates is None or steps_applied >= updates):
+                    stop = True
+                    break
+                # inline tau = 0 FIFO commit: the gate opens on every
+                # push, so _commit_ready would pop exactly this step
+                if updates is None or steps_applied < updates:
+                    slot = slots.pop(step)
+                    ensure_packed()
+                    optimizer_step(grad_row(slot))
+                    release(slot)
+                    version = steps_applied
+                    steps_applied = version + 1
+                    log_step = reads_done - 1
+                    stal_v.append(float(version - read_version))
+                    stal_s.append(log_step)
+                    work_v.append(float(worker_id))
+                    work_s.append(log_step)
+                    time_v.append(float(clock))
+                    time_s.append(log_step)
+                    if stats_names:
+                        stats = optimizer.stats_all()[0]
+                        for name in stats_names:
+                            value_list, step_list = self._series[name]
+                            value_list.append(float(stats[name]))
+                            step_list.append(log_step)
+                    if self._metrics is not None:
+                        self.steps_applied = steps_applied
+                        self._emit_commit(log_step,
+                                          version - read_version,
+                                          worker_id)
+                else:
+                    self.queue.append(step)
+                if reads_done < reads:
+                    new_step = reads_done
+                    slots[new_step] = snapshot()
+                    unlogged.append(new_step)
+                    unflushed.add(new_step)
+                    reads_done += 1
+                    next_round.append((worker_id, new_step,
+                                       steps_applied))
+            self.reads_done = reads_done
+            self.steps_applied = steps_applied
+            if stop:
+                break
+            current = next_round
+
+    # ------------------------------------------------------------- #
+    # driving loop
+    # ------------------------------------------------------------- #
+    def run(self) -> TrainLog:
+        """Simulate the spec's budgets and return the training log.
+
+        Raises
+        ------
+        FleetDiverged
+            If a deferred flush finds a loss the serial runtime would
+            have stopped at (the caller falls back to serial
+            execution).  Eager-mode divergence instead stops the run
+            exactly like the serial runtime and sets :attr:`diverged`.
+        """
+        spec = self.spec
+        reads, updates = spec.reads, spec.updates
+        session = _obs_active()
+        self._metrics = (session.metrics if session is not None
+                         else None)
+        if self.mode == "round":
+            self._run_rounds(reads, updates)
+        else:
+            self._run_events(reads, updates)
+        if self.deferred and self._unlogged:
+            # losses of reads that never delivered still logged at
+            # read steps, exactly as the serial read-time log did
+            self._flush_losses()
+        return self.log

@@ -1,0 +1,136 @@
+"""Fleet-scenario execution: batched fast path, serial fallback.
+
+:func:`execute_fleet` is the worker-axis engine room of the unified
+:mod:`repro.run` API.  It produces one
+:class:`~repro.xp.runner.ScenarioResult` that is bit-identical to the
+scalar reference path (:func:`repro.run.backends.execute_scalar`) —
+regardless of which execution strategy actually ran:
+
+- **fleet** — the scenario is fleet-eligible
+  (:func:`repro.fleet.engine.supports_fleet`): one
+  :class:`~repro.fleet.engine.FleetEngine` batches the per-event
+  worker-axis work, an order of magnitude cheaper than serial at
+  fleet scale;
+- **serial** — anything else (unseeded stochastic components,
+  optimizers without a batched kernel, multi-replicate specs), or a
+  fleet run aborted by a deferred-flush divergence: the ordinary
+  scalar path.
+
+Fleet-topology specs (:mod:`repro.fleet.topology`) are expanded first,
+and the topology's cost/energy accounting for the run's simulated span
+is attached under ``env["fleet_accounting"]``.  The executed strategy
+is recorded under ``env["fleet_engine"]`` — ``env`` never participates
+in record identity, so the fallback is transparent.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import environment_info
+from repro.obs.session import StepTimer, active as _obs_active
+from repro.utils.deprecation import internal_calls
+from repro.fleet.engine import (FleetDiverged, FleetEngine,
+                                supports_fleet)
+from repro.fleet.topology import expand_fleet, fleet_accounting
+from repro.xp.spec import ScenarioSpec
+
+_STRATEGIES = ("auto", "fleet", "serial")
+
+
+def execute_fleet(spec: ScenarioSpec, strategy: str = "auto"):
+    """Run one scenario through the fleet engine (or its fallback).
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        The scenario; fleet-topology specs are expanded here.
+    strategy : str
+        ``"auto"`` and ``"fleet"`` use the batched engine when the
+        spec is fleet-eligible (falling back to serial otherwise, or
+        when a deferred flush discovers a divergence mid-run);
+        ``"serial"`` forces scalar execution.
+
+    Returns
+    -------
+    ScenarioResult
+        Record bit-identical to :func:`~repro.run.backends.
+        execute_scalar` on the expanded spec.  ``env`` records the
+        executed strategy under ``"fleet_engine"`` and — for
+        fleet-topology specs — the run's cost/energy accounting under
+        ``"fleet_accounting"``.
+    """
+    from repro.xp.runner import ScenarioResult, summarize_log
+
+    if strategy not in _STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+    original = spec
+    spec = expand_fleet(spec)
+    want_fleet = strategy in ("auto", "fleet")
+    timer = StepTimer(f"fleet:{spec.name}", cat="fleet.runner").start()
+    session = _obs_active()
+    engine = None
+    log = None
+    if want_fleet and spec.replicates == 1 and supports_fleet(spec):
+        try:
+            with internal_calls():
+                engine = FleetEngine(spec)
+                if session is not None and session.tracer is not None:
+                    with session.tracer.span(
+                            f"fleet:{spec.name}", "fleet.engine",
+                            workers=spec.workers):
+                        log = engine.run()
+                else:
+                    log = engine.run()
+        except FleetDiverged:
+            # a deferred flush found a divergence after the engine
+            # simulated past it; rerun serially so the run stops at
+            # the diverged read exactly
+            engine = None
+            if session is not None:
+                if session.tracer is not None:
+                    session.tracer.instant("fallback:diverged",
+                                           "fleet.engine",
+                                           spec=spec.name)
+                if session.metrics is not None:
+                    session.metrics.counter("fleet.fallbacks").inc()
+    elif want_fleet and session is not None:
+        # wanted the engine but the spec is outside the eligible
+        # class — record the fallback transition
+        if session.tracer is not None:
+            session.tracer.instant("fallback:unsupported",
+                                   "fleet.engine", spec=spec.name)
+        if session.metrics is not None:
+            session.metrics.counter("fleet.fallbacks").inc()
+
+    if engine is not None:
+        metrics, series = summarize_log(
+            spec, log, engine.reads_done, engine.steps_applied,
+            engine.diverged)
+        wall = timer.stop(strategy="fleet")
+        env = environment_info()
+        env["seed"] = engine.seed
+        env["fleet_engine"] = "fleet"
+        if original.fleet:
+            env["fleet_accounting"] = fleet_accounting(
+                original.fleet, engine.clock)
+        return ScenarioResult(
+            name=spec.name, spec_hash=spec.content_hash(),
+            metrics=metrics, series=series, env=env, wall_s=wall)
+
+    from repro.run.backends import execute_scalar, execute_spec
+
+    result = (execute_scalar(spec) if spec.replicates == 1
+              else execute_spec(spec))
+    wall = timer.stop(strategy="serial")
+    env = dict(result.env)
+    env["fleet_engine"] = "serial"
+    if original.fleet:
+        sim_series = result.series.get("sim_time")
+        if sim_series:
+            env["fleet_accounting"] = fleet_accounting(
+                original.fleet, sim_series[-1])
+    return ScenarioResult(
+        name=result.name, spec_hash=result.spec_hash,
+        metrics=result.metrics, series=result.series,
+        replicate_metrics=result.replicate_metrics, env=env,
+        wall_s=wall)

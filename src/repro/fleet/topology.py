@@ -1,0 +1,271 @@
+"""Fleet topology: worker classes, fault groups, cost/energy accounting.
+
+A heterogeneous fleet is declared once — as named worker *classes* with
+per-class delay sub-models and per-class cost/power rates, plus
+rack/zone-correlated fault *groups* — and expands deterministically
+into the flat :class:`~repro.xp.spec.ScenarioSpec` fields the engines
+consume:
+
+- classes become contiguous worker-id blocks under a
+  ``{"kind": "worker_classes"}`` delay config
+  (:class:`~repro.cluster.delays.WorkerClassDelay`);
+- fault groups become scheduled :class:`~repro.cluster.faults.
+  WorkerCrash` entries, merged ahead of any faults the spec already
+  declares;
+- the class rates feed :func:`fleet_accounting`, which prices a run's
+  simulated time span (reported in result ``env`` — never part of the
+  record identity).
+
+:func:`expand_fleet` is the one expansion point; it pins the original
+spec's resolved seed before rewriting fields, so the expanded spec
+hashes — and therefore seeds, caches, and records — identically no
+matter where the expansion happens (``repro.run`` normalization, the
+scalar reference path, or a direct engine construction).
+
+The topology factory is registered in the central typed registry under
+the ``"topology"`` kind (name ``"fleet"``), so spec validation can
+reject malformed fleet configs with a clear message before execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.registry import registry
+from repro.xp.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class FleetClass:
+    """One homogeneous worker class of a fleet.
+
+    Attributes
+    ----------
+    name : str
+        Class label (accounting rows, error messages).
+    count : int
+        Number of workers in the class (a contiguous id block).
+    delay : dict
+        Declarative delay config for the class's workers
+        (``{"kind": ..., ...}``).
+    cost_per_hour : float
+        Dollar rate per worker-hour of simulated time.
+    power_watts : float
+        Power draw per worker, for energy accounting.
+    """
+
+    name: str
+    count: int
+    delay: Dict[str, object]
+    cost_per_hour: float = 0.0
+    power_watts: float = 0.0
+
+
+class FleetTopology:
+    """A declarative heterogeneous fleet.
+
+    Parameters
+    ----------
+    classes : list of dict
+        One entry per worker class:
+        ``{"name", "count", "delay", "cost_per_hour"?, "power_watts"?}``.
+        Classes occupy contiguous worker-id blocks in list order.
+    fault_groups : list of dict, optional
+        Correlated-failure groups, each crashing a block of workers at
+        one simulated time: ``{"class": <name>, "time": t,
+        "count"?: k, "downtime"?: d}`` takes the first ``k`` (default
+        all) workers of a class — a rack or zone going down together —
+        or ``{"workers": [ids], "time": t, "downtime"?: d}`` names
+        global worker ids explicitly.
+    """
+
+    def __init__(self, classes: Optional[List[dict]] = None,
+                 fault_groups: Optional[List[dict]] = None):
+        if not classes:
+            raise ValueError(
+                'fleet topology needs a non-empty "classes" list')
+        self.classes: List[FleetClass] = []
+        for entry in classes:
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"fleet class must be a dict, got {entry!r}")
+            unknown = set(entry) - {"name", "count", "delay",
+                                    "cost_per_hour", "power_watts"}
+            if unknown:
+                raise ValueError(
+                    f"unknown fleet class keys: {sorted(unknown)}")
+            name = str(entry.get("name", f"class{len(self.classes)}"))
+            count = int(entry.get("count", 0))
+            if count < 1:
+                raise ValueError(
+                    f'fleet class {name!r} needs "count" >= 1')
+            delay = entry.get("delay")
+            if not isinstance(delay, dict) or "kind" not in delay:
+                raise ValueError(
+                    f'fleet class {name!r} needs a delay config with a '
+                    f'"kind" key, got {delay!r}')
+            if not registry.has("delay", delay["kind"]):
+                raise ValueError(
+                    f"fleet class {name!r}: unknown delay kind "
+                    f"{delay['kind']!r}")
+            self.classes.append(FleetClass(
+                name=name, count=count, delay=dict(delay),
+                cost_per_hour=float(entry.get("cost_per_hour", 0.0)),
+                power_watts=float(entry.get("power_watts", 0.0))))
+        self.fault_groups: List[dict] = []
+        for group in (fault_groups or []):
+            if not isinstance(group, dict) or "time" not in group:
+                raise ValueError(
+                    f'fault group needs a "time" key: {group!r}')
+            if ("class" in group) == ("workers" in group):
+                raise ValueError(
+                    'fault group needs exactly one of "class" or '
+                    f'"workers": {group!r}')
+            if "class" in group and group["class"] not in [
+                    c.name for c in self.classes]:
+                raise ValueError(
+                    f"fault group references unknown class "
+                    f"{group['class']!r}")
+            self.fault_groups.append(dict(group))
+
+    @property
+    def workers(self) -> int:
+        """Total worker count across all classes."""
+        return sum(c.count for c in self.classes)
+
+    def class_block(self, name: str) -> range:
+        """The contiguous global worker-id range of one class."""
+        start = 0
+        for cls in self.classes:
+            if cls.name == name:
+                return range(start, start + cls.count)
+            start += cls.count
+        raise KeyError(f"no fleet class named {name!r}")
+
+    def delay_config(self) -> dict:
+        """The expanded ``worker_classes`` delay config."""
+        return {"kind": "worker_classes",
+                "counts": [c.count for c in self.classes],
+                "models": [dict(c.delay) for c in self.classes]}
+
+    def scheduled_faults(self) -> List[dict]:
+        """Fault groups as scheduled-crash config entries."""
+        out: List[dict] = []
+        for group in self.fault_groups:
+            time = float(group["time"])
+            downtime = float(group.get("downtime", 5.0))
+            if "class" in group:
+                block = self.class_block(group["class"])
+                count = int(group.get("count", len(block)))
+                ids = list(block)[:count]
+            else:
+                ids = [int(w) for w in group["workers"]]
+            for worker in ids:
+                out.append({"kind": "crash", "worker": worker,
+                            "time": time, "downtime": downtime})
+        return out
+
+    def faults_config(self, base: Dict[str, object]) -> dict:
+        """Merge the topology's crash groups into a spec's fault config
+        (group crashes schedule ahead of the spec's own entries).
+
+        Group entries already present in the base's scheduled list are
+        not re-added, so merging an already-merged config is a no-op —
+        the idempotence :func:`expand_fleet` relies on.
+        """
+        merged = dict(base)
+        existing = list(merged.get("scheduled", []))
+        scheduled = [entry for entry in self.scheduled_faults()
+                     if entry not in existing] + existing
+        if scheduled:
+            merged["scheduled"] = scheduled
+        return merged
+
+
+def build_topology(config: dict) -> FleetTopology:
+    """Instantiate a topology from a spec's ``fleet`` config.
+
+    Parameters
+    ----------
+    config : dict
+        ``{"kind"?: "fleet", "classes": [...], "fault_groups"?: [...]}``
+        — ``kind`` defaults to ``"fleet"`` and resolves through the
+        ``"topology"`` registry kind, so alternative topology shapes
+        can be plugged in.
+    """
+    if not isinstance(config, dict):
+        raise ValueError(f"fleet config must be a dict, got {config!r}")
+    params = {k: v for k, v in config.items() if k != "kind"}
+    kind = config.get("kind", "fleet")
+    if not registry.has("topology", kind):
+        raise ValueError(
+            f"unknown topology kind {kind!r}; choose from "
+            f"{registry.names('topology')}")
+    return registry.build("topology", kind, **params)
+
+
+def expand_fleet(spec: ScenarioSpec) -> ScenarioSpec:
+    """Expand a spec's fleet topology into flat scenario fields.
+
+    No-op for specs without a ``fleet`` config.  Otherwise the
+    topology's worker total, ``worker_classes`` delay config, and
+    scheduled crash groups replace the spec's ``workers`` / ``delay`` /
+    ``faults`` fields.  The ``fleet`` config itself is **kept** — the
+    accounting layer prices the run from it after execution — and the
+    faults merge skips entries already present, so expansion is
+    idempotent: expanding an already-expanded spec returns an equal
+    spec with an equal content hash.
+
+    The original spec's :meth:`~repro.xp.spec.ScenarioSpec.
+    resolved_seed` is pinned as the explicit seed **before** the
+    rewrite: derived seeds come from the content hash, which the
+    expansion changes, and the run's identity must not depend on where
+    the expansion happened.
+    """
+    if not getattr(spec, "fleet", None):
+        return spec
+    topology = build_topology(spec.fleet)
+    return spec.with_overrides({
+        "seed": spec.resolved_seed(),
+        "workers": topology.workers,
+        "delay": topology.delay_config(),
+        "faults": topology.faults_config(spec.faults),
+    })
+
+
+def fleet_accounting(config: dict, sim_time: float) -> dict:
+    """Price a run's simulated span against a fleet's class rates.
+
+    Parameters
+    ----------
+    config : dict
+        The spec's original ``fleet`` config.
+    sim_time : float
+        Simulated time span covered (the engine's final clock, or the
+        last ``"sim_time"`` series value on the fallback path).
+
+    Returns
+    -------
+    dict
+        ``{"sim_time", "classes": [{name, workers, cost, energy_wh}],
+        "total_cost", "total_energy_wh"}`` — reported in result
+        ``env`` only, never part of the record identity.
+    """
+    topology = build_topology(config)
+    hours = max(float(sim_time), 0.0) / 3600.0
+    rows = []
+    total_cost = 0.0
+    total_energy = 0.0
+    for cls in topology.classes:
+        cost = cls.count * cls.cost_per_hour * hours
+        energy = cls.count * cls.power_watts * hours
+        total_cost += cost
+        total_energy += energy
+        rows.append({"name": cls.name, "workers": cls.count,
+                     "cost": cost, "energy_wh": energy})
+    return {"sim_time": float(sim_time), "classes": rows,
+            "total_cost": total_cost, "total_energy_wh": total_energy}
+
+
+registry.register("topology", "fleet", FleetTopology)

@@ -1,0 +1,269 @@
+"""Worker-axis workload evaluation for the fleet engine.
+
+The fleet engine (:mod:`repro.fleet.engine`) runs **one** model — the
+spec's single replicate — but thousands of simulated workers read it.
+Per-read cost therefore dominates, and two evaluation strategies
+implement the engine's read contract:
+
+- **Eager** (the universal fallback): a
+  :class:`~repro.vec.workloads.ModelReplicateAdapter` over the scalar
+  workload with a single seed.  ``read`` evaluates the autograd
+  closure immediately — it *is* the scalar computation, so losses and
+  gradients are bit-identical to the serial path by construction, and
+  the engine can mirror the serial runtime's read-time divergence stop
+  exactly.
+- **Deferred** (registered fleet workloads, ``deferred = True``): the
+  evaluator snapshots the parameter row per read
+  (:meth:`~QuadraticBowlFleet.snapshot`) and batch-evaluates all
+  pending snapshots in read order on :meth:`~QuadraticBowlFleet.flush`
+  — one stacked matrix op per simulation round instead of one NumPy
+  call chain per read.  Losses and gradients are bit-identical to the
+  scalar builder because the batched math reduces each row with the
+  same pairwise summation the scalar path uses.
+
+``quadratic_bowl`` — the noisy quadratic of the paper's analysis
+sections — is the built-in deferred evaluator.  Registration mirrors
+:mod:`repro.vec.workloads`: the scalar registry entry is captured at
+registration time, and a later replacement of the scalar factory
+silently disables the fleet evaluator rather than computing something
+other than the replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.registry import registry
+from repro.vec.workloads import ModelReplicateAdapter
+
+# builder: (seed, capacity) -> deferred evaluator;
+# factory: **workload_params -> builder
+FleetWorkloadBuilder = Callable[[int, int], "object"]
+FleetWorkloadFactory = Callable[..., FleetWorkloadBuilder]
+
+
+def register_fleet_workload(name: str,
+                            factory: FleetWorkloadFactory) -> None:
+    """Register a deferred fleet evaluator for workload ``name``.
+
+    Stored in the central typed registry under the ``"fleet_workload"``
+    kind.  The scalar registry must already know the name: the fleet
+    evaluator is an *optimization* of the current scalar builder, and
+    the differential suite holds the two bit-identical.  The pairing is
+    captured at registration time — if the scalar entry is replaced
+    afterwards, the fleet evaluator is ignored and scenarios use the
+    eager adapter over the replacement.
+    """
+    if not registry.has("workload", str(name)):
+        raise ValueError(
+            f"cannot register fleet workload {name!r}: no scalar "
+            "workload of that name (register_workload it first)")
+    scalar = registry.get("workload", str(name)).factory
+    registry.register("fleet_workload", str(name), factory,
+                      extra={"scalar_factory": scalar})
+
+
+def has_fleet_workload(name: str) -> bool:
+    """Whether ``name`` has a deferred evaluator still paired with the
+    current scalar registry entry."""
+    if not registry.has("fleet_workload", name):
+        return False
+    paired = registry.get("fleet_workload", name).extra.get(
+        "scalar_factory")
+    return (registry.has("workload", name)
+            and registry.get("workload", name).factory is paired)
+
+
+def fleet_workload_names() -> list:
+    """Sorted names with deferred fleet evaluators."""
+    return registry.names("fleet_workload")
+
+
+def build_fleet_evaluator(name: str, seed: int, capacity: int = 8,
+                          **params):
+    """Build the best available fleet evaluator for a workload.
+
+    Workloads whose deferred evaluator is still paired with the current
+    scalar registry entry get it; anything else gets an eager
+    :class:`~repro.vec.workloads.ModelReplicateAdapter` over the scalar
+    builder with the single seed (``deferred`` absent/false).
+
+    Parameters
+    ----------
+    name : str
+        Workload name (scalar registry key or ``module:attr``
+        reference).
+    seed : int
+        The spec's resolved seed.
+    capacity : int
+        Initial snapshot-slot capacity for deferred evaluators (they
+        grow on demand); sized by the engine to the in-flight bound.
+    **params
+        The spec's ``workload_params``.
+    """
+    if has_fleet_workload(name):
+        return registry.build("fleet_workload", name,
+                              **params)(int(seed), int(capacity))
+    return ModelReplicateAdapter(name, [int(seed)], **params)
+
+
+class QuadraticBowlFleet:
+    """Deferred snapshot/flush evaluator of the noisy quadratic.
+
+    The fleet twin of the scalar ``quadratic_bowl`` workload
+    (:mod:`repro.xp.workloads`): the single parameter vector lives in a
+    ``(1, dim)`` buffer (stepped in place by a vec optimizer kernel);
+    each simulated read copies the row into a snapshot slot and records
+    its noise-stream tick, and :meth:`flush` evaluates every pending
+    snapshot with three stacked elementwise ops plus one row-wise
+    reduction.  Rows reduce along the contiguous last axis, so each
+    row's loss uses the same pairwise summation as the scalar
+    ``np.sum(hx * x)`` — losses and gradients are bit-identical to
+    evaluating the snapshots one at a time.
+
+    Slots are recycled through a free list and the arrays double when
+    the in-flight read population outgrows them.
+    """
+
+    #: The engine calls snapshot()/flush()/loss()/grad_row() instead of
+    #: read(); losses become available at flush time, not read time.
+    deferred = True
+
+    def __init__(self, seed: int, dim: int = 256, hmin: float = 0.05,
+                 hmax: float = 2.0, noise: float = 0.1,
+                 noise_horizon: int = 512, capacity: int = 8):
+        # identical draw order to the scalar builder: parameter vector
+        # first, then the noise table, from one seeded generator
+        rng = np.random.default_rng(int(seed))
+        self.h = np.exp(np.linspace(np.log(hmin), np.log(hmax), dim))
+        self.buffer = np.empty((1, dim))
+        self.buffer[0] = rng.normal(size=dim)
+        self._table = noise * rng.normal(size=(noise_horizon, dim))
+        self.noise_horizon = noise_horizon
+        self.offsets = [0, dim]
+        cap = max(int(capacity), 1)
+        self._snaps = np.empty((cap, dim))
+        self._grads = np.empty((cap, dim))
+        self._losses = np.empty(cap)
+        # tick stored pre-modded: only ever read through `% horizon`
+        self._ticks = np.empty(cap, dtype=np.int64)
+        self._free: List[int] = list(range(cap - 1, -1, -1))
+        self._pending: List[int] = []
+        self._tick = 0
+        # flush scratch (grown on demand): gathered snapshots, h*x, and
+        # gathered noise rows — reused so a flush allocates nothing big
+        self._scratch = np.empty((0, dim))
+        self._flushed = np.empty(0)
+
+    def ensure_packed(self) -> None:
+        """No tensors alias the buffer; nothing to re-pack."""
+
+    def _grow(self) -> None:
+        """Double every slot array, freeing the new upper half."""
+        cap = self._snaps.shape[0]
+        for name in ("_snaps", "_grads"):
+            old = getattr(self, name)
+            grown = np.empty((2 * cap, old.shape[1]))
+            grown[:cap] = old
+            setattr(self, name, grown)
+        losses = np.empty(2 * cap)
+        losses[:cap] = self._losses
+        self._losses = losses
+        ticks = np.empty(2 * cap, dtype=np.int64)
+        ticks[:cap] = self._ticks
+        self._ticks = ticks
+        self._free.extend(range(2 * cap - 1, cap - 1, -1))
+
+    def snapshot(self) -> int:
+        """Record one read: copy the parameter row, claim the next
+        noise tick, and return the slot id."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._snaps[slot] = self.buffer[0]
+        self._ticks[slot] = self._tick % self.noise_horizon
+        self._tick += 1
+        self._pending.append(slot)
+        return slot
+
+    def flush(self) -> None:
+        """Batch-evaluate every snapshot taken since the last flush.
+
+        Works in preallocated scratch rows: gather the snapshots and
+        their noise-table rows with :func:`np.take`, form ``h * x`` in
+        place, and scatter gradients back.  The loss reduction stays
+        ``(hx * x).sum(axis=1)`` — the same contiguous-axis pairwise
+        summation as the scalar ``np.sum(hx * x)``, so batching cannot
+        perturb a single bit.
+        """
+        if not self._pending:
+            return
+        rows = np.asarray(self._pending, dtype=np.intp)
+        n = rows.shape[0]
+        if self._scratch.shape[0] < 3 * n:
+            self._scratch = np.empty((3 * n, self._snaps.shape[1]))
+        HX = self._scratch[n:2 * n]
+        start = int(rows[0])
+        if n == 1 or (int(rows[-1]) == start + n - 1
+                      and bool((np.diff(rows) == 1).all())):
+            # round-mode steady state: slots recycle in snapshot order,
+            # so the batch is one contiguous block — views, no gathers
+            X = self._snaps[start:start + n]
+            G = self._grads[start:start + n]
+            ticks = self._ticks[start:start + n]
+        else:
+            X = self._scratch[:n]
+            G = self._scratch[2 * n:3 * n]
+            np.take(self._snaps, rows, axis=0, out=X)
+            ticks = self._ticks[rows]
+        np.multiply(self.h, X, out=HX)
+        np.take(self._table, ticks, axis=0, out=G)
+        G += HX
+        if G.base is self._scratch:
+            self._grads[rows] = G
+        np.multiply(HX, X, out=HX)
+        flushed = 0.5 * HX.sum(axis=1)
+        self._losses[rows] = flushed
+        self._flushed = flushed
+        self._pending.clear()
+
+    def flushed_losses(self) -> np.ndarray:
+        """Losses of the last :meth:`flush`, in snapshot order.
+
+        Snapshot order is read order — the engine appends to its
+        unlogged-step list and this evaluator to ``_pending`` in the
+        same call — so the engine can log the whole batch without a
+        per-read Python loop.
+        """
+        return self._flushed
+
+    def loss(self, slot: int) -> float:
+        """The flushed loss of one snapshot."""
+        return float(self._losses[slot])
+
+    def grad_row(self, slot: int) -> np.ndarray:
+        """The flushed gradient of one snapshot as a ``(1, dim)`` view
+        (valid until the slot is released and reused)."""
+        return self._grads[slot:slot + 1]
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list."""
+        self._free.append(slot)
+
+
+def _quadratic_bowl_fleet(dim: int = 256, hmin: float = 0.05,
+                          hmax: float = 2.0, noise: float = 0.1,
+                          noise_horizon: int = 512
+                          ) -> FleetWorkloadBuilder:
+    """Factory mirroring the scalar ``quadratic_bowl`` signature."""
+    def build(seed: int, capacity: int) -> QuadraticBowlFleet:
+        return QuadraticBowlFleet(seed, dim=dim, hmin=hmin, hmax=hmax,
+                                  noise=noise,
+                                  noise_horizon=noise_horizon,
+                                  capacity=capacity)
+    return build
+
+
+register_fleet_workload("quadratic_bowl", _quadratic_bowl_fleet)

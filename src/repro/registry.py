@@ -49,6 +49,8 @@ _PROVIDERS: Dict[str, Tuple[str, ...]] = {
     "aggregator": ("repro.bench.report",),
     "vec_optimizer": ("repro.vec.optim",),
     "vec_workload": ("repro.vec.workloads",),
+    "fleet_workload": ("repro.fleet.workloads",),
+    "topology": ("repro.fleet.topology",),
     "backend": ("repro.run.backends",),
     "obs": ("repro.obs",),
     "serve": ("repro.serve.policies",),

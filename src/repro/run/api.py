@@ -36,19 +36,36 @@ from repro.run.result import RunOptions, RunResult, _Stopwatch
 Runnable = Union[ScenarioSpec, Matrix, Sequence[ScenarioSpec], str, Path]
 
 
+# worker count from which worker-axis batching pays for its setup;
+# below it the existing selection order (parallel/cluster/serial) wins
+_FLEET_AUTO_WORKERS = 64
+
+
 def _normalize(scenarios: Runnable) -> List[ScenarioSpec]:
-    """Expand any accepted input form into a concrete spec list."""
+    """Expand any accepted input form into a concrete spec list.
+
+    Fleet-topology specs expand here (:func:`repro.fleet.topology.
+    expand_fleet`), before hashing, so the cache key, the record's
+    ``spec_hash``, and the resolved seed are those of the expanded
+    spec no matter which backend runs it.
+    """
     if isinstance(scenarios, ScenarioSpec):
-        return [scenarios]
-    if isinstance(scenarios, Matrix):
-        return scenarios.expand()
-    if isinstance(scenarios, (str, Path)):
-        return load_scenarios(scenarios)
-    specs = list(scenarios)
-    bad = [s for s in specs if not isinstance(s, ScenarioSpec)]
-    if bad:
-        raise TypeError(
-            f"expected ScenarioSpec items, got {type(bad[0]).__name__}")
+        specs = [scenarios]
+    elif isinstance(scenarios, Matrix):
+        specs = scenarios.expand()
+    elif isinstance(scenarios, (str, Path)):
+        specs = load_scenarios(scenarios)
+    else:
+        specs = list(scenarios)
+        bad = [s for s in specs if not isinstance(s, ScenarioSpec)]
+        if bad:
+            raise TypeError(
+                f"expected ScenarioSpec items, got "
+                f"{type(bad[0]).__name__}")
+    if any(s.fleet for s in specs):
+        from repro.fleet.topology import expand_fleet
+
+        specs = [expand_fleet(s) for s in specs]
     return specs
 
 
@@ -81,13 +98,17 @@ def select_backend(specs: Sequence[ScenarioSpec],
     1. ``vec`` when every spec is lockstep-schedulable and at least one
        carries ``replicates > 1`` — replicate batching is the biggest
        single win the system has.
-    2. ``parallel`` when there are several scenarios and more than one
+    2. ``fleet`` when every spec is single-replicate fleet-eligible
+       and at least one is fleet-scale (``workers >= 64`` or a fleet
+       topology) — worker-axis batching is the analogous win for
+       large clusters.
+    3. ``parallel`` when there are several scenarios and more than one
        worker process is available — scenario fan-out.
-    3. ``cluster`` when any spec needs cluster-class machinery
+    4. ``cluster`` when any spec needs cluster-class machinery
        (stochastic delays, fault plans, staleness gates, random
        delivery) — the general engine is the right tool, not a
        fallback.
-    4. ``serial`` otherwise.
+    5. ``serial`` otherwise.
 
     A backend is only chosen if it is registered *and* declares the
     matching capability, so replacing a built-in with a degraded
@@ -120,6 +141,16 @@ def select_backend(specs: Sequence[ScenarioSpec],
             and all(supports_batched(s) for s in specs)):
         return "vec", ("lockstep-schedulable specs with replicates > 1 "
                        "batch on the replicate axis")
+    fleet_caps = caps("fleet")
+    if (fleet_caps is not None and fleet_caps.batched_workers
+            and all(s.replicates == 1 for s in specs)
+            and any(s.workers >= _FLEET_AUTO_WORKERS or s.fleet
+                    for s in specs)):
+        from repro.fleet.engine import supports_fleet
+
+        if all(supports_fleet(s) for s in specs):
+            return "fleet", ("fleet-eligible specs at fleet scale "
+                             "batch on the worker axis")
     par_caps = caps("parallel")
     if (par_caps is not None and par_caps.matrix and len(specs) > 1
             and _effective_jobs(jobs) > 1):

@@ -24,6 +24,9 @@ Built-ins (registered in the central typed registry under the
 - ``vec`` — replicate-level batching through the lockstep
   :class:`~repro.vec.engine.BatchedClusterEngine` (transparent serial
   fallback outside the lockstep class).
+- ``fleet`` — worker-level batching through the
+  :class:`~repro.fleet.engine.FleetEngine` (transparent serial
+  fallback outside the fleet-eligible class).
 - ``mp`` — real worker processes behind an IPC transport
   (:mod:`repro.mp`); registered only where the platform supports it
   and never auto-selected — callers opt in with ``backend="mp"``.
@@ -204,6 +207,13 @@ def execute_scalar(spec: ScenarioSpec) -> ScenarioResult:
         raise ValueError(
             f"execute_scalar needs replicates == 1, got "
             f"{spec.replicates}; use repro.vec.runner.execute_replicated")
+    if spec.fleet:
+        # fleet topologies expand to flat fields before execution; the
+        # expansion pins the original resolved seed, so hashing and
+        # seeding are identical no matter which layer expanded first
+        from repro.fleet.topology import expand_fleet
+
+        spec = expand_fleet(spec)
     seed = spec.resolved_seed()
     build = build_workload(spec.workload, **spec.workload_params)
     model, loss_fn = build(seed)
@@ -270,6 +280,9 @@ class BackendCapabilities:
     batched_replicates : bool
         Collapses a spec's replicate axis into lockstep batched
         execution when the spec allows it.
+    batched_workers : bool
+        Collapses a spec's worker axis into batched per-event
+        execution when the spec allows it (the fleet engine).
     cluster_features : bool
         Positioned for cluster-class machinery — stochastic delay
         models, fault plans, staleness gates — that rules out
@@ -286,6 +299,7 @@ class BackendCapabilities:
 
     matrix: bool = False
     batched_replicates: bool = False
+    batched_workers: bool = False
     cluster_features: bool = False
     subprocess: bool = False
     real_processes: bool = False
@@ -442,6 +456,34 @@ class VecBackend(ExecutionBackend):
                 for spec in specs]
 
 
+class FleetBackend(ExecutionBackend):
+    """Worker-axis batching through the fleet engine.
+
+    Fleet-eligible single-replicate scenarios — vec optimizer kernel,
+    deterministic delay/fault configuration — run through the
+    :class:`~repro.fleet.engine.FleetEngine`, which batches the
+    per-event worker-axis work while the model stays scalar.
+    Fleet-topology specs are expanded first; anything outside the
+    eligible class falls back to serial scalar execution
+    transparently, with the executed strategy recorded in each
+    result's ``env["fleet_engine"]``.
+    """
+
+    name = "fleet"
+
+    def capabilities(self) -> BackendCapabilities:
+        """Exploits the worker axis of fleet-eligible specs."""
+        return BackendCapabilities(batched_workers=True)
+
+    def execute(self, specs: Sequence[ScenarioSpec],
+                options: RunOptions) -> List[ScenarioResult]:
+        """Run each spec through the fleet engine (or fallback)."""
+        from repro.fleet.runner import execute_fleet
+
+        return [execute_fleet(spec, strategy="fleet")
+                for spec in specs]
+
+
 # ----------------------------------------------------------------- #
 # registration
 # ----------------------------------------------------------------- #
@@ -472,7 +514,8 @@ def _mp_backend() -> ExecutionBackend:
     return MPBackend()
 
 
-for _cls in (SerialBackend, ClusterBackend, ParallelBackend, VecBackend):
+for _cls in (SerialBackend, ClusterBackend, ParallelBackend, VecBackend,
+             FleetBackend):
     registry.register("backend", _cls.name, _cls)
 
 # the mp backend needs fork + POSIX shared memory; capability-gate the

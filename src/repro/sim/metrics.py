@@ -84,10 +84,16 @@ def staleness_histogram(log: TrainLog) -> Dict[int, Dict[int, int]]:
     dict
         ``{worker_id: {staleness: count}}``.  Only in-loop commits are
         counted (drained end-of-run updates log no staleness); commits
-        whose origin metadata was lost appear under ``-1``.
+        whose origin metadata was lost appear under ``-1``.  A
+        ``"worker"`` series shorter than ``"staleness"`` (misaligned
+        logs from resumed/merged runs) is padded with ``-1`` so the
+        trailing staleness entries land in the documented ``-1`` bucket
+        instead of being silently dropped.
     """
     staleness = log.scalars.get("staleness", [])
     workers = log.scalars.get("worker", [-1.0] * len(staleness))
+    if len(workers) < len(staleness):
+        workers = list(workers) + [-1.0] * (len(staleness) - len(workers))
     hist: Dict[int, Dict[int, int]] = {}
     for s, w in zip(staleness, workers):
         per_worker = hist.setdefault(int(w), {})

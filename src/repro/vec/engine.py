@@ -79,12 +79,14 @@ def supports_batched(spec: ScenarioSpec) -> bool:
     """Whether a spec falls in the lockstep-schedulable class.
 
     Requires a constant delay model (gradient-independent event order),
-    an empty fault plan, and an optimizer with a batched kernel.
-    Anything else runs through the serial fallback of
+    an empty fault plan, no fleet topology (which would rewrite the
+    delay/fault fields on expansion), and an optimizer with a batched
+    kernel.  Anything else runs through the serial fallback of
     :func:`repro.vec.runner.run_replicated_scenario`.
     """
     return (spec.delay.get("kind") == "constant"
             and not spec.faults
+            and not getattr(spec, "fleet", None)
             and has_vec_optimizer(spec.optimizer))
 
 

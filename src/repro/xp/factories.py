@@ -24,7 +24,7 @@ from typing import Callable, Optional
 from repro.cluster.delays import (ConstantDelay, DelayModel,
                                   ExponentialDelay, HeterogeneousDelay,
                                   ParetoDelay, TraceReplayDelay,
-                                  UniformDelay)
+                                  UniformDelay, WorkerClassDelay)
 from repro.cluster.faults import (FaultInjector, ShardPause, Straggler,
                                   WorkerCrash)
 from repro.core import ClosedLoopYellowFin, YellowFin
@@ -53,12 +53,22 @@ def _trace_delay(trace=None) -> TraceReplayDelay:
     return TraceReplayDelay(trace)
 
 
+def _worker_class_delay(counts=None, models=None) -> WorkerClassDelay:
+    """Contiguous worker-id blocks from parallel count/config lists."""
+    if not counts or not models:
+        raise ValueError(
+            'worker_classes delay config needs parallel non-empty '
+            '"counts" and "models" lists')
+    return WorkerClassDelay(counts, [build_delay_model(m) for m in models])
+
+
 registry.register("delay", "constant", ConstantDelay)
 registry.register("delay", "uniform", UniformDelay)
 registry.register("delay", "exponential", ExponentialDelay)
 registry.register("delay", "pareto", ParetoDelay)
 registry.register("delay", "heterogeneous", _heterogeneous_delay)
 registry.register("delay", "trace", _trace_delay)
+registry.register("delay", "worker_classes", _worker_class_delay)
 
 
 def delay_kinds() -> list:

@@ -103,6 +103,16 @@ class ScenarioSpec:
         :mod:`repro.vec.runner`) and is part of the content hash;
         ``replicates == 1`` is canonicalized away so existing spec
         hashes, caches, and derived seeds are unchanged.
+    fleet : dict
+        Declarative fleet-topology config (see
+        :mod:`repro.fleet.topology`): named worker classes with
+        per-class delay sub-models and cost/power rates, plus
+        correlated fault groups.  :func:`repro.fleet.topology.
+        expand_fleet` rewrites it into concrete ``workers`` /
+        ``delay`` / ``faults`` fields (pinning the original resolved
+        seed) before execution.  Empty (the default) means no topology
+        and is canonicalized away, so existing spec hashes are
+        unchanged.
     """
 
     name: str
@@ -124,6 +134,7 @@ class ScenarioSpec:
     record_series: Tuple[str, ...] = ("loss",)
     smooth: int = 25
     replicates: int = 1
+    fleet: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
         """Validate field ranges and normalize container types."""
@@ -147,6 +158,8 @@ class ScenarioSpec:
                  f'delay config needs a "kind" key, got {self.delay!r}')
         _require(isinstance(self.faults, dict),
                  f"faults config must be a dict, got {self.faults!r}")
+        _require(isinstance(self.fleet, dict),
+                 f"fleet config must be a dict, got {self.fleet!r}")
         self.record_series = tuple(self.record_series)
 
     # ------------------------------------------------------------- #
@@ -180,11 +193,14 @@ class ScenarioSpec:
         single-replicate specs hash (and therefore cache, and derive
         seeds) exactly as they did before the field existed; any other
         replicate count is part of the hash and misses the cache
-        cleanly.
+        cleanly.  An empty ``fleet`` config is canonicalized away for
+        the same reason.
         """
         data = self.as_dict()
         if data.get("replicates") == 1:
             del data["replicates"]
+        if not data.get("fleet"):
+            data.pop("fleet", None)
         payload = {"xp_format": XP_FORMAT_VERSION,
                    "spec": encode_state(data)}
         return json.dumps(payload, sort_keys=True, separators=(",", ":"),
@@ -309,6 +325,15 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown shard policy "
                 f"{self.shard_policy!r}; choose from "
                 f"{registry.names('sharding')}")
+        if self.fleet:
+            from repro.fleet.topology import build_topology
+
+            try:
+                build_topology(self.fleet)
+            except (TypeError, ValueError, KeyError) as exc:
+                raise ValueError(
+                    f"scenario {self.name!r}: invalid fleet topology: "
+                    f"{exc}") from None
         return self
 
     def with_overrides(self, overrides: Dict[str, object],

@@ -30,6 +30,7 @@ MODULES = (
     "repro.mp",
     "repro.obs",
     "repro.serve",
+    "repro.fleet",
     "repro.sim",
     "repro.optim",
     "repro.core",

@@ -179,3 +179,61 @@ def test_event_dataclass_orders_by_time_then_seq():
 def test_pop_on_empty_queue_raises():
     with pytest.raises(IndexError):
         EventQueue().pop()
+
+
+class TestIncrementalIndexes:
+    """count_kind / pending_workers stay consistent with the heap
+    through arbitrary schedule / pop / reschedule / restore traffic —
+    the O(1) indexes the fleet-scale resume and fuzz paths rely on."""
+
+    @staticmethod
+    def recount(queue):
+        kinds, workers = {}, set()
+        for ev in queue._heap:
+            kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+            workers.add(ev.worker)
+        return kinds, workers
+
+    def check(self, queue):
+        kinds, workers = self.recount(queue)
+        for kind in ("arrival", "crash", "restart", "ghost"):
+            assert queue.count_kind(kind) == kinds.get(kind, 0)
+        assert queue.pending_workers() == workers
+
+    def test_hammer_matches_recomputation(self):
+        rng = np.random.default_rng(17)
+        queue = EventQueue()
+        kinds = ("arrival", "crash", "restart")
+        for round_no in range(200):
+            action = rng.integers(0, 4)
+            if action == 0 or not queue:
+                queue.schedule(float(rng.random() * 10),
+                               kinds[int(rng.integers(0, 3))],
+                               int(rng.integers(0, 6)))
+            elif action == 1:
+                queue.pop()
+            elif action == 2:
+                ev = queue.pop()
+                queue.reschedule(ev, ev.time + float(rng.random()))
+            else:
+                restored = EventQueue()
+                restored.load_state_dict(queue.state_dict())
+                queue = restored
+            self.check(queue)
+        while queue:
+            queue.pop()
+            self.check(queue)
+        assert queue.count_kind("arrival") == 0
+        assert queue.pending_workers() == set()
+
+    def test_restore_rebuilds_indexes_from_scratch(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "arrival", 0)
+        queue.schedule(2.0, "crash", 1)
+        state = queue.state_dict()
+        dirty = EventQueue()
+        dirty.schedule(5.0, "ghost", 9)  # stale index entries
+        dirty.load_state_dict(state)
+        assert dirty.count_kind("ghost") == 0
+        assert dirty.pending_workers() == {0, 1}
+        self.check(dirty)

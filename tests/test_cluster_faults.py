@@ -204,3 +204,46 @@ class TestRandomFaults:
         plain = run_with_faults(None)
         injected = run_with_faults(FaultInjector(seed=123))
         assert plain.log.scalars["loss"] == injected.log.scalars["loss"]
+
+
+class TestCheckpointHandoff:
+    """The transient dispatch→consume hand-off fields survive a
+    checkpoint taken between the two calls.
+
+    The runtime calls ``on_dispatch`` and only later (when the crash
+    event fires) ``consume_crash``; a ``state_dict`` round-trip in that
+    window used to reset ``_pending_downtime`` to the constructor
+    default, silently rewriting a scheduled crash's custom downtime."""
+
+    def test_scheduled_downtime_survives_roundtrip(self):
+        injector = FaultInjector(scheduled=[
+            WorkerCrash(worker=0, time=1.0, downtime=42.0)])
+        delay, crash = injector.on_dispatch(worker=0, now=0.5, delay=1.0)
+        assert crash is not None
+        restored = FaultInjector(scheduled=[
+            WorkerCrash(worker=0, time=1.0, downtime=42.0)])
+        restored.load_state_dict(injector.state_dict())
+        assert restored.consume_crash() == 42.0
+        # and the consumed-crash set travelled too: the scheduled
+        # entry must not fire a second time after restore
+        _, again = restored.on_dispatch(worker=0, now=2.0, delay=1.0)
+        assert again is None
+
+    def test_pause_shard_survives_roundtrip(self):
+        injector = FaultInjector(scheduled=[
+            ShardPause(start=0.0, duration=4.0, shard=3)])
+        assert injector.pause_until(1.0) == 4.0
+        restored = FaultInjector(scheduled=[
+            ShardPause(start=0.0, duration=4.0, shard=3)])
+        restored.load_state_dict(injector.state_dict())
+        assert restored.consume_pause_shard() == 3
+
+    def test_missing_keys_fall_back_to_defaults(self):
+        # state dicts written before the hand-off fields existed
+        injector = FaultInjector(crash_downtime=7.0, seed=2)
+        state = injector.state_dict()
+        del state["pending_downtime"]
+        del state["pending_pause_shard"]
+        injector.load_state_dict(state)
+        assert injector.consume_crash() == 7.0
+        assert injector.consume_pause_shard() == 0

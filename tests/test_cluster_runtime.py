@@ -6,8 +6,9 @@ import pytest
 from repro import nn
 from repro.autograd import Tensor, functional as F
 from repro.cluster import (ClusterRuntime, ConstantDelay, ExponentialDelay,
-                           HeterogeneousDelay, ParetoDelay, TraceReplayDelay,
-                           UniformDelay, make_delay_model)
+                           FaultInjector, HeterogeneousDelay, ParetoDelay,
+                           TraceReplayDelay, UniformDelay, WorkerCrash,
+                           make_delay_model)
 from repro.optim import MomentumSGD, SGD
 from repro.sim import (ShardedParameterServer, event_timeline_summary,
                        staleness_histogram, staleness_summary, train_async,
@@ -196,6 +197,34 @@ class TestTimedRuntime:
         assert runtime.reads_done == 40
         assert runtime.updates_done > 0
 
+    def test_resume_wake_skips_dead_workers(self):
+        """The resume wake-up loop dispatches only *alive* idle workers.
+
+        A worker mid-downtime has its restart event kept by
+        discard_in_flight; waking it too would double-dispatch it (one
+        read from the wake, another when the restart fires)."""
+        model, loss_fn = make_problem()
+        opt = SGD(model.parameters(), lr=0.05)
+        faults = FaultInjector(scheduled=[
+            WorkerCrash(worker=0, time=2.0, downtime=100.0)])
+        runtime = ClusterRuntime(model, opt, loss_fn, workers=3,
+                                 faults=faults)
+        runtime.run(reads=12)
+        assert not runtime.workers[0].alive
+        runtime.discard_in_flight()
+        dispatched = []
+        original = runtime._read_and_dispatch
+
+        def spy(worker):
+            dispatched.append((worker.worker_id, worker.alive))
+            return original(worker)
+
+        runtime._read_and_dispatch = spy
+        runtime.run(reads=24)
+        assert runtime.reads_done == 24
+        assert dispatched, "resume never dispatched anything"
+        assert all(alive for _, alive in dispatched)
+
     def test_validation(self):
         model, loss_fn = make_problem()
         opt = SGD(model.parameters(), lr=0.1)
@@ -264,6 +293,40 @@ class TestDelayModels:
             TraceReplayDelay({"delays": [1.0, -1.0]})
         with pytest.raises(ValueError):
             TraceReplayDelay({"nope": []})
+
+    def test_factory_dict_config_routes_through_registry(self):
+        model = make_delay_model({"kind": "uniform", "low": 0.2,
+                                  "high": 0.9, "seed": 4})
+        assert isinstance(model, UniformDelay)
+        assert 0.2 <= model.sample(0, 0.0) <= 0.9
+        nested = make_delay_model({"kind": "heterogeneous", "models": [
+            {"kind": "constant", "delay": 2.0},
+            {"kind": "constant", "delay": 5.0}]})
+        assert isinstance(nested, HeterogeneousDelay)
+        assert nested.sample(1, 0.0) == 5.0
+        with pytest.raises(ValueError):
+            make_delay_model({"kind": "warp"})
+
+    def test_factory_name_needing_parameters_fails_clearly(self):
+        # "trace" is registered but unbuildable without a payload; the
+        # name-only route must surface that, not an attribute error
+        with pytest.raises(ValueError, match="trace"):
+            make_delay_model("trace")
+
+    def test_trace_lanes_alias_when_workers_exceed_lanes(self):
+        """Workers beyond the recorded lanes alias onto
+        ``worker % lanes`` and *share that lane's cursor* — replay
+        consumes each recorded sequence once, in arrival order."""
+        trace = {"workers": {"0": [1.0, 2.0], "1": [5.0]}}
+        model = TraceReplayDelay(trace)
+        assert model.sample(0, 0.0) == 1.0
+        assert model.sample(2, 0.0) == 2.0  # continues lane 0's cursor
+        assert model.sample(0, 0.0) == 1.0  # lane wrapped
+        assert model.sample(3, 0.0) == 5.0  # lane 1 via worker 3
+        # the shared cursor is checkpoint state
+        restored = TraceReplayDelay(trace)
+        restored.load_state_dict(model.state_dict())
+        assert restored.sample(2, 0.0) == 2.0
 
     def test_trace_rejects_non_contiguous_worker_ids(self):
         """A gap in recorded worker ids would silently shift lanes onto

@@ -39,6 +39,18 @@ class TestStalenessHistogram:
         log = make_log([0, 2, 0], workers=[0, 1, 0])
         assert staleness_histogram(log) == {0: {0: 2}, 1: {2: 1}}
 
+    def test_truncated_worker_series_pads_with_minus_one(self):
+        # a "worker" series shorter than "staleness" (merged/resumed
+        # logs) must not silently drop the trailing commits — they land
+        # in the documented -1 bucket instead
+        log = TrainLog()
+        for step, value in enumerate([0, 1, 2, 3]):
+            log.append("staleness", value, step)
+        for step, worker in enumerate([0, 1]):
+            log.append("worker", worker, step)
+        assert staleness_histogram(log) == {
+            0: {0: 1}, 1: {1: 1}, -1: {2: 1, 3: 1}}
+
 
 class TestStalenessSummary:
     def test_empty_log_is_count_zero_with_nan_stats(self):
