@@ -5,7 +5,8 @@ PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test tier1 doc-coverage bench bench-smoke cluster-smoke \
 	matrix-smoke vec-smoke api-smoke mp-smoke obs-smoke serve-smoke \
-	fleet-smoke perf-gate example cluster-example matrix-example
+	fleet-smoke lazy-smoke perf-gate example cluster-example \
+	matrix-example
 
 test:  ## fast unit tests only
 	$(PYTEST) tests -q
@@ -75,6 +76,12 @@ fleet-smoke:  ## worker-axis engine: differential suite + quarter-scale 256-work
 	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
 	    benchmarks/test_fleet_scale.py -q -s
 
+lazy-smoke:  ## lazy engine: bit-identity differential + graph/run suites + quarter-scale fusion gate, <60s
+	$(PYTEST) tests/test_lazy_differential.py tests/test_lazy_graph.py \
+	    tests/test_lazy_run.py -q
+	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_DIR=$${TMPDIR:-/tmp} $(PYTEST) \
+	    benchmarks/test_lazy_fusion.py -q -s
+
 perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines; reports land in artifacts/
 	@fresh=$$(mktemp -d); status=0; \
 	mkdir -p artifacts; \
@@ -85,9 +92,10 @@ perf-gate:  ## full-scale smoke benches diffed against committed BENCH baselines
 	    benchmarks/test_obs_overhead.py \
 	    benchmarks/test_serve_load.py \
 	    benchmarks/test_fleet_scale.py \
+	    benchmarks/test_lazy_fusion.py \
 	    -q -s && \
 	PYTHONPATH=src python -m repro diff --baseline . --fresh $$fresh \
-	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput,obs_overhead,serve,fleet_scale \
+	    --names cluster_scenarios,fig01,vec_replicates,mp_throughput,obs_overhead,serve,fleet_scale,lazy_fusion \
 	    --report artifacts/perf_report.json \
 	    || status=$$?; \
 	cp $$fresh/BENCH_vec_replicates.json \

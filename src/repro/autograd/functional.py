@@ -10,7 +10,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, _lazy_dispatch
 
 
 # --------------------------------------------------------------------- #
@@ -30,6 +30,9 @@ def sigmoid(x: Tensor) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable ``log(softmax(x))`` along ``axis``."""
+    lazy = _lazy_dispatch("log_softmax", x, axis)
+    if lazy is not None:
+        return lazy
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - logsumexp
@@ -84,6 +87,9 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    lazy = _lazy_dispatch("leaky_relu", x, negative_slope)
+    if lazy is not None:
+        return lazy
     mask = x.data > 0
     scale = np.where(mask, 1.0, negative_slope)
     return Tensor._make(x.data * scale, [(x, lambda g: g * scale)])
@@ -91,6 +97,9 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
 
 def softplus(x: Tensor) -> Tensor:
     """``log(1 + exp(x))``, computed stably."""
+    lazy = _lazy_dispatch("softplus", x)
+    if lazy is not None:
+        return lazy
     out = np.logaddexp(0.0, x.data)
     sig = 1.0 / (1.0 + np.exp(-x.data))
     return Tensor._make(out, [(x, lambda g: g * sig)])
@@ -98,6 +107,9 @@ def softplus(x: Tensor) -> Tensor:
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian Error Linear Unit (tanh approximation)."""
+    lazy = _lazy_dispatch("gelu", x)
+    if lazy is not None:
+        return lazy
     c = np.sqrt(2.0 / np.pi)
     inner = c * (x.data + 0.044715 * x.data ** 3)
     t = np.tanh(inner)
@@ -114,6 +126,9 @@ def pad2d(x: Tensor, padding: int) -> Tensor:
         raise ValueError("padding must be >= 0")
     if padding == 0:
         return x
+    lazy = _lazy_dispatch("pad2d", x, padding)
+    if lazy is not None:
+        return lazy
     p = padding
     out = np.pad(x.data, ((0, 0), (0, 0), (p, p), (p, p)))
     return Tensor._make(out, [(x, lambda g: g[:, :, p:-p, p:-p])])
@@ -166,6 +181,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
         raise ValueError(f"channel mismatch: input {c_in} vs weight {c_in_w}")
+    lazy = _lazy_dispatch("conv2d", x, weight, bias, stride, padding)
+    if lazy is not None:
+        return lazy
 
     k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, padding)
     x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding),
@@ -204,6 +222,9 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
     n, c, h, w = x.shape
     if h % kernel or w % kernel:
         raise ValueError(f"spatial dims {(h, w)} not divisible by kernel {kernel}")
+    lazy = _lazy_dispatch("avg_pool2d", x, kernel)
+    if lazy is not None:
+        return lazy
     oh, ow = h // kernel, w // kernel
     view = x.data.reshape(n, c, oh, kernel, ow, kernel)
     out = view.mean(axis=(3, 5))
@@ -226,6 +247,9 @@ def max_pool2d(x: Tensor, kernel: int) -> Tensor:
     n, c, h, w = x.shape
     if h % kernel or w % kernel:
         raise ValueError(f"spatial dims {(h, w)} not divisible by kernel {kernel}")
+    lazy = _lazy_dispatch("max_pool2d", x, kernel)
+    if lazy is not None:
+        return lazy
     oh, ow = h // kernel, w // kernel
     view = x.data.reshape(n, c, oh, kernel, ow, kernel)
     out = view.max(axis=(3, 5))
@@ -242,6 +266,9 @@ def max_pool2d(x: Tensor, kernel: int) -> Tensor:
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Row lookup ``weight[indices]`` with scatter-add backward."""
     indices = np.asarray(indices)
+    lazy = _lazy_dispatch("embedding", weight, indices)
+    if lazy is not None:
+        return lazy
     out = weight.data[indices]
     shape = weight.shape
 
@@ -258,6 +285,9 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` matching ``torch.nn.functional.linear``."""
     if not isinstance(x, Tensor):
         x = Tensor(x)
+    lazy = _lazy_dispatch("linear", x, weight, bias)
+    if lazy is not None:
+        return lazy
     out = x @ weight.T
     if bias is not None:
         out = out + bias

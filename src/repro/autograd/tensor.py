@@ -16,30 +16,61 @@ heavy math is delegated to BLAS via ``np.matmul``/``np.einsum``.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Grad recording is scoped per-context (not a module global) so
+# `no_grad()` in one thread of the serve pool — or on thread-fallback
+# platforms — cannot disable recording in a concurrently training
+# thread.  contextvars give each thread/task its own value.
+_GRAD_ENABLED: "contextvars.ContextVar[bool]" = contextvars.ContextVar(
+    "repro_grad_enabled", default=True)
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded on the tape."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph recording (evaluation mode)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_ENABLED.reset(token)
+
+
+# ------------------------------------------------------------------- #
+# deferred-execution seam (populated by repro.lazy when imported)
+# ------------------------------------------------------------------- #
+# `repro.lazy` installs a tensor factory (so `Tensor(...)` built inside
+# an active lazy context returns a graph-recording LazyTensor) and a
+# table of functional-op hooks.  Both stay None/empty until repro.lazy
+# is imported, so eager-only sessions pay a single `is None` check.
+_LAZY_FACTORY: Optional[Callable] = None
+_LAZY_HOOKS: dict = {}
+
+
+def _install_lazy(factory: Callable, hooks: dict) -> None:
+    """Install the deferred-execution seam (called by ``repro.lazy``)."""
+    global _LAZY_FACTORY
+    _LAZY_FACTORY = factory
+    _LAZY_HOOKS.clear()
+    _LAZY_HOOKS.update(hooks)
+
+
+def _lazy_dispatch(op: str, *args, **kwargs):
+    """Offer an op to the lazy engine; None means "run it eagerly"."""
+    hook = _LAZY_HOOKS.get(op)
+    if hook is None:
+        return None
+    return hook(*args, **kwargs)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -80,14 +111,38 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward_fns", "_parents", "name")
     __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
+    _lazy = False  # LazyTensor overrides; cheaper than isinstance checks
+
+    def __new__(cls, data: ArrayLike = None, requires_grad: bool = False,
+                name: str = ""):
+        """Construct a tensor; inside an active lazy context the public
+        constructor yields a graph-recording ``LazyTensor`` instead."""
+        if cls is Tensor and _LAZY_FACTORY is not None:
+            made = _LAZY_FACTORY(data, requires_grad, name)
+            if made is not None:
+                return made
+        return object.__new__(cls)
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED.get()
         self.grad: Optional[np.ndarray] = None
         self._backward_fns: List[Callable[[np.ndarray], np.ndarray]] = []
         self._parents: List["Tensor"] = []
         self.name = name
+
+    @staticmethod
+    def _new_eager(data: ArrayLike, requires_grad: bool = False,
+                   name: str = "") -> "Tensor":
+        """Always-eager constructor, bypassing the lazy factory.
+
+        Internal op machinery (``_make``, ``_coerce``) uses this so
+        eager ops on eager inputs stay eager even inside a lazy
+        context — only *public* tensor construction is intercepted.
+        """
+        out = object.__new__(Tensor)
+        Tensor.__init__(out, data, requires_grad, name)
+        return out
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -128,10 +183,19 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._new_eager(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    def _store_grad(self, g: np.ndarray) -> None:
+        """Accumulate a backward contribution arriving at this leaf.
+
+        Seam for the lazy engine: a ``LazyTensor`` reached as a leaf of
+        an *eager* tape overrides this to route the gradient into its
+        own deferred graph instead of storing it directly.
+        """
+        self.grad = g if self.grad is None else self.grad + g
 
     # ------------------------------------------------------------------ #
     # graph construction
@@ -141,8 +205,8 @@ class Tensor:
               parents: Sequence[Tuple["Tensor", Callable[[np.ndarray], np.ndarray]]]
               ) -> "Tensor":
         """Create an op output, wiring backward closures for grad parents."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p, _ in parents)
-        out = Tensor(data, requires_grad=needs)
+        needs = _GRAD_ENABLED.get() and any(p.requires_grad for p, _ in parents)
+        out = Tensor._new_eager(data, requires_grad=needs)
         if needs:
             for parent, fn in parents:
                 if parent.requires_grad:
@@ -192,7 +256,7 @@ class Tensor:
             if g is None:
                 continue
             if not node._parents:  # leaf
-                node.grad = g if node.grad is None else node.grad + g
+                node._store_grad(g)
                 continue
             for parent, fn in zip(node._parents, node._backward_fns):
                 contribution = fn(g)
@@ -211,7 +275,7 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------ #
     def _coerce(self, other: ArrayLike) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+        return other if isinstance(other, Tensor) else Tensor._new_eager(other)
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
@@ -303,6 +367,8 @@ class Tensor:
                             [(self, lambda g: g.reshape(original))])
 
     def transpose(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])  # accept t.transpose((1, 0)) like reshape
         axes_t: Optional[Tuple[int, ...]] = tuple(axes) if axes else None
         if axes_t is None:
             inverse = None
@@ -401,6 +467,9 @@ class Tensor:
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``np.concatenate``."""
     tensors = list(tensors)
+    lazy = _lazy_dispatch("concatenate", tensors, axis)
+    if lazy is not None:
+        return lazy
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -421,6 +490,9 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``np.stack``."""
     tensors = list(tensors)
+    lazy = _lazy_dispatch("stack", tensors, axis)
+    if lazy is not None:
+        return lazy
     data = np.stack([t.data for t in tensors], axis=axis)
     parents = []
     for i, t in enumerate(tensors):

@@ -1,0 +1,49 @@
+"""repro.lazy — deferred-execution tensor graphs with fused realization.
+
+The eager :mod:`repro.autograd` engine allocates a NumPy temporary per
+op.  This package adds an opt-in *lazy* mode: inside
+:func:`~repro.lazy.runtime.lazy_mode`, tensor ops record
+:class:`~repro.lazy.graph.LazyOp` nodes (shape/dtype inferred up
+front, nothing computed), and realization runs the whole graph through
+a pipeline — CSE by structural hash, dead-node pruning, elementwise
+chain fusion, and buffer reuse / in-place planning — before executing
+on a pluggable :class:`~repro.lazy.devices.Device` (NumPy baseline;
+the registry's ``"device"`` kind is the extension point for numba/GPU
+providers).
+
+Two contracts anchor the design:
+
+- **bit-identity** — every kernel evaluates the eager op's exact NumPy
+  expression and ``backward()`` replays the eager accumulation
+  algorithm over graph nodes, so lazy float64 results (forward *and*
+  gradients) equal eager results bit for bit;
+- **transparent fallback** — reading ``.data`` realizes, so ops the
+  engine does not model (boolean-mask indexing, the norm layers'
+  custom closures) silently continue eagerly, with gradients bridged
+  across the seam in both directions.
+
+``repro.run`` backends opt in per spec (``ScenarioSpec(lazy=True)``),
+recording ``lazy_engine: fused|fallback`` in the result environment.
+"""
+
+from repro.lazy.devices import Device, NumpyDevice
+from repro.lazy.graph import LazyOp, backward_graph
+from repro.lazy.realize import BufferPool, RealizeStats
+from repro.lazy.runtime import LazyRuntime, active_runtime, lazy_mode
+from repro.lazy.scheduler import Schedule, schedule
+from repro.lazy.tensor import LazyTensor
+
+__all__ = [
+    "BufferPool",
+    "Device",
+    "LazyOp",
+    "LazyRuntime",
+    "LazyTensor",
+    "NumpyDevice",
+    "RealizeStats",
+    "Schedule",
+    "active_runtime",
+    "backward_graph",
+    "lazy_mode",
+    "schedule",
+]

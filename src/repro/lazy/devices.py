@@ -1,0 +1,630 @@
+"""The pluggable ``Device`` layer: kernels that realize lazy graphs.
+
+A device is a table of kernels, one per :class:`~repro.lazy.graph.
+LazyOp` kind.  The baseline :class:`NumpyDevice` evaluates, for every
+kind, the *same NumPy expression* the eager op in
+:mod:`repro.autograd.tensor` / :mod:`repro.autograd.functional` (or its
+backward closure) evaluates — this is what makes lazy realization
+bit-identical to eager float64 execution rather than merely close.
+
+Devices are registered under the ``"device"`` registry kind so
+alternative execution providers (numba, GPU bridges) can plug in the
+way ``vec_optimizer`` twins do.  A ``"numba"`` entry is pre-registered
+as a gated stub: building it raises a clear error unless numba is
+importable, keeping the registry honest about what this container can
+actually run.
+
+Kernel calling convention: ``kernel(attrs, inputs, out)`` where
+``attrs`` is the node's static attribute tuple, ``inputs`` the realized
+parent arrays, and ``out`` an optional pre-allocated float64 buffer of
+the node's shape (from the realization buffer pool).  Kernels in
+:data:`SUPPORTS_OUT` write their final elementwise step into ``out``;
+kinds in :data:`INPLACE_SAFE` additionally tolerate ``out`` aliasing an
+input buffer (every read of the aliased input happens element-wise in
+the same final ufunc call, or strictly before it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import unbroadcast
+from repro.registry import registry
+
+_KERNELS: Dict[str, Callable] = {}
+
+
+def _kernel(kind):
+    def deco(fn):
+        _KERNELS[kind] = fn
+        return fn
+    return deco
+
+
+# ------------------------------------------------------------------- #
+# elementwise arithmetic (forward)
+# ------------------------------------------------------------------- #
+@_kernel("add")
+def _k_add(attrs, inputs, out):
+    a, b = inputs
+    return np.add(a, b, out=out) if out is not None else a + b
+
+
+@_kernel("mul")
+def _k_mul(attrs, inputs, out):
+    a, b = inputs
+    return np.multiply(a, b, out=out) if out is not None else a * b
+
+
+@_kernel("div")
+def _k_div(attrs, inputs, out):
+    a, b = inputs
+    return np.true_divide(a, b, out=out) if out is not None else a / b
+
+
+@_kernel("neg")
+def _k_neg(attrs, inputs, out):
+    return np.negative(inputs[0], out=out)
+
+
+@_kernel("pow")
+def _k_pow(attrs, inputs, out):
+    # eager: self.data ** exponent (ndarray.__pow__ is the same ufunc)
+    return np.power(inputs[0], attrs[0], out=out)
+
+
+@_kernel("exp")
+def _k_exp(attrs, inputs, out):
+    return np.exp(inputs[0], out=out)
+
+
+@_kernel("log")
+def _k_log(attrs, inputs, out):
+    return np.log(inputs[0], out=out)
+
+
+@_kernel("sqrt")
+def _k_sqrt(attrs, inputs, out):
+    return np.sqrt(inputs[0], out=out)
+
+
+@_kernel("tanh")
+def _k_tanh(attrs, inputs, out):
+    return np.tanh(inputs[0], out=out)
+
+
+@_kernel("abs")
+def _k_abs(attrs, inputs, out):
+    return np.abs(inputs[0], out=out)
+
+
+@_kernel("sigmoid")
+def _k_sigmoid(attrs, inputs, out):
+    # eager: 1.0 / (1.0 + np.exp(-x)); the chain below evaluates the
+    # identical steps, writing every intermediate into `out`
+    x = inputs[0]
+    if out is None:
+        return 1.0 / (1.0 + np.exp(-x))
+    np.negative(x, out=out)
+    np.exp(out, out=out)
+    np.add(1.0, out, out=out)
+    np.true_divide(1.0, out, out=out)
+    return out
+
+
+@_kernel("relu")
+def _k_relu(attrs, inputs, out):
+    x = inputs[0]
+    # np.where has no out=; keep the eager expression verbatim (it is
+    # the +0.0-preserving form — x * mask would produce -0.0)
+    return np.where(x > 0, x, 0.0)
+
+
+@_kernel("clip")
+def _k_clip(attrs, inputs, out):
+    lo, hi = attrs
+    return np.clip(inputs[0], lo, hi, out=out)
+
+
+@_kernel("leaky_relu")
+def _k_leaky_relu(attrs, inputs, out):
+    x = inputs[0]
+    scale = np.where(x > 0, 1.0, attrs[0])
+    return np.multiply(x, scale, out=out)
+
+
+@_kernel("softplus")
+def _k_softplus(attrs, inputs, out):
+    return np.logaddexp(0.0, inputs[0], out=out)
+
+
+@_kernel("gelu")
+def _k_gelu(attrs, inputs, out):
+    x = inputs[0]
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x + 0.044715 * x ** 3)
+    t = np.tanh(inner)
+    half_x = 0.5 * x
+    return np.multiply(half_x, 1.0 + t, out=out)
+
+
+# ------------------------------------------------------------------- #
+# elementwise backward closures
+# ------------------------------------------------------------------- #
+@_kernel("tanh_bwd")
+def _k_tanh_bwd(attrs, inputs, out):
+    g, y = inputs
+    return np.multiply(g, 1.0 - y ** 2, out=out)
+
+
+@_kernel("sigmoid_bwd")
+def _k_sigmoid_bwd(attrs, inputs, out):
+    g, y = inputs
+    return np.multiply(g * y, 1.0 - y, out=out)
+
+
+@_kernel("sqrt_bwd")
+def _k_sqrt_bwd(attrs, inputs, out):
+    g, y = inputs
+    return np.true_divide(g * 0.5, y, out=out)
+
+
+@_kernel("pow_bwd")
+def _k_pow_bwd(attrs, inputs, out):
+    (exponent,) = attrs
+    g, x = inputs
+    return np.multiply(g * exponent, x ** (exponent - 1), out=out)
+
+
+@_kernel("div_bwd_b")
+def _k_div_bwd_b(attrs, inputs, out):
+    g, a, b = inputs
+    return np.true_divide(-g * a, b ** 2, out=out)
+
+
+@_kernel("gtz_mask_mul")
+def _k_gtz_mask_mul(attrs, inputs, out):
+    g, x = inputs
+    return np.multiply(g, x > 0, out=out)
+
+
+@_kernel("sign_mul")
+def _k_sign_mul(attrs, inputs, out):
+    g, x = inputs
+    return np.multiply(g, np.sign(x), out=out)
+
+
+@_kernel("clip_mask_mul")
+def _k_clip_mask_mul(attrs, inputs, out):
+    lo, hi = attrs
+    g, x = inputs
+    return np.multiply(g, (x >= lo) & (x <= hi), out=out)
+
+
+@_kernel("leaky_relu_bwd")
+def _k_leaky_relu_bwd(attrs, inputs, out):
+    g, x = inputs
+    scale = np.where(x > 0, 1.0, attrs[0])
+    return np.multiply(g, scale, out=out)
+
+
+@_kernel("softplus_bwd")
+def _k_softplus_bwd(attrs, inputs, out):
+    g, x = inputs
+    return np.multiply(g, 1.0 / (1.0 + np.exp(-x)), out=out)
+
+
+@_kernel("gelu_bwd")
+def _k_gelu_bwd(attrs, inputs, out):
+    g, x = inputs
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x + 0.044715 * x ** 3)
+    t = np.tanh(inner)
+    du = c * (1.0 + 3 * 0.044715 * x ** 2)
+    grad_local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+    return np.multiply(g, grad_local, out=out)
+
+
+# ------------------------------------------------------------------- #
+# reductions and their backwards
+# ------------------------------------------------------------------- #
+@_kernel("sum")
+def _k_sum(attrs, inputs, out):
+    # never reduce into ``out``: np.sum blocks the pairwise summation
+    # differently when given a destination, changing low-order bits
+    axis, keepdims = attrs
+    return inputs[0].sum(axis=axis, keepdims=keepdims)
+
+
+@_kernel("sum_bwd")
+def _k_sum_bwd(attrs, inputs, out):
+    axis, keepdims, shape = attrs
+    g = inputs[0]
+    if axis is None:
+        return (np.broadcast_to(g, shape).copy() if np.ndim(g)
+                else np.full(shape, g))
+    gg = g
+    if not keepdims:
+        gg = np.expand_dims(g, axis)
+    return np.broadcast_to(gg, shape).copy()
+
+
+@_kernel("max")
+def _k_max(attrs, inputs, out):
+    # like sum: reducing into ``out`` may pick a different traversal
+    # (observable through signed zeros), so always reduce fresh
+    axis, keepdims = attrs
+    return inputs[0].max(axis=axis, keepdims=keepdims)
+
+
+@_kernel("max_bwd")
+def _k_max_bwd(attrs, inputs, out):
+    axis, keepdims = attrs
+    g, x, y = inputs
+    expanded = y if (keepdims or axis is None) else np.expand_dims(y, axis)
+    mask = (x == expanded)
+    counts = mask.sum(axis=axis, keepdims=True)
+    gg = g
+    if axis is not None and not keepdims:
+        gg = np.expand_dims(g, axis)
+    return mask * gg / counts
+
+
+# ------------------------------------------------------------------- #
+# shape / indexing
+# ------------------------------------------------------------------- #
+@_kernel("reshape")
+def _k_reshape(attrs, inputs, out):
+    return inputs[0].reshape(attrs[0])
+
+
+@_kernel("transpose")
+def _k_transpose(attrs, inputs, out):
+    return inputs[0].transpose(attrs[0])
+
+
+@_kernel("alias")
+def _k_alias(attrs, inputs, out):
+    return inputs[0]
+
+
+@_kernel("getitem")
+def _k_getitem(attrs, inputs, out):
+    return inputs[0][attrs[0]]
+
+
+@_kernel("take")
+def _k_take(attrs, inputs, out):
+    i, axis = attrs
+    return np.take(inputs[0], i, axis=axis)
+
+
+def _has_distinct_component(index) -> bool:
+    """Whether an advanced index provably selects each cell at most once.
+
+    True when some 1-D integer component is strictly increasing — the
+    shape ``cross_entropy`` and row-gather backward scatters take
+    (``(arange(n), targets)``) — making ``out[index] += g`` equivalent
+    to ``np.add.at`` without its per-element dispatch cost.
+    """
+    parts = index if isinstance(index, tuple) else (index,)
+    for part in parts:
+        if isinstance(part, np.ndarray) and part.dtype.kind in "iu" \
+                and part.ndim == 1 and part.size > 1:
+            if bool(np.all(part[1:] > part[:-1])):
+                return True
+    return False
+
+
+def _is_basic_index(index) -> bool:
+    """Whether ``index`` is pure basic indexing (ints/slices only)."""
+    parts = index if isinstance(index, tuple) else (index,)
+    return all(isinstance(p, (int, np.integer, slice, type(None),
+                              type(Ellipsis))) for p in parts)
+
+
+@_kernel("scatter_add")
+def _k_scatter_add(attrs, inputs, out):
+    # eager getitem backward: np.zeros(shape); np.add.at(out, index, g)
+    index, shape = attrs
+    g = inputs[0]
+    buf = out if out is not None else np.zeros(shape, dtype=np.float64)
+    if out is not None:
+        buf.fill(0.0)
+    if _is_basic_index(index) or _has_distinct_component(index):
+        # each destination written at most once: += over zeros matches
+        # np.add.at bit for bit (including -0.0 + 0.0 -> +0.0)
+        buf[index] += g
+        _k_scatter_add.fast_hits += 1
+    else:
+        np.add.at(buf, index, g)
+    return buf
+
+
+_k_scatter_add.fast_hits = 0
+
+
+# ------------------------------------------------------------------- #
+# linear algebra
+# ------------------------------------------------------------------- #
+@_kernel("matmul")
+def _k_matmul(attrs, inputs, out):
+    a, b = inputs
+    if out is not None and a.ndim >= 2 and b.ndim >= 2:
+        return np.matmul(a, b, out=out)
+    return a @ b
+
+
+@_kernel("matmul_da")
+def _k_matmul_da(attrs, inputs, out):
+    (a_shape,) = attrs
+    g, b = inputs
+    a_ndim = len(a_shape)
+    if (out is not None and g.ndim == 2 and b.ndim == 2
+            and a_shape == (g.shape[0], b.shape[0])):
+        # plain 2-D case: dgemm writes the pooled buffer directly
+        # (bitwise-identical to a fresh allocation)
+        return np.matmul(g, np.swapaxes(b, -1, -2), out=out)
+    if b.ndim == 1:
+        ga = np.multiply.outer(g, b) if a_ndim > 1 else g * b
+    else:
+        ga = g @ np.swapaxes(b, -1, -2)
+    a_size = int(np.prod(a_shape)) if a_shape else 1
+    if ga.shape != a_shape and ga.size == a_size:
+        ga = ga.reshape(a_shape)
+    return unbroadcast(ga, a_shape)
+
+
+@_kernel("matmul_db")
+def _k_matmul_db(attrs, inputs, out):
+    (b_shape,) = attrs
+    g, a = inputs
+    b_ndim = len(b_shape)
+    if (out is not None and a.ndim == 2 and g.ndim == 2
+            and b_shape == (a.shape[1], g.shape[1])):
+        return np.matmul(np.swapaxes(a, -1, -2), g, out=out)
+    if a.ndim == 1:
+        gb = np.multiply.outer(a, g) if b_ndim > 1 else a * g
+    else:
+        gb = np.swapaxes(a, -1, -2) @ g
+    b_size = int(np.prod(b_shape)) if b_shape else 1
+    if gb.shape != b_shape and gb.size == b_size:
+        gb = gb.reshape(b_shape)
+    return unbroadcast(gb, b_shape)
+
+
+# ------------------------------------------------------------------- #
+# nn ops (softmax family, conv/pool/pad, joins)
+# ------------------------------------------------------------------- #
+@_kernel("log_softmax")
+def _k_log_softmax(attrs, inputs, out):
+    (axis,) = attrs
+    x = inputs[0]
+    shifted = x - x.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return np.subtract(shifted, logsumexp, out=out)
+
+
+@_kernel("log_softmax_bwd")
+def _k_log_softmax_bwd(attrs, inputs, out):
+    (axis,) = attrs
+    g, y = inputs
+    softmax_data = np.exp(y)
+    return np.subtract(g, softmax_data * g.sum(axis=axis, keepdims=True),
+                       out=out)
+
+
+@_kernel("pad2d")
+def _k_pad2d(attrs, inputs, out):
+    (p,) = attrs
+    return np.pad(inputs[0], ((0, 0), (0, 0), (p, p), (p, p)))
+
+
+@_kernel("concat")
+def _k_concat(attrs, inputs, out):
+    (axis,) = attrs
+    return np.concatenate(list(inputs), axis=axis, out=out)
+
+
+@_kernel("stack")
+def _k_stack(attrs, inputs, out):
+    (axis,) = attrs
+    return np.stack(list(inputs), axis=axis, out=out)
+
+
+@_kernel("im2col")
+def _k_im2col(attrs, inputs, out):
+    (kij,) = attrs
+    k, i, j = kij
+    return inputs[0][:, k, i, j]
+
+
+@_kernel("col2im")
+def _k_col2im(attrs, inputs, out):
+    kij, padded_shape = attrs
+    k, i, j = kij
+    dcols = inputs[0]
+    dx_padded = np.zeros(padded_shape, dtype=np.float64)
+    np.add.at(dx_padded, (slice(None), k, i, j), dcols)
+    return dx_padded
+
+
+@_kernel("conv_mm")
+def _k_conv_mm(attrs, inputs, out):
+    n, c_out, oh, ow = attrs
+    w_mat, cols = inputs
+    res = np.einsum("of,nfl->nol", w_mat, cols)
+    return res.reshape(n, c_out, oh, ow)
+
+
+@_kernel("conv_dw")
+def _k_conv_dw(attrs, inputs, out):
+    n, c_out = attrs
+    g, cols = inputs
+    g_mat = g.reshape(n, c_out, -1)
+    return np.einsum("nol,nfl->of", g_mat, cols)
+
+
+@_kernel("conv_dcols")
+def _k_conv_dcols(attrs, inputs, out):
+    n, c_out = attrs
+    w_mat, g = inputs
+    g_mat = g.reshape(n, c_out, -1)
+    return np.einsum("of,nol->nfl", w_mat, g_mat)
+
+
+@_kernel("avg_pool")
+def _k_avg_pool(attrs, inputs, out):
+    (kernel,) = attrs
+    x = inputs[0]
+    n, c, h, w = x.shape
+    oh, ow = h // kernel, w // kernel
+    view = x.reshape(n, c, oh, kernel, ow, kernel)
+    return view.mean(axis=(3, 5))
+
+
+@_kernel("avg_pool_bwd")
+def _k_avg_pool_bwd(attrs, inputs, out):
+    kernel, x_shape = attrs
+    g = inputs[0]
+    n, c, h, w = x_shape
+    oh, ow = h // kernel, w // kernel
+    g_expanded = g[:, :, :, None, :, None] / (kernel * kernel)
+    return np.broadcast_to(
+        g_expanded, (n, c, oh, kernel, ow, kernel)).reshape(n, c, h, w)
+
+
+@_kernel("max_pool")
+def _k_max_pool(attrs, inputs, out):
+    (kernel,) = attrs
+    x = inputs[0]
+    n, c, h, w = x.shape
+    oh, ow = h // kernel, w // kernel
+    view = x.reshape(n, c, oh, kernel, ow, kernel)
+    return view.max(axis=(3, 5))
+
+
+@_kernel("max_pool_bwd")
+def _k_max_pool_bwd(attrs, inputs, out):
+    kernel, x_shape = attrs
+    g, x, y = inputs
+    n, c, h, w = x_shape
+    oh, ow = h // kernel, w // kernel
+    view = x.reshape(n, c, oh, kernel, ow, kernel)
+    mask = view == y[:, :, :, None, :, None]
+    counts = mask.sum(axis=(3, 5), keepdims=True)
+    spread = mask * (g[:, :, :, None, :, None] / counts)
+    return spread.reshape(n, c, h, w)
+
+
+#: Kinds whose kernel writes its final step into a caller buffer.
+SUPPORTS_OUT = frozenset({
+    "add", "mul", "div", "neg", "pow", "exp", "log", "sqrt", "tanh",
+    "abs", "sigmoid", "clip", "leaky_relu", "softplus", "gelu",
+    "tanh_bwd", "sigmoid_bwd", "sqrt_bwd", "pow_bwd", "div_bwd_b",
+    "gtz_mask_mul", "sign_mul", "clip_mask_mul", "leaky_relu_bwd",
+    "softplus_bwd", "gelu_bwd", "matmul",
+    "matmul_da", "matmul_db",
+    "log_softmax", "log_softmax_bwd", "concat", "stack", "scatter_add",
+})
+
+#: SUPPORTS_OUT kinds that also tolerate ``out`` aliasing an input.
+INPLACE_SAFE = frozenset({
+    "add", "mul", "div", "neg", "pow", "exp", "log", "sqrt", "tanh",
+    "abs", "sigmoid", "clip", "leaky_relu", "softplus", "gelu",
+    "tanh_bwd", "sigmoid_bwd", "sqrt_bwd", "pow_bwd", "div_bwd_b",
+    "gtz_mask_mul", "sign_mul", "clip_mask_mul", "leaky_relu_bwd",
+    "softplus_bwd", "gelu_bwd",
+})
+
+#: Elementwise kinds, eligible for fusion-chain grouping.
+ELEMENTWISE = frozenset({
+    "add", "mul", "div", "neg", "pow", "exp", "log", "sqrt", "tanh",
+    "abs", "sigmoid", "relu", "clip", "leaky_relu", "softplus", "gelu",
+    "tanh_bwd", "sigmoid_bwd", "sqrt_bwd", "pow_bwd", "div_bwd_b",
+    "gtz_mask_mul", "sign_mul", "clip_mask_mul", "leaky_relu_bwd",
+    "softplus_bwd", "gelu_bwd",
+})
+
+#: Kinds whose result may be a view of an input (never pool-recycled).
+MAY_ALIAS = frozenset({"reshape", "transpose", "alias", "getitem"})
+
+
+class Device:
+    """Abstract kernel host for lazy-graph realization.
+
+    Subclasses provide a kernel per op kind; :meth:`run` dispatches one
+    node, :meth:`run_chain` sweeps a fused elementwise chain as a
+    single device call (one "kernel launch" in the realization stats).
+    """
+
+    #: Registry name of the device (overridden by subclasses).
+    name = "abstract"
+
+    def run(self, kind: str, attrs, inputs, out=None) -> np.ndarray:
+        """Execute one op kind; must be overridden."""
+        raise NotImplementedError
+
+    def run_chain(self, steps) -> np.ndarray:
+        """Execute a fused chain: ``steps`` is ``[(kind, attrs, inputs,
+        out), ...]`` in data order; returns the last result."""
+        result = None
+        for kind, attrs, inputs, out in steps:
+            result = self.run(kind, attrs, inputs, out)
+        return result
+
+
+class NumpyDevice(Device):
+    """Reference device: every kernel is the eager op's exact NumPy
+    expression, making realized values bit-identical to eager mode."""
+
+    name = "numpy"
+
+    def run(self, kind: str, attrs, inputs, out=None) -> np.ndarray:
+        """Dispatch one node to its kernel."""
+        kernel = _KERNELS.get(kind)
+        if kernel is None:
+            raise KeyError(f"device {self.name!r} has no kernel for "
+                           f"op kind {kind!r}")
+        return kernel(attrs, inputs, out)
+
+    def kinds(self):
+        """Sorted op kinds this device can execute."""
+        return sorted(_KERNELS)
+
+
+def _numba_device():
+    """Factory for the (optional) numba-jitted device.
+
+    The container this repo targets does not ship numba; the entry
+    exists so the registry surface documents the extension point.  It
+    raises with a clear message instead of importing at module load.
+    """
+    try:
+        import numba  # noqa: F401
+    except ImportError as exc:
+        raise RuntimeError(
+            "device 'numba' requires the numba package, which is not "
+            "installed in this environment; use device 'numpy'"
+        ) from exc
+    raise RuntimeError(
+        "device 'numba' is a registration stub: contribute jitted "
+        "kernels by registering a Device subclass under "
+        "registry kind 'device'")
+
+
+registry.register(
+    "device", "numpy", NumpyDevice,
+    description="Baseline device: verbatim eager NumPy kernels "
+                "(bit-identical to eager autograd).")
+registry.register(
+    "device", "numba", _numba_device,
+    description="Gated stub for a numba-jitted device (raises unless "
+                "numba is installed).")
+
+__all__ = [
+    "Device", "NumpyDevice", "SUPPORTS_OUT", "INPLACE_SAFE",
+    "ELEMENTWISE", "MAY_ALIAS",
+]

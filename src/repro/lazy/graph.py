@@ -1,0 +1,439 @@
+"""The deferred-execution op graph: :class:`LazyOp` nodes and VJP rules.
+
+A :class:`LazyOp` is one recorded operation: an op ``kind``, parent
+nodes, a tuple of static attributes (axes, slices, index arrays), and
+the output ``shape``/``dtype`` inferred at record time — no values are
+computed until :meth:`repro.lazy.runtime.LazyRuntime.realize` runs the
+graph.  The node vocabulary deliberately mirrors the eager tape in
+:mod:`repro.autograd.tensor` one-to-one: every kernel in
+:mod:`repro.lazy.devices` evaluates the *same NumPy expression* the
+eager op (or its backward closure) evaluates, and :func:`backward_graph`
+replays the exact topological-sort/accumulation algorithm of
+``Tensor.backward`` over nodes instead of closures.  Bit-identical
+float64 results are therefore a structural property, not a tolerance.
+
+Gradient rules live in the ``_VJPS`` table: ``vjp(node, grad_node)``
+yields ``(parent_index, grad_node)`` contributions built from further
+``LazyOp`` nodes, so an entire training step — forward and backward —
+realizes as one optimized graph execution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import _GRAD_ENABLED
+
+_F64 = np.dtype(np.float64)
+
+
+class LazyOp:
+    """One deferred operation node (or a graph leaf).
+
+    Attributes
+    ----------
+    kind : str
+        Kernel name in the device kernel table; ``"source"`` marks a
+        leaf whose value comes from an eager tensor or a constant
+        array, read fresh at realization time.
+    parents : tuple of LazyOp
+        Input nodes, in the op's argument order.
+    attrs : tuple
+        Static (non-tensor) operands: axes, shapes, slices, index
+        arrays, scalar constants.
+    shape, dtype :
+        Output metadata, inferred at record time.
+    requires_grad : bool
+        Mirror of the eager tape's wiring rule: grad recording was
+        enabled and at least one parent requires grad.
+    buffer : ndarray or None
+        The realized value (filled in by the executor; leaves may
+        carry their constant here).
+    source :
+        For ``"source"`` nodes: the eager :class:`~repro.autograd.
+        tensor.Tensor` (or lazy leaf wrapper) whose ``data`` backs the
+        leaf — gradient boundaries deliver into it.
+    retained : bool
+        True when the value must outlive the realize call that
+        computes it (a wrapper or a later backward graph references
+        it); retained buffers are never recycled into the pool.
+    """
+
+    __slots__ = ("kind", "parents", "attrs", "shape", "dtype",
+                 "requires_grad", "buffer", "source", "retained")
+
+    def __init__(self, kind: str, parents: Tuple["LazyOp", ...] = (),
+                 attrs: Tuple = (), shape: Tuple[int, ...] = (),
+                 dtype=_F64, requires_grad: bool = False):
+        self.kind = kind
+        self.parents = parents
+        self.attrs = attrs
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.requires_grad = requires_grad
+        self.buffer: Optional[np.ndarray] = None
+        self.source = None
+        self.retained = False
+
+    @property
+    def size(self) -> int:
+        """Element count of the (future) output."""
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    def __repr__(self) -> str:
+        return (f"LazyOp({self.kind!r}, shape={self.shape}, "
+                f"nparents={len(self.parents)})")
+
+
+def record(kind: str, parents: Sequence[LazyOp], attrs: Tuple,
+           shape: Sequence[int], dtype=_F64) -> LazyOp:
+    """Record a forward op node, mirroring the eager tape's grad rule.
+
+    ``requires_grad`` is set exactly as ``Tensor._make`` would:
+    recording enabled in this context *and* at least one parent
+    requires grad.
+    """
+    rg = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
+    return LazyOp(kind, tuple(parents), attrs, tuple(shape), dtype,
+                  requires_grad=rg)
+
+
+def _node(kind: str, parents: Sequence[LazyOp], attrs: Tuple,
+          shape: Sequence[int]) -> LazyOp:
+    """Build an internal (gradient-side) node: never itself on a tape."""
+    return LazyOp(kind, tuple(parents), attrs, tuple(shape),
+                  requires_grad=False)
+
+
+def constant(value: np.ndarray) -> LazyOp:
+    """A leaf node carrying a concrete array (coerced scalars, ones)."""
+    arr = np.asarray(value, dtype=np.float64)
+    node = LazyOp("source", shape=arr.shape)
+    node.buffer = arr
+    return node
+
+
+# ------------------------------------------------------------------- #
+# gradient-side node builders (exact eager-closure mirrors)
+# ------------------------------------------------------------------- #
+def _ew(kind: str, parents: Sequence[LazyOp], attrs: Tuple = ()) -> LazyOp:
+    """Elementwise node with NumPy-broadcast output shape."""
+    shape = np.broadcast_shapes(*[p.shape for p in parents])
+    return _node(kind, parents, attrs, shape)
+
+
+def _reduced_shape(shape: Tuple[int, ...], axis, keepdims: bool
+                   ) -> Tuple[int, ...]:
+    """Output shape of a ``sum``/``max`` reduction."""
+    if axis is None:
+        return (1,) * len(shape) if keepdims else ()
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    if keepdims:
+        return tuple(1 if i in axes else s for i, s in enumerate(shape))
+    return tuple(s for i, s in enumerate(shape) if i not in axes)
+
+
+def unbroadcast_node(grad: LazyOp, shape: Tuple[int, ...]) -> LazyOp:
+    """Node-level mirror of :func:`repro.autograd.tensor.unbroadcast`.
+
+    Same three steps, same NumPy calls, so the realized value is
+    bit-identical to what the eager closure computes.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = len(grad.shape) - len(shape)
+    if extra > 0:
+        axis = tuple(range(extra))
+        grad = _node("sum", (grad,), (axis, False),
+                     _reduced_shape(grad.shape, axis, False))
+    axes = tuple(i for i, s in enumerate(shape)
+                 if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = _node("sum", (grad,), (axes, True),
+                     _reduced_shape(grad.shape, axes, True))
+    return _node("reshape", (grad,), (tuple(shape),), shape)
+
+
+def _reshape_to(g: LazyOp, shape: Tuple[int, ...]) -> LazyOp:
+    return _node("reshape", (g,), (tuple(shape),), shape)
+
+
+# Each VJP takes (node, grad_node) and yields (parent_index, grad_node)
+# pairs in the eager op's parent order.  Expressions mirror the eager
+# backward closures line for line.
+_VJPS = {}
+
+
+def _vjp(kind):
+    def deco(fn):
+        _VJPS[kind] = fn
+        return fn
+    return deco
+
+
+@_vjp("add")
+def _vjp_add(node, g):
+    a, b = node.parents
+    yield 0, unbroadcast_node(g, a.shape)
+    yield 1, unbroadcast_node(g, b.shape)
+
+
+@_vjp("neg")
+def _vjp_neg(node, g):
+    yield 0, _ew("neg", (g,))
+
+
+@_vjp("mul")
+def _vjp_mul(node, g):
+    a, b = node.parents
+    yield 0, unbroadcast_node(_ew("mul", (g, b)), a.shape)
+    yield 1, unbroadcast_node(_ew("mul", (g, a)), b.shape)
+
+
+@_vjp("div")
+def _vjp_div(node, g):
+    a, b = node.parents
+    yield 0, unbroadcast_node(_ew("div", (g, b)), a.shape)
+    # eager closure: -g * self.data / other.data ** 2 (one kernel)
+    yield 1, unbroadcast_node(_ew("div_bwd_b", (g, a, b)), b.shape)
+
+
+@_vjp("pow")
+def _vjp_pow(node, g):
+    (exponent,) = node.attrs
+    # eager closure: g * exponent * x ** (exponent - 1) (one kernel)
+    yield 0, _ew("pow_bwd", (g, node.parents[0]), (exponent,))
+
+
+@_vjp("exp")
+def _vjp_exp(node, g):
+    yield 0, _ew("mul", (g, node))
+
+
+@_vjp("log")
+def _vjp_log(node, g):
+    yield 0, _ew("div", (g, node.parents[0]))
+
+
+@_vjp("sqrt")
+def _vjp_sqrt(node, g):
+    yield 0, _ew("sqrt_bwd", (g, node))
+
+
+@_vjp("tanh")
+def _vjp_tanh(node, g):
+    yield 0, _ew("tanh_bwd", (g, node))
+
+
+@_vjp("sigmoid")
+def _vjp_sigmoid(node, g):
+    yield 0, _ew("sigmoid_bwd", (g, node))
+
+
+@_vjp("relu")
+def _vjp_relu(node, g):
+    yield 0, _ew("gtz_mask_mul", (g, node.parents[0]))
+
+
+@_vjp("abs")
+def _vjp_abs(node, g):
+    yield 0, _ew("sign_mul", (g, node.parents[0]))
+
+
+@_vjp("clip")
+def _vjp_clip(node, g):
+    lo, hi = node.attrs
+    yield 0, _ew("clip_mask_mul", (g, node.parents[0]), (lo, hi))
+
+
+@_vjp("leaky_relu")
+def _vjp_leaky_relu(node, g):
+    (slope,) = node.attrs
+    yield 0, _ew("leaky_relu_bwd", (g, node.parents[0]), (slope,))
+
+
+@_vjp("softplus")
+def _vjp_softplus(node, g):
+    yield 0, _ew("softplus_bwd", (g, node.parents[0]))
+
+
+@_vjp("gelu")
+def _vjp_gelu(node, g):
+    yield 0, _ew("gelu_bwd", (g, node.parents[0]))
+
+
+@_vjp("sum")
+def _vjp_sum(node, g):
+    axis, keepdims = node.attrs
+    x = node.parents[0]
+    yield 0, _node("sum_bwd", (g,), (axis, keepdims, x.shape), x.shape)
+
+
+@_vjp("max")
+def _vjp_max(node, g):
+    axis, keepdims = node.attrs
+    x = node.parents[0]
+    yield 0, _node("max_bwd", (g, x, node), (axis, keepdims), x.shape)
+
+
+@_vjp("reshape")
+def _vjp_reshape(node, g):
+    x = node.parents[0]
+    yield 0, _reshape_to(g, x.shape)
+
+
+@_vjp("transpose")
+def _vjp_transpose(node, g):
+    (axes,) = node.attrs
+    x = node.parents[0]
+    inverse = None if axes is None else tuple(np.argsort(axes))
+    yield 0, _node("transpose", (g,), (inverse,), x.shape)
+
+
+@_vjp("getitem")
+def _vjp_getitem(node, g):
+    (index,) = node.attrs
+    x = node.parents[0]
+    yield 0, _node("scatter_add", (g,), (index, x.shape), x.shape)
+
+
+@_vjp("log_softmax")
+def _vjp_log_softmax(node, g):
+    (axis,) = node.attrs
+    yield 0, _node("log_softmax_bwd", (g, node), (axis,), node.shape)
+
+
+@_vjp("concat")
+def _vjp_concat(node, g):
+    (axis,) = node.attrs
+    offset = 0
+    for i, p in enumerate(node.parents):
+        lo, hi = offset, offset + p.shape[axis]
+        offset = hi
+        slicer = [slice(None)] * len(g.shape)
+        slicer[axis] = slice(lo, hi)
+        yield i, _node("getitem", (g,), (tuple(slicer),), p.shape)
+
+
+@_vjp("stack")
+def _vjp_stack(node, g):
+    (axis,) = node.attrs
+    for i, p in enumerate(node.parents):
+        yield i, _node("take", (g,), (i, axis), p.shape)
+
+
+@_vjp("matmul")
+def _vjp_matmul(node, g):
+    a, b = node.parents
+    yield 0, _node("matmul_da", (g, b), (a.shape,), a.shape)
+    yield 1, _node("matmul_db", (g, a), (b.shape,), b.shape)
+
+
+@_vjp("pad2d")
+def _vjp_pad2d(node, g):
+    (p,) = node.attrs
+    x = node.parents[0]
+    slicer = (slice(None), slice(None), slice(p, -p), slice(p, -p))
+    yield 0, _node("getitem", (g,), (slicer,), x.shape)
+
+
+@_vjp("im2col")
+def _vjp_im2col(node, g):
+    (kij,) = node.attrs
+    x_padded = node.parents[0]
+    yield 0, _node("col2im", (g,), (kij, x_padded.shape), x_padded.shape)
+
+
+@_vjp("conv_mm")
+def _vjp_conv_mm(node, g):
+    n, c_out, oh, ow = node.attrs
+    w_mat, cols = node.parents
+    yield 0, _node("conv_dw", (g, cols), (n, c_out), w_mat.shape)
+    yield 1, _node("conv_dcols", (w_mat, g), (n, c_out), cols.shape)
+
+
+@_vjp("avg_pool")
+def _vjp_avg_pool(node, g):
+    (kernel,) = node.attrs
+    x = node.parents[0]
+    yield 0, _node("avg_pool_bwd", (g,), (kernel, x.shape), x.shape)
+
+
+@_vjp("max_pool")
+def _vjp_max_pool(node, g):
+    (kernel,) = node.attrs
+    x = node.parents[0]
+    yield 0, _node("max_pool_bwd", (g, x, node), (kernel, x.shape), x.shape)
+
+
+@_vjp("alias")
+def _vjp_alias(node, g):
+    yield 0, g
+
+
+def backward_graph(root: LazyOp, grad: LazyOp
+                   ) -> List[Tuple[LazyOp, LazyOp]]:
+    """Build the gradient graph for ``root``, seeded with ``grad``.
+
+    An exact node-level replay of ``Tensor.backward``: the same
+    iterative DFS (children in recorded parent order, restricted to
+    grad-requiring parents), the same reversed processing, and the
+    same pairwise ``grads[p] = grads[p] + contribution`` accumulation
+    — so realized leaf gradients are bit-identical to the eager
+    engine's, including float summation order.
+
+    Returns
+    -------
+    list of (leaf_node, grad_node)
+        Boundary pairs in processing order: each ``"source"`` leaf
+        reached by the sweep, with the node computing its gradient.
+        The caller realizes all grad nodes in one batch, then delivers
+        each into its leaf's eager tensor.
+    """
+    topo: List[LazyOp] = []
+    seen = {id(root)}
+    stack: List[Tuple[LazyOp, Iterable[LazyOp]]] = [
+        (root, iter([p for p in root.parents if p.requires_grad]))]
+    while stack:
+        cur, it = stack[-1]
+        advanced = False
+        for parent in it:
+            if id(parent) not in seen:
+                seen.add(id(parent))
+                stack.append(
+                    (parent,
+                     iter([p for p in parent.parents if p.requires_grad])))
+                advanced = True
+                break
+        if not advanced:
+            topo.append(cur)
+            stack.pop()
+
+    grads = {id(root): grad}
+    boundary: List[Tuple[LazyOp, LazyOp]] = []
+    for node in reversed(topo):
+        g = grads.pop(id(node), None)
+        if g is None:
+            continue
+        if node.kind == "source":
+            boundary.append((node, g))
+            continue
+        vjp = _VJPS.get(node.kind)
+        if vjp is None:  # pragma: no cover - every recorded kind has one
+            raise RuntimeError(f"no VJP for lazy op {node.kind!r}")
+        for idx, contribution in vjp(node, g):
+            parent = node.parents[idx]
+            if not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = _ew("add", (grads[key], contribution))
+            else:
+                grads[key] = contribution
+    return boundary

@@ -1,0 +1,133 @@
+"""The lazy execution context: device, buffer pool, stats, leaf map.
+
+A :class:`LazyRuntime` owns everything one deferred-execution session
+needs: the :class:`~repro.lazy.devices.Device` that runs kernels, the
+cross-realization :class:`~repro.lazy.realize.BufferPool`, accumulated
+:class:`~repro.lazy.realize.RealizeStats`, and the per-activation leaf
+map that merges repeated consumptions of the same eager tensor into a
+single graph source (which is what keeps gradient accumulation order
+— and therefore float64 bits — identical to the eager engine).
+
+Use :func:`lazy_mode` for the common case::
+
+    with lazy_mode() as rt:
+        loss = model(Tensor(batch)).sum()   # records, computes nothing
+        loss.backward()                     # realizes one fused graph
+
+Activation is scoped through a :mod:`contextvars` variable, so
+concurrent threads (the serve pool) can run lazy and eager work side
+by side without interfering.
+
+Leaf values are read at realization time: mutating an eager tensor
+between recording an op on it and realizing the graph is observed by
+the realization.  The training-step flow (record forward, realize in
+``backward()``, then let the optimizer mutate parameters) never does
+this; it is only observable if a graph is deliberately kept unrealized
+across an optimizer step.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lazy.devices import Device
+from repro.lazy.graph import LazyOp
+from repro.lazy.realize import BufferPool, RealizeStats, run_graph
+from repro.registry import registry
+
+_ACTIVE: "contextvars.ContextVar[Optional[LazyRuntime]]" = \
+    contextvars.ContextVar("repro_lazy_runtime", default=None)
+
+
+def active_runtime() -> Optional["LazyRuntime"]:
+    """The runtime recording in this context, or None (eager mode)."""
+    return _ACTIVE.get()
+
+
+class LazyRuntime:
+    """One deferred-execution session: graph state plus an executor.
+
+    Parameters
+    ----------
+    device : str or Device
+        Registry name under kind ``"device"`` (default ``"numpy"``)
+        or a ready :class:`~repro.lazy.devices.Device` instance.
+    pool : BufferPool, optional
+        Buffer pool to recycle temporaries through; a fresh bounded
+        pool by default.
+    """
+
+    def __init__(self, device: Union[str, Device] = "numpy",
+                 pool: Optional[BufferPool] = None):
+        if isinstance(device, str):
+            device = registry.build("device", device)
+        self.device: Device = device
+        self.pool = pool if pool is not None else BufferPool()
+        self.stats = RealizeStats()
+        self._leaves: Dict[int, Tuple[object, LazyOp]] = {}
+        # record-time CSE for cheap derived-from-leaf nodes (e.g. the
+        # ``weight.T`` every linear() call takes): keyed by
+        # (kind, id(parent node), attrs), cleared with the leaf map
+        self._derived: Dict[tuple, LazyOp] = {}
+
+    @contextlib.contextmanager
+    def active(self):
+        """Activate this runtime for the dynamic extent of the block.
+
+        Entering clears the leaf map, starting a fresh recording
+        epoch: parameter mutations from a previous optimizer step are
+        picked up because the next epoch creates new source nodes.
+        """
+        self._leaves.clear()
+        self._derived.clear()
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    def leaf_of(self, tensor) -> LazyOp:
+        """The (memoized) graph source node for an eager tensor.
+
+        Memoization per activation epoch means a parameter consumed by
+        thirty timesteps is one graph leaf with thirty consumers, so
+        its gradient accumulates inside the graph in the same order
+        the eager engine's ``grads`` dict would.
+        """
+        key = id(tensor)
+        hit = self._leaves.get(key)
+        if hit is not None:
+            return hit[1]
+        node = LazyOp("source", shape=tensor.shape, dtype=tensor.dtype,
+                      requires_grad=bool(tensor.requires_grad))
+        node.source = tensor
+        self._leaves[key] = (tensor, node)
+        return node
+
+    def realize(self, nodes: List[LazyOp]) -> None:
+        """Execute the graph needed to materialize ``nodes``."""
+        pending = [n for n in nodes if n.buffer is None]
+        if not pending:
+            return
+        run_graph(self.device, self.pool, self.stats, pending)
+
+
+@contextlib.contextmanager
+def lazy_mode(device: Union[str, Device] = "numpy",
+              runtime: Optional[LazyRuntime] = None):
+    """Record ops lazily inside the block; yields the active runtime.
+
+    Parameters
+    ----------
+    device : str or Device
+        Device for a freshly created runtime (ignored when ``runtime``
+        is passed).
+    runtime : LazyRuntime, optional
+        Re-enter an existing runtime (keeps its pool warm across
+        steps, which is how training loops amortize allocations).
+    """
+    rt = runtime if runtime is not None else LazyRuntime(device=device)
+    with rt.active():
+        yield rt

@@ -1,0 +1,146 @@
+"""Graph scheduling: topo order, CSE, pruning, refcounts, fusion.
+
+:func:`schedule` turns a set of requested root nodes into an execution
+plan for :mod:`repro.lazy.realize`:
+
+- **dead-node pruning** — only nodes reachable from the requested
+  roots are planned; branches whose results were recorded but never
+  demanded simply never execute;
+- **common-subexpression elimination** — structurally identical nodes
+  (same kind, same frozen attributes, same canonical parents) are
+  merged, so e.g. two ``sigmoid(x * w)`` records realize one sweep;
+- **consumer refcounts** — how many planned nodes read each value,
+  which drives buffer release/reuse during execution;
+- **fusion marking** — maximal chains of same-shape elementwise nodes
+  with a single consumer are grouped; the chain realizes as one
+  logical kernel launch sweeping a shared buffer.
+
+Scheduling never computes values: it is pure graph analysis, cheap
+enough to run per realization (a few microseconds per node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.lazy.devices import ELEMENTWISE
+from repro.lazy.graph import LazyOp
+
+
+def _freeze(value):
+    """Map an attribute value to a hashable CSE key component."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", id(value))
+    if isinstance(value, slice):
+        return ("slice", value.start, value.stop, value.step)
+    if isinstance(value, (tuple, list)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+class Schedule:
+    """An execution plan produced by :func:`schedule`.
+
+    Attributes
+    ----------
+    topo : list of LazyOp
+        Canonical nodes to execute, in dependency order.
+    refcounts : dict
+        ``id(node) -> consumer-edge count`` (roots get one extra pin).
+    merged : list of (LazyOp, LazyOp)
+        ``(duplicate, canonical)`` pairs eliminated by CSE; after
+        execution the duplicate receives the canonical buffer.
+    fused_into : dict
+        ``id(node) -> consumer`` for nodes absorbed into their sole
+        elementwise consumer's fused chain.
+    cse_hits : int
+        Number of duplicate nodes merged this schedule.
+    launches : int
+        Logical kernel launches (fused chains count once).
+    root_ids : set
+        ids of the canonical nodes backing the requested roots; their
+        buffers are never recycled.
+    """
+
+    def __init__(self):
+        self.topo: List[LazyOp] = []
+        self.refcounts: Dict[int, int] = {}
+        self.merged: List[Tuple[LazyOp, LazyOp]] = []
+        self.fused_into: Dict[int, LazyOp] = {}
+        self.cse_hits = 0
+        self.launches = 0
+        self.root_ids: set = set()
+
+
+def schedule(roots: List[LazyOp]) -> Schedule:
+    """Plan the realization of ``roots`` (see module docstring)."""
+    plan = Schedule()
+    memo: Dict[tuple, LazyOp] = {}
+    canon: Dict[int, LazyOp] = {}
+    seen = set()
+    stack: List[Tuple[LazyOp, bool]] = [(r, False) for r in roots]
+
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            if node.buffer is not None or node.kind == "source":
+                canon[id(node)] = node
+                continue
+            parents = tuple(canon[id(p)] for p in node.parents)
+            if parents != node.parents:
+                node.parents = parents
+            key = (node.kind, _freeze(node.attrs),
+                   tuple(id(p) for p in parents))
+            existing = memo.get(key)
+            if existing is not None:
+                canon[id(node)] = existing
+                plan.merged.append((node, existing))
+                plan.cse_hits += 1
+                # a merged duplicate's obligations transfer: if either
+                # copy is retained, the canonical value must survive
+                if node.retained:
+                    existing.retained = True
+                continue
+            memo[key] = node
+            canon[id(node)] = node
+            plan.topo.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        if node.buffer is None and node.kind != "source":
+            for parent in node.parents:
+                stack.append((parent, False))
+
+    # consumer refcounts over the canonical plan (+1 pin per root)
+    refcounts = plan.refcounts
+    for node in plan.topo:
+        for parent in node.parents:
+            key = id(parent)
+            refcounts[key] = refcounts.get(key, 0) + 1
+    for root in roots:
+        key = id(canon.get(id(root), root))
+        refcounts[key] = refcounts.get(key, 0) + 1
+        plan.root_ids.add(key)
+
+    # fusion: absorb an elementwise node into its sole elementwise
+    # consumer when shapes match (one sweep over one buffer)
+    sole_consumer: Dict[int, LazyOp] = {}
+    for node in plan.topo:
+        for parent in node.parents:
+            key = id(parent)
+            sole_consumer[key] = None if key in sole_consumer else node
+    for node in plan.topo:
+        if node.kind not in ELEMENTWISE:
+            continue
+        if refcounts.get(id(node)) != 1:
+            continue
+        consumer = sole_consumer.get(id(node))
+        if (consumer is not None and consumer.kind in ELEMENTWISE
+                and consumer.shape == node.shape):
+            plan.fused_into[id(node)] = consumer
+    plan.launches = len(plan.topo) - len(plan.fused_into)
+    return plan

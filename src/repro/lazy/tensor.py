@@ -1,0 +1,653 @@
+""":class:`LazyTensor`: the graph-recording face of ``repro.autograd``.
+
+A ``LazyTensor`` subclasses :class:`~repro.autograd.tensor.Tensor` but
+holds no array — only a :class:`~repro.lazy.graph.LazyOp` node and the
+:class:`~repro.lazy.runtime.LazyRuntime` that will realize it.  Every
+tensor op is overridden to record a node with shape/dtype inferred up
+front; reading ``.data`` (directly or through inherited methods like
+``item()``/comparisons) realizes the graph, which is also the
+transparent fallback for anything the lazy engine does not model:
+unsupported indexing, the norm layers' custom closures, third-party
+code reaching for the array.
+
+``backward()`` records the backward pass as graph nodes too (an exact
+replay of the eager algorithm — see :func:`repro.lazy.graph.
+backward_graph`), realizes the loss and every leaf gradient in one
+batch, then delivers each gradient into its eager tensor: leaves get
+``.grad`` accumulated, interior eager tensors continue their own tape.
+Eager tapes that *consume* a lazy tensor work in the other direction
+through the ``_store_grad`` seam.
+
+The module installs the construction factory and functional-op hooks
+into :mod:`repro.autograd.tensor` at import time; they stay inert
+until a runtime is activated (:func:`repro.lazy.runtime.lazy_mode`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import (Tensor, _GRAD_ENABLED, _as_array,
+                                   _install_lazy)
+from repro.autograd.functional import _im2col_indices
+from repro.lazy.graph import LazyOp, backward_graph, constant, record
+from repro.lazy.graph import _reduced_shape
+from repro.lazy.runtime import LazyRuntime, active_runtime
+
+
+# ------------------------------------------------------------------- #
+# shape inference helpers (record-time, no data)
+# ------------------------------------------------------------------- #
+def _reshape_shape(old: Tuple[int, ...], new) -> Tuple[int, ...]:
+    """Resolve a reshape target (one ``-1`` allowed) against ``old``."""
+    total = 1
+    for s in old:
+        total *= s
+    out = [int(s) for s in new]
+    unknown = [i for i, s in enumerate(out) if s == -1]
+    if len(unknown) > 1:
+        raise ValueError("can only specify one unknown dimension")
+    if unknown:
+        known = 1
+        for s in out:
+            if s != -1:
+                known *= s
+        if known == 0 or total % known:
+            raise ValueError(
+                f"cannot reshape array of size {total} into shape "
+                f"{tuple(new)}")
+        out[unknown[0]] = total // known
+    else:
+        prod = 1
+        for s in out:
+            prod *= s
+        if prod != total:
+            raise ValueError(
+                f"cannot reshape array of size {total} into shape "
+                f"{tuple(new)}")
+    return tuple(out)
+
+
+def _matmul_shape(a: Tuple[int, ...], b: Tuple[int, ...]
+                  ) -> Tuple[int, ...]:
+    """Output shape of ``a @ b`` under NumPy matmul rules."""
+    if not a or not b:
+        raise ValueError("matmul: operands must be at least 1-D")
+    a2 = (1,) + a if len(a) == 1 else a
+    b2 = b + (1,) if len(b) == 1 else b
+    if a2[-1] != b2[-2]:
+        raise ValueError(
+            f"matmul: shape mismatch {a} @ {b} "
+            f"({a2[-1]} vs {b2[-2]})")
+    batch = np.broadcast_shapes(a2[:-2], b2[:-2])
+    core = []
+    if len(a) > 1:
+        core.append(a2[-2])
+    if len(b) > 1:
+        core.append(b2[-1])
+    return tuple(batch) + tuple(core)
+
+
+def _normalize_index(index):
+    """Convert list index components to arrays (value-preserving)."""
+    if isinstance(index, list):
+        return np.asarray(index)
+    if isinstance(index, tuple):
+        return tuple(np.asarray(p) if isinstance(p, list) else p
+                     for p in index)
+    return index
+
+
+def _index_shape(shape: Tuple[int, ...], index) -> Optional[Tuple[int, ...]]:
+    """Result shape of ``x[index]`` without data, or None when the
+    shape is value-dependent (boolean masks) and needs eager fallback."""
+    parts = index if isinstance(index, tuple) else (index,)
+    arrays = [p for p in parts if isinstance(p, np.ndarray)]
+    if any(a.dtype.kind == "b" for a in arrays):
+        return None
+    if not arrays:
+        # basic indexing: index a zero-stride dummy (a view; no copy)
+        dummy = np.broadcast_to(np.zeros((), dtype=np.float64), shape)
+        return dummy[index].shape
+    if all(isinstance(p, (int, np.integer, np.ndarray)) for p in parts):
+        # pure advanced indexing: broadcast shape + untouched dims
+        adv = np.broadcast_shapes(*[np.shape(p) for p in parts])
+        return tuple(adv) + tuple(shape[len(parts):])
+    # mixed advanced/basic: rare — pay one dummy-indexing copy
+    dummy = np.broadcast_to(np.zeros((), dtype=np.float64), shape)
+    return dummy[index].shape
+
+
+def _node_of(rt: LazyRuntime, value) -> LazyOp:
+    """The graph node for any operand (lazy, eager tensor, or raw)."""
+    if isinstance(value, Tensor):
+        if value._lazy:
+            return value._node
+        return rt.leaf_of(value)
+    return rt.leaf_of(Tensor._new_eager(value))
+
+
+def _record(rt: LazyRuntime, kind: str, parents, attrs,
+            shape) -> "LazyTensor":
+    """Record one forward node and wrap it as a LazyTensor."""
+    node = record(kind, parents, attrs, shape)
+    rt.stats.nodes_recorded += 1
+    return LazyTensor._wrap(node, rt)
+
+
+class LazyTensor(Tensor):
+    """A tensor whose value is a recorded graph node, not an array.
+
+    Never constructed directly: ``Tensor(...)`` inside an active
+    :func:`~repro.lazy.runtime.lazy_mode` block produces one, and
+    every overridden op returns one.  Reading :attr:`data` realizes.
+    """
+
+    __slots__ = ("_node", "_rt")
+    _lazy = True
+
+    def __init__(self, data=None, requires_grad: bool = False,
+                 name: str = ""):
+        """No-op for factory-built instances (state is preset)."""
+        if getattr(self, "_node", None) is not None:
+            return
+        raise TypeError(
+            "LazyTensor cannot be constructed directly; create tensors "
+            "with Tensor(...) inside lazy_mode()")
+
+    @classmethod
+    def _wrap(cls, node: LazyOp, rt: LazyRuntime) -> "LazyTensor":
+        """Wrap a graph node; marks its value as retained (the wrapper
+        — or a backward pass through it — may read the buffer later)."""
+        out = object.__new__(cls)
+        out._node = node
+        out._rt = rt
+        out.requires_grad = node.requires_grad
+        out.grad = None
+        out._backward_fns = []
+        out._parents = []
+        out.name = ""
+        node.retained = True
+        return out
+
+    # -------------------------------------------------------------- #
+    # metadata (no realization)
+    # -------------------------------------------------------------- #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Record-time shape of the deferred value."""
+        return self._node.shape
+
+    @property
+    def ndim(self) -> int:
+        """Record-time rank of the deferred value."""
+        return len(self._node.shape)
+
+    @property
+    def size(self) -> int:
+        """Record-time element count of the deferred value."""
+        return self._node.size
+
+    @property
+    def dtype(self):
+        """Record-time dtype of the deferred value."""
+        return self._node.dtype
+
+    # -------------------------------------------------------------- #
+    # realization
+    # -------------------------------------------------------------- #
+    @property
+    def data(self) -> np.ndarray:
+        """The realized value; triggers graph execution on first read.
+
+        This property is also the transparent eager-fallback seam:
+        any op the lazy engine does not record simply reads ``.data``
+        and proceeds eagerly on the realized array.
+        """
+        node = self._node
+        if node.buffer is None:
+            self._rt.realize([node])
+        return node.buffer
+
+    @data.setter
+    def data(self, value):
+        raise AttributeError(
+            "cannot assign .data on a LazyTensor; its value is defined "
+            "by the recorded graph (realize and copy instead)")
+
+    def realize(self) -> "LazyTensor":
+        """Force execution of this tensor's graph; returns self."""
+        if self._node.buffer is None:
+            self._rt.realize([self._node])
+        return self
+
+    def detach(self) -> "LazyTensor":
+        """A lazy alias of this value, cut from the gradient graph."""
+        node = LazyOp("alias", (self._node,), (), self._node.shape,
+                      self._node.dtype, requires_grad=False)
+        self._rt.stats.nodes_recorded += 1
+        return LazyTensor._wrap(node, self._rt)
+
+    def _eager_view(self) -> Tensor:
+        """An eager tensor over the realized value, wired so gradients
+        flow back into the lazy graph (generic op fallback bridge)."""
+        return Tensor._make(self.data, [(self, lambda g: g)])
+
+    # -------------------------------------------------------------- #
+    # backward: record, realize in one batch, deliver
+    # -------------------------------------------------------------- #
+    def backward(self, grad=None) -> None:
+        """Accumulate gradients into every reachable leaf tensor.
+
+        Records the backward sweep as graph nodes (exact eager-
+        algorithm replay), realizes the value and all boundary
+        gradients in one batched graph execution, then delivers each
+        gradient: lazy-native leaves accumulate ``.grad`` directly,
+        eager tensors continue through ``Tensor.backward`` (covering
+        both plain leaves and interior tapes reaching into eager
+        subgraphs such as the norm layers).
+        """
+        node = self._node
+        if not node.requires_grad:
+            raise RuntimeError(
+                "backward() on a tensor that does not require grad")
+        if grad is None:
+            if node.size != 1:
+                raise RuntimeError(
+                    "grad must be supplied for non-scalar outputs")
+            seed = np.ones(node.shape, dtype=np.float64)
+        else:
+            seed = np.asarray(grad, dtype=np.float64)
+            if seed.shape != node.shape:
+                raise ValueError(
+                    f"grad shape {seed.shape} != tensor shape "
+                    f"{node.shape}")
+        boundary = backward_graph(node, constant(seed))
+        self._rt.realize([node] + [g for _, g in boundary])
+        for src, grad_node in boundary:
+            target = src.source
+            if target is None:
+                continue  # constant leaf; nothing to deliver into
+            g = grad_node.buffer
+            if getattr(target, "_lazy", False):
+                target.grad = (g if target.grad is None
+                               else target.grad + g)
+            else:
+                target.backward(g)
+
+    def _store_grad(self, g: np.ndarray) -> None:
+        """Receive a gradient from an *eager* tape that consumed this
+        lazy tensor (the mixed-mode seam): route it into the graph."""
+        node = self._node
+        if node.kind == "source":
+            self.grad = g if self.grad is None else self.grad + g
+        else:
+            self.backward(g)
+
+    # -------------------------------------------------------------- #
+    # arithmetic (each records the eager op's exact structure)
+    # -------------------------------------------------------------- #
+    def _binary(self, kind: str, other) -> "LazyTensor":
+        rt = self._rt
+        other_node = _node_of(rt, other)
+        shape = np.broadcast_shapes(self._node.shape, other_node.shape)
+        return _record(rt, kind, (self._node, other_node), (), shape)
+
+    def __add__(self, other):
+        """Record ``self + other``."""
+        return self._binary("add", other)
+
+    # eager aliases __radd__ to __add__ (addition commutes bitwise);
+    # mirroring that keeps operand order — and bits — identical
+    __radd__ = __add__
+
+    def __neg__(self):
+        """Record ``-self``."""
+        return _record(self._rt, "neg", (self._node,), (),
+                       self._node.shape)
+
+    def __sub__(self, other):
+        """Record ``self - other`` as ``self + (-other)`` (eager's
+        own decomposition, so the graphs are isomorphic)."""
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        """Record ``other - self``."""
+        rt = self._rt
+        neg = -self
+        other_node = _node_of(rt, self._coerce(other))
+        shape = np.broadcast_shapes(neg._node.shape, other_node.shape)
+        return _record(rt, "add", (neg._node, other_node), (), shape)
+
+    def __mul__(self, other):
+        """Record ``self * other``."""
+        return self._binary("mul", other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        """Record ``self / other``."""
+        return self._binary("div", other)
+
+    def __rtruediv__(self, other):
+        """Record ``other / self``."""
+        rt = self._rt
+        other_node = _node_of(rt, self._coerce(other))
+        shape = np.broadcast_shapes(other_node.shape, self._node.shape)
+        return _record(rt, "div", (other_node, self._node), (), shape)
+
+    def __pow__(self, exponent):
+        """Record ``self ** exponent`` (scalar exponents only)."""
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        return _record(self._rt, "pow", (self._node,), (exponent,),
+                       self._node.shape)
+
+    def __matmul__(self, other):
+        """Record ``self @ other``."""
+        rt = self._rt
+        other_node = _node_of(rt, other)
+        shape = _matmul_shape(self._node.shape, other_node.shape)
+        return _record(rt, "matmul", (self._node, other_node), (), shape)
+
+    def __rmatmul__(self, other):
+        """Record ``other @ self``."""
+        rt = self._rt
+        other_node = _node_of(rt, self._coerce(other))
+        shape = _matmul_shape(other_node.shape, self._node.shape)
+        return _record(rt, "matmul", (other_node, self._node), (), shape)
+
+    # -------------------------------------------------------------- #
+    # shape ops
+    # -------------------------------------------------------------- #
+    def reshape(self, *shape):
+        """Record a reshape (accepts varargs or a single tuple)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        resolved = _reshape_shape(self._node.shape, shape)
+        return _record(self._rt, "reshape", (self._node,), (resolved,),
+                       resolved)
+
+    def transpose(self, *axes):
+        """Record a transpose (accepts varargs or a single tuple)."""
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        axes_t = tuple(axes) if axes else None
+        if axes_t is None:
+            shape = self._node.shape[::-1]
+        else:
+            shape = tuple(self._node.shape[a] for a in axes_t)
+        return _record(self._rt, "transpose", (self._node,), (axes_t,),
+                       shape)
+
+    def __getitem__(self, index):
+        """Record an indexing op; boolean masks (value-dependent
+        shapes) realize and fall back to the eager op."""
+        index = _normalize_index(index)
+        shape = _index_shape(self._node.shape, index)
+        if shape is None:
+            return self._eager_view()[index]
+        return _record(self._rt, "getitem", (self._node,), (index,),
+                       shape)
+
+    # -------------------------------------------------------------- #
+    # reductions & elementwise math
+    # -------------------------------------------------------------- #
+    def sum(self, axis=None, keepdims: bool = False):
+        """Record a sum reduction."""
+        shape = _reduced_shape(self._node.shape, axis, keepdims)
+        return _record(self._rt, "sum", (self._node,), (axis, keepdims),
+                       shape)
+
+    def max(self, axis=None, keepdims: bool = False):
+        """Record a max reduction (ties share gradient, as eager)."""
+        shape = _reduced_shape(self._node.shape, axis, keepdims)
+        return _record(self._rt, "max", (self._node,), (axis, keepdims),
+                       shape)
+
+    def _unary(self, kind: str, attrs=()) -> "LazyTensor":
+        return _record(self._rt, kind, (self._node,), attrs,
+                       self._node.shape)
+
+    def exp(self):
+        """Record elementwise ``exp``."""
+        return self._unary("exp")
+
+    def log(self):
+        """Record elementwise ``log``."""
+        return self._unary("log")
+
+    def sqrt(self):
+        """Record elementwise ``sqrt``."""
+        return self._unary("sqrt")
+
+    def tanh(self):
+        """Record elementwise ``tanh``."""
+        return self._unary("tanh")
+
+    def sigmoid(self):
+        """Record elementwise logistic sigmoid."""
+        return self._unary("sigmoid")
+
+    def relu(self):
+        """Record elementwise ``relu``."""
+        return self._unary("relu")
+
+    def abs(self):
+        """Record elementwise absolute value."""
+        return self._unary("abs")
+
+    def clip(self, lo: float, hi: float):
+        """Record elementwise clipping to ``[lo, hi]``."""
+        return self._unary("clip", (lo, hi))
+
+    def __repr__(self) -> str:
+        status = ("realized" if self._node.buffer is not None
+                  else "deferred")
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return (f"LazyTensor(shape={self._node.shape}, {status}, "
+                f"kind={self._node.kind!r}{flag})")
+
+
+# ------------------------------------------------------------------- #
+# construction factory + functional hooks (installed into autograd)
+# ------------------------------------------------------------------- #
+def _tensor_factory(data, requires_grad, name):
+    """``Tensor(...)`` interceptor: lazy leaf inside an active context.
+
+    Returns None — meaning "construct eagerly" — when no runtime is
+    active, or for integer/bool payloads (indices and targets stay
+    eager; lazy graphs are float64 like the eager tape)."""
+    rt = active_runtime()
+    if rt is None or data is None or isinstance(data, Tensor):
+        return None
+    arr = _as_array(data)
+    if arr.dtype.kind != "f":
+        return None
+    node = LazyOp("source", shape=arr.shape,
+                  requires_grad=bool(requires_grad) and _GRAD_ENABLED.get())
+    node.buffer = arr
+    rt.stats.nodes_recorded += 1
+    wrapper = LazyTensor._wrap(node, rt)
+    node.source = wrapper
+    wrapper.requires_grad = node.requires_grad
+    wrapper.name = name
+    return wrapper
+
+
+def _hook_rt(*values) -> Optional[LazyRuntime]:
+    """The runtime a functional op should record into, if any."""
+    rt = active_runtime()
+    if rt is not None:
+        return rt
+    for value in values:
+        if isinstance(value, Tensor) and value._lazy:
+            return value._rt
+    return None
+
+
+def _hook_log_softmax(x, axis):
+    rt = _hook_rt(x)
+    if rt is None:
+        return None
+    return _record(rt, "log_softmax", (_node_of(rt, x),), (axis,),
+                   x.shape)
+
+
+def _hook_leaky_relu(x, negative_slope):
+    rt = _hook_rt(x)
+    if rt is None:
+        return None
+    return _record(rt, "leaky_relu", (_node_of(rt, x),),
+                   (negative_slope,), x.shape)
+
+
+def _hook_softplus(x):
+    rt = _hook_rt(x)
+    if rt is None:
+        return None
+    return _record(rt, "softplus", (_node_of(rt, x),), (), x.shape)
+
+
+def _hook_gelu(x):
+    rt = _hook_rt(x)
+    if rt is None:
+        return None
+    return _record(rt, "gelu", (_node_of(rt, x),), (), x.shape)
+
+
+def _hook_pad2d(x, padding):
+    rt = _hook_rt(x)
+    if rt is None:
+        return None
+    n, c, h, w = x.shape
+    return _record(rt, "pad2d", (_node_of(rt, x),), (padding,),
+                   (n, c, h + 2 * padding, w + 2 * padding))
+
+
+def _hook_conv2d(x, weight, bias, stride, padding):
+    rt = _hook_rt(x, weight, bias)
+    if rt is None:
+        return None
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    k, i, j, oh, ow = _im2col_indices(x.shape, kh, kw, stride, padding)
+    xn = _node_of(rt, x)
+    if padding:
+        xp = record("pad2d", (xn,), (padding,),
+                    (n, c_in, h + 2 * padding, w + 2 * padding))
+    else:
+        xp = xn
+    cols = record("im2col", (xp,), ((k, i, j),),
+                  (n, c_in * kh * kw, oh * ow))
+    cols.retained = True  # conv's weight-gradient kernel re-reads it
+    wn = _node_of(rt, weight)
+    w_mat = record("reshape", (wn,), ((c_out, c_in * kh * kw),),
+                   (c_out, c_in * kh * kw))
+    out = record("conv_mm", (w_mat, cols), (n, c_out, oh, ow),
+                 (n, c_out, oh, ow))
+    rt.stats.nodes_recorded += 4 if padding else 3
+    if bias is not None:
+        bn = _node_of(rt, bias)
+        br = record("reshape", (bn,), ((1, c_out, 1, 1),),
+                    (1, c_out, 1, 1))
+        out = record("add", (out, br), (), (n, c_out, oh, ow))
+        rt.stats.nodes_recorded += 2
+    return LazyTensor._wrap(out, rt)
+
+
+def _hook_avg_pool2d(x, kernel):
+    rt = _hook_rt(x)
+    if rt is None:
+        return None
+    n, c, h, w = x.shape
+    return _record(rt, "avg_pool", (_node_of(rt, x),), (kernel,),
+                   (n, c, h // kernel, w // kernel))
+
+
+def _hook_max_pool2d(x, kernel):
+    rt = _hook_rt(x)
+    if rt is None:
+        return None
+    n, c, h, w = x.shape
+    return _record(rt, "max_pool", (_node_of(rt, x),), (kernel,),
+                   (n, c, h // kernel, w // kernel))
+
+
+def _hook_embedding(weight, indices):
+    rt = _hook_rt(weight)
+    if rt is None:
+        return None
+    shape = tuple(indices.shape) + (weight.shape[1],)
+    return _record(rt, "getitem", (_node_of(rt, weight),), (indices,),
+                   shape)
+
+
+def _hook_concatenate(tensors, axis):
+    rt = _hook_rt(*tensors)
+    if rt is None:
+        return None
+    nodes = [_node_of(rt, t) for t in tensors]
+    shape = list(nodes[0].shape)
+    shape[axis] = sum(node.shape[axis] for node in nodes)
+    return _record(rt, "concat", nodes, (axis,), tuple(shape))
+
+
+def _hook_stack(tensors, axis):
+    rt = _hook_rt(*tensors)
+    if rt is None:
+        return None
+    nodes = [_node_of(rt, t) for t in tensors]
+    base = list(nodes[0].shape)
+    ax = axis % (len(base) + 1)
+    shape = tuple(base[:ax] + [len(nodes)] + base[ax:])
+    return _record(rt, "stack", nodes, (axis,), shape)
+
+
+def _hook_linear(x, weight, bias):
+    rt = _hook_rt(x, weight, bias)
+    if rt is None:
+        return None
+    # mirror eager `x @ weight.T + bias`, but transpose the *shared*
+    # weight leaf in-graph: per-call eager `.T` views would each
+    # become separate gradient boundaries and perturb accumulation
+    # order (and therefore float bits) for multi-timestep models
+    xn = _node_of(rt, x)
+    wn = _node_of(rt, weight)
+    memo_key = ("transpose", id(wn), None)
+    wt = rt._derived.get(memo_key)
+    if wt is None:
+        # one shared node per weight: the T timestep gradients then
+        # accumulate here (dense, poolable buffers) and transpose once,
+        # instead of each timestep pinning its 8 MB contribution behind
+        # a per-call transpose view
+        wt = record("transpose", (wn,), (None,), wn.shape[::-1])
+        rt._derived[memo_key] = wt
+        rt.stats.nodes_recorded += 1
+    out_shape = _matmul_shape(xn.shape, wt.shape)
+    mm = record("matmul", (xn, wt), (), out_shape)
+    rt.stats.nodes_recorded += 1
+    out = LazyTensor._wrap(mm, rt)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+_install_lazy(_tensor_factory, {
+    "log_softmax": _hook_log_softmax,
+    "leaky_relu": _hook_leaky_relu,
+    "softplus": _hook_softplus,
+    "gelu": _hook_gelu,
+    "pad2d": _hook_pad2d,
+    "conv2d": _hook_conv2d,
+    "avg_pool2d": _hook_avg_pool2d,
+    "max_pool2d": _hook_max_pool2d,
+    "embedding": _hook_embedding,
+    "concatenate": _hook_concatenate,
+    "stack": _hook_stack,
+    "linear": _hook_linear,
+})
+
+__all__ = ["LazyTensor"]

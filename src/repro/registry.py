@@ -54,6 +54,7 @@ _PROVIDERS: Dict[str, Tuple[str, ...]] = {
     "backend": ("repro.run.backends",),
     "obs": ("repro.obs",),
     "serve": ("repro.serve.policies",),
+    "device": ("repro.lazy.devices",),
 }
 
 # Annotation types the schema checker actually enforces; anything more

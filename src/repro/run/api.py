@@ -110,6 +110,12 @@ def select_backend(specs: Sequence[ScenarioSpec],
        fallback.
     5. ``serial`` otherwise.
 
+    Specs with ``lazy=True`` skip the ``vec``/``fleet`` branches:
+    the batched engines do not carry the ``lazy_autograd``
+    capability, so selection prefers a backend that honors the
+    spec's requested execution strategy (records are identical
+    either way).
+
     A backend is only chosen if it is registered *and* declares the
     matching capability, so replacing a built-in with a degraded
     third-party backend degrades selection rather than breaking it.
@@ -135,14 +141,17 @@ def select_backend(specs: Sequence[ScenarioSpec],
             return None
         return registry.build("backend", name).capabilities()
 
+    lazy_batch = any(s.lazy for s in specs)
     vec_caps = caps("vec")
     if (vec_caps is not None and vec_caps.batched_replicates
+            and not lazy_batch
             and any(s.replicates > 1 for s in specs)
             and all(supports_batched(s) for s in specs)):
         return "vec", ("lockstep-schedulable specs with replicates > 1 "
                        "batch on the replicate axis")
     fleet_caps = caps("fleet")
     if (fleet_caps is not None and fleet_caps.batched_workers
+            and not lazy_batch
             and all(s.replicates == 1 for s in specs)
             and any(s.workers >= _FLEET_AUTO_WORKERS or s.fleet
                     for s in specs)):

@@ -184,6 +184,40 @@ def run_round_robin(model, optimizer, loss_fn, *, steps: int,
                        **kwargs)
 
 
+class _LazyLoss:
+    """Adapter that runs a workload's loss callable in lazy mode.
+
+    Each evaluation records the loss graph through a persistent
+    :class:`~repro.lazy.runtime.LazyRuntime` (one per scenario, so the
+    buffer pool stays warm across reads) and returns the deferred loss
+    tensor; the cluster runtime's ``loss.backward()`` then realizes
+    the whole training step as one fused graph.  Results are
+    bit-identical to calling ``loss_fn`` eagerly — only the execution
+    strategy changes.  Workloads whose ops the engine does not model
+    fall back to eager execution transparently; ``engine()`` reports
+    which strategy actually ran.
+    """
+
+    def __init__(self, loss_fn: Callable[[], "object"]):
+        from repro.lazy import LazyRuntime
+
+        self._loss_fn = loss_fn
+        self.runtime = LazyRuntime()
+
+    def __call__(self):
+        from repro.lazy.runtime import lazy_mode
+
+        with lazy_mode(runtime=self.runtime):
+            return self._loss_fn()
+
+    def engine(self) -> str:
+        """``"fused"`` once any graph realized, else ``"fallback"``."""
+        return "fused" if self.runtime.stats.realizations else "fallback"
+
+    def __getattr__(self, name):
+        return getattr(self._loss_fn, name)
+
+
 def execute_scalar(spec: ScenarioSpec) -> ScenarioResult:
     """Execute one single-replicate spec through the scalar engine.
 
@@ -217,6 +251,8 @@ def execute_scalar(spec: ScenarioSpec) -> ScenarioResult:
     seed = spec.resolved_seed()
     build = build_workload(spec.workload, **spec.workload_params)
     model, loss_fn = build(seed)
+    if spec.lazy:
+        loss_fn = _LazyLoss(loss_fn)
     optimizer = build_optimizer(spec.optimizer, model.parameters(),
                                 **spec.optimizer_params)
     runtime = build_cluster(
@@ -234,6 +270,8 @@ def execute_scalar(spec: ScenarioSpec) -> ScenarioResult:
                                     runtime.diverged)
     env = environment_info()
     env["seed"] = seed
+    if spec.lazy:
+        env["lazy_engine"] = loss_fn.engine()
     return ScenarioResult(name=spec.name, spec_hash=spec.content_hash(),
                           metrics=metrics, series=series, env=env,
                           wall_s=wall)
@@ -295,6 +333,12 @@ class BackendCapabilities:
         transport (the ``mp`` backend).  Strictly opt-in: the
         auto-selection policy never chooses a backend with this
         capability, callers pin it explicitly.
+    lazy_autograd : bool
+        Honors ``spec.lazy`` by routing workload loss evaluations
+        through the :mod:`repro.lazy` deferred-execution engine
+        (results stay bit-identical; only execution strategy changes).
+        Backends without the capability run lazy specs eagerly, so
+        auto-selection prefers a capable backend for them.
     """
 
     matrix: bool = False
@@ -303,6 +347,7 @@ class BackendCapabilities:
     cluster_features: bool = False
     subprocess: bool = False
     real_processes: bool = False
+    lazy_autograd: bool = False
 
 
 class ExecutionBackend:
@@ -365,7 +410,8 @@ class SerialBackend(ExecutionBackend):
 
     def capabilities(self) -> BackendCapabilities:
         """Nothing to exploit: the baseline."""
-        return BackendCapabilities(cluster_features=True)
+        return BackendCapabilities(cluster_features=True,
+                                   lazy_autograd=True)
 
     def execute(self, specs: Sequence[ScenarioSpec],
                 options: RunOptions) -> List[ScenarioResult]:
@@ -397,7 +443,8 @@ class ClusterBackend(ExecutionBackend):
 
     def capabilities(self) -> BackendCapabilities:
         """Claims the cluster-class scenario territory."""
-        return BackendCapabilities(cluster_features=True)
+        return BackendCapabilities(cluster_features=True,
+                                   lazy_autograd=True)
 
     def execute(self, specs: Sequence[ScenarioSpec],
                 options: RunOptions) -> List[ScenarioResult]:
@@ -420,7 +467,7 @@ class ParallelBackend(ExecutionBackend):
     def capabilities(self) -> BackendCapabilities:
         """Exploits multi-scenario batches; runs in subprocesses."""
         return BackendCapabilities(matrix=True, cluster_features=True,
-                                   subprocess=True)
+                                   subprocess=True, lazy_autograd=True)
 
     def execute(self, specs: Sequence[ScenarioSpec],
                 options: RunOptions) -> List[ScenarioResult]:

@@ -113,6 +113,14 @@ class ScenarioSpec:
         seed) before execution.  Empty (the default) means no topology
         and is canonicalized away, so existing spec hashes are
         unchanged.
+    lazy : bool
+        Run workload loss evaluations through the :mod:`repro.lazy`
+        deferred-execution engine on backends that declare the
+        ``lazy_autograd`` capability (see
+        :mod:`repro.run.backends`).  Results are bit-identical to
+        eager execution; the result environment records
+        ``lazy_engine: fused|fallback``.  The default ``False`` is
+        canonicalized away so existing spec hashes are unchanged.
     """
 
     name: str
@@ -135,6 +143,7 @@ class ScenarioSpec:
     smooth: int = 25
     replicates: int = 1
     fleet: Dict[str, object] = field(default_factory=dict)
+    lazy: bool = False
 
     def __post_init__(self):
         """Validate field ranges and normalize container types."""
@@ -201,6 +210,8 @@ class ScenarioSpec:
             del data["replicates"]
         if not data.get("fleet"):
             data.pop("fleet", None)
+        if not data.get("lazy"):
+            data.pop("lazy", None)
         payload = {"xp_format": XP_FORMAT_VERSION,
                    "spec": encode_state(data)}
         return json.dumps(payload, sort_keys=True, separators=(",", ":"),

@@ -31,6 +31,7 @@ MODULES = (
     "repro.obs",
     "repro.serve",
     "repro.fleet",
+    "repro.lazy",
     "repro.sim",
     "repro.optim",
     "repro.core",

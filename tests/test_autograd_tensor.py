@@ -204,3 +204,130 @@ class TestUnbroadcast:
         g = np.ones((2, 3, 4))
         np.testing.assert_allclose(unbroadcast(g, (1, 4)),
                                    6 * np.ones((1, 4)))
+
+
+class TestTransposeTupleArg:
+    def test_tuple_matches_varargs(self):
+        a = t((2, 3, 4))
+        np.testing.assert_array_equal(a.transpose((2, 0, 1)).data,
+                                      a.transpose(2, 0, 1).data)
+
+    def test_tuple_2d(self):
+        a = t((3, 5))
+        np.testing.assert_array_equal(a.transpose((1, 0)).data,
+                                      a.data.T)
+
+    def test_list_accepted(self):
+        a = t((2, 3))
+        np.testing.assert_array_equal(a.transpose([1, 0]).data, a.data.T)
+
+    def test_tuple_gradient(self):
+        check_gradients(lambda a: a.transpose((1, 0, 2)), [t((2, 3, 4))])
+
+
+class TestGradCheckCoverage:
+    """Numerical-gradient coverage for backward paths that had none."""
+
+    def test_concatenate(self):
+        check_gradients(lambda a, b: concatenate([a, b], axis=1),
+                        [t((2, 3)), t((2, 4), 1)])
+
+    def test_concatenate_axis0(self):
+        check_gradients(lambda a, b, c: concatenate([a, b, c], axis=0),
+                        [t((1, 3)), t((2, 3), 1), t((3, 3), 2)])
+
+    def test_stack(self):
+        check_gradients(lambda a, b: stack([a, b], axis=0),
+                        [t((2, 3)), t((2, 3), 1)])
+
+    def test_stack_inner_axis(self):
+        check_gradients(lambda a, b: stack([a, b], axis=1),
+                        [t((2, 3)), t((2, 3), 1)])
+
+    def test_getitem_repeated_indices(self):
+        # repeated rows must *accumulate* through np.add.at, not
+        # overwrite: d/dx of x[[0, 0, 1]].sum() is [2, 1, 0, ...]
+        a = t((4, 3))
+        out = a[np.array([0, 0, 1])]
+        out.sum().backward()
+        expected = np.zeros((4, 3))
+        expected[0] = 2.0
+        expected[1] = 1.0
+        np.testing.assert_array_equal(a.grad, expected)
+        check_gradients(lambda x: x[np.array([0, 0, 1])], [t((4, 3))])
+
+    def test_getitem_repeated_pairs(self):
+        idx = (np.array([0, 0, 2]), np.array([1, 1, 0]))
+        check_gradients(lambda x: x[idx], [t((3, 3))])
+
+    def test_max_with_ties(self):
+        # ties split the gradient evenly among the argmax positions
+        a = Tensor(np.array([[1.0, 2.0, 2.0], [3.0, 3.0, 3.0]]),
+                   requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(
+            a.grad, [[0.0, 0.5, 0.5], [1 / 3, 1 / 3, 1 / 3]])
+
+    def test_max_ties_numerical_smooth_region(self):
+        # away from ties the max gradient passes finite differences
+        a = t((3, 4))
+        a.data += np.arange(12).reshape(3, 4)  # make argmax unique
+        check_gradients(lambda x: x.max(axis=1), [a])
+
+    def test_max_global_ties(self):
+        a = Tensor(np.full((2, 2), 5.0), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 0.25))
+
+
+class TestThreadedNoGrad:
+    def test_no_grad_is_thread_local(self):
+        """Two threads racing grad/no-grad scopes must not interfere."""
+        import threading
+
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def grad_worker():
+            try:
+                for _ in range(200):
+                    barrier.wait()
+                    x = Tensor([1.0], requires_grad=True)
+                    y = x * 2.0
+                    assert y.requires_grad, "grad thread lost recording"
+                    barrier.wait()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                barrier.abort()
+
+        def no_grad_worker():
+            try:
+                for _ in range(200):
+                    barrier.wait()
+                    with no_grad():
+                        x = Tensor([1.0], requires_grad=True)
+                        y = x * 2.0
+                        assert not y.requires_grad, (
+                            "no_grad thread recorded anyway")
+                    barrier.wait()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                barrier.abort()
+
+        threads = [threading.Thread(target=grad_worker),
+                   threading.Thread(target=no_grad_worker)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=60)
+        assert not errors, errors
+
+    def test_no_grad_restored_after_exception(self):
+        from repro.autograd.tensor import is_grad_enabled
+
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()

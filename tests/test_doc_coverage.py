@@ -3,7 +3,8 @@
 Fails whenever a public module, class, function, method, or property in
 ``repro.optim``, ``repro.sim``, ``repro.cluster``, ``repro.xp``,
 ``repro.vec``, ``repro.run``, ``repro.mp``, ``repro.obs``,
-``repro.serve``, ``repro.fleet``, or ``repro.registry`` lacks a docstring, so API docs
+``repro.serve``, ``repro.fleet``, ``repro.lazy``, or
+``repro.registry`` lacks a docstring, so API docs
 cannot rot silently as those packages grow.
 """
 
@@ -13,7 +14,8 @@ import pkgutil
 
 PACKAGES = ("repro.optim", "repro.sim", "repro.cluster", "repro.xp",
             "repro.vec", "repro.run", "repro.mp", "repro.obs",
-            "repro.serve", "repro.fleet", "repro.registry")
+            "repro.serve", "repro.fleet", "repro.lazy",
+            "repro.registry")
 
 
 def iter_modules():

@@ -1,0 +1,248 @@
+"""Unit tests for the lazy-graph machinery itself.
+
+Where :mod:`tests.test_lazy_differential` pins down *values*, this
+file pins down *mechanics*: CSE merging, dead-node pruning, fusion
+grouping, buffer-pool recycling, the scatter fast path, and the
+device registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.lazy import (BufferPool, LazyRuntime, NumpyDevice,
+                        RealizeStats, lazy_mode, schedule)
+from repro.lazy.devices import _k_scatter_add
+from repro.registry import registry
+
+
+class TestCSE:
+    def test_identical_subexpressions_merge(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.full((4, 4), 2.0))
+            b = Tensor(np.full((4, 4), 3.0))
+            left = (a * b).tanh()
+            right = (a * b).tanh()
+            out = left + right
+            np.testing.assert_array_equal(
+                out.data, 2 * np.tanh(np.full((4, 4), 6.0)))
+        assert rt.stats.cse_hits >= 2  # the mul and the tanh both merge
+
+    def test_distinct_attrs_do_not_merge(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.arange(8.0).reshape(2, 4))
+            out = a.sum(axis=0) @ np.ones(4) + (a.sum(axis=1) @ np.ones(2))
+            float(out.data)
+        assert rt.stats.cse_hits == 0
+
+    def test_merged_duplicate_shares_buffer(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.full((3, 3), 1.5))
+            two = Tensor(np.full((3, 3), 2.0))
+            u = a * two
+            v = a * two
+            (u + v).realize()  # realized in one plan, so CSE merges them
+            assert u._node.buffer is v._node.buffer
+            assert rt.stats.cse_hits == 1
+            np.testing.assert_array_equal(v.data, np.full((3, 3), 3.0))
+
+
+class TestPruning:
+    def test_unrealized_branches_never_execute(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.ones((4, 4)))
+            live = (a * 2.0).tanh()
+            for _ in range(10):
+                _dead = (a + float(np.pi)).sigmoid().exp()  # never read
+            live.realize()
+        # recorded far more than executed: dead branches were pruned
+        assert rt.stats.nodes_recorded > rt.stats.nodes_executed
+
+    def test_schedule_skips_already_realized(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.ones((2, 2)))
+            b = (a * 3.0)
+            b.realize()
+            executed_before = rt.stats.nodes_executed
+            c = b + 1.0
+            c.realize()
+            # only the add ran; the realized mul was reused as input
+            assert rt.stats.nodes_executed == executed_before + 1
+
+
+class TestFusion:
+    def test_elementwise_chain_counts_one_launch(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.ones((8, 8)))
+            out = ((a * 2.0).tanh() + 1.0).sigmoid()
+            out.realize()
+        assert rt.stats.fused_nodes >= 2
+        assert rt.stats.kernel_launches < rt.stats.nodes_executed
+
+    def test_multi_consumer_node_not_fused(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.ones((4, 4)))
+            shared = a * 2.0          # two consumers: cannot fuse away
+            out = shared.tanh() + shared.sigmoid()
+            out.realize()
+            plan_roots = [out._node]
+        plan = schedule(plan_roots)  # re-plan: everything has buffers
+        assert plan.topo == []       # nothing pending
+
+    def test_schedule_reports_launch_arithmetic(self):
+        with lazy_mode():
+            a = Tensor(np.ones((4, 4)))
+            out = (a * 2.0).tanh()
+            plan = schedule([out._node])
+        assert plan.launches == len(plan.topo) - len(plan.fused_into)
+        assert plan.launches >= 1
+
+
+class TestBufferPool:
+    def test_take_put_roundtrip(self):
+        pool = BufferPool()
+        assert pool.take((3, 3)) is None
+        buf = np.empty((3, 3))
+        pool.put(buf)
+        assert len(pool) == 1
+        got = pool.take((3, 3))
+        assert got is buf
+        assert len(pool) == 0
+
+    def test_dtype_and_shape_keyed(self):
+        pool = BufferPool()
+        pool.put(np.empty((2, 2), dtype=np.float64))
+        assert pool.take((2, 2), dtype=np.float32) is None
+        assert pool.take((2, 3)) is None
+        assert pool.take((2, 2)) is not None
+
+    def test_per_key_budget(self):
+        pool = BufferPool(max_per_key=2, max_total=100)
+        for _ in range(5):
+            pool.put(np.empty((4,)))
+        assert len(pool) == 2
+
+    def test_total_budget(self):
+        pool = BufferPool(max_per_key=10, max_total=3)
+        for i in range(6):
+            pool.put(np.empty((i + 1,)))
+        assert len(pool) == 3
+
+    def test_scalar_results_ignored(self):
+        pool = BufferPool()
+        pool.put(np.float64(3.0))  # reductions yield NumPy scalars
+        assert len(pool) == 0
+
+    def test_clear(self):
+        pool = BufferPool()
+        pool.put(np.empty((2,)))
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.take((2,)) is None
+
+    def test_training_loop_reaches_steady_state(self):
+        # same graph realized repeatedly on one runtime: allocations
+        # stop growing once the pool holds the working set
+        rt = LazyRuntime()
+        x = np.random.default_rng(0).normal(size=(64, 64))
+
+        def step():
+            with lazy_mode(runtime=rt):
+                t = Tensor(x.copy(), requires_grad=True)
+                ((t * 2.0).tanh() + 1.0).sum().backward()
+
+        step()
+        cold_allocs = rt.stats.alloc_new
+        for _ in range(4):
+            step()
+        warm_allocs = rt.stats.alloc_new - cold_allocs
+        assert rt.stats.pool_hits > 0
+        # per-step allocations must not grow once the pool is warm
+        # (some stay constant: retained grad buffers are never pooled)
+        assert warm_allocs / 4 <= cold_allocs
+
+
+class TestScatterFastPath:
+    def test_slice_index_uses_fast_path(self):
+        before = _k_scatter_add.fast_hits
+        g = np.ones((2, 4))
+        out = _k_scatter_add((np.s_[1:3], (5, 4)), [g], None)
+        assert _k_scatter_add.fast_hits == before + 1
+        expected = np.zeros((5, 4))
+        np.add.at(expected, np.s_[1:3], g)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_strictly_increasing_rows_use_fast_path(self):
+        before = _k_scatter_add.fast_hits
+        idx = (np.arange(3), np.array([2, 0, 1]))
+        out = _k_scatter_add((idx, (3, 4)), [np.ones(3)], None)
+        assert _k_scatter_add.fast_hits == before + 1
+        expected = np.zeros((3, 4))
+        np.add.at(expected, idx, np.ones(3))
+        np.testing.assert_array_equal(out, expected)
+
+    def test_repeated_indices_fall_back_to_add_at(self):
+        before = _k_scatter_add.fast_hits
+        idx = np.array([0, 0, 2])
+        out = _k_scatter_add((idx, (3,)), [np.ones(3)], None)
+        assert _k_scatter_add.fast_hits == before  # not taken
+        np.testing.assert_array_equal(out, np.array([2.0, 0.0, 1.0]))
+
+    def test_out_buffer_zeroed_before_accumulate(self):
+        dirty = np.full((4,), 7.0)
+        out = _k_scatter_add((np.s_[0:2], (4,)), [np.ones(2)], dirty)
+        np.testing.assert_array_equal(out, np.array([1.0, 1.0, 0.0, 0.0]))
+
+
+class TestDeviceRegistry:
+    def test_numpy_device_registered(self):
+        dev = registry.build("device", "numpy")
+        assert isinstance(dev, NumpyDevice)
+        assert "matmul" in dev.kinds()
+
+    def test_numba_stub_raises_clear_error(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            registry.build("device", "numba")
+
+    def test_unknown_kind_raises(self):
+        dev = NumpyDevice()
+        with pytest.raises(KeyError, match="no kernel"):
+            dev.run("definitely_not_an_op", (), [])
+
+    def test_runtime_accepts_device_instance(self):
+        rt = LazyRuntime(device=NumpyDevice())
+        with lazy_mode(runtime=rt):
+            t = Tensor(np.ones((2, 2)))
+            np.testing.assert_array_equal((t + 1.0).data, np.full((2, 2), 2.0))
+
+
+class TestRealizeStats:
+    def test_as_dict_round_trip(self):
+        stats = RealizeStats()
+        stats.realizations = 2
+        stats.alloc_new = 5
+        stats.extra["scatter_fast_hits"] = 3
+        d = stats.as_dict()
+        assert d["realizations"] == 2
+        assert d["alloc_new"] == 5
+        assert d["scatter_fast_hits"] == 3
+        assert set(d) >= {"realizations", "nodes_recorded",
+                          "nodes_executed", "kernel_launches",
+                          "fused_nodes", "cse_hits", "alloc_new",
+                          "pool_hits"}
+
+    def test_stats_accumulate_across_realizations(self):
+        rt = LazyRuntime()
+        with lazy_mode(runtime=rt):
+            a = Tensor(np.ones((4, 4)))
+            (a * 2.0).realize()
+            (a + 1.0).realize()
+        assert rt.stats.realizations == 2

@@ -1,0 +1,96 @@
+"""``spec.lazy`` integration: the run layer honoring the lazy engine.
+
+Specs with ``lazy=True`` route workload loss evaluations through
+:mod:`repro.lazy`; the records must be bit-identical to the eager
+run of the same spec (the lazy engine's core contract), ``env``
+must report which strategy actually executed, and backend
+auto-selection must avoid engines that lack the capability.
+"""
+
+import pytest
+
+from repro.run import run, select_backend
+from repro.run.backends import execute_scalar
+from repro.xp import ScenarioSpec
+
+
+def lazy_spec(**overrides):
+    base = dict(name="lazy", workload="toy_classifier",
+                workload_params={"samples": 64, "features": 6,
+                                 "hidden": 8, "batch_size": 16},
+                optimizer="momentum_sgd",
+                optimizer_params={"lr": 0.05, "momentum": 0.5},
+                delay={"kind": "constant", "delay": 1.0},
+                workers=2, reads=10, seed=11, smooth=4, lazy=True)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestBitIdentity:
+    def test_lazy_records_match_eager(self):
+        eager = execute_scalar(lazy_spec(lazy=False))
+        lazy = execute_scalar(lazy_spec())
+        assert lazy.metrics == eager.metrics
+        assert lazy.series == eager.series
+
+    def test_env_reports_fused_engine(self):
+        result = execute_scalar(lazy_spec())
+        assert result.env["lazy_engine"] == "fused"
+
+    def test_eager_env_has_no_engine_key(self):
+        result = execute_scalar(lazy_spec(lazy=False))
+        assert "lazy_engine" not in result.env
+
+    def test_tensor_free_workload_falls_back(self):
+        # the analytic quadratic oracle never constructs tensors, so
+        # nothing records; the run still succeeds, eagerly
+        spec = lazy_spec(workload="quadratic_bowl",
+                         workload_params={"dim": 8, "noise_horizon": 16})
+        result = execute_scalar(spec)
+        assert result.env["lazy_engine"] == "fallback"
+        eager = execute_scalar(lazy_spec(workload="quadratic_bowl",
+                              workload_params={"dim": 8,
+                                               "noise_horizon": 16},
+                              lazy=False))
+        assert result.metrics == eager.metrics
+
+    def test_run_entry_point_honors_lazy(self):
+        outcome = run(lazy_spec(), backend="serial")
+        assert outcome.result.env["lazy_engine"] == "fused"
+
+
+class TestSpecPlumbing:
+    def test_lazy_false_hash_is_stable(self):
+        # lazy=False canonicalizes away: old records keep their hashes
+        assert (lazy_spec(lazy=False).content_hash()
+                == ScenarioSpec(**{k: v for k, v in
+                                   lazy_spec(lazy=False).as_dict().items()
+                                   if k != "lazy"}).content_hash())
+
+    def test_lazy_true_changes_hash(self):
+        assert (lazy_spec().content_hash()
+                != lazy_spec(lazy=False).content_hash())
+
+    def test_from_dict_round_trip(self):
+        spec = lazy_spec()
+        again = ScenarioSpec.from_dict(spec.as_dict())
+        assert again.lazy is True
+        assert again.content_hash() == spec.content_hash()
+
+    def test_lazy_false_omitted_from_canonical_json(self):
+        assert '"lazy":' not in lazy_spec(lazy=False).canonical_json()
+        assert '"lazy":true' in lazy_spec().canonical_json()
+
+
+class TestSelection:
+    def test_lazy_skips_vec(self):
+        name, _ = select_backend([lazy_spec(replicates=4)])
+        assert name != "vec"
+
+    def test_lazy_skips_fleet(self):
+        name, _ = select_backend([lazy_spec(workers=128)])
+        assert name != "fleet"
+
+    def test_eager_twin_still_selects_vec(self):
+        name, _ = select_backend([lazy_spec(lazy=False, replicates=4)])
+        assert name == "vec"
